@@ -1,0 +1,132 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Optimization level** — how much of fusion's gain comes from the
+//!    enlarged compiler scope (O0 vs O3 on the fused body)?
+//! 2. **Fission segment count** — the pipeline's sweet spot between
+//!    per-segment overhead and overlap.
+//! 3. **Register budget** — fusion depth under shrinking budgets, showing
+//!    the spill cliff the paper warns about (§III-C).
+//! 4. **Stream count** — how many streams the fission pipeline needs
+//!    (paper: three for the C2070's two copy engines + compute).
+
+use kfusion_bench::{chain, gbps, print_header, ratio, system, Table};
+use kfusion_core::cost::{split_select_chain, FusionBudget};
+use kfusion_core::microbench::{run_compute_only, run_with_cards, SelectChain, Strategy};
+use kfusion_ir::opt::OptLevel;
+use kfusion_relalg::profiles::STAGE_REGS;
+use kfusion_vgpu::DeviceSpec;
+
+fn main() {
+    let sys = system();
+
+    print_header("Ablation 1", "optimization level x fusion (2x SELECT, compute)");
+    let mut t = Table::new(["level", "unfused GB/s", "fused GB/s", "fusion gain"]);
+    for level in OptLevel::ALL {
+        let mut c = chain(33_554_432, &[0.5, 0.5]);
+        c.level = level;
+        let unfused = run_compute_only(&sys, &c, false).unwrap().throughput_gbps();
+        let fused = run_compute_only(&sys, &c, true).unwrap().throughput_gbps();
+        t.row([
+            level.to_string(),
+            gbps(unfused),
+            gbps(fused),
+            ratio(fused / unfused),
+        ]);
+    }
+    t.print();
+    println!("the fused kernel gains more from O3 than the separate kernels do");
+    println!("(the Table III effect expressed as throughput).\n");
+
+    print_header("Ablation 2", "fission segment count (1 SELECT, 1G elements)");
+    let c = chain(1_000_000_000, &[0.5]);
+    let cards = c.cardinalities().unwrap();
+    let serial = run_with_cards(&sys, &c, Strategy::WithRoundTrip, &cards).unwrap();
+    let mut t = Table::new(["segments", "throughput GB/s", "vs serial"]);
+    t.row(["serial".to_string(), gbps(serial.throughput_gbps()), ratio(1.0)]);
+    for segments in [2u32, 4, 8, 16, 32, 64, 128, 256] {
+        let f = run_with_cards(&sys, &c, Strategy::Fission { segments }, &cards).unwrap();
+        t.row([
+            segments.to_string(),
+            gbps(f.throughput_gbps()),
+            ratio(f.throughput_gbps() / serial.throughput_gbps()),
+        ]);
+    }
+    t.print();
+    println!("few segments: poor overlap; very many: per-segment latency bites.\n");
+
+    print_header("Ablation 3", "register budget vs fusion depth (8x SELECT chain)");
+    let deep = SelectChain::auto(1 << 20, &[0.8; 8]);
+    let preds = deep.predicates();
+    let mut t = Table::new(["budget (regs)", "fused kernels", "max run"]);
+    for extra in [2u32, 4, 8, 16, 32, 64] {
+        let budget = FusionBudget { max_regs_per_thread: STAGE_REGS + extra };
+        let runs = split_select_chain(&preds, &budget, OptLevel::O3);
+        t.row([
+            (STAGE_REGS + extra).to_string(),
+            runs.len().to_string(),
+            runs.iter().map(Vec::len).max().unwrap_or(0).to_string(),
+        ]);
+    }
+    t.print();
+    println!("smaller budgets split the chain into more kernels — the paper's");
+    println!("fusion-depth limit made concrete.\n");
+
+    print_header("Ablation 4", "stream count for the fission pipeline");
+    // Vary the device's copy engines to show why 3 streams matter on a
+    // 2-engine device: with one engine the H2D/D2H overlap disappears.
+    let mut t = Table::new(["copy engines", "fission GB/s"]);
+    for engines in [1u32, 2] {
+        let mut s2 = system();
+        s2.spec.copy_engines = engines;
+        let f = run_with_cards(&s2, &c, Strategy::Fission { segments: 32 }, &cards).unwrap();
+        t.row([engines.to_string(), gbps(f.throughput_gbps())]);
+    }
+    t.print();
+    println!("two copy engines (the C2070's) let input and output transfers");
+    println!("overlap, which is why the paper needs at least three streams.\n");
+
+    print_header("Ablation 5", "heterogeneous CPU+GPU split (the paper's Ocelot direction)");
+    let cpu = DeviceSpec::xeon_e5520_pair();
+    let hchain = kfusion_core::microbench::SelectChain::auto(1_000_000_000, &[0.5, 0.5]);
+    let mut t = Table::new(["CPU share %", "throughput GB/s"]);
+    for pct in [0u32, 5, 10, 15, 20, 30, 40, 50] {
+        let r = kfusion_core::hetero::run_hetero(&sys, &cpu, &hchain, 20, pct as f64 / 100.0)
+            .unwrap();
+        t.row([pct.to_string(), gbps(r.throughput_gbps())]);
+    }
+    t.print();
+    let (best_frac, best) =
+        kfusion_core::hetero::best_split(&sys, &cpu, &hchain, 20).unwrap();
+    println!(
+        "optimal CPU share: {:.0}% -> {} GB/s (GPU pipeline is PCIe-bound, so\nkeeping some segments host-side removes transfer load).\n",
+        best_frac * 100.0,
+        gbps(best.throughput_gbps())
+    );
+
+    print_header("Ablation 6", "cross-query fusion (paper SIII-A: fusing across queries)");
+    use kfusion_core::exec::Strategy as XStrategy;
+    use kfusion_core::{OpKind, PlanGraph};
+    use kfusion_relalg::{gen, predicates};
+    let mk_query = |t: u64| {
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        g.add(OpKind::Select { pred: predicates::key_lt(t) }, vec![i]);
+        g
+    };
+    let input = gen::random_keys(1 << 22, 99);
+    let mut t = Table::new(["queries batched", "speedup vs separate runs"]);
+    for k in [2usize, 4, 8] {
+        let plans: Vec<PlanGraph> = (0..k).map(|q| mk_query(1 << (28 + q as u64 % 4))).collect();
+        let speedup = kfusion_core::multiquery::batching_speedup(
+            &sys,
+            &plans,
+            std::slice::from_ref(&input),
+            XStrategy::Fusion,
+        )
+        .unwrap();
+        t.row([k.to_string(), format!("{speedup:.2}x")]);
+    }
+    t.print();
+    println!("queries sharing a scan fuse into one kernel: one upload, one");
+    println!("partition/gather skeleton, amortized across the whole batch.");
+}

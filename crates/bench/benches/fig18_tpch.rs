@@ -1,0 +1,107 @@
+//! Figure 18: TPC-H Q1 and Q21 under "not optimized", "fusion", and
+//! "fusion + fission", normalized to the unoptimized execution.
+//!
+//! Paper headlines:
+//! * Q1 — fusion contributes a 1.25× speedup, fission another ~1% (total
+//!   ≈ 26.5% improvement); SORT, which cannot be optimized, is ~71% of the
+//!   baseline; fusing 6 JOINs + 1 SELECT speeds that block up 3.18×.
+//! * Q21 — 13.2% total improvement (more unfusable operators); fusion
+//!   achieves 1.22× across the fusable blocks.
+
+use kfusion_bench::{ms, print_header, ratio, system, Table};
+use kfusion_core::exec::Strategy;
+use kfusion_tpch::gen::{generate, TpchConfig};
+use kfusion_tpch::{q1, q21};
+
+fn scale() -> f64 {
+    std::env::var("KFUSION_TPCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02)
+}
+
+fn main() {
+    let sf = scale();
+    let db = generate(TpchConfig::scale(sf));
+    let sys = system();
+    let strategies = [
+        ("not optimized", Strategy::Serial),
+        ("fusion", Strategy::Fusion),
+        ("fusion+fission", Strategy::FusionFission { segments: 8 }),
+    ];
+
+    print_header("Fig. 18(a)", &format!("TPC-H Q1, scale factor {sf}"));
+    let expect1 = q1::reference_q1(&db);
+    let mut t = Table::new(["method", "time (ms)", "normalized", "answer ok"]);
+    let mut base = 0.0;
+    let mut q1_times = Vec::new();
+    for (name, strat) in strategies {
+        let r = q1::run_q1(&sys, &db, strat).unwrap();
+        let total = r.report.total();
+        if base == 0.0 {
+            base = total;
+        }
+        let ok = q1::q1_matches_reference(&r.output, &expect1, 1e-9);
+        t.row([name.to_string(), ms(total), ratio(total / base), ok.to_string()]);
+        q1_times.push((name, r));
+    }
+    t.print();
+    let serial = &q1_times[0].1;
+    let fused = &q1_times[1].1;
+    let both = &q1_times[2].1;
+    println!(
+        "SORT share of baseline: {:.1}%  (paper: ~71%)",
+        100.0 * serial.report.label_time("sort") / serial.report.total()
+    );
+    println!(
+        "fusion speedup: {}x (paper: 1.25x); fusion+fission total improvement: {:.1}% (paper: 26.5%)",
+        ratio(serial.report.total() / fused.report.total()),
+        100.0 * (1.0 - both.report.total() / serial.report.total())
+    );
+    // Fused-block speedup: the joins+select block, compute time only.
+    let unfused_block: f64 = ["col_join", "filter", "gather", "project", "rekey", "arith"]
+        .iter()
+        .map(|p| serial.report.label_time(p))
+        .sum();
+    let fused_block: f64 = fused.report.label_time("fused_");
+    println!(
+        "fused-block speedup (joins+select etc.): {}x  (paper: 3.18x)",
+        ratio(unfused_block / fused_block)
+    );
+    println!();
+
+    print_header("Fig. 18(b)", &format!("TPC-H Q21, scale factor {sf}"));
+    const NATION: i64 = 20; // "SAUDI ARABIA" in the spec's ordering
+    let expect21 = q21::reference_q21(&db, NATION);
+    let mut t = Table::new(["method", "time (ms)", "normalized", "answer ok"]);
+    let mut base = 0.0;
+    let mut q21_times = Vec::new();
+    for (name, strat) in strategies {
+        let r = q21::run_q21(&sys, &db, NATION, strat).unwrap();
+        let total = r.report.total();
+        if base == 0.0 {
+            base = total;
+        }
+        let ok = r.output == expect21;
+        t.row([name.to_string(), ms(total), ratio(total / base), ok.to_string()]);
+        q21_times.push((name, r));
+    }
+    t.print();
+    let serial = &q21_times[0].1;
+    let both = &q21_times[2].1;
+    println!(
+        "fusion+fission total improvement: {:.1}%  (paper: 13.2%)",
+        100.0 * (1.0 - both.report.total() / serial.report.total())
+    );
+    let unfused_block: f64 = ["filter", "gather", "project", "rekey", "setop", "join_match", "join_gather"]
+        .iter()
+        .map(|p| serial.report.label_time(p))
+        .sum();
+    let fused_block: f64 = q21_times[1].1.report.label_time("fused_");
+    if fused_block > 0.0 {
+        println!(
+            "fused-block speedup: {}x  (paper: 1.22x across fusable blocks)",
+            ratio(unfused_block / fused_block)
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the library's own hot paths (real wall
+//! time, not simulated): the IR optimizer, the per-row interpreter, the
+//! functional SELECT, and the discrete-event scheduler.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use kfusion_core::microbench::{run_with_cards, SelectChain, Strategy};
+use kfusion_ir::builder::BodyBuilder;
+use kfusion_ir::fuse::fuse_predicate_chain;
+use kfusion_ir::interp::Machine;
+use kfusion_ir::opt::{optimize, OptLevel};
+use kfusion_ir::Value;
+use kfusion_relalg::{gen, ops, predicates};
+use kfusion_vgpu::GpuSystem;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let preds: Vec<_> = (0..6)
+        .map(|k| BodyBuilder::threshold_lt(0, 100 + k).build())
+        .collect();
+    let fused = fuse_predicate_chain(&preds);
+    c.bench_function("ir_optimize_o3_fused6", |b| {
+        b.iter(|| optimize(std::hint::black_box(&fused), OptLevel::O3))
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let body = optimize(
+        &fuse_predicate_chain(&[
+            BodyBuilder::threshold_lt(0, 1000).build(),
+            BodyBuilder::threshold_lt(0, 500).build(),
+        ]),
+        OptLevel::O3,
+    );
+    let mut group = c.benchmark_group("ir_interpreter");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("fused_predicate_per_row", |b| {
+        let mut m = Machine::new();
+        let mut k = 0i64;
+        b.iter(|| {
+            k = k.wrapping_add(700) & 0x7FF;
+            m.run_predicate(&body, &[Value::I64(k)]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_functional_select(c: &mut Criterion) {
+    let input = gen::random_keys(1 << 20, 7);
+    let pred = predicates::key_lt(gen::threshold_for_selectivity(0.5));
+    let mut group = c.benchmark_group("functional_select");
+    group.throughput(Throughput::Elements(input.len() as u64));
+    group.sample_size(10);
+    group.bench_function("select_1m_rows", |b| {
+        b.iter(|| ops::select(std::hint::black_box(&input), &pred).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_des(c: &mut Criterion) {
+    let sys = GpuSystem::c2070();
+    let chain = SelectChain::auto(1 << 30, &[0.5, 0.5]); // synthetic: no data
+    let cards = chain.cardinalities().unwrap();
+    c.bench_function("des_fused_fission_schedule_64seg", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                run_with_cards(
+                    &sys,
+                    &chain,
+                    Strategy::FusedFission { segments: 64 },
+                    &cards,
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let n = 1usize << 16;
+    let key: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
+    let r = kfusion_relalg::Relation::from_keys(key);
+    let mut group = c.benchmark_group("functional_sorts");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    group.bench_function("merge_sort_64k", |b| {
+        b.iter(|| ops::sort(std::hint::black_box(&r), ops::SortBy::Key).unwrap())
+    });
+    group.bench_function("bitonic_network_64k", |b| {
+        b.iter(|| ops::bitonic_sort(std::hint::black_box(&r), ops::SortBy::Key).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    use kfusion_relalg::compress::{compress, decompress, Scheme};
+    let n = 1usize << 18;
+    let vals: Vec<u64> = (0..n as u64).map(|i| (i * 48_271) % (1 << 20)).collect();
+    let block = compress(&vals, Scheme::BitPack).unwrap();
+    let mut group = c.benchmark_group("compression_codecs");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    group.bench_function("bitpack_compress_256k", |b| {
+        b.iter(|| compress(std::hint::black_box(&vals), Scheme::BitPack).unwrap())
+    });
+    group.bench_function("bitpack_decompress_256k", |b| {
+        b.iter(|| decompress(std::hint::black_box(&block)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_optimizer,
+    bench_interpreter,
+    bench_functional_select,
+    bench_des,
+    bench_sorts,
+    bench_codecs
+);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Shared harness utilities for the figure/table reproduction benches.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper: it prints the same rows/series the paper plots, as an aligned
+//! text table plus a TSV block that plotting scripts can consume. This
+//! module holds the shared formatting, the Table II environment header, and
+//! the element-count axes the paper sweeps.
+
+use kfusion_vgpu::{DeviceSpec, GpuSystem};
+
+/// Print the experiment banner with the simulated environment — the
+/// reproduction's version of the paper's Table II.
+pub fn print_header(experiment: &str, what: &str) {
+    let gpu = DeviceSpec::tesla_c2070();
+    let cpu = DeviceSpec::xeon_e5520_pair();
+    println!("================================================================");
+    println!("{experiment}: {what}");
+    println!("----------------------------------------------------------------");
+    println!("environment (simulated; paper Table II):");
+    println!("  CPU   : {}", cpu.name);
+    println!("  GPU   : {} — {} SMs x {} cores @ {} GHz, {:.0} GB/s, {:.2} GiB",
+        gpu.name, gpu.sm_count, gpu.cores_per_sm, gpu.clock_ghz, gpu.mem_bw_gbps,
+        gpu.mem_capacity as f64 / (1u64 << 30) as f64);
+    println!("  PCIe  : 2.0 x16 (see Fig. 4(b) harness for measured curves)");
+    println!("================================================================");
+}
+
+/// A simple aligned table that also emits TSV.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Print aligned text followed by a TSV block.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        println!(
+            "  {}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+        println!();
+        println!("#TSV");
+        println!("{}", self.headers.join("\t"));
+        for row in &self.rows {
+            println!("{}", row.join("\t"));
+        }
+        println!("#END");
+    }
+}
+
+/// Format GB/s with three decimals.
+pub fn gbps(v: f64) -> String {
+    // `v + 0.0` canonicalizes -0.0 so tables never print "-0.000".
+    let v = v + 0.0;
+    format!("{v:.3}")
+}
+
+/// Format seconds in engineering-friendly milliseconds.
+pub fn ms(v: f64) -> String {
+    format!("{:.3}", v * 1e3 + 0.0)
+}
+
+/// Format a ratio.
+pub fn ratio(v: f64) -> String {
+    let v = v + 0.0;
+    format!("{v:.3}")
+}
+
+/// The element-count axis of the fusion figures (paper Figs. 8–11 run to
+/// ~415 M elements; cardinalities above [`real_limit`] come from the
+/// synthetic path as documented in DESIGN.md §2).
+pub fn fusion_axis() -> Vec<u64> {
+    vec![
+        4_194_304,
+        16_777_216,
+        33_554_432,
+        67_108_864,
+        134_217_728,
+        205_520_896,
+        268_435_456,
+        415_236_096,
+    ]
+}
+
+/// The element-count axis of the fission figures (paper Figs. 14/16 run
+/// 0.5–4 billion elements, beyond GPU memory).
+pub fn fission_axis() -> Vec<u64> {
+    vec![
+        500_000_000,
+        1_000_000_000,
+        1_500_000_000,
+        2_000_000_000,
+        2_500_000_000,
+        3_000_000_000,
+        3_500_000_000,
+        4_000_000_000,
+    ]
+}
+
+/// Largest element count the harnesses materialize for real; can be raised
+/// with `KFUSION_REAL_LIMIT` (elements).
+pub fn real_limit() -> u64 {
+    std::env::var("KFUSION_REAL_LIMIT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 24)
+}
+
+/// The paper's shared GPU system.
+pub fn system() -> GpuSystem {
+    GpuSystem::c2070()
+}
+
+/// A [`SelectChain`](kfusion_core::microbench::SelectChain) whose data mode
+/// respects the harness [`real_limit`].
+pub fn chain(n: u64, sels: &[f64]) -> kfusion_core::microbench::SelectChain {
+    use kfusion_core::microbench::{DataMode, SelectChain};
+    let mut c = SelectChain::auto(n, sels);
+    c.mode = if n <= real_limit() { DataMode::Real } else { DataMode::Synthetic };
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_and_checks_arity() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn axes_are_ascending() {
+        assert!(fusion_axis().windows(2).all(|w| w[0] < w[1]));
+        assert!(fission_axis().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(gbps(1.23456), "1.235");
+        assert_eq!(ms(0.001), "1.000");
+        assert_eq!(ratio(2.0), "2.000");
+    }
+}

@@ -1,0 +1,161 @@
+//! The fusion cost model.
+//!
+//! Fusing more kernels is usually better (Fig. 11(a)) — until register
+//! pressure forces spills (§III-C: "fusing too many kernels ... will create
+//! increased register pressure ... can increase spill code or have adverse
+//! cache effects"). The cost model estimates a fused group's per-thread
+//! register footprint from the IR bodies of its members and refuses growth
+//! past the device budget; the virtual GPU independently charges spill
+//! traffic if a profile exceeds the budget anyway, so both the *decision*
+//! and the *consequence* sides of the paper's trade-off are modeled.
+
+use crate::graph::{NodeId, OpKind, PlanGraph};
+use kfusion_ir::cost::register_pressure;
+use kfusion_ir::opt::{optimize, OptLevel};
+use kfusion_ir::KernelBody;
+use kfusion_relalg::profiles::STAGE_REGS;
+
+/// Limits the fusion pass respects.
+#[derive(Debug, Clone, Copy)]
+pub struct FusionBudget {
+    /// Per-thread register budget (typically the device's
+    /// `max_regs_per_thread`).
+    pub max_regs_per_thread: u32,
+}
+
+impl FusionBudget {
+    /// Budget matching a device spec.
+    pub fn for_device(spec: &kfusion_vgpu::DeviceSpec) -> Self {
+        FusionBudget { max_regs_per_thread: spec.max_regs_per_thread }
+    }
+}
+
+/// Registers a single operator's compute stage holds live per thread.
+pub fn node_regs(kind: &OpKind, level: OptLevel) -> u32 {
+    match kind {
+        OpKind::Input { .. } => 0,
+        OpKind::Select { pred } => body_regs(pred, level),
+        OpKind::Arith { body } | OpKind::ArithExtend { body } => body_regs(body, level),
+        OpKind::Project { .. } => 1,
+        OpKind::Rekey { .. } => 1,
+        OpKind::ColumnJoin => 2,
+        OpKind::Join | OpKind::Semijoin | OpKind::Antijoin => 6,
+        OpKind::Product => 4,
+        OpKind::Union | OpKind::Intersect | OpKind::Difference => 6,
+        OpKind::Aggregate { aggs } | OpKind::AggregateAll { aggs } => 2 * aggs.len() as u32 + 2,
+        OpKind::Sort { .. } => 8,
+        OpKind::Unique => 3,
+    }
+}
+
+fn body_regs(body: &KernelBody, level: OptLevel) -> u32 {
+    register_pressure(&optimize(body, level)) as u32
+}
+
+/// Estimated per-thread registers of a fused kernel containing `members`:
+/// the shared multi-stage skeleton plus every member's live values.
+pub fn group_regs(graph: &PlanGraph, members: &[NodeId], level: OptLevel) -> u32 {
+    STAGE_REGS + members.iter().map(|&m| node_regs(&graph.nodes[m].kind, level)).sum::<u32>()
+}
+
+/// Per-element instructions a member contributes to a fused compute kernel
+/// (its IR body, optimized, plus a small operator-specific step cost).
+pub fn member_instr(kind: &OpKind, level: OptLevel) -> f64 {
+    use kfusion_ir::cost::instruction_count;
+    let body = |b: &KernelBody| instruction_count(&optimize(b, level)) as f64;
+    match kind {
+        OpKind::Input { .. } => 0.0,
+        OpKind::Select { pred } => body(pred) + 2.0,
+        OpKind::Arith { body: b } | OpKind::ArithExtend { body: b } => body(b) + 2.0,
+        OpKind::Project { .. } => 2.0,
+        OpKind::Rekey { .. } => 2.0,
+        OpKind::ColumnJoin => 4.0,
+        OpKind::Join | OpKind::Semijoin | OpKind::Antijoin => 14.0,
+        OpKind::Product => 10.0,
+        OpKind::Union | OpKind::Intersect | OpKind::Difference => 12.0,
+        OpKind::Aggregate { aggs } | OpKind::AggregateAll { aggs } => {
+            10.0 + 6.0 * aggs.len() as f64
+        }
+        OpKind::Sort { .. } | OpKind::Unique => 0.0, // barriers never fuse
+    }
+}
+
+/// Split a chain of SELECT predicates into maximal fusable runs under the
+/// register budget — the depth cut-off the paper leaves as "the subject of
+/// ongoing work". Each run fuses into one kernel.
+pub fn split_select_chain(
+    preds: &[KernelBody],
+    budget: &FusionBudget,
+    level: OptLevel,
+) -> Vec<Vec<KernelBody>> {
+    let mut runs: Vec<Vec<KernelBody>> = Vec::new();
+    let mut cur: Vec<KernelBody> = Vec::new();
+    let mut cur_regs = STAGE_REGS;
+    for p in preds {
+        let r = body_regs(p, level);
+        if !cur.is_empty() && cur_regs + r > budget.max_regs_per_thread {
+            runs.push(std::mem::take(&mut cur));
+            cur_regs = STAGE_REGS;
+        }
+        cur_regs += r;
+        cur.push(p.clone());
+    }
+    if !cur.is_empty() {
+        runs.push(cur);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_relalg::predicates;
+
+    #[test]
+    fn select_chain_fits_one_run_under_generous_budget() {
+        let preds: Vec<_> = (0..4).map(|k| predicates::key_lt(100 + k)).collect();
+        let budget = FusionBudget { max_regs_per_thread: 63 };
+        let runs = split_select_chain(&preds, &budget, OptLevel::O3);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 4);
+    }
+
+    #[test]
+    fn tight_budget_splits_chain() {
+        let preds: Vec<_> = (0..8).map(|k| predicates::key_lt(100 + k)).collect();
+        let budget = FusionBudget { max_regs_per_thread: STAGE_REGS + 5 };
+        let runs = split_select_chain(&preds, &budget, OptLevel::O3);
+        assert!(runs.len() > 1, "expected a split, got {} runs", runs.len());
+        let total: usize = runs.iter().map(Vec::len).sum();
+        assert_eq!(total, 8, "no predicate lost");
+        assert!(runs.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn pathological_budget_still_progresses() {
+        // Budget below even one predicate: every run is a singleton (the
+        // pass must not loop or drop work).
+        let preds: Vec<_> = (0..3).map(predicates::key_lt).collect();
+        let budget = FusionBudget { max_regs_per_thread: 1 };
+        let runs = split_select_chain(&preds, &budget, OptLevel::O3);
+        assert_eq!(runs.len(), 3);
+    }
+
+    #[test]
+    fn group_regs_includes_skeleton() {
+        let mut g = crate::graph::PlanGraph::new();
+        let i = g.input(0);
+        let s = g.add(
+            crate::graph::OpKind::Select { pred: predicates::key_lt(5) },
+            vec![i],
+        );
+        let regs = group_regs(&g, &[s], OptLevel::O3);
+        assert!(regs > STAGE_REGS);
+    }
+
+    #[test]
+    fn member_instr_reflects_optimization_level() {
+        let kind = crate::graph::OpKind::Select { pred: predicates::key_lt(5) };
+        assert!(member_instr(&kind, OptLevel::O0) > member_instr(&kind, OptLevel::O3));
+    }
+}

@@ -1,0 +1,109 @@
+//! Dependence analysis: which operators may fuse, and which may be
+//! segmented for fission.
+//!
+//! §III-C of the paper distinguishes two dependence classes between a
+//! producer and a consumer kernel:
+//!
+//! 1. **Elementwise** — each output element depends on one input element;
+//!    the array dependence decomposes into scalar dependences and the
+//!    kernels fuse freely (e.g. SELECT→SELECT, Fig. 2(a)).
+//! 2. **Full-producer** — the consumer needs the *complete* producer output
+//!    before any element of its own (SORT, UNIQUE). These are fusion
+//!    barriers: "SORT and UNIQUE cannot be fused with any other operators".
+//!
+//! AGGREGATION may terminate a fused kernel (Fig. 2(g) fuses
+//! SELECT→AGGREGATION) but nothing can fuse *after* it inside the same
+//! kernel, since its output exists only once the whole input is reduced.
+
+use crate::graph::OpKind;
+
+/// Fusion classification of an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fusability {
+    /// May appear anywhere in a fused kernel.
+    Fusable,
+    /// May appear only as the last member of a fused kernel (AGGREGATION).
+    FusableTerminal,
+    /// May never fuse (SORT, UNIQUE, and — conservatively — the whole-tuple
+    /// set operators, which the paper's Fig. 2 patterns do not cover).
+    Barrier,
+}
+
+/// Classify an operator for fusion.
+pub fn fusability(kind: &OpKind) -> Fusability {
+    match kind {
+        OpKind::Input { .. } => Fusability::Barrier, // leaves are not operators
+        OpKind::Select { .. }
+        | OpKind::Project { .. }
+        | OpKind::Rekey { .. }
+        | OpKind::Arith { .. }
+        | OpKind::ArithExtend { .. }
+        | OpKind::Join
+        | OpKind::ColumnJoin
+        | OpKind::Semijoin
+        | OpKind::Antijoin
+        | OpKind::Product => Fusability::Fusable,
+        OpKind::Aggregate { .. } | OpKind::AggregateAll { .. } => Fusability::FusableTerminal,
+        OpKind::Sort { .. } | OpKind::Unique | OpKind::Union | OpKind::Intersect | OpKind::Difference => {
+            Fusability::Barrier
+        }
+    }
+}
+
+/// Whether an operator can be *segmented* for kernel fission: output
+/// segment `i` must be computable from input segment `i` alone. True for
+/// the strictly elementwise operators; false for merge joins (a segment
+/// boundary can split a key group), reductions, and barriers.
+pub fn streamable(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Select { .. }
+            | OpKind::Project { .. }
+            | OpKind::Rekey { .. }
+            | OpKind::Arith { .. }
+            | OpKind::ArithExtend { .. }
+            | OpKind::ColumnJoin
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_relalg::ops::{Agg, SortBy};
+    use kfusion_relalg::predicates;
+
+    #[test]
+    fn paper_barrier_operators() {
+        // §III-C: "SORT and UNIQUE cannot be fused with any other operators".
+        assert_eq!(fusability(&OpKind::Sort { by: SortBy::Key }), Fusability::Barrier);
+        assert_eq!(fusability(&OpKind::Unique), Fusability::Barrier);
+    }
+
+    #[test]
+    fn fig2_pattern_members_are_fusable() {
+        // Every operator appearing in the paper's Fig. 2 patterns.
+        assert_eq!(
+            fusability(&OpKind::Select { pred: predicates::key_lt(1) }),
+            Fusability::Fusable
+        );
+        assert_eq!(fusability(&OpKind::Join), Fusability::Fusable);
+        assert_eq!(
+            fusability(&OpKind::Arith { body: predicates::discounted_price(0, 1) }),
+            Fusability::Fusable
+        );
+        assert_eq!(fusability(&OpKind::Project { keep: vec![0] }), Fusability::Fusable);
+        assert_eq!(
+            fusability(&OpKind::Aggregate { aggs: vec![Agg::Count] }),
+            Fusability::FusableTerminal
+        );
+    }
+
+    #[test]
+    fn streamable_is_strictly_elementwise() {
+        assert!(streamable(&OpKind::Select { pred: predicates::key_lt(1) }));
+        assert!(streamable(&OpKind::ColumnJoin));
+        assert!(!streamable(&OpKind::Join), "merge join can split key groups");
+        assert!(!streamable(&OpKind::Aggregate { aggs: vec![Agg::Count] }));
+        assert!(!streamable(&OpKind::Sort { by: SortBy::Key }));
+    }
+}

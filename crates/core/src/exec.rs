@@ -1,0 +1,954 @@
+//! The plan executor: functional evaluation plus simulated timing under the
+//! paper's optimization strategies.
+//!
+//! Execution is two-phase. The **functional phase** evaluates every node of
+//! the [`PlanGraph`] on real relations (host threads), which both produces
+//! the query answer and measures every intermediate cardinality. The
+//! **timing phase** then emits the strategy's command stream — whose kernel
+//! profiles and transfer sizes are driven by those measured cardinalities —
+//! and runs it through the virtual GPU's discrete-event simulator.
+//!
+//! Strategies mirror the paper's evaluation (§V):
+//!
+//! * [`Strategy::Serial`] — the "not optimized" baseline: one kernel set
+//!   per operator, intermediates resident in GPU memory.
+//! * [`Strategy::SerialRoundTrip`] — additionally bounces every
+//!   intermediate through the CPU (forced when GPU memory is short).
+//! * [`Strategy::Fusion`] — kernels merged per the fusion pass.
+//! * [`Strategy::FusionFission`] — fused kernels whose leading streamable
+//!   groups are segmented and pipelined over streams to hide the input
+//!   transfer (the paper's combined optimization on Q1/Q21).
+
+use crate::cost::{group_regs, member_instr, FusionBudget};
+use crate::deps::streamable;
+use crate::fusion::{fuse_plan, FusionPlan};
+use crate::graph::{NodeId, OpKind, PlanGraph};
+use crate::report::Report;
+use crate::CoreError;
+use kfusion_ir::fuse::fuse_predicate_chain;
+use kfusion_ir::opt::OptLevel;
+use kfusion_relalg::profiles::{
+    self, FILTER_BOOKKEEPING_BYTES, FILTER_STAGE_INSTR, STREAM_MEM_EFF,
+};
+use kfusion_relalg::{ops, Relation};
+use kfusion_vgpu::des::EventId;
+use kfusion_vgpu::{
+    Command, CommandClass, GpuSystem, HostMemKind, KernelProfile, LaunchConfig, Schedule,
+};
+
+/// Execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Unfused kernels, intermediates stay on the GPU ("not optimized").
+    Serial,
+    /// Unfused kernels, every intermediate round-trips over PCIe.
+    SerialRoundTrip,
+    /// Kernel fusion only.
+    Fusion,
+    /// Kernel fusion plus fission on streamable leading groups.
+    FusionFission {
+        /// Segments per pipelined group.
+        segments: u32,
+    },
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Strategy to simulate.
+    pub strategy: Strategy,
+    /// Optimization level for IR bodies.
+    pub level: OptLevel,
+    /// Host memory kind for synchronous transfers (fission always pins).
+    pub mem_kind: HostMemKind,
+    /// Register budget for the fusion pass.
+    pub budget: FusionBudget,
+}
+
+impl ExecConfig {
+    /// A configuration for `strategy` with paper defaults (O3, paged
+    /// synchronous transfers, device register budget).
+    pub fn new(strategy: Strategy, system: &GpuSystem) -> Self {
+        ExecConfig {
+            strategy,
+            level: OptLevel::O3,
+            mem_kind: HostMemKind::Paged,
+            budget: FusionBudget::for_device(&system.spec),
+        }
+    }
+}
+
+/// The outcome of an execution: the real answer plus the simulated report.
+#[derive(Debug)]
+pub struct ExecResult {
+    /// The query result (root node's relation).
+    pub output: Relation,
+    /// Simulated timing.
+    pub report: Report,
+    /// The fusion plan used (singleton groups under serial strategies).
+    pub fusion: FusionPlan,
+    /// Peak simulated GPU-memory residency with intermediates kept on the
+    /// device (a liveness scan over the topological order: inputs resident
+    /// from upload, each output allocated at its definition and released
+    /// after its last consumer).
+    pub peak_resident_bytes: u64,
+}
+
+/// Execute `graph` over `inputs` on `system` with `cfg`.
+pub fn execute(
+    system: &GpuSystem,
+    graph: &PlanGraph,
+    inputs: &[Relation],
+    cfg: &ExecConfig,
+) -> Result<ExecResult, CoreError> {
+    let roots = [graph.root];
+    let (mut outputs, report, fusion, peak) = run_plan(system, graph, inputs, cfg, &roots)?;
+    Ok(ExecResult {
+        output: outputs.pop().expect("one root"),
+        report,
+        fusion,
+        peak_resident_bytes: peak,
+    })
+}
+
+/// Multi-root execution used by [`crate::multiquery`]: same engine, one
+/// output per requested root.
+pub(crate) fn execute_multi_impl(
+    system: &GpuSystem,
+    graph: &PlanGraph,
+    inputs: &[Relation],
+    cfg: &ExecConfig,
+    roots: &[NodeId],
+) -> Result<crate::multiquery::MultiResult, CoreError> {
+    let (outputs, report, fusion, _peak) = run_plan(system, graph, inputs, cfg, roots)?;
+    Ok(crate::multiquery::MultiResult { outputs, report, fusion })
+}
+
+/// The shared engine: functional phase, fusion, schedule, simulate. Returns
+/// the relations at `roots` (in order) plus the report, fusion plan, and
+/// peak residency.
+fn run_plan(
+    system: &GpuSystem,
+    graph: &PlanGraph,
+    inputs: &[Relation],
+    cfg: &ExecConfig,
+    roots: &[NodeId],
+) -> Result<(Vec<Relation>, Report, FusionPlan, u64), CoreError> {
+    graph.validate()?;
+    // ---- Functional phase -------------------------------------------------
+    let mut results: Vec<Relation> = Vec::with_capacity(graph.len());
+    for node in &graph.nodes {
+        let get = |i: usize| &results[node.inputs[i]];
+        let rel = match &node.kind {
+            OpKind::Input { input } => inputs
+                .get(*input)
+                .cloned()
+                .ok_or_else(|| CoreError::Unsupported(format!("missing plan input {input}")))?,
+            OpKind::Select { pred } => ops::select(get(0), pred)?,
+            OpKind::Project { keep } => ops::project(get(0), keep)?,
+            OpKind::Rekey { col } => ops::rekey(get(0), *col)?,
+            OpKind::Arith { body } => ops::arith_map(get(0), body)?,
+            OpKind::ArithExtend { body } => ops::arith_extend(get(0), body)?,
+            OpKind::Join => ops::join(get(0), get(1))?,
+            OpKind::ColumnJoin => ops::column_join(get(0), get(1))?,
+            OpKind::Semijoin => ops::semijoin(get(0), get(1))?,
+            OpKind::Antijoin => ops::antijoin(get(0), get(1))?,
+            OpKind::Product => ops::product(get(0), get(1))?,
+            OpKind::Union => ops::union(get(0), get(1))?,
+            OpKind::Intersect => ops::intersection(get(0), get(1))?,
+            OpKind::Difference => ops::difference(get(0), get(1))?,
+            OpKind::Aggregate { aggs } => ops::aggregate_by_key(get(0), aggs)?,
+            OpKind::AggregateAll { aggs } => ops::aggregate_all(get(0), aggs)?,
+            OpKind::Sort { by } => ops::sort(get(0), *by)?,
+            OpKind::Unique => ops::unique(get(0))?,
+        };
+        results.push(rel);
+    }
+
+    // ---- Timing phase -----------------------------------------------------
+    let stats = Stats::collect(graph, &results);
+    let fusion = match cfg.strategy {
+        Strategy::Serial | Strategy::SerialRoundTrip => singleton_plan(graph),
+        _ => fuse_plan(graph, &cfg.budget, cfg.level),
+    };
+    let schedule = build_schedule(system, graph, &fusion, &stats, cfg, roots);
+    let timeline = system.simulate(&schedule)?;
+    let input_bytes: f64 = plan_input_bytes(graph, &stats);
+    let elements: u64 = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.kind, OpKind::Input { .. }))
+        .map(|(id, _)| stats.rows[id])
+        .sum();
+    let peak = peak_resident_bytes(graph, &stats);
+    let outputs: Vec<Relation> = roots.iter().map(|&r| results[r].clone()).collect();
+    Ok((outputs, Report::new(timeline, elements, input_bytes), fusion, peak))
+}
+
+/// Peak simulated GPU-memory residency (bytes) of executing `graph` with
+/// every intermediate kept on the device: plan inputs stay resident from
+/// upload, each node's output is allocated at its definition and released
+/// after its last consumer — a liveness scan over the topological order,
+/// exercised against [`kfusion_vgpu::DeviceMemory`] in the tests.
+fn peak_resident_bytes(graph: &PlanGraph, stats: &Stats) -> u64 {
+    let mut remaining = graph.consumer_counts();
+    let mut mem = kfusion_vgpu::DeviceMemory::new(u64::MAX);
+    let mut live: Vec<Option<kfusion_vgpu::memory::AllocId>> = vec![None; graph.len()];
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if matches!(node.kind, OpKind::Input { .. }) {
+            live[id] = Some(mem.alloc(stats.bytes(id)).expect("unbounded tracker"));
+        }
+    }
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if matches!(node.kind, OpKind::Input { .. }) {
+            continue;
+        }
+        live[id] = Some(mem.alloc(stats.bytes(id)).expect("unbounded tracker"));
+        for &p in &node.inputs {
+            remaining[p] -= 1;
+            if remaining[p] == 0 && p != graph.root {
+                if let Some(a) = live[p].take() {
+                    mem.release(a).expect("allocation is live");
+                }
+            }
+        }
+    }
+    mem.high_water()
+}
+
+/// Execute with the paper's §III-B memory rule applied automatically: keep
+/// intermediates resident ([`Strategy::Serial`]) when they fit the device,
+/// fall back to [`Strategy::SerialRoundTrip`] when they do not ("it has to
+/// be used when there is insufficient space on the GPU for storing the
+/// intermediate results of the executed kernels"). Returns the chosen
+/// strategy alongside the result.
+pub fn execute_auto_serial(
+    system: &GpuSystem,
+    graph: &PlanGraph,
+    inputs: &[Relation],
+) -> Result<(Strategy, ExecResult), CoreError> {
+    let probe = execute(system, graph, inputs, &ExecConfig::new(Strategy::Serial, system))?;
+    if probe.peak_resident_bytes <= system.spec.mem_capacity {
+        return Ok((Strategy::Serial, probe));
+    }
+    let r = execute(
+        system,
+        graph,
+        inputs,
+        &ExecConfig::new(Strategy::SerialRoundTrip, system),
+    )?;
+    Ok((Strategy::SerialRoundTrip, r))
+}
+
+fn singleton_plan(graph: &PlanGraph) -> FusionPlan {
+    let mut groups = Vec::new();
+    let mut group_of = vec![None; graph.len()];
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if !matches!(node.kind, OpKind::Input { .. }) {
+            group_of[id] = Some(groups.len());
+            groups.push(vec![id]);
+        }
+    }
+    FusionPlan { group_of, groups }
+}
+
+/// Measured sizes from the functional phase.
+struct Stats {
+    rows: Vec<u64>,
+    row_bytes: Vec<f64>,
+}
+
+impl Stats {
+    fn collect(graph: &PlanGraph, results: &[Relation]) -> Self {
+        let _ = graph;
+        Stats {
+            rows: results.iter().map(|r| r.len() as u64).collect(),
+            row_bytes: results.iter().map(|r| r.row_bytes() as f64).collect(),
+        }
+    }
+
+    fn bytes(&self, id: NodeId) -> u64 {
+        (self.rows[id] as f64 * self.row_bytes[id]).ceil() as u64
+    }
+}
+
+fn plan_input_bytes(graph: &PlanGraph, stats: &Stats) -> f64 {
+    graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.kind, OpKind::Input { .. }))
+        .map(|(id, _)| stats.bytes(id) as f64)
+        .sum()
+}
+
+/// The kernels of one *unfused* operator, with element counts.
+fn node_kernels(
+    graph: &PlanGraph,
+    stats: &Stats,
+    id: NodeId,
+    level: OptLevel,
+) -> Vec<(KernelProfile, u64)> {
+    let node = &graph.nodes[id];
+    let in0 = node.inputs.first().copied();
+    let in_rows = in0.map_or(0, |i| stats.rows[i]);
+    let in_bytes = in0.map_or(8.0, |i| stats.row_bytes[i]);
+    let out_rows = stats.rows[id];
+    let out_bytes = stats.row_bytes[id];
+    let sel = if in_rows == 0 { 0.0 } else { out_rows as f64 / in_rows as f64 };
+    let nm = |s: &str| format!("{s}#{id}");
+    match &node.kind {
+        OpKind::Input { .. } => vec![],
+        OpKind::Select { pred } => vec![
+            (
+                profiles::select_filter(nm("filter"), pred, level, in_bytes, sel),
+                in_rows,
+            ),
+            (profiles::select_gather(nm("gather"), out_bytes), out_rows),
+        ],
+        OpKind::Rekey { .. } => vec![
+            (
+                KernelProfile::new(nm("rekey"))
+                    .instr_per_elem(3.0)
+                    .bytes_read_per_elem(in_bytes)
+                    .bytes_written_per_elem(out_bytes)
+                    .mem_efficiency(STREAM_MEM_EFF),
+                in_rows,
+            ),
+            (profiles::select_gather(nm("rekey_gather"), out_bytes), out_rows),
+        ],
+        OpKind::Project { .. } => vec![
+            (
+                KernelProfile::new(nm("project"))
+                    .instr_per_elem(4.0)
+                    .bytes_read_per_elem(in_bytes)
+                    .bytes_written_per_elem(out_bytes)
+                    .mem_efficiency(STREAM_MEM_EFF),
+                in_rows,
+            ),
+            (profiles::select_gather(nm("project_gather"), out_bytes), out_rows),
+        ],
+        OpKind::Arith { body } | OpKind::ArithExtend { body } => vec![
+            (
+                profiles::arith_kernel(nm("arith"), body, level, in_bytes, out_bytes),
+                in_rows,
+            ),
+            (profiles::select_gather(nm("arith_gather"), out_bytes), out_rows),
+        ],
+        OpKind::Join | OpKind::Semijoin | OpKind::Antijoin => {
+            let (a, b) = (node.inputs[0], node.inputs[1]);
+            let elems = stats.rows[a].max(stats.rows[b]).max(1);
+            let read = (stats.bytes(a) + stats.bytes(b)) as f64 / elems as f64;
+            let write = stats.bytes(id) as f64 / elems as f64;
+            vec![
+                (
+                    KernelProfile::new(nm("join_match"))
+                        .instr_per_elem(30.0)
+                        .bytes_read_per_elem(read)
+                        .bytes_written_per_elem(write + FILTER_BOOKKEEPING_BYTES)
+                        .regs_per_thread(profiles::STAGE_REGS + 10)
+                        .mem_efficiency(STREAM_MEM_EFF),
+                    elems,
+                ),
+                (profiles::select_gather(nm("join_gather"), out_bytes), out_rows),
+            ]
+        }
+        OpKind::ColumnJoin => {
+            let (a, b) = (node.inputs[0], node.inputs[1]);
+            let elems = stats.rows[a].max(1);
+            let read = (stats.bytes(a) + stats.bytes(b)) as f64 / elems as f64;
+            vec![
+                (
+                    KernelProfile::new(nm("col_join"))
+                        .instr_per_elem(6.0)
+                        .bytes_read_per_elem(read)
+                        .bytes_written_per_elem(out_bytes)
+                        .mem_efficiency(STREAM_MEM_EFF),
+                    elems,
+                ),
+                (profiles::select_gather(nm("col_join_gather"), out_bytes), out_rows),
+            ]
+        }
+        OpKind::Product => vec![(
+            KernelProfile::new(nm("product"))
+                .instr_per_elem(10.0)
+                .bytes_read_per_elem(2.0)
+                .bytes_written_per_elem(out_bytes)
+                .mem_efficiency(STREAM_MEM_EFF),
+            out_rows.max(1),
+        )],
+        OpKind::Union | OpKind::Intersect | OpKind::Difference => {
+            let (a, b) = (node.inputs[0], node.inputs[1]);
+            let elems = (stats.rows[a] + stats.rows[b]).max(1);
+            let read = (stats.bytes(a) + stats.bytes(b)) as f64 / elems as f64;
+            vec![(
+                KernelProfile::new(nm("setop"))
+                    .instr_per_elem(14.0)
+                    .bytes_read_per_elem(read)
+                    .bytes_written_per_elem(stats.bytes(id) as f64 / elems as f64)
+                    .mem_efficiency(STREAM_MEM_EFF),
+                elems,
+            )]
+        }
+        OpKind::Aggregate { aggs } | OpKind::AggregateAll { aggs } => vec![(
+            profiles::aggregate_kernel(in_bytes, aggs.len()).renamed(nm("aggregate")),
+            in_rows,
+        )],
+        OpKind::Sort { .. } => vec![(
+            profiles::sort_kernel(in_rows, in_bytes).renamed(nm("sort")),
+            in_rows,
+        )],
+        OpKind::Unique => vec![(
+            profiles::unique_kernel(in_bytes, sel).renamed(nm("unique")),
+            in_rows,
+        )],
+    }
+}
+
+/// Rename helper so per-node labels stay unique in timelines.
+trait Renamed {
+    fn renamed(self, name: String) -> Self;
+}
+
+impl Renamed for KernelProfile {
+    fn renamed(mut self, name: String) -> Self {
+        self.name = name;
+        self
+    }
+}
+
+/// External inputs of a fused group: producers outside the group feeding
+/// members.
+fn group_externals(graph: &PlanGraph, members: &[NodeId]) -> Vec<NodeId> {
+    let in_group = |id: NodeId| members.contains(&id);
+    let mut ext: Vec<NodeId> = members
+        .iter()
+        .flat_map(|&m| graph.nodes[m].inputs.iter().copied())
+        .filter(|&p| !in_group(p))
+        .collect();
+    ext.sort_unstable();
+    ext.dedup();
+    ext
+}
+
+/// Outputs of a fused group: members consumed outside it, or plan roots.
+fn group_outputs(
+    graph: &PlanGraph,
+    plan: &FusionPlan,
+    members: &[NodeId],
+    roots: &[NodeId],
+) -> Vec<NodeId> {
+    let gid = plan.group_of[members[0]];
+    let mut outs: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|&m| {
+            roots.contains(&m)
+                || graph
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .any(|(c, n)| plan.group_of[c] != gid && n.inputs.contains(&m))
+        })
+        .collect();
+    outs.sort_unstable();
+    outs.dedup();
+    outs
+}
+
+/// The kernels of one fused group: a single compute kernel (shared
+/// skeleton, members' stages interleaved, intermediates in registers) plus
+/// one gather.
+fn group_kernels(
+    graph: &PlanGraph,
+    plan: &FusionPlan,
+    stats: &Stats,
+    members: &[NodeId],
+    level: OptLevel,
+    gidx: usize,
+    roots: &[NodeId],
+) -> Vec<(KernelProfile, u64)> {
+    if members.len() == 1 {
+        return node_kernels(graph, stats, members[0], level);
+    }
+    let externals = group_externals(graph, members);
+    let outputs = group_outputs(graph, plan, members, roots);
+    let elems = externals.iter().map(|&e| stats.rows[e]).max().unwrap_or(1).max(1);
+    let read: f64 = externals.iter().map(|&e| stats.bytes(e) as f64).sum::<f64>() / elems as f64;
+    let write: f64 = outputs.iter().map(|&o| stats.bytes(o) as f64).sum::<f64>() / elems as f64;
+
+    // Instruction count: fused SELECT predicates enjoy the Table III
+    // cross-kernel optimization; other members contribute their step costs.
+    let select_preds: Vec<_> = members
+        .iter()
+        .filter_map(|&m| match &graph.nodes[m].kind {
+            OpKind::Select { pred } => Some(pred.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut instr = FILTER_STAGE_INSTR;
+    if select_preds.len() >= 2 {
+        instr += profiles::body_instr(&fuse_predicate_chain(&select_preds), level);
+    } else {
+        instr += select_preds
+            .iter()
+            .map(|p| profiles::body_instr(p, level) + 2.0)
+            .sum::<f64>();
+    }
+    instr += members
+        .iter()
+        .filter(|&&m| !matches!(graph.nodes[m].kind, OpKind::Select { .. }))
+        .map(|&m| member_instr(&graph.nodes[m].kind, level))
+        .sum::<f64>();
+
+    let regs = group_regs(graph, members, level);
+    let compute = KernelProfile::new(format!("fused_compute#g{gidx}"))
+        .instr_per_elem(instr)
+        .bytes_read_per_elem(read)
+        .bytes_written_per_elem(write + FILTER_BOOKKEEPING_BYTES)
+        .regs_per_thread(regs)
+        .mem_efficiency(STREAM_MEM_EFF);
+
+    let out_rows: u64 = outputs.iter().map(|&o| stats.rows[o]).max().unwrap_or(0);
+    let out_bytes: f64 = if out_rows == 0 {
+        8.0
+    } else {
+        outputs.iter().map(|&o| stats.bytes(o) as f64).sum::<f64>() / out_rows as f64
+    };
+    vec![
+        (compute, elems),
+        (
+            profiles::select_gather(format!("fused_gather#g{gidx}"), out_bytes),
+            out_rows,
+        ),
+    ]
+}
+
+fn kernel_cmds(system: &GpuSystem, kernels: Vec<(KernelProfile, u64)>) -> Vec<Command> {
+    kernels
+        .into_iter()
+        .map(|(p, n)| {
+            let launch = LaunchConfig::for_elements(n.max(1), &system.spec);
+            Command::kernel(p, launch, n)
+        })
+        .collect()
+}
+
+fn build_schedule(
+    system: &GpuSystem,
+    graph: &PlanGraph,
+    plan: &FusionPlan,
+    stats: &Stats,
+    cfg: &ExecConfig,
+    roots: &[NodeId],
+) -> Schedule {
+    let inputs: Vec<NodeId> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.kind, OpKind::Input { .. }))
+        .map(|(id, _)| id)
+        .collect();
+
+    match cfg.strategy {
+        Strategy::Serial | Strategy::Fusion => {
+            let mut cmds = Vec::new();
+            for &i in &inputs {
+                cmds.push(Command::h2d(
+                    format!("in#{i}"),
+                    CommandClass::InputOutput,
+                    stats.bytes(i),
+                    cfg.mem_kind,
+                ));
+            }
+            for (gidx, members) in plan.groups.iter().enumerate() {
+                cmds.extend(kernel_cmds(
+                    system,
+                    group_kernels(graph, plan, stats, members, cfg.level, gidx, roots),
+                ));
+            }
+            for &r in roots {
+                cmds.push(Command::d2h(
+                    format!("out#{r}"),
+                    CommandClass::InputOutput,
+                    stats.bytes(r),
+                    cfg.mem_kind,
+                ));
+            }
+            Schedule::serial(cmds)
+        }
+        Strategy::SerialRoundTrip => {
+            let mut cmds = Vec::new();
+            for &i in &inputs {
+                cmds.push(Command::h2d(
+                    format!("in#{i}"),
+                    CommandClass::InputOutput,
+                    stats.bytes(i),
+                    cfg.mem_kind,
+                ));
+            }
+            for (gidx, members) in plan.groups.iter().enumerate() {
+                cmds.extend(kernel_cmds(
+                    system,
+                    group_kernels(graph, plan, stats, members, cfg.level, gidx, roots),
+                ));
+                let node = *members.last().expect("groups are non-empty");
+                if !roots.contains(&node) {
+                    let b = stats.bytes(node);
+                    cmds.push(Command::d2h(
+                        format!("tmp_out#{node}"),
+                        CommandClass::RoundTrip,
+                        b,
+                        cfg.mem_kind,
+                    ));
+                    cmds.push(Command::h2d(
+                        format!("tmp_in#{node}"),
+                        CommandClass::RoundTrip,
+                        b,
+                        cfg.mem_kind,
+                    ));
+                }
+            }
+            for &r in roots {
+                cmds.push(Command::d2h(
+                    format!("out#{r}"),
+                    CommandClass::InputOutput,
+                    stats.bytes(r),
+                    cfg.mem_kind,
+                ));
+            }
+            Schedule::serial(cmds)
+        }
+        Strategy::FusionFission { segments } => {
+            fission_schedule(system, graph, plan, stats, cfg, segments, roots)
+        }
+    }
+}
+
+/// Minimum bytes per fission segment for a pipeline to pay off.
+pub const MIN_SEGMENT_BYTES: u64 = 256 * 1024;
+
+/// Fusion + fission: streamable leading groups (all members elementwise,
+/// all external inputs plan inputs) are segmented and pipelined over three
+/// streams, hiding their H2D under compute (the paper's Q1: fission hides
+/// the input transfer of the fused JOIN block). Everything else runs
+/// serially afterwards on the main stream.
+fn fission_schedule(
+    system: &GpuSystem,
+    graph: &PlanGraph,
+    plan: &FusionPlan,
+    stats: &Stats,
+    cfg: &ExecConfig,
+    segments: u32,
+    roots: &[NodeId],
+) -> Schedule {
+    let mut sched = Schedule::new();
+    let main = sched.add_stream();
+    let pipes: Vec<usize> = (0..3).map(|_| sched.add_stream()).collect();
+    let mut next_event = 0u32;
+    let mut pending_events: Vec<EventId> = Vec::new();
+    let mut h2d_done: Vec<NodeId> = Vec::new();
+
+    // Fission is applied judiciously: only to streamable leading groups,
+    // only with enough data per segment, and only when the cost model says
+    // the pipeline beats synchronous transfers — async copies run below
+    // bandwidthTest rates, so hiding a transfer that is cheap relative to
+    // the group's compute can *lose* (the paper's §IV-A point that "the
+    // application of kernel fission must distinguish between such cases").
+    let should_pipeline = |members: &[NodeId], kernels: &[(KernelProfile, u64)]| {
+        let externals = group_externals(graph, members);
+        let bytes: u64 = externals.iter().map(|&e| stats.bytes(e)).sum();
+        let structurally_ok = members.iter().all(|&m| streamable(&graph.nodes[m].kind))
+            && externals
+                .iter()
+                .all(|&e| matches!(graph.nodes[e].kind, OpKind::Input { .. }))
+            && bytes >= segments as u64 * MIN_SEGMENT_BYTES;
+        if !structurally_ok {
+            return false;
+        }
+        // Cost check: serial = sync upload + kernels; pipelined = the slower
+        // of (derated async upload, kernels) plus per-segment latency.
+        let kernel_time: f64 = kernels
+            .iter()
+            .map(|(p, n)| p.time(&system.spec, &LaunchConfig::for_elements((*n).max(1), &system.spec), *n))
+            .sum();
+        let sync_upload: f64 = externals
+            .iter()
+            .map(|&e| {
+                system.pcie.transfer_time(stats.bytes(e), kfusion_vgpu::Direction::H2D, cfg.mem_kind)
+            })
+            .sum();
+        let async_upload: f64 = externals
+            .iter()
+            .map(|&e| {
+                system.pcie.transfer_time(
+                    stats.bytes(e) / segments as u64,
+                    kfusion_vgpu::Direction::H2D,
+                    HostMemKind::Pinned,
+                ) * segments as f64
+                    / system.pcie.async_efficiency
+            })
+            .sum();
+        let t_serial = sync_upload + kernel_time;
+        let fill = async_upload / segments as f64;
+        let t_pipe = async_upload.max(kernel_time) + fill;
+        t_pipe < t_serial
+    };
+
+    for (gidx, members) in plan.groups.iter().enumerate() {
+        let kernels = group_kernels(graph, plan, stats, members, cfg.level, gidx, roots);
+        if segments > 1 && should_pipeline(members, &kernels) {
+            // Pipeline this group: segment its inputs and kernels.
+            let externals = group_externals(graph, members);
+            let scale = 1.0 / segments as f64;
+            for s in 0..segments {
+                let stream = pipes[(s as usize) % pipes.len()];
+                for &e in &externals {
+                    let b = (stats.bytes(e) as f64 * scale).ceil() as u64;
+                    sched.push(
+                        stream,
+                        Command::h2d(
+                            format!("in#{e}[seg{s}]"),
+                            CommandClass::InputOutput,
+                            b,
+                            HostMemKind::Pinned,
+                        ),
+                    );
+                }
+                for (p, n) in &kernels {
+                    let seg_n = ((*n as f64) * scale).round() as u64;
+                    let mut p = p.clone();
+                    p.name = format!("{}[seg{s}]", p.name);
+                    let launch = LaunchConfig::for_elements(seg_n.max(1), &system.spec);
+                    sched.push(stream, Command::kernel(p, launch, seg_n));
+                }
+                let ev = EventId(next_event);
+                next_event += 1;
+                sched.push(stream, Command::record(ev));
+                pending_events.push(ev);
+            }
+            h2d_done.extend(externals);
+        } else {
+            // Serial on the main stream; first join any pending pipelines
+            // and upload any inputs the pipelines didn't cover.
+            for ev in pending_events.drain(..) {
+                sched.push(main, Command::wait(ev));
+            }
+            for &e in &group_externals(graph, members) {
+                if matches!(graph.nodes[e].kind, OpKind::Input { .. }) && !h2d_done.contains(&e) {
+                    sched.push(
+                        main,
+                        Command::h2d(
+                            format!("in#{e}"),
+                            CommandClass::InputOutput,
+                            stats.bytes(e),
+                            cfg.mem_kind,
+                        ),
+                    );
+                    h2d_done.push(e);
+                }
+            }
+            for cmd in kernel_cmds(system, kernels) {
+                sched.push(main, cmd);
+            }
+        }
+    }
+    for ev in pending_events.drain(..) {
+        sched.push(main, Command::wait(ev));
+    }
+    for &r in roots {
+        sched.push(
+            main,
+            Command::d2h(
+                format!("out#{r}"),
+                CommandClass::InputOutput,
+                stats.bytes(r),
+                cfg.mem_kind,
+            ),
+        );
+    }
+    Schedule { streams: sched.streams }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use kfusion_relalg::gen;
+    use kfusion_relalg::predicates;
+
+    fn sys() -> GpuSystem {
+        GpuSystem::c2070()
+    }
+
+    fn select_chain_graph(depth: usize) -> PlanGraph {
+        let mut g = PlanGraph::new();
+        let mut cur = g.input(0);
+        for k in 0..depth {
+            let t = gen::threshold_for_selectivity(0.5 / (k as f64 + 1.0));
+            cur = g.add(OpKind::Select { pred: predicates::key_lt(t) }, vec![cur]);
+        }
+        g
+    }
+
+    #[test]
+    fn strategies_agree_functionally() {
+        let s = sys();
+        let g = select_chain_graph(2);
+        let input = gen::random_keys(100_000, 9);
+        let mut outputs = Vec::new();
+        for strat in [
+            Strategy::Serial,
+            Strategy::SerialRoundTrip,
+            Strategy::Fusion,
+            Strategy::FusionFission { segments: 8 },
+        ] {
+            let cfg = ExecConfig::new(strat, &s);
+            let r = execute(&s, &g, std::slice::from_ref(&input), &cfg).unwrap();
+            outputs.push(r.output);
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0], "strategy changed the answer");
+        }
+    }
+
+    #[test]
+    fn fusion_is_faster_than_serial() {
+        let s = sys();
+        let g = select_chain_graph(3);
+        let input = gen::random_keys(1 << 21, 4);
+        let serial = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
+        let fused = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Fusion, &s)).unwrap();
+        assert!(fused.report.total() < serial.report.total());
+        assert_eq!(fused.fusion.groups.len(), 1);
+    }
+
+    #[test]
+    fn fission_overlaps_input_transfer() {
+        // The pipeline pays derated async bandwidth, so it only wins when
+        // the group's compute is substantial relative to the upload — the
+        // paper's "complex statistical operators" case. Build a deep
+        // arithmetic expression so the fused kernel is compute-bound.
+        let s = sys();
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        let mut expr = kfusion_ir::builder::Expr::input(0);
+        for k in 1..400i64 {
+            expr = expr
+                .mul(kfusion_ir::builder::Expr::lit(2 * k + 1))
+                .add(kfusion_ir::builder::Expr::lit(k));
+        }
+        let mut body = kfusion_ir::builder::BodyBuilder::new(1);
+        body.emit_output(expr);
+        g.add(OpKind::Arith { body: body.build() }, vec![i]);
+        let input = gen::random_keys(1 << 22, 5);
+        let fused = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Fusion, &s)).unwrap();
+        let both = execute(
+            &s,
+            &g,
+            std::slice::from_ref(&input),
+            &ExecConfig::new(Strategy::FusionFission { segments: 8 }, &s),
+        )
+        .unwrap();
+        assert!(
+            both.report.total() < fused.report.total(),
+            "fission {} vs fusion {}",
+            both.report.total(),
+            fused.report.total()
+        );
+    }
+
+    #[test]
+    fn round_trip_strategy_pays_for_intermediates() {
+        let s = sys();
+        let g = select_chain_graph(2);
+        let input = gen::random_keys(1 << 21, 6);
+        let serial = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
+        let rt = execute(
+            &s,
+            &g,
+            std::slice::from_ref(&input),
+            &ExecConfig::new(Strategy::SerialRoundTrip, &s),
+        )
+        .unwrap();
+        assert!(rt.report.total() > serial.report.total());
+        assert!(rt.report.class_time(CommandClass::RoundTrip) > 0.0);
+        assert_eq!(serial.report.class_time(CommandClass::RoundTrip), 0.0);
+    }
+
+    #[test]
+    fn every_fig2_pattern_executes_under_every_strategy() {
+        let s = sys();
+        for (name, g) in patterns::all() {
+            // Build suitable inputs: sorted tables with two payload columns
+            // (arith patterns read cols 0 and 1).
+            let n_inputs = g
+                .nodes
+                .iter()
+                .filter(|n| matches!(n.kind, OpKind::Input { .. }))
+                .count();
+            let inputs: Vec<Relation> = (0..n_inputs)
+                .map(|k| {
+                    let mut t = gen::sorted_table(5000, 2, k as u64);
+                    // Make numeric columns f64 for the arith patterns.
+                    t.cols[0] = kfusion_relalg::Column::F64(
+                        (0..5000).map(|i| i as f64 * 0.001).collect(),
+                    );
+                    t.cols[1] = kfusion_relalg::Column::F64(
+                        (0..5000).map(|i| (i % 90) as f64 * 0.01).collect(),
+                    );
+                    t
+                })
+                .collect();
+            for strat in [Strategy::Serial, Strategy::Fusion] {
+                let cfg = ExecConfig::new(strat, &s);
+                let r = execute(&s, &g, &inputs, &cfg);
+                assert!(r.is_ok(), "pattern {name} failed under {strat:?}: {:?}", r.err());
+            }
+        }
+    }
+
+    #[test]
+    fn peak_residency_accounts_liveness() {
+        let s = sys();
+        let g = select_chain_graph(2);
+        let input = gen::random_keys(100_000, 3);
+        let r = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
+        // Peak must cover at least input + first intermediate, and at most
+        // the sum of everything.
+        let input_bytes = input.total_bytes();
+        assert!(r.peak_resident_bytes >= input_bytes);
+        assert!(r.peak_resident_bytes <= 3 * input_bytes);
+    }
+
+    #[test]
+    fn auto_serial_keeps_intermediates_when_they_fit() {
+        let s = sys();
+        let g = select_chain_graph(2);
+        let input = gen::random_keys(100_000, 3);
+        let (strat, _) = execute_auto_serial(&s, &g, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(strat, Strategy::Serial);
+    }
+
+    #[test]
+    fn auto_serial_falls_back_on_small_memory() {
+        // Shrink the device until the intermediates cannot stay resident;
+        // the executor must pick the round-trip strategy (paper SIII-B).
+        let mut s = sys();
+        s.spec.mem_capacity = 1 << 20; // 1 MiB
+        let g = select_chain_graph(2);
+        let input = gen::random_keys(200_000, 3); // 1.6 MB of keys alone
+        let (strat, r) = execute_auto_serial(&s, &g, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(strat, Strategy::SerialRoundTrip);
+        assert!(r.report.class_time(CommandClass::RoundTrip) > 0.0);
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let s = sys();
+        let g = select_chain_graph(1);
+        let r = execute(&s, &g, &[], &ExecConfig::new(Strategy::Serial, &s));
+        assert!(matches!(r, Err(CoreError::Unsupported(_))));
+    }
+}

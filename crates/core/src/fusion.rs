@@ -1,0 +1,287 @@
+//! The kernel fusion pass: partition a plan DAG into fused kernel groups.
+//!
+//! Mirrors §III-C of the paper: data-dependence analysis finds candidate
+//! kernels (elementwise producers/consumers fuse; SORT/UNIQUE are
+//! barriers), a cost function bounds group growth by register pressure, and
+//! the multi-stage structure makes code generation mechanical — one
+//! partition stage, the members' compute stages interleaved in topological
+//! order, one buffer + gather stage.
+//!
+//! The pass is greedy over the topologically-ordered nodes and supports
+//! *group merging*, which the Fig. 2(f) pattern requires (a JOIN fusing
+//! with both of its SELECT producers pulls two existing groups into one).
+
+use crate::cost::{group_regs, FusionBudget};
+use crate::deps::{fusability, Fusability};
+use crate::graph::{NodeId, OpKind, PlanGraph};
+use kfusion_ir::opt::OptLevel;
+
+/// The result of the fusion pass.
+#[derive(Debug, Clone)]
+pub struct FusionPlan {
+    /// `group_of[node]` — the group containing each node (`None` for plan
+    /// inputs).
+    pub group_of: Vec<Option<usize>>,
+    /// Groups in execution order; each is a topologically-ordered member
+    /// list. A group of one barrier node is a "group" that simply runs its
+    /// own kernels.
+    pub groups: Vec<Vec<NodeId>>,
+}
+
+impl FusionPlan {
+    /// Number of fused kernels (groups with ≥ 2 members).
+    pub fn fused_group_count(&self) -> usize {
+        self.groups.iter().filter(|g| g.len() > 1).count()
+    }
+
+    /// The largest group size.
+    pub fn max_group_len(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[derive(Debug)]
+struct GroupState {
+    members: Vec<NodeId>,
+    open: bool,
+    /// After a merge, points at the surviving group.
+    merged_into: Option<usize>,
+}
+
+fn resolve(groups: &[GroupState], mut g: usize) -> usize {
+    while let Some(next) = groups[g].merged_into {
+        g = next;
+    }
+    g
+}
+
+/// Run the fusion pass on `graph` under `budget`, with member bodies
+/// optimized at `level` for the register estimate.
+pub fn fuse_plan(graph: &PlanGraph, budget: &FusionBudget, level: OptLevel) -> FusionPlan {
+    let n = graph.nodes.len();
+    let mut groups: Vec<GroupState> = Vec::new();
+    let mut group_of: Vec<Option<usize>> = vec![None; n];
+    // Groups already scanning each Input leaf — the Fig. 2(c) opportunity:
+    // kernels with no producer/consumer dependence still fuse when they
+    // filter the *same input data* (and, across queries, §III-A's
+    // cross-query fusion reduces to exactly this sibling case).
+    let mut leaf_groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for id in 0..n {
+        let kind = &graph.nodes[id].kind;
+        if matches!(kind, OpKind::Input { .. }) {
+            continue;
+        }
+        let f = fusability(kind);
+        let mut placed = false;
+        if f != Fusability::Barrier {
+            // Open groups feeding this node.
+            let mut producer_groups: Vec<usize> = graph.nodes[id]
+                .inputs
+                .iter()
+                .filter_map(|&p| group_of[p])
+                .map(|g| resolve(&groups, g))
+                .collect();
+            producer_groups.sort_unstable();
+            producer_groups.dedup();
+            if producer_groups.is_empty() {
+                // All producers are plan inputs: consider sibling groups
+                // that already scan one of the same leaves.
+                let mut siblings: Vec<usize> = graph.nodes[id]
+                    .inputs
+                    .iter()
+                    .flat_map(|&p| leaf_groups[p].iter().copied())
+                    .map(|g| resolve(&groups, g))
+                    .filter(|&g| groups[g].open)
+                    .collect();
+                siblings.sort_unstable();
+                siblings.dedup();
+                if let Some(&first) = siblings.first() {
+                    producer_groups = vec![first];
+                }
+            }
+            let all_open = !producer_groups.is_empty()
+                && producer_groups.iter().all(|&g| groups[g].open);
+            if all_open {
+                // Tentative merged membership.
+                let mut members: Vec<NodeId> = producer_groups
+                    .iter()
+                    .flat_map(|&g| groups[g].members.iter().copied())
+                    .collect();
+                members.push(id);
+                members.sort_unstable();
+                if group_regs(graph, &members, level) <= budget.max_regs_per_thread {
+                    // Commit: merge into the first group.
+                    let target = producer_groups[0];
+                    for &g in &producer_groups[1..] {
+                        groups[g].merged_into = Some(target);
+                        groups[g].open = false;
+                    }
+                    groups[target].members = members;
+                    groups[target].open = f == Fusability::Fusable;
+                    group_of[id] = Some(target);
+                    placed = true;
+                }
+            }
+        }
+        if !placed {
+            let open = f == Fusability::Fusable;
+            groups.push(GroupState { members: vec![id], open, merged_into: None });
+            group_of[id] = Some(groups.len() - 1);
+        }
+        // Register this node's group on every Input leaf it reads directly.
+        if let Some(g) = group_of[id] {
+            for &p in &graph.nodes[id].inputs {
+                if matches!(graph.nodes[p].kind, OpKind::Input { .. }) {
+                    leaf_groups[p].push(g);
+                }
+            }
+        }
+    }
+
+    // Compact: drop merged-away groups, renumber in order of their first
+    // member (execution order).
+    let mut surviving: Vec<(NodeId, Vec<NodeId>)> = groups
+        .iter()
+        .filter(|g| g.merged_into.is_none())
+        .map(|g| (g.members[0], g.members.clone()))
+        .collect();
+    surviving.sort_unstable();
+    let final_groups: Vec<Vec<NodeId>> = surviving.into_iter().map(|(_, m)| m).collect();
+    let mut final_of: Vec<Option<usize>> = vec![None; n];
+    for (gi, members) in final_groups.iter().enumerate() {
+        for &m in members {
+            final_of[m] = Some(gi);
+        }
+    }
+    FusionPlan { group_of: final_of, groups: final_groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpKind;
+    use kfusion_relalg::ops::{Agg, SortBy};
+    use kfusion_relalg::predicates;
+
+    fn budget() -> FusionBudget {
+        FusionBudget { max_regs_per_thread: 63 }
+    }
+
+    fn fuse(g: &PlanGraph) -> FusionPlan {
+        fuse_plan(g, &budget(), OptLevel::O3)
+    }
+
+    /// Fig. 2(a): back-to-back SELECTs fuse into one kernel.
+    #[test]
+    fn select_chain_fuses() {
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        let s1 = g.add(OpKind::Select { pred: predicates::key_lt(10) }, vec![i]);
+        let s2 = g.add(OpKind::Select { pred: predicates::key_lt(5) }, vec![s1]);
+        let s3 = g.add(OpKind::Select { pred: predicates::key_lt(3) }, vec![s2]);
+        let plan = fuse(&g);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0], vec![s1, s2, s3]);
+    }
+
+    /// Fig. 2(f): JOIN of two SELECTed tables fuses all three (group merge).
+    #[test]
+    fn join_of_two_selects_merges_groups() {
+        let mut g = PlanGraph::new();
+        let a = g.input(0);
+        let b = g.input(1);
+        let s1 = g.add(OpKind::Select { pred: predicates::key_lt(10) }, vec![a]);
+        let s2 = g.add(OpKind::Select { pred: predicates::key_lt(20) }, vec![b]);
+        let j = g.add(OpKind::Join, vec![s1, s2]);
+        let plan = fuse(&g);
+        assert_eq!(plan.groups.len(), 1, "{:?}", plan.groups);
+        assert_eq!(plan.groups[0], vec![s1, s2, j]);
+    }
+
+    /// Fig. 2(g): SELECT → AGGREGATION fuses, but the group closes.
+    #[test]
+    fn aggregation_terminates_group() {
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        let s = g.add(OpKind::Select { pred: predicates::key_lt(10) }, vec![i]);
+        let agg = g.add(OpKind::AggregateAll { aggs: vec![Agg::Count] }, vec![s]);
+        let post = g.add(OpKind::Select { pred: predicates::key_lt(10) }, vec![agg]);
+        let plan = fuse(&g);
+        assert_eq!(plan.group_of[s], plan.group_of[agg], "select fuses with aggregate");
+        assert_ne!(plan.group_of[agg], plan.group_of[post], "nothing fuses past aggregate");
+    }
+
+    /// SORT is a barrier: its neighbours never join its group (Fig. 17's
+    /// plans split exactly at the SORTs).
+    #[test]
+    fn sort_is_isolated() {
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        let s1 = g.add(OpKind::Select { pred: predicates::key_lt(10) }, vec![i]);
+        let sort = g.add(OpKind::Sort { by: SortBy::Key }, vec![s1]);
+        let _s2 = g.add(OpKind::Select { pred: predicates::key_lt(5) }, vec![sort]);
+        let plan = fuse(&g);
+        assert_eq!(plan.groups.len(), 3);
+        assert_eq!(plan.groups[1], vec![sort]);
+    }
+
+    /// Q1's leading block: 6 column-joins + 1 select fuse into one kernel.
+    #[test]
+    fn q1_leading_block_fuses_completely() {
+        let mut g = PlanGraph::new();
+        let mut acc = g.input(0);
+        for c in 1..7 {
+            let col = g.input(c);
+            acc = g.add(OpKind::ColumnJoin, vec![acc, col]);
+        }
+        let sel = g.add(OpKind::Select { pred: predicates::key_lt(100) }, vec![acc]);
+        let plan = fuse(&g);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].len(), 7);
+        assert_eq!(*plan.groups[0].last().unwrap(), sel);
+    }
+
+    /// Fig. 2(c): one SELECT feeding two consumers — both fuse into the same
+    /// kernel (multi-output fused kernel).
+    #[test]
+    fn shared_producer_fuses_with_both_consumers() {
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        let s = g.add(OpKind::Select { pred: predicates::key_lt(50) }, vec![i]);
+        let a = g.add(OpKind::Select { pred: predicates::key_lt(20) }, vec![s]);
+        let b = g.add(OpKind::Select { pred: predicates::key_lt(30) }, vec![s]);
+        let plan = fuse(&g);
+        assert_eq!(plan.group_of[a], plan.group_of[s]);
+        assert_eq!(plan.group_of[b], plan.group_of[s]);
+    }
+
+    /// Register pressure bounds fusion depth: a tiny budget forces splits.
+    #[test]
+    fn register_budget_limits_depth() {
+        let mut g = PlanGraph::new();
+        let mut cur = g.input(0);
+        for k in 0..8 {
+            cur = g.add(OpKind::Select { pred: predicates::key_lt(100 + k) }, vec![cur]);
+        }
+        let tight = FusionBudget {
+            max_regs_per_thread: kfusion_relalg::profiles::STAGE_REGS + 7,
+        };
+        let plan = fuse_plan(&g, &tight, OptLevel::O3);
+        assert!(plan.groups.len() > 1, "tight budget must split: {:?}", plan.groups);
+        let generous = fuse(&g);
+        assert_eq!(generous.groups.len(), 1);
+    }
+
+    #[test]
+    fn inputs_have_no_group() {
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        let s = g.add(OpKind::Select { pred: predicates::key_lt(10) }, vec![i]);
+        let plan = fuse(&g);
+        assert_eq!(plan.group_of[i], None);
+        assert!(plan.group_of[s].is_some());
+        assert_eq!(plan.fused_group_count(), 0, "single-op group is not 'fused'");
+        assert_eq!(plan.max_group_len(), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Logical operator graphs — the unit the fusion/fission passes transform.
+//!
+//! A [`PlanGraph`] is a DAG of relational operators over named plan inputs,
+//! built in topological order (every node's inputs must already exist).
+//! This is the representation a query-plan front end would hand to the
+//! paper's compiler; the Fig. 17 TPC-H plans and the Fig. 2 fusable
+//! patterns are all constructed as `PlanGraph`s.
+
+use kfusion_ir::KernelBody;
+use kfusion_relalg::ops::{Agg, SortBy};
+
+/// Index of a node within its [`PlanGraph`].
+pub type NodeId = usize;
+
+/// The operator at a node.
+#[derive(Debug, Clone)]
+pub enum OpKind {
+    /// A plan input (leaf): `input` indexes the relation array passed to the
+    /// executor.
+    Input {
+        /// Which executor input this leaf reads.
+        input: usize,
+    },
+    /// Filter by an IR predicate.
+    Select {
+        /// The predicate body (library calling convention).
+        pred: KernelBody,
+    },
+    /// Keep a subset of payload columns.
+    Project {
+        /// Column indices to keep.
+        keep: Vec<usize>,
+    },
+    /// Replace the payload with the outputs of an IR expression body.
+    Arith {
+        /// The expression body.
+        body: KernelBody,
+    },
+    /// Append the outputs of an IR expression body to the payload.
+    ArithExtend {
+        /// The expression body.
+        body: KernelBody,
+    },
+    /// Re-key by an i64 payload column (the column becomes the tuple key),
+    /// used before SORT "by a different key" (paper Fig. 17(a)).
+    Rekey {
+        /// The payload column that becomes the key.
+        col: usize,
+    },
+    /// Sort-merge equijoin on key (2 inputs, both key-sorted).
+    Join,
+    /// Zip relations with identical keys into a wide relation (2 inputs) —
+    /// the column-combining join of the paper's Q1 plan.
+    ColumnJoin,
+    /// Keep left tuples whose key exists on the right (EXISTS).
+    Semijoin,
+    /// Keep left tuples whose key does not exist on the right (NOT EXISTS).
+    Antijoin,
+    /// Cartesian product (2 inputs).
+    Product,
+    /// Set union over whole tuples (2 inputs).
+    Union,
+    /// Set intersection over whole tuples (2 inputs).
+    Intersect,
+    /// Set difference over whole tuples (2 inputs).
+    Difference,
+    /// Group by key and reduce (input must be key-sorted).
+    Aggregate {
+        /// The aggregates, one output column each.
+        aggs: Vec<Agg>,
+    },
+    /// Reduce the whole relation as one group.
+    AggregateAll {
+        /// The aggregates.
+        aggs: Vec<Agg>,
+    },
+    /// Sort (the fusion barrier).
+    Sort {
+        /// Sort attribute.
+        by: SortBy,
+    },
+    /// Drop consecutive duplicate tuples (requires sorted input; barrier).
+    Unique,
+}
+
+impl OpKind {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Input { .. } => "INPUT",
+            OpKind::Select { .. } => "SELECT",
+            OpKind::Project { .. } => "PROJECT",
+            OpKind::Rekey { .. } => "REKEY",
+            OpKind::Arith { .. } => "ARITH",
+            OpKind::ArithExtend { .. } => "ARITH+",
+            OpKind::Join => "JOIN",
+            OpKind::ColumnJoin => "COLJOIN",
+            OpKind::Semijoin => "SEMIJOIN",
+            OpKind::Antijoin => "ANTIJOIN",
+            OpKind::Product => "PRODUCT",
+            OpKind::Union => "UNION",
+            OpKind::Intersect => "INTERSECT",
+            OpKind::Difference => "DIFFERENCE",
+            OpKind::Aggregate { .. } => "AGGREGATE",
+            OpKind::AggregateAll { .. } => "AGGREGATE*",
+            OpKind::Sort { .. } => "SORT",
+            OpKind::Unique => "UNIQUE",
+        }
+    }
+
+    /// How many relation inputs the operator takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            OpKind::Input { .. } => 0,
+            OpKind::Join
+            | OpKind::ColumnJoin
+            | OpKind::Semijoin
+            | OpKind::Antijoin
+            | OpKind::Product
+            | OpKind::Union
+            | OpKind::Intersect
+            | OpKind::Difference => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// One node of the plan DAG.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Operator.
+    pub kind: OpKind,
+    /// Producer nodes, all with smaller ids (topological construction).
+    pub inputs: Vec<NodeId>,
+}
+
+/// Graph construction/validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node references an id at or after itself.
+    ForwardEdge {
+        /// Consumer node.
+        node: NodeId,
+        /// Referenced producer.
+        input: NodeId,
+    },
+    /// Wrong number of inputs for the operator.
+    Arity {
+        /// Offending node.
+        node: NodeId,
+        /// Operator's required arity.
+        expected: usize,
+        /// Supplied inputs.
+        got: usize,
+    },
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::ForwardEdge { node, input } => {
+                write!(f, "node {node} references non-earlier node {input}")
+            }
+            GraphError::Arity { node, expected, got } => {
+                write!(f, "node {node} takes {expected} inputs, got {got}")
+            }
+            GraphError::Empty => write!(f, "empty plan graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A DAG of operators; node ids are topologically ordered by construction.
+#[derive(Debug, Clone, Default)]
+pub struct PlanGraph {
+    /// Nodes; `nodes[i].inputs[j] < i` always.
+    pub nodes: Vec<Node>,
+    /// The node whose result is the plan output (defaults to the last node).
+    pub root: NodeId,
+}
+
+impl PlanGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a plan-input leaf reading executor input `input`.
+    pub fn input(&mut self, input: usize) -> NodeId {
+        self.push(OpKind::Input { input }, vec![])
+    }
+
+    /// Add an operator node; returns its id and makes it the root.
+    ///
+    /// # Panics
+    /// If the inputs are not all earlier nodes or the arity is wrong —
+    /// construction bugs, caught eagerly.
+    pub fn add(&mut self, kind: OpKind, inputs: Vec<NodeId>) -> NodeId {
+        assert_eq!(kind.arity(), inputs.len(), "arity mismatch for {}", kind.name());
+        self.push(kind, inputs)
+    }
+
+    fn push(&mut self, kind: OpKind, inputs: Vec<NodeId>) -> NodeId {
+        let id = self.nodes.len();
+        for &i in &inputs {
+            assert!(i < id, "input {i} not earlier than node {id}");
+        }
+        self.nodes.push(Node { kind, inputs });
+        self.root = id;
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Validate structure (redundant with `add`'s assertions; for graphs
+    /// deserialized or built by other means).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.kind.arity() != node.inputs.len() {
+                return Err(GraphError::Arity {
+                    node: id,
+                    expected: node.kind.arity(),
+                    got: node.inputs.len(),
+                });
+            }
+            for &i in &node.inputs {
+                if i >= id {
+                    return Err(GraphError::ForwardEdge { node: id, input: i });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumer count per node (fan-out; the root gains one implicit
+    /// consumer — the plan output).
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for &i in &node.inputs {
+                counts[i] += 1;
+            }
+        }
+        counts[self.root] += 1;
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_relalg::predicates;
+
+    #[test]
+    fn build_simple_chain() {
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        let s1 = g.add(OpKind::Select { pred: predicates::key_lt(10) }, vec![i]);
+        let s2 = g.add(OpKind::Select { pred: predicates::key_lt(5) }, vec![s1]);
+        assert_eq!(g.root, s2);
+        assert_eq!(g.len(), 3);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn join_needs_two_inputs() {
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        g.add(OpKind::Join, vec![i]);
+    }
+
+    #[test]
+    fn consumer_counts_track_fanout() {
+        let mut g = PlanGraph::new();
+        let i = g.input(0);
+        let s = g.add(OpKind::Select { pred: predicates::key_lt(10) }, vec![i]);
+        let a = g.add(OpKind::Select { pred: predicates::key_lt(5) }, vec![s]);
+        let b = g.add(OpKind::Select { pred: predicates::key_lt(3) }, vec![s]);
+        let _u = g.add(OpKind::Union, vec![a, b]);
+        let counts = g.consumer_counts();
+        assert_eq!(counts[s], 2, "s feeds both selects (Fig 2(c) shape)");
+        assert_eq!(counts[i], 1);
+        assert_eq!(*counts.last().unwrap(), 1, "root has the implicit consumer");
+    }
+
+    #[test]
+    fn validate_catches_bad_arity() {
+        let g = PlanGraph {
+            nodes: vec![Node { kind: OpKind::Join, inputs: vec![] }],
+            root: 0,
+        };
+        assert!(matches!(g.validate(), Err(GraphError::Arity { .. })));
+    }
+
+    #[test]
+    fn validate_catches_forward_edge() {
+        let g = PlanGraph {
+            nodes: vec![Node {
+                kind: OpKind::Unique,
+                inputs: vec![0],
+            }],
+            root: 0,
+        };
+        assert!(matches!(g.validate(), Err(GraphError::ForwardEdge { .. })));
+    }
+
+    #[test]
+    fn empty_graph_invalid() {
+        assert!(matches!(PlanGraph::new().validate(), Err(GraphError::Empty)));
+    }
+}

@@ -1,0 +1,102 @@
+//! `kfusion-core` — kernel fusion and kernel fission for relational query
+//! plans: the primary contribution of the reproduced paper.
+//!
+//! The paper proposes two inter-kernel compiler optimizations for GPU data
+//! warehousing:
+//!
+//! * **Kernel fusion** (§III) merges dependent data-parallel kernels so
+//!   intermediate relations never cross PCIe or even GPU global memory, the
+//!   multi-stage skeleton (partition/buffer/gather) is paid once, and the
+//!   merged body enjoys a larger compiler-optimization scope.
+//! * **Kernel fission** (§IV) splits a kernel into CTA segments pipelined
+//!   over CUDA streams so PCIe transfers hide under computation.
+//!
+//! Module map:
+//!
+//! * [`graph`] — the logical operator DAG a query plan lowers to.
+//! * [`deps`] — dependence analysis: what fuses (elementwise chains, JOINs,
+//!   terminal AGGREGATIONs) and what doesn't (SORT/UNIQUE barriers), plus
+//!   what fission can segment.
+//! * [`fusion`] — the fusion pass: greedy group formation with merging
+//!   (Fig. 2(f)) under a register-pressure budget.
+//! * [`cost`] — the cost model bounding fusion depth.
+//! * [`exec`] — the plan executor: functional evaluation + simulated
+//!   timing under the paper's strategies (serial / fusion / fission /
+//!   fusion+fission).
+//! * [`microbench`] — the back-to-back SELECT experiment engine behind the
+//!   paper's Figs. 4(a), 8–12, 14 and 16.
+//! * [`report`] — timing reports with the figures' breakdowns.
+//!
+//! # Example: fuse and run a SELECT chain
+//!
+//! ```
+//! use kfusion_core::microbench::{run, SelectChain, Strategy};
+//! use kfusion_vgpu::GpuSystem;
+//!
+//! let system = GpuSystem::c2070();
+//! let chain = SelectChain::auto(1 << 20, &[0.5, 0.5]);
+//! let serial = run(&system, &chain, Strategy::WithoutRoundTrip).unwrap();
+//! let fused = run(&system, &chain, Strategy::Fused).unwrap();
+//! assert!(fused.total() < serial.total());
+//! ```
+
+pub mod cost;
+pub mod deps;
+pub mod exec;
+pub mod fusion;
+pub mod graph;
+pub mod hetero;
+pub mod microbench;
+pub mod multiquery;
+pub mod patterns;
+pub mod report;
+pub mod viz;
+
+pub use cost::FusionBudget;
+pub use fusion::{fuse_plan, FusionPlan};
+pub use graph::{NodeId, OpKind, PlanGraph};
+pub use report::Report;
+
+/// Errors from the core executor and benchmark engines.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A relational operator failed.
+    Rel(kfusion_relalg::RelError),
+    /// The device simulator rejected a schedule.
+    Sim(kfusion_vgpu::SimError),
+    /// The plan graph is structurally invalid.
+    Graph(graph::GraphError),
+    /// Strategy/plan combination the executor does not support.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Rel(e) => write!(f, "relational operator failed: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CoreError::Graph(e) => write!(f, "invalid plan graph: {e}"),
+            CoreError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<kfusion_relalg::RelError> for CoreError {
+    fn from(e: kfusion_relalg::RelError) -> Self {
+        CoreError::Rel(e)
+    }
+}
+
+impl From<kfusion_vgpu::SimError> for CoreError {
+    fn from(e: kfusion_vgpu::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<graph::GraphError> for CoreError {
+    fn from(e: graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}

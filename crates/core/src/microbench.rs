@@ -1,0 +1,738 @@
+//! Back-to-back SELECT experiments — the engine behind the paper's
+//! micro-benchmark figures (Figs. 4(a), 8, 9, 10, 11, 12, 14, 16).
+//!
+//! A [`SelectChain`] is the paper's workload: `k` SELECT operators applied
+//! in sequence to `n` random 32-bit elements, each filtering an independent
+//! pseudo-attribute derived from the element by multiplicative hashing (so
+//! two 50% selections keep 25%, as the paper states). [`run`] executes the
+//! chain under one of the paper's five strategies on the virtual GPU and
+//! returns a [`Report`].
+//!
+//! Data modes: `Real` generates, filters, and validates actual relations
+//! (cardinalities are *measured*); `Synthetic` uses the expected
+//! cardinalities so figure harnesses can sweep to the paper's 4-billion-
+//! element x-axes without materializing 16 GB (the command stream and cost
+//! model are identical — DESIGN.md §2 documents this substitution).
+
+use crate::cost::{split_select_chain, FusionBudget};
+use crate::report::Report;
+use crate::CoreError;
+use kfusion_ir::builder::{BodyBuilder, Expr};
+use kfusion_ir::fuse::fuse_predicate_chain;
+use kfusion_ir::opt::OptLevel;
+use kfusion_ir::KernelBody;
+use kfusion_relalg::profiles;
+use kfusion_relalg::{gen, ops, Relation};
+use kfusion_vgpu::{
+    Command, CommandClass, GpuSystem, HostMemKind, LaunchConfig, Schedule,
+};
+
+/// Where cardinalities come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Generate and actually filter relations; measure cardinalities.
+    Real,
+    /// Expected cardinalities only (for beyond-RAM sweeps).
+    Synthetic,
+}
+
+/// The workload: a chain of SELECTs over random 32-bit elements.
+#[derive(Debug, Clone)]
+pub struct SelectChain {
+    /// Element count.
+    pub n: u64,
+    /// Per-SELECT selectivity (independent attributes).
+    pub selectivities: Vec<f64>,
+    /// Logical bytes per element (4 in the paper's experiments).
+    pub row_bytes: f64,
+    /// RNG seed for `Real` mode.
+    pub seed: u64,
+    /// Real or synthetic cardinalities.
+    pub mode: DataMode,
+    /// Optimization level for kernel bodies.
+    pub level: OptLevel,
+}
+
+/// Elements above which [`SelectChain::auto`] switches to synthetic mode.
+pub const REAL_MODE_LIMIT: u64 = 1 << 26;
+
+impl SelectChain {
+    /// A chain over `n` elements with the given per-stage selectivities,
+    /// choosing `Real` mode up to [`REAL_MODE_LIMIT`] elements and
+    /// `Synthetic` beyond.
+    pub fn auto(n: u64, selectivities: &[f64]) -> Self {
+        SelectChain {
+            n,
+            selectivities: selectivities.to_vec(),
+            row_bytes: 4.0,
+            seed: 42,
+            mode: if n <= REAL_MODE_LIMIT { DataMode::Real } else { DataMode::Synthetic },
+            level: OptLevel::O3,
+        }
+    }
+
+    /// Number of SELECT stages.
+    pub fn depth(&self) -> usize {
+        self.selectivities.len()
+    }
+
+    /// Stage `i`'s predicate: `((key * C_i) & 0xFFFF_FFFF) < t_i`.
+    ///
+    /// Multiplying by a per-stage odd constant is a bijection on the 32-bit
+    /// key space, so each stage filters an (approximately) independent
+    /// uniform attribute: chaining two 50% SELECTs keeps ~25%, exactly the
+    /// paper's setup. Stage 0 uses the identity hash so single-SELECT
+    /// experiments match Fig. 4(a) literally.
+    pub fn predicate(&self, i: usize) -> KernelBody {
+        let t = gen::threshold_for_selectivity(self.selectivities[i]) as i64;
+        let mut b = BodyBuilder::new(1);
+        let hashed = if i == 0 {
+            Expr::input(0)
+        } else {
+            // Odd multipliers derived from the golden ratio, kept small so
+            // the product stays within i64.
+            let c = (0x9E37_79B9u64.wrapping_mul(2 * i as u64 + 1) & 0xF_FFFF) | 1;
+            Expr::input(0)
+                .mul(Expr::lit(c as i64))
+                .and(Expr::lit(0xFFFF_FFFFi64))
+        };
+        b.emit_output(Expr::select(
+            hashed.lt(Expr::lit(t)),
+            Expr::lit(true),
+            Expr::lit(false),
+        ));
+        b.build()
+    }
+
+    /// All stage predicates.
+    pub fn predicates(&self) -> Vec<KernelBody> {
+        (0..self.depth()).map(|i| self.predicate(i)).collect()
+    }
+
+    /// Cumulative cardinalities `[n, |after s1|, ..., |after sk|]`.
+    ///
+    /// `Real` mode measures them by running the chain functionally;
+    /// `Synthetic` mode multiplies expected selectivities.
+    pub fn cardinalities(&self) -> Result<Vec<u64>, CoreError> {
+        match self.mode {
+            DataMode::Synthetic => {
+                let mut cards = vec![self.n];
+                let mut cur = self.n as f64;
+                for &s in &self.selectivities {
+                    cur *= s;
+                    cards.push(cur.round() as u64);
+                }
+                Ok(cards)
+            }
+            DataMode::Real => {
+                let (_, counts) = self.materialize()?;
+                let mut cards = vec![self.n];
+                cards.extend(counts.iter().map(|&c| c as u64));
+                Ok(cards)
+            }
+        }
+    }
+
+    /// Generate the input and run the chain functionally, returning the
+    /// final relation and per-stage surviving counts.
+    pub fn materialize(&self) -> Result<(Relation, Vec<usize>), CoreError> {
+        let input = gen::random_keys(self.n as usize, self.seed);
+        let (out, counts) = ops::select_chain_unfused(&input, &self.predicates())?;
+        Ok((out, counts))
+    }
+
+    fn bytes(&self, elems: u64) -> u64 {
+        (elems as f64 * self.row_bytes).ceil() as u64
+    }
+}
+
+/// The paper's execution strategies for a SELECT chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Each SELECT round-trips its result to the CPU (§III-B "with round
+    /// trip" — forced when GPU memory cannot hold intermediates).
+    WithRoundTrip,
+    /// Intermediates stay in GPU memory ("without round trip").
+    WithoutRoundTrip,
+    /// One fused kernel per register-budget run ("fused").
+    Fused,
+    /// Unfused kernels, input segmented and pipelined over streams
+    /// (kernel fission, §IV-B).
+    Fission {
+        /// Number of input segments.
+        segments: u32,
+    },
+    /// Fused kernels over pipelined segments (§IV-C).
+    FusedFission {
+        /// Number of input segments.
+        segments: u32,
+    },
+}
+
+/// Streams used by the fission pipelines — the paper's minimum for full
+/// C2070 concurrency.
+pub const FISSION_STREAMS: usize = 3;
+
+/// Host-side reassembly bandwidth for the CPU gather that fission needs
+/// (bytes/s).
+pub const CPU_GATHER_BW: f64 = 4.0e9;
+
+/// Execute `chain` under `strategy` on `system`, returning the simulated
+/// report. In `Real` mode the relations are actually filtered (and the
+/// measured cardinalities drive the command stream).
+pub fn run(system: &GpuSystem, chain: &SelectChain, strategy: Strategy) -> Result<Report, CoreError> {
+    let cards = chain.cardinalities()?;
+    run_with_cards(system, chain, strategy, &cards)
+}
+
+/// [`run`] with precomputed cardinalities (lets harnesses reuse one
+/// functional pass across strategies).
+pub fn run_with_cards(
+    system: &GpuSystem,
+    chain: &SelectChain,
+    strategy: Strategy,
+    cards: &[u64],
+) -> Result<Report, CoreError> {
+    let schedule = build_schedule(system, chain, strategy, cards);
+    let timeline = system.simulate(&schedule)?;
+    Ok(Report::new(timeline, chain.n, chain.n as f64 * chain.row_bytes))
+}
+
+/// Compute-only run: kernels without any PCIe transfers, as the paper's
+/// Fig. 4(a)/8(b)/10/11 measure. `fused` selects fused vs unfused kernels.
+pub fn run_compute_only(
+    system: &GpuSystem,
+    chain: &SelectChain,
+    fused: bool,
+) -> Result<Report, CoreError> {
+    let cards = chain.cardinalities()?;
+    let mut cmds = Vec::new();
+    if fused {
+        emit_fused_kernels(&mut cmds, system, chain, &cards, 1.0, "");
+    } else {
+        emit_unfused_kernels(&mut cmds, system, chain, &cards, 1.0, "");
+    }
+    let timeline = system.simulate(&Schedule::serial(cmds))?;
+    Ok(Report::new(timeline, chain.n, chain.n as f64 * chain.row_bytes))
+}
+
+/// The 16-thread CPU baseline of Fig. 4(a): the same chain on the Xeon
+/// model (no PCIe in front of host memory).
+pub fn run_cpu(cpu: &kfusion_vgpu::DeviceSpec, chain: &SelectChain) -> Result<Report, CoreError> {
+    let cards = chain.cardinalities()?;
+    let launch = LaunchConfig { ctas: cpu.sm_count * cpu.max_threads_per_sm, threads_per_cta: 1 };
+    let mut total = 0.0;
+    let mut spans = Vec::new();
+    for i in 0..chain.depth() {
+        let sel = stage_sel(&cards, i);
+        let p = profiles::cpu_select(chain.row_bytes, sel);
+        let t = p.time(cpu, &launch, cards[i]);
+        spans.push(kfusion_vgpu::des::Span {
+            stream: 0,
+            index: i,
+            label: format!("cpu_select{i}"),
+            class: CommandClass::Compute,
+            engine: Some(kfusion_vgpu::Engine::Host),
+            start: total,
+            end: total + t,
+        });
+        total += t;
+    }
+    Ok(Report::new(
+        kfusion_vgpu::Timeline { spans },
+        chain.n,
+        chain.n as f64 * chain.row_bytes,
+    ))
+}
+
+fn stage_sel(cards: &[u64], i: usize) -> f64 {
+    if cards[i] == 0 {
+        0.0
+    } else {
+        cards[i + 1] as f64 / cards[i] as f64
+    }
+}
+
+/// Append the unfused per-SELECT kernels (filter + gather per stage) for a
+/// `scale` fraction of the input, labels suffixed with `tag`.
+fn emit_unfused_kernels(
+    cmds: &mut Vec<Command>,
+    system: &GpuSystem,
+    chain: &SelectChain,
+    cards: &[u64],
+    scale: f64,
+    tag: &str,
+) {
+    for i in 0..chain.depth() {
+        let in_elems = ((cards[i] as f64) * scale).round() as u64;
+        let out_elems = ((cards[i + 1] as f64) * scale).round() as u64;
+        let sel = stage_sel(cards, i);
+        let filter = profiles::select_filter(
+            format!("filter{i}{tag}"),
+            &chain.predicate(i),
+            chain.level,
+            chain.row_bytes,
+            sel,
+        );
+        let launch = LaunchConfig::for_elements(in_elems, &system.spec);
+        cmds.push(Command::kernel(filter, launch, in_elems));
+        let gather = profiles::select_gather(format!("gather{i}{tag}"), chain.row_bytes);
+        let glaunch = LaunchConfig::for_elements(out_elems.max(1), &system.spec);
+        cmds.push(Command::kernel(gather, glaunch, out_elems));
+    }
+}
+
+/// Append the fused kernels: one filter (fused predicate) + one gather per
+/// register-budget run.
+fn emit_fused_kernels(
+    cmds: &mut Vec<Command>,
+    system: &GpuSystem,
+    chain: &SelectChain,
+    cards: &[u64],
+    scale: f64,
+    tag: &str,
+) {
+    let budget = FusionBudget::for_device(&system.spec);
+    let runs = split_select_chain(&chain.predicates(), &budget, chain.level);
+    let mut stage = 0usize;
+    for (r, run) in runs.iter().enumerate() {
+        let in_elems = ((cards[stage] as f64) * scale).round() as u64;
+        let out_stage = stage + run.len();
+        let out_elems = ((cards[out_stage] as f64) * scale).round() as u64;
+        let sel = if cards[stage] == 0 {
+            0.0
+        } else {
+            cards[out_stage] as f64 / cards[stage] as f64
+        };
+        let fused_pred = fuse_predicate_chain(run);
+        let filter = profiles::select_filter(
+            format!("fused_filter{r}{tag}"),
+            &fused_pred,
+            chain.level,
+            chain.row_bytes,
+            sel,
+        );
+        let launch = LaunchConfig::for_elements(in_elems, &system.spec);
+        cmds.push(Command::kernel(filter, launch, in_elems));
+        let gather = profiles::select_gather(format!("fused_gather{r}{tag}"), chain.row_bytes);
+        let glaunch = LaunchConfig::for_elements(out_elems.max(1), &system.spec);
+        cmds.push(Command::kernel(gather, glaunch, out_elems));
+        stage = out_stage;
+    }
+}
+
+fn build_schedule(
+    system: &GpuSystem,
+    chain: &SelectChain,
+    strategy: Strategy,
+    cards: &[u64],
+) -> Schedule {
+    let k = chain.depth();
+    let final_out = cards[k];
+    match strategy {
+        Strategy::WithRoundTrip => {
+            let mut cmds = Vec::new();
+            for i in 0..k {
+                let class_in = if i == 0 { CommandClass::InputOutput } else { CommandClass::RoundTrip };
+                cmds.push(Command::h2d(
+                    format!("in{i}"),
+                    class_in,
+                    chain.bytes(cards[i]),
+                    HostMemKind::Paged,
+                ));
+                emit_stage_kernels(&mut cmds, system, chain, cards, i, 1.0, "");
+                let class_out = if i == k - 1 { CommandClass::InputOutput } else { CommandClass::RoundTrip };
+                cmds.push(Command::d2h(
+                    format!("out{i}"),
+                    class_out,
+                    chain.bytes(cards[i + 1]),
+                    HostMemKind::Paged,
+                ));
+            }
+            Schedule::serial(cmds)
+        }
+        Strategy::WithoutRoundTrip => {
+            let mut cmds = vec![Command::h2d(
+                "in",
+                CommandClass::InputOutput,
+                chain.bytes(chain.n),
+                HostMemKind::Paged,
+            )];
+            emit_unfused_kernels(&mut cmds, system, chain, cards, 1.0, "");
+            cmds.push(Command::d2h(
+                "out",
+                CommandClass::InputOutput,
+                chain.bytes(final_out),
+                HostMemKind::Paged,
+            ));
+            Schedule::serial(cmds)
+        }
+        Strategy::Fused => {
+            let mut cmds = vec![Command::h2d(
+                "in",
+                CommandClass::InputOutput,
+                chain.bytes(chain.n),
+                HostMemKind::Paged,
+            )];
+            emit_fused_kernels(&mut cmds, system, chain, cards, 1.0, "");
+            cmds.push(Command::d2h(
+                "out",
+                CommandClass::InputOutput,
+                chain.bytes(final_out),
+                HostMemKind::Paged,
+            ));
+            Schedule::serial(cmds)
+        }
+        Strategy::Fission { segments } => {
+            pipelined_schedule(system, chain, cards, segments, false)
+        }
+        Strategy::FusedFission { segments } => {
+            pipelined_schedule(system, chain, cards, segments, true)
+        }
+    }
+}
+
+/// Emit exactly stage `i`'s filter+gather kernels.
+fn emit_stage_kernels(
+    cmds: &mut Vec<Command>,
+    system: &GpuSystem,
+    chain: &SelectChain,
+    cards: &[u64],
+    i: usize,
+    scale: f64,
+    tag: &str,
+) {
+    let in_elems = ((cards[i] as f64) * scale).round() as u64;
+    let out_elems = ((cards[i + 1] as f64) * scale).round() as u64;
+    let sel = stage_sel(cards, i);
+    let filter = profiles::select_filter(
+        format!("filter{i}{tag}"),
+        &chain.predicate(i),
+        chain.level,
+        chain.row_bytes,
+        sel,
+    );
+    cmds.push(Command::kernel(
+        filter,
+        LaunchConfig::for_elements(in_elems, &system.spec),
+        in_elems,
+    ));
+    let gather = profiles::select_gather(format!("gather{i}{tag}"), chain.row_bytes);
+    cmds.push(Command::kernel(
+        gather,
+        LaunchConfig::for_elements(out_elems.max(1), &system.spec),
+        out_elems,
+    ));
+}
+
+/// The fission pipeline (Fig. 13 / Fig. 15): the input is cut into
+/// segments; each segment's H2D → kernels → D2H runs on one of
+/// [`FISSION_STREAMS`] rotating streams, so transfers of one segment hide
+/// under compute of another. Fission requires pinned memory (§IV-B). The
+/// per-segment results are reassembled by a CPU-side gather (§IV-C), which
+/// occupies the host engine and overlaps with GPU work.
+fn pipelined_schedule(
+    system: &GpuSystem,
+    chain: &SelectChain,
+    cards: &[u64],
+    segments: u32,
+    fused: bool,
+) -> Schedule {
+    let mut sched = Schedule::new();
+    for _ in 0..FISSION_STREAMS {
+        sched.add_stream();
+    }
+    let host_stream = sched.add_stream();
+    let scale = 1.0 / segments as f64;
+    let seg_out_bytes = chain.bytes(((cards[chain.depth()] as f64) * scale).round() as u64);
+    for s in 0..segments {
+        let next_event = s; // one sync event per segment
+        let stream = (s as usize) % FISSION_STREAMS;
+        let tag = format!("[seg{s}]");
+        sched.push(
+            stream,
+            Command::h2d(
+                format!("in{tag}"),
+                CommandClass::InputOutput,
+                chain.bytes(((chain.n as f64) * scale).round() as u64),
+                HostMemKind::Pinned,
+            ),
+        );
+        let mut kernels = Vec::new();
+        if fused {
+            emit_fused_kernels(&mut kernels, system, chain, cards, scale, &tag);
+        } else {
+            emit_unfused_kernels(&mut kernels, system, chain, cards, scale, &tag);
+        }
+        for kcmd in kernels {
+            sched.push(stream, kcmd);
+        }
+        sched.push(
+            stream,
+            Command::d2h(
+                format!("out{tag}"),
+                CommandClass::InputOutput,
+                seg_out_bytes,
+                HostMemKind::Pinned,
+            ),
+        );
+        // CPU gather for this segment, ordered after its D2H via an event;
+        // runs on the host engine concurrently with later segments.
+        let ev = kfusion_vgpu::des::EventId(next_event);
+        sched.push(stream, Command::record(ev));
+        sched.push(host_stream, Command::wait(ev));
+        sched.push(
+            host_stream,
+            Command::host_work(
+                format!("cpu_gather{tag}"),
+                seg_out_bytes as f64 / CPU_GATHER_BW,
+            ),
+        );
+    }
+    sched
+}
+
+/// Fig. 12's three configurations for running SELECT(s) over `n` total
+/// elements at `sel` selectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcurrentVariant {
+    /// One SELECT, full launch configuration ("no stream (old)").
+    NoStreamOld,
+    /// One SELECT, half threads and CTAs ("no stream (new)").
+    NoStreamNew,
+    /// Two independent SELECTs of `n/2` each, half configuration, on two
+    /// pool streams ("stream").
+    Stream,
+}
+
+/// Run one Fig. 12 configuration end-to-end (transfers included; the
+/// stream variant uses pinned memory as async copies require).
+pub fn run_concurrent(
+    system: &GpuSystem,
+    n: u64,
+    sel: f64,
+    variant: ConcurrentVariant,
+) -> Result<Report, CoreError> {
+    let chain = SelectChain::auto(n, &[sel]);
+    let cards = chain.cardinalities()?;
+    let mk_cmds = |elems: u64, out: u64, halved: bool, tag: &str, mem: HostMemKind| {
+        let mut cmds = vec![Command::h2d(
+            format!("in{tag}"),
+            CommandClass::InputOutput,
+            chain.bytes(elems),
+            mem,
+        )];
+        let filter = profiles::select_filter(
+            format!("filter{tag}"),
+            &chain.predicate(0),
+            chain.level,
+            chain.row_bytes,
+            sel,
+        );
+        let mut launch = LaunchConfig::for_elements(elems, &system.spec);
+        if halved {
+            launch = launch.halved();
+        }
+        cmds.push(Command::kernel(filter, launch, elems));
+        let gather = profiles::select_gather(format!("gather{tag}"), chain.row_bytes);
+        let mut glaunch = LaunchConfig::for_elements(out.max(1), &system.spec);
+        if halved {
+            glaunch = glaunch.halved();
+        }
+        cmds.push(Command::kernel(gather, glaunch, out));
+        cmds.push(Command::d2h(
+            format!("out{tag}"),
+            CommandClass::InputOutput,
+            chain.bytes(out),
+            mem,
+        ));
+        cmds
+    };
+    let schedule = match variant {
+        ConcurrentVariant::NoStreamOld => {
+            Schedule::serial(mk_cmds(n, cards[1], false, "", HostMemKind::Pinned))
+        }
+        ConcurrentVariant::NoStreamNew => {
+            Schedule::serial(mk_cmds(n, cards[1], true, "", HostMemKind::Pinned))
+        }
+        ConcurrentVariant::Stream => {
+            let mut sched = Schedule::new();
+            let a = sched.add_stream();
+            let b = sched.add_stream();
+            for cmd in mk_cmds(n / 2, cards[1] / 2, true, "[A]", HostMemKind::Pinned) {
+                sched.push(a, cmd);
+            }
+            for cmd in mk_cmds(n - n / 2, cards[1] - cards[1] / 2, true, "[B]", HostMemKind::Pinned) {
+                sched.push(b, cmd);
+            }
+            sched
+        }
+    };
+    let timeline = system.simulate(&schedule)?;
+    Ok(Report::new(timeline, n, n as f64 * chain.row_bytes))
+}
+
+/// Functional cross-check: the fused chain (single pass over the conjunction)
+/// produces exactly the same relation as the unfused chain of SELECTs.
+pub fn verify_chain_equivalence(chain: &SelectChain) -> Result<bool, CoreError> {
+    let input = gen::random_keys(chain.n as usize, chain.seed);
+    let preds = chain.predicates();
+    let (unfused, _) = ops::select_chain_unfused(&input, &preds)?;
+    let fused_pred = fuse_predicate_chain(&preds);
+    let fused = ops::select(&input, &fused_pred)?;
+    Ok(unfused == fused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> GpuSystem {
+        GpuSystem::c2070()
+    }
+
+    fn chain_2x50(n: u64) -> SelectChain {
+        SelectChain::auto(n, &[0.5, 0.5])
+    }
+
+    #[test]
+    fn real_cardinalities_match_expected_product() {
+        // Two 50% SELECTs keep ~25% (paper §III-B).
+        let chain = chain_2x50(1 << 20);
+        let cards = chain.cardinalities().unwrap();
+        let kept = cards[2] as f64 / cards[0] as f64;
+        assert!((kept - 0.25).abs() < 0.01, "kept {kept}");
+    }
+
+    #[test]
+    fn fused_equals_unfused_functionally() {
+        let chain = SelectChain::auto(200_000, &[0.5, 0.3, 0.8]);
+        assert!(verify_chain_equivalence(&chain).unwrap());
+    }
+
+    #[test]
+    fn fused_beats_without_round_trip_beats_with_round_trip() {
+        // Fig. 8(a)'s ordering.
+        let chain = chain_2x50(1 << 22);
+        let cards = chain.cardinalities().unwrap();
+        let s = sys();
+        let with_rt = run_with_cards(&s, &chain, Strategy::WithRoundTrip, &cards).unwrap();
+        let without = run_with_cards(&s, &chain, Strategy::WithoutRoundTrip, &cards).unwrap();
+        let fused = run_with_cards(&s, &chain, Strategy::Fused, &cards).unwrap();
+        assert!(fused.total() < without.total(), "fused {} vs without {}", fused.total(), without.total());
+        assert!(without.total() < with_rt.total());
+    }
+
+    #[test]
+    fn compute_only_fusion_gain_is_large() {
+        // Fig. 8(b): fused ~1.8x on the compute part.
+        let chain = chain_2x50(1 << 22);
+        let s = sys();
+        let unfused = run_compute_only(&s, &chain, false).unwrap();
+        let fused = run_compute_only(&s, &chain, true).unwrap();
+        let gain = unfused.total() / fused.total();
+        assert!(gain > 1.4, "compute-only fusion gain {gain}");
+    }
+
+    #[test]
+    fn round_trip_dominates_with_round_trip_breakdown() {
+        // Fig. 9: round trip ≈ half of the with-round-trip execution.
+        let chain = chain_2x50(1 << 24);
+        let s = sys();
+        let r = run(&s, &chain, Strategy::WithRoundTrip).unwrap();
+        let (_io, rt, _c) = r.breakdown_fractions();
+        assert!(rt > 0.3, "round-trip share {rt}");
+    }
+
+    #[test]
+    fn fission_beats_serial_on_large_data() {
+        // Fig. 14's effect at a synthetic 2G elements.
+        let chain = SelectChain::auto(2_000_000_000, &[0.5]);
+        let s = sys();
+        let cards = chain.cardinalities().unwrap();
+        let serial = run_with_cards(&s, &chain, Strategy::WithRoundTrip, &cards).unwrap();
+        let fission = run_with_cards(&s, &chain, Strategy::Fission { segments: 32 }, &cards).unwrap();
+        assert!(
+            fission.total() < serial.total(),
+            "fission {} vs serial {}",
+            fission.total(),
+            serial.total()
+        );
+    }
+
+    #[test]
+    fn fig16_strategy_ordering() {
+        // serial < fusion < fission < fusion+fission (in throughput).
+        let chain = SelectChain::auto(1_000_000_000, &[0.5, 0.5]);
+        let s = sys();
+        let cards = chain.cardinalities().unwrap();
+        let serial = run_with_cards(&s, &chain, Strategy::WithRoundTrip, &cards).unwrap();
+        let fused = run_with_cards(&s, &chain, Strategy::Fused, &cards).unwrap();
+        let fission = run_with_cards(&s, &chain, Strategy::Fission { segments: 32 }, &cards).unwrap();
+        let both = run_with_cards(&s, &chain, Strategy::FusedFission { segments: 32 }, &cards).unwrap();
+        assert!(fused.total() < serial.total());
+        assert!(fission.total() < fused.total(), "fission {} vs fused {}", fission.total(), fused.total());
+        // Both pipelines are transfer-bound at this size; fusing the kernels
+        // inside the pipeline must never hurt, and usually shaves a little.
+        assert!(
+            both.total() <= fission.total() * 1.01,
+            "fused pipeline worse: {} vs {}",
+            both.total(),
+            fission.total()
+        );
+    }
+
+    #[test]
+    fn concurrent_stream_beats_halved_serial() {
+        // Fig. 12: stream > no stream (new) everywhere.
+        let s = sys();
+        for n in [1u64 << 22, 1 << 25] {
+            let new = run_concurrent(&s, n, 0.5, ConcurrentVariant::NoStreamNew).unwrap();
+            let stream = run_concurrent(&s, n, 0.5, ConcurrentVariant::Stream).unwrap();
+            assert!(
+                stream.total() < new.total(),
+                "stream {} vs new {} at n={n}",
+                stream.total(),
+                new.total()
+            );
+        }
+    }
+
+    #[test]
+    fn halved_config_is_slower_than_full() {
+        // Fig. 12: no stream (new) < no stream (old) everywhere.
+        let s = sys();
+        let old = run_concurrent(&s, 1 << 25, 0.5, ConcurrentVariant::NoStreamOld).unwrap();
+        let new = run_concurrent(&s, 1 << 25, 0.5, ConcurrentVariant::NoStreamNew).unwrap();
+        assert!(old.total() < new.total());
+    }
+
+    #[test]
+    fn deeper_fusion_helps_more() {
+        // Fig. 11(a): fusing 3 SELECTs gains more than fusing 2.
+        let s = sys();
+        let two = SelectChain::auto(1 << 22, &[0.5, 0.5]);
+        let three = SelectChain::auto(1 << 22, &[0.5, 0.5, 0.5]);
+        let gain = |c: &SelectChain| {
+            let unfused = run_compute_only(&s, c, false).unwrap().total();
+            let fused = run_compute_only(&s, c, true).unwrap().total();
+            unfused / fused
+        };
+        let g2 = gain(&two);
+        let g3 = gain(&three);
+        assert!(g3 > g2, "gain3 {g3} <= gain2 {g2}");
+    }
+
+    #[test]
+    fn synthetic_and_real_cards_agree() {
+        let mut chain = chain_2x50(1 << 20);
+        chain.mode = DataMode::Real;
+        let real = chain.cardinalities().unwrap();
+        chain.mode = DataMode::Synthetic;
+        let synth = chain.cardinalities().unwrap();
+        for (r, s) in real.iter().zip(&synth) {
+            let diff = (*r as f64 - *s as f64).abs() / (*s as f64).max(1.0);
+            assert!(diff < 0.02, "real {r} vs synth {s}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's Fig. 2: the operator combinations that commonly occur in
+//! TPC-H and are candidates for fusion. Each constructor builds the
+//! pattern as a [`PlanGraph`]; the integration tests assert the fusion
+//! pass fuses each one the way the paper describes.
+
+use crate::graph::{OpKind, PlanGraph};
+use kfusion_ir::KernelBody;
+use kfusion_relalg::ops::Agg;
+use kfusion_relalg::predicates;
+
+fn sel(t: u64) -> KernelBody {
+    predicates::key_lt(t)
+}
+
+fn arith() -> KernelBody {
+    predicates::discounted_price(0, 1)
+}
+
+/// Fig. 2(a): a chain of back-to-back SELECTs (e.g. a date-range filter).
+pub fn a_select_chain(depth: usize) -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let mut cur = g.input(0);
+    for k in 0..depth.max(1) {
+        cur = g.add(OpKind::Select { pred: sel(1000 - k as u64) }, vec![cur]);
+    }
+    g
+}
+
+/// Fig. 2(b): a chain of JOINs building a wide table from many columns.
+pub fn b_join_chain(n_tables: usize) -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let mut cur = g.input(0);
+    for t in 1..n_tables.max(2) {
+        let next = g.input(t);
+        cur = g.add(OpKind::ColumnJoin, vec![cur, next]);
+    }
+    g
+}
+
+/// Fig. 2(c): several SELECTs filtering the *same* input.
+pub fn c_shared_input_selects(n_consumers: usize) -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let i = g.input(0);
+    let shared = g.add(OpKind::Select { pred: sel(500) }, vec![i]);
+    for k in 0..n_consumers.max(1) {
+        g.add(OpKind::Select { pred: sel(100 + k as u64) }, vec![shared]);
+    }
+    g
+}
+
+/// Fig. 2(d): a SELECT over fields produced by a JOIN.
+pub fn d_join_then_select() -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let a = g.input(0);
+    let b = g.input(1);
+    let j = g.add(OpKind::Join, vec![a, b]);
+    g.add(OpKind::Select { pred: sel(100) }, vec![j]);
+    g
+}
+
+/// Fig. 2(e): arithmetic over fields produced by a JOIN.
+pub fn e_join_then_arith() -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let a = g.input(0);
+    let b = g.input(1);
+    let j = g.add(OpKind::ColumnJoin, vec![a, b]);
+    g.add(OpKind::Arith { body: arith() }, vec![j]);
+    g
+}
+
+/// Fig. 2(f): a JOIN of two small selected tables.
+pub fn f_join_of_selects() -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let a = g.input(0);
+    let b = g.input(1);
+    let s1 = g.add(OpKind::Select { pred: sel(100) }, vec![a]);
+    let s2 = g.add(OpKind::Select { pred: sel(200) }, vec![b]);
+    g.add(OpKind::Join, vec![s1, s2]);
+    g
+}
+
+/// Fig. 2(g): AGGREGATION over selected data.
+pub fn g_select_then_aggregate() -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let i = g.input(0);
+    let s = g.add(OpKind::Select { pred: sel(100) }, vec![i]);
+    g.add(OpKind::AggregateAll { aggs: vec![Agg::Count, Agg::Sum(0)] }, vec![s]);
+    g
+}
+
+/// Fig. 2(h): the Σ(1 − discount) × price pattern — ARITH whose sources
+/// PROJECT then discards, keeping only the result.
+pub fn h_arith_project() -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let i = g.input(0);
+    let ar = g.add(OpKind::ArithExtend { body: arith() }, vec![i]);
+    // Keep only the computed column (index 2: after price, discount).
+    g.add(OpKind::Project { keep: vec![2] }, vec![ar]);
+    g
+}
+
+/// All eight patterns, labelled.
+pub fn all() -> Vec<(&'static str, PlanGraph)> {
+    vec![
+        ("(a) SELECT chain", a_select_chain(2)),
+        ("(b) JOIN chain", b_join_chain(3)),
+        ("(c) shared-input SELECTs", c_shared_input_selects(2)),
+        ("(d) JOIN->SELECT", d_join_then_select()),
+        ("(e) JOIN->ARITH", e_join_then_arith()),
+        ("(f) JOIN of SELECTs", f_join_of_selects()),
+        ("(g) SELECT->AGGREGATE", g_select_then_aggregate()),
+        ("(h) ARITH->PROJECT", h_arith_project()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::FusionBudget;
+    use crate::fusion::fuse_plan;
+    use kfusion_ir::opt::OptLevel;
+
+    /// Every Fig. 2 pattern must fuse into a single kernel under the
+    /// default register budget — that is the paper's claim for these
+    /// combinations.
+    #[test]
+    fn every_fig2_pattern_fuses_into_one_group() {
+        let budget = FusionBudget { max_regs_per_thread: 63 };
+        for (name, g) in all() {
+            g.validate().unwrap();
+            let plan = fuse_plan(&g, &budget, OptLevel::O3);
+            assert_eq!(plan.groups.len(), 1, "pattern {name} split: {:?}", plan.groups);
+        }
+    }
+
+    #[test]
+    fn pattern_shapes() {
+        assert_eq!(a_select_chain(3).len(), 4);
+        assert_eq!(b_join_chain(4).len(), 7);
+        assert_eq!(c_shared_input_selects(3).len(), 5);
+        assert_eq!(d_join_then_select().len(), 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Execution reports: simulated timelines plus the derived metrics the
+//! paper's figures plot (data throughput, execution-time breakdowns,
+//! per-kernel splits).
+
+use kfusion_vgpu::{CommandClass, Engine, Timeline};
+
+/// The result of one simulated execution.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The executed timeline.
+    pub timeline: Timeline,
+    /// Elements processed (the figure x-axes).
+    pub elements: u64,
+    /// Logical input bytes (elements × element size) — the numerator of the
+    /// paper's "data throughput".
+    pub input_bytes: f64,
+}
+
+impl Report {
+    /// Build a report over a timeline.
+    pub fn new(timeline: Timeline, elements: u64, input_bytes: f64) -> Self {
+        Report { timeline, elements, input_bytes }
+    }
+
+    /// Simulated wall time (s).
+    pub fn total(&self) -> f64 {
+        self.timeline.total()
+    }
+
+    /// Data throughput in GB/s, as the paper plots it: input bytes divided
+    /// by total execution time.
+    pub fn throughput_gbps(&self) -> f64 {
+        self.input_bytes / self.total() / 1e9
+    }
+
+    /// Engine-busy seconds in one command class (Fig. 9's breakdown).
+    pub fn class_time(&self, class: CommandClass) -> f64 {
+        self.timeline.time_in_class(class)
+    }
+
+    /// Kernel-compute seconds.
+    pub fn compute_time(&self) -> f64 {
+        self.class_time(CommandClass::Compute)
+    }
+
+    /// Seconds spent in spans whose label starts with `prefix` (Fig. 10's
+    /// per-kernel split: "filter" vs "gather").
+    pub fn label_time(&self, prefix: &str) -> f64 {
+        self.timeline.time_with_label_prefix(prefix)
+    }
+
+    /// Busy seconds of an engine.
+    pub fn engine_time(&self, engine: Engine) -> f64 {
+        self.timeline.busy(engine)
+    }
+
+    /// The three-way breakdown of Fig. 9 as (input/output, round trip,
+    /// compute) fractions of their sum.
+    pub fn breakdown_fractions(&self) -> (f64, f64, f64) {
+        let io = self.class_time(CommandClass::InputOutput);
+        let rt = self.class_time(CommandClass::RoundTrip);
+        let c = self.class_time(CommandClass::Compute);
+        let sum = (io + rt + c).max(1e-30);
+        (io / sum, rt / sum, c / sum)
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let (io, rt, c) = self.breakdown_fractions();
+        format!(
+            "elements: {}\ntotal: {:.6} s\nthroughput: {:.3} GB/s\nbreakdown: input/output {:.1}% | round trip {:.1}% | compute {:.1}%",
+            self.elements,
+            self.total(),
+            self.throughput_gbps(),
+            io * 100.0,
+            rt * 100.0,
+            c * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_vgpu::des::Span;
+
+    fn span(label: &str, class: CommandClass, engine: Engine, start: f64, end: f64) -> Span {
+        Span { stream: 0, index: 0, label: label.into(), class, engine: Some(engine), start, end }
+    }
+
+    fn sample() -> Report {
+        let timeline = Timeline {
+            spans: vec![
+                span("in", CommandClass::InputOutput, Engine::CopyH2D, 0.0, 1.0),
+                span("filter1", CommandClass::Compute, Engine::Compute, 1.0, 1.5),
+                span("gather1", CommandClass::Compute, Engine::Compute, 1.5, 1.75),
+                span("tmp", CommandClass::RoundTrip, Engine::CopyD2H, 1.75, 2.75),
+                span("out", CommandClass::InputOutput, Engine::CopyD2H, 2.75, 3.25),
+            ],
+        };
+        Report::new(timeline, 1000, 4000.0)
+    }
+
+    #[test]
+    fn totals_and_throughput() {
+        let r = sample();
+        assert_eq!(r.total(), 3.25);
+        assert!((r.throughput_gbps() - 4000.0 / 3.25 / 1e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn class_breakdown() {
+        let r = sample();
+        assert_eq!(r.class_time(CommandClass::InputOutput), 1.5);
+        assert_eq!(r.class_time(CommandClass::RoundTrip), 1.0);
+        assert_eq!(r.compute_time(), 0.75);
+        let (io, rt, c) = r.breakdown_fractions();
+        assert!((io + rt + c - 1.0).abs() < 1e-12);
+        assert!(rt > c);
+    }
+
+    #[test]
+    fn label_split() {
+        let r = sample();
+        assert_eq!(r.label_time("filter"), 0.5);
+        assert_eq!(r.label_time("gather"), 0.25);
+    }
+
+    #[test]
+    fn summary_mentions_throughput() {
+        assert!(sample().summary().contains("GB/s"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Abstract syntax for the SQL subset.
+//!
+//! The grammar (EBNF; keywords case-insensitive):
+//!
+//! ```text
+//! query    := SELECT items FROM ident
+//!             (WHERE pred (AND pred)*)?
+//!             (GROUP BY KEY)?
+//!             (ORDER BY (KEY | ident) ASC?)?
+//! items    := item (',' item)*
+//! item     := '*' | agg | expr (AS ident)?
+//! agg      := (SUM|AVG|MIN|MAX) '(' expr ')' (AS ident)?
+//!           | COUNT '(' '*' ')' (AS ident)?
+//! pred     := expr cmp expr | expr BETWEEN expr AND expr
+//! cmp      := '<' | '<=' | '>' | '>=' | '=' | '<>'
+//! expr     := term (('+'|'-') term)*
+//! term     := factor (('*'|'/') factor)*
+//! factor   := number | ident | KEY | '(' expr ')' | '-' factor
+//! ```
+
+/// A scalar expression over one table's row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The tuple key (`KEY`).
+    Key,
+    /// A named column.
+    Column(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+}
+
+/// One WHERE conjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left side.
+    pub lhs: Expr,
+    /// Comparison.
+    pub op: CmpOp,
+    /// Right side.
+    pub rhs: Expr,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `SUM(expr)`
+    Sum,
+    /// `COUNT(*)`
+    Count,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `*` — every column.
+    Star,
+    /// A scalar expression (plain column or computed).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Optional `AS` name.
+        alias: Option<String>,
+    },
+    /// An aggregate.
+    Agg {
+        /// Function.
+        func: AggFunc,
+        /// Argument (`None` for `COUNT(*)`).
+        arg: Option<Expr>,
+        /// Optional `AS` name.
+        alias: Option<String>,
+    },
+}
+
+/// Sort target of `ORDER BY`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderBy {
+    /// `ORDER BY KEY`
+    Key,
+    /// `ORDER BY <column>` (of the *output*).
+    Column(String),
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub items: Vec<Item>,
+    /// Source table name.
+    pub table: String,
+    /// WHERE conjuncts, in source order.
+    pub predicates: Vec<Predicate>,
+    /// Whether `GROUP BY KEY` was given.
+    pub group_by_key: bool,
+    /// Optional ordering.
+    pub order_by: Option<OrderBy>,
+}
+
+impl Expr {
+    /// Column names referenced by this expression.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Column(c) = e {
+                out.push(c.as_str());
+            }
+        });
+        out
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Neg(e) => e.walk(f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_collected_in_order() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::Column("price".into())),
+            rhs: Box::new(Expr::Binary {
+                op: BinOp::Sub,
+                lhs: Box::new(Expr::Int(1)),
+                rhs: Box::new(Expr::Column("discount".into())),
+            }),
+        };
+        assert_eq!(e.columns(), vec!["price", "discount"]);
+    }
+}

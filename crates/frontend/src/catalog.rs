@@ -1,0 +1,100 @@
+//! Table schemas: how column names map onto the positional layout of
+//! [`kfusion_relalg::Relation`].
+
+use std::collections::HashMap;
+
+/// Column value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// 64-bit integer column.
+    I64,
+    /// 64-bit float column.
+    F64,
+}
+
+/// Schema of one table: named, typed payload columns in relation order
+/// (the key is implicit and always `I64`, addressed as `KEY` in queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    columns: Vec<(String, ColType)>,
+}
+
+impl TableSchema {
+    /// A schema from `(name, type)` pairs.
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = (S, ColType)>) -> Self {
+        TableSchema {
+            columns: columns.into_iter().map(|(n, t)| (n.into(), t)).collect(),
+        }
+    }
+
+    /// Number of payload columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the table has no payload columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index and type of a named column.
+    pub fn column(&self, name: &str) -> Option<(usize, ColType)> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| (i, self.columns[i].1))
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Type of column `i`.
+    pub fn col_type(&self, i: usize) -> ColType {
+        self.columns[i].1
+    }
+}
+
+/// A set of named tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn add_table(&mut self, name: impl Into<String>, schema: TableSchema) -> &mut Self {
+        self.tables.insert(name.into().to_ascii_lowercase(), schema);
+        self
+    }
+
+    /// Look up a table (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name_and_case() {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            "LineItem",
+            TableSchema::new([("price", ColType::F64), ("qty", ColType::I64)]),
+        );
+        let t = cat.table("lineitem").expect("case-insensitive lookup");
+        assert_eq!(t.column("price"), Some((0, ColType::F64)));
+        assert_eq!(t.column("qty"), Some((1, ColType::I64)));
+        assert_eq!(t.column("nope"), None);
+        assert_eq!(t.len(), 2);
+    }
+}

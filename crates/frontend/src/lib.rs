@@ -1,0 +1,55 @@
+//! `kfusion-frontend` — a small SQL front end compiling queries to
+//! [`kfusion_core::PlanGraph`]s.
+//!
+//! The paper's compiler framework sits *under* a query front end (its
+//! research context compiled LogicBlox/datalog workloads down to relational
+//! algebra). This crate completes that pipeline for the reproduction: a
+//! deliberately small SQL subset — single-table SELECT/WHERE/GROUP BY
+//! KEY/ORDER BY with arithmetic and aggregates — parses into an AST and
+//! lowers to the operator graphs the fusion/fission passes optimize.
+//!
+//! Lowering is intentionally naive (one SELECT per WHERE conjunct, separate
+//! arithmetic stages): producing fusable chains is the front end's whole
+//! contract, and making them fast is the optimizer's job — the same division
+//! of labour the paper prescribes.
+//!
+//! # Example
+//!
+//! ```
+//! use kfusion_frontend::{compile, Catalog, ColType, TableSchema};
+//! use kfusion_core::{fuse_plan, FusionBudget};
+//! use kfusion_ir::opt::OptLevel;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.add_table(
+//!     "lineitem",
+//!     TableSchema::new([
+//!         ("qty", ColType::F64),
+//!         ("price", ColType::F64),
+//!         ("discount", ColType::F64),
+//!         ("shipdate", ColType::I64),
+//!     ]),
+//! );
+//!
+//! let q = compile(
+//!     "SELECT SUM(price * (1 - discount)) AS revenue, COUNT(*) \
+//!      FROM lineitem WHERE shipdate < 1095 AND qty < 24",
+//!     &catalog,
+//! )
+//! .unwrap();
+//!
+//! // The naive plan has two SELECTs, an arithmetic stage, an aggregation —
+//! // and the fusion pass collapses all of it into one kernel.
+//! let fused = fuse_plan(&q.plan, &FusionBudget { max_regs_per_thread: 63 }, OptLevel::O3);
+//! assert_eq!(fused.groups.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use catalog::{Catalog, ColType, TableSchema};
+pub use lower::{compile, CompileError, CompiledQuery, LowerError};
+pub use parser::{parse, ParseError};

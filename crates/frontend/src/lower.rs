@@ -1,0 +1,422 @@
+//! Lowering: AST → [`PlanGraph`].
+//!
+//! The lowering is deliberately *naive* — each WHERE conjunct becomes its
+//! own SELECT operator and every computed expression its own arithmetic
+//! stage — because producing chains of small operators is exactly what
+//! gives the fusion pass something to do. The front end plays the role of
+//! the paper's query-plan generator; the optimizer, not the lowering, is
+//! responsible for making the result fast.
+
+use crate::ast::{self, AggFunc, Expr, Item, OrderBy, Query};
+use crate::catalog::{Catalog, ColType, TableSchema};
+use kfusion_core::{OpKind, PlanGraph};
+use kfusion_ir::builder::{BodyBuilder, Expr as IrExpr};
+use kfusion_ir::{CmpOp, Ty};
+use kfusion_relalg::ops::{Agg, SortBy};
+use std::fmt;
+
+/// Lowering errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// The query names a table the catalog does not know.
+    UnknownTable(String),
+    /// The query references an unknown column.
+    UnknownColumn(String),
+    /// SELECT mixes aggregates with non-aggregate items.
+    MixedAggregates,
+    /// `ORDER BY <col>` names a column absent from the output (or, for a
+    /// payload sort, one that is not integer-typed).
+    BadOrderBy(String),
+    /// An expression mixes types in an unsupported way.
+    TypeError(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            LowerError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            LowerError::MixedAggregates => {
+                write!(f, "SELECT list mixes aggregates with plain expressions")
+            }
+            LowerError::BadOrderBy(c) => write!(f, "cannot ORDER BY {c:?}"),
+            LowerError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// A compiled query: the plan plus its output column names.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The plan; its single input (index 0) is the FROM table's relation.
+    pub plan: PlanGraph,
+    /// Output payload column names, in order.
+    pub output_names: Vec<String>,
+}
+
+/// Compile `sql` against `catalog`.
+pub fn compile(sql: &str, catalog: &Catalog) -> Result<CompiledQuery, CompileError> {
+    let query = crate::parser::parse(sql)?;
+    lower(&query, catalog).map_err(CompileError::Lower)
+}
+
+/// Either phase's failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Tokenizer/parser failure.
+    Parse(crate::parser::ParseError),
+    /// Semantic/lowering failure.
+    Lower(LowerError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<crate::parser::ParseError> for CompileError {
+    fn from(e: crate::parser::ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+/// Inferred expression type during lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ETy {
+    I64,
+    F64,
+    /// An integer literal: adopts the type of whatever it meets.
+    IntLit,
+}
+
+fn unify(a: ETy, b: ETy) -> ETy {
+    match (a, b) {
+        (ETy::F64, _) | (_, ETy::F64) => ETy::F64,
+        (ETy::I64, _) | (_, ETy::I64) => ETy::I64,
+        _ => ETy::IntLit,
+    }
+}
+
+fn expr_ty(e: &Expr, schema: &TableSchema) -> Result<ETy, LowerError> {
+    Ok(match e {
+        Expr::Key => ETy::I64,
+        Expr::Int(_) => ETy::IntLit,
+        Expr::Float(_) => ETy::F64,
+        Expr::Column(name) => match schema.column(name) {
+            Some((_, ColType::I64)) => ETy::I64,
+            Some((_, ColType::F64)) => ETy::F64,
+            None => return Err(LowerError::UnknownColumn(name.clone())),
+        },
+        Expr::Binary { lhs, rhs, .. } => unify(expr_ty(lhs, schema)?, expr_ty(rhs, schema)?),
+        Expr::Neg(inner) => expr_ty(inner, schema)?,
+    })
+}
+
+/// Lower an AST expression to an IR expression of type `want`, inserting
+/// casts where an integer subexpression meets a float context.
+fn lower_expr(e: &Expr, schema: &TableSchema, want: ETy) -> Result<IrExpr, LowerError> {
+    let own = expr_ty(e, schema)?;
+    let base = match e {
+        Expr::Key => IrExpr::input(0),
+        Expr::Column(name) => {
+            let (idx, _) = schema
+                .column(name)
+                .ok_or_else(|| LowerError::UnknownColumn(name.clone()))?;
+            IrExpr::input(idx as u32 + 1)
+        }
+        Expr::Int(v) => {
+            // Literals lower directly at the wanted type.
+            return Ok(if want == ETy::F64 {
+                IrExpr::lit(*v as f64)
+            } else {
+                IrExpr::lit(*v)
+            });
+        }
+        Expr::Float(v) => IrExpr::lit(*v),
+        Expr::Binary { op, lhs, rhs } => {
+            let sub_want = unify(own, want);
+            let l = lower_expr(lhs, schema, sub_want)?;
+            let r = lower_expr(rhs, schema, sub_want)?;
+            return Ok(match op {
+                ast::BinOp::Add => l.add(r),
+                ast::BinOp::Sub => l.sub(r),
+                ast::BinOp::Mul => l.mul(r),
+                ast::BinOp::Div => l.div(r),
+            });
+        }
+        Expr::Neg(inner) => {
+            let sub_want = unify(own, want);
+            return Ok(lower_expr(inner, schema, sub_want)?.neg());
+        }
+    };
+    // Column/KEY reads: cast i64 sources into float contexts.
+    Ok(if want == ETy::F64 && own != ETy::F64 {
+        base.cast(Ty::F64)
+    } else {
+        base
+    })
+}
+
+fn lower_predicate(
+    p: &ast::Predicate,
+    schema: &TableSchema,
+) -> Result<kfusion_ir::KernelBody, LowerError> {
+    let want = unify(expr_ty(&p.lhs, schema)?, expr_ty(&p.rhs, schema)?);
+    let l = lower_expr(&p.lhs, schema, want)?;
+    let r = lower_expr(&p.rhs, schema, want)?;
+    let op = match p.op {
+        ast::CmpOp::Lt => CmpOp::Lt,
+        ast::CmpOp::Le => CmpOp::Le,
+        ast::CmpOp::Gt => CmpOp::Gt,
+        ast::CmpOp::Ge => CmpOp::Ge,
+        ast::CmpOp::Eq => CmpOp::Eq,
+        ast::CmpOp::Ne => CmpOp::Ne,
+    };
+    let mut b = BodyBuilder::new(schema.len() as u32 + 1);
+    b.emit_output(l.cmp(op, r));
+    Ok(b.build())
+}
+
+/// Lower a parsed query against `catalog`.
+pub fn lower(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, LowerError> {
+    let schema = catalog
+        .table(&query.table)
+        .ok_or_else(|| LowerError::UnknownTable(query.table.clone()))?;
+    let mut plan = PlanGraph::new();
+    let mut cur = plan.input(0);
+
+    // WHERE: one SELECT per conjunct (the fusion pass merges them).
+    for p in &query.predicates {
+        let pred = lower_predicate(p, schema)?;
+        cur = plan.add(OpKind::Select { pred }, vec![cur]);
+    }
+
+    let has_agg = query.items.iter().any(|i| matches!(i, Item::Agg { .. }));
+    let all_agg = query.items.iter().all(|i| matches!(i, Item::Agg { .. }));
+    if has_agg && !all_agg {
+        return Err(LowerError::MixedAggregates);
+    }
+
+    let mut output_names = Vec::new();
+    if has_agg {
+        // Computed aggregate arguments become columns first (one fused
+        // arithmetic stage), then a single AGGREGATION consumes them.
+        let mut extend = BodyBuilder::new(schema.len() as u32 + 1);
+        let mut extended = 0usize;
+        let mut aggs = Vec::new();
+        for item in &query.items {
+            let Item::Agg { func, arg, alias } = item else { unreachable!() };
+            let col = match arg {
+                None => usize::MAX, // COUNT(*) takes no column
+                Some(Expr::Column(name)) => {
+                    schema
+                        .column(name)
+                        .ok_or_else(|| LowerError::UnknownColumn(name.clone()))?
+                        .0
+                }
+                Some(expr) => {
+                    let want = expr_ty(expr, schema)?;
+                    extend.emit_output(lower_expr(expr, schema, want)?);
+                    extended += 1;
+                    schema.len() + extended - 1
+                }
+            };
+            aggs.push(match func {
+                AggFunc::Sum => Agg::Sum(col),
+                AggFunc::Avg => Agg::Avg(col),
+                AggFunc::Min => Agg::Min(col),
+                AggFunc::Max => Agg::Max(col),
+                AggFunc::Count => Agg::Count,
+            });
+            output_names.push(alias.clone().unwrap_or_else(|| default_agg_name(func, arg)));
+        }
+        if extended > 0 {
+            cur = plan.add(OpKind::ArithExtend { body: extend.build() }, vec![cur]);
+        }
+        cur = if query.group_by_key {
+            plan.add(OpKind::Aggregate { aggs }, vec![cur])
+        } else {
+            plan.add(OpKind::AggregateAll { aggs }, vec![cur])
+        };
+    } else {
+        // Plain projection, possibly with computed columns.
+        let mut extend = BodyBuilder::new(schema.len() as u32 + 1);
+        let mut extended = 0usize;
+        let mut keep = Vec::new();
+        for item in &query.items {
+            match item {
+                Item::Star => {
+                    for (i, name) in schema.names().enumerate() {
+                        keep.push(i);
+                        output_names.push(name.to_string());
+                    }
+                }
+                Item::Expr { expr: Expr::Column(name), alias } => {
+                    let (idx, _) = schema
+                        .column(name)
+                        .ok_or_else(|| LowerError::UnknownColumn(name.clone()))?;
+                    keep.push(idx);
+                    output_names.push(alias.clone().unwrap_or_else(|| name.clone()));
+                }
+                Item::Expr { expr, alias } => {
+                    let want = expr_ty(expr, schema)?;
+                    extend.emit_output(lower_expr(expr, schema, want)?);
+                    extended += 1;
+                    keep.push(schema.len() + extended - 1);
+                    output_names
+                        .push(alias.clone().unwrap_or_else(|| format!("expr{}", keep.len())));
+                }
+                Item::Agg { .. } => unreachable!("checked above"),
+            }
+        }
+        if extended > 0 {
+            cur = plan.add(OpKind::ArithExtend { body: extend.build() }, vec![cur]);
+        }
+        cur = plan.add(OpKind::Project { keep }, vec![cur]);
+    }
+
+    // ORDER BY.
+    match &query.order_by {
+        None => {}
+        Some(OrderBy::Key) => {
+            cur = plan.add(OpKind::Sort { by: SortBy::Key }, vec![cur]);
+        }
+        Some(OrderBy::Column(name)) => {
+            let idx = output_names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| LowerError::BadOrderBy(name.clone()))?;
+            cur = plan.add(OpKind::Sort { by: SortBy::I64Col(idx) }, vec![cur]);
+        }
+    }
+    let _ = cur;
+    Ok(CompiledQuery { plan, output_names })
+}
+
+fn default_agg_name(func: &AggFunc, arg: &Option<Expr>) -> String {
+    let f = match func {
+        AggFunc::Sum => "sum",
+        AggFunc::Count => "count",
+        AggFunc::Avg => "avg",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    };
+    match arg {
+        Some(Expr::Column(c)) => format!("{f}_{c}"),
+        _ => f.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "lineitem",
+            TableSchema::new([
+                ("qty", ColType::F64),
+                ("price", ColType::F64),
+                ("discount", ColType::F64),
+                ("shipdate", ColType::I64),
+            ]),
+        );
+        c
+    }
+
+    fn kinds(plan: &PlanGraph) -> Vec<&'static str> {
+        plan.nodes.iter().map(|n| n.kind.name()).collect()
+    }
+
+    #[test]
+    fn where_conjuncts_become_select_chain() {
+        let q = compile(
+            "SELECT price FROM lineitem WHERE shipdate < 1000 AND qty < 24",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(kinds(&q.plan), vec!["INPUT", "SELECT", "SELECT", "PROJECT"]);
+        assert_eq!(q.output_names, vec!["price"]);
+    }
+
+    #[test]
+    fn q6_shape_compiles() {
+        let q = compile(
+            "SELECT SUM(price * discount) AS revenue, COUNT(*) FROM lineitem \
+             WHERE shipdate >= 730 AND shipdate < 1095 \
+             AND discount BETWEEN 0.05 AND 0.07 AND qty < 24",
+            &catalog(),
+        )
+        .unwrap();
+        // 5 conjuncts (BETWEEN desugars) + arith + aggregate.
+        assert_eq!(
+            kinds(&q.plan),
+            vec!["INPUT", "SELECT", "SELECT", "SELECT", "SELECT", "SELECT", "ARITH+", "AGGREGATE*"]
+        );
+        assert_eq!(q.output_names, vec!["revenue", "count"]);
+    }
+
+    #[test]
+    fn star_expands_schema() {
+        let q = compile("SELECT * FROM lineitem", &catalog()).unwrap();
+        assert_eq!(q.output_names, vec!["qty", "price", "discount", "shipdate"]);
+    }
+
+    #[test]
+    fn group_by_key_uses_grouped_aggregate() {
+        let q = compile("SELECT SUM(price), COUNT(*) FROM lineitem GROUP BY KEY", &catalog())
+            .unwrap();
+        assert!(kinds(&q.plan).contains(&"AGGREGATE"));
+        assert!(!kinds(&q.plan).contains(&"AGGREGATE*"));
+    }
+
+    #[test]
+    fn order_by_output_column() {
+        let q = compile("SELECT shipdate FROM lineitem ORDER BY shipdate", &catalog()).unwrap();
+        assert_eq!(*kinds(&q.plan).last().unwrap(), "SORT");
+        assert!(compile("SELECT price FROM lineitem ORDER BY nope", &catalog()).is_err());
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        assert!(matches!(
+            compile("SELECT x FROM nope", &catalog()),
+            Err(CompileError::Lower(LowerError::UnknownTable(_)))
+        ));
+        assert!(matches!(
+            compile("SELECT nope FROM lineitem", &catalog()),
+            Err(CompileError::Lower(LowerError::UnknownColumn(_)))
+        ));
+    }
+
+    #[test]
+    fn mixed_aggregates_rejected() {
+        assert!(matches!(
+            compile("SELECT price, COUNT(*) FROM lineitem", &catalog()),
+            Err(CompileError::Lower(LowerError::MixedAggregates))
+        ));
+    }
+
+    #[test]
+    fn int_literals_coerce_to_float_context() {
+        // price * (1 - discount): the 1 must lower as 1.0.
+        let q = compile("SELECT price * (1 - discount) AS v FROM lineitem", &catalog()).unwrap();
+        assert_eq!(q.output_names, vec!["v"]);
+        assert!(kinds(&q.plan).contains(&"ARITH+"));
+    }
+
+    #[test]
+    fn key_comparisons_lower() {
+        let q = compile("SELECT * FROM lineitem WHERE KEY < 100", &catalog()).unwrap();
+        assert!(kinds(&q.plan).contains(&"SELECT"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Lexer for the SQL subset.
+
+use std::fmt;
+
+/// A lexical token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (as written).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+/// Recognized keywords (case-insensitive in the source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Between,
+    Group,
+    Order,
+    By,
+    Key,
+    Sum,
+    Count,
+    Avg,
+    Min,
+    Max,
+    As,
+    Asc,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "BETWEEN" => Keyword::Between,
+            "GROUP" => Keyword::Group,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "KEY" => Keyword::Key,
+            "SUM" => Keyword::Sum,
+            "COUNT" => Keyword::Count,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "AS" => Keyword::As,
+            "ASC" => Keyword::Asc,
+            _ => return None,
+        })
+    }
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`. The final token is always [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, pos });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, pos });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, pos });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, pos });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, pos });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, pos });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ne, pos });
+                    i += 2;
+                } else {
+                    return Err(LexError { pos, message: "expected '=' after '!'".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token { kind: TokenKind::Le, pos });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token { kind: TokenKind::Ne, pos });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token { kind: TokenKind::Lt, pos });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ge, pos });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, pos });
+                    i += 1;
+                }
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !saw_dot))
+                {
+                    saw_dot |= bytes[i] == b'.';
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let kind = if saw_dot {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad float literal {text:?}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad integer literal {text:?}"),
+                    })?)
+                };
+                out.push(Token { kind, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let kind = match Keyword::from_str(text) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(text.to_string()),
+                };
+                out.push(Token { kind, pos: start });
+            }
+            other => {
+                return Err(LexError { pos, message: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, pos: src.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_basic_query() {
+        let k = kinds("SELECT price FROM lineitem WHERE qty < 24");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(k[1], TokenKind::Ident("price".into()));
+        assert_eq!(k[2], TokenKind::Keyword(Keyword::From));
+        assert_eq!(k[5], TokenKind::Ident("qty".into()));
+        assert_eq!(k[6], TokenKind::Lt);
+        assert_eq!(k[7], TokenKind::Int(24));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword(Keyword::Select));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(kinds("<=")[0], TokenKind::Le);
+        assert_eq!(kinds(">=")[0], TokenKind::Ge);
+        assert_eq!(kinds("<>")[0], TokenKind::Ne);
+        assert_eq!(kinds("!=")[0], TokenKind::Ne);
+        assert_eq!(kinds("<")[0], TokenKind::Lt);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("0.25")[0], TokenKind::Float(0.25));
+        assert_eq!(kinds(".5")[0], TokenKind::Float(0.5));
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_position() {
+        let err = lex("SELECT ^").unwrap_err();
+        assert_eq!(err.pos, 7);
+    }
+
+    #[test]
+    fn bang_without_eq_is_an_error() {
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        assert_eq!(
+            kinds("l_extendedprice")[0],
+            TokenKind::Ident("l_extendedprice".into())
+        );
+    }
+}

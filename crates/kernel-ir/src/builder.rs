@@ -1,0 +1,273 @@
+//! Convenience builder producing *naive* (un-optimized, `-O0`-like) bodies.
+//!
+//! A real front end lowers each source expression independently, reloading
+//! inputs and re-materializing constants at every use. The builder mimics
+//! that: `input(0) + input(0)` loads slot 0 twice. This is deliberate — the
+//! redundancy is exactly what the optimizer (and, across kernels, fusion +
+//! the optimizer) is supposed to remove, as in the paper's Table III.
+
+use crate::ir::{BinOp, CmpOp, Instr, KernelBody, Reg, UnOp};
+use crate::value::{Ty, Value};
+
+/// An expression tree lowered by [`BodyBuilder`].
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Read an input slot.
+    Input(u32),
+    /// A literal.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Conversion.
+    Cast(Ty, Box<Expr>),
+}
+
+// The DSL mirrors std operator names on purpose (`a.add(b)` builds an IR
+// Add); implementing the std traits instead would hide the tree-building
+// cost behind operator overloading.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// Read input slot `slot`.
+    pub fn input(slot: u32) -> Expr {
+        Expr::Input(slot)
+    }
+
+    /// A literal constant.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self && rhs` / bitwise AND.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self || rhs` / bitwise OR.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+
+    /// Comparison `self <op> rhs`.
+    pub fn cmp(self, op: CmpOp, rhs: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Ne, rhs)
+    }
+
+    /// Logical negation.
+    pub fn not(self) -> Expr {
+        Expr::Un(UnOp::Not, Box::new(self))
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(self) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(self))
+    }
+
+    /// `cond ? self : other`.
+    pub fn select(cond: Expr, then_e: Expr, else_e: Expr) -> Expr {
+        Expr::Select(Box::new(cond), Box::new(then_e), Box::new(else_e))
+    }
+
+    /// Convert to `ty`.
+    pub fn cast(self, ty: Ty) -> Expr {
+        Expr::Cast(ty, Box::new(self))
+    }
+}
+
+/// Builds a [`KernelBody`] by naive lowering of [`Expr`] trees.
+#[derive(Debug, Default)]
+pub struct BodyBuilder {
+    body: KernelBody,
+}
+
+impl BodyBuilder {
+    /// A builder for a body with `n_inputs` input slots.
+    pub fn new(n_inputs: u32) -> Self {
+        BodyBuilder { body: KernelBody::new(n_inputs) }
+    }
+
+    /// The canonical single-threshold predicate of the paper's Table III:
+    /// `out[0] = (in[slot] < threshold)`, lowered naively.
+    ///
+    /// Naive codegen materializes the predicate the way `nvcc -O0` lowers it
+    /// to PTX (`setp` followed by `selp` on immediate true/false): the
+    /// comparison result is wrapped in `select(cmp, true, false)`. `-O3`
+    /// collapses the wrapper, which is what gives the paper's per-kernel
+    /// instruction-count drop even *without* fusion (Table III row 1).
+    pub fn threshold_lt(slot: u32, threshold: i64) -> Self {
+        let mut b = BodyBuilder::new(slot + 1);
+        b.emit_output(Expr::select(
+            Expr::input(slot).lt(Expr::lit(threshold)),
+            Expr::lit(true),
+            Expr::lit(false),
+        ));
+        b
+    }
+
+    /// Lower `expr` (naively, duplicating sub-expression work just like an
+    /// unoptimized front end) and return the register holding its value.
+    pub fn emit(&mut self, expr: &Expr) -> Reg {
+        match expr {
+            Expr::Input(slot) => {
+                self.body.n_inputs = self.body.n_inputs.max(slot + 1);
+                self.body.push(Instr::LoadInput { slot: *slot })
+            }
+            Expr::Lit(v) => self.body.push(Instr::Const { value: *v }),
+            Expr::Bin(op, a, b) => {
+                let lhs = self.emit(a);
+                let rhs = self.emit(b);
+                self.body.push(Instr::Bin { op: *op, lhs, rhs })
+            }
+            Expr::Un(op, a) => {
+                let arg = self.emit(a);
+                self.body.push(Instr::Un { op: *op, arg })
+            }
+            Expr::Cmp(op, a, b) => {
+                let lhs = self.emit(a);
+                let rhs = self.emit(b);
+                self.body.push(Instr::Cmp { op: *op, lhs, rhs })
+            }
+            Expr::Select(c, t, e) => {
+                let cond = self.emit(c);
+                let then_r = self.emit(t);
+                let else_r = self.emit(e);
+                self.body.push(Instr::Select { cond, then_r, else_r })
+            }
+            Expr::Cast(ty, a) => {
+                let arg = self.emit(a);
+                self.body.push(Instr::Cast { ty: *ty, arg })
+            }
+        }
+    }
+
+    /// Lower `expr` and register its value as the next output slot.
+    pub fn emit_output(&mut self, expr: Expr) -> u32 {
+        let reg = self.emit(&expr);
+        self.body.outputs.push(reg);
+        (self.body.outputs.len() - 1) as u32
+    }
+
+    /// Finish, returning the (validated) body.
+    ///
+    /// # Panics
+    /// If the builder produced a structurally invalid body — impossible via
+    /// the public API, so a panic indicates a bug in the builder itself.
+    pub fn build(self) -> KernelBody {
+        self.body.validate().expect("builder produced invalid IR");
+        self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::eval;
+
+    #[test]
+    fn threshold_builder_shape() {
+        let b = BodyBuilder::threshold_lt(0, 100).build();
+        // load, const, cmp, const true, const false, select — the store is
+        // counted separately by `cost::instruction_count`.
+        assert_eq!(b.instrs.len(), 6);
+        assert_eq!(b.outputs.len(), 1);
+    }
+
+    #[test]
+    fn naive_lowering_duplicates_loads() {
+        // in0 + in0 must produce two loads (front-end naivety).
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::input(0)));
+        let body = b.build();
+        let loads = body
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::LoadInput { .. }))
+            .count();
+        assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn builder_expands_n_inputs() {
+        let mut b = BodyBuilder::new(0);
+        b.emit_output(Expr::input(4).lt(Expr::lit(0i64)));
+        assert_eq!(b.build().n_inputs, 5);
+    }
+
+    #[test]
+    fn arithmetic_expression_evaluates() {
+        // (1 - discount) * price, the paper's running example (Fig. 2(h)).
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::lit(1.0).sub(Expr::input(0)).mul(Expr::input(1)));
+        let body = b.build();
+        let out = eval(&body, &[Value::F64(0.25), Value::F64(8.0)]).unwrap();
+        assert_eq!(out[0].as_f64(), Some(6.0));
+    }
+
+    #[test]
+    fn select_expression_evaluates() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::select(
+            Expr::input(0).ge(Expr::lit(0i64)),
+            Expr::input(0),
+            Expr::input(0).neg(),
+        ));
+        let body = b.build();
+        let out = eval(&body, &[Value::I64(-5)]).unwrap();
+        assert_eq!(out[0].as_i64(), Some(5));
+    }
+}

@@ -1,0 +1,132 @@
+//! Static cost metrics: instruction counts and register pressure.
+//!
+//! These two numbers are the bridge between the compiler-side story
+//! (Table III) and the performance-side story (the throughput figures): the
+//! virtual GPU charges per-element compute time proportional to
+//! [`instruction_count`], and charges *spill traffic* when
+//! [`register_pressure`] exceeds the device's per-thread register budget —
+//! the paper's stated limit on how many kernels can profitably fuse
+//! (§III-C: "kernel fusion will create increased register pressure").
+
+use crate::ir::KernelBody;
+
+/// Dynamic instructions per element: every IR instruction plus one store per
+/// output slot (the PTX `st.global` the paper's counts include).
+pub fn instruction_count(body: &KernelBody) -> usize {
+    body.instrs.len() + body.outputs.len()
+}
+
+/// Maximum number of simultaneously-live registers, by linear scan over the
+/// straight-line body.
+///
+/// A register is live from its definition to its last use (outputs count as
+/// uses at the end of the body). This models the per-thread register
+/// footprint a real back end would allocate, which drives the fusion cost
+/// model's spill estimate.
+pub fn register_pressure(body: &KernelBody) -> usize {
+    let n = body.instrs.len();
+    if n == 0 {
+        return 0;
+    }
+    // last_use[r]: the last instruction index that reads r, or n for outputs.
+    let mut last_use = vec![usize::MAX; n];
+    for (i, instr) in body.instrs.iter().enumerate() {
+        instr.for_each_operand(|r| {
+            last_use[r as usize] = i;
+        });
+    }
+    for &out in &body.outputs {
+        last_use[out as usize] = n;
+    }
+    // Interval sweep: register defined at `def` with last use `lu` is live on
+    // the half-open point range (def, lu]. Count overlap with a +1/-1 scan.
+    let mut delta = vec![0isize; n + 2];
+    for (def, &lu) in last_use.iter().enumerate() {
+        if lu == usize::MAX {
+            continue; // value never used: a real allocator frees it instantly
+        }
+        let lu = lu.min(n);
+        delta[def + 1] += 1;
+        delta[lu + 1] -= 1;
+    }
+    let mut live = 0isize;
+    let mut max_live = 0isize;
+    for d in delta {
+        live += d;
+        max_live = max_live.max(live);
+    }
+    max_live as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::opt::{optimize, OptLevel};
+
+    #[test]
+    fn empty_body_has_zero_cost() {
+        let body = KernelBody::new(0);
+        assert_eq!(instruction_count(&body), 0);
+        assert_eq!(register_pressure(&body), 0);
+    }
+
+    #[test]
+    fn instruction_count_includes_stores() {
+        let body = BodyBuilder::threshold_lt(0, 10).build();
+        assert_eq!(instruction_count(&body), body.instrs.len() + 1);
+    }
+
+    #[test]
+    fn pressure_of_linear_chain_is_small() {
+        // ((in+1)+1)+1: at any point at most 2 regs live.
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(
+            Expr::input(0)
+                .add(Expr::lit(1i64))
+                .add(Expr::lit(1i64))
+                .add(Expr::lit(1i64)),
+        );
+        let p = register_pressure(&b.build());
+        assert!(p <= 3, "chain pressure was {p}");
+    }
+
+    #[test]
+    fn pressure_grows_with_parallel_lives() {
+        // Right-associated sum: naive lowering loads every input before the
+        // innermost add executes, keeping all six live simultaneously.
+        let mut b = BodyBuilder::new(6);
+        let e = Expr::input(0).add(
+            Expr::input(1).add(
+                Expr::input(2)
+                    .add(Expr::input(3).add(Expr::input(4).add(Expr::input(5)))),
+            ),
+        );
+        b.emit_output(e);
+        let wide = register_pressure(&b.build());
+
+        let mut c = BodyBuilder::new(1);
+        c.emit_output(Expr::input(0).add(Expr::lit(1i64)));
+        let narrow = register_pressure(&c.build());
+        assert!(wide > narrow, "wide={wide} narrow={narrow}");
+    }
+
+    #[test]
+    fn o3_does_not_increase_pressure_on_threshold() {
+        let body = BodyBuilder::threshold_lt(0, 10).build();
+        let o3 = optimize(&body, OptLevel::O3);
+        assert!(register_pressure(&o3) <= register_pressure(&body));
+    }
+
+    #[test]
+    fn fused_chain_pressure_bounded() {
+        use crate::fuse::fuse_predicate_chain;
+        let preds: Vec<_> = (0..8)
+            .map(|k| BodyBuilder::threshold_lt(0, 100 + k).build())
+            .collect();
+        let fused = fuse_predicate_chain(&preds);
+        // Naive fused body holds every predicate result live until the ANDs;
+        // pressure must reflect that (this is the paper's fusion limit).
+        assert!(register_pressure(&fused) >= 4);
+    }
+}

@@ -1,0 +1,341 @@
+//! Per-element interpreter for [`KernelBody`].
+//!
+//! The relational operators evaluate predicates and arithmetic expressions by
+//! running their IR bodies on each tuple, so the *same* body whose
+//! instruction count feeds the virtual-GPU cost model also produces the
+//! functional results. Optimizer passes must preserve `eval` output exactly;
+//! the property tests in [`crate::opt`] enforce that.
+
+use crate::ir::{BinOp, CmpOp, Instr, KernelBody, UnOp};
+use crate::value::{Ty, Value};
+use std::fmt;
+
+/// Runtime evaluation errors (static type mismatches in the body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An operation was applied to operand types it does not support.
+    TypeMismatch {
+        /// Human-readable description of the operation.
+        what: &'static str,
+    },
+    /// An input slot index exceeded the supplied input row.
+    MissingInput {
+        /// The offending slot.
+        slot: u32,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeMismatch { what } => write!(f, "type mismatch in {what}"),
+            EvalError::MissingInput { slot } => write!(f, "missing input slot {slot}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate a binary operation. Integer arithmetic wraps; `Div`/`Rem` by zero
+/// yield 0 (guarded-GPU semantics); shifts mask the amount to 6 bits.
+pub fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+    use Value::*;
+    Ok(match (op, a, b) {
+        (BinOp::Add, I64(x), I64(y)) => I64(x.wrapping_add(y)),
+        (BinOp::Sub, I64(x), I64(y)) => I64(x.wrapping_sub(y)),
+        (BinOp::Mul, I64(x), I64(y)) => I64(x.wrapping_mul(y)),
+        (BinOp::Div, I64(x), I64(y)) => I64(if y == 0 { 0 } else { x.wrapping_div(y) }),
+        (BinOp::Rem, I64(x), I64(y)) => I64(if y == 0 { 0 } else { x.wrapping_rem(y) }),
+        (BinOp::Min, I64(x), I64(y)) => I64(x.min(y)),
+        (BinOp::Max, I64(x), I64(y)) => I64(x.max(y)),
+        (BinOp::And, I64(x), I64(y)) => I64(x & y),
+        (BinOp::Or, I64(x), I64(y)) => I64(x | y),
+        (BinOp::Xor, I64(x), I64(y)) => I64(x ^ y),
+        (BinOp::Shl, I64(x), I64(y)) => I64(x.wrapping_shl(y as u32 & 63)),
+        (BinOp::Shr, I64(x), I64(y)) => I64(x.wrapping_shr(y as u32 & 63)),
+
+        (BinOp::Add, F64(x), F64(y)) => F64(x + y),
+        (BinOp::Sub, F64(x), F64(y)) => F64(x - y),
+        (BinOp::Mul, F64(x), F64(y)) => F64(x * y),
+        (BinOp::Div, F64(x), F64(y)) => F64(x / y),
+        (BinOp::Rem, F64(x), F64(y)) => F64(x % y),
+        (BinOp::Min, F64(x), F64(y)) => F64(x.min(y)),
+        (BinOp::Max, F64(x), F64(y)) => F64(x.max(y)),
+
+        (BinOp::And, Bool(x), Bool(y)) => Bool(x && y),
+        (BinOp::Or, Bool(x), Bool(y)) => Bool(x || y),
+        (BinOp::Xor, Bool(x), Bool(y)) => Bool(x != y),
+
+        _ => return Err(EvalError::TypeMismatch { what: "binary op" }),
+    })
+}
+
+/// Evaluate a unary operation.
+pub fn eval_un(op: UnOp, a: Value) -> Result<Value, EvalError> {
+    use Value::*;
+    Ok(match (op, a) {
+        (UnOp::Not, Bool(x)) => Bool(!x),
+        (UnOp::Not, I64(x)) => I64(!x),
+        (UnOp::Neg, I64(x)) => I64(x.wrapping_neg()),
+        (UnOp::Neg, F64(x)) => F64(-x),
+        _ => return Err(EvalError::TypeMismatch { what: "unary op" }),
+    })
+}
+
+/// Evaluate a comparison.
+pub fn eval_cmp(op: CmpOp, a: Value, b: Value) -> Result<Value, EvalError> {
+    use Value::*;
+    let r = match (a, b) {
+        (I64(x), I64(y)) => match op {
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+        },
+        (F64(x), F64(y)) => match op {
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+        },
+        (Bool(x), Bool(y)) => match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            _ => return Err(EvalError::TypeMismatch { what: "bool ordering cmp" }),
+        },
+        _ => return Err(EvalError::TypeMismatch { what: "cmp" }),
+    };
+    Ok(Bool(r))
+}
+
+/// Evaluate a cast.
+pub fn eval_cast(ty: Ty, a: Value) -> Result<Value, EvalError> {
+    use Value::*;
+    Ok(match (ty, a) {
+        (Ty::I64, I64(x)) => I64(x),
+        (Ty::I64, F64(x)) => I64(x as i64),
+        (Ty::I64, Bool(x)) => I64(x as i64),
+        (Ty::F64, F64(x)) => F64(x),
+        (Ty::F64, I64(x)) => F64(x as f64),
+        (Ty::F64, Bool(x)) => F64(x as u8 as f64),
+        (Ty::Bool, Bool(x)) => Bool(x),
+        (Ty::Bool, I64(x)) => Bool(x != 0),
+        (Ty::Bool, F64(_)) => return Err(EvalError::TypeMismatch { what: "f64->bool cast" }),
+    })
+}
+
+/// A reusable evaluation context: one per worker thread, so per-element
+/// evaluation performs no heap allocation. This is what lets the relational
+/// operators run IR predicates over tens of millions of rows at test and
+/// figure scale.
+#[derive(Debug, Default)]
+pub struct Machine {
+    regs: Vec<Value>,
+}
+
+impl Machine {
+    /// A fresh evaluation context.
+    pub fn new() -> Self {
+        Machine::default()
+    }
+
+    /// Run `body` on one element's `inputs`; the returned slice aliases the
+    /// machine's register file and is valid until the next call.
+    pub fn run<'m>(
+        &'m mut self,
+        body: &KernelBody,
+        inputs: &[Value],
+    ) -> Result<&'m [Value], EvalError> {
+        self.regs.clear();
+        self.regs.reserve(body.instrs.len());
+        eval_into(body, inputs, &mut self.regs)?;
+        Ok(&self.regs)
+    }
+
+    /// Run `body` and read output slot `slot`.
+    pub fn run_output(
+        &mut self,
+        body: &KernelBody,
+        inputs: &[Value],
+        slot: usize,
+    ) -> Result<Value, EvalError> {
+        let out_reg = body.outputs[slot] as usize;
+        let regs = self.run(body, inputs)?;
+        Ok(regs[out_reg])
+    }
+
+    /// Run a single-output boolean predicate body.
+    pub fn run_predicate(&mut self, body: &KernelBody, inputs: &[Value]) -> Result<bool, EvalError> {
+        self.run_output(body, inputs, 0)?
+            .as_bool()
+            .ok_or(EvalError::TypeMismatch { what: "predicate output" })
+    }
+}
+
+fn eval_into(body: &KernelBody, inputs: &[Value], regs: &mut Vec<Value>) -> Result<(), EvalError> {
+    for instr in &body.instrs {
+        let v = match *instr {
+            Instr::LoadInput { slot } => *inputs
+                .get(slot as usize)
+                .ok_or(EvalError::MissingInput { slot })?,
+            Instr::Const { value } => value,
+            Instr::Copy { src } => regs[src as usize],
+            Instr::Bin { op, lhs, rhs } => eval_bin(op, regs[lhs as usize], regs[rhs as usize])?,
+            Instr::Un { op, arg } => eval_un(op, regs[arg as usize])?,
+            Instr::Cmp { op, lhs, rhs } => eval_cmp(op, regs[lhs as usize], regs[rhs as usize])?,
+            Instr::Select { cond, then_r, else_r } => {
+                match regs[cond as usize] {
+                    Value::Bool(true) => regs[then_r as usize],
+                    Value::Bool(false) => regs[else_r as usize],
+                    _ => return Err(EvalError::TypeMismatch { what: "select condition" }),
+                }
+            }
+            Instr::Cast { ty, arg } => eval_cast(ty, regs[arg as usize])?,
+        };
+        regs.push(v);
+    }
+    Ok(())
+}
+
+/// Run `body` on one element's `inputs`, producing its output slots.
+///
+/// Convenience wrapper that allocates; hot loops should hold a [`Machine`].
+pub fn eval(body: &KernelBody, inputs: &[Value]) -> Result<Vec<Value>, EvalError> {
+    let mut regs: Vec<Value> = Vec::with_capacity(body.instrs.len());
+    eval_into(body, inputs, &mut regs)?;
+    Ok(body.outputs.iter().map(|&r| regs[r as usize]).collect())
+}
+
+/// Run a single-output boolean body (a predicate) on one element.
+pub fn eval_predicate(body: &KernelBody, inputs: &[Value]) -> Result<bool, EvalError> {
+    let out = eval(body, inputs)?;
+    out.first()
+        .and_then(Value::as_bool)
+        .ok_or(EvalError::TypeMismatch { what: "predicate output" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+
+    #[test]
+    fn integer_wrapping_semantics() {
+        assert_eq!(
+            eval_bin(BinOp::Add, Value::I64(i64::MAX), Value::I64(1))
+                .unwrap()
+                .as_i64(),
+            Some(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        assert_eq!(eval_bin(BinOp::Div, Value::I64(9), Value::I64(0)).unwrap().as_i64(), Some(0));
+        assert_eq!(eval_bin(BinOp::Rem, Value::I64(9), Value::I64(0)).unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn int_min_div_neg_one_does_not_trap() {
+        assert_eq!(
+            eval_bin(BinOp::Div, Value::I64(i64::MIN), Value::I64(-1))
+                .unwrap()
+                .as_i64(),
+            Some(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn shift_amount_is_masked() {
+        assert_eq!(eval_bin(BinOp::Shl, Value::I64(1), Value::I64(64)).unwrap().as_i64(), Some(1));
+        assert_eq!(eval_bin(BinOp::Shl, Value::I64(1), Value::I64(65)).unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn bool_and_or_xor() {
+        assert_eq!(
+            eval_bin(BinOp::And, Value::Bool(true), Value::Bool(false)).unwrap().as_bool(),
+            Some(false)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Or, Value::Bool(true), Value::Bool(false)).unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Xor, Value::Bool(true), Value::Bool(true)).unwrap().as_bool(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        assert!(eval_bin(BinOp::Add, Value::I64(1), Value::F64(1.0)).is_err());
+        assert!(eval_cmp(CmpOp::Lt, Value::Bool(true), Value::Bool(false)).is_err());
+        assert!(eval_un(UnOp::Neg, Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_cast(Ty::I64, Value::F64(2.9)).unwrap().as_i64(), Some(2));
+        assert_eq!(eval_cast(Ty::F64, Value::I64(2)).unwrap().as_f64(), Some(2.0));
+        assert_eq!(eval_cast(Ty::Bool, Value::I64(0)).unwrap().as_bool(), Some(false));
+        assert_eq!(eval_cast(Ty::I64, Value::Bool(true)).unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn predicate_evaluation() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        assert!(eval_predicate(&body, &[Value::I64(50)]).unwrap());
+        assert!(!eval_predicate(&body, &[Value::I64(150)]).unwrap());
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let body = BodyBuilder::threshold_lt(2, 10).build();
+        assert!(matches!(
+            eval(&body, &[Value::I64(0)]),
+            Err(EvalError::MissingInput { slot: 2 })
+        ));
+    }
+
+    #[test]
+    fn machine_matches_eval() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        let mut m = Machine::new();
+        for v in [-3i64, 99, 100, 250] {
+            let via_eval = eval(&body, &[Value::I64(v)]).unwrap()[0].as_bool().unwrap();
+            let via_machine = m.run_predicate(&body, &[Value::I64(v)]).unwrap();
+            assert_eq!(via_eval, via_machine);
+        }
+    }
+
+    #[test]
+    fn machine_is_reusable_across_bodies() {
+        let a = BodyBuilder::threshold_lt(0, 10).build();
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).mul(Expr::lit(3i64)));
+        let b = b.build();
+        let mut m = Machine::new();
+        assert!(m.run_predicate(&a, &[Value::I64(5)]).unwrap());
+        assert_eq!(
+            m.run_output(&b, &[Value::I64(7)], 0).unwrap().as_i64(),
+            Some(21)
+        );
+        assert!(!m.run_predicate(&a, &[Value::I64(50)]).unwrap());
+    }
+
+    #[test]
+    fn multi_output_body() {
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::input(0).add(Expr::input(1)));
+        b.emit_output(Expr::input(0).sub(Expr::input(1)));
+        let body = b.build();
+        let out = eval(&body, &[Value::I64(7), Value::I64(3)]).unwrap();
+        assert_eq!(out[0].as_i64(), Some(10));
+        assert_eq!(out[1].as_i64(), Some(4));
+    }
+}

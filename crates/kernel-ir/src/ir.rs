@@ -1,0 +1,397 @@
+//! The straight-line kernel IR.
+//!
+//! A [`KernelBody`] is the per-thread body of one data-parallel kernel
+//! stage: it reads a fixed set of *input slots* (one scalar per slot per
+//! element), computes over virtual registers, and exposes a fixed set of
+//! *output slots*. Instruction `i` defines register `i` (SSA-like: every
+//! register has exactly one definition and operands always refer to earlier
+//! instructions), which keeps the optimizer passes simple and makes fusion a
+//! matter of concatenation plus operand remapping.
+
+use crate::value::{Ty, Value};
+use std::fmt;
+
+/// A virtual register index. Instruction `i` defines register `i`.
+pub type Reg = u32;
+
+/// Binary arithmetic/logical operations.
+///
+/// Integer arithmetic wraps (like the underlying hardware); division and
+/// remainder by zero produce 0, mirroring a guarded GPU implementation, so
+/// the interpreter and constant folder can never trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition (`a + b`).
+    Add,
+    /// Subtraction (`a - b`).
+    Sub,
+    /// Multiplication (`a * b`).
+    Mul,
+    /// Division (`a / b`; integer division by zero yields 0).
+    Div,
+    /// Remainder (`a % b`; by zero yields 0).
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Logical/bitwise AND (`bool` or `i64`).
+    And,
+    /// Logical/bitwise OR (`bool` or `i64`).
+    Or,
+    /// Bitwise XOR (`i64`) or boolean inequality.
+    Xor,
+    /// Left shift (`i64`, shift amount masked to 63).
+    Shl,
+    /// Arithmetic right shift (`i64`, shift amount masked to 63).
+    Shr,
+}
+
+/// Comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpOp {
+    /// The predicate with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// The logical negation (`!(a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical NOT (`bool`) or bitwise NOT (`i64`).
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// One IR instruction. Instruction `i` in [`KernelBody::instrs`] defines
+/// register `i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Read input slot `slot` for the current element.
+    LoadInput {
+        /// Which input slot to read.
+        slot: u32,
+    },
+    /// A literal constant.
+    Const {
+        /// The constant value.
+        value: Value,
+    },
+    /// A register-to-register copy (introduced by fusion and simplification;
+    /// removed by copy propagation + DCE).
+    Copy {
+        /// Source register.
+        src: Reg,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+    },
+    /// Unary operation.
+    Un {
+        /// Operation.
+        op: UnOp,
+        /// Operand register.
+        arg: Reg,
+    },
+    /// Comparison producing a `bool`.
+    Cmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+    },
+    /// Conditional select: `cond ? then_r : else_r`.
+    Select {
+        /// Boolean condition register.
+        cond: Reg,
+        /// Value if true.
+        then_r: Reg,
+        /// Value if false.
+        else_r: Reg,
+    },
+    /// Numeric conversion to `ty`.
+    Cast {
+        /// Destination type.
+        ty: Ty,
+        /// Operand register.
+        arg: Reg,
+    },
+}
+
+impl Instr {
+    /// Visit every register operand.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Reg)) {
+        match *self {
+            Instr::LoadInput { .. } | Instr::Const { .. } => {}
+            Instr::Copy { src } => f(src),
+            Instr::Bin { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Instr::Un { arg, .. } | Instr::Cast { arg, .. } => f(arg),
+            Instr::Select { cond, then_r, else_r } => {
+                f(cond);
+                f(then_r);
+                f(else_r);
+            }
+        }
+    }
+
+    /// Rewrite every register operand through `map`.
+    pub fn map_operands(&mut self, mut map: impl FnMut(Reg) -> Reg) {
+        match self {
+            Instr::LoadInput { .. } | Instr::Const { .. } => {}
+            Instr::Copy { src } => *src = map(*src),
+            Instr::Bin { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => {
+                *lhs = map(*lhs);
+                *rhs = map(*rhs);
+            }
+            Instr::Un { arg, .. } | Instr::Cast { arg, .. } => *arg = map(*arg),
+            Instr::Select { cond, then_r, else_r } => {
+                *cond = map(*cond);
+                *then_r = map(*then_r);
+                *else_r = map(*else_r);
+            }
+        }
+    }
+}
+
+/// Structural problems detected by [`KernelBody::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// An operand refers to a register defined at or after the instruction
+    /// using it (violates straight-line SSA ordering).
+    ForwardReference {
+        /// Index of the offending instruction.
+        instr: usize,
+        /// The offending operand register.
+        operand: Reg,
+    },
+    /// An output names a register that no instruction defines.
+    UndefinedOutput {
+        /// Index in [`KernelBody::outputs`].
+        output: usize,
+        /// The undefined register.
+        reg: Reg,
+    },
+    /// An input slot load is out of range of [`KernelBody::n_inputs`].
+    InputSlotOutOfRange {
+        /// Index of the offending instruction.
+        instr: usize,
+        /// The out-of-range slot.
+        slot: u32,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::ForwardReference { instr, operand } => {
+                write!(f, "instruction {instr} references not-yet-defined register r{operand}")
+            }
+            IrError::UndefinedOutput { output, reg } => {
+                write!(f, "output {output} references undefined register r{reg}")
+            }
+            IrError::InputSlotOutOfRange { instr, slot } => {
+                write!(f, "instruction {instr} loads input slot {slot} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// The per-thread body of one kernel stage.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelBody {
+    /// Instructions in execution order; instruction `i` defines register `i`.
+    pub instrs: Vec<Instr>,
+    /// Output slot `j` is the value of register `outputs[j]`.
+    pub outputs: Vec<Reg>,
+    /// Number of input slots this body may load.
+    pub n_inputs: u32,
+}
+
+impl KernelBody {
+    /// An empty body with `n_inputs` input slots.
+    pub fn new(n_inputs: u32) -> Self {
+        KernelBody { instrs: Vec::new(), outputs: Vec::new(), n_inputs }
+    }
+
+    /// Append an instruction, returning the register it defines.
+    pub fn push(&mut self, instr: Instr) -> Reg {
+        let reg = self.instrs.len() as Reg;
+        self.instrs.push(instr);
+        reg
+    }
+
+    /// Check the straight-line SSA structural invariants.
+    pub fn validate(&self) -> Result<(), IrError> {
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let mut bad = None;
+            instr.for_each_operand(|r| {
+                if r as usize >= i && bad.is_none() {
+                    bad = Some(r);
+                }
+            });
+            if let Some(operand) = bad {
+                return Err(IrError::ForwardReference { instr: i, operand });
+            }
+            if let Instr::LoadInput { slot } = instr {
+                if *slot >= self.n_inputs {
+                    return Err(IrError::InputSlotOutOfRange { instr: i, slot: *slot });
+                }
+            }
+        }
+        for (j, &reg) in self.outputs.iter().enumerate() {
+            if reg as usize >= self.instrs.len() {
+                return Err(IrError::UndefinedOutput { output: j, reg });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for KernelBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "body(inputs={}) {{", self.n_inputs)?;
+        for (i, instr) in self.instrs.iter().enumerate() {
+            write!(f, "  r{i} = ")?;
+            match instr {
+                Instr::LoadInput { slot } => writeln!(f, "load in[{slot}]")?,
+                Instr::Const { value } => writeln!(f, "const {value}")?,
+                Instr::Copy { src } => writeln!(f, "copy r{src}")?,
+                Instr::Bin { op, lhs, rhs } => writeln!(f, "{op:?} r{lhs}, r{rhs}")?,
+                Instr::Un { op, arg } => writeln!(f, "{op:?} r{arg}")?,
+                Instr::Cmp { op, lhs, rhs } => writeln!(f, "cmp.{op:?} r{lhs}, r{rhs}")?,
+                Instr::Select { cond, then_r, else_r } => {
+                    writeln!(f, "select r{cond} ? r{then_r} : r{else_r}")?
+                }
+                Instr::Cast { ty, arg } => writeln!(f, "cast.{ty} r{arg}")?,
+            }
+        }
+        for (j, reg) in self.outputs.iter().enumerate() {
+            writeln!(f, "  out[{j}] = r{reg}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_body() -> KernelBody {
+        let mut b = KernelBody::new(1);
+        let x = b.push(Instr::LoadInput { slot: 0 });
+        let c = b.push(Instr::Const { value: Value::I64(10) });
+        let cmp = b.push(Instr::Cmp { op: CmpOp::Lt, lhs: x, rhs: c });
+        b.outputs.push(cmp);
+        b
+    }
+
+    #[test]
+    fn push_assigns_sequential_registers() {
+        let b = simple_body();
+        assert_eq!(b.instrs.len(), 3);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_forward_reference() {
+        let mut b = KernelBody::new(0);
+        b.push(Instr::Copy { src: 5 });
+        assert!(matches!(b.validate(), Err(IrError::ForwardReference { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_self_reference() {
+        let mut b = KernelBody::new(0);
+        b.push(Instr::Copy { src: 0 });
+        assert!(matches!(
+            b.validate(),
+            Err(IrError::ForwardReference { instr: 0, operand: 0 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_undefined_output() {
+        let mut b = simple_body();
+        b.outputs.push(99);
+        assert!(matches!(b.validate(), Err(IrError::UndefinedOutput { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_input_slot() {
+        let mut b = KernelBody::new(1);
+        b.push(Instr::LoadInput { slot: 3 });
+        assert!(matches!(b.validate(), Err(IrError::InputSlotOutOfRange { .. })));
+    }
+
+    #[test]
+    fn cmp_op_negation_roundtrips() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.swapped().swapped(), op);
+        }
+    }
+
+    #[test]
+    fn map_operands_rewrites_all() {
+        let mut i = Instr::Select { cond: 1, then_r: 2, else_r: 3 };
+        i.map_operands(|r| r + 10);
+        assert_eq!(i, Instr::Select { cond: 11, then_r: 12, else_r: 13 });
+    }
+
+    #[test]
+    fn display_formats_without_panic() {
+        let b = simple_body();
+        let s = format!("{b}");
+        assert!(s.contains("cmp.Lt"));
+        assert!(s.contains("out[0] = r2"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Constant folding, constant propagation, and algebraic simplification.
+
+use crate::interp::{eval_bin, eval_cast, eval_cmp, eval_un};
+use crate::ir::{BinOp, Instr, KernelBody, Reg};
+use crate::value::{Ty, Value};
+
+/// Fold operations on constant operands and apply type-safe algebraic
+/// identities. Returns whether the body changed.
+///
+/// Float identities (`x + 0.0`, `x * 1.0`, …) are deliberately *not*
+/// applied: they are unsound under IEEE-754 (`-0.0 + 0.0 == 0.0`,
+/// `NaN * 1.0` must stay NaN-propagating, …). Only exact rewrites survive,
+/// so optimized bodies are bit-identical to unoptimized ones.
+pub fn const_fold(body: &mut KernelBody) -> bool {
+    let mut changed = false;
+    // consts[r] = Some(v) when register r is known constant.
+    let mut consts: Vec<Option<Value>> = Vec::with_capacity(body.instrs.len());
+    for i in 0..body.instrs.len() {
+        let instr = body.instrs[i];
+        let c = |r: Reg| consts[r as usize];
+        let new_instr: Option<Instr> = match instr {
+            Instr::Bin { op, lhs, rhs } => match (c(lhs), c(rhs)) {
+                (Some(a), Some(b)) => {
+                    eval_bin(op, a, b).ok().map(|v| Instr::Const { value: v })
+                }
+                (x, y) => algebraic_bin(op, lhs, rhs, x, y),
+            },
+            Instr::Un { op, arg } => match c(arg) {
+                Some(a) => eval_un(op, a).ok().map(|v| Instr::Const { value: v }),
+                None => match (op, body.instrs[arg as usize]) {
+                    // !!x  ==>  x
+                    (crate::ir::UnOp::Not, Instr::Un { op: crate::ir::UnOp::Not, arg: inner }) => {
+                        Some(Instr::Copy { src: inner })
+                    }
+                    // -(-x)  ==>  x
+                    (crate::ir::UnOp::Neg, Instr::Un { op: crate::ir::UnOp::Neg, arg: inner }) => {
+                        Some(Instr::Copy { src: inner })
+                    }
+                    _ => None,
+                },
+            },
+            Instr::Cmp { op, lhs, rhs } => match (c(lhs), c(rhs)) {
+                (Some(a), Some(b)) => {
+                    eval_cmp(op, a, b).ok().map(|v| Instr::Const { value: v })
+                }
+                _ => None,
+            },
+            Instr::Select { cond, then_r, else_r } => match c(cond) {
+                Some(Value::Bool(true)) => Some(Instr::Copy { src: then_r }),
+                Some(Value::Bool(false)) => Some(Instr::Copy { src: else_r }),
+                // select c ? x : x  ==>  x  (well-typed c is bool and pure)
+                _ if then_r == else_r => Some(Instr::Copy { src: then_r }),
+                _ => None,
+            },
+            Instr::Cast { ty, arg } => match c(arg) {
+                Some(a) => eval_cast(ty, a).ok().map(|v| Instr::Const { value: v }),
+                None => cast_of_known_type(body, ty, arg),
+            },
+            Instr::LoadInput { .. } | Instr::Const { .. } | Instr::Copy { .. } => None,
+        };
+        if let Some(ni) = new_instr {
+            if ni != instr {
+                body.instrs[i] = ni;
+                changed = true;
+            }
+        }
+        let folded = match body.instrs[i] {
+            Instr::Const { value } => Some(value),
+            Instr::Copy { src } => consts[src as usize],
+            _ => None,
+        };
+        consts.push(folded);
+    }
+    changed
+}
+
+/// `cast.T x` where `x` is statically known to already be `T` is a copy.
+fn cast_of_known_type(body: &KernelBody, ty: Ty, arg: Reg) -> Option<Instr> {
+    let tys = super::types::infer_types(body);
+    if tys[arg as usize] == Some(ty) {
+        Some(Instr::Copy { src: arg })
+    } else {
+        None
+    }
+}
+
+/// Algebraic identities with one constant operand. Only rewrites that are
+/// exact for the operand type implied by the constant (well-typed programs
+/// have homogeneous binary operands).
+fn algebraic_bin(
+    op: BinOp,
+    lhs: Reg,
+    rhs: Reg,
+    lc: Option<Value>,
+    rc: Option<Value>,
+) -> Option<Instr> {
+    use Value::{Bool, I64};
+    // Normalize: put the constant on the right for commutative ops.
+    let (var, con, con_on_left) = match (lc, rc) {
+        (None, Some(v)) => (lhs, v, false),
+        (Some(v), None) => (rhs, v, true),
+        _ => return None,
+    };
+    let commutative = matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Min | BinOp::Max
+    );
+    if con_on_left && !commutative {
+        // Only `0 - x == -x` and `0 << x`-style left-constant cases matter;
+        // keep it minimal and exact.
+        return match (op, con) {
+            (BinOp::Sub, I64(0)) => Some(Instr::Un { op: crate::ir::UnOp::Neg, arg: var }),
+            (BinOp::Div, I64(0)) | (BinOp::Rem, I64(0)) => {
+                Some(Instr::Const { value: I64(0) })
+            }
+            (BinOp::Shl, I64(0)) | (BinOp::Shr, I64(0)) => {
+                Some(Instr::Const { value: I64(0) })
+            }
+            _ => None,
+        };
+    }
+    match (op, con) {
+        (BinOp::Add, I64(0)) | (BinOp::Sub, I64(0)) => Some(Instr::Copy { src: var }),
+        (BinOp::Mul, I64(1)) | (BinOp::Div, I64(1)) => Some(Instr::Copy { src: var }),
+        (BinOp::Mul, I64(0)) => Some(Instr::Const { value: I64(0) }),
+        (BinOp::And, Bool(true)) => Some(Instr::Copy { src: var }),
+        (BinOp::And, Bool(false)) => Some(Instr::Const { value: Bool(false) }),
+        (BinOp::Or, Bool(false)) => Some(Instr::Copy { src: var }),
+        (BinOp::Or, Bool(true)) => Some(Instr::Const { value: Bool(true) }),
+        (BinOp::Xor, Bool(false)) => Some(Instr::Copy { src: var }),
+        (BinOp::Xor, Bool(true)) => {
+            Some(Instr::Un { op: crate::ir::UnOp::Not, arg: var })
+        }
+        (BinOp::And, I64(0)) => Some(Instr::Const { value: I64(0) }),
+        (BinOp::And, I64(-1)) => Some(Instr::Copy { src: var }),
+        (BinOp::Or, I64(0)) => Some(Instr::Copy { src: var }),
+        (BinOp::Or, I64(-1)) => Some(Instr::Const { value: I64(-1) }),
+        (BinOp::Xor, I64(0)) => Some(Instr::Copy { src: var }),
+        (BinOp::Shl, I64(0)) | (BinOp::Shr, I64(0)) if !con_on_left => {
+            Some(Instr::Copy { src: var })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::interp::eval;
+    use crate::ir::CmpOp;
+
+    fn fold(body: &KernelBody) -> KernelBody {
+        let mut b = body.clone();
+        const_fold(&mut b);
+        b
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut b = BodyBuilder::new(0);
+        b.emit_output(Expr::lit(2i64).add(Expr::lit(3i64)));
+        let f = fold(&b.build());
+        assert!(matches!(f.instrs[2], Instr::Const { value: Value::I64(5) }));
+    }
+
+    #[test]
+    fn folds_through_copies() {
+        // const 2; copy; copy + const 3 — propagation must see through copies.
+        let mut body = KernelBody::new(0);
+        let c2 = body.push(Instr::Const { value: Value::I64(2) });
+        let cp = body.push(Instr::Copy { src: c2 });
+        let c3 = body.push(Instr::Const { value: Value::I64(3) });
+        let add = body.push(Instr::Bin { op: BinOp::Add, lhs: cp, rhs: c3 });
+        body.outputs.push(add);
+        let f = fold(&body);
+        assert!(matches!(f.instrs[3], Instr::Const { value: Value::I64(5) }));
+    }
+
+    #[test]
+    fn add_zero_becomes_copy() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::lit(0i64)));
+        let f = fold(&b.build());
+        assert!(matches!(f.instrs[2], Instr::Copy { src: 0 }));
+    }
+
+    #[test]
+    fn and_true_becomes_copy_and_false_becomes_const() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).eq(Expr::lit(1i64)).and(Expr::lit(true)));
+        let f = fold(&b.build());
+        assert!(matches!(f.instrs[4], Instr::Copy { .. }));
+
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).eq(Expr::lit(1i64)).and(Expr::lit(false)));
+        let f = fold(&b.build());
+        assert!(matches!(f.instrs[4], Instr::Const { value: Value::Bool(false) }));
+    }
+
+    #[test]
+    fn float_identities_are_not_applied() {
+        // x + 0.0 must NOT fold: x = -0.0 gives +0.0.
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::lit(0.0f64)));
+        let body = b.build();
+        let f = fold(&body);
+        assert!(matches!(f.instrs[2], Instr::Bin { .. }), "float add must remain");
+        let out = eval(&f, &[Value::F64(-0.0)]).unwrap();
+        assert_eq!(out[0].as_f64().unwrap().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn select_same_arms_collapses() {
+        let mut body = KernelBody::new(2);
+        let x = body.push(Instr::LoadInput { slot: 0 });
+        let c = body.push(Instr::LoadInput { slot: 1 });
+        let s = body.push(Instr::Select { cond: c, then_r: x, else_r: x });
+        body.outputs.push(s);
+        let f = fold(&body);
+        assert!(matches!(f.instrs[2], Instr::Copy { src: 0 }));
+    }
+
+    #[test]
+    fn select_constant_condition_collapses() {
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::select(Expr::lit(true), Expr::input(0), Expr::input(1)));
+        let f = fold(&b.build());
+        assert!(matches!(f.instrs[3], Instr::Copy { src: 1 }));
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).neg().neg());
+        let f = fold(&b.build());
+        assert!(matches!(f.instrs[2], Instr::Copy { src: 0 }));
+    }
+
+    #[test]
+    fn constant_cmp_folds() {
+        let mut b = BodyBuilder::new(0);
+        b.emit_output(Expr::lit(3i64).cmp(CmpOp::Lt, Expr::lit(5i64)));
+        let f = fold(&b.build());
+        assert!(matches!(f.instrs[2], Instr::Const { value: Value::Bool(true) }));
+    }
+
+    #[test]
+    fn zero_minus_x_becomes_neg() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::lit(0i64).sub(Expr::input(0)));
+        let f = fold(&b.build());
+        assert!(matches!(f.instrs[2], Instr::Un { op: crate::ir::UnOp::Neg, arg: 1 }));
+    }
+
+    #[test]
+    fn fold_is_semantics_preserving_on_threshold() {
+        let body = BodyBuilder::threshold_lt(0, 10).build();
+        let f = fold(&body);
+        for v in [-1i64, 9, 10, 11] {
+            assert_eq!(
+                eval(&body, &[Value::I64(v)]).unwrap()[0].as_bool(),
+                eval(&f, &[Value::I64(v)]).unwrap()[0].as_bool()
+            );
+        }
+    }
+}

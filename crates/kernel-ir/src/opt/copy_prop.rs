@@ -1,0 +1,82 @@
+//! Copy propagation: reroute every use of a `Copy` to its ultimate source.
+//!
+//! Fusion introduces `Copy` instructions where a consumer kernel's input slot
+//! is wired to a producer kernel's output register; this pass is what
+//! actually *shorts the wire*, after which DCE deletes the dead copies.
+
+use crate::ir::{Instr, KernelBody, Reg};
+
+/// Rewrite all operands (and outputs) through copy chains. Returns whether
+/// anything changed. Does not delete the copies themselves — that is DCE's
+/// job.
+pub fn copy_prop(body: &mut KernelBody) -> bool {
+    let n = body.instrs.len();
+    // resolve[r]: the ultimate non-copy source of register r.
+    let mut resolve: Vec<Reg> = Vec::with_capacity(n);
+    for (i, instr) in body.instrs.iter().enumerate() {
+        let r = match *instr {
+            // Chains resolve in one step because `src < i` is already final.
+            Instr::Copy { src } => resolve[src as usize],
+            _ => i as Reg,
+        };
+        resolve.push(r);
+    }
+    let mut changed = false;
+    for instr in &mut body.instrs {
+        let mut local = false;
+        instr.map_operands(|r| {
+            let t = resolve[r as usize];
+            local |= t != r;
+            t
+        });
+        changed |= local;
+    }
+    for out in &mut body.outputs {
+        let t = resolve[*out as usize];
+        if t != *out {
+            *out = t;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BinOp;
+    use crate::value::Value;
+
+    #[test]
+    fn reroutes_through_copy_chain() {
+        let mut body = KernelBody::new(1);
+        let x = body.push(Instr::LoadInput { slot: 0 });
+        let c1 = body.push(Instr::Copy { src: x });
+        let c2 = body.push(Instr::Copy { src: c1 });
+        let k = body.push(Instr::Const { value: Value::I64(1) });
+        let add = body.push(Instr::Bin { op: BinOp::Add, lhs: c2, rhs: k });
+        body.outputs.push(add);
+
+        assert!(copy_prop(&mut body));
+        assert_eq!(body.instrs[4], Instr::Bin { op: BinOp::Add, lhs: x, rhs: k });
+        assert!(body.validate().is_ok());
+    }
+
+    #[test]
+    fn reroutes_outputs() {
+        let mut body = KernelBody::new(1);
+        let x = body.push(Instr::LoadInput { slot: 0 });
+        let c = body.push(Instr::Copy { src: x });
+        body.outputs.push(c);
+        assert!(copy_prop(&mut body));
+        assert_eq!(body.outputs[0], x);
+    }
+
+    #[test]
+    fn no_change_reports_false() {
+        let mut body = KernelBody::new(1);
+        let x = body.push(Instr::LoadInput { slot: 0 });
+        body.outputs.push(x);
+        assert!(!copy_prop(&mut body));
+    }
+}

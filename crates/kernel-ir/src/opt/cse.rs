@@ -1,0 +1,189 @@
+//! Common-subexpression elimination by local value numbering.
+//!
+//! This is the pass that realizes the paper's "Common Computation
+//! Elimination" benefit (Fig. 7(e)) at the instruction level: after fusion,
+//! both original kernels load the same input element and often compute the
+//! same sub-expressions; value numbering collapses the duplicates.
+
+use crate::ir::{BinOp, CmpOp, Instr, KernelBody, Reg};
+use std::collections::HashMap;
+
+/// A hashable key identifying the value an instruction computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Input(u32),
+    Const(u8, u64),
+    Bin(BinOp, Reg, Reg),
+    Un(crate::ir::UnOp, Reg),
+    Cmp(CmpOp, Reg, Reg),
+    Select(Reg, Reg, Reg),
+    Cast(crate::value::Ty, Reg),
+}
+
+fn commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Min | BinOp::Max
+    )
+}
+
+/// Replace recomputations of an already-available value with a `Copy` of the
+/// first computation. Returns whether anything changed. Run `copy_prop`
+/// first so operands are canonical, and after so uses are rerouted.
+pub fn cse(body: &mut KernelBody) -> bool {
+    let mut changed = false;
+    let mut table: HashMap<Key, Reg> = HashMap::with_capacity(body.instrs.len());
+    // canon[r]: representative register for r's value.
+    let mut canon: Vec<Reg> = Vec::with_capacity(body.instrs.len());
+    for i in 0..body.instrs.len() {
+        let c = |r: Reg, canon: &[Reg]| canon[r as usize];
+        let key = match body.instrs[i] {
+            Instr::LoadInput { slot } => Some(Key::Input(slot)),
+            Instr::Const { value } => {
+                let (t, bits) = value.bit_key();
+                Some(Key::Const(t, bits))
+            }
+            Instr::Bin { op, lhs, rhs } => {
+                let (mut a, mut b) = (c(lhs, &canon), c(rhs, &canon));
+                if commutative(op) && a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                Some(Key::Bin(op, a, b))
+            }
+            Instr::Un { op, arg } => Some(Key::Un(op, c(arg, &canon))),
+            Instr::Cmp { op, lhs, rhs } => {
+                let (a, b) = (c(lhs, &canon), c(rhs, &canon));
+                // Canonicalize `b > a` to `a < b` so swapped compares unify.
+                if a > b {
+                    Some(Key::Cmp(op.swapped(), b, a))
+                } else {
+                    Some(Key::Cmp(op, a, b))
+                }
+            }
+            Instr::Select { cond, then_r, else_r } => {
+                Some(Key::Select(c(cond, &canon), c(then_r, &canon), c(else_r, &canon)))
+            }
+            Instr::Cast { ty, arg } => Some(Key::Cast(ty, c(arg, &canon))),
+            Instr::Copy { src } => {
+                canon.push(canon[src as usize]);
+                continue;
+            }
+        };
+        let rep = match key {
+            Some(k) => match table.get(&k) {
+                Some(&first) => {
+                    body.instrs[i] = Instr::Copy { src: first };
+                    changed = true;
+                    first
+                }
+                None => {
+                    table.insert(k, i as Reg);
+                    i as Reg
+                }
+            },
+            None => i as Reg,
+        };
+        canon.push(rep);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::interp::eval;
+    use crate::opt::{copy_prop, dce};
+    use crate::value::Value;
+
+    fn run(body: &KernelBody) -> KernelBody {
+        let mut b = body.clone();
+        copy_prop(&mut b);
+        cse(&mut b);
+        copy_prop(&mut b);
+        dce(&mut b);
+        b
+    }
+
+    #[test]
+    fn duplicate_loads_merge() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::input(0)));
+        let body = b.build();
+        let out = run(&body);
+        let loads = out
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::LoadInput { .. }))
+            .count();
+        assert_eq!(loads, 1);
+        assert_eq!(
+            eval(&out, &[Value::I64(21)]).unwrap()[0].as_i64(),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn duplicate_constants_merge() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::lit(5i64)));
+        b.emit_output(Expr::input(0).mul(Expr::lit(5i64)));
+        let out = run(&b.build());
+        let consts = out
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Const { .. }))
+            .count();
+        assert_eq!(consts, 1);
+    }
+
+    #[test]
+    fn commutative_operands_unify() {
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::input(0).add(Expr::input(1)));
+        b.emit_output(Expr::input(1).add(Expr::input(0)));
+        let out = run(&b.build());
+        let adds = out
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Bin { op: BinOp::Add, .. }))
+            .count();
+        assert_eq!(adds, 1);
+        assert_eq!(out.outputs[0], out.outputs[1]);
+    }
+
+    #[test]
+    fn swapped_compares_unify() {
+        // a < b   and   b > a  are the same value.
+        let mut body = KernelBody::new(2);
+        let a = body.push(Instr::LoadInput { slot: 0 });
+        let b_ = body.push(Instr::LoadInput { slot: 1 });
+        let c1 = body.push(Instr::Cmp { op: CmpOp::Lt, lhs: a, rhs: b_ });
+        let c2 = body.push(Instr::Cmp { op: CmpOp::Gt, lhs: b_, rhs: a });
+        body.outputs.push(c1);
+        body.outputs.push(c2);
+        let out = run(&body);
+        assert_eq!(out.outputs[0], out.outputs[1]);
+    }
+
+    #[test]
+    fn non_commutative_not_unified() {
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::input(0).sub(Expr::input(1)));
+        b.emit_output(Expr::input(1).sub(Expr::input(0)));
+        let out = run(&b.build());
+        assert_ne!(out.outputs[0], out.outputs[1]);
+    }
+
+    #[test]
+    fn distinct_f64_bit_patterns_not_unified() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).div(Expr::lit(0.0f64)));
+        b.emit_output(Expr::input(0).div(Expr::lit(-0.0f64)));
+        let out = run(&b.build());
+        // 1/0.0 = inf but 1/-0.0 = -inf: the two consts must stay distinct.
+        let r = eval(&out, &[Value::F64(1.0)]).unwrap();
+        assert_eq!(r[0].as_f64(), Some(f64::INFINITY));
+        assert_eq!(r[1].as_f64(), Some(f64::NEG_INFINITY));
+    }
+}

@@ -1,0 +1,111 @@
+//! Dead-code elimination: drop instructions whose values never reach an
+//! output, compacting register numbering.
+
+use crate::ir::{Instr, KernelBody, Reg};
+
+/// Remove dead instructions. Returns whether anything changed.
+///
+/// All IR instructions are pure (loads read immutable per-element inputs), so
+/// liveness is simply backward reachability from [`KernelBody::outputs`].
+pub fn dce(body: &mut KernelBody) -> bool {
+    let n = body.instrs.len();
+    let mut live = vec![false; n];
+    let mut stack: Vec<Reg> = body.outputs.clone();
+    while let Some(r) = stack.pop() {
+        let i = r as usize;
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        body.instrs[i].for_each_operand(|op| {
+            if !live[op as usize] {
+                stack.push(op);
+            }
+        });
+    }
+    if live.iter().all(|&l| l) {
+        return false;
+    }
+    // remap[old] = new index for live instructions.
+    let mut remap: Vec<Reg> = vec![0; n];
+    let mut new_instrs: Vec<Instr> = Vec::with_capacity(n);
+    for (i, &is_live) in live.iter().enumerate() {
+        if is_live {
+            remap[i] = new_instrs.len() as Reg;
+            let mut instr = body.instrs[i];
+            instr.map_operands(|r| remap[r as usize]);
+            new_instrs.push(instr);
+        }
+    }
+    for out in &mut body.outputs {
+        *out = remap[*out as usize];
+    }
+    body.instrs = new_instrs;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::interp::eval;
+    use crate::value::Value;
+
+    #[test]
+    fn removes_unused_computation() {
+        let mut b = BodyBuilder::new(2);
+        let _dead = b.emit(&Expr::input(1).mul(Expr::lit(99i64)));
+        b.emit_output(Expr::input(0));
+        let mut body = b.build();
+        let before = body.instrs.len();
+        assert!(dce(&mut body));
+        assert!(body.instrs.len() < before);
+        assert!(body.validate().is_ok());
+        let out = eval(&body, &[Value::I64(7), Value::I64(1)]).unwrap();
+        assert_eq!(out[0].as_i64(), Some(7));
+    }
+
+    #[test]
+    fn keeps_everything_reachable() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::lit(1i64)));
+        let mut body = b.build();
+        assert!(!dce(&mut body));
+        assert_eq!(body.instrs.len(), 3);
+    }
+
+    #[test]
+    fn remaps_outputs_after_compaction() {
+        let mut b = BodyBuilder::new(2);
+        let _dead = b.emit(&Expr::input(1));
+        b.emit_output(Expr::input(0).add(Expr::lit(2i64)));
+        let mut body = b.build();
+        dce(&mut body);
+        assert!(body.validate().is_ok());
+        let out = eval(&body, &[Value::I64(40), Value::I64(0)]).unwrap();
+        assert_eq!(out[0].as_i64(), Some(42));
+    }
+
+    #[test]
+    fn dead_copy_chains_are_removed() {
+        let mut body = KernelBody::new(1);
+        let x = body.push(Instr::LoadInput { slot: 0 });
+        let c1 = body.push(Instr::Copy { src: x });
+        let _c2 = body.push(Instr::Copy { src: c1 });
+        body.outputs.push(x);
+        assert!(dce(&mut body));
+        assert_eq!(body.instrs.len(), 1);
+    }
+
+    #[test]
+    fn multiple_outputs_share_liveness() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0));
+        b.emit_output(Expr::input(0).neg());
+        let mut body = b.build();
+        dce(&mut body);
+        let out = eval(&body, &[Value::I64(3)]).unwrap();
+        assert_eq!(out[0].as_i64(), Some(3));
+        assert_eq!(out[1].as_i64(), Some(-3));
+    }
+}

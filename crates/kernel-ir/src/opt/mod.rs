@@ -1,0 +1,162 @@
+//! Classic scalar optimization passes over [`KernelBody`].
+//!
+//! These are the passes whose *scope* kernel fusion enlarges (paper
+//! §III-A, "Improved Compiler Optimization Benefits", Table III). Each pass
+//! is a function `fn(&mut KernelBody) -> bool` returning whether it changed
+//! anything; [`optimize`] runs the [`OptLevel`] pipelines.
+//!
+//! Semantics contract: passes preserve the [`crate::interp::eval`] result of
+//! every *well-typed* body (one that evaluates without [`crate::interp::EvalError`]
+//! on its intended input types). Ill-typed bodies are erroneous programs and
+//! carry no semantics to preserve — the same stance a C compiler takes on
+//! undefined behaviour.
+
+mod combine;
+mod const_fold;
+mod copy_prop;
+mod cse;
+mod dce;
+mod strength;
+mod types;
+
+pub use combine::combine;
+pub use const_fold::const_fold;
+pub use strength::strength;
+pub use copy_prop::copy_prop;
+pub use cse::cse;
+pub use dce::dce;
+pub use types::infer_types;
+
+use crate::ir::KernelBody;
+
+/// Optimization effort, mirroring the paper's `-O0` / `-O3` comparison
+/// (Table III) with two intermediate points for ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// No optimization: the naive front-end output, as measured in the
+    /// paper's Table III column "Inst # (O0)".
+    O0,
+    /// Constant folding + dead-code elimination, one iteration.
+    O1,
+    /// One iteration of every pass.
+    O2,
+    /// Every pass to fixpoint — the paper's "Inst # (O3)" column.
+    O3,
+}
+
+impl OptLevel {
+    /// All levels, for sweeps.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "O0"),
+            OptLevel::O1 => write!(f, "O1"),
+            OptLevel::O2 => write!(f, "O2"),
+            OptLevel::O3 => write!(f, "O3"),
+        }
+    }
+}
+
+/// Run one iteration of the full pass pipeline. Returns whether anything
+/// changed.
+pub fn run_all_once(body: &mut KernelBody) -> bool {
+    let mut changed = false;
+    changed |= const_fold(body);
+    changed |= copy_prop(body);
+    changed |= combine(body);
+    changed |= strength(body);
+    changed |= copy_prop(body);
+    changed |= cse(body);
+    changed |= copy_prop(body);
+    changed |= dce(body);
+    changed
+}
+
+/// Optimize a copy of `body` at `level`.
+pub fn optimize(body: &KernelBody, level: OptLevel) -> KernelBody {
+    let mut out = body.clone();
+    match level {
+        OptLevel::O0 => {}
+        OptLevel::O1 => {
+            const_fold(&mut out);
+            copy_prop(&mut out);
+            dce(&mut out);
+        }
+        OptLevel::O2 => {
+            run_all_once(&mut out);
+        }
+        OptLevel::O3 => {
+            // Fixpoint iteration; the pipeline strictly shrinks or rewrites
+            // toward normal forms, so this terminates quickly in practice.
+            // The bound is a backstop against pass-interaction cycles.
+            for _ in 0..16 {
+                if !run_all_once(&mut out) {
+                    break;
+                }
+            }
+        }
+    }
+    debug_assert!(out.validate().is_ok(), "optimizer produced invalid IR");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::cost::instruction_count;
+    use crate::interp::eval;
+    use crate::value::Value;
+
+    /// The single-kernel row of Table III: one threshold predicate shrinks
+    /// under O3 (setp/selp wrapper collapses) but stays a real compare.
+    #[test]
+    fn table3_single_kernel_row() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        let o0 = instruction_count(&optimize(&body, OptLevel::O0));
+        let o3_body = optimize(&body, OptLevel::O3);
+        let o3 = instruction_count(&o3_body);
+        assert_eq!(o0, 7, "load, const, cmp, 2x const, select + store");
+        assert_eq!(o3, 4, "load, const, cmp + store");
+        // Semantics preserved.
+        for v in [-5i64, 50, 99, 100, 101] {
+            assert_eq!(
+                eval(&body, &[Value::I64(v)]).unwrap()[0].as_bool(),
+                eval(&o3_body, &[Value::I64(v)]).unwrap()[0].as_bool(),
+            );
+        }
+    }
+
+    #[test]
+    fn o3_is_idempotent() {
+        let body = BodyBuilder::threshold_lt(0, 42).build();
+        let once = optimize(&body, OptLevel::O3);
+        let twice = optimize(&once, OptLevel::O3);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn levels_are_monotone_on_threshold() {
+        let body = BodyBuilder::threshold_lt(0, 7).build();
+        let counts: Vec<usize> = OptLevel::ALL
+            .iter()
+            .map(|&l| instruction_count(&optimize(&body, l)))
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "higher level should not add instructions: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fully_constant_body_folds_to_consts() {
+        let mut b = BodyBuilder::new(0);
+        b.emit_output(Expr::lit(6i64).mul(Expr::lit(7i64)));
+        let body = b.build();
+        let o3 = optimize(&body, OptLevel::O3);
+        assert_eq!(eval(&o3, &[]).unwrap()[0].as_i64(), Some(42));
+        assert_eq!(o3.instrs.len(), 1, "just the const: {o3}");
+    }
+}

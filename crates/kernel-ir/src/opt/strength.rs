@@ -1,0 +1,142 @@
+//! Strength reduction: replace expensive integer operations with cheaper
+//! equivalents.
+//!
+//! The rewrites are exact on the wrapping-i64 semantics of the IR:
+//!
+//! * `x * 2^k` ⇔ `x << k` (both wrap identically),
+//! * `x * -1` ⇒ `-x`,
+//! * `x & 2^k-1` after a known non-negative… kept minimal: masks are
+//!   already single instructions,
+//! * `x % 2^k` is **not** rewritten: Rust's `%` is remainder (sign follows
+//!   the dividend), which `& (2^k - 1)` does not preserve for negatives.
+
+use crate::ir::{BinOp, Instr, KernelBody, UnOp};
+use crate::value::Value;
+
+/// Run strength reduction. Returns whether the body changed.
+pub fn strength(body: &mut KernelBody) -> bool {
+    let mut changed = false;
+    // Constants visible so far (direct `Const` defs only; const_fold has
+    // already propagated through copies by the time this pass runs).
+    let consts: Vec<Option<Value>> = body
+        .instrs
+        .iter()
+        .map(|i| match i {
+            Instr::Const { value } => Some(*value),
+            _ => None,
+        })
+        .collect();
+    for i in 0..body.instrs.len() {
+        let new_instr = match body.instrs[i] {
+            Instr::Bin { op: BinOp::Mul, lhs, rhs } => {
+                let (var, konst) = match (consts[lhs as usize], consts[rhs as usize]) {
+                    (None, Some(Value::I64(c))) => (lhs, Some((c, rhs))),
+                    (Some(Value::I64(c)), None) => (rhs, Some((c, lhs))),
+                    _ => (lhs, None),
+                };
+                match konst {
+                    Some((-1, _)) => Some(Instr::Un { op: UnOp::Neg, arg: var }),
+                    Some((c, c_reg)) if c > 0 && (c as u64).is_power_of_two() => {
+                        // Reuse the constant register as the shift amount
+                        // only when it already holds log2(c)? It holds c, so
+                        // we cannot — straight-line SSA cannot insert a new
+                        // constant here. Rewrite only when a register
+                        // holding log2(c) already exists earlier.
+                        find_const(&consts, i, (c as u64).trailing_zeros() as i64)
+                            .map(|sh| Instr::Bin { op: BinOp::Shl, lhs: var, rhs: sh })
+                            .or({
+                                // Common case: multiply by 2 == x + x.
+                                if c == 2 {
+                                    Some(Instr::Bin { op: BinOp::Add, lhs: var, rhs: var })
+                                } else {
+                                    let _ = c_reg;
+                                    None
+                                }
+                            })
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some(ni) = new_instr {
+            if ni != body.instrs[i] {
+                body.instrs[i] = ni;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn find_const(consts: &[Option<Value>], before: usize, want: i64) -> Option<u32> {
+    consts[..before]
+        .iter()
+        .position(|c| matches!(c, Some(Value::I64(v)) if *v == want))
+        .map(|p| p as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::interp::eval;
+    use crate::opt::{optimize, OptLevel};
+
+    #[test]
+    fn times_two_becomes_add() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).mul(Expr::lit(2i64)));
+        let mut body = b.build();
+        assert!(strength(&mut body));
+        assert!(matches!(body.instrs[2], Instr::Bin { op: BinOp::Add, lhs: 0, rhs: 0 }));
+        assert_eq!(eval(&body, &[Value::I64(21)]).unwrap()[0].as_i64(), Some(42));
+    }
+
+    #[test]
+    fn times_minus_one_becomes_neg() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::lit(-1i64).mul(Expr::input(0)));
+        let mut body = b.build();
+        assert!(strength(&mut body));
+        assert_eq!(eval(&body, &[Value::I64(5)]).unwrap()[0].as_i64(), Some(-5));
+    }
+
+    #[test]
+    fn power_of_two_uses_existing_shift_constant() {
+        // 3 appears as a constant, then x*8 — the pass can reuse reg(3) as
+        // the shift amount for <<3.
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::lit(3i64)));
+        b.emit_output(Expr::input(0).mul(Expr::lit(8i64)));
+        let mut body = b.build();
+        assert!(strength(&mut body));
+        let has_shl = body.instrs.iter().any(|i| matches!(i, Instr::Bin { op: BinOp::Shl, .. }));
+        assert!(has_shl, "{body}");
+        let out = eval(&body, &[Value::I64(5)]).unwrap();
+        assert_eq!(out[1].as_i64(), Some(40));
+    }
+
+    #[test]
+    fn odd_multipliers_untouched() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).mul(Expr::lit(7i64)));
+        let mut body = b.build();
+        assert!(!strength(&mut body));
+    }
+
+    #[test]
+    fn wrapping_semantics_preserved() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).mul(Expr::lit(2i64)));
+        let body = b.build();
+        let o3 = optimize(&body, OptLevel::O3);
+        for v in [i64::MAX, i64::MIN, i64::MAX / 2 + 1] {
+            assert_eq!(
+                eval(&body, &[Value::I64(v)]).unwrap()[0],
+                eval(&o3, &[Value::I64(v)]).unwrap()[0],
+                "mismatch at {v}"
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Forward type inference for straight-line bodies.
+//!
+//! Input slot types are unknown at the IR level (the relational layer binds
+//! columns at execution time), so inference is partial: a register's type is
+//! `Some(ty)` only when it is forced by the instructions alone. Passes use
+//! this to apply rewrites that are only sound at a known type.
+
+use crate::ir::{Instr, KernelBody};
+use crate::value::Ty;
+
+/// Infer the type of every register, where determinable.
+pub fn infer_types(body: &KernelBody) -> Vec<Option<Ty>> {
+    let mut tys: Vec<Option<Ty>> = Vec::with_capacity(body.instrs.len());
+    for instr in &body.instrs {
+        let t = match *instr {
+            Instr::LoadInput { .. } => None,
+            Instr::Const { value } => Some(value.ty()),
+            Instr::Copy { src } => tys[src as usize],
+            // Arithmetic and bitwise ops are homogeneous: result type equals
+            // the operand type, known if either side is known.
+            Instr::Bin { lhs, rhs, .. } => tys[lhs as usize].or(tys[rhs as usize]),
+            Instr::Un { arg, .. } => tys[arg as usize],
+            Instr::Cmp { .. } => Some(Ty::Bool),
+            Instr::Select { then_r, else_r, .. } => {
+                tys[then_r as usize].or(tys[else_r as usize])
+            }
+            Instr::Cast { ty, .. } => Some(ty),
+        };
+        tys.push(t);
+    }
+    tys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+
+    #[test]
+    fn cmp_is_always_bool() {
+        let body = BodyBuilder::threshold_lt(0, 1).build();
+        let tys = infer_types(&body);
+        // instr 2 is the Cmp in the canonical threshold lowering.
+        assert_eq!(tys[2], Some(Ty::Bool));
+    }
+
+    #[test]
+    fn input_is_unknown_but_propagates_through_ops() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::lit(1i64)));
+        let body = b.build();
+        let tys = infer_types(&body);
+        assert_eq!(tys[0], None, "bare input load");
+        assert_eq!(*tys.last().unwrap(), Some(Ty::I64), "add with i64 const");
+    }
+
+    #[test]
+    fn cast_forces_type() {
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).cast(Ty::F64));
+        let tys = infer_types(&b.build());
+        assert_eq!(*tys.last().unwrap(), Some(Ty::F64));
+    }
+}

@@ -1,0 +1,317 @@
+//! Textual IR: parse the format [`KernelBody`]'s `Display` prints.
+//!
+//! Round-tripping (`parse(body.to_string()) == body`) is property-tested,
+//! which makes the text form reliable for golden tests, docs, and bug
+//! reports. Example:
+//!
+//! ```text
+//! body(inputs=1) {
+//!   r0 = load in[0]
+//!   r1 = const 100i64
+//!   r2 = cmp.Lt r0, r1
+//!   out[0] = r2
+//! }
+//! ```
+
+use crate::ir::{BinOp, CmpOp, Instr, IrError, KernelBody, Reg, UnOp};
+use crate::value::{Ty, Value};
+use std::fmt;
+
+/// Parse errors with line numbers (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<IrError> for TextError {
+    fn from(e: IrError) -> Self {
+        TextError { line: 0, message: format!("invalid IR: {e}") }
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TextError> {
+    Err(TextError { line, message: message.into() })
+}
+
+/// Parse a body from its textual form.
+pub fn parse(src: &str) -> Result<KernelBody, TextError> {
+    let mut body: Option<KernelBody> = None;
+    let mut done = false;
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        let text = raw.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if done {
+            return err(line, "content after closing '}'");
+        }
+        if body.is_none() {
+            let rest = text
+                .strip_prefix("body(inputs=")
+                .ok_or(TextError { line, message: "expected `body(inputs=N) {`".into() })?;
+            let close = rest
+                .find(')')
+                .ok_or(TextError { line, message: "missing ')'".into() })?;
+            let n: u32 = rest[..close]
+                .parse()
+                .map_err(|_| TextError { line, message: "bad input count".into() })?;
+            if !rest[close + 1..].trim_start().starts_with('{') {
+                return err(line, "expected '{' after body header");
+            }
+            body = Some(KernelBody::new(n));
+            continue;
+        }
+        let b = body.as_mut().expect("header parsed");
+        if text == "}" {
+            done = true;
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("out[") {
+            let (slot, rest) = split_index(rest, line)?;
+            let reg = parse_reg(rest.trim_start_matches('=').trim(), line)?;
+            if slot != b.outputs.len() {
+                return err(line, format!("outputs must be declared in order (got {slot})"));
+            }
+            b.outputs.push(reg);
+            continue;
+        }
+        // rN = <op> ...
+        let (dst, rhs) = text
+            .split_once('=')
+            .ok_or(TextError { line, message: "expected `rN = ...`".into() })?;
+        let dst = parse_reg(dst.trim(), line)?;
+        if dst as usize != b.instrs.len() {
+            return err(line, format!("expected r{} on the left, got r{dst}", b.instrs.len()));
+        }
+        let rhs = rhs.trim();
+        let instr = parse_instr(rhs, line)?;
+        b.push(instr);
+    }
+    let body = body.ok_or(TextError { line: 0, message: "empty input".into() })?;
+    if !done {
+        return err(src.lines().count(), "missing closing '}'");
+    }
+    body.validate()?;
+    Ok(body)
+}
+
+fn split_index(rest: &str, line: usize) -> Result<(usize, &str), TextError> {
+    let close = rest
+        .find(']')
+        .ok_or(TextError { line, message: "missing ']'".into() })?;
+    let idx = rest[..close]
+        .parse()
+        .map_err(|_| TextError { line, message: "bad index".into() })?;
+    Ok((idx, rest[close + 1..].trim()))
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, TextError> {
+    s.strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or(TextError { line, message: format!("expected register, got {s:?}") })
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Value, TextError> {
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(v) = s.strip_suffix("i64") {
+        return v
+            .parse()
+            .map(Value::I64)
+            .map_err(|_| TextError { line, message: format!("bad i64 {v:?}") });
+    }
+    if let Some(v) = s.strip_suffix("f64") {
+        // `Display` prints f64 via `{}`; special-case the names it uses.
+        let parsed = match v {
+            "NaN" => f64::NAN,
+            "inf" => f64::INFINITY,
+            "-inf" => f64::NEG_INFINITY,
+            _ => v
+                .parse()
+                .map_err(|_| TextError { line, message: format!("bad f64 {v:?}") })?,
+        };
+        return Ok(Value::F64(parsed));
+    }
+    err(line, format!("expected literal, got {s:?}"))
+}
+
+fn two_regs(rest: &str, line: usize) -> Result<(Reg, Reg), TextError> {
+    let (a, b) = rest
+        .split_once(',')
+        .ok_or(TextError { line, message: "expected two operands".into() })?;
+    Ok((parse_reg(a.trim(), line)?, parse_reg(b.trim(), line)?))
+}
+
+fn parse_instr(rhs: &str, line: usize) -> Result<Instr, TextError> {
+    let (op, rest) = match rhs.split_once(' ') {
+        Some((o, r)) => (o, r.trim()),
+        None => (rhs, ""),
+    };
+    Ok(match op {
+        "load" => {
+            let inner = rest
+                .strip_prefix("in[")
+                .ok_or(TextError { line, message: "expected in[slot]".into() })?;
+            let (slot, _) = split_index(inner, line)?;
+            Instr::LoadInput { slot: slot as u32 }
+        }
+        "const" => Instr::Const { value: parse_value(rest, line)? },
+        "copy" => Instr::Copy { src: parse_reg(rest, line)? },
+        "select" => {
+            // select rC ? rT : rE
+            let parts: Vec<&str> = rest.split(['?', ':']).map(str::trim).collect();
+            if parts.len() != 3 {
+                return err(line, "expected `select rC ? rT : rE`");
+            }
+            Instr::Select {
+                cond: parse_reg(parts[0], line)?,
+                then_r: parse_reg(parts[1], line)?,
+                else_r: parse_reg(parts[2], line)?,
+            }
+        }
+        "Not" => Instr::Un { op: UnOp::Not, arg: parse_reg(rest, line)? },
+        "Neg" => Instr::Un { op: UnOp::Neg, arg: parse_reg(rest, line)? },
+        _ if op.starts_with("cmp.") => {
+            let cmp = match &op[4..] {
+                "Lt" => CmpOp::Lt,
+                "Le" => CmpOp::Le,
+                "Gt" => CmpOp::Gt,
+                "Ge" => CmpOp::Ge,
+                "Eq" => CmpOp::Eq,
+                "Ne" => CmpOp::Ne,
+                other => return err(line, format!("unknown compare {other:?}")),
+            };
+            let (lhs, rhs_r) = two_regs(rest, line)?;
+            Instr::Cmp { op: cmp, lhs, rhs: rhs_r }
+        }
+        _ if op.starts_with("cast.") => {
+            let ty = match &op[5..] {
+                "i64" => Ty::I64,
+                "f64" => Ty::F64,
+                "bool" => Ty::Bool,
+                other => return err(line, format!("unknown type {other:?}")),
+            };
+            Instr::Cast { ty, arg: parse_reg(rest, line)? }
+        }
+        _ => {
+            let bin = match op {
+                "Add" => BinOp::Add,
+                "Sub" => BinOp::Sub,
+                "Mul" => BinOp::Mul,
+                "Div" => BinOp::Div,
+                "Rem" => BinOp::Rem,
+                "Min" => BinOp::Min,
+                "Max" => BinOp::Max,
+                "And" => BinOp::And,
+                "Or" => BinOp::Or,
+                "Xor" => BinOp::Xor,
+                "Shl" => BinOp::Shl,
+                "Shr" => BinOp::Shr,
+                other => return err(line, format!("unknown instruction {other:?}")),
+            };
+            let (lhs, rhs_r) = two_regs(rest, line)?;
+            Instr::Bin { op: bin, lhs, rhs: rhs_r }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::fuse::fuse_predicate_chain;
+    use crate::opt::{optimize, OptLevel};
+
+    fn roundtrip(body: &KernelBody) {
+        let text = body.to_string();
+        let back = parse(&text).unwrap_or_else(|e| panic!("{e}\n--- source ---\n{text}"));
+        assert_eq!(&back, body, "round trip changed the body:\n{text}");
+    }
+
+    #[test]
+    fn threshold_round_trips() {
+        roundtrip(&BodyBuilder::threshold_lt(0, 100).build());
+    }
+
+    #[test]
+    fn optimized_and_fused_bodies_round_trip() {
+        let a = BodyBuilder::threshold_lt(0, 100).build();
+        let b = BodyBuilder::threshold_lt(0, 70).build();
+        let fused = fuse_predicate_chain(&[a, b]);
+        roundtrip(&fused);
+        roundtrip(&optimize(&fused, OptLevel::O3));
+    }
+
+    #[test]
+    fn every_instruction_kind_round_trips() {
+        let mut b = BodyBuilder::new(3);
+        b.emit_output(
+            Expr::select(
+                Expr::input(0)
+                    .lt(Expr::lit(5i64))
+                    .and(Expr::input(1).ne(Expr::lit(0i64)).not()),
+                Expr::input(2).neg().cast(Ty::F64),
+                Expr::lit(2.5f64),
+            ),
+        );
+        b.emit_output(Expr::input(0).div(Expr::lit(4i64)).or(Expr::lit(1i64)));
+        roundtrip(&b.build());
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        let mut b = KernelBody::new(0);
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 1e-300] {
+            b.push(Instr::Const { value: Value::F64(v) });
+        }
+        let last = b.push(Instr::Const { value: Value::F64(0.0) });
+        b.outputs.push(last);
+        let text = b.to_string();
+        let back = parse(&text).unwrap();
+        for (x, y) in b.instrs.iter().zip(&back.instrs) {
+            assert_eq!(x, y, "{text}"); // PartialEq on Value is bit-exact
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse("body(inputs=1) {\n  r0 = blorp in[0]\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("").is_err());
+        assert!(parse("body(inputs=1) {\n  r0 = load in[0]").is_err(), "missing brace");
+        assert!(parse("body(inputs=1) {\n  r5 = load in[0]\n}").is_err(), "bad numbering");
+    }
+
+    #[test]
+    fn structural_validation_applies() {
+        // Forward reference rejected even if syntactically fine.
+        let e = parse("body(inputs=0) {\n  r0 = copy r0\n}").unwrap_err();
+        assert!(e.message.contains("invalid IR"), "{e}");
+    }
+
+    #[test]
+    fn whitespace_is_forgiving() {
+        let body = parse(
+            "  body(inputs=2)   {\n\n    r0 = load in[1]\n  r1=const 7i64\n    r2 = Add r0, r1\n  out[0] = r2\n }\n",
+        )
+        .unwrap();
+        assert_eq!(body.instrs.len(), 3);
+        assert_eq!(body.n_inputs, 2);
+    }
+}

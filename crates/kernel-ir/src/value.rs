@@ -1,0 +1,186 @@
+//! Scalar values and types flowing through the kernel IR.
+
+use std::fmt;
+
+/// The scalar types the IR computes with.
+///
+/// The RA operators of the paper work on compressed row data — 32/64-bit
+/// integer keys and payloads — plus floating-point columns for the TPC-H
+/// arithmetic (e.g. `sum((1 - discount) * price)`). Three types cover all of
+/// it; narrower widths only matter for the byte-traffic model, which the
+/// virtual GPU tracks separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Boolean predicate result.
+    Bool,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::I64 => write!(f, "i64"),
+            Ty::F64 => write!(f, "f64"),
+            Ty::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A runtime scalar value.
+///
+/// `PartialEq` is *bit-exact* (see [`Value::bit_eq`]): `0.0 != -0.0` and
+/// `NaN == NaN` for identical bit patterns. This is the equality the
+/// optimizer needs; use `as_f64()` for numeric comparison.
+#[derive(Debug, Clone, Copy)]
+pub enum Value {
+    /// 64-bit signed integer.
+    I64(i64),
+    /// 64-bit IEEE-754 float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::I64(_) => Ty::I64,
+            Value::F64(_) => Ty::F64,
+            Value::Bool(_) => Ty::Bool,
+        }
+    }
+
+    /// Interpret as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret as an `i64`, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret as an `f64`, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Bit-exact equality.
+    ///
+    /// The optimizer must treat two `f64` constants as interchangeable only
+    /// when they have identical bit patterns: `0.0 == -0.0` numerically, but
+    /// substituting one for the other changes results (e.g. under division),
+    /// and `NaN != NaN` numerically even though replacing a NaN computation
+    /// with an identical NaN computation is sound. Bitwise comparison gives
+    /// the semantics-preserving notion of "same constant".
+    pub fn bit_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// A hashable, bit-exact key for value numbering.
+    pub fn bit_key(&self) -> (u8, u64) {
+        match self {
+            Value::I64(v) => (0, *v as u64),
+            Value::F64(v) => (1, v.to_bits()),
+            Value::Bool(b) => (2, *b as u64),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.bit_eq(other)
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}i64"),
+            Value::F64(v) => write!(f, "{v}f64"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_of_values() {
+        assert_eq!(Value::I64(3).ty(), Ty::I64);
+        assert_eq!(Value::F64(1.5).ty(), Ty::F64);
+        assert_eq!(Value::Bool(true).ty(), Ty::Bool);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::I64(7).as_i64(), Some(7));
+        assert_eq!(Value::I64(7).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::F64(2.5).as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn bit_eq_distinguishes_signed_zero() {
+        assert!(!Value::F64(0.0).bit_eq(&Value::F64(-0.0)));
+        assert!(Value::F64(0.0).bit_eq(&Value::F64(0.0)));
+    }
+
+    #[test]
+    fn bit_eq_nan_is_reflexive_per_bit_pattern() {
+        let nan = f64::NAN;
+        assert!(Value::F64(nan).bit_eq(&Value::F64(nan)));
+    }
+
+    #[test]
+    fn bit_eq_across_types_is_false() {
+        assert!(!Value::I64(0).bit_eq(&Value::Bool(false)));
+        assert!(!Value::I64(0).bit_eq(&Value::F64(0.0)));
+    }
+
+    #[test]
+    fn bit_keys_unique_per_type() {
+        assert_ne!(Value::I64(1).bit_key(), Value::Bool(true).bit_key());
+        assert_ne!(Value::I64(0).bit_key(), Value::F64(0.0).bit_key());
+    }
+}

@@ -1,0 +1,427 @@
+//! Columnar relation storage.
+//!
+//! Following Diamos et al. (GIT-CERCS-12-01), the substrate the paper builds
+//! on, a relation is a densely packed array of tuples sorted by an integer
+//! *key*, with fixed-width payload fields. We store it columnar: one `u64`
+//! key vector plus typed payload columns. The key doubles as the join/set
+//! attribute; the "first field is the key" convention of the paper's
+//! Table I.
+
+use std::fmt;
+
+/// A typed payload column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit signed integers.
+    I64(Vec<i64>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+}
+
+impl Column {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An empty column of the same type.
+    pub fn empty_like(&self) -> Column {
+        match self {
+            Column::I64(_) => Column::I64(Vec::new()),
+            Column::F64(_) => Column::F64(Vec::new()),
+        }
+    }
+
+    /// An empty column of the same type with reserved capacity.
+    pub fn empty_like_with_capacity(&self, cap: usize) -> Column {
+        match self {
+            Column::I64(_) => Column::I64(Vec::with_capacity(cap)),
+            Column::F64(_) => Column::F64(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Value at `i` as an IR [`kfusion_ir::Value`].
+    pub fn value(&self, i: usize) -> kfusion_ir::Value {
+        match self {
+            Column::I64(v) => kfusion_ir::Value::I64(v[i]),
+            Column::F64(v) => kfusion_ir::Value::F64(v[i]),
+        }
+    }
+
+    /// Append the value at `src[i]` (same-typed column) to `self`.
+    ///
+    /// # Panics
+    /// If the column types differ.
+    pub fn push_from(&mut self, src: &Column, i: usize) {
+        match (self, src) {
+            (Column::I64(d), Column::I64(s)) => d.push(s[i]),
+            (Column::F64(d), Column::F64(s)) => d.push(s[i]),
+            _ => panic!("column type mismatch in push_from"),
+        }
+    }
+
+    /// Append a [`kfusion_ir::Value`] of the matching type.
+    ///
+    /// # Panics
+    /// If the value type does not match the column type.
+    pub fn push_value(&mut self, v: kfusion_ir::Value) {
+        match (self, v) {
+            (Column::I64(d), kfusion_ir::Value::I64(x)) => d.push(x),
+            (Column::F64(d), kfusion_ir::Value::F64(x)) => d.push(x),
+            _ => panic!("value type mismatch in push_value"),
+        }
+    }
+
+    /// Bytes per value (both variants are 8-byte scalars).
+    pub const BYTES_PER_VALUE: u64 = 8;
+
+    /// The i64 payload, if this is an integer column.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            Column::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The f64 payload, if this is a float column.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Column::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Concatenate `other` onto the end of `self`.
+    ///
+    /// # Panics
+    /// If the column types differ.
+    pub fn extend_from(&mut self, other: &Column) {
+        match (self, other) {
+            (Column::I64(d), Column::I64(s)) => d.extend_from_slice(s),
+            (Column::F64(d), Column::F64(s)) => d.extend_from_slice(s),
+            _ => panic!("column type mismatch in extend_from"),
+        }
+    }
+
+    /// Take the rows at `idx`, in order.
+    pub fn gather(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::I64(v) => Column::I64(idx.iter().map(|&i| v[i]).collect()),
+            Column::F64(v) => Column::F64(idx.iter().map(|&i| v[i]).collect()),
+        }
+    }
+}
+
+/// Structural errors on relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// Columns have differing lengths.
+    RaggedColumns {
+        /// Key length.
+        key_len: usize,
+        /// Offending column index.
+        col: usize,
+        /// Its length.
+        col_len: usize,
+    },
+    /// An operator required key-sorted input but the keys are unsorted.
+    NotSorted,
+    /// An operator referenced a column that does not exist.
+    NoSuchColumn {
+        /// Requested index.
+        col: usize,
+        /// Available count.
+        available: usize,
+    },
+    /// Two relations were expected to have the same schema.
+    SchemaMismatch,
+    /// A predicate or expression failed to evaluate.
+    Eval(kfusion_ir::interp::EvalError),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::RaggedColumns { key_len, col, col_len } => {
+                write!(f, "column {col} has {col_len} rows, key has {key_len}")
+            }
+            RelError::NotSorted => write!(f, "relation is not key-sorted"),
+            RelError::NoSuchColumn { col, available } => {
+                write!(f, "no column {col} (relation has {available})")
+            }
+            RelError::SchemaMismatch => write!(f, "relations have different schemas"),
+            RelError::Eval(e) => write!(f, "expression evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+impl From<kfusion_ir::interp::EvalError> for RelError {
+    fn from(e: kfusion_ir::interp::EvalError) -> Self {
+        RelError::Eval(e)
+    }
+}
+
+/// A relation: a key vector plus payload columns of equal length.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    /// Tuple keys (the first field in the paper's Table I examples).
+    pub key: Vec<u64>,
+    /// Payload columns.
+    pub cols: Vec<Column>,
+}
+
+impl Relation {
+    /// A relation of bare keys (the paper's compressed-row SELECT inputs).
+    pub fn from_keys(key: Vec<u64>) -> Self {
+        Relation { key, cols: Vec::new() }
+    }
+
+    /// A relation with payload columns.
+    ///
+    /// # Errors
+    /// [`RelError::RaggedColumns`] if lengths differ.
+    pub fn new(key: Vec<u64>, cols: Vec<Column>) -> Result<Self, RelError> {
+        let r = Relation { key, cols };
+        r.check_rect()?;
+        Ok(r)
+    }
+
+    fn check_rect(&self) -> Result<(), RelError> {
+        for (i, c) in self.cols.iter().enumerate() {
+            if c.len() != self.key.len() {
+                return Err(RelError::RaggedColumns {
+                    key_len: self.key.len(),
+                    col: i,
+                    col_len: c.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.key.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.key.is_empty()
+    }
+
+    /// Number of payload columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Stored bytes per tuple (8-byte key + 8 bytes per payload column).
+    pub fn row_bytes(&self) -> u64 {
+        8 + self.cols.len() as u64 * Column::BYTES_PER_VALUE
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.row_bytes() * self.len() as u64
+    }
+
+    /// Whether keys are non-decreasing.
+    pub fn is_key_sorted(&self) -> bool {
+        self.key.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Error unless key-sorted (operators with merge-based implementations
+    /// require it, like the substrate's sorted key-value arrays).
+    pub fn require_sorted(&self) -> Result<(), RelError> {
+        if self.is_key_sorted() {
+            Ok(())
+        } else {
+            Err(RelError::NotSorted)
+        }
+    }
+
+    /// Sort tuples by key (stable), carrying payload columns along.
+    pub fn sort_by_key(&mut self) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by_key(|&i| self.key[i]);
+        self.permute(&idx);
+    }
+
+    /// Reorder tuples so that row `i` of the result is row `idx[i]` of the
+    /// input.
+    pub fn permute(&mut self, idx: &[usize]) {
+        self.key = idx.iter().map(|&i| self.key[i]).collect();
+        for c in &mut self.cols {
+            *c = c.gather(idx);
+        }
+    }
+
+    /// An empty relation with the same schema.
+    pub fn empty_like(&self) -> Relation {
+        Relation {
+            key: Vec::new(),
+            cols: self.cols.iter().map(Column::empty_like).collect(),
+        }
+    }
+
+    /// The IR input row for tuple `i`: slot 0 = key (as i64), slot `1+c` =
+    /// column `c`. This is the calling convention every predicate and
+    /// arithmetic expression in the library uses.
+    pub fn ir_inputs(&self, i: usize, out: &mut Vec<kfusion_ir::Value>) {
+        out.clear();
+        out.push(kfusion_ir::Value::I64(self.key[i] as i64));
+        for c in &self.cols {
+            out.push(c.value(i));
+        }
+    }
+
+    /// Append row `i` of `src` (same schema).
+    ///
+    /// # Panics
+    /// If schemas differ.
+    pub fn push_row_from(&mut self, src: &Relation, i: usize) {
+        self.key.push(src.key[i]);
+        for (d, s) in self.cols.iter_mut().zip(&src.cols) {
+            d.push_from(s, i);
+        }
+    }
+
+    /// Concatenate `other` (same schema) onto `self`.
+    ///
+    /// # Panics
+    /// If schemas differ.
+    pub fn extend_from(&mut self, other: &Relation) {
+        self.key.extend_from_slice(&other.key);
+        for (d, s) in self.cols.iter_mut().zip(&other.cols) {
+            d.extend_from(s);
+        }
+    }
+
+    /// Compare full tuples at `(self, i)` and `(other, j)` for equality
+    /// (used by the set operators, which work on whole tuples per Table I).
+    pub fn tuple_eq(&self, i: usize, other: &Relation, j: usize) -> bool {
+        if self.key[i] != other.key[j] || self.cols.len() != other.cols.len() {
+            return false;
+        }
+        self.cols.iter().zip(&other.cols).all(|(a, b)| match (a, b) {
+            (Column::I64(x), Column::I64(y)) => x[i] == y[j],
+            (Column::F64(x), Column::F64(y)) => x[i].to_bits() == y[j].to_bits(),
+            _ => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation::new(
+            vec![1, 2, 3],
+            vec![Column::I64(vec![10, 20, 30]), Column::F64(vec![0.1, 0.2, 0.3])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_rectangularity() {
+        let bad = Relation::new(vec![1, 2], vec![Column::I64(vec![1])]);
+        assert!(matches!(bad, Err(RelError::RaggedColumns { col: 0, .. })));
+    }
+
+    #[test]
+    fn row_bytes_counts_key_and_columns() {
+        assert_eq!(rel().row_bytes(), 24);
+        assert_eq!(Relation::from_keys(vec![1]).row_bytes(), 8);
+        assert_eq!(rel().total_bytes(), 72);
+    }
+
+    #[test]
+    fn sortedness_checks() {
+        assert!(rel().is_key_sorted());
+        let mut r = Relation::from_keys(vec![3, 1, 2]);
+        assert!(!r.is_key_sorted());
+        assert!(r.require_sorted().is_err());
+        r.sort_by_key();
+        assert_eq!(r.key, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_carries_payload() {
+        let mut r = Relation::new(
+            vec![3, 1, 2],
+            vec![Column::I64(vec![30, 10, 20])],
+        )
+        .unwrap();
+        r.sort_by_key();
+        assert_eq!(r.key, vec![1, 2, 3]);
+        assert_eq!(r.cols[0].as_i64().unwrap(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_keys() {
+        let mut r = Relation::new(
+            vec![2, 1, 2, 1],
+            vec![Column::I64(vec![1, 2, 3, 4])],
+        )
+        .unwrap();
+        r.sort_by_key();
+        assert_eq!(r.key, vec![1, 1, 2, 2]);
+        assert_eq!(r.cols[0].as_i64().unwrap(), &[2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn ir_inputs_layout() {
+        let r = rel();
+        let mut buf = Vec::new();
+        r.ir_inputs(1, &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf[0].as_i64(), Some(2));
+        assert_eq!(buf[1].as_i64(), Some(20));
+        assert_eq!(buf[2].as_f64(), Some(0.2));
+    }
+
+    #[test]
+    fn push_and_extend_preserve_schema() {
+        let r = rel();
+        let mut out = r.empty_like();
+        out.push_row_from(&r, 2);
+        assert_eq!(out.key, vec![3]);
+        out.extend_from(&r);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.cols[0].as_i64().unwrap(), &[30, 10, 20, 30]);
+    }
+
+    #[test]
+    fn tuple_equality_is_full_width() {
+        let a = rel();
+        let mut b = rel();
+        assert!(a.tuple_eq(0, &b, 0));
+        if let Column::I64(v) = &mut b.cols[0] {
+            v[0] = 99;
+        }
+        assert!(!a.tuple_eq(0, &b, 0));
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let c = Column::I64(vec![5, 6, 7]);
+        assert_eq!(c.gather(&[2, 0]).as_i64().unwrap(), &[7, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column type mismatch")]
+    fn mixed_type_extend_panics() {
+        let mut a = Column::I64(vec![]);
+        a.extend_from(&Column::F64(vec![1.0]));
+    }
+}

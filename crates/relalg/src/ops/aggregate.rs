@@ -1,0 +1,248 @@
+//! AGGREGATION: group by key, reduce payload columns.
+//!
+//! TPC-H Q1's tail is exactly this — sums, averages, and counts per
+//! `(returnflag, linestatus)` group. Callers pack compound group attributes
+//! into the key with [`pack_key2`]. Input must be key-sorted (the paper's
+//! Q1 plan SORTs before aggregating, Fig. 17(a)), making the reduction a
+//! single linear segmented scan.
+
+use crate::data::{Column, Relation, RelError};
+
+/// One aggregate over a payload column (or over the rows themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Sum of column `c` (result type = column type).
+    Sum(usize),
+    /// Count of rows in the group (i64).
+    Count,
+    /// Minimum of column `c`.
+    Min(usize),
+    /// Maximum of column `c`.
+    Max(usize),
+    /// Arithmetic mean of column `c` (always f64).
+    Avg(usize),
+}
+
+impl Agg {
+    fn col(&self) -> Option<usize> {
+        match self {
+            Agg::Sum(c) | Agg::Min(c) | Agg::Max(c) | Agg::Avg(c) => Some(*c),
+            Agg::Count => None,
+        }
+    }
+}
+
+/// Pack two small group attributes into one key (16 bits each is ample for
+/// flags/statuses).
+pub fn pack_key2(a: u64, b: u64) -> u64 {
+    (a << 16) | (b & 0xFFFF)
+}
+
+/// Unpack a [`pack_key2`] key.
+pub fn unpack_key2(k: u64) -> (u64, u64) {
+    (k >> 16, k & 0xFFFF)
+}
+
+enum Acc {
+    I64(i64),
+    F64(f64),
+    Count(i64),
+    AvgF { sum: f64, n: u64 },
+    AvgI { sum: i64, n: u64 },
+}
+
+fn make_acc(rel: &Relation, agg: Agg) -> Result<Acc, RelError> {
+    let col_ty = |c: usize| -> Result<&Column, RelError> {
+        rel.cols
+            .get(c)
+            .ok_or(RelError::NoSuchColumn { col: c, available: rel.n_cols() })
+    };
+    Ok(match agg {
+        Agg::Count => Acc::Count(0),
+        Agg::Sum(c) => match col_ty(c)? {
+            Column::I64(_) => Acc::I64(0),
+            Column::F64(_) => Acc::F64(0.0),
+        },
+        Agg::Min(c) => match col_ty(c)? {
+            Column::I64(_) => Acc::I64(i64::MAX),
+            Column::F64(_) => Acc::F64(f64::INFINITY),
+        },
+        Agg::Max(c) => match col_ty(c)? {
+            Column::I64(_) => Acc::I64(i64::MIN),
+            Column::F64(_) => Acc::F64(f64::NEG_INFINITY),
+        },
+        Agg::Avg(c) => match col_ty(c)? {
+            Column::I64(_) => Acc::AvgI { sum: 0, n: 0 },
+            Column::F64(_) => Acc::AvgF { sum: 0.0, n: 0 },
+        },
+    })
+}
+
+fn feed(acc: &mut Acc, agg: Agg, rel: &Relation, i: usize) {
+    match (acc, agg) {
+        (Acc::Count(n), Agg::Count) => *n += 1,
+        (Acc::I64(s), Agg::Sum(c)) => *s += rel.cols[c].as_i64().unwrap()[i],
+        (Acc::F64(s), Agg::Sum(c)) => *s += rel.cols[c].as_f64().unwrap()[i],
+        (Acc::I64(s), Agg::Min(c)) => *s = (*s).min(rel.cols[c].as_i64().unwrap()[i]),
+        (Acc::F64(s), Agg::Min(c)) => *s = (*s).min(rel.cols[c].as_f64().unwrap()[i]),
+        (Acc::I64(s), Agg::Max(c)) => *s = (*s).max(rel.cols[c].as_i64().unwrap()[i]),
+        (Acc::F64(s), Agg::Max(c)) => *s = (*s).max(rel.cols[c].as_f64().unwrap()[i]),
+        (Acc::AvgI { sum, n }, Agg::Avg(c)) => {
+            *sum += rel.cols[c].as_i64().unwrap()[i];
+            *n += 1;
+        }
+        (Acc::AvgF { sum, n }, Agg::Avg(c)) => {
+            *sum += rel.cols[c].as_f64().unwrap()[i];
+            *n += 1;
+        }
+        _ => unreachable!("accumulator/aggregate mismatch"),
+    }
+}
+
+fn out_column(aggs: &[Agg], rel: &Relation, k: usize) -> Column {
+    match aggs[k] {
+        Agg::Count => Column::I64(Vec::new()),
+        Agg::Avg(_) => Column::F64(Vec::new()),
+        Agg::Sum(c) | Agg::Min(c) | Agg::Max(c) => match &rel.cols[c] {
+            Column::I64(_) => Column::I64(Vec::new()),
+            Column::F64(_) => Column::F64(Vec::new()),
+        },
+    }
+}
+
+fn flush(acc: Acc, col: &mut Column) {
+    match (acc, col) {
+        (Acc::Count(n), Column::I64(v)) => v.push(n),
+        (Acc::I64(s), Column::I64(v)) => v.push(s),
+        (Acc::F64(s), Column::F64(v)) => v.push(s),
+        (Acc::AvgF { sum, n }, Column::F64(v)) => v.push(if n == 0 { 0.0 } else { sum / n as f64 }),
+        (Acc::AvgI { sum, n }, Column::F64(v)) => {
+            v.push(if n == 0 { 0.0 } else { sum as f64 / n as f64 })
+        }
+        _ => unreachable!("accumulator/column mismatch"),
+    }
+}
+
+/// Group the (key-sorted) input by key and compute `aggs` per group. The
+/// result has one row per distinct key and one column per aggregate.
+pub fn aggregate_by_key(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelError> {
+    input.require_sorted()?;
+    // Validate column references up front.
+    for a in aggs {
+        if let Some(c) = a.col() {
+            if c >= input.n_cols() {
+                return Err(RelError::NoSuchColumn { col: c, available: input.n_cols() });
+            }
+        }
+    }
+    let mut out_key = Vec::new();
+    let mut out_cols: Vec<Column> = (0..aggs.len()).map(|k| out_column(aggs, input, k)).collect();
+    let mut i = 0usize;
+    while i < input.len() {
+        let k = input.key[i];
+        let mut accs: Vec<Acc> = aggs
+            .iter()
+            .map(|&a| make_acc(input, a))
+            .collect::<Result<_, _>>()?;
+        while i < input.len() && input.key[i] == k {
+            for (acc, &agg) in accs.iter_mut().zip(aggs) {
+                feed(acc, agg, input, i);
+            }
+            i += 1;
+        }
+        out_key.push(k);
+        for (acc, col) in accs.into_iter().zip(out_cols.iter_mut()) {
+            flush(acc, col);
+        }
+    }
+    Relation::new(out_key, out_cols)
+}
+
+/// Aggregate the whole relation as a single group (no key), producing a
+/// one-row relation with key 0 — the paper's plain AGGREGATION after a
+/// SELECT (Fig. 2(g)).
+pub fn aggregate_all(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelError> {
+    let mut flat = input.clone();
+    for k in &mut flat.key {
+        *k = 0;
+    }
+    aggregate_by_key(&flat, aggs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> Relation {
+        // key = group, col0 = i64 quantity, col1 = f64 price.
+        Relation::new(
+            vec![1, 1, 1, 2, 2, 5],
+            vec![
+                Column::I64(vec![10, 20, 30, 1, 2, 7]),
+                Column::F64(vec![1.0, 2.0, 3.0, 10.0, 20.0, 5.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grouped_sums_counts_avgs() {
+        let out = aggregate_by_key(
+            &sales(),
+            &[Agg::Sum(0), Agg::Count, Agg::Avg(1), Agg::Min(0), Agg::Max(1)],
+        )
+        .unwrap();
+        assert_eq!(out.key, vec![1, 2, 5]);
+        assert_eq!(out.cols[0].as_i64().unwrap(), &[60, 3, 7]);
+        assert_eq!(out.cols[1].as_i64().unwrap(), &[3, 2, 1]);
+        assert_eq!(out.cols[2].as_f64().unwrap(), &[2.0, 15.0, 5.0]);
+        assert_eq!(out.cols[3].as_i64().unwrap(), &[10, 1, 7]);
+        assert_eq!(out.cols[4].as_f64().unwrap(), &[3.0, 20.0, 5.0]);
+    }
+
+    #[test]
+    fn unsorted_input_rejected() {
+        let r = Relation::new(vec![2, 1], vec![Column::I64(vec![1, 2])]).unwrap();
+        assert!(matches!(aggregate_by_key(&r, &[Agg::Count]), Err(RelError::NotSorted)));
+    }
+
+    #[test]
+    fn aggregate_all_single_group() {
+        let out = aggregate_all(&sales(), &[Agg::Sum(0), Agg::Count]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cols[0].as_i64().unwrap(), &[70]);
+        assert_eq!(out.cols[1].as_i64().unwrap(), &[6]);
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        assert!(matches!(
+            aggregate_by_key(&sales(), &[Agg::Sum(9)]),
+            Err(RelError::NoSuchColumn { col: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let r = Relation::new(vec![], vec![Column::I64(vec![])]).unwrap();
+        let out = aggregate_by_key(&r, &[Agg::Sum(0)]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.n_cols(), 1);
+    }
+
+    #[test]
+    fn key_packing_roundtrips() {
+        for (a, b) in [(0u64, 0u64), (65, 78), (65535, 65535), (1, 0)] {
+            assert_eq!(unpack_key2(pack_key2(a, b)), (a, b));
+        }
+        // Order matters: (a,b) and (b,a) pack differently.
+        assert_ne!(pack_key2(1, 2), pack_key2(2, 1));
+    }
+
+    #[test]
+    fn avg_of_i64_column_is_f64() {
+        let r = Relation::new(vec![1, 1], vec![Column::I64(vec![1, 2])]).unwrap();
+        let out = aggregate_by_key(&r, &[Agg::Avg(0)]).unwrap();
+        assert_eq!(out.cols[0].as_f64().unwrap(), &[1.5]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Elementwise arithmetic over columns (the paper's ARITH operator,
+//! Fig. 2(e)/(h)).
+//!
+//! An arithmetic map runs one IR body per tuple; each body output becomes a
+//! column of the result. Like SELECT, it is a partition/compute/gather
+//! multi-stage kernel, and because each output element depends on exactly
+//! one input element it is freely fusable with its neighbours (dependence
+//! class (i) of §III-C).
+
+use crate::data::{Column, Relation, RelError};
+use kfusion_ir::interp::Machine;
+use kfusion_ir::opt::infer_types;
+use kfusion_ir::{KernelBody, Ty, Value};
+use kfusion_vgpu::exec::{par_range_map, DEFAULT_CTA_CHUNK};
+
+fn output_tys(body: &KernelBody) -> Vec<Ty> {
+    let tys = infer_types(body);
+    body.outputs
+        .iter()
+        // Untypeable outputs (rare: a bare input passthrough) default to i64.
+        .map(|&r| tys[r as usize].unwrap_or(Ty::I64))
+        .collect()
+}
+
+fn empty_cols(tys: &[Ty], cap: usize) -> Vec<Column> {
+    tys.iter()
+        .map(|t| match t {
+            Ty::F64 => Column::F64(Vec::with_capacity(cap)),
+            _ => Column::I64(Vec::with_capacity(cap)),
+        })
+        .collect()
+}
+
+/// Compute `body` per tuple; the result keeps the input keys and has one
+/// column per body output (the sources are discarded, as PROJECT does in
+/// the paper's ARITH→PROJECT idiom).
+pub fn arith_map(input: &Relation, body: &KernelBody) -> Result<Relation, RelError> {
+    // Output column types: static inference can't see through input slots
+    // (they are bound at execution time), so type from the first row's
+    // actual values when there is one; inference covers the empty case.
+    let tys = if input.is_empty() {
+        output_tys(body)
+    } else {
+        let mut m = Machine::new();
+        let mut row: Vec<Value> = Vec::new();
+        input.ir_inputs(0, &mut row);
+        (0..body.outputs.len())
+            .map(|slot| Ok(m.run_output(body, &row, slot)?.ty()))
+            .collect::<Result<Vec<Ty>, RelError>>()?
+    };
+    let parts: Vec<Result<Vec<Column>, RelError>> =
+        par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
+            let mut m = Machine::new();
+            let mut row: Vec<Value> = Vec::with_capacity(1 + input.n_cols());
+            let mut cols = empty_cols(&tys, range.len());
+            for i in range {
+                input.ir_inputs(i, &mut row);
+                for (slot, col) in cols.iter_mut().enumerate() {
+                    let v = m.run_output(body, &row, slot)?;
+                    push_coerced(col, v)?;
+                }
+            }
+            Ok(cols)
+        });
+    let mut cols = empty_cols(&tys, input.len());
+    for p in parts {
+        for (d, s) in cols.iter_mut().zip(p?.iter()) {
+            d.extend_from(s);
+        }
+    }
+    Relation::new(input.key.clone(), cols)
+}
+
+/// Like [`arith_map`] but *appends* the computed columns to the existing
+/// payload instead of replacing it.
+pub fn arith_extend(input: &Relation, body: &KernelBody) -> Result<Relation, RelError> {
+    let computed = arith_map(input, body)?;
+    let mut cols = input.cols.clone();
+    cols.extend(computed.cols);
+    Relation::new(input.key.clone(), cols)
+}
+
+fn push_coerced(col: &mut Column, v: Value) -> Result<(), RelError> {
+    match (col, v) {
+        (Column::I64(c), Value::I64(x)) => c.push(x),
+        (Column::I64(c), Value::Bool(x)) => c.push(x as i64),
+        (Column::F64(c), Value::F64(x)) => c.push(x),
+        _ => {
+            return Err(RelError::Eval(kfusion_ir::interp::EvalError::TypeMismatch {
+                what: "arith output column",
+            }))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates;
+    use kfusion_ir::builder::{BodyBuilder, Expr};
+
+    #[test]
+    fn discounted_price_column() {
+        let r = Relation::new(
+            vec![1, 2],
+            vec![Column::F64(vec![100.0, 50.0]), Column::F64(vec![0.1, 0.5])],
+        )
+        .unwrap();
+        let out = arith_map(&r, &predicates::discounted_price(0, 1)).unwrap();
+        assert_eq!(out.n_cols(), 1);
+        assert_eq!(out.cols[0].as_f64().unwrap(), &[90.0, 25.0]);
+        assert_eq!(out.key, vec![1, 2]);
+    }
+
+    #[test]
+    fn multi_output_body_makes_multiple_columns() {
+        let r = Relation::new(vec![1, 2, 3], vec![Column::I64(vec![10, 20, 30])]).unwrap();
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::input(1).add(Expr::lit(1i64)));
+        b.emit_output(Expr::input(1).mul(Expr::lit(2i64)));
+        let out = arith_map(&r, &b.build()).unwrap();
+        assert_eq!(out.n_cols(), 2);
+        assert_eq!(out.cols[0].as_i64().unwrap(), &[11, 21, 31]);
+        assert_eq!(out.cols[1].as_i64().unwrap(), &[20, 40, 60]);
+    }
+
+    #[test]
+    fn extend_keeps_sources() {
+        let r = Relation::new(vec![1], vec![Column::I64(vec![5])]).unwrap();
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::input(1).neg());
+        let out = arith_extend(&r, &b.build()).unwrap();
+        assert_eq!(out.n_cols(), 2);
+        assert_eq!(out.cols[0].as_i64().unwrap(), &[5]);
+        assert_eq!(out.cols[1].as_i64().unwrap(), &[-5]);
+    }
+
+    #[test]
+    fn empty_input_keeps_schema() {
+        let r = Relation::new(vec![], vec![Column::F64(vec![])]).unwrap();
+        let out = arith_map(&r, &predicates::discounted_price(0, 0)).unwrap();
+        assert_eq!(out.n_cols(), 1);
+        assert!(out.is_empty());
+        assert!(out.cols[0].as_f64().is_some(), "type inferred even when empty");
+    }
+
+    #[test]
+    fn bool_outputs_become_i64_flags() {
+        let r = Relation::from_keys(vec![1, 5, 9]);
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).gt(Expr::lit(4i64)));
+        let out = arith_map(&r, &b.build()).unwrap();
+        assert_eq!(out.cols[0].as_i64().unwrap(), &[0, 1, 1]);
+    }
+}

@@ -1,0 +1,21 @@
+//! The relational operators of the paper's Table I, each implemented as a
+//! functional host-side computation structured like its multi-stage GPU
+//! kernel (partition → compute → buffer → gather).
+
+pub mod aggregate;
+pub mod arith;
+pub mod join;
+pub mod product;
+pub mod project;
+pub mod select;
+pub mod setops;
+pub mod sort;
+
+pub use aggregate::{aggregate_all, aggregate_by_key, pack_key2, unpack_key2, Agg};
+pub use arith::{arith_extend, arith_map};
+pub use join::{antijoin, column_join, join, semijoin};
+pub use product::product;
+pub use project::{project, rekey};
+pub use select::{count_selected, select, select_chain_unfused};
+pub use setops::{difference, intersection, union};
+pub use sort::{bitonic_pass_count, bitonic_sort, sort, unique, SortBy};

@@ -1,0 +1,178 @@
+//! SELECT: filter tuples by a predicate.
+//!
+//! The GPU implementation (paper Fig. 3, after Diamos et al.) runs in four
+//! stages: **partition** the input across CTAs, **filter** in parallel,
+//! **buffer** survivors per CTA, then — after a global synchronization —
+//! **gather** the per-CTA buffers into the dense result. The functional
+//! implementation below executes literally that structure on host threads:
+//! `par_range_map` is partition+filter+buffer, the final concatenation is
+//! the gather. The first three stages are one CUDA kernel, the gather a
+//! second; [`crate::profiles`] prices them accordingly.
+
+use crate::data::{Relation, RelError};
+use kfusion_ir::interp::Machine;
+use kfusion_ir::{KernelBody, Value};
+use kfusion_vgpu::exec::{par_range_map, DEFAULT_CTA_CHUNK};
+
+/// Filter `input` to the tuples satisfying `predicate`.
+///
+/// The predicate is an IR body with the library calling convention: input
+/// slot 0 is the key (as `i64`), slot `1+c` is payload column `c`; output 0
+/// must be a boolean.
+pub fn select(input: &Relation, predicate: &KernelBody) -> Result<Relation, RelError> {
+    // Partition + filter + buffer: one result buffer per CTA.
+    let parts: Vec<Result<Relation, RelError>> =
+        par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
+            let mut m = Machine::new();
+            let mut row: Vec<Value> = Vec::with_capacity(1 + input.n_cols());
+            let mut buf = input.empty_like();
+            for i in range {
+                input.ir_inputs(i, &mut row);
+                if m.run_predicate(predicate, &row)? {
+                    buf.push_row_from(input, i);
+                }
+            }
+            Ok(buf)
+        });
+    // Global sync + gather.
+    let mut out = input.empty_like();
+    for p in parts {
+        out.extend_from(&p?);
+    }
+    Ok(out)
+}
+
+/// SELECT with a *chain* of predicates applied as separate passes — the
+/// unfused back-to-back configuration the paper measures against. Returns
+/// every intermediate cardinality alongside the final relation, because the
+/// executor prices each pass's kernels with the real intermediate sizes.
+pub fn select_chain_unfused(
+    input: &Relation,
+    predicates: &[KernelBody],
+) -> Result<(Relation, Vec<usize>), RelError> {
+    let mut cur = input.clone();
+    let mut cards = Vec::with_capacity(predicates.len());
+    for p in predicates {
+        cur = select(&cur, p)?;
+        cards.push(cur.len());
+    }
+    Ok((cur, cards))
+}
+
+/// Count (without materializing) how many tuples satisfy `predicate` — used
+/// by harnesses that only need cardinalities.
+pub fn count_selected(input: &Relation, predicate: &KernelBody) -> Result<usize, RelError> {
+    let parts: Vec<Result<usize, RelError>> =
+        par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
+            let mut m = Machine::new();
+            let mut row: Vec<Value> = Vec::with_capacity(1 + input.n_cols());
+            let mut n = 0usize;
+            for i in range {
+                input.ir_inputs(i, &mut row);
+                if m.run_predicate(predicate, &row)? {
+                    n += 1;
+                }
+            }
+            Ok(n)
+        });
+    let mut total = 0;
+    for p in parts {
+        total += p?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Column;
+    use crate::predicates;
+    use kfusion_ir::builder::{BodyBuilder, Expr};
+
+    /// Table I SELECT example: x = {(3,True,a), (4,True,a), (2,False,b)};
+    /// select [field.0==2] x → (2,False,b).
+    #[test]
+    fn table1_select_example() {
+        // Encode True/False as 1/0 and a/b as 1/2.
+        let x = Relation::new(
+            vec![3, 4, 2],
+            vec![Column::I64(vec![1, 1, 0]), Column::I64(vec![1, 1, 2])],
+        )
+        .unwrap();
+        let pred = predicates::key_eq(2);
+        let out = select(&x, &pred).unwrap();
+        assert_eq!(out.key, vec![2]);
+        assert_eq!(out.cols[0].as_i64().unwrap(), &[0]);
+        assert_eq!(out.cols[1].as_i64().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn select_keeps_input_order() {
+        let r = Relation::from_keys(vec![5, 1, 9, 3, 7]);
+        let out = select(&r, &predicates::key_lt(8)).unwrap();
+        assert_eq!(out.key, vec![5, 1, 3, 7]);
+    }
+
+    #[test]
+    fn select_on_payload_column() {
+        let r = Relation::new(
+            vec![1, 2, 3],
+            vec![Column::F64(vec![0.5, 1.5, 2.5])],
+        )
+        .unwrap();
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::input(1).gt(Expr::lit(1.0f64)));
+        let out = select(&r, &b.build()).unwrap();
+        assert_eq!(out.key, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let r = Relation::from_keys(vec![]);
+        let out = select(&r, &predicates::key_lt(5)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn select_all_and_none() {
+        let r = Relation::from_keys((0..1000).collect());
+        assert_eq!(select(&r, &predicates::key_lt(10_000)).unwrap().len(), 1000);
+        assert_eq!(select(&r, &predicates::key_lt(0)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn large_parallel_select_matches_sequential_count() {
+        let n = 300_000u64;
+        let r = Relation::from_keys((0..n).rev().collect());
+        let out = select(&r, &predicates::key_lt(12345)).unwrap();
+        assert_eq!(out.len(), 12345);
+        // Partition order preserved: descending keys filtered keep order.
+        assert_eq!(out.key[0], 12344);
+        assert_eq!(*out.key.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn chain_unfused_reports_intermediates() {
+        let r = Relation::from_keys((0..100).collect());
+        let (out, cards) =
+            select_chain_unfused(&r, &[predicates::key_lt(50), predicates::key_lt(25)]).unwrap();
+        assert_eq!(cards, vec![50, 25]);
+        assert_eq!(out.len(), 25);
+    }
+
+    #[test]
+    fn count_matches_select_len() {
+        let r = Relation::from_keys((0..10_000).map(|k| k * 7 % 1000).collect());
+        let p = predicates::key_lt(500);
+        assert_eq!(count_selected(&r, &p).unwrap(), select(&r, &p).unwrap().len());
+    }
+
+    #[test]
+    fn type_error_is_surfaced_not_panicked() {
+        let r = Relation::from_keys(vec![1, 2]);
+        // Predicate output is i64, not bool.
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::lit(1i64)));
+        assert!(matches!(select(&r, &b.build()), Err(RelError::Eval(_))));
+    }
+}

@@ -1,0 +1,149 @@
+//! Stock predicate and expression builders in the library's IR calling
+//! convention (slot 0 = key, slot `1+c` = payload column `c`).
+//!
+//! All builders lower *naively* (via [`BodyBuilder`]), producing the `-O0`
+//! shape a front end would emit; the fusion machinery optimizes after
+//! splicing, as the paper's compiler would.
+
+use kfusion_ir::builder::{BodyBuilder, Expr};
+use kfusion_ir::{CmpOp, KernelBody};
+
+/// `key < threshold` — the canonical SELECT predicate; over uniform random
+/// keys in `[0, max)`, a threshold of `frac * max` yields selectivity
+/// `frac`, which is how the paper dials 10%/50%/90% (Fig. 4(a), Fig. 11(b)).
+pub fn key_lt(threshold: u64) -> KernelBody {
+    let mut b = BodyBuilder::new(1);
+    b.emit_output(Expr::select(
+        Expr::input(0).lt(Expr::lit(threshold as i64)),
+        Expr::lit(true),
+        Expr::lit(false),
+    ));
+    b.build()
+}
+
+/// `key == value` (Table I's `select [field.0==2]`).
+pub fn key_eq(value: u64) -> KernelBody {
+    let mut b = BodyBuilder::new(1);
+    b.emit_output(Expr::select(
+        Expr::input(0).eq(Expr::lit(value as i64)),
+        Expr::lit(true),
+        Expr::lit(false),
+    ));
+    b.build()
+}
+
+/// `lo <= key && key < hi` — a date-range filter in the paper's motivating
+/// example (Fig. 2(a)).
+pub fn key_in_range(lo: u64, hi: u64) -> KernelBody {
+    let mut b = BodyBuilder::new(1);
+    b.emit_output(
+        Expr::input(0)
+            .ge(Expr::lit(lo as i64))
+            .and(Expr::input(0).lt(Expr::lit(hi as i64))),
+    );
+    b.build()
+}
+
+/// `col <op> constant` over an i64 payload column.
+pub fn col_cmp_i64(col: usize, op: CmpOp, value: i64) -> KernelBody {
+    let mut b = BodyBuilder::new(col as u32 + 2);
+    b.emit_output(Expr::input(col as u32 + 1).cmp(op, Expr::lit(value)));
+    b.build()
+}
+
+/// `col <op> constant` over an f64 payload column.
+pub fn col_cmp_f64(col: usize, op: CmpOp, value: f64) -> KernelBody {
+    let mut b = BodyBuilder::new(col as u32 + 2);
+    b.emit_output(Expr::input(col as u32 + 1).cmp(op, Expr::lit(value)));
+    b.build()
+}
+
+/// `col_a <op> col_b` over two payload columns of the same type — e.g.
+/// TPC-H Q21's "receiptdate > commitdate" late-shipment test.
+pub fn col_cmp_col(col_a: usize, op: CmpOp, col_b: usize) -> KernelBody {
+    let mut b = BodyBuilder::new(col_a.max(col_b) as u32 + 2);
+    b.emit_output(Expr::input(col_a as u32 + 1).cmp(op, Expr::input(col_b as u32 + 1)));
+    b.build()
+}
+
+/// The TPC-H Q1 money expression `(1 - discount) * extendedprice` over two
+/// f64 columns (paper Fig. 2(h)).
+pub fn discounted_price(price_col: usize, discount_col: usize) -> KernelBody {
+    let mut b = BodyBuilder::new(price_col.max(discount_col) as u32 + 2);
+    b.emit_output(
+        Expr::lit(1.0f64)
+            .sub(Expr::input(discount_col as u32 + 1))
+            .mul(Expr::input(price_col as u32 + 1)),
+    );
+    b.build()
+}
+
+/// Its extension `price * (1 - discount) * (1 + tax)` (Q1's `sum_charge`).
+pub fn charged_price(price_col: usize, discount_col: usize, tax_col: usize) -> KernelBody {
+    let top = price_col.max(discount_col).max(tax_col);
+    let mut b = BodyBuilder::new(top as u32 + 2);
+    b.emit_output(
+        Expr::input(price_col as u32 + 1)
+            .mul(Expr::lit(1.0f64).sub(Expr::input(discount_col as u32 + 1)))
+            .mul(Expr::lit(1.0f64).add(Expr::input(tax_col as u32 + 1))),
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_ir::interp::Machine;
+    use kfusion_ir::Value;
+
+    #[test]
+    fn key_lt_semantics() {
+        let p = key_lt(10);
+        let mut m = Machine::new();
+        assert!(m.run_predicate(&p, &[Value::I64(9)]).unwrap());
+        assert!(!m.run_predicate(&p, &[Value::I64(10)]).unwrap());
+    }
+
+    #[test]
+    fn key_range_semantics() {
+        let p = key_in_range(5, 8);
+        let mut m = Machine::new();
+        for (k, expect) in [(4, false), (5, true), (7, true), (8, false)] {
+            assert_eq!(m.run_predicate(&p, &[Value::I64(k)]).unwrap(), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn col_compare_reads_correct_slot() {
+        let p = col_cmp_i64(1, CmpOp::Ge, 7);
+        let mut m = Machine::new();
+        // slots: key, col0, col1
+        let row = [Value::I64(0), Value::I64(100), Value::I64(7)];
+        assert!(m.run_predicate(&p, &row).unwrap());
+        let row = [Value::I64(0), Value::I64(100), Value::I64(6)];
+        assert!(!m.run_predicate(&p, &row).unwrap());
+    }
+
+    #[test]
+    fn discounted_price_formula() {
+        let e = discounted_price(0, 1);
+        let mut m = Machine::new();
+        let row = [Value::I64(0), Value::F64(100.0), Value::F64(0.25)];
+        let v = m.run_output(&e, &row, 0).unwrap();
+        assert_eq!(v.as_f64(), Some(75.0));
+    }
+
+    #[test]
+    fn charged_price_formula() {
+        let e = charged_price(0, 1, 2);
+        let mut m = Machine::new();
+        let row = [
+            Value::I64(0),
+            Value::F64(100.0),
+            Value::F64(0.25),
+            Value::F64(0.08),
+        ];
+        let v = m.run_output(&e, &row, 0).unwrap().as_f64().unwrap();
+        assert!((v - 81.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,387 @@
+//! `kfusion-streampool` — the paper's Stream Pool runtime (§IV-A).
+//!
+//! CUDA leaves stream management to the programmer: creating/destroying
+//! streams, assigning work, and arranging synchronization through low-level
+//! APIs. The paper wraps this in a small library whose API (Table IV) this
+//! crate reproduces over the virtual GPU's streams:
+//!
+//! | paper API              | here                                  |
+//! |------------------------|---------------------------------------|
+//! | `getAvailabeStream()`  | [`StreamPool::get_available_stream`]  |
+//! | `setStreamCommand()`   | [`StreamPool::set_stream_command`]    |
+//! | `startStreams()`       | [`StreamPool::start_streams`]         |
+//! | `waitAll()`            | [`StreamPool::wait_all`]              |
+//! | `selectWait()`         | [`StreamPool::select_wait`]           |
+//! | `terminate()`          | [`StreamPool::terminate`]             |
+//!
+//! Because the virtual GPU is a discrete-event simulator, "execution" is
+//! deferred: commands queue per stream, [`StreamPool::start_streams`]
+//! submits the whole schedule to the simulator, and
+//! [`StreamPool::wait_all`] yields the resulting [`Timeline`]. The
+//! programmer-facing contract — no knowledge of which underlying stream is
+//! used, point-to-point sync without raw events — is the paper's.
+//!
+//! # Example
+//!
+//! ```
+//! use kfusion_streampool::StreamPool;
+//! use kfusion_vgpu::{Command, CommandClass, GpuSystem, HostMemKind};
+//!
+//! let mut pool = StreamPool::new(GpuSystem::c2070(), 3);
+//! let s = pool.get_available_stream().unwrap();
+//! pool.set_stream_command(
+//!     s,
+//!     Command::h2d("in", CommandClass::InputOutput, 64 << 20, HostMemKind::Pinned),
+//! ).unwrap();
+//! pool.start_streams().unwrap();
+//! let timeline = pool.wait_all().unwrap();
+//! assert!(timeline.total() > 0.0);
+//! ```
+
+use kfusion_vgpu::des::EventId;
+use kfusion_vgpu::{Command, GpuSystem, Schedule, SimError, Timeline};
+
+/// Opaque handle to a pool stream. The caller never learns which underlying
+/// CUDA-stream-equivalent it maps to — that detail is the pool's, as in the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamHandle(usize);
+
+/// Stream Pool errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// The handle does not belong to this pool.
+    UnknownStream,
+    /// Commands cannot be queued after `start_streams`.
+    AlreadyStarted,
+    /// `wait_all` called before `start_streams`.
+    NotStarted,
+    /// The simulator rejected the schedule.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::UnknownStream => write!(f, "unknown stream handle"),
+            PoolError::AlreadyStarted => write!(f, "pool already started"),
+            PoolError::NotStarted => write!(f, "pool not started"),
+            PoolError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<SimError> for PoolError {
+    fn from(e: SimError) -> Self {
+        PoolError::Sim(e)
+    }
+}
+
+#[derive(Debug, Default)]
+struct StreamSlot {
+    commands: Vec<Command>,
+    taken: bool,
+}
+
+/// A pool of streams over one simulated GPU system.
+#[derive(Debug)]
+pub struct StreamPool {
+    system: GpuSystem,
+    slots: Vec<StreamSlot>,
+    next_event: u32,
+    started: bool,
+    timeline: Option<Timeline>,
+}
+
+impl StreamPool {
+    /// A pool of `n_streams` streams on `system`.
+    ///
+    /// The paper notes a C2070 needs **at least three** streams to saturate
+    /// its concurrency (download + compute + upload, §IV-B); the pool does
+    /// not enforce that, but [`StreamPool::recommended_streams`] reports it.
+    pub fn new(system: GpuSystem, n_streams: usize) -> Self {
+        StreamPool {
+            system,
+            slots: (0..n_streams).map(|_| StreamSlot::default()).collect(),
+            next_event: 0,
+            started: false,
+            timeline: None,
+        }
+    }
+
+    /// Minimum streams to fully exploit a device's engines: one per copy
+    /// engine plus one for compute.
+    pub fn recommended_streams(system: &GpuSystem) -> usize {
+        system.spec.copy_engines as usize + 1
+    }
+
+    /// Number of streams in the pool.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool has no streams.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Claim an idle stream (`getAvailabeStream`). Returns `None` when every
+    /// stream is taken.
+    pub fn get_available_stream(&mut self) -> Option<StreamHandle> {
+        let idx = self.slots.iter().position(|s| !s.taken)?;
+        self.slots[idx].taken = true;
+        Some(StreamHandle(idx))
+    }
+
+    /// Hand a stream back to the pool; its queued commands remain (they
+    /// still execute on `start_streams`), but the slot becomes claimable
+    /// again for round-robin reuse.
+    pub fn release_stream(&mut self, h: StreamHandle) -> Result<(), PoolError> {
+        self.slot_mut(h)?.taken = false;
+        Ok(())
+    }
+
+    /// Queue a command on a claimed stream (`setStreamCommand`).
+    pub fn set_stream_command(&mut self, h: StreamHandle, cmd: Command) -> Result<(), PoolError> {
+        if self.started {
+            return Err(PoolError::AlreadyStarted);
+        }
+        self.slot_mut(h)?.commands.push(cmd);
+        Ok(())
+    }
+
+    /// Point-to-point synchronization (`selectWait`): everything queued on
+    /// `waiter` *after* this call starts only once everything currently
+    /// queued on `on` has finished — without the caller touching events.
+    pub fn select_wait(&mut self, waiter: StreamHandle, on: StreamHandle) -> Result<(), PoolError> {
+        if self.started {
+            return Err(PoolError::AlreadyStarted);
+        }
+        // Validate both handles before mutating either queue.
+        self.slot_mut(on)?;
+        self.slot_mut(waiter)?;
+        let event = EventId(self.next_event);
+        self.next_event += 1;
+        self.slot_mut(on)?.commands.push(Command::record(event));
+        self.slot_mut(waiter)?.commands.push(Command::wait(event));
+        Ok(())
+    }
+
+    /// Begin execution (`startStreams`): submit the queued schedule to the
+    /// device simulator.
+    pub fn start_streams(&mut self) -> Result<(), PoolError> {
+        if self.started {
+            return Err(PoolError::AlreadyStarted);
+        }
+        let schedule = Schedule {
+            streams: self.slots.iter().map(|s| s.commands.clone()).collect(),
+        };
+        self.timeline = Some(self.system.simulate(&schedule)?);
+        self.started = true;
+        Ok(())
+    }
+
+    /// Wait for the end of execution (`waitAll`), yielding the executed
+    /// timeline.
+    pub fn wait_all(&mut self) -> Result<&Timeline, PoolError> {
+        if !self.started {
+            return Err(PoolError::NotStarted);
+        }
+        Ok(self.timeline.as_ref().expect("started implies timeline"))
+    }
+
+    /// End execution immediately (`terminate`): discard queued commands and
+    /// any in-flight execution, returning the pool to its initial state.
+    pub fn terminate(&mut self) {
+        for s in &mut self.slots {
+            s.commands.clear();
+            s.taken = false;
+        }
+        self.next_event = 0;
+        self.started = false;
+        self.timeline = None;
+    }
+
+    /// Convenience: distribute `segments` round-robin over the pool and run
+    /// them — the shape of every fission pipeline in the paper (Fig. 13).
+    /// Each segment's commands execute in order; different segments overlap
+    /// as engines allow.
+    pub fn run_pipelined(&mut self, segments: Vec<Vec<Command>>) -> Result<&Timeline, PoolError> {
+        if self.started {
+            return Err(PoolError::AlreadyStarted);
+        }
+        let n = self.slots.len().max(1);
+        for (i, seg) in segments.into_iter().enumerate() {
+            let h = StreamHandle(i % n);
+            for cmd in seg {
+                self.set_stream_command(h, cmd)?;
+            }
+        }
+        self.start_streams()?;
+        self.wait_all()
+    }
+
+    fn slot_mut(&mut self, h: StreamHandle) -> Result<&mut StreamSlot, PoolError> {
+        self.slots.get_mut(h.0).ok_or(PoolError::UnknownStream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_vgpu::{CommandClass, DeviceSpec, HostMemKind, KernelProfile, LaunchConfig};
+
+    fn sys() -> GpuSystem {
+        GpuSystem::c2070()
+    }
+
+    fn kern(name: &str, n: u64) -> Command {
+        let spec = DeviceSpec::tesla_c2070();
+        let p = KernelProfile::new(name)
+            .instr_per_elem(10.0)
+            .bytes_read_per_elem(4.0)
+            .bytes_written_per_elem(2.0);
+        Command::kernel(p, LaunchConfig::for_elements(n, &spec), n)
+    }
+
+    #[test]
+    fn streams_are_claimed_exclusively() {
+        let mut pool = StreamPool::new(sys(), 2);
+        let a = pool.get_available_stream().unwrap();
+        let b = pool.get_available_stream().unwrap();
+        assert_ne!(a, b);
+        assert!(pool.get_available_stream().is_none());
+        pool.release_stream(a).unwrap();
+        assert_eq!(pool.get_available_stream(), Some(a));
+    }
+
+    #[test]
+    fn commands_execute_per_stream_in_order() {
+        let mut pool = StreamPool::new(sys(), 2);
+        let s = pool.get_available_stream().unwrap();
+        pool.set_stream_command(
+            s,
+            Command::h2d("in", CommandClass::InputOutput, 1 << 20, HostMemKind::Pinned),
+        )
+        .unwrap();
+        pool.set_stream_command(s, kern("k", 1 << 18)).unwrap();
+        pool.start_streams().unwrap();
+        let t = pool.wait_all().unwrap();
+        assert_eq!(t.spans.len(), 2);
+        assert!(t.spans[0].end <= t.spans[1].start + 1e-12);
+    }
+
+    #[test]
+    fn select_wait_orders_across_streams() {
+        let mut pool = StreamPool::new(sys(), 2);
+        let a = pool.get_available_stream().unwrap();
+        let b = pool.get_available_stream().unwrap();
+        pool.set_stream_command(a, kern("first", 1 << 22)).unwrap();
+        pool.select_wait(b, a).unwrap();
+        pool.set_stream_command(
+            b,
+            Command::d2h("out", CommandClass::InputOutput, 8 << 20, HostMemKind::Pinned),
+        )
+        .unwrap();
+        pool.start_streams().unwrap();
+        let t = pool.wait_all().unwrap();
+        let first = t.spans.iter().find(|s| s.label == "first").unwrap();
+        let out = t.spans.iter().find(|s| s.label == "out").unwrap();
+        assert!(out.start >= first.end - 1e-12);
+    }
+
+    #[test]
+    fn wait_before_start_is_an_error() {
+        let mut pool = StreamPool::new(sys(), 1);
+        assert!(matches!(pool.wait_all(), Err(PoolError::NotStarted)));
+    }
+
+    #[test]
+    fn double_start_is_an_error() {
+        let mut pool = StreamPool::new(sys(), 1);
+        pool.start_streams().unwrap();
+        assert!(matches!(pool.start_streams(), Err(PoolError::AlreadyStarted)));
+        assert!(matches!(
+            pool.set_stream_command(StreamHandle(0), kern("k", 1)),
+            Err(PoolError::AlreadyStarted)
+        ));
+    }
+
+    #[test]
+    fn terminate_resets_everything() {
+        let mut pool = StreamPool::new(sys(), 2);
+        let s = pool.get_available_stream().unwrap();
+        pool.set_stream_command(s, kern("k", 1 << 20)).unwrap();
+        pool.start_streams().unwrap();
+        pool.terminate();
+        assert!(matches!(pool.wait_all(), Err(PoolError::NotStarted)));
+        // Everything is claimable and queues are empty again.
+        assert!(pool.get_available_stream().is_some());
+        pool.start_streams().unwrap();
+        assert_eq!(pool.wait_all().unwrap().spans.len(), 0);
+    }
+
+    #[test]
+    fn unknown_handle_rejected() {
+        let mut pool = StreamPool::new(sys(), 1);
+        assert!(matches!(
+            pool.set_stream_command(StreamHandle(7), kern("k", 1)),
+            Err(PoolError::UnknownStream)
+        ));
+        assert!(matches!(
+            pool.release_stream(StreamHandle(7)),
+            Err(PoolError::UnknownStream)
+        ));
+    }
+
+    #[test]
+    fn pipelined_segments_overlap() {
+        // 6 segments of [H2D, kernel, D2H] over 3 streams: the fission
+        // pipeline of Fig. 13. Must beat the same work on 1 stream. The
+        // kernel is compute-heavy: async copies run derated, so pipelines
+        // only pay off when there is real work to hide transfers behind.
+        let heavy = |name: &str, n: u64| {
+            let spec = DeviceSpec::tesla_c2070();
+            let p = KernelProfile::new(name)
+                .instr_per_elem(500.0)
+                .bytes_read_per_elem(4.0)
+                .bytes_written_per_elem(2.0);
+            Command::kernel(p, LaunchConfig::for_elements(n, &spec), n)
+        };
+        let seg = |i: usize| {
+            vec![
+                Command::h2d(
+                    format!("in{i}"),
+                    CommandClass::InputOutput,
+                    32 << 20,
+                    HostMemKind::Pinned,
+                ),
+                heavy(&format!("k{i}"), 8 << 20),
+                Command::d2h(
+                    format!("out{i}"),
+                    CommandClass::InputOutput,
+                    16 << 20,
+                    HostMemKind::Pinned,
+                ),
+            ]
+        };
+        let mut pool3 = StreamPool::new(sys(), 3);
+        let t3 = pool3.run_pipelined((0..6).map(seg).collect()).unwrap().total();
+        let mut pool1 = StreamPool::new(sys(), 1);
+        let t1 = pool1.run_pipelined((0..6).map(seg).collect()).unwrap().total();
+        assert!(t3 < 0.85 * t1, "3-stream {t3} vs 1-stream {t1}");
+        // The pipeline is bounded below by its busiest engine (H2D here);
+        // the overlap should get within ~25% of that bound.
+        let h2d_bound = pool3.wait_all().unwrap().busy(kfusion_vgpu::Engine::CopyH2D);
+        assert!(t3 < 1.25 * h2d_bound, "pipeline {t3} vs H2D bound {h2d_bound}");
+    }
+
+    #[test]
+    fn recommended_streams_for_c2070_is_three() {
+        // Paper: "at least three streams are needed to fully utilize its
+        // concurrency capacity".
+        assert_eq!(StreamPool::recommended_streams(&sys()), 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! `kfusion-tpch` — TPC-H substrate: dbgen-lite data generation, the Q1 and
+//! Q21 physical plans of the paper's evaluation (§V, Fig. 17), and
+//! imperative reference executors that ground-truth every run.
+//!
+//! TPC-H is the decision-support benchmark the paper evaluates on. Its
+//! experiments (Fig. 18) hand-build CUDA plans for queries Q1 and Q21 and
+//! apply kernel fusion/fission to them; this crate rebuilds those plans as
+//! [`kfusion_core::PlanGraph`]s over relations produced by a seeded
+//! generator, so the whole pipeline — generation, optimization, simulated
+//! execution, answer validation — runs hermetically.
+//!
+//! # Example
+//!
+//! ```
+//! use kfusion_tpch::gen::{generate, TpchConfig};
+//! use kfusion_tpch::q1::{reference_q1, run_q1, q1_matches_reference};
+//! use kfusion_core::exec::Strategy;
+//! use kfusion_vgpu::GpuSystem;
+//!
+//! let db = generate(TpchConfig::scale(0.001));
+//! let sys = GpuSystem::c2070();
+//! let result = run_q1(&sys, &db, Strategy::Fusion).unwrap();
+//! assert!(q1_matches_reference(&result.output, &reference_q1(&db), 1e-9));
+//! ```
+
+pub mod gen;
+pub mod q1;
+pub mod q21;
+pub mod q6;
+
+pub use gen::{generate, TpchConfig, TpchDb};

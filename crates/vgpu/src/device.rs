@@ -1,0 +1,194 @@
+//! Analytic device models.
+//!
+//! A [`DeviceSpec`] captures the handful of architectural parameters the
+//! fusion/fission cost model depends on. The presets mirror the paper's
+//! Table II testbed: one Tesla C2070 and a dual quad-core Xeon E5520 host.
+//! The same struct models both the GPU and the CPU baseline — the CPU is
+//! simply a device with few, fast, latency-optimized "SMs" and no PCIe link
+//! in front of it, which is all Fig. 4(a) needs.
+
+/// Architectural parameters of one (simulated) compute device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name (appears in harness output headers).
+    pub name: &'static str,
+    /// Number of streaming multiprocessors (GPU) or cores (CPU).
+    pub sm_count: u32,
+    /// Scalar lanes per SM (GPU) or per-core superscalar width (CPU).
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained instructions per lane-cycle (issue efficiency).
+    pub ipc: f64,
+    /// Device (global/system) memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Fixed kernel launch overhead in seconds.
+    pub launch_overhead_s: f64,
+    /// Resident threads per SM needed to reach peak issue rate (latency
+    /// hiding). Below this the device runs proportionally slower.
+    pub latency_hiding_threads: u32,
+    /// Maximum resident threads per SM (occupancy ceiling).
+    pub max_threads_per_sm: u32,
+    /// Maximum resident CTAs per SM (the second occupancy ceiling; 8 on
+    /// Fermi). Launching small CTAs caps residency at
+    /// `max_ctas_per_sm * threads_per_cta`, which is why the paper's
+    /// half-thread configuration ("no stream (new)", Fig. 12) is slower even
+    /// on huge inputs.
+    pub max_ctas_per_sm: u32,
+    /// Maximum threads per CTA the device accepts.
+    pub max_threads_per_cta: u32,
+    /// Register budget per thread before the backend spills to memory.
+    pub max_regs_per_thread: u32,
+    /// Number of DMA copy engines (2 on the C2070: simultaneous H2D + D2H).
+    pub copy_engines: u32,
+}
+
+impl DeviceSpec {
+    /// Peak instruction throughput in instructions/second.
+    pub fn peak_ips(&self) -> f64 {
+        self.sm_count as f64 * self.cores_per_sm as f64 * self.clock_ghz * 1e9 * self.ipc
+    }
+
+    /// Peak memory bandwidth in bytes/second.
+    pub fn mem_bw_bytes(&self) -> f64 {
+        self.mem_bw_gbps * 1e9
+    }
+
+    /// Threads across the whole device needed for full throughput.
+    pub fn saturation_threads(&self) -> u64 {
+        self.sm_count as u64 * self.latency_hiding_threads as u64
+    }
+
+    /// The paper's GPU: NVIDIA Tesla C2070 (Fermi GF100).
+    ///
+    /// 14 SMs × 32 CUDA cores at 1.15 GHz, 144 GB/s GDDR5, 6 GB, two DMA
+    /// engines, 63 registers/thread. `ipc` is set below 1.0 to reflect
+    /// sustained (not peak) issue rates on memory-heavy database kernels.
+    pub fn tesla_c2070() -> Self {
+        DeviceSpec {
+            name: "NVIDIA Tesla C2070 (simulated)",
+            sm_count: 14,
+            cores_per_sm: 32,
+            clock_ghz: 1.15,
+            ipc: 0.85,
+            mem_bw_gbps: 144.0,
+            // 6 GB raw, ~5.25 GiB usable with ECC enabled — the paper notes
+            // the card "can hold less than 1.5 billion 32-bit integers".
+            mem_capacity: 5636 * (1 << 20),
+            launch_overhead_s: 7e-6,
+            latency_hiding_threads: 1280,
+            max_threads_per_sm: 1536,
+            max_ctas_per_sm: 8,
+            max_threads_per_cta: 1024,
+            max_regs_per_thread: 63,
+            copy_engines: 2,
+        }
+    }
+
+    /// The previous-generation Tesla C1060 (GT200): fewer, simpler cores,
+    /// a single copy engine (no simultaneous H2D+D2H), and a larger
+    /// register file per thread. Used by the device-sensitivity study.
+    pub fn tesla_c1060() -> Self {
+        DeviceSpec {
+            name: "NVIDIA Tesla C1060 (simulated)",
+            sm_count: 30,
+            cores_per_sm: 8,
+            clock_ghz: 1.296,
+            ipc: 0.8,
+            mem_bw_gbps: 102.0,
+            mem_capacity: 4 * (1u64 << 30),
+            launch_overhead_s: 10e-6,
+            latency_hiding_threads: 768,
+            max_threads_per_sm: 1024,
+            max_ctas_per_sm: 8,
+            max_threads_per_cta: 512,
+            max_regs_per_thread: 124,
+            copy_engines: 1,
+        }
+    }
+
+    /// A consumer Fermi (GTX 580): more bandwidth and clock than the C2070
+    /// but a single copy engine and a small 1.5 GB memory — fission becomes
+    /// mandatory much earlier.
+    pub fn gtx580() -> Self {
+        DeviceSpec {
+            name: "NVIDIA GTX 580 (simulated)",
+            sm_count: 16,
+            cores_per_sm: 32,
+            clock_ghz: 1.544,
+            ipc: 0.85,
+            mem_bw_gbps: 192.0,
+            mem_capacity: 1536 * (1u64 << 20),
+            launch_overhead_s: 6e-6,
+            latency_hiding_threads: 1280,
+            max_threads_per_sm: 1536,
+            max_ctas_per_sm: 8,
+            max_threads_per_cta: 1024,
+            max_regs_per_thread: 63,
+            copy_engines: 1,
+        }
+    }
+
+    /// The paper's CPU baseline: two quad-core Xeon E5520 at 2.27 GHz,
+    /// 16 hardware threads (Table II), ~20 GB/s sustained memory bandwidth.
+    ///
+    /// `cores_per_sm` models superscalar + SIMD issue on scalar-integer
+    /// filter loops; `latency_hiding_threads` is 2 (SMT).
+    pub fn xeon_e5520_pair() -> Self {
+        DeviceSpec {
+            name: "2x Intel Xeon E5520 (simulated, 16 threads)",
+            sm_count: 8,
+            cores_per_sm: 3,
+            clock_ghz: 2.27,
+            ipc: 0.9,
+            mem_bw_gbps: 19.0,
+            mem_capacity: 48 * (1 << 30),
+            launch_overhead_s: 20e-6,
+            latency_hiding_threads: 2,
+            max_threads_per_sm: 2,
+            max_ctas_per_sm: 2,
+            max_threads_per_cta: 1,
+            max_regs_per_thread: 16,
+            copy_engines: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2070_peak_rates_are_plausible() {
+        let g = DeviceSpec::tesla_c2070();
+        // 448 cores * 1.15 GHz ~= 515 Ginstr/s scaled by ipc.
+        let ips = g.peak_ips();
+        assert!(ips > 3e11 && ips < 6e11, "peak ips {ips}");
+        assert_eq!(g.mem_bw_bytes(), 144.0e9);
+        // Usable capacity (ECC on) sits between 5 GiB and 6 GiB.
+        assert!(g.mem_capacity > 5 * (1u64 << 30));
+        assert!(g.mem_capacity < 6 * (1u64 << 30));
+    }
+
+    #[test]
+    fn gpu_outmuscles_cpu_on_throughput() {
+        let g = DeviceSpec::tesla_c2070();
+        let c = DeviceSpec::xeon_e5520_pair();
+        assert!(g.peak_ips() > 5.0 * c.peak_ips());
+        assert!(g.mem_bw_gbps > 5.0 * c.mem_bw_gbps);
+    }
+
+    #[test]
+    fn cpu_saturates_with_few_threads() {
+        let c = DeviceSpec::xeon_e5520_pair();
+        assert_eq!(c.saturation_threads(), 16);
+    }
+
+    #[test]
+    fn gpu_needs_thousands_of_threads() {
+        let g = DeviceSpec::tesla_c2070();
+        assert!(g.saturation_threads() > 10_000);
+    }
+}

@@ -1,0 +1,173 @@
+//! ASCII Gantt rendering of executed timelines.
+//!
+//! One row per engine, time on the horizontal axis, `#` for busy spans —
+//! enough to *see* kernel fission's overlap (the paper's Fig. 13) straight
+//! from a terminal:
+//!
+//! ```text
+//! H2D     |####__####__####__                  |
+//! compute |____####__####__####                |
+//! D2H     |______####__####__####              |
+//! ```
+
+use crate::des::{Engine, Timeline};
+
+/// All engines, in display order.
+const ENGINES: [(Engine, &str); 4] = [
+    (Engine::CopyH2D, "H2D    "),
+    (Engine::Compute, "compute"),
+    (Engine::CopyD2H, "D2H    "),
+    (Engine::Host, "host   "),
+];
+
+/// Render `timeline` as an ASCII Gantt chart `width` characters wide.
+///
+/// Engines with no spans are omitted. Each cell covers `total/width`
+/// seconds and is drawn `#` if any span on that engine overlaps it.
+pub fn render(timeline: &Timeline, width: usize) -> String {
+    let total = timeline.total();
+    let width = width.max(10);
+    if total <= 0.0 {
+        return String::from("(empty timeline)\n");
+    }
+    let cell = total / width as f64;
+    let mut out = String::new();
+    for (engine, label) in ENGINES {
+        let spans: Vec<_> = timeline
+            .spans
+            .iter()
+            .filter(|s| s.engine == Some(engine) && s.duration() > 0.0)
+            .collect();
+        if spans.is_empty() {
+            continue;
+        }
+        let mut row = vec![b'_'; width];
+        for s in &spans {
+            let a = ((s.start / cell).floor() as usize).min(width - 1);
+            let b = ((s.end / cell).ceil() as usize).clamp(a + 1, width);
+            for c in &mut row[a..b] {
+                *c = b'#';
+            }
+        }
+        out.push_str(label);
+        out.push_str(" |");
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "total: {:.3} ms ({} cells of {:.3} ms)\n",
+        total * 1e3,
+        width,
+        cell * 1e3
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::{Command, CommandClass, Schedule};
+    use crate::kernel::{KernelProfile, LaunchConfig};
+    use crate::pcie::HostMemKind;
+    use crate::{DeviceSpec, GpuSystem};
+
+    fn sample_timeline(pipelined: bool) -> Timeline {
+        let sys = GpuSystem::c2070();
+        let spec = DeviceSpec::tesla_c2070();
+        let kern = |i: usize| {
+            let p = KernelProfile::new(format!("k{i}"))
+                .instr_per_elem(200.0)
+                .bytes_read_per_elem(4.0);
+            Command::kernel(p, LaunchConfig::for_elements(4 << 20, &spec), 4 << 20)
+        };
+        let mut sched = Schedule::new();
+        let n_streams = if pipelined { 3 } else { 1 };
+        for _ in 0..n_streams {
+            sched.add_stream();
+        }
+        for i in 0..6 {
+            let s = i % n_streams;
+            sched.push(
+                s,
+                Command::h2d(format!("in{i}"), CommandClass::InputOutput, 16 << 20, HostMemKind::Pinned),
+            );
+            sched.push(s, kern(i));
+            sched.push(
+                s,
+                Command::d2h(format!("out{i}"), CommandClass::InputOutput, 8 << 20, HostMemKind::Pinned),
+            );
+        }
+        sys.simulate(&sched).unwrap()
+    }
+
+    #[test]
+    fn renders_rows_for_active_engines() {
+        let g = render(&sample_timeline(true), 60);
+        assert!(g.contains("H2D"));
+        assert!(g.contains("compute"));
+        assert!(g.contains("D2H"));
+        assert!(!g.contains("host"), "no host work in this schedule");
+        assert!(g.contains("total:"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        assert_eq!(render(&Timeline::default(), 40), "(empty timeline)\n");
+    }
+
+    #[test]
+    fn serial_schedule_never_overlaps_columns() {
+        // In a serial timeline, at most one engine is busy per time cell
+        // (modulo cell-boundary rounding, hence the generous width).
+        let t = sample_timeline(false);
+        let g = render(&t, 200);
+        let rows: Vec<&str> = g
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        let bars: Vec<Vec<u8>> = rows
+            .iter()
+            .map(|r| {
+                let start = r.find('|').unwrap() + 1;
+                r[start..r.len() - 1].bytes().collect()
+            })
+            .collect();
+        let width = bars[0].len();
+        let mut double_busy = 0;
+        for c in 0..width {
+            let busy = bars.iter().filter(|b| b[c] == b'#').count();
+            if busy > 1 {
+                double_busy += 1;
+            }
+        }
+        // Only boundary cells may appear double-busy.
+        assert!(
+            double_busy <= rows.len() * 12,
+            "serial timeline shows {double_busy} overlapping cells:\n{g}"
+        );
+    }
+
+    #[test]
+    fn pipelined_schedule_shows_overlap() {
+        let g = render(&sample_timeline(true), 100);
+        let rows: Vec<&str> = g.lines().filter(|l| l.contains('|')).collect();
+        let bars: Vec<Vec<u8>> = rows
+            .iter()
+            .map(|r| {
+                let start = r.find('|').unwrap() + 1;
+                r[start..r.len() - 1].bytes().collect()
+            })
+            .collect();
+        let width = bars[0].len();
+        let overlapped = (0..width)
+            .filter(|&c| bars.iter().filter(|b| b[c] == b'#').count() > 1)
+            .count();
+        assert!(overlapped > width / 10, "expected visible overlap:\n{g}");
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let g = render(&sample_timeline(false), 1);
+        assert!(g.lines().next().unwrap().len() > 10);
+    }
+}

@@ -1,0 +1,302 @@
+//! Roofline kernel cost model.
+//!
+//! A [`KernelProfile`] describes one CUDA-kernel-equivalent in exactly the
+//! terms fusion changes: dynamic instructions per element (from the
+//! `kfusion-ir` optimizer — fusion + O3 shrinks this), global-memory bytes
+//! touched per element (fusion keeps intermediates in registers — this
+//! drops), and per-thread register footprint (fusion *raises* this; past the
+//! device budget the model charges spill traffic, which is the paper's limit
+//! on fusing too many kernels, §III-C).
+//!
+//! Kernel time is the classic roofline:
+//!
+//! ```text
+//! t = launch + max(instrs / (peak_ips · u), bytes / (mem_bw · u_mem))
+//! ```
+//!
+//! where `u` is the occupancy-derived utilization — a kernel launched with
+//! too few resident threads cannot hide latency, which is what makes the
+//! paper's half-resource kernels slower (Fig. 12 "no stream (new)").
+
+use crate::device::DeviceSpec;
+
+/// Bytes of spill traffic charged per spilled register per element
+/// (store + reload of a 4-byte slot).
+const SPILL_BYTES_PER_REG: f64 = 8.0;
+
+/// Launch geometry of a kernel: how many CTAs of how many threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of cooperative thread arrays (thread blocks).
+    pub ctas: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+}
+
+impl LaunchConfig {
+    /// The library's default geometry for an `n`-element data-parallel
+    /// kernel: 256-thread CTAs, enough CTAs to give every SM several
+    /// resident CTAs (grid-stride loops above that).
+    pub fn for_elements(n: u64, spec: &DeviceSpec) -> Self {
+        let threads_per_cta = 256.min(spec.max_threads_per_cta);
+        let needed = n.div_ceil(threads_per_cta as u64);
+        // Cap the grid at 8 waves of maximal residency; beyond that threads
+        // loop. Keeps CTA-count effects realistic for small n.
+        let resident =
+            (spec.sm_count as u64 * spec.max_threads_per_sm as u64) / threads_per_cta as u64;
+        let ctas = needed.min(resident.max(1) * 8).max(1) as u32;
+        LaunchConfig { ctas, threads_per_cta }
+    }
+
+    /// The same geometry but with half the threads and half the CTAs — the
+    /// paper's "no stream (new)" configuration used to share the device
+    /// between two concurrent kernels (Fig. 12).
+    pub fn halved(self) -> Self {
+        LaunchConfig {
+            ctas: (self.ctas / 2).max(1),
+            threads_per_cta: (self.threads_per_cta / 2).max(32),
+        }
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.ctas as u64 * self.threads_per_cta as u64
+    }
+}
+
+/// Cost description of one kernel launch, per element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel name, used in timeline spans and harness output.
+    pub name: String,
+    /// Dynamic instructions executed per element.
+    pub instr_per_elem: f64,
+    /// Global-memory bytes read per element.
+    pub bytes_read_per_elem: f64,
+    /// Global-memory bytes written per element.
+    pub bytes_written_per_elem: f64,
+    /// Fixed instructions per thread (stage prologues: partition math,
+    /// buffer bookkeeping). Fused kernels pay these once, not per fused
+    /// operator — the "common computation elimination" benefit (Fig. 7(e)).
+    pub fixed_instr_per_thread: f64,
+    /// Registers per thread the kernel body needs.
+    pub regs_per_thread: u32,
+    /// Fraction of peak memory bandwidth this kernel's access pattern
+    /// achieves (1.0 = perfectly coalesced streaming; compaction/scatter
+    /// kernels sit well below).
+    pub mem_efficiency: f64,
+}
+
+impl KernelProfile {
+    /// A new profile with all costs zero.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelProfile {
+            name: name.into(),
+            instr_per_elem: 0.0,
+            bytes_read_per_elem: 0.0,
+            bytes_written_per_elem: 0.0,
+            fixed_instr_per_thread: 0.0,
+            regs_per_thread: 16,
+            mem_efficiency: 1.0,
+        }
+    }
+
+    /// Set dynamic instructions per element.
+    pub fn instr_per_elem(mut self, v: f64) -> Self {
+        self.instr_per_elem = v;
+        self
+    }
+
+    /// Set global bytes read per element.
+    pub fn bytes_read_per_elem(mut self, v: f64) -> Self {
+        self.bytes_read_per_elem = v;
+        self
+    }
+
+    /// Set global bytes written per element.
+    pub fn bytes_written_per_elem(mut self, v: f64) -> Self {
+        self.bytes_written_per_elem = v;
+        self
+    }
+
+    /// Set fixed per-thread instructions.
+    pub fn fixed_instr_per_thread(mut self, v: f64) -> Self {
+        self.fixed_instr_per_thread = v;
+        self
+    }
+
+    /// Set the per-thread register footprint.
+    pub fn regs_per_thread(mut self, v: u32) -> Self {
+        self.regs_per_thread = v;
+        self
+    }
+
+    /// Set the memory-coalescing efficiency (fraction of peak bandwidth).
+    pub fn mem_efficiency(mut self, v: f64) -> Self {
+        self.mem_efficiency = v;
+        self
+    }
+
+    /// Total global-memory traffic for `n` elements, including spill traffic
+    /// if the body over-subscribes the register file.
+    pub fn traffic_bytes(&self, spec: &DeviceSpec, n: u64) -> f64 {
+        let spilled = self.regs_per_thread.saturating_sub(spec.max_regs_per_thread) as f64;
+        let spill_bytes = spilled * SPILL_BYTES_PER_REG;
+        n as f64 * (self.bytes_read_per_elem + self.bytes_written_per_elem + spill_bytes)
+    }
+
+    /// Occupancy-derived utilization of the device's issue bandwidth for a
+    /// given launch.
+    ///
+    /// Residency is the binding constraint: an SM hosts at most
+    /// `max_ctas_per_sm` CTAs and `max_threads_per_sm` threads, so small
+    /// CTAs cap resident threads below the latency-hiding requirement —
+    /// launching with half-size CTAs is slower even on huge grids (the
+    /// paper's "no stream (new)" line, Fig. 12).
+    pub fn utilization(&self, spec: &DeviceSpec, launch: &LaunchConfig) -> f64 {
+        let ctas_per_sm = spec
+            .max_ctas_per_sm
+            .min(spec.max_threads_per_sm / launch.threads_per_cta.max(1))
+            .max(1);
+        let resident_cap = spec.sm_count as u64
+            * (ctas_per_sm as u64 * launch.threads_per_cta as u64)
+                .min(spec.max_threads_per_sm as u64);
+        let resident = launch.total_threads().min(resident_cap) as f64;
+        let sat = spec.saturation_threads() as f64;
+        (resident / sat).min(1.0)
+    }
+
+    /// Simulated wall time in seconds for this kernel over `n` elements.
+    pub fn time(&self, spec: &DeviceSpec, launch: &LaunchConfig, n: u64) -> f64 {
+        let u = self.utilization(spec, launch);
+        // Memory latency hiding needs fewer threads than issue-rate hiding;
+        // use the square root so underpopulated launches still stream
+        // reasonably (matches the gentler small-N rolloff of Fig. 4(a)).
+        let u_mem = u.sqrt();
+        let instrs =
+            n as f64 * self.instr_per_elem + launch.total_threads() as f64 * self.fixed_instr_per_thread;
+        let t_compute = instrs / (spec.peak_ips() * u.max(1e-9));
+        let t_mem = self.traffic_bytes(spec, n)
+            / (spec.mem_bw_bytes() * self.mem_efficiency * u_mem.max(1e-9));
+        spec.launch_overhead_s + t_compute.max(t_mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> DeviceSpec {
+        DeviceSpec::tesla_c2070()
+    }
+
+    fn basic() -> KernelProfile {
+        KernelProfile::new("k")
+            .instr_per_elem(10.0)
+            .bytes_read_per_elem(4.0)
+            .bytes_written_per_elem(4.0)
+    }
+
+    #[test]
+    fn time_scales_roughly_linearly_at_scale() {
+        let g = gpu();
+        let p = basic();
+        let l = LaunchConfig::for_elements(1 << 24, &g);
+        let t1 = p.time(&g, &l, 1 << 24);
+        let t2 = p.time(&g, &LaunchConfig::for_elements(1 << 25, &g), 1 << 25);
+        let ratio = t2 / t1;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_hits_bandwidth_roof() {
+        let g = gpu();
+        // 1 instruction but 64 bytes per element: memory bound.
+        let p = KernelProfile::new("mem")
+            .instr_per_elem(1.0)
+            .bytes_read_per_elem(64.0);
+        let n = 1u64 << 26;
+        let l = LaunchConfig::for_elements(n, &g);
+        let t = p.time(&g, &l, n) - g.launch_overhead_s;
+        let implied_bw = (n as f64 * 64.0) / t / 1e9;
+        assert!(implied_bw <= g.mem_bw_gbps * 1.01, "implied {implied_bw} GB/s");
+        assert!(implied_bw >= g.mem_bw_gbps * 0.9);
+    }
+
+    #[test]
+    fn compute_bound_kernel_hits_issue_roof() {
+        let g = gpu();
+        let p = KernelProfile::new("alu").instr_per_elem(1000.0).bytes_read_per_elem(4.0);
+        let n = 1u64 << 24;
+        let l = LaunchConfig::for_elements(n, &g);
+        let t = p.time(&g, &l, n) - g.launch_overhead_s;
+        let implied_ips = n as f64 * 1000.0 / t;
+        assert!((implied_ips / g.peak_ips() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn small_launches_are_underutilized() {
+        let g = gpu();
+        let p = basic();
+        // 1024 elements: far fewer threads than needed to saturate.
+        let small = LaunchConfig::for_elements(1024, &g);
+        assert!(p.utilization(&g, &small) < 0.5);
+        // 16M elements: saturated.
+        let big = LaunchConfig::for_elements(1 << 24, &g);
+        assert!((p.utilization(&g, &big) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halved_launch_is_slower_when_saturated() {
+        let g = gpu();
+        let p = basic();
+        let n = 1u64 << 20;
+        let full = LaunchConfig::for_elements(n, &g);
+        let half = full.halved();
+        assert!(p.time(&g, &half, n) > p.time(&g, &full, n));
+    }
+
+    #[test]
+    fn register_spill_charges_extra_traffic() {
+        let g = gpu();
+        let n = 1u64 << 22;
+        let fit = basic().regs_per_thread(g.max_regs_per_thread);
+        let spill = basic().regs_per_thread(g.max_regs_per_thread + 8);
+        assert!(spill.traffic_bytes(&g, n) > fit.traffic_bytes(&g, n));
+        let l = LaunchConfig::for_elements(n, &g);
+        assert!(spill.time(&g, &l, n) > fit.time(&g, &l, n));
+    }
+
+    #[test]
+    fn fixed_per_thread_cost_penalizes_more_threads() {
+        let g = gpu();
+        let p = KernelProfile::new("f").fixed_instr_per_thread(100.0).instr_per_elem(1.0);
+        let l1 = LaunchConfig { ctas: 100, threads_per_cta: 256 };
+        let l2 = LaunchConfig { ctas: 200, threads_per_cta: 256 };
+        let n = 1 << 16;
+        assert!(p.time(&g, &l2, n) > p.time(&g, &l1, n));
+    }
+
+    #[test]
+    fn launch_config_caps_grid() {
+        let g = gpu();
+        let huge = LaunchConfig::for_elements(1 << 34, &g);
+        assert!(huge.ctas < 10_000);
+        let tiny = LaunchConfig::for_elements(10, &g);
+        assert_eq!(tiny.ctas, 1);
+    }
+
+    #[test]
+    fn cpu_device_works_in_same_model() {
+        let c = DeviceSpec::xeon_e5520_pair();
+        let p = basic();
+        // 16 threads saturate the CPU.
+        let l = LaunchConfig { ctas: 16, threads_per_cta: 1 };
+        assert!((p.utilization(&c, &l) - 1.0).abs() < 1e-9);
+        let n = 1u64 << 24;
+        let t = p.time(&c, &l, n);
+        let g = gpu();
+        let tg = p.time(&g, &LaunchConfig::for_elements(n, &g), n);
+        assert!(t > 2.0 * tg, "GPU should be several x faster: cpu {t} gpu {tg}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Device-memory capacity accounting.
+//!
+//! The executor uses this to make the paper's strategy decisions concrete:
+//! *with round trip* exists because "there is insufficient space on the GPU
+//! for storing the intermediate results" (§III-B), and kernel fission exists
+//! because "the data set ... exceeds the size of GPU memory" (§IV-B). The
+//! tracker does not store bytes — functional data lives host-side — it
+//! enforces the simulated 6 GB budget and reports high-water marks.
+
+use std::collections::HashMap;
+
+/// Handle to one simulated device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(u64);
+
+/// Allocation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The allocation would exceed device capacity.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free.
+        free: u64,
+    },
+    /// The handle was already freed or never allocated.
+    BadHandle,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory { requested, free } => {
+                write!(f, "device OOM: requested {requested} bytes, {free} free")
+            }
+            MemError::BadHandle => write!(f, "bad device allocation handle"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Capacity tracker for one device's global memory.
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    capacity: u64,
+    allocated: u64,
+    high_water: u64,
+    next_id: u64,
+    live: HashMap<u64, u64>,
+}
+
+impl DeviceMemory {
+    /// A tracker for a device with `capacity` bytes of global memory.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory { capacity, allocated: 0, high_water: 0, next_id: 0, live: HashMap::new() }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    /// Largest `allocated` value ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Whether an allocation of `bytes` would succeed right now.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.free_bytes()
+    }
+
+    /// Allocate `bytes`, failing if capacity would be exceeded.
+    pub fn alloc(&mut self, bytes: u64) -> Result<AllocId, MemError> {
+        if !self.fits(bytes) {
+            return Err(MemError::OutOfMemory { requested: bytes, free: self.free_bytes() });
+        }
+        self.allocated += bytes;
+        self.high_water = self.high_water.max(self.allocated);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, bytes);
+        Ok(AllocId(id))
+    }
+
+    /// Release an allocation.
+    pub fn release(&mut self, id: AllocId) -> Result<(), MemError> {
+        let bytes = self.live.remove(&id.0).ok_or(MemError::BadHandle)?;
+        self.allocated -= bytes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut m = DeviceMemory::new(1000);
+        let a = m.alloc(400).unwrap();
+        let b = m.alloc(600).unwrap();
+        assert_eq!(m.free_bytes(), 0);
+        assert!(!m.fits(1));
+        m.release(a).unwrap();
+        assert_eq!(m.free_bytes(), 400);
+        m.release(b).unwrap();
+        assert_eq!(m.allocated(), 0);
+        assert_eq!(m.high_water(), 1000);
+    }
+
+    #[test]
+    fn oom_reports_free_bytes() {
+        let mut m = DeviceMemory::new(100);
+        m.alloc(80).unwrap();
+        match m.alloc(30) {
+            Err(MemError::OutOfMemory { requested: 30, free: 20 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut m = DeviceMemory::new(100);
+        let a = m.alloc(10).unwrap();
+        m.release(a).unwrap();
+        assert_eq!(m.release(a), Err(MemError::BadHandle));
+    }
+
+    #[test]
+    fn zero_byte_alloc_is_fine() {
+        let mut m = DeviceMemory::new(0);
+        let a = m.alloc(0).unwrap();
+        m.release(a).unwrap();
+    }
+
+    #[test]
+    fn c2070_cannot_hold_1_5_billion_ints() {
+        // Paper §IV-B: "our GPU's 6GB memory can hold less than 1.5 billion
+        // 32-bit integers" (usable capacity with ECC enabled).
+        let m = DeviceMemory::new(crate::device::DeviceSpec::tesla_c2070().mem_capacity);
+        assert!(!m.fits(1_500_000_000 * 4));
+        assert!(m.fits(1_400_000_000 * 4));
+    }
+}

@@ -1,0 +1,232 @@
+//! PCIe link model: effective bandwidth as a function of transfer size,
+//! direction, and host-memory kind.
+//!
+//! The paper measures PCIe 2.0 x16 with NVIDIA's `bandwidthTest`
+//! (Fig. 4(b)) and finds (a) effective bandwidth far below the 8 GB/s
+//! theoretical peak, (b) pinned memory roughly 2× faster than paged,
+//! (c) small transfers latency-bound, and (d) pinned bandwidth *degrading*
+//! at very large sizes because pinning large regions hurts the OS. The model
+//! reproduces all four effects with a saturating curve plus a pinned
+//! large-size penalty.
+
+/// Transfer direction across the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Host (CPU) to device (GPU) — `cudaMemcpyHostToDevice`.
+    H2D,
+    /// Device to host — `cudaMemcpyDeviceToHost`.
+    D2H,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::H2D => write!(f, "CPU WR GPU"),
+            Direction::D2H => write!(f, "CPU RD GPU"),
+        }
+    }
+}
+
+/// Kind of host memory backing a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostMemKind {
+    /// Page-locked memory: DMA directly, full link speed, but pinning large
+    /// amounts degrades OS/CPU performance (paper §II-A and §IV-B).
+    Pinned,
+    /// Ordinary pageable memory: the driver stages through an internal
+    /// pinned bounce buffer, roughly halving throughput.
+    Paged,
+}
+
+impl std::fmt::Display for HostMemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostMemKind::Pinned => write!(f, "PINNED"),
+            HostMemKind::Paged => write!(f, "PAGED"),
+        }
+    }
+}
+
+/// Parameters of the PCIe effective-bandwidth curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcieModel {
+    /// Asymptotic pinned H2D bandwidth, GB/s.
+    pub peak_h2d_pinned: f64,
+    /// Asymptotic pinned D2H bandwidth, GB/s.
+    pub peak_d2h_pinned: f64,
+    /// Asymptotic paged H2D bandwidth, GB/s.
+    pub peak_h2d_paged: f64,
+    /// Asymptotic paged D2H bandwidth, GB/s.
+    pub peak_d2h_paged: f64,
+    /// Fixed per-transfer setup latency, seconds.
+    pub latency_s: f64,
+    /// Transfer size (bytes) at which bandwidth reaches half its peak.
+    pub half_saturation_bytes: f64,
+    /// Fractional pinned-bandwidth loss per GiB pinned (large-allocation
+    /// penalty: Fig. 4(b)'s pinned curves dip at the right edge).
+    pub pinned_degradation_per_gib: f64,
+    /// Fraction of synchronous bandwidth an *asynchronous* copy achieves
+    /// when the schedule overlaps transfers with kernels / other transfers.
+    /// Fermi-era DMA engines fell well short of `bandwidthTest` rates once
+    /// concurrency was in play, which is why the paper's measured fission
+    /// gains (Fig. 14: +36.9%) sit far below the ideal-overlap bound.
+    pub async_efficiency: f64,
+}
+
+impl PcieModel {
+    /// The paper's link: PCIe 2.0 x16 feeding a Tesla C2070.
+    ///
+    /// Peaks are calibrated to Fig. 4(b): pinned ≈ 5.9/6.3 GB/s (WR/RD),
+    /// paged ≈ 3.1/3.3 GB/s, well under the 8 GB/s theoretical figure.
+    pub fn pcie2_x16() -> Self {
+        PcieModel {
+            peak_h2d_pinned: 5.9,
+            peak_d2h_pinned: 6.3,
+            peak_h2d_paged: 3.1,
+            peak_d2h_paged: 3.3,
+            latency_s: 12e-6,
+            half_saturation_bytes: 96.0 * 1024.0,
+            pinned_degradation_per_gib: 0.055,
+            async_efficiency: 0.52,
+        }
+    }
+
+    /// First-generation PCIe x16: roughly half the gen-2 rates. The
+    /// pre-Fermi cards the paper's related work targeted lived here, where
+    /// the transfer bottleneck was even harsher.
+    pub fn pcie1_x16() -> Self {
+        PcieModel {
+            peak_h2d_pinned: 3.0,
+            peak_d2h_pinned: 3.2,
+            peak_h2d_paged: 1.7,
+            peak_d2h_paged: 1.8,
+            latency_s: 14e-6,
+            half_saturation_bytes: 96.0 * 1024.0,
+            pinned_degradation_per_gib: 0.055,
+            async_efficiency: 0.52,
+        }
+    }
+
+    /// Third-generation PCIe x16 (the Kepler-era upgrade): roughly double
+    /// the gen-2 effective rates. Used by the sensitivity study asking how
+    /// much of fusion/fission's benefit survives a faster link.
+    pub fn pcie3_x16() -> Self {
+        PcieModel {
+            peak_h2d_pinned: 11.8,
+            peak_d2h_pinned: 12.4,
+            peak_h2d_paged: 6.2,
+            peak_d2h_paged: 6.5,
+            latency_s: 9e-6,
+            half_saturation_bytes: 128.0 * 1024.0,
+            pinned_degradation_per_gib: 0.045,
+            async_efficiency: 0.62,
+        }
+    }
+
+    fn peak(&self, dir: Direction, kind: HostMemKind) -> f64 {
+        match (dir, kind) {
+            (Direction::H2D, HostMemKind::Pinned) => self.peak_h2d_pinned,
+            (Direction::D2H, HostMemKind::Pinned) => self.peak_d2h_pinned,
+            (Direction::H2D, HostMemKind::Paged) => self.peak_h2d_paged,
+            (Direction::D2H, HostMemKind::Paged) => self.peak_d2h_paged,
+        }
+    }
+
+    /// Effective bandwidth in GB/s for one transfer of `bytes`.
+    pub fn bandwidth_gbps(&self, bytes: u64, dir: Direction, kind: HostMemKind) -> f64 {
+        let b = bytes as f64;
+        let sat = b / (b + self.half_saturation_bytes);
+        let mut bw = self.peak(dir, kind) * sat;
+        if kind == HostMemKind::Pinned {
+            let gib = b / (1u64 << 30) as f64;
+            bw /= 1.0 + self.pinned_degradation_per_gib * gib;
+        }
+        bw
+    }
+
+    /// Wall time in seconds for one transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64, dir: Direction, kind: HostMemKind) -> f64 {
+        if bytes == 0 {
+            return self.latency_s;
+        }
+        self.latency_s + bytes as f64 / (self.bandwidth_gbps(bytes, dir, kind) * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn pinned_beats_paged_at_every_size() {
+        let m = PcieModel::pcie2_x16();
+        for bytes in [64 * 1024, MIB, 64 * MIB, GIB] {
+            for dir in [Direction::H2D, Direction::D2H] {
+                assert!(
+                    m.bandwidth_gbps(bytes, dir, HostMemKind::Pinned)
+                        > m.bandwidth_gbps(bytes, dir, HostMemKind::Paged),
+                    "pinned <= paged at {bytes} {dir:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_below_theoretical_peak() {
+        let m = PcieModel::pcie2_x16();
+        for bytes in [MIB, GIB, 4 * GIB] {
+            assert!(m.bandwidth_gbps(bytes, Direction::H2D, HostMemKind::Pinned) < 8.0);
+        }
+    }
+
+    #[test]
+    fn small_transfers_are_latency_bound() {
+        let m = PcieModel::pcie2_x16();
+        let bw_small = m.bandwidth_gbps(4 * 1024, Direction::H2D, HostMemKind::Pinned);
+        let bw_big = m.bandwidth_gbps(256 * MIB, Direction::H2D, HostMemKind::Pinned);
+        assert!(bw_small < 0.5 * bw_big, "small {bw_small} vs big {bw_big}");
+    }
+
+    #[test]
+    fn pinned_degrades_at_large_sizes() {
+        let m = PcieModel::pcie2_x16();
+        let mid = m.bandwidth_gbps(256 * MIB, Direction::H2D, HostMemKind::Pinned);
+        let huge = m.bandwidth_gbps(3 * GIB, Direction::H2D, HostMemKind::Pinned);
+        assert!(huge < mid, "pinned should dip at the right edge: {mid} -> {huge}");
+        // ...but paged keeps saturating monotonically.
+        let mid_p = m.bandwidth_gbps(256 * MIB, Direction::H2D, HostMemKind::Paged);
+        let huge_p = m.bandwidth_gbps(3 * GIB, Direction::H2D, HostMemKind::Paged);
+        assert!(huge_p >= mid_p);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_floor() {
+        let m = PcieModel::pcie2_x16();
+        assert_eq!(m.transfer_time(0, Direction::H2D, HostMemKind::Pinned), m.latency_s);
+        let t = m.transfer_time(1, Direction::H2D, HostMemKind::Pinned);
+        assert!(t >= m.latency_s);
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_size() {
+        let m = PcieModel::pcie2_x16();
+        let mut prev = 0.0;
+        for p in 10..33 {
+            let t = m.transfer_time(1u64 << p, Direction::D2H, HostMemKind::Paged);
+            assert!(t > prev, "time must grow with size (2^{p})");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn effective_rate_matches_paper_band() {
+        // Paper: "the PCIe bandwidth can effectively only supply data at a
+        // 2x-4x slower rate" than the ~20 GB/s SELECT compute rate.
+        let m = PcieModel::pcie2_x16();
+        let bw = m.bandwidth_gbps(400 * MIB, Direction::H2D, HostMemKind::Pinned);
+        assert!((4.0..7.0).contains(&bw), "pinned large-transfer bw {bw}");
+    }
+}

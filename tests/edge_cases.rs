@@ -1,0 +1,176 @@
+//! Edge cases and failure injection across the whole stack: empty inputs,
+//! all-or-nothing selectivities, runtime errors surfacing cleanly, and
+//! degenerate configurations.
+
+use kfusion::core::exec::{execute, ExecConfig, Strategy};
+use kfusion::core::microbench::{run_with_cards, DataMode, SelectChain, Strategy as MStrategy};
+use kfusion::core::{CoreError, OpKind, PlanGraph};
+use kfusion::relalg::ops::{Agg, SortBy};
+use kfusion::relalg::{gen, predicates, Column, Relation};
+use kfusion::vgpu::GpuSystem;
+
+fn sys() -> GpuSystem {
+    GpuSystem::c2070()
+}
+
+#[test]
+fn empty_input_flows_through_every_strategy() {
+    let mut g = PlanGraph::new();
+    let i = g.input(0);
+    let s = g.add(OpKind::Select { pred: predicates::key_lt(10) }, vec![i]);
+    let srt = g.add(OpKind::Sort { by: SortBy::Key }, vec![s]);
+    g.add(OpKind::Unique, vec![srt]);
+    let empty = Relation::from_keys(vec![]);
+    for strat in [
+        Strategy::Serial,
+        Strategy::SerialRoundTrip,
+        Strategy::Fusion,
+        Strategy::FusionFission { segments: 4 },
+    ] {
+        let r = execute(&sys(), &g, std::slice::from_ref(&empty), &ExecConfig::new(strat, &sys()))
+            .unwrap_or_else(|e| panic!("{strat:?} failed on empty input: {e}"));
+        assert!(r.output.is_empty());
+        assert!(r.report.total() >= 0.0);
+    }
+}
+
+#[test]
+fn zero_and_full_selectivity_chains() {
+    let s = sys();
+    for sel in [0.0, 1.0] {
+        let mut chain = SelectChain::auto(100_000, &[sel, sel]);
+        chain.mode = DataMode::Real;
+        let cards = chain.cardinalities().unwrap();
+        if sel == 0.0 {
+            assert_eq!(cards[1], 0);
+            assert_eq!(cards[2], 0);
+        } else {
+            assert_eq!(cards[2], 100_000);
+        }
+        for strat in [
+            MStrategy::WithRoundTrip,
+            MStrategy::WithoutRoundTrip,
+            MStrategy::Fused,
+            MStrategy::Fission { segments: 4 },
+        ] {
+            let r = run_with_cards(&s, &chain, strat, &cards)
+                .unwrap_or_else(|e| panic!("{strat:?} at sel {sel}: {e}"));
+            assert!(r.total() > 0.0, "{strat:?} at sel {sel}");
+        }
+    }
+}
+
+#[test]
+fn runtime_operator_errors_surface_as_core_errors() {
+    // Aggregate over unsorted keys: the relational layer rejects it and the
+    // executor must propagate, not panic.
+    let mut g = PlanGraph::new();
+    let i = g.input(0);
+    g.add(OpKind::Aggregate { aggs: vec![Agg::Count] }, vec![i]);
+    let unsorted = Relation::from_keys(vec![5, 1, 3]);
+    let r = execute(
+        &sys(),
+        &g,
+        std::slice::from_ref(&unsorted),
+        &ExecConfig::new(Strategy::Serial, &sys()),
+    );
+    assert!(matches!(r, Err(CoreError::Rel(_))), "{r:?}");
+}
+
+#[test]
+fn missing_column_in_predicate_surfaces() {
+    // Predicate reads column 3 of a keys-only relation.
+    let mut g = PlanGraph::new();
+    let i = g.input(0);
+    g.add(
+        OpKind::Select { pred: predicates::col_cmp_i64(3, kfusion::ir::CmpOp::Lt, 5) },
+        vec![i],
+    );
+    let keys_only = gen::random_keys(100, 1);
+    let r = execute(
+        &sys(),
+        &g,
+        std::slice::from_ref(&keys_only),
+        &ExecConfig::new(Strategy::Serial, &sys()),
+    );
+    assert!(matches!(r, Err(CoreError::Rel(_))), "{r:?}");
+}
+
+#[test]
+fn single_row_relation_through_tpch_style_plan() {
+    let mut g = PlanGraph::new();
+    let a = g.input(0);
+    let b = g.input(1);
+    let j = g.add(OpKind::ColumnJoin, vec![a, b]);
+    let s = g.add(OpKind::Select { pred: predicates::key_lt(100) }, vec![j]);
+    let srt = g.add(OpKind::Sort { by: SortBy::Key }, vec![s]);
+    g.add(OpKind::Aggregate { aggs: vec![Agg::Sum(0), Agg::Count] }, vec![srt]);
+    let one_a = Relation::new(vec![7], vec![Column::I64(vec![42])]).unwrap();
+    let one_b = Relation::new(vec![7], vec![Column::I64(vec![8])]).unwrap();
+    let r = execute(
+        &sys(),
+        &g,
+        &[one_a, one_b],
+        &ExecConfig::new(Strategy::Fusion, &sys()),
+    )
+    .unwrap();
+    assert_eq!(r.output.key, vec![7]);
+    assert_eq!(r.output.cols[0].as_i64().unwrap(), &[42]);
+    assert_eq!(r.output.cols[1].as_i64().unwrap(), &[1]);
+}
+
+#[test]
+fn many_segment_fission_on_small_input_stays_correct() {
+    // More segments than make sense for the data: the profitability check
+    // declines the pipeline, the answer is unchanged.
+    let mut g = PlanGraph::new();
+    let i = g.input(0);
+    g.add(OpKind::Select { pred: predicates::key_lt(1 << 31) }, vec![i]);
+    let input = gen::random_keys(1000, 2);
+    let s = sys();
+    let serial = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
+    let fission = execute(
+        &s,
+        &g,
+        std::slice::from_ref(&input),
+        &ExecConfig::new(Strategy::FusionFission { segments: 256 }, &s),
+    )
+    .unwrap();
+    assert_eq!(serial.output, fission.output);
+}
+
+#[test]
+fn degenerate_device_configs_do_not_break_simulation() {
+    // One copy engine, tiny memory, minimal SM count.
+    let mut s = sys();
+    s.spec.copy_engines = 1;
+    s.spec.sm_count = 1;
+    s.spec.mem_capacity = 1 << 22;
+    let chain = SelectChain::auto(100_000, &[0.5]);
+    let cards = chain.cardinalities().unwrap();
+    for strat in [MStrategy::WithRoundTrip, MStrategy::Fused, MStrategy::Fission { segments: 3 }] {
+        let r = run_with_cards(&s, &chain, strat, &cards).unwrap();
+        assert!(r.total().is_finite() && r.total() > 0.0);
+    }
+}
+
+#[test]
+fn deep_chain_with_tiny_register_budget_still_correct() {
+    let s = sys();
+    let mut cfg = ExecConfig::new(Strategy::Fusion, &s);
+    cfg.budget = kfusion::core::FusionBudget { max_regs_per_thread: 1 };
+    let mut g = PlanGraph::new();
+    let mut cur = g.input(0);
+    for k in 0..6u64 {
+        cur = g.add(
+            OpKind::Select { pred: predicates::key_lt(u64::MAX / (k + 2)) },
+            vec![cur],
+        );
+    }
+    let input = gen::random_keys(50_000, 3);
+    let fused = execute(&s, &g, std::slice::from_ref(&input), &cfg).unwrap();
+    let serial = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
+    assert_eq!(fused.output, serial.output);
+    // Under a 1-register budget nothing multi-member can form.
+    assert_eq!(fused.fusion.fused_group_count(), 0);
+}

@@ -1,0 +1,166 @@
+//! End-to-end: SQL text → plan → fusion/fission → validated answers.
+//!
+//! These tests drive the full pipeline a downstream user sees: write a
+//! query against the TPC-H lineitem schema, compile it, execute it under
+//! every strategy on the virtual C2070, and check the relation against an
+//! imperative reference.
+
+use kfusion::core::exec::{execute, ExecConfig, Strategy};
+use kfusion::frontend::{compile, Catalog, ColType, TableSchema};
+use kfusion::relalg::Relation;
+use kfusion::tpch::gen::{generate, LineitemCol, TpchConfig};
+use kfusion::vgpu::GpuSystem;
+
+fn lineitem_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "lineitem",
+        TableSchema::new([
+            ("shipdate", ColType::I64),
+            ("qty", ColType::F64),
+            ("price", ColType::F64),
+            ("discount", ColType::F64),
+        ]),
+    );
+    c
+}
+
+/// The wide lineitem relation matching the catalog's column order.
+fn lineitem_relation() -> Relation {
+    let db = generate(TpchConfig::scale(0.003));
+    let cols = [
+        LineitemCol::Shipdate,
+        LineitemCol::Quantity,
+        LineitemCol::ExtendedPrice,
+        LineitemCol::Discount,
+    ];
+    let mut rels = cols.iter().map(|&c| db.lineitem_column(c));
+    let mut wide = rels.next().unwrap();
+    for r in rels {
+        wide = kfusion::relalg::ops::column_join(&wide, &r).unwrap();
+    }
+    wide
+}
+
+fn run_all_strategies(sql: &str, input: &Relation) -> Vec<Relation> {
+    let q = compile(sql, &lineitem_catalog()).expect("compiles");
+    let sys = GpuSystem::c2070();
+    let mut outs = Vec::new();
+    for strat in [
+        Strategy::Serial,
+        Strategy::SerialRoundTrip,
+        Strategy::Fusion,
+        Strategy::FusionFission { segments: 8 },
+    ] {
+        let r = execute(&sys, &q.plan, std::slice::from_ref(input), &ExecConfig::new(strat, &sys))
+            .expect("executes");
+        outs.push(r.output);
+    }
+    outs
+}
+
+#[test]
+fn filtered_projection_matches_reference() {
+    let input = lineitem_relation();
+    let outs = run_all_strategies(
+        "SELECT price FROM lineitem WHERE shipdate < 1000 AND qty < 24",
+        &input,
+    );
+    // Imperative reference.
+    let ship = input.cols[0].as_i64().unwrap();
+    let qty = input.cols[1].as_f64().unwrap();
+    let price = input.cols[2].as_f64().unwrap();
+    let expect: Vec<f64> = (0..input.len())
+        .filter(|&i| ship[i] < 1000 && qty[i] < 24.0)
+        .map(|i| price[i])
+        .collect();
+    assert!(!expect.is_empty());
+    for out in outs {
+        assert_eq!(out.n_cols(), 1);
+        assert_eq!(out.cols[0].as_f64().unwrap(), expect.as_slice());
+    }
+}
+
+#[test]
+fn q6_in_sql_matches_imperative_reference() {
+    let input = lineitem_relation();
+    let outs = run_all_strategies(
+        "SELECT SUM(price * discount) AS revenue, COUNT(*) FROM lineitem \
+         WHERE shipdate >= 730 AND shipdate < 1095 \
+         AND discount BETWEEN 0.0499 AND 0.0701 AND qty < 24",
+        &input,
+    );
+    let ship = input.cols[0].as_i64().unwrap();
+    let qty = input.cols[1].as_f64().unwrap();
+    let price = input.cols[2].as_f64().unwrap();
+    let disc = input.cols[3].as_f64().unwrap();
+    let mut revenue = 0.0;
+    let mut count = 0i64;
+    for i in 0..input.len() {
+        if ship[i] >= 730 && ship[i] < 1095 && (0.0499..=0.0701).contains(&disc[i]) && qty[i] < 24.0
+        {
+            revenue += price[i] * disc[i];
+            count += 1;
+        }
+    }
+    assert!(count > 0);
+    for out in outs {
+        assert_eq!(out.len(), 1);
+        let got_rev = out.cols[0].as_f64().unwrap()[0];
+        let got_count = out.cols[1].as_i64().unwrap()[0];
+        assert_eq!(got_count, count);
+        assert!((got_rev - revenue).abs() <= 1e-9 * revenue.abs().max(1.0));
+    }
+}
+
+#[test]
+fn computed_projection_with_coercion() {
+    let input = lineitem_relation();
+    let outs = run_all_strategies(
+        "SELECT price * (1 - discount) AS net FROM lineitem WHERE shipdate < 400",
+        &input,
+    );
+    let ship = input.cols[0].as_i64().unwrap();
+    let price = input.cols[2].as_f64().unwrap();
+    let disc = input.cols[3].as_f64().unwrap();
+    let expect: Vec<f64> = (0..input.len())
+        .filter(|&i| ship[i] < 400)
+        .map(|i| price[i] * (1.0 - disc[i]))
+        .collect();
+    for out in outs {
+        let got = out.cols[0].as_f64().unwrap();
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() <= 1e-12 * e.abs().max(1.0));
+        }
+    }
+}
+
+#[test]
+fn sql_plans_fuse_aggressively() {
+    // The naive lowering exists to feed the optimizer: a five-conjunct
+    // aggregate query must collapse to one kernel.
+    let q = compile(
+        "SELECT SUM(price * discount), COUNT(*) FROM lineitem \
+         WHERE shipdate >= 730 AND shipdate < 1095 \
+         AND discount BETWEEN 0.05 AND 0.07 AND qty < 24",
+        &lineitem_catalog(),
+    )
+    .unwrap();
+    let sys = GpuSystem::c2070();
+    let fused = kfusion::core::fuse_plan(
+        &q.plan,
+        &kfusion::core::FusionBudget::for_device(&sys.spec),
+        kfusion::ir::opt::OptLevel::O3,
+    );
+    assert_eq!(fused.groups.len(), 1, "{:?}", fused.groups);
+}
+
+#[test]
+fn order_by_key_round_trips() {
+    let input = lineitem_relation();
+    let outs = run_all_strategies("SELECT qty FROM lineitem WHERE qty < 3 ORDER BY KEY", &input);
+    for out in outs {
+        assert!(out.is_key_sorted());
+    }
+}
