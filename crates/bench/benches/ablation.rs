@@ -26,12 +26,7 @@ fn main() {
         c.level = level;
         let unfused = run_compute_only(&sys, &c, false).unwrap().throughput_gbps();
         let fused = run_compute_only(&sys, &c, true).unwrap().throughput_gbps();
-        t.row([
-            level.to_string(),
-            gbps(unfused),
-            gbps(fused),
-            ratio(fused / unfused),
-        ]);
+        t.row([level.to_string(), gbps(unfused), gbps(fused), ratio(fused / unfused)]);
     }
     t.print();
     println!("the fused kernel gains more from O3 than the separate kernels do");
@@ -90,13 +85,12 @@ fn main() {
     let hchain = kfusion_core::microbench::SelectChain::auto(1_000_000_000, &[0.5, 0.5]);
     let mut t = Table::new(["CPU share %", "throughput GB/s"]);
     for pct in [0u32, 5, 10, 15, 20, 30, 40, 50] {
-        let r = kfusion_core::hetero::run_hetero(&sys, &cpu, &hchain, 20, pct as f64 / 100.0)
-            .unwrap();
+        let r =
+            kfusion_core::hetero::run_hetero(&sys, &cpu, &hchain, 20, pct as f64 / 100.0).unwrap();
         t.row([pct.to_string(), gbps(r.throughput_gbps())]);
     }
     t.print();
-    let (best_frac, best) =
-        kfusion_core::hetero::best_split(&sys, &cpu, &hchain, 20).unwrap();
+    let (best_frac, best) = kfusion_core::hetero::best_split(&sys, &cpu, &hchain, 20).unwrap();
     println!(
         "optimal CPU share: {:.0}% -> {} GB/s (GPU pipeline is PCIe-bound, so\nkeeping some segments host-side removes transfer load).\n",
         best_frac * 100.0,

@@ -17,18 +17,17 @@
 
 use kfusion_bench::{gbps, print_header, system, Table};
 use kfusion_core::microbench::{SelectChain, CPU_GATHER_BW, FISSION_STREAMS};
+use kfusion_prng::Rng;
 use kfusion_relalg::compress::{best_for, decompress_kernel};
 use kfusion_relalg::profiles;
 use kfusion_vgpu::{Command, CommandClass, HostMemKind, LaunchConfig, Schedule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     print_header("Extension", "transfer compression x kernel fusion (1x SELECT, 50%)");
     let sys = system();
     let n: usize = 1 << 24;
     // 20-bit keys: realistically compressible dictionary-coded data.
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Rng::seed_from_u64(77);
     let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 20)).collect();
     let block = best_for(&keys);
     println!(
@@ -63,7 +62,12 @@ fn main() {
     // 2. compressed transfer + separate decompress kernel
     let decomp = decompress_kernel(&block, row, false);
     let compressed = Schedule::serial(vec![
-        Command::h2d("in_packed", CommandClass::InputOutput, block.wire_bytes(), HostMemKind::Paged),
+        Command::h2d(
+            "in_packed",
+            CommandClass::InputOutput,
+            block.wire_bytes(),
+            HostMemKind::Paged,
+        ),
         Command::kernel(decomp, launch_n(n as u64), n as u64),
         Command::kernel(filter.clone(), launch_n(n as u64), n as u64),
         Command::kernel(gather.clone(), launch_n(cards[1]), cards[1]),
@@ -73,12 +77,15 @@ fn main() {
     // 3. decompress fused into the filter: packed bytes in, registers out.
     let fused_decomp = decompress_kernel(&block, row, true);
     let fused_filter = profiles::select_filter("fused_dfilter", &pred, chain.level, 0.0, sel)
-        .instr_per_elem(
-            fused_decomp.instr_per_elem + filter.instr_per_elem,
-        )
+        .instr_per_elem(fused_decomp.instr_per_elem + filter.instr_per_elem)
         .bytes_read_per_elem(fused_decomp.bytes_read_per_elem);
     let comp_fused = Schedule::serial(vec![
-        Command::h2d("in_packed", CommandClass::InputOutput, block.wire_bytes(), HostMemKind::Paged),
+        Command::h2d(
+            "in_packed",
+            CommandClass::InputOutput,
+            block.wire_bytes(),
+            HostMemKind::Paged,
+        ),
         Command::kernel(fused_filter.clone(), launch_n(n as u64), n as u64),
         Command::kernel(gather.clone(), launch_n(cards[1]), cards[1]),
         Command::d2h("out", CommandClass::InputOutput, out_bytes, HostMemKind::Paged),
@@ -95,31 +102,40 @@ fn main() {
         let st = (s % FISSION_STREAMS as u64) as usize;
         let seg_n = n as u64 / segments;
         let seg_out = cards[1] / segments;
-        pipe.push(st, Command::h2d(
-            format!("in_packed[{s}]"),
-            CommandClass::InputOutput,
-            block.wire_bytes() / segments,
-            HostMemKind::Pinned,
-        ));
+        pipe.push(
+            st,
+            Command::h2d(
+                format!("in_packed[{s}]"),
+                CommandClass::InputOutput,
+                block.wire_bytes() / segments,
+                HostMemKind::Pinned,
+            ),
+        );
         let mut f = fused_filter.clone();
         f.name = format!("fused_dfilter[{s}]");
         pipe.push(st, Command::kernel(f, launch_n(seg_n), seg_n));
         let mut g = gather.clone();
         g.name = format!("gather[{s}]");
         pipe.push(st, Command::kernel(g, launch_n(seg_out), seg_out));
-        pipe.push(st, Command::d2h(
-            format!("out[{s}]"),
-            CommandClass::InputOutput,
-            out_bytes / segments,
-            HostMemKind::Pinned,
-        ));
+        pipe.push(
+            st,
+            Command::d2h(
+                format!("out[{s}]"),
+                CommandClass::InputOutput,
+                out_bytes / segments,
+                HostMemKind::Pinned,
+            ),
+        );
         let ev = kfusion_vgpu::des::EventId(s as u32);
         pipe.push(st, Command::record(ev));
         pipe.push(host, Command::wait(ev));
-        pipe.push(host, Command::host_work(
-            format!("cpu_gather[{s}]"),
-            (out_bytes / segments) as f64 / CPU_GATHER_BW,
-        ));
+        pipe.push(
+            host,
+            Command::host_work(
+                format!("cpu_gather[{s}]"),
+                (out_bytes / segments) as f64 / CPU_GATHER_BW,
+            ),
+        );
     }
 
     let mut t = Table::new(["method", "throughput GB/s", "vs plain"]);

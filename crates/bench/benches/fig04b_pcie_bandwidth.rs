@@ -12,14 +12,8 @@ use kfusion_vgpu::{Direction, HostMemKind};
 fn main() {
     print_header("Fig. 4(b)", "PCIe 2.0 x16 effective bandwidth vs transfer size");
     let sys = system();
-    let mut t = Table::new([
-        "elements(M)",
-        "bytes",
-        "WR pinned",
-        "WR paged",
-        "RD pinned",
-        "RD paged",
-    ]);
+    let mut t =
+        Table::new(["elements(M)", "bytes", "WR pinned", "WR paged", "RD pinned", "RD paged"]);
     // The paper's x-axis is millions of 32-bit elements, 0–400M.
     for m in [1u64, 2, 4, 8, 16, 32, 64, 100, 150, 200, 250, 300, 350, 400] {
         let bytes = m * 1_000_000 * 4;

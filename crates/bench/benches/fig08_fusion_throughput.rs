@@ -46,8 +46,22 @@ fn main() {
     }
     t.print();
     let k = axis.len() as f64;
-    println!("average fused gain over with-round-trip : +{:.1}%  (paper: +49.9%)", (g_rt / k - 1.0) * 100.0);
-    println!("average fused gain over w/o round trip  : +{:.1}%  (paper: +6.2%)", (g_wo / k - 1.0) * 100.0);
-    println!("average compute-only fusion gain        : +{:.1}%  (paper: +79.9%)", (g_comp / k - 1.0) * 100.0);
-    println!("(ratio columns derived from throughput: {}x / {}x / {}x)", ratio(g_rt / k), ratio(g_wo / k), ratio(g_comp / k));
+    println!(
+        "average fused gain over with-round-trip : +{:.1}%  (paper: +49.9%)",
+        (g_rt / k - 1.0) * 100.0
+    );
+    println!(
+        "average fused gain over w/o round trip  : +{:.1}%  (paper: +6.2%)",
+        (g_wo / k - 1.0) * 100.0
+    );
+    println!(
+        "average compute-only fusion gain        : +{:.1}%  (paper: +79.9%)",
+        (g_comp / k - 1.0) * 100.0
+    );
+    println!(
+        "(ratio columns derived from throughput: {}x / {}x / {}x)",
+        ratio(g_rt / k),
+        ratio(g_wo / k),
+        ratio(g_comp / k)
+    );
 }

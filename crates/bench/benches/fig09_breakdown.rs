@@ -14,16 +14,18 @@ use kfusion_vgpu::CommandClass;
 fn main() {
     print_header("Fig. 9", "execution-time breakdown (normalized to w/ round trip)");
     let sys = system();
-    let mut t = Table::new([
-        "elements", "method", "input/output", "round trip", "compute", "total(norm)",
-    ]);
+    let mut t =
+        Table::new(["elements", "method", "input/output", "round trip", "compute", "total(norm)"]);
     // The paper's three x positions.
     for &n in &[4_194_304u64, 205_520_896, 415_236_096] {
         let c = chain(n, &[0.5, 0.5]);
         let cards = c.cardinalities().unwrap();
         let reports = [
             ("w/ round trip", run_with_cards(&sys, &c, Strategy::WithRoundTrip, &cards).unwrap()),
-            ("w/o round trip", run_with_cards(&sys, &c, Strategy::WithoutRoundTrip, &cards).unwrap()),
+            (
+                "w/o round trip",
+                run_with_cards(&sys, &c, Strategy::WithoutRoundTrip, &cards).unwrap(),
+            ),
             ("fused", run_with_cards(&sys, &c, Strategy::Fused, &cards).unwrap()),
         ];
         let base = reports[0].1.total();

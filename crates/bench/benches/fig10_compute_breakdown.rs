@@ -12,9 +12,7 @@ use kfusion_core::microbench::run_compute_only;
 fn main() {
     print_header("Fig. 10", "compute breakdown: filter vs gather, fused vs unfused");
     let sys = system();
-    let mut t = Table::new([
-        "elements", "version", "filter(norm)", "gather(norm)", "total(norm)",
-    ]);
+    let mut t = Table::new(["elements", "version", "filter(norm)", "gather(norm)", "total(norm)"]);
     let (mut f_gain, mut g_gain, mut k) = (0.0, 0.0, 0.0);
     for &n in &[4_194_304u64, 205_520_896, 415_236_096] {
         let c = chain(n, &[0.5, 0.5]);

@@ -19,7 +19,8 @@ use kfusion_core::microbench::{run_concurrent, ConcurrentVariant};
 fn main() {
     print_header("Fig. 12", "two concurrent SELECTs vs full/halved serial (end-to-end)");
     let sys = system();
-    let mut t = Table::new(["elements", "stream GB/s", "no stream (new) GB/s", "no stream (old) GB/s"]);
+    let mut t =
+        Table::new(["elements", "stream GB/s", "no stream (new) GB/s", "no stream (old) GB/s"]);
     // The paper's lower panel zooms into 4–34M; include those points.
     let mut axis: Vec<u64> = vec![4_194_304, 8_388_608, 16_777_216, 33_554_432];
     axis.extend(fusion_axis().into_iter().filter(|&n| n > 33_554_432));

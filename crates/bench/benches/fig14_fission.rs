@@ -38,8 +38,5 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "average fission gain: +{:.1}%  (paper: +36.9%)",
-        100.0 * gain / axis.len() as f64
-    );
+    println!("average fission gain: +{:.1}%  (paper: +36.9%)", 100.0 * gain / axis.len() as f64);
 }

@@ -14,10 +14,7 @@ use kfusion_tpch::gen::{generate, TpchConfig};
 use kfusion_tpch::{q1, q21};
 
 fn scale() -> f64 {
-    std::env::var("KFUSION_TPCH_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.02)
+    std::env::var("KFUSION_TPCH_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02)
 }
 
 fn main() {
@@ -93,10 +90,11 @@ fn main() {
         "fusion+fission total improvement: {:.1}%  (paper: 13.2%)",
         100.0 * (1.0 - both.report.total() / serial.report.total())
     );
-    let unfused_block: f64 = ["filter", "gather", "project", "rekey", "setop", "join_match", "join_gather"]
-        .iter()
-        .map(|p| serial.report.label_time(p))
-        .sum();
+    let unfused_block: f64 =
+        ["filter", "gather", "project", "rekey", "setop", "join_match", "join_gather"]
+            .iter()
+            .map(|p| serial.report.label_time(p))
+            .sum();
     let fused_block: f64 = q21_times[1].1.report.label_time("fused_");
     if fused_block > 0.0 {
         println!(

@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks of the library's own hot paths (real wall
-//! time, not simulated): the IR optimizer, the per-row interpreter, the
-//! functional SELECT, and the discrete-event scheduler.
+//! Micro-benchmarks of the library's own hot paths (real wall time, not
+//! simulated): the IR optimizer, the per-row interpreter, the functional
+//! SELECT, the discrete-event scheduler, the sorts, and the codecs.
+//!
+//! A self-contained timing harness (warmup + median-of-samples) keeps the
+//! workspace dependency-free; throughput rows print in the same aligned
+//! style as the figure harnesses.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use kfusion_bench::{print_header, system, Table};
 use kfusion_core::microbench::{run_with_cards, SelectChain, Strategy};
 use kfusion_ir::builder::BodyBuilder;
 use kfusion_ir::fuse::fuse_predicate_chain;
@@ -10,19 +14,43 @@ use kfusion_ir::interp::Machine;
 use kfusion_ir::opt::{optimize, OptLevel};
 use kfusion_ir::Value;
 use kfusion_relalg::{gen, ops, predicates};
-use kfusion_vgpu::GpuSystem;
+use std::time::Instant;
 
-fn bench_optimizer(c: &mut Criterion) {
-    let preds: Vec<_> = (0..6)
-        .map(|k| BodyBuilder::threshold_lt(0, 100 + k).build())
+/// Median seconds per call of `f` over `samples` timed runs (after warmup).
+fn time_it<R>(samples: usize, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
         .collect();
-    let fused = fuse_predicate_chain(&preds);
-    c.bench_function("ir_optimize_o3_fused6", |b| {
-        b.iter(|| optimize(std::hint::black_box(&fused), OptLevel::O3))
-    });
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn row(t: &mut Table, name: &str, secs: f64, elems: Option<u64>) {
+    let per = match elems {
+        Some(n) => format!("{:.1} Melem/s", n as f64 / secs / 1e6),
+        None => "-".to_string(),
+    };
+    t.row([name.to_string(), format!("{:.3} us", secs * 1e6), per]);
+}
+
+fn main() {
+    print_header("Micro", "wall-clock hot paths (median of samples)");
+    let mut t = Table::new(["path", "time/call", "throughput"]);
+
+    // IR optimizer on a 6-deep fused predicate chain.
+    let preds: Vec<_> = (0..6).map(|k| BodyBuilder::threshold_lt(0, 100 + k).build()).collect();
+    let fused = fuse_predicate_chain(&preds);
+    let secs = time_it(9, 200, || optimize(std::hint::black_box(&fused), OptLevel::O3));
+    row(&mut t, "ir_optimize_o3_fused6", secs, None);
+
+    // Per-row interpreter on the optimized fused predicate.
     let body = optimize(
         &fuse_predicate_chain(&[
             BodyBuilder::threshold_lt(0, 1000).build(),
@@ -30,92 +58,51 @@ fn bench_interpreter(c: &mut Criterion) {
         ]),
         OptLevel::O3,
     );
-    let mut group = c.benchmark_group("ir_interpreter");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("fused_predicate_per_row", |b| {
-        let mut m = Machine::new();
-        let mut k = 0i64;
-        b.iter(|| {
-            k = k.wrapping_add(700) & 0x7FF;
-            m.run_predicate(&body, &[Value::I64(k)]).unwrap()
-        })
+    let mut m = Machine::new();
+    let mut k = 0i64;
+    let secs = time_it(9, 100_000, || {
+        k = k.wrapping_add(700) & 0x7FF;
+        m.run_predicate(&body, &[Value::I64(k)]).unwrap()
     });
-    group.finish();
-}
+    row(&mut t, "fused_predicate_per_row", secs, Some(1));
 
-fn bench_functional_select(c: &mut Criterion) {
+    // Functional SELECT over 1 M rows.
     let input = gen::random_keys(1 << 20, 7);
     let pred = predicates::key_lt(gen::threshold_for_selectivity(0.5));
-    let mut group = c.benchmark_group("functional_select");
-    group.throughput(Throughput::Elements(input.len() as u64));
-    group.sample_size(10);
-    group.bench_function("select_1m_rows", |b| {
-        b.iter(|| ops::select(std::hint::black_box(&input), &pred).unwrap())
-    });
-    group.finish();
-}
+    let secs = time_it(5, 3, || ops::select(std::hint::black_box(&input), &pred).unwrap());
+    row(&mut t, "select_1m_rows", secs, Some(input.len() as u64));
 
-fn bench_des(c: &mut Criterion) {
-    let sys = GpuSystem::c2070();
-    let chain = SelectChain::auto(1 << 30, &[0.5, 0.5]); // synthetic: no data
+    // DES scheduling of a 64-segment fission pipeline (synthetic: no data).
+    let sys = system();
+    let chain = SelectChain::auto(1 << 30, &[0.5, 0.5]);
     let cards = chain.cardinalities().unwrap();
-    c.bench_function("des_fused_fission_schedule_64seg", |b| {
-        b.iter_batched(
-            || (),
-            |_| {
-                run_with_cards(
-                    &sys,
-                    &chain,
-                    Strategy::FusedFission { segments: 64 },
-                    &cards,
-                )
-                .unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+    let secs = time_it(9, 20, || {
+        run_with_cards(&sys, &chain, Strategy::FusedFission { segments: 64 }, &cards).unwrap()
     });
-}
+    row(&mut t, "des_fused_fission_64seg", secs, None);
 
-fn bench_sorts(c: &mut Criterion) {
+    // Sorts over 64 K keys.
     let n = 1usize << 16;
     let key: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
     let r = kfusion_relalg::Relation::from_keys(key);
-    let mut group = c.benchmark_group("functional_sorts");
-    group.throughput(Throughput::Elements(n as u64));
-    group.sample_size(10);
-    group.bench_function("merge_sort_64k", |b| {
-        b.iter(|| ops::sort(std::hint::black_box(&r), ops::SortBy::Key).unwrap())
-    });
-    group.bench_function("bitonic_network_64k", |b| {
-        b.iter(|| ops::bitonic_sort(std::hint::black_box(&r), ops::SortBy::Key).unwrap())
-    });
-    group.finish();
-}
+    let secs = time_it(5, 5, || ops::sort(std::hint::black_box(&r), ops::SortBy::Key).unwrap());
+    row(&mut t, "merge_sort_64k", secs, Some(n as u64));
+    let secs =
+        time_it(5, 5, || ops::bitonic_sort(std::hint::black_box(&r), ops::SortBy::Key).unwrap());
+    row(&mut t, "bitonic_network_64k", secs, Some(n as u64));
 
-fn bench_codecs(c: &mut Criterion) {
-    use kfusion_relalg::compress::{compress, decompress, Scheme};
-    let n = 1usize << 18;
-    let vals: Vec<u64> = (0..n as u64).map(|i| (i * 48_271) % (1 << 20)).collect();
-    let block = compress(&vals, Scheme::BitPack).unwrap();
-    let mut group = c.benchmark_group("compression_codecs");
-    group.throughput(Throughput::Elements(n as u64));
-    group.sample_size(20);
-    group.bench_function("bitpack_compress_256k", |b| {
-        b.iter(|| compress(std::hint::black_box(&vals), Scheme::BitPack).unwrap())
-    });
-    group.bench_function("bitpack_decompress_256k", |b| {
-        b.iter(|| decompress(std::hint::black_box(&block)))
-    });
-    group.finish();
-}
+    // Codecs over 256 K values.
+    {
+        use kfusion_relalg::compress::{compress, decompress, Scheme};
+        let n = 1usize << 18;
+        let vals: Vec<u64> = (0..n as u64).map(|i| (i * 48_271) % (1 << 20)).collect();
+        let block = compress(&vals, Scheme::BitPack).unwrap();
+        let secs =
+            time_it(5, 10, || compress(std::hint::black_box(&vals), Scheme::BitPack).unwrap());
+        row(&mut t, "bitpack_compress_256k", secs, Some(n as u64));
+        let secs = time_it(5, 10, || decompress(std::hint::black_box(&block)));
+        row(&mut t, "bitpack_decompress_256k", secs, Some(n as u64));
+    }
 
-criterion_group!(
-    benches,
-    bench_optimizer,
-    bench_interpreter,
-    bench_functional_select,
-    bench_des,
-    bench_sorts,
-    bench_codecs
-);
-criterion_main!(benches);
+    t.print();
+}

@@ -22,12 +22,8 @@ fn main() {
         ("PCIe 2.0 x16 (paper)", PcieModel::pcie2_x16()),
         ("PCIe 3.0 x16", PcieModel::pcie3_x16()),
     ];
-    let mut t = Table::new([
-        "link",
-        "fused vs round-trip",
-        "fission vs serial",
-        "compute-only fusion",
-    ]);
+    let mut t =
+        Table::new(["link", "fused vs round-trip", "fission vs serial", "compute-only fusion"]);
     for (name, pcie) in links {
         let sys = GpuSystem { spec: DeviceSpec::tesla_c2070(), pcie };
         // Fusion benefit (Fig. 8 shape) at 16M elements.
@@ -39,7 +35,8 @@ fn main() {
         let big = chain(1_000_000_000, &[0.5]);
         let bcards = big.cardinalities().unwrap();
         let serial = run_with_cards(&sys, &big, Strategy::WithoutRoundTrip, &bcards).unwrap();
-        let fission = run_with_cards(&sys, &big, Strategy::Fission { segments: 16 }, &bcards).unwrap();
+        let fission =
+            run_with_cards(&sys, &big, Strategy::Fission { segments: 16 }, &bcards).unwrap();
         // Compute-only gain is link-independent by construction.
         let cu = run_compute_only(&sys, &c, false).unwrap();
         let cf = run_compute_only(&sys, &c, true).unwrap();
@@ -55,17 +52,9 @@ fn main() {
     println!("fusion gain (registers + shared skeleton + compiler scope) stays.\n");
 
     print_header("Sensitivity 2", "devices: C1060 / C2070 / GTX 580");
-    let devices = [
-        DeviceSpec::tesla_c1060(),
-        DeviceSpec::tesla_c2070(),
-        DeviceSpec::gtx580(),
-    ];
-    let mut t = Table::new([
-        "device",
-        "copy engines",
-        "SELECT GB/s (compute)",
-        "fission vs serial",
-    ]);
+    let devices = [DeviceSpec::tesla_c1060(), DeviceSpec::tesla_c2070(), DeviceSpec::gtx580()];
+    let mut t =
+        Table::new(["device", "copy engines", "SELECT GB/s (compute)", "fission vs serial"]);
     for spec in devices {
         let sys = GpuSystem { spec: spec.clone(), pcie: PcieModel::pcie2_x16() };
         let c = chain(1 << 24, &[0.5]);

@@ -18,9 +18,7 @@ fn main() {
     let b = BodyBuilder::threshold_lt(0, 70).build();
     let fused = fuse_predicate_chain(&[a.clone(), b.clone()]);
 
-    let count = |body: &kfusion_ir::KernelBody, l: OptLevel| {
-        instruction_count(&optimize(body, l))
-    };
+    let count = |body: &kfusion_ir::KernelBody, l: OptLevel| instruction_count(&optimize(body, l));
 
     let unfused_o0 = count(&a, OptLevel::O0) + count(&b, OptLevel::O0);
     let unfused_o3 = count(&a, OptLevel::O3) + count(&b, OptLevel::O3);

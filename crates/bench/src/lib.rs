@@ -18,9 +18,15 @@ pub fn print_header(experiment: &str, what: &str) {
     println!("----------------------------------------------------------------");
     println!("environment (simulated; paper Table II):");
     println!("  CPU   : {}", cpu.name);
-    println!("  GPU   : {} — {} SMs x {} cores @ {} GHz, {:.0} GB/s, {:.2} GiB",
-        gpu.name, gpu.sm_count, gpu.cores_per_sm, gpu.clock_ghz, gpu.mem_bw_gbps,
-        gpu.mem_capacity as f64 / (1u64 << 30) as f64);
+    println!(
+        "  GPU   : {} — {} SMs x {} cores @ {} GHz, {:.0} GB/s, {:.2} GiB",
+        gpu.name,
+        gpu.sm_count,
+        gpu.cores_per_sm,
+        gpu.clock_ghz,
+        gpu.mem_bw_gbps,
+        gpu.mem_capacity as f64 / (1u64 << 30) as f64
+    );
     println!("  PCIe  : 2.0 x16 (see Fig. 4(b) harness for measured curves)");
     println!("================================================================");
 }
@@ -54,18 +60,12 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let parts: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let parts: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             println!("  {}", parts.join("  "));
         };
         line(&self.headers);
-        println!(
-            "  {}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
-        );
+        println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
         for row in &self.rows {
             line(row);
         }
@@ -131,10 +131,7 @@ pub fn fission_axis() -> Vec<u64> {
 /// Largest element count the harnesses materialize for real; can be raised
 /// with `KFUSION_REAL_LIMIT` (elements).
 pub fn real_limit() -> u64 {
-    std::env::var("KFUSION_REAL_LIMIT")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1 << 24)
+    std::env::var("KFUSION_REAL_LIMIT").ok().and_then(|v| v.parse().ok()).unwrap_or(1 << 24)
 }
 
 /// The paper's shared GPU system.

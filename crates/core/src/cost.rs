@@ -145,10 +145,7 @@ mod tests {
     fn group_regs_includes_skeleton() {
         let mut g = crate::graph::PlanGraph::new();
         let i = g.input(0);
-        let s = g.add(
-            crate::graph::OpKind::Select { pred: predicates::key_lt(5) },
-            vec![i],
-        );
+        let s = g.add(crate::graph::OpKind::Select { pred: predicates::key_lt(5) }, vec![i]);
         let regs = group_regs(&g, &[s], OptLevel::O3);
         assert!(regs > STAGE_REGS);
     }

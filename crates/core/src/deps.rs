@@ -44,9 +44,11 @@ pub fn fusability(kind: &OpKind) -> Fusability {
         | OpKind::Antijoin
         | OpKind::Product => Fusability::Fusable,
         OpKind::Aggregate { .. } | OpKind::AggregateAll { .. } => Fusability::FusableTerminal,
-        OpKind::Sort { .. } | OpKind::Unique | OpKind::Union | OpKind::Intersect | OpKind::Difference => {
-            Fusability::Barrier
-        }
+        OpKind::Sort { .. }
+        | OpKind::Unique
+        | OpKind::Union
+        | OpKind::Intersect
+        | OpKind::Difference => Fusability::Barrier,
     }
 }
 

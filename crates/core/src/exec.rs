@@ -134,6 +134,12 @@ fn run_plan(
     cfg: &ExecConfig,
     roots: &[NodeId],
 ) -> Result<(Vec<Relation>, Report, FusionPlan, u64), CoreError> {
+    // With the `check` feature (default-on) the full plan verifier runs —
+    // body typing, column bounds, sortedness preconditions — so executor
+    // and simulator only ever see plans that cannot trip their own asserts.
+    #[cfg(feature = "check")]
+    crate::check::check_plan(graph)?;
+    #[cfg(not(feature = "check"))]
     graph.validate()?;
     // ---- Functional phase -------------------------------------------------
     let mut results: Vec<Relation> = Vec::with_capacity(graph.len());
@@ -232,12 +238,7 @@ pub fn execute_auto_serial(
     if probe.peak_resident_bytes <= system.spec.mem_capacity {
         return Ok((Strategy::Serial, probe));
     }
-    let r = execute(
-        system,
-        graph,
-        inputs,
-        &ExecConfig::new(Strategy::SerialRoundTrip, system),
-    )?;
+    let r = execute(system, graph, inputs, &ExecConfig::new(Strategy::SerialRoundTrip, system))?;
     Ok((Strategy::SerialRoundTrip, r))
 }
 
@@ -301,10 +302,7 @@ fn node_kernels(
     match &node.kind {
         OpKind::Input { .. } => vec![],
         OpKind::Select { pred } => vec![
-            (
-                profiles::select_filter(nm("filter"), pred, level, in_bytes, sel),
-                in_rows,
-            ),
+            (profiles::select_filter(nm("filter"), pred, level, in_bytes, sel), in_rows),
             (profiles::select_gather(nm("gather"), out_bytes), out_rows),
         ],
         OpKind::Rekey { .. } => vec![
@@ -330,10 +328,7 @@ fn node_kernels(
             (profiles::select_gather(nm("project_gather"), out_bytes), out_rows),
         ],
         OpKind::Arith { body } | OpKind::ArithExtend { body } => vec![
-            (
-                profiles::arith_kernel(nm("arith"), body, level, in_bytes, out_bytes),
-                in_rows,
-            ),
+            (profiles::arith_kernel(nm("arith"), body, level, in_bytes, out_bytes), in_rows),
             (profiles::select_gather(nm("arith_gather"), out_bytes), out_rows),
         ],
         OpKind::Join | OpKind::Semijoin | OpKind::Antijoin => {
@@ -395,14 +390,12 @@ fn node_kernels(
             profiles::aggregate_kernel(in_bytes, aggs.len()).renamed(nm("aggregate")),
             in_rows,
         )],
-        OpKind::Sort { .. } => vec![(
-            profiles::sort_kernel(in_rows, in_bytes).renamed(nm("sort")),
-            in_rows,
-        )],
-        OpKind::Unique => vec![(
-            profiles::unique_kernel(in_bytes, sel).renamed(nm("unique")),
-            in_rows,
-        )],
+        OpKind::Sort { .. } => {
+            vec![(profiles::sort_kernel(in_rows, in_bytes).renamed(nm("sort")), in_rows)]
+        }
+        OpKind::Unique => {
+            vec![(profiles::unique_kernel(in_bytes, sel).renamed(nm("unique")), in_rows)]
+        }
     }
 }
 
@@ -491,10 +484,7 @@ fn group_kernels(
     if select_preds.len() >= 2 {
         instr += profiles::body_instr(&fuse_predicate_chain(&select_preds), level);
     } else {
-        instr += select_preds
-            .iter()
-            .map(|p| profiles::body_instr(p, level) + 2.0)
-            .sum::<f64>();
+        instr += select_preds.iter().map(|p| profiles::body_instr(p, level) + 2.0).sum::<f64>();
     }
     instr += members
         .iter()
@@ -518,10 +508,7 @@ fn group_kernels(
     };
     vec![
         (compute, elems),
-        (
-            profiles::select_gather(format!("fused_gather#g{gidx}"), out_bytes),
-            out_rows,
-        ),
+        (profiles::select_gather(format!("fused_gather#g{gidx}"), out_bytes), out_rows),
     ]
 }
 
@@ -660,9 +647,7 @@ fn fission_schedule(
         let externals = group_externals(graph, members);
         let bytes: u64 = externals.iter().map(|&e| stats.bytes(e)).sum();
         let structurally_ok = members.iter().all(|&m| streamable(&graph.nodes[m].kind))
-            && externals
-                .iter()
-                .all(|&e| matches!(graph.nodes[e].kind, OpKind::Input { .. }))
+            && externals.iter().all(|&e| matches!(graph.nodes[e].kind, OpKind::Input { .. }))
             && bytes >= segments as u64 * MIN_SEGMENT_BYTES;
         if !structurally_ok {
             return false;
@@ -671,12 +656,18 @@ fn fission_schedule(
         // of (derated async upload, kernels) plus per-segment latency.
         let kernel_time: f64 = kernels
             .iter()
-            .map(|(p, n)| p.time(&system.spec, &LaunchConfig::for_elements((*n).max(1), &system.spec), *n))
+            .map(|(p, n)| {
+                p.time(&system.spec, &LaunchConfig::for_elements((*n).max(1), &system.spec), *n)
+            })
             .sum();
         let sync_upload: f64 = externals
             .iter()
             .map(|&e| {
-                system.pcie.transfer_time(stats.bytes(e), kfusion_vgpu::Direction::H2D, cfg.mem_kind)
+                system.pcie.transfer_time(
+                    stats.bytes(e),
+                    kfusion_vgpu::Direction::H2D,
+                    cfg.mem_kind,
+                )
             })
             .sum();
         let async_upload: f64 = externals
@@ -721,7 +712,14 @@ fn fission_schedule(
                     let mut p = p.clone();
                     p.name = format!("{}[seg{s}]", p.name);
                     let launch = LaunchConfig::for_elements(seg_n.max(1), &system.spec);
-                    sched.push(stream, Command::kernel(p, launch, seg_n));
+                    let mut cmd = Command::kernel(p, launch, seg_n);
+                    // Declare the segment inputs so the hazard detector can
+                    // prove the kernel runs after its own segment's upload
+                    // (same stream) and never against another stream's.
+                    for &e in &externals {
+                        cmd = cmd.reading(format!("in#{e}[seg{s}]"));
+                    }
+                    sched.push(stream, cmd);
                 }
                 let ev = EventId(next_event);
                 next_event += 1;
@@ -735,8 +733,12 @@ fn fission_schedule(
             for ev in pending_events.drain(..) {
                 sched.push(main, Command::wait(ev));
             }
-            for &e in &group_externals(graph, members) {
-                if matches!(graph.nodes[e].kind, OpKind::Input { .. }) && !h2d_done.contains(&e) {
+            let input_externals: Vec<NodeId> = group_externals(graph, members)
+                .into_iter()
+                .filter(|&e| matches!(graph.nodes[e].kind, OpKind::Input { .. }))
+                .collect();
+            for &e in &input_externals {
+                if !h2d_done.contains(&e) {
                     sched.push(
                         main,
                         Command::h2d(
@@ -750,6 +752,11 @@ fn fission_schedule(
                 }
             }
             for cmd in kernel_cmds(system, kernels) {
+                // Inputs uploaded segment-wise by an earlier pipeline carry
+                // per-segment buffer names; reads of the whole-input name
+                // then have no writer and are skipped by the detector, while
+                // same-stream uploads above are proven ordered.
+                let cmd = input_externals.iter().fold(cmd, |c, &e| c.reading(format!("in#{e}")));
                 sched.push(main, cmd);
             }
         }
@@ -818,8 +825,12 @@ mod tests {
         let s = sys();
         let g = select_chain_graph(3);
         let input = gen::random_keys(1 << 21, 4);
-        let serial = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
-        let fused = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Fusion, &s)).unwrap();
+        let serial =
+            execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s))
+                .unwrap();
+        let fused =
+            execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Fusion, &s))
+                .unwrap();
         assert!(fused.report.total() < serial.report.total());
         assert_eq!(fused.fusion.groups.len(), 1);
     }
@@ -843,7 +854,9 @@ mod tests {
         body.emit_output(expr);
         g.add(OpKind::Arith { body: body.build() }, vec![i]);
         let input = gen::random_keys(1 << 22, 5);
-        let fused = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Fusion, &s)).unwrap();
+        let fused =
+            execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Fusion, &s))
+                .unwrap();
         let both = execute(
             &s,
             &g,
@@ -864,7 +877,9 @@ mod tests {
         let s = sys();
         let g = select_chain_graph(2);
         let input = gen::random_keys(1 << 21, 6);
-        let serial = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
+        let serial =
+            execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s))
+                .unwrap();
         let rt = execute(
             &s,
             &g,
@@ -883,18 +898,14 @@ mod tests {
         for (name, g) in patterns::all() {
             // Build suitable inputs: sorted tables with two payload columns
             // (arith patterns read cols 0 and 1).
-            let n_inputs = g
-                .nodes
-                .iter()
-                .filter(|n| matches!(n.kind, OpKind::Input { .. }))
-                .count();
+            let n_inputs =
+                g.nodes.iter().filter(|n| matches!(n.kind, OpKind::Input { .. })).count();
             let inputs: Vec<Relation> = (0..n_inputs)
                 .map(|k| {
                     let mut t = gen::sorted_table(5000, 2, k as u64);
                     // Make numeric columns f64 for the arith patterns.
-                    t.cols[0] = kfusion_relalg::Column::F64(
-                        (0..5000).map(|i| i as f64 * 0.001).collect(),
-                    );
+                    t.cols[0] =
+                        kfusion_relalg::Column::F64((0..5000).map(|i| i as f64 * 0.001).collect());
                     t.cols[1] = kfusion_relalg::Column::F64(
                         (0..5000).map(|i| (i % 90) as f64 * 0.01).collect(),
                     );
@@ -914,7 +925,9 @@ mod tests {
         let s = sys();
         let g = select_chain_graph(2);
         let input = gen::random_keys(100_000, 3);
-        let r = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
+        let r =
+            execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s))
+                .unwrap();
         // Peak must cover at least input + first intermediate, and at most
         // the sum of everything.
         let input_bytes = input.total_bytes();

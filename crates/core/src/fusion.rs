@@ -100,8 +100,8 @@ pub fn fuse_plan(graph: &PlanGraph, budget: &FusionBudget, level: OptLevel) -> F
                     producer_groups = vec![first];
                 }
             }
-            let all_open = !producer_groups.is_empty()
-                && producer_groups.iter().all(|&g| groups[g].open);
+            let all_open =
+                !producer_groups.is_empty() && producer_groups.iter().all(|&g| groups[g].open);
             if all_open {
                 // Tentative merged membership.
                 let mut members: Vec<NodeId> = producer_groups
@@ -154,7 +154,14 @@ pub fn fuse_plan(graph: &PlanGraph, budget: &FusionBudget, level: OptLevel) -> F
             final_of[m] = Some(gi);
         }
     }
-    FusionPlan { group_of: final_of, groups: final_groups }
+    let plan = FusionPlan { group_of: final_of, groups: final_groups };
+    // Pass sandwich: the legality checker audits every fusion decision. A
+    // failure here is a bug in this pass, not in the caller's plan.
+    #[cfg(feature = "check")]
+    if let Err(e) = crate::check::check_fusion(graph, &plan) {
+        panic!("fuse_plan produced an illegal fusion: {e}");
+    }
+    plan
 }
 
 #[cfg(test)]
@@ -264,9 +271,7 @@ mod tests {
         for k in 0..8 {
             cur = g.add(OpKind::Select { pred: predicates::key_lt(100 + k) }, vec![cur]);
         }
-        let tight = FusionBudget {
-            max_regs_per_thread: kfusion_relalg::profiles::STAGE_REGS + 7,
-        };
+        let tight = FusionBudget { max_regs_per_thread: kfusion_relalg::profiles::STAGE_REGS + 7 };
         let plan = fuse_plan(&g, &tight, OptLevel::O3);
         assert!(plan.groups.len() > 1, "tight budget must split: {:?}", plan.groups);
         let generous = fuse(&g);

@@ -300,22 +300,13 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_arity() {
-        let g = PlanGraph {
-            nodes: vec![Node { kind: OpKind::Join, inputs: vec![] }],
-            root: 0,
-        };
+        let g = PlanGraph { nodes: vec![Node { kind: OpKind::Join, inputs: vec![] }], root: 0 };
         assert!(matches!(g.validate(), Err(GraphError::Arity { .. })));
     }
 
     #[test]
     fn validate_catches_forward_edge() {
-        let g = PlanGraph {
-            nodes: vec![Node {
-                kind: OpKind::Unique,
-                inputs: vec![0],
-            }],
-            root: 0,
-        };
+        let g = PlanGraph { nodes: vec![Node { kind: OpKind::Unique, inputs: vec![0] }], root: 0 };
         assert!(matches!(g.validate(), Err(GraphError::ForwardEdge { .. })));
     }
 

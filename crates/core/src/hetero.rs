@@ -34,7 +34,8 @@ pub fn run_hetero(
     cpu_fraction: f64,
 ) -> Result<Report, CoreError> {
     let cards = chain.cardinalities()?;
-    let cpu_segments = ((segments as f64 * cpu_fraction.clamp(0.0, 1.0)).round() as u32).min(segments);
+    let cpu_segments =
+        ((segments as f64 * cpu_fraction.clamp(0.0, 1.0)).round() as u32).min(segments);
     let gpu_segments = segments - cpu_segments;
     let scale = 1.0 / segments as f64;
 
@@ -66,11 +67,8 @@ pub fn run_hetero(
             let in_elems = ((cards[stage] as f64) * scale).round() as u64;
             let out_stage = stage + run.len();
             let out_elems = ((cards[out_stage] as f64) * scale).round() as u64;
-            let sel = if cards[stage] == 0 {
-                0.0
-            } else {
-                cards[out_stage] as f64 / cards[stage] as f64
-            };
+            let sel =
+                if cards[stage] == 0 { 0.0 } else { cards[out_stage] as f64 / cards[stage] as f64 };
             let fused_pred = fuse_predicate_chain(run);
             let filter = profiles::select_filter(
                 format!("fused_filter{r}[g{s}]"),
@@ -81,12 +79,20 @@ pub fn run_hetero(
             );
             sched.push(
                 stream,
-                Command::kernel(filter, LaunchConfig::for_elements(in_elems.max(1), &system.spec), in_elems),
+                Command::kernel(
+                    filter,
+                    LaunchConfig::for_elements(in_elems.max(1), &system.spec),
+                    in_elems,
+                ),
             );
             let gather = profiles::select_gather(format!("fused_gather{r}[g{s}]"), chain.row_bytes);
             sched.push(
                 stream,
-                Command::kernel(gather, LaunchConfig::for_elements(out_elems.max(1), &system.spec), out_elems),
+                Command::kernel(
+                    gather,
+                    LaunchConfig::for_elements(out_elems.max(1), &system.spec),
+                    out_elems,
+                ),
             );
             stage = out_stage;
         }
@@ -105,7 +111,8 @@ pub fn run_hetero(
     // own rate (one pass; the CPU implementation needs no separate gather),
     // then appends its results to the output buffer like the CPU-side
     // gather of §IV-C.
-    let cpu_launch = LaunchConfig { ctas: cpu.sm_count * cpu.max_threads_per_sm, threads_per_cta: 1 };
+    let cpu_launch =
+        LaunchConfig { ctas: cpu.sm_count * cpu.max_threads_per_sm, threads_per_cta: 1 };
     for s in 0..cpu_segments {
         // The host runs the chain stage by stage (fusing on the CPU shares
         // the scan but still evaluates each predicate on the survivors).
@@ -119,10 +126,7 @@ pub fn run_hetero(
         sched.push(host_stream, Command::host_work(format!("cpu_fused[c{s}]"), t));
         sched.push(
             host_stream,
-            Command::host_work(
-                format!("cpu_gather[c{s}]"),
-                bytes(seg_out) as f64 / CPU_GATHER_BW,
-            ),
+            Command::host_work(format!("cpu_gather[c{s}]"), bytes(seg_out) as f64 / CPU_GATHER_BW),
         );
     }
 

@@ -40,6 +40,7 @@
 //! assert!(fused.total() < serial.total());
 //! ```
 
+pub mod check;
 pub mod cost;
 pub mod deps;
 pub mod exec;
@@ -66,6 +67,8 @@ pub enum CoreError {
     Sim(kfusion_vgpu::SimError),
     /// The plan graph is structurally invalid.
     Graph(graph::GraphError),
+    /// The static checker rejected the plan or its fusion.
+    Check(check::CheckError),
     /// Strategy/plan combination the executor does not support.
     Unsupported(String),
 }
@@ -76,6 +79,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Rel(e) => write!(f, "relational operator failed: {e}"),
             CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
             CoreError::Graph(e) => write!(f, "invalid plan graph: {e}"),
+            CoreError::Check(e) => write!(f, "plan rejected by static checker: {e}"),
             CoreError::Unsupported(s) => write!(f, "unsupported: {s}"),
         }
     }
@@ -98,5 +102,17 @@ impl From<kfusion_vgpu::SimError> for CoreError {
 impl From<graph::GraphError> for CoreError {
     fn from(e: graph::GraphError) -> Self {
         CoreError::Graph(e)
+    }
+}
+
+impl From<check::CheckError> for CoreError {
+    fn from(e: check::CheckError) -> Self {
+        CoreError::Check(e)
+    }
+}
+
+impl From<check::PlanCheckError> for CoreError {
+    fn from(e: check::PlanCheckError) -> Self {
+        CoreError::Check(check::CheckError::Plan(e))
     }
 }

@@ -23,9 +23,7 @@ use kfusion_ir::opt::OptLevel;
 use kfusion_ir::KernelBody;
 use kfusion_relalg::profiles;
 use kfusion_relalg::{gen, ops, Relation};
-use kfusion_vgpu::{
-    Command, CommandClass, GpuSystem, HostMemKind, LaunchConfig, Schedule,
-};
+use kfusion_vgpu::{Command, CommandClass, GpuSystem, HostMemKind, LaunchConfig, Schedule};
 
 /// Where cardinalities come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,15 +90,9 @@ impl SelectChain {
             // Odd multipliers derived from the golden ratio, kept small so
             // the product stays within i64.
             let c = (0x9E37_79B9u64.wrapping_mul(2 * i as u64 + 1) & 0xF_FFFF) | 1;
-            Expr::input(0)
-                .mul(Expr::lit(c as i64))
-                .and(Expr::lit(0xFFFF_FFFFi64))
+            Expr::input(0).mul(Expr::lit(c as i64)).and(Expr::lit(0xFFFF_FFFFi64))
         };
-        b.emit_output(Expr::select(
-            hashed.lt(Expr::lit(t)),
-            Expr::lit(true),
-            Expr::lit(false),
-        ));
+        b.emit_output(Expr::select(hashed.lt(Expr::lit(t)), Expr::lit(true), Expr::lit(false)));
         b.build()
     }
 
@@ -180,7 +172,11 @@ pub const CPU_GATHER_BW: f64 = 4.0e9;
 /// Execute `chain` under `strategy` on `system`, returning the simulated
 /// report. In `Real` mode the relations are actually filtered (and the
 /// measured cardinalities drive the command stream).
-pub fn run(system: &GpuSystem, chain: &SelectChain, strategy: Strategy) -> Result<Report, CoreError> {
+pub fn run(
+    system: &GpuSystem,
+    chain: &SelectChain,
+    strategy: Strategy,
+) -> Result<Report, CoreError> {
     let cards = chain.cardinalities()?;
     run_with_cards(system, chain, strategy, &cards)
 }
@@ -238,11 +234,7 @@ pub fn run_cpu(cpu: &kfusion_vgpu::DeviceSpec, chain: &SelectChain) -> Result<Re
         });
         total += t;
     }
-    Ok(Report::new(
-        kfusion_vgpu::Timeline { spans },
-        chain.n,
-        chain.n as f64 * chain.row_bytes,
-    ))
+    Ok(Report::new(kfusion_vgpu::Timeline { spans }, chain.n, chain.n as f64 * chain.row_bytes))
 }
 
 fn stage_sel(cards: &[u64], i: usize) -> f64 {
@@ -299,11 +291,8 @@ fn emit_fused_kernels(
         let in_elems = ((cards[stage] as f64) * scale).round() as u64;
         let out_stage = stage + run.len();
         let out_elems = ((cards[out_stage] as f64) * scale).round() as u64;
-        let sel = if cards[stage] == 0 {
-            0.0
-        } else {
-            cards[out_stage] as f64 / cards[stage] as f64
-        };
+        let sel =
+            if cards[stage] == 0 { 0.0 } else { cards[out_stage] as f64 / cards[stage] as f64 };
         let fused_pred = fuse_predicate_chain(run);
         let filter = profiles::select_filter(
             format!("fused_filter{r}{tag}"),
@@ -333,7 +322,8 @@ fn build_schedule(
         Strategy::WithRoundTrip => {
             let mut cmds = Vec::new();
             for i in 0..k {
-                let class_in = if i == 0 { CommandClass::InputOutput } else { CommandClass::RoundTrip };
+                let class_in =
+                    if i == 0 { CommandClass::InputOutput } else { CommandClass::RoundTrip };
                 cmds.push(Command::h2d(
                     format!("in{i}"),
                     class_in,
@@ -341,7 +331,8 @@ fn build_schedule(
                     HostMemKind::Paged,
                 ));
                 emit_stage_kernels(&mut cmds, system, chain, cards, i, 1.0, "");
-                let class_out = if i == k - 1 { CommandClass::InputOutput } else { CommandClass::RoundTrip };
+                let class_out =
+                    if i == k - 1 { CommandClass::InputOutput } else { CommandClass::RoundTrip };
                 cmds.push(Command::d2h(
                     format!("out{i}"),
                     class_out,
@@ -383,9 +374,7 @@ fn build_schedule(
             ));
             Schedule::serial(cmds)
         }
-        Strategy::Fission { segments } => {
-            pipelined_schedule(system, chain, cards, segments, false)
-        }
+        Strategy::Fission { segments } => pipelined_schedule(system, chain, cards, segments, false),
         Strategy::FusedFission { segments } => {
             pipelined_schedule(system, chain, cards, segments, true)
         }
@@ -483,10 +472,7 @@ fn pipelined_schedule(
         sched.push(host_stream, Command::wait(ev));
         sched.push(
             host_stream,
-            Command::host_work(
-                format!("cpu_gather{tag}"),
-                seg_out_bytes as f64 / CPU_GATHER_BW,
-            ),
+            Command::host_work(format!("cpu_gather{tag}"), seg_out_bytes as f64 / CPU_GATHER_BW),
         );
     }
     sched
@@ -562,7 +548,8 @@ pub fn run_concurrent(
             for cmd in mk_cmds(n / 2, cards[1] / 2, true, "[A]", HostMemKind::Pinned) {
                 sched.push(a, cmd);
             }
-            for cmd in mk_cmds(n - n / 2, cards[1] - cards[1] / 2, true, "[B]", HostMemKind::Pinned) {
+            for cmd in mk_cmds(n - n / 2, cards[1] - cards[1] / 2, true, "[B]", HostMemKind::Pinned)
+            {
                 sched.push(b, cmd);
             }
             sched
@@ -619,7 +606,12 @@ mod tests {
         let with_rt = run_with_cards(&s, &chain, Strategy::WithRoundTrip, &cards).unwrap();
         let without = run_with_cards(&s, &chain, Strategy::WithoutRoundTrip, &cards).unwrap();
         let fused = run_with_cards(&s, &chain, Strategy::Fused, &cards).unwrap();
-        assert!(fused.total() < without.total(), "fused {} vs without {}", fused.total(), without.total());
+        assert!(
+            fused.total() < without.total(),
+            "fused {} vs without {}",
+            fused.total(),
+            without.total()
+        );
         assert!(without.total() < with_rt.total());
     }
 
@@ -651,7 +643,8 @@ mod tests {
         let s = sys();
         let cards = chain.cardinalities().unwrap();
         let serial = run_with_cards(&s, &chain, Strategy::WithRoundTrip, &cards).unwrap();
-        let fission = run_with_cards(&s, &chain, Strategy::Fission { segments: 32 }, &cards).unwrap();
+        let fission =
+            run_with_cards(&s, &chain, Strategy::Fission { segments: 32 }, &cards).unwrap();
         assert!(
             fission.total() < serial.total(),
             "fission {} vs serial {}",
@@ -668,10 +661,17 @@ mod tests {
         let cards = chain.cardinalities().unwrap();
         let serial = run_with_cards(&s, &chain, Strategy::WithRoundTrip, &cards).unwrap();
         let fused = run_with_cards(&s, &chain, Strategy::Fused, &cards).unwrap();
-        let fission = run_with_cards(&s, &chain, Strategy::Fission { segments: 32 }, &cards).unwrap();
-        let both = run_with_cards(&s, &chain, Strategy::FusedFission { segments: 32 }, &cards).unwrap();
+        let fission =
+            run_with_cards(&s, &chain, Strategy::Fission { segments: 32 }, &cards).unwrap();
+        let both =
+            run_with_cards(&s, &chain, Strategy::FusedFission { segments: 32 }, &cards).unwrap();
         assert!(fused.total() < serial.total());
-        assert!(fission.total() < fused.total(), "fission {} vs fused {}", fission.total(), fused.total());
+        assert!(
+            fission.total() < fused.total(),
+            "fission {} vs fused {}",
+            fission.total(),
+            fused.total()
+        );
         // Both pipelines are transfer-bound at this size; fusing the kernels
         // inside the pipeline must never hurt, and usually shaves a little.
         assert!(

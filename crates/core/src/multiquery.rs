@@ -37,13 +37,10 @@ pub fn merge_plans(plans: &[PlanGraph]) -> MergedPlan {
         let mut remap: Vec<NodeId> = Vec::with_capacity(plan.len());
         for node in &plan.nodes {
             let id = match &node.kind {
-                OpKind::Input { input } => *shared_inputs
-                    .entry(*input)
-                    .or_insert_with(|| graph.input(*input)),
-                kind => graph.add(
-                    kind.clone(),
-                    node.inputs.iter().map(|&i| remap[i]).collect(),
-                ),
+                OpKind::Input { input } => {
+                    *shared_inputs.entry(*input).or_insert_with(|| graph.input(*input))
+                }
+                kind => graph.add(kind.clone(), node.inputs.iter().map(|&i| remap[i]).collect()),
             };
             remap.push(id);
         }
@@ -115,12 +112,8 @@ mod tests {
     #[test]
     fn merge_shares_input_leaves() {
         let merged = merge_plans(&[query(&[100]), query(&[200])]);
-        let inputs = merged
-            .graph
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.kind, OpKind::Input { .. }))
-            .count();
+        let inputs =
+            merged.graph.nodes.iter().filter(|n| matches!(n.kind, OpKind::Input { .. })).count();
         assert_eq!(inputs, 1, "same input index must merge");
         assert_eq!(merged.roots.len(), 2);
         assert!(merged.graph.validate().is_ok());
@@ -132,12 +125,8 @@ mod tests {
         let i = q2.input(1);
         q2.add(OpKind::Select { pred: predicates::key_lt(5) }, vec![i]);
         let merged = merge_plans(&[query(&[100]), q2]);
-        let inputs = merged
-            .graph
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.kind, OpKind::Input { .. }))
-            .count();
+        let inputs =
+            merged.graph.nodes.iter().filter(|n| matches!(n.kind, OpKind::Input { .. })).count();
         assert_eq!(inputs, 2);
     }
 

@@ -22,7 +22,9 @@ use crate::graph::{OpKind, PlanGraph};
 /// Render `graph` as DOT. With a [`FusionPlan`], members of each fused
 /// group sit inside one `cluster_<g>` subgraph labelled `kernel <g>`.
 pub fn to_dot(graph: &PlanGraph, fusion: Option<&FusionPlan>) -> String {
-    let mut out = String::from("digraph plan {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph plan {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     let label = |id: usize| -> String {
         let kind = &graph.nodes[id].kind;
         match kind {
@@ -106,10 +108,7 @@ mod tests {
         let dot = to_dot(&g, Some(&plan));
         // The barrier renders as a bare node, not inside a cluster: its
         // line is indented two spaces (cluster members get four).
-        let sort_line = dot
-            .lines()
-            .find(|l| l.contains("SORT"))
-            .expect("sort node present");
+        let sort_line = dot.lines().find(|l| l.contains("SORT")).expect("sort node present");
         assert!(sort_line.starts_with("  n"), "{sort_line}");
     }
 

@@ -22,9 +22,7 @@ pub struct TableSchema {
 impl TableSchema {
     /// A schema from `(name, type)` pairs.
     pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = (S, ColType)>) -> Self {
-        TableSchema {
-            columns: columns.into_iter().map(|(n, t)| (n.into(), t)).collect(),
-        }
+        TableSchema { columns: columns.into_iter().map(|(n, t)| (n.into(), t)).collect() }
     }
 
     /// Number of payload columns.
@@ -39,10 +37,7 @@ impl TableSchema {
 
     /// Index and type of a named column.
     pub fn column(&self, name: &str) -> Option<(usize, ColType)> {
-        self.columns
-            .iter()
-            .position(|(n, _)| n == name)
-            .map(|i| (i, self.columns[i].1))
+        self.columns.iter().position(|(n, _)| n == name).map(|i| (i, self.columns[i].1))
     }
 
     /// Column names in order.

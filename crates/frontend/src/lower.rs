@@ -127,18 +127,13 @@ fn lower_expr(e: &Expr, schema: &TableSchema, want: ETy) -> Result<IrExpr, Lower
     let base = match e {
         Expr::Key => IrExpr::input(0),
         Expr::Column(name) => {
-            let (idx, _) = schema
-                .column(name)
-                .ok_or_else(|| LowerError::UnknownColumn(name.clone()))?;
+            let (idx, _) =
+                schema.column(name).ok_or_else(|| LowerError::UnknownColumn(name.clone()))?;
             IrExpr::input(idx as u32 + 1)
         }
         Expr::Int(v) => {
             // Literals lower directly at the wanted type.
-            return Ok(if want == ETy::F64 {
-                IrExpr::lit(*v as f64)
-            } else {
-                IrExpr::lit(*v)
-            });
+            return Ok(if want == ETy::F64 { IrExpr::lit(*v as f64) } else { IrExpr::lit(*v) });
         }
         Expr::Float(v) => IrExpr::lit(*v),
         Expr::Binary { op, lhs, rhs } => {
@@ -158,11 +153,7 @@ fn lower_expr(e: &Expr, schema: &TableSchema, want: ETy) -> Result<IrExpr, Lower
         }
     };
     // Column/KEY reads: cast i64 sources into float contexts.
-    Ok(if want == ETy::F64 && own != ETy::F64 {
-        base.cast(Ty::F64)
-    } else {
-        base
-    })
+    Ok(if want == ETy::F64 && own != ETy::F64 { base.cast(Ty::F64) } else { base })
 }
 
 fn lower_predicate(
@@ -187,9 +178,8 @@ fn lower_predicate(
 
 /// Lower a parsed query against `catalog`.
 pub fn lower(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, LowerError> {
-    let schema = catalog
-        .table(&query.table)
-        .ok_or_else(|| LowerError::UnknownTable(query.table.clone()))?;
+    let schema =
+        catalog.table(&query.table).ok_or_else(|| LowerError::UnknownTable(query.table.clone()))?;
     let mut plan = PlanGraph::new();
     let mut cur = plan.input(0);
 
@@ -217,10 +207,7 @@ pub fn lower(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, LowerErr
             let col = match arg {
                 None => usize::MAX, // COUNT(*) takes no column
                 Some(Expr::Column(name)) => {
-                    schema
-                        .column(name)
-                        .ok_or_else(|| LowerError::UnknownColumn(name.clone()))?
-                        .0
+                    schema.column(name).ok_or_else(|| LowerError::UnknownColumn(name.clone()))?.0
                 }
                 Some(expr) => {
                     let want = expr_ty(expr, schema)?;
@@ -339,11 +326,9 @@ mod tests {
 
     #[test]
     fn where_conjuncts_become_select_chain() {
-        let q = compile(
-            "SELECT price FROM lineitem WHERE shipdate < 1000 AND qty < 24",
-            &catalog(),
-        )
-        .unwrap();
+        let q =
+            compile("SELECT price FROM lineitem WHERE shipdate < 1000 AND qty < 24", &catalog())
+                .unwrap();
         assert_eq!(kinds(&q.plan), vec!["INPUT", "SELECT", "SELECT", "PROJECT"]);
         assert_eq!(q.output_names, vec!["price"]);
     }
@@ -373,8 +358,8 @@ mod tests {
 
     #[test]
     fn group_by_key_uses_grouped_aggregate() {
-        let q = compile("SELECT SUM(price), COUNT(*) FROM lineitem GROUP BY KEY", &catalog())
-            .unwrap();
+        let q =
+            compile("SELECT SUM(price), COUNT(*) FROM lineitem GROUP BY KEY", &catalog()).unwrap();
         assert!(kinds(&q.plan).contains(&"AGGREGATE"));
         assert!(!kinds(&q.plan).contains(&"AGGREGATE*"));
     }

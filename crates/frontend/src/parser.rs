@@ -354,10 +354,7 @@ mod tests {
     #[test]
     fn unary_minus() {
         let q = parse("SELECT -a FROM t WHERE b < -5").unwrap();
-        assert!(matches!(
-            &q.items[0],
-            Item::Expr { expr: Expr::Neg(_), .. }
-        ));
+        assert!(matches!(&q.items[0], Item::Expr { expr: Expr::Neg(_), .. }));
         assert_eq!(q.predicates[0].rhs, Expr::Neg(Box::new(Expr::Int(5))));
     }
 }

@@ -290,9 +290,6 @@ mod tests {
 
     #[test]
     fn underscored_identifiers() {
-        assert_eq!(
-            kinds("l_extendedprice")[0],
-            TokenKind::Ident("l_extendedprice".into())
-        );
+        assert_eq!(kinds("l_extendedprice")[0], TokenKind::Ident("l_extendedprice".into()));
     }
 }

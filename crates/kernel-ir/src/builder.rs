@@ -233,11 +233,7 @@ mod tests {
         let mut b = BodyBuilder::new(1);
         b.emit_output(Expr::input(0).add(Expr::input(0)));
         let body = b.build();
-        let loads = body
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, Instr::LoadInput { .. }))
-            .count();
+        let loads = body.instrs.iter().filter(|i| matches!(i, Instr::LoadInput { .. })).count();
         assert_eq!(loads, 2);
     }
 

@@ -82,10 +82,7 @@ mod tests {
         // ((in+1)+1)+1: at any point at most 2 regs live.
         let mut b = BodyBuilder::new(1);
         b.emit_output(
-            Expr::input(0)
-                .add(Expr::lit(1i64))
-                .add(Expr::lit(1i64))
-                .add(Expr::lit(1i64)),
+            Expr::input(0).add(Expr::lit(1i64)).add(Expr::lit(1i64)).add(Expr::lit(1i64)),
         );
         let p = register_pressure(&b.build());
         assert!(p <= 3, "chain pressure was {p}");
@@ -97,10 +94,8 @@ mod tests {
         // innermost add executes, keeping all six live simultaneously.
         let mut b = BodyBuilder::new(6);
         let e = Expr::input(0).add(
-            Expr::input(1).add(
-                Expr::input(2)
-                    .add(Expr::input(3).add(Expr::input(4).add(Expr::input(5)))),
-            ),
+            Expr::input(1)
+                .add(Expr::input(2).add(Expr::input(3).add(Expr::input(4).add(Expr::input(5))))),
         );
         b.emit_output(e);
         let wide = register_pressure(&b.build());
@@ -121,9 +116,7 @@ mod tests {
     #[test]
     fn fused_chain_pressure_bounded() {
         use crate::fuse::fuse_predicate_chain;
-        let preds: Vec<_> = (0..8)
-            .map(|k| BodyBuilder::threshold_lt(0, 100 + k).build())
-            .collect();
+        let preds: Vec<_> = (0..8).map(|k| BodyBuilder::threshold_lt(0, 100 + k).build()).collect();
         let fused = fuse_predicate_chain(&preds);
         // Naive fused body holds every predicate result live until the ANDs;
         // pressure must reflect that (this is the paper's fusion limit).

@@ -67,6 +67,14 @@ pub enum FuseError {
         /// Requested output slot.
         output: usize,
     },
+    /// The fused body failed verification (rendered diagnostic attached).
+    /// With the `check` feature, every fusion result is verified — a wiring
+    /// that connects a producer output to a consumer slot of a different
+    /// type surfaces here instead of as a runtime interpreter error.
+    Invalid {
+        /// The rendered [`crate::verify::VerifyError`] diagnostic.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for FuseError {
@@ -83,6 +91,9 @@ impl std::fmt::Display for FuseError {
             }
             FuseError::NoSuchOutput { body, output } => {
                 write!(f, "body {body} has no output {output}")
+            }
+            FuseError::Invalid { detail } => {
+                write!(f, "fused body failed verification: {detail}")
             }
         }
     }
@@ -157,6 +168,13 @@ pub fn fuse(
             .ok_or(FuseError::NoSuchOutput { body: fo.body, output: fo.output })?;
         fused.outputs.push(reg);
     }
+    // With the `check` feature (default-on), a malformed or ill-typed splice
+    // is a real error in every build profile, not a debug-only assert.
+    #[cfg(feature = "check")]
+    if let Err(e) = crate::verify::verify(&fused) {
+        return Err(FuseError::Invalid { detail: e.render(&fused) });
+    }
+    #[cfg(not(feature = "check"))]
     debug_assert!(fused.validate().is_ok());
     Ok(fused)
 }
@@ -173,10 +191,8 @@ pub fn fuse(
 /// If `preds` is empty.
 pub fn fuse_predicate_chain(preds: &[KernelBody]) -> KernelBody {
     assert!(!preds.is_empty(), "cannot fuse an empty predicate chain");
-    let wiring: Vec<Vec<SlotSource>> = preds
-        .iter()
-        .map(|p| (0..p.n_inputs).map(SlotSource::External).collect())
-        .collect();
+    let wiring: Vec<Vec<SlotSource>> =
+        preds.iter().map(|p| (0..p.n_inputs).map(SlotSource::External).collect()).collect();
     // Splice all bodies, exposing every predicate output, then AND them.
     let outputs: Vec<FusedOutput> =
         (0..preds.len()).map(|b| FusedOutput { body: b, output: 0 }).collect();
@@ -246,10 +262,7 @@ mod tests {
         let b = BodyBuilder::threshold_lt(0, 70).build();
         let separate_o3 = instruction_count(&optimize(&a, OptLevel::O3))
             + instruction_count(&optimize(&b, OptLevel::O3));
-        let fused_o3 = instruction_count(&optimize(
-            &fuse_predicate_chain(&[a, b]),
-            OptLevel::O3,
-        ));
+        let fused_o3 = instruction_count(&optimize(&fuse_predicate_chain(&[a, b]), OptLevel::O3));
         assert!(
             fused_o3 < separate_o3,
             "fused O3 {fused_o3} should beat separate O3 {separate_o3}"
@@ -259,19 +272,13 @@ mod tests {
     #[test]
     fn wiring_arity_checked() {
         let a = BodyBuilder::threshold_lt(0, 1).build();
-        assert!(matches!(
-            fuse(&[a], &[], &[]),
-            Err(FuseError::WiringArity { .. })
-        ));
+        assert!(matches!(fuse(&[a], &[], &[]), Err(FuseError::WiringArity { .. })));
     }
 
     #[test]
     fn slot_arity_checked() {
         let a = BodyBuilder::threshold_lt(0, 1).build();
-        assert!(matches!(
-            fuse(&[a], &[vec![]], &[]),
-            Err(FuseError::SlotArity { .. })
-        ));
+        assert!(matches!(fuse(&[a], &[vec![]], &[]), Err(FuseError::SlotArity { .. })));
     }
 
     #[test]
@@ -280,10 +287,7 @@ mod tests {
         let b = BodyBuilder::threshold_lt(0, 2).build();
         let err = fuse(
             &[a, b],
-            &[
-                vec![SlotSource::Producer { body: 1, output: 0 }],
-                vec![SlotSource::External(0)],
-            ],
+            &[vec![SlotSource::Producer { body: 1, output: 0 }], vec![SlotSource::External(0)]],
             &[],
         );
         assert!(matches!(err, Err(FuseError::ProducerNotEarlier { .. })));
@@ -292,20 +296,15 @@ mod tests {
     #[test]
     fn missing_output_rejected() {
         let a = BodyBuilder::threshold_lt(0, 1).build();
-        let err = fuse(
-            &[a],
-            &[vec![SlotSource::External(0)]],
-            &[FusedOutput { body: 0, output: 5 }],
-        );
+        let err =
+            fuse(&[a], &[vec![SlotSource::External(0)]], &[FusedOutput { body: 0, output: 5 }]);
         assert!(matches!(err, Err(FuseError::NoSuchOutput { .. })));
     }
 
     #[test]
     fn three_way_chain() {
-        let preds: Vec<KernelBody> = [100, 70, 85]
-            .iter()
-            .map(|&t| BodyBuilder::threshold_lt(0, t).build())
-            .collect();
+        let preds: Vec<KernelBody> =
+            [100, 70, 85].iter().map(|&t| BodyBuilder::threshold_lt(0, t).build()).collect();
         let fused = fuse_predicate_chain(&preds);
         let o3 = optimize(&fused, OptLevel::O3);
         // All three collapse to a single compare against 70.

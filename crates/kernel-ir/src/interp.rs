@@ -169,7 +169,11 @@ impl Machine {
     }
 
     /// Run a single-output boolean predicate body.
-    pub fn run_predicate(&mut self, body: &KernelBody, inputs: &[Value]) -> Result<bool, EvalError> {
+    pub fn run_predicate(
+        &mut self,
+        body: &KernelBody,
+        inputs: &[Value],
+    ) -> Result<bool, EvalError> {
         self.run_output(body, inputs, 0)?
             .as_bool()
             .ok_or(EvalError::TypeMismatch { what: "predicate output" })
@@ -179,21 +183,19 @@ impl Machine {
 fn eval_into(body: &KernelBody, inputs: &[Value], regs: &mut Vec<Value>) -> Result<(), EvalError> {
     for instr in &body.instrs {
         let v = match *instr {
-            Instr::LoadInput { slot } => *inputs
-                .get(slot as usize)
-                .ok_or(EvalError::MissingInput { slot })?,
+            Instr::LoadInput { slot } => {
+                *inputs.get(slot as usize).ok_or(EvalError::MissingInput { slot })?
+            }
             Instr::Const { value } => value,
             Instr::Copy { src } => regs[src as usize],
             Instr::Bin { op, lhs, rhs } => eval_bin(op, regs[lhs as usize], regs[rhs as usize])?,
             Instr::Un { op, arg } => eval_un(op, regs[arg as usize])?,
             Instr::Cmp { op, lhs, rhs } => eval_cmp(op, regs[lhs as usize], regs[rhs as usize])?,
-            Instr::Select { cond, then_r, else_r } => {
-                match regs[cond as usize] {
-                    Value::Bool(true) => regs[then_r as usize],
-                    Value::Bool(false) => regs[else_r as usize],
-                    _ => return Err(EvalError::TypeMismatch { what: "select condition" }),
-                }
-            }
+            Instr::Select { cond, then_r, else_r } => match regs[cond as usize] {
+                Value::Bool(true) => regs[then_r as usize],
+                Value::Bool(false) => regs[else_r as usize],
+                _ => return Err(EvalError::TypeMismatch { what: "select condition" }),
+            },
             Instr::Cast { ty, arg } => eval_cast(ty, regs[arg as usize])?,
         };
         regs.push(v);
@@ -213,9 +215,7 @@ pub fn eval(body: &KernelBody, inputs: &[Value]) -> Result<Vec<Value>, EvalError
 /// Run a single-output boolean body (a predicate) on one element.
 pub fn eval_predicate(body: &KernelBody, inputs: &[Value]) -> Result<bool, EvalError> {
     let out = eval(body, inputs)?;
-    out.first()
-        .and_then(Value::as_bool)
-        .ok_or(EvalError::TypeMismatch { what: "predicate output" })
+    out.first().and_then(Value::as_bool).ok_or(EvalError::TypeMismatch { what: "predicate output" })
 }
 
 #[cfg(test)]
@@ -226,9 +226,7 @@ mod tests {
     #[test]
     fn integer_wrapping_semantics() {
         assert_eq!(
-            eval_bin(BinOp::Add, Value::I64(i64::MAX), Value::I64(1))
-                .unwrap()
-                .as_i64(),
+            eval_bin(BinOp::Add, Value::I64(i64::MAX), Value::I64(1)).unwrap().as_i64(),
             Some(i64::MIN)
         );
     }
@@ -242,9 +240,7 @@ mod tests {
     #[test]
     fn int_min_div_neg_one_does_not_trap() {
         assert_eq!(
-            eval_bin(BinOp::Div, Value::I64(i64::MIN), Value::I64(-1))
-                .unwrap()
-                .as_i64(),
+            eval_bin(BinOp::Div, Value::I64(i64::MIN), Value::I64(-1)).unwrap().as_i64(),
             Some(i64::MIN)
         );
     }
@@ -296,10 +292,7 @@ mod tests {
     #[test]
     fn missing_input_is_reported() {
         let body = BodyBuilder::threshold_lt(2, 10).build();
-        assert!(matches!(
-            eval(&body, &[Value::I64(0)]),
-            Err(EvalError::MissingInput { slot: 2 })
-        ));
+        assert!(matches!(eval(&body, &[Value::I64(0)]), Err(EvalError::MissingInput { slot: 2 })));
     }
 
     #[test]
@@ -321,10 +314,7 @@ mod tests {
         let b = b.build();
         let mut m = Machine::new();
         assert!(m.run_predicate(&a, &[Value::I64(5)]).unwrap());
-        assert_eq!(
-            m.run_output(&b, &[Value::I64(7)], 0).unwrap().as_i64(),
-            Some(21)
-        );
+        assert_eq!(m.run_output(&b, &[Value::I64(7)], 0).unwrap().as_i64(), Some(21));
         assert!(!m.run_predicate(&a, &[Value::I64(50)]).unwrap());
     }
 

@@ -352,10 +352,7 @@ mod tests {
     fn validate_rejects_self_reference() {
         let mut b = KernelBody::new(0);
         b.push(Instr::Copy { src: 0 });
-        assert!(matches!(
-            b.validate(),
-            Err(IrError::ForwardReference { instr: 0, operand: 0 })
-        ));
+        assert!(matches!(b.validate(), Err(IrError::ForwardReference { instr: 0, operand: 0 })));
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub mod ir;
 pub mod opt;
 pub mod text;
 pub mod value;
+pub mod verify;
 
 pub use ir::{BinOp, CmpOp, Instr, KernelBody, Reg, UnOp};
 pub use value::{Ty, Value};
+pub use verify::VerifyError;

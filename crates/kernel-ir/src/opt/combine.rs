@@ -31,14 +31,10 @@ pub fn combine(body: &mut KernelBody) -> bool {
                     combine_and(body, lhs, rhs)
                 }
             }
-            Instr::Bin { op: BinOp::Or, lhs, rhs } if lhs == rhs => {
-                Some(Instr::Copy { src: lhs })
-            }
+            Instr::Bin { op: BinOp::Or, lhs, rhs } if lhs == rhs => Some(Instr::Copy { src: lhs }),
             // !(a cmp b)  ==>  a !cmp b
             Instr::Un { op: UnOp::Not, arg } => match body.instrs[arg as usize] {
-                Instr::Cmp { op, lhs, rhs } => {
-                    Some(Instr::Cmp { op: op.negated(), lhs, rhs })
-                }
+                Instr::Cmp { op, lhs, rhs } => Some(Instr::Cmp { op: op.negated(), lhs, rhs }),
                 _ => None,
             },
             // select(c, true, false) ==> c ; select(c, false, true) ==> !c
@@ -229,10 +225,7 @@ mod tests {
         b.emit_output(Expr::input(0).lt(Expr::lit(5i64)).not());
         let body = b.build();
         let o3 = optimize(&body, OptLevel::O3);
-        let has_ge = o3
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::Cmp { op: CmpOp::Ge, .. }));
+        let has_ge = o3.instrs.iter().any(|i| matches!(i, Instr::Cmp { op: CmpOp::Ge, .. }));
         assert!(has_ge, "{o3}");
         check_equiv(&body, &o3, &[4, 5, 6]);
     }
@@ -240,11 +233,7 @@ mod tests {
     #[test]
     fn contradictory_equalities_fold_to_false() {
         let mut b = BodyBuilder::new(1);
-        b.emit_output(
-            Expr::input(0)
-                .eq(Expr::lit(3i64))
-                .and(Expr::input(0).eq(Expr::lit(4i64))),
-        );
+        b.emit_output(Expr::input(0).eq(Expr::lit(3i64)).and(Expr::input(0).eq(Expr::lit(4i64))));
         let body = b.build();
         let o3 = optimize(&body, OptLevel::O3);
         assert_eq!(o3.instrs.len(), 1, "{o3}");
@@ -254,11 +243,7 @@ mod tests {
     #[test]
     fn eq_inside_range_keeps_eq() {
         let mut b = BodyBuilder::new(1);
-        b.emit_output(
-            Expr::input(0)
-                .eq(Expr::lit(3i64))
-                .and(Expr::input(0).lt(Expr::lit(10i64))),
-        );
+        b.emit_output(Expr::input(0).eq(Expr::lit(3i64)).and(Expr::input(0).lt(Expr::lit(10i64))));
         let body = b.build();
         let o3 = optimize(&body, OptLevel::O3);
         let cmps = o3.instrs.iter().filter(|i| matches!(i, Instr::Cmp { .. })).count();
@@ -272,11 +257,7 @@ mod tests {
         // are equal on integers, but the pass reasons conservatively by
         // constant comparison: keep (x <= 4) when 4 < 5? Verify semantics.
         let mut b = BodyBuilder::new(1);
-        b.emit_output(
-            Expr::input(0)
-                .lt(Expr::lit(5i64))
-                .and(Expr::input(0).le(Expr::lit(4i64))),
-        );
+        b.emit_output(Expr::input(0).lt(Expr::lit(5i64)).and(Expr::input(0).le(Expr::lit(4i64))));
         let body = b.build();
         let o3 = optimize(&body, OptLevel::O3);
         check_equiv(&body, &o3, &[3, 4, 5, 6]);
@@ -285,11 +266,7 @@ mod tests {
     #[test]
     fn different_subjects_do_not_merge() {
         let mut b = BodyBuilder::new(2);
-        b.emit_output(
-            Expr::input(0)
-                .lt(Expr::lit(5i64))
-                .and(Expr::input(1).lt(Expr::lit(9i64))),
-        );
+        b.emit_output(Expr::input(0).lt(Expr::lit(5i64)).and(Expr::input(1).lt(Expr::lit(9i64))));
         let body = b.build();
         let o3 = optimize(&body, OptLevel::O3);
         let cmps = o3.instrs.iter().filter(|i| matches!(i, Instr::Cmp { .. })).count();

@@ -20,9 +20,7 @@ pub fn const_fold(body: &mut KernelBody) -> bool {
         let c = |r: Reg| consts[r as usize];
         let new_instr: Option<Instr> = match instr {
             Instr::Bin { op, lhs, rhs } => match (c(lhs), c(rhs)) {
-                (Some(a), Some(b)) => {
-                    eval_bin(op, a, b).ok().map(|v| Instr::Const { value: v })
-                }
+                (Some(a), Some(b)) => eval_bin(op, a, b).ok().map(|v| Instr::Const { value: v }),
                 (x, y) => algebraic_bin(op, lhs, rhs, x, y),
             },
             Instr::Un { op, arg } => match c(arg) {
@@ -40,9 +38,7 @@ pub fn const_fold(body: &mut KernelBody) -> bool {
                 },
             },
             Instr::Cmp { op, lhs, rhs } => match (c(lhs), c(rhs)) {
-                (Some(a), Some(b)) => {
-                    eval_cmp(op, a, b).ok().map(|v| Instr::Const { value: v })
-                }
+                (Some(a), Some(b)) => eval_cmp(op, a, b).ok().map(|v| Instr::Const { value: v }),
                 _ => None,
             },
             Instr::Select { cond, then_r, else_r } => match c(cond) {
@@ -110,12 +106,8 @@ fn algebraic_bin(
         // keep it minimal and exact.
         return match (op, con) {
             (BinOp::Sub, I64(0)) => Some(Instr::Un { op: crate::ir::UnOp::Neg, arg: var }),
-            (BinOp::Div, I64(0)) | (BinOp::Rem, I64(0)) => {
-                Some(Instr::Const { value: I64(0) })
-            }
-            (BinOp::Shl, I64(0)) | (BinOp::Shr, I64(0)) => {
-                Some(Instr::Const { value: I64(0) })
-            }
+            (BinOp::Div, I64(0)) | (BinOp::Rem, I64(0)) => Some(Instr::Const { value: I64(0) }),
+            (BinOp::Shl, I64(0)) | (BinOp::Shr, I64(0)) => Some(Instr::Const { value: I64(0) }),
             _ => None,
         };
     }
@@ -128,9 +120,7 @@ fn algebraic_bin(
         (BinOp::Or, Bool(false)) => Some(Instr::Copy { src: var }),
         (BinOp::Or, Bool(true)) => Some(Instr::Const { value: Bool(true) }),
         (BinOp::Xor, Bool(false)) => Some(Instr::Copy { src: var }),
-        (BinOp::Xor, Bool(true)) => {
-            Some(Instr::Un { op: crate::ir::UnOp::Not, arg: var })
-        }
+        (BinOp::Xor, Bool(true)) => Some(Instr::Un { op: crate::ir::UnOp::Not, arg: var }),
         (BinOp::And, I64(0)) => Some(Instr::Const { value: I64(0) }),
         (BinOp::And, I64(-1)) => Some(Instr::Copy { src: var }),
         (BinOp::Or, I64(0)) => Some(Instr::Copy { src: var }),

@@ -111,16 +111,9 @@ mod tests {
         b.emit_output(Expr::input(0).add(Expr::input(0)));
         let body = b.build();
         let out = run(&body);
-        let loads = out
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, Instr::LoadInput { .. }))
-            .count();
+        let loads = out.instrs.iter().filter(|i| matches!(i, Instr::LoadInput { .. })).count();
         assert_eq!(loads, 1);
-        assert_eq!(
-            eval(&out, &[Value::I64(21)]).unwrap()[0].as_i64(),
-            Some(42)
-        );
+        assert_eq!(eval(&out, &[Value::I64(21)]).unwrap()[0].as_i64(), Some(42));
     }
 
     #[test]
@@ -129,11 +122,7 @@ mod tests {
         b.emit_output(Expr::input(0).add(Expr::lit(5i64)));
         b.emit_output(Expr::input(0).mul(Expr::lit(5i64)));
         let out = run(&b.build());
-        let consts = out
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, Instr::Const { .. }))
-            .count();
+        let consts = out.instrs.iter().filter(|i| matches!(i, Instr::Const { .. })).count();
         assert_eq!(consts, 1);
     }
 
@@ -143,11 +132,8 @@ mod tests {
         b.emit_output(Expr::input(0).add(Expr::input(1)));
         b.emit_output(Expr::input(1).add(Expr::input(0)));
         let out = run(&b.build());
-        let adds = out
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, Instr::Bin { op: BinOp::Add, .. }))
-            .count();
+        let adds =
+            out.instrs.iter().filter(|i| matches!(i, Instr::Bin { op: BinOp::Add, .. })).count();
         assert_eq!(adds, 1);
         assert_eq!(out.outputs[0], out.outputs[1]);
     }

@@ -21,10 +21,10 @@ mod types;
 
 pub use combine::combine;
 pub use const_fold::const_fold;
-pub use strength::strength;
 pub use copy_prop::copy_prop;
 pub use cse::cse;
 pub use dce::dce;
+pub use strength::strength;
 pub use types::infer_types;
 
 use crate::ir::KernelBody;
@@ -99,6 +99,17 @@ pub fn optimize(body: &KernelBody, level: OptLevel) -> KernelBody {
             }
         }
     }
+    // Pass sandwich: with the `check` feature (default-on) every optimize
+    // call verifies its output in release builds too, and a failure names
+    // the culprit — the pipeline, or an ill-typed input it was handed.
+    #[cfg(feature = "check")]
+    if let Err(e) = crate::verify::verify(&out) {
+        if let Err(e0) = crate::verify::verify(body) {
+            panic!("optimize({level}) called on ill-typed body:\n{}", e0.render(body));
+        }
+        panic!("optimizer produced ill-typed IR at {level}:\n{}", e.render(&out));
+    }
+    #[cfg(not(feature = "check"))]
     debug_assert!(out.validate().is_ok(), "optimizer produced invalid IR");
     out
 }
@@ -141,10 +152,8 @@ mod tests {
     #[test]
     fn levels_are_monotone_on_threshold() {
         let body = BodyBuilder::threshold_lt(0, 7).build();
-        let counts: Vec<usize> = OptLevel::ALL
-            .iter()
-            .map(|&l| instruction_count(&optimize(&body, l)))
-            .collect();
+        let counts: Vec<usize> =
+            OptLevel::ALL.iter().map(|&l| instruction_count(&optimize(&body, l))).collect();
         for w in counts.windows(2) {
             assert!(w[0] >= w[1], "higher level should not add instructions: {counts:?}");
         }

@@ -21,9 +21,7 @@ pub fn infer_types(body: &KernelBody) -> Vec<Option<Ty>> {
             Instr::Bin { lhs, rhs, .. } => tys[lhs as usize].or(tys[rhs as usize]),
             Instr::Un { arg, .. } => tys[arg as usize],
             Instr::Cmp { .. } => Some(Ty::Bool),
-            Instr::Select { then_r, else_r, .. } => {
-                tys[then_r as usize].or(tys[else_r as usize])
-            }
+            Instr::Select { then_r, else_r, .. } => tys[then_r as usize].or(tys[else_r as usize]),
             Instr::Cast { ty, .. } => Some(ty),
         };
         tys.push(t);

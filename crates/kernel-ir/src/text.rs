@@ -61,9 +61,7 @@ pub fn parse(src: &str) -> Result<KernelBody, TextError> {
             let rest = text
                 .strip_prefix("body(inputs=")
                 .ok_or(TextError { line, message: "expected `body(inputs=N) {`".into() })?;
-            let close = rest
-                .find(')')
-                .ok_or(TextError { line, message: "missing ')'".into() })?;
+            let close = rest.find(')').ok_or(TextError { line, message: "missing ')'".into() })?;
             let n: u32 = rest[..close]
                 .parse()
                 .map_err(|_| TextError { line, message: "bad input count".into() })?;
@@ -108,12 +106,8 @@ pub fn parse(src: &str) -> Result<KernelBody, TextError> {
 }
 
 fn split_index(rest: &str, line: usize) -> Result<(usize, &str), TextError> {
-    let close = rest
-        .find(']')
-        .ok_or(TextError { line, message: "missing ']'".into() })?;
-    let idx = rest[..close]
-        .parse()
-        .map_err(|_| TextError { line, message: "bad index".into() })?;
+    let close = rest.find(']').ok_or(TextError { line, message: "missing ']'".into() })?;
+    let idx = rest[..close].parse().map_err(|_| TextError { line, message: "bad index".into() })?;
     Ok((idx, rest[close + 1..].trim()))
 }
 
@@ -142,9 +136,7 @@ fn parse_value(s: &str, line: usize) -> Result<Value, TextError> {
             "NaN" => f64::NAN,
             "inf" => f64::INFINITY,
             "-inf" => f64::NEG_INFINITY,
-            _ => v
-                .parse()
-                .map_err(|_| TextError { line, message: format!("bad f64 {v:?}") })?,
+            _ => v.parse().map_err(|_| TextError { line, message: format!("bad f64 {v:?}") })?,
         };
         return Ok(Value::F64(parsed));
     }
@@ -152,9 +144,8 @@ fn parse_value(s: &str, line: usize) -> Result<Value, TextError> {
 }
 
 fn two_regs(rest: &str, line: usize) -> Result<(Reg, Reg), TextError> {
-    let (a, b) = rest
-        .split_once(',')
-        .ok_or(TextError { line, message: "expected two operands".into() })?;
+    let (a, b) =
+        rest.split_once(',').ok_or(TextError { line, message: "expected two operands".into() })?;
     Ok((parse_reg(a.trim(), line)?, parse_reg(b.trim(), line)?))
 }
 
@@ -261,15 +252,11 @@ mod tests {
     #[test]
     fn every_instruction_kind_round_trips() {
         let mut b = BodyBuilder::new(3);
-        b.emit_output(
-            Expr::select(
-                Expr::input(0)
-                    .lt(Expr::lit(5i64))
-                    .and(Expr::input(1).ne(Expr::lit(0i64)).not()),
-                Expr::input(2).neg().cast(Ty::F64),
-                Expr::lit(2.5f64),
-            ),
-        );
+        b.emit_output(Expr::select(
+            Expr::input(0).lt(Expr::lit(5i64)).and(Expr::input(1).ne(Expr::lit(0i64)).not()),
+            Expr::input(2).neg().cast(Ty::F64),
+            Expr::lit(2.5f64),
+        ));
         b.emit_output(Expr::input(0).div(Expr::lit(4i64)).or(Expr::lit(1i64)));
         roundtrip(&b.build());
     }

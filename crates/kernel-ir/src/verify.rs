@@ -1,0 +1,543 @@
+//! The typed IR verifier.
+//!
+//! [`KernelBody::validate`] checks *structure* (SSA ordering, slot bounds,
+//! defined outputs); this module checks *types*. The interpreter in
+//! [`crate::interp`] is the semantic ground truth: a body is well-typed
+//! exactly when no instruction can hit an interpreter `TypeMismatch` on any
+//! inputs that satisfy the inferred slot types. The rules, transcribed from
+//! `eval_bin` / `eval_un` / `eval_cmp` / `eval_cast`:
+//!
+//! * `Add..Max` — both operands one numeric type (`i64` or `f64`);
+//! * `And/Or/Xor` — both operands `i64` or both `bool`;
+//! * `Shl/Shr` — `i64` only;
+//! * ordered compares (`Lt/Le/Gt/Ge`) — one numeric type; `Eq/Ne` — any
+//!   single type;
+//! * `Not` — `bool` or `i64`; `Neg` — numeric;
+//! * `Select` — `bool` condition, both arms one type;
+//! * `Cast` — anything except `f64 -> bool`.
+//!
+//! Input slot types are not declared (the relational layer binds columns at
+//! run time), so the verifier runs a union-find unification over one type
+//! variable per register and per input slot. Conservatism cuts exactly one
+//! way: a body is rejected only when some instruction is *definitely* wrong
+//! under every slot typing — bodies that are merely polymorphic (e.g.
+//! `out = in[0]`) pass. This is what lets the verifier sandwich every
+//! optimizer pass without rejecting code the interpreter would run fine.
+
+use crate::ir::{BinOp, CmpOp, Instr, IrError, KernelBody, UnOp};
+use crate::value::Ty;
+use std::fmt;
+
+/// Bitmask over {I64, F64, Bool} — the set of types a variable may still be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TyMask(u8);
+
+const I64_BIT: u8 = 1;
+const F64_BIT: u8 = 2;
+const BOOL_BIT: u8 = 4;
+
+impl TyMask {
+    const ANY: TyMask = TyMask(I64_BIT | F64_BIT | BOOL_BIT);
+    const NUMERIC: TyMask = TyMask(I64_BIT | F64_BIT);
+    const INT_OR_BOOL: TyMask = TyMask(I64_BIT | BOOL_BIT);
+    const I64: TyMask = TyMask(I64_BIT);
+    const BOOL: TyMask = TyMask(BOOL_BIT);
+
+    fn of(ty: Ty) -> TyMask {
+        match ty {
+            Ty::I64 => TyMask(I64_BIT),
+            Ty::F64 => TyMask(F64_BIT),
+            Ty::Bool => TyMask(BOOL_BIT),
+        }
+    }
+
+    fn intersect(self, other: TyMask) -> TyMask {
+        TyMask(self.0 & other.0)
+    }
+
+    fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The single type, if exactly one bit remains.
+    fn single(self) -> Option<Ty> {
+        match self.0 {
+            I64_BIT => Some(Ty::I64),
+            F64_BIT => Some(Ty::F64),
+            BOOL_BIT => Some(Ty::Bool),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TyMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.0 & I64_BIT != 0 {
+            parts.push("i64");
+        }
+        if self.0 & F64_BIT != 0 {
+            parts.push("f64");
+        }
+        if self.0 & BOOL_BIT != 0 {
+            parts.push("bool");
+        }
+        match parts.len() {
+            0 => write!(f, "(no type)"),
+            1 => write!(f, "{}", parts[0]),
+            _ => write!(f, "{{{}}}", parts.join("|")),
+        }
+    }
+}
+
+/// A verification failure: structural, or a type-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The body already fails [`KernelBody::validate`].
+    Structure(IrError),
+    /// A type rule is violated at instruction `instr`.
+    Type {
+        /// Index of the offending instruction.
+        instr: usize,
+        /// What went wrong, with the conflicting types.
+        what: String,
+    },
+    /// Two uses of the same input slot demand incompatible types.
+    SlotConflict {
+        /// The input slot whose uses disagree.
+        slot: u32,
+        /// Index of the instruction where the conflict surfaced.
+        instr: usize,
+        /// The incompatible demands.
+        what: String,
+    },
+}
+
+impl VerifyError {
+    /// The instruction index the error anchors to, if any.
+    pub fn instr(&self) -> Option<usize> {
+        match self {
+            VerifyError::Structure(IrError::ForwardReference { instr, .. })
+            | VerifyError::Structure(IrError::InputSlotOutOfRange { instr, .. }) => Some(*instr),
+            VerifyError::Structure(IrError::UndefinedOutput { .. }) => None,
+            VerifyError::Type { instr, .. } | VerifyError::SlotConflict { instr, .. } => {
+                Some(*instr)
+            }
+        }
+    }
+
+    /// Render the diagnostic against the body it came from: the full listing
+    /// with a marker under the offending line.
+    pub fn render(&self, body: &KernelBody) -> String {
+        let listing = body.to_string();
+        let mut out = format!("type verification failed: {self}\n");
+        let bad_line = self.instr().map(|i| i + 1); // line 0 is the header
+        for (ln, line) in listing.lines().enumerate() {
+            out.push_str(line);
+            out.push('\n');
+            if Some(ln) == bad_line {
+                let indent = line.len() - line.trim_start().len();
+                out.push_str(&" ".repeat(indent));
+                out.push_str(&"^".repeat(line.trim().len()));
+                out.push_str(" <-- here\n");
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Structure(e) => write!(f, "{e}"),
+            VerifyError::Type { instr, what } => write!(f, "instruction {instr}: {what}"),
+            VerifyError::SlotConflict { slot, instr, what } => {
+                write!(f, "input slot {slot} (at instruction {instr}): {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<IrError> for VerifyError {
+    fn from(e: IrError) -> Self {
+        VerifyError::Structure(e)
+    }
+}
+
+/// Union-find over type variables: one per input slot, then one per register.
+struct Vars {
+    parent: Vec<usize>,
+    mask: Vec<TyMask>,
+    /// The lowest slot number unified into this class, if any — used to
+    /// report slot conflicts by slot, not by register.
+    slot: Vec<Option<u32>>,
+    n_slots: usize,
+}
+
+impl Vars {
+    fn new(n_slots: usize, n_regs: usize) -> Self {
+        let n = n_slots + n_regs;
+        Vars {
+            parent: (0..n).collect(),
+            mask: vec![TyMask::ANY; n],
+            slot: (0..n).map(|i| if i < n_slots { Some(i as u32) } else { None }).collect(),
+            n_slots,
+        }
+    }
+
+    fn slot_var(&self, slot: u32) -> usize {
+        slot as usize
+    }
+
+    fn reg_var(&self, reg: u32) -> usize {
+        self.n_slots + reg as usize
+    }
+
+    fn find(&mut self, v: usize) -> usize {
+        if self.parent[v] != v {
+            let root = self.find(self.parent[v]);
+            self.parent[v] = root;
+        }
+        self.parent[v]
+    }
+
+    fn mask_of(&mut self, v: usize) -> TyMask {
+        let r = self.find(v);
+        self.mask[r]
+    }
+
+    /// Shrink a variable's allowed set; `None` means it became empty.
+    fn restrict(&mut self, v: usize, m: TyMask) -> Result<(), (TyMask, TyMask, Option<u32>)> {
+        let r = self.find(v);
+        let merged = self.mask[r].intersect(m);
+        if merged.is_empty() {
+            return Err((self.mask[r], m, self.slot[r]));
+        }
+        self.mask[r] = merged;
+        Ok(())
+    }
+
+    /// Force two variables to one type; fails if their sets are disjoint.
+    fn unify(&mut self, a: usize, b: usize) -> Result<(), (TyMask, TyMask, Option<u32>)> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(());
+        }
+        let merged = self.mask[ra].intersect(self.mask[rb]);
+        if merged.is_empty() {
+            let s = self.slot[ra].or(self.slot[rb]);
+            return Err((self.mask[ra], self.mask[rb], s));
+        }
+        self.parent[rb] = ra;
+        self.mask[ra] = merged;
+        self.slot[ra] = match (self.slot[ra], self.slot[rb]) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        };
+        Ok(())
+    }
+}
+
+fn type_err(instr: usize, what: &str, (a, b, slot): (TyMask, TyMask, Option<u32>)) -> VerifyError {
+    let msg = format!("{what}: {a} vs {b}");
+    match slot {
+        Some(slot) => VerifyError::SlotConflict { slot, instr, what: msg },
+        None => VerifyError::Type { instr, what: msg },
+    }
+}
+
+/// Check `body` against the full type system. `Ok(())` means the interpreter
+/// cannot hit a type error on any inputs consistent with one assignment of
+/// types to input slots.
+pub fn verify(body: &KernelBody) -> Result<(), VerifyError> {
+    apply_constraints(body).map(|_| ())
+}
+
+/// The inferred concrete type of each input slot, where the body pins one.
+///
+/// `None` means the slot is unconstrained or still polymorphic — any column
+/// type works there.
+pub fn slot_types(body: &KernelBody) -> Result<Vec<Option<Ty>>, VerifyError> {
+    let mut vars = apply_constraints(body)?;
+    Ok((0..body.n_inputs).map(|s| vars.mask_of(s as usize).single()).collect())
+}
+
+/// The inferred concrete type of each output slot, where the body pins one.
+pub fn output_types(body: &KernelBody) -> Result<Vec<Option<Ty>>, VerifyError> {
+    let mut vars = apply_constraints(body)?;
+    Ok(body
+        .outputs
+        .iter()
+        .map(|&r| {
+            let v = vars.reg_var(r);
+            vars.mask_of(v).single()
+        })
+        .collect())
+}
+
+/// Walk the body once, accumulating every type constraint into a union-find;
+/// the first unsatisfiable constraint is the error.
+fn apply_constraints(body: &KernelBody) -> Result<Vars, VerifyError> {
+    body.validate()?;
+    let mut vars = Vars::new(body.n_inputs as usize, body.instrs.len());
+
+    for (i, instr) in body.instrs.iter().enumerate() {
+        let out = vars.reg_var(i as u32);
+        match *instr {
+            Instr::LoadInput { slot } => {
+                let sv = vars.slot_var(slot);
+                vars.unify(out, sv)
+                    .map_err(|e| type_err(i, "load disagrees with other uses of slot", e))?;
+            }
+            Instr::Const { value } => {
+                vars.restrict(out, TyMask::of(value.ty()))
+                    .map_err(|e| type_err(i, "constant type conflict", e))?;
+            }
+            Instr::Copy { src } => {
+                let s = vars.reg_var(src);
+                vars.unify(out, s).map_err(|e| type_err(i, "copy type conflict", e))?;
+            }
+            Instr::Bin { op, lhs, rhs } => {
+                let (l, r) = (vars.reg_var(lhs), vars.reg_var(rhs));
+                let class = match op {
+                    BinOp::Add
+                    | BinOp::Sub
+                    | BinOp::Mul
+                    | BinOp::Div
+                    | BinOp::Rem
+                    | BinOp::Min
+                    | BinOp::Max => TyMask::NUMERIC,
+                    BinOp::And | BinOp::Or | BinOp::Xor => TyMask::INT_OR_BOOL,
+                    BinOp::Shl | BinOp::Shr => TyMask::I64,
+                };
+                let what = format!("{op:?} operand outside {class}");
+                vars.restrict(l, class).map_err(|e| type_err(i, &what, e))?;
+                vars.restrict(r, class).map_err(|e| type_err(i, &what, e))?;
+                vars.unify(l, r)
+                    .map_err(|e| type_err(i, &format!("{op:?} operands must share a type"), e))?;
+                vars.unify(out, l)
+                    .map_err(|e| type_err(i, &format!("{op:?} result type conflict"), e))?;
+            }
+            Instr::Un { op, arg } => {
+                let a = vars.reg_var(arg);
+                let class = match op {
+                    UnOp::Not => TyMask::INT_OR_BOOL,
+                    UnOp::Neg => TyMask::NUMERIC,
+                };
+                vars.restrict(a, class)
+                    .map_err(|e| type_err(i, &format!("{op:?} operand outside {class}"), e))?;
+                vars.unify(out, a)
+                    .map_err(|e| type_err(i, &format!("{op:?} result type conflict"), e))?;
+            }
+            Instr::Cmp { op, lhs, rhs } => {
+                let (l, r) = (vars.reg_var(lhs), vars.reg_var(rhs));
+                if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+                    let what = format!("ordered cmp.{op:?} on non-numeric operand");
+                    vars.restrict(l, TyMask::NUMERIC).map_err(|e| type_err(i, &what, e))?;
+                    vars.restrict(r, TyMask::NUMERIC).map_err(|e| type_err(i, &what, e))?;
+                }
+                vars.unify(l, r).map_err(|e| {
+                    type_err(i, &format!("cmp.{op:?} operands must share a type"), e)
+                })?;
+                vars.restrict(out, TyMask::BOOL)
+                    .map_err(|e| type_err(i, "comparison result must be bool", e))?;
+            }
+            Instr::Select { cond, then_r, else_r } => {
+                let c = vars.reg_var(cond);
+                vars.restrict(c, TyMask::BOOL)
+                    .map_err(|e| type_err(i, "select condition must be bool", e))?;
+                let (t, e_) = (vars.reg_var(then_r), vars.reg_var(else_r));
+                vars.unify(t, e_).map_err(|e| type_err(i, "select arms must share a type", e))?;
+                vars.unify(out, t).map_err(|e| type_err(i, "select result type conflict", e))?;
+            }
+            Instr::Cast { ty, arg } => {
+                let a = vars.reg_var(arg);
+                // The one illegal conversion (see `interp::eval_cast`):
+                // f64 -> bool. Definite only when the operand is pinned f64.
+                if ty == Ty::Bool && vars.mask_of(a).single() == Some(Ty::F64) {
+                    return Err(VerifyError::Type {
+                        instr: i,
+                        what: "cast f64 -> bool is not defined".into(),
+                    });
+                }
+                if ty == Ty::Bool {
+                    // Whatever the operand turns out to be, it may not be f64.
+                    vars.restrict(a, TyMask::INT_OR_BOOL)
+                        .map_err(|e| type_err(i, "cast f64 -> bool is not defined", e))?;
+                }
+                vars.restrict(out, TyMask::of(ty))
+                    .map_err(|e| type_err(i, "cast result type conflict", e))?;
+            }
+        }
+    }
+    Ok(vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::value::Value;
+
+    fn well_typed() -> KernelBody {
+        BodyBuilder::threshold_lt(0, 100).build()
+    }
+
+    #[test]
+    fn accepts_well_typed_bodies() {
+        assert_eq!(verify(&well_typed()), Ok(()));
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(
+            Expr::input(0).add(Expr::lit(3i64)).cmp(CmpOp::Lt, Expr::input(1)).and(Expr::lit(true)),
+        );
+        assert_eq!(verify(&b.build()), Ok(()));
+    }
+
+    #[test]
+    fn accepts_polymorphic_passthrough() {
+        // out = in[0] pins nothing; must not be rejected.
+        let mut b = KernelBody::new(1);
+        let x = b.push(Instr::LoadInput { slot: 0 });
+        b.outputs.push(x);
+        assert_eq!(verify(&b), Ok(()));
+        assert_eq!(slot_types(&b).unwrap(), vec![None]);
+    }
+
+    #[test]
+    fn rejects_add_on_bool() {
+        // The issue's canonical defect: Add whose operand is forced bool.
+        let mut b = KernelBody::new(1);
+        let x = b.push(Instr::LoadInput { slot: 0 });
+        let t = b.push(Instr::Const { value: Value::Bool(true) });
+        let s = b.push(Instr::Bin { op: BinOp::Add, lhs: x, rhs: t });
+        b.outputs.push(s);
+        let err = verify(&b).unwrap_err();
+        assert!(matches!(&err, VerifyError::Type { instr: 2, .. }), "got {err:?}");
+        let rendered = err.render(&b);
+        assert!(rendered.contains("Add"), "{rendered}");
+        assert!(rendered.contains("<-- here"), "{rendered}");
+    }
+
+    #[test]
+    fn rejects_shift_on_float() {
+        let mut b = KernelBody::new(0);
+        let c = b.push(Instr::Const { value: Value::F64(1.5) });
+        let n = b.push(Instr::Const { value: Value::I64(2) });
+        let s = b.push(Instr::Bin { op: BinOp::Shl, lhs: c, rhs: n });
+        b.outputs.push(s);
+        assert!(matches!(verify(&b), Err(VerifyError::Type { instr: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_mixed_operand_types() {
+        let mut b = KernelBody::new(0);
+        let i = b.push(Instr::Const { value: Value::I64(1) });
+        let f = b.push(Instr::Const { value: Value::F64(1.0) });
+        let s = b.push(Instr::Bin { op: BinOp::Add, lhs: i, rhs: f });
+        b.outputs.push(s);
+        assert!(matches!(verify(&b), Err(VerifyError::Type { instr: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_ordered_cmp_on_bool() {
+        let mut b = KernelBody::new(0);
+        let x = b.push(Instr::Const { value: Value::Bool(true) });
+        let y = b.push(Instr::Const { value: Value::Bool(false) });
+        let c = b.push(Instr::Cmp { op: CmpOp::Lt, lhs: x, rhs: y });
+        b.outputs.push(c);
+        assert!(verify(&b).is_err());
+        // Eq/Ne on bool is fine.
+        let mut b = KernelBody::new(0);
+        let x = b.push(Instr::Const { value: Value::Bool(true) });
+        let y = b.push(Instr::Const { value: Value::Bool(false) });
+        let c = b.push(Instr::Cmp { op: CmpOp::Eq, lhs: x, rhs: y });
+        b.outputs.push(c);
+        assert_eq!(verify(&b), Ok(()));
+    }
+
+    #[test]
+    fn rejects_non_bool_select_condition() {
+        let mut b = KernelBody::new(0);
+        let c = b.push(Instr::Const { value: Value::I64(1) });
+        let a = b.push(Instr::Const { value: Value::I64(2) });
+        let d = b.push(Instr::Const { value: Value::I64(3) });
+        let s = b.push(Instr::Select { cond: c, then_r: a, else_r: d });
+        b.outputs.push(s);
+        assert!(matches!(verify(&b), Err(VerifyError::Type { instr: 3, .. })));
+    }
+
+    #[test]
+    fn rejects_mismatched_select_arms() {
+        let mut b = KernelBody::new(0);
+        let c = b.push(Instr::Const { value: Value::Bool(true) });
+        let a = b.push(Instr::Const { value: Value::I64(2) });
+        let d = b.push(Instr::Const { value: Value::F64(3.0) });
+        let s = b.push(Instr::Select { cond: c, then_r: a, else_r: d });
+        b.outputs.push(s);
+        assert!(verify(&b).is_err());
+    }
+
+    #[test]
+    fn rejects_f64_to_bool_cast() {
+        let mut b = KernelBody::new(0);
+        let c = b.push(Instr::Const { value: Value::F64(0.5) });
+        let x = b.push(Instr::Cast { ty: Ty::Bool, arg: c });
+        b.outputs.push(x);
+        let err = verify(&b).unwrap_err();
+        assert!(format!("{err}").contains("f64 -> bool"), "{err}");
+        // But f64 -> i64 and i64 -> bool are both legal.
+        let mut b = KernelBody::new(0);
+        let c = b.push(Instr::Const { value: Value::F64(0.5) });
+        let x = b.push(Instr::Cast { ty: Ty::I64, arg: c });
+        let y = b.push(Instr::Cast { ty: Ty::Bool, arg: x });
+        b.outputs.push(y);
+        assert_eq!(verify(&b), Ok(()));
+    }
+
+    #[test]
+    fn rejects_conflicting_slot_uses() {
+        // in[0] used as an i64 addend in one place and a select condition
+        // (bool) in another: no column type satisfies both.
+        let mut b = KernelBody::new(1);
+        let x = b.push(Instr::LoadInput { slot: 0 });
+        let one = b.push(Instr::Const { value: Value::I64(1) });
+        let s = b.push(Instr::Bin { op: BinOp::Add, lhs: x, rhs: one });
+        let x2 = b.push(Instr::LoadInput { slot: 0 });
+        let sel = b.push(Instr::Select { cond: x2, then_r: s, else_r: one });
+        b.outputs.push(sel);
+        let err = verify(&b).unwrap_err();
+        assert!(matches!(err, VerifyError::SlotConflict { slot: 0, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn structural_errors_come_through() {
+        let mut b = KernelBody::new(0);
+        b.push(Instr::Copy { src: 9 });
+        assert!(matches!(verify(&b), Err(VerifyError::Structure(_))));
+    }
+
+    #[test]
+    fn slot_types_reports_pinned_slots() {
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::input(0).add(Expr::lit(1i64)));
+        b.emit_output(Expr::input(1).cmp(CmpOp::Lt, Expr::lit(2.0f64)));
+        let tys = slot_types(&b.build()).unwrap();
+        assert_eq!(tys, vec![Some(Ty::I64), Some(Ty::F64)]);
+    }
+
+    #[test]
+    fn render_marks_the_offending_line() {
+        let mut b = KernelBody::new(0);
+        let x = b.push(Instr::Const { value: Value::Bool(true) });
+        let y = b.push(Instr::Const { value: Value::Bool(false) });
+        let s = b.push(Instr::Bin { op: BinOp::Sub, lhs: x, rhs: y });
+        b.outputs.push(s);
+        let err = verify(&b).unwrap_err();
+        let rendered = err.render(&b);
+        let lines: Vec<&str> = rendered.lines().collect();
+        let marker = lines.iter().position(|l| l.contains("<-- here")).unwrap();
+        assert!(lines[marker - 1].contains("Sub"), "{rendered}");
+    }
+}

@@ -1,6 +1,10 @@
 //! Property tests: the optimizer preserves the semantics of every well-typed
 //! body, at every optimization level, and fusion computes the conjunction /
 //! composition it claims to.
+//!
+//! Random programs come from a seeded recursive generator (no external
+//! property-testing dependency): each case index derives its own RNG stream,
+//! so failures reproduce by case number.
 
 use kfusion_ir::builder::{BodyBuilder, Expr};
 use kfusion_ir::cost::{instruction_count, register_pressure};
@@ -8,7 +12,7 @@ use kfusion_ir::fuse::fuse_predicate_chain;
 use kfusion_ir::interp::{eval, eval_predicate};
 use kfusion_ir::opt::{optimize, OptLevel};
 use kfusion_ir::{CmpOp, Value};
-use proptest::prelude::*;
+use kfusion_prng::Rng;
 
 /// Input layout used by all generated programs: slots 0..4 are i64, 4..6 are
 /// f64, 6..8 are bool.
@@ -23,64 +27,63 @@ fn input_row(ints: &[i64; 4], floats: &[f64; 2], bools: &[bool; 2]) -> Vec<Value
     row
 }
 
-/// Generate a well-typed i64 expression.
-fn arb_i64_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (0..N_I64).prop_map(Expr::input),
-        (-100i64..100).prop_map(Expr::lit),
-    ];
-    leaf.prop_recursive(depth, 64, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.div(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.clone().prop_map(|a| a.neg()),
-            (arb_bool_leafless(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| Expr::select(c, a, b)),
-        ]
-    })
-    .boxed()
+const CMP_OPS: [CmpOp; 6] = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne];
+
+/// A random well-typed i64 expression of at most `depth` levels.
+fn gen_i64_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            Expr::input(rng.gen_range(0..N_I64))
+        } else {
+            Expr::lit(rng.gen_range(-100i64..100))
+        };
+    }
+    let a = gen_i64_expr(rng, depth - 1);
+    let b = gen_i64_expr(rng, depth - 1);
+    match rng.gen_range(0usize..8) {
+        0 => a.add(b),
+        1 => a.sub(b),
+        2 => a.mul(b),
+        3 => a.div(b),
+        4 => a.and(b),
+        5 => a.or(b),
+        6 => a.neg(),
+        _ => Expr::select(gen_bool_leaf(rng), a, b),
+    }
 }
 
 /// A shallow bool expression (avoids mutual recursion blowup).
-fn arb_bool_leafless() -> BoxedStrategy<Expr> {
-    prop_oneof![
-        (6..6 + N_BOOL).prop_map(Expr::input),
-        any::<bool>().prop_map(Expr::lit),
-        ((0..N_I64), (-50i64..50), arb_cmp_op())
-            .prop_map(|(s, c, op)| Expr::input(s).cmp(op, Expr::lit(c))),
-    ]
-    .boxed()
+fn gen_bool_leaf(rng: &mut Rng) -> Expr {
+    match rng.gen_range(0usize..3) {
+        0 => Expr::input(rng.gen_range(6..6 + N_BOOL)),
+        1 => Expr::lit(rng.gen_bool(0.5)),
+        _ => {
+            let op = CMP_OPS[rng.gen_range(0usize..CMP_OPS.len())];
+            Expr::input(rng.gen_range(0..N_I64)).cmp(op, Expr::lit(rng.gen_range(-50i64..50)))
+        }
+    }
 }
 
-fn arb_cmp_op() -> BoxedStrategy<CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-    ]
-    .boxed()
+/// A random well-typed bool (predicate) expression.
+fn gen_pred_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return gen_bool_leaf(rng);
+    }
+    match rng.gen_range(0usize..4) {
+        0 => gen_pred_expr(rng, depth - 1).and(gen_pred_expr(rng, depth - 1)),
+        1 => gen_pred_expr(rng, depth - 1).or(gen_pred_expr(rng, depth - 1)),
+        2 => gen_pred_expr(rng, depth - 1).not(),
+        _ => {
+            let op = CMP_OPS[rng.gen_range(0usize..CMP_OPS.len())];
+            gen_i64_expr(rng, 1).cmp(op, gen_i64_expr(rng, 1))
+        }
+    }
 }
 
-/// Generate a well-typed bool (predicate) expression.
-fn arb_pred_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = arb_bool_leafless();
-    leaf.prop_recursive(depth, 48, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.clone().prop_map(|a| a.not()),
-            (arb_i64_expr(1), arb_i64_expr(1), arb_cmp_op())
-                .prop_map(|(a, b, op)| a.cmp(op, b)),
-        ]
-    })
-    .boxed()
+fn gen_row(rng: &mut Rng) -> Vec<Value> {
+    let ints = std::array::from_fn(|_| rng.gen_range(-1000i64..1000));
+    let bools = std::array::from_fn(|_| rng.gen_bool(0.5));
+    input_row(&ints, &[0.0, 0.0], &bools)
 }
 
 fn build(expr: Expr) -> kfusion_ir::KernelBody {
@@ -89,113 +92,115 @@ fn build(expr: Expr) -> kfusion_ir::KernelBody {
     b.build()
 }
 
-fn values_bit_eq(a: &Value, b: &Value) -> bool {
-    a.bit_eq(b)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Every optimization level preserves eval results on i64 expressions.
-    #[test]
-    fn opt_preserves_i64_semantics(
-        expr in arb_i64_expr(4),
-        ints in proptest::array::uniform4(-1000i64..1000),
-        bools in proptest::array::uniform2(any::<bool>()),
-    ) {
-        let body = build(expr);
-        let row = input_row(&ints, &[0.0, 0.0], &bools);
+/// Every optimization level preserves eval results on i64 expressions.
+#[test]
+fn opt_preserves_i64_semantics() {
+    for case in 0u64..256 {
+        let mut rng = Rng::seed_from_u64(0x11 << 32 | case);
+        let body = build(gen_i64_expr(&mut rng, 4));
+        let row = gen_row(&mut rng);
         let expected = eval(&body, &row).unwrap();
         for level in OptLevel::ALL {
             let opt = optimize(&body, level);
             let got = eval(&opt, &row).unwrap();
-            prop_assert!(values_bit_eq(&expected[0], &got[0]),
-                "level {level}: {:?} != {:?}\nbefore:\n{body}\nafter:\n{opt}",
-                expected[0], got[0]);
+            assert!(
+                expected[0].bit_eq(&got[0]),
+                "case {case} level {level}: {:?} != {:?}\nbefore:\n{body}\nafter:\n{opt}",
+                expected[0],
+                got[0]
+            );
         }
     }
+}
 
-    /// Every optimization level preserves predicate results.
-    #[test]
-    fn opt_preserves_predicate_semantics(
-        expr in arb_pred_expr(4),
-        ints in proptest::array::uniform4(-1000i64..1000),
-        bools in proptest::array::uniform2(any::<bool>()),
-    ) {
-        let body = build(expr);
-        let row = input_row(&ints, &[0.0, 0.0], &bools);
+/// Every optimization level preserves predicate results.
+#[test]
+fn opt_preserves_predicate_semantics() {
+    for case in 0u64..256 {
+        let mut rng = Rng::seed_from_u64(0x22 << 32 | case);
+        let body = build(gen_pred_expr(&mut rng, 4));
+        let row = gen_row(&mut rng);
         let expected = eval_predicate(&body, &row).unwrap();
         for level in OptLevel::ALL {
             let opt = optimize(&body, level);
-            prop_assert_eq!(eval_predicate(&opt, &row).unwrap(), expected,
-                "level {}\nbefore:\n{}\nafter:\n{}", level, &body, &opt);
+            assert_eq!(
+                eval_predicate(&opt, &row).unwrap(),
+                expected,
+                "case {case} level {level}\nbefore:\n{body}\nafter:\n{opt}"
+            );
         }
     }
+}
 
-    /// O3 never increases the instruction count, and the result is valid IR.
-    #[test]
-    fn o3_monotone_and_valid(expr in arb_pred_expr(4)) {
-        let body = build(expr);
+/// O3 never increases the instruction count, and the result is valid IR.
+#[test]
+fn o3_monotone_and_valid() {
+    for case in 0u64..256 {
+        let mut rng = Rng::seed_from_u64(0x33 << 32 | case);
+        let body = build(gen_pred_expr(&mut rng, 4));
         let o3 = optimize(&body, OptLevel::O3);
-        prop_assert!(o3.validate().is_ok());
-        prop_assert!(instruction_count(&o3) <= instruction_count(&body));
-        prop_assert!(register_pressure(&o3) <= body.instrs.len().max(1));
+        assert!(o3.validate().is_ok(), "case {case}");
+        assert!(instruction_count(&o3) <= instruction_count(&body), "case {case}");
+        assert!(register_pressure(&o3) <= body.instrs.len().max(1), "case {case}");
     }
+}
 
-    /// Fusing a chain of predicates computes exactly the conjunction, before
-    /// and after O3.
-    #[test]
-    fn fused_chain_is_conjunction(
-        thresholds in proptest::collection::vec(-100i64..100, 1..6),
-        ints in proptest::array::uniform4(-150i64..150),
-    ) {
-        let preds: Vec<_> = thresholds
-            .iter()
-            .map(|&t| BodyBuilder::threshold_lt(0, t).build())
-            .collect();
+/// Fusing a chain of predicates computes exactly the conjunction, before
+/// and after O3.
+#[test]
+fn fused_chain_is_conjunction() {
+    for case in 0u64..256 {
+        let mut rng = Rng::seed_from_u64(0x44 << 32 | case);
+        let n = rng.gen_range(1usize..6);
+        let thresholds: Vec<i64> = (0..n).map(|_| rng.gen_range(-100i64..100)).collect();
+        let ints: [i64; 4] = std::array::from_fn(|_| rng.gen_range(-150i64..150));
+        let preds: Vec<_> =
+            thresholds.iter().map(|&t| BodyBuilder::threshold_lt(0, t).build()).collect();
         let fused = fuse_predicate_chain(&preds);
         let o3 = optimize(&fused, OptLevel::O3);
         let row = input_row(&ints, &[0.0, 0.0], &[false, false]);
         let expect = thresholds.iter().all(|&t| ints[0] < t);
-        prop_assert_eq!(eval_predicate(&fused, &row).unwrap(), expect);
-        prop_assert_eq!(eval_predicate(&o3, &row).unwrap(), expect);
-    }
-
-    /// A fused chain of same-subject threshold predicates always optimizes to
-    /// a single compare, regardless of chain length — the Table III effect in
-    /// its general form.
-    #[test]
-    fn fused_threshold_chain_collapses_to_one_compare(
-        thresholds in proptest::collection::vec(-100i64..100, 2..6),
-    ) {
-        let preds: Vec<_> = thresholds
-            .iter()
-            .map(|&t| BodyBuilder::threshold_lt(0, t).build())
-            .collect();
-        let fused = fuse_predicate_chain(&preds);
-        let o3 = optimize(&fused, OptLevel::O3);
-        let cmps = o3
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, kfusion_ir::Instr::Cmp { .. }))
-            .count();
-        prop_assert_eq!(cmps, 1, "chain of {} thresholds left {} compares:\n{}",
-            thresholds.len(), cmps, &o3);
+        assert_eq!(eval_predicate(&fused, &row).unwrap(), expect, "case {case}");
+        assert_eq!(eval_predicate(&o3, &row).unwrap(), expect, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+/// A fused chain of same-subject threshold predicates always optimizes to
+/// a single compare, regardless of chain length — the Table III effect in
+/// its general form.
+#[test]
+fn fused_threshold_chain_collapses_to_one_compare() {
+    for case in 0u64..256 {
+        let mut rng = Rng::seed_from_u64(0x55 << 32 | case);
+        let n = rng.gen_range(2usize..6);
+        let thresholds: Vec<i64> = (0..n).map(|_| rng.gen_range(-100i64..100)).collect();
+        let preds: Vec<_> =
+            thresholds.iter().map(|&t| BodyBuilder::threshold_lt(0, t).build()).collect();
+        let fused = fuse_predicate_chain(&preds);
+        let o3 = optimize(&fused, OptLevel::O3);
+        let cmps = o3.instrs.iter().filter(|i| matches!(i, kfusion_ir::Instr::Cmp { .. })).count();
+        assert_eq!(
+            cmps,
+            1,
+            "case {case}: chain of {} thresholds left {} compares:\n{}",
+            thresholds.len(),
+            cmps,
+            &o3
+        );
+    }
+}
 
-    /// The textual IR round-trips every generated body, optimized or not.
-    #[test]
-    fn text_format_round_trips(expr in arb_pred_expr(4)) {
-        let body = build(expr);
+/// The textual IR round-trips every generated body, optimized or not.
+#[test]
+fn text_format_round_trips() {
+    for case in 0u64..192 {
+        let mut rng = Rng::seed_from_u64(0x66 << 32 | case);
+        let body = build(gen_pred_expr(&mut rng, 4));
         for candidate in [body.clone(), optimize(&body, OptLevel::O3)] {
             let text = candidate.to_string();
             let back = kfusion_ir::text::parse(&text)
-                .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
-            prop_assert_eq!(back, candidate, "round trip diverged:\n{}", text);
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            assert_eq!(back, candidate, "case {case}: round trip diverged:\n{text}");
         }
     }
 }

@@ -128,11 +128,7 @@ fn unpack(payload: &[u8], bits: u32, n: usize) -> Vec<u64> {
         word[..take].copy_from_slice(&payload[byte..byte + take]);
         let lo = u64::from_le_bytes(word[..8].try_into().expect("8 bytes"));
         let hi = u64::from_le_bytes(word[8..].try_into().expect("8 bytes"));
-        let v = if shift == 0 {
-            lo
-        } else {
-            (lo >> shift) | (hi << (64 - shift))
-        };
+        let v = if shift == 0 { lo } else { (lo >> shift) | (hi << (64 - shift)) };
         out.push(v & mask);
     }
     out
@@ -157,10 +153,7 @@ pub fn compress(values: &[u64], scheme: Scheme) -> Result<CompressedBlock, Compr
                 return Err(CompressError::NotSorted);
             }
             let base = values.first().copied().unwrap_or(0);
-            let gaps: Vec<u64> = values
-                .windows(2)
-                .map(|w| w[1] - w[0])
-                .collect();
+            let gaps: Vec<u64> = values.windows(2).map(|w| w[1] - w[0]).collect();
             let max_gap = gaps.iter().copied().max().unwrap_or(0);
             let bits = bits_for(max_gap).max(1);
             Ok(CompressedBlock {
@@ -247,7 +240,11 @@ pub fn best_for(values: &[u64]) -> CompressedBlock {
 /// Cost profile of the GPU decompression kernel: read packed bits, write
 /// the expanded column. When *fused* with the consumer, the write
 /// disappears (expanded values stay in registers) — set `fused_consumer`.
-pub fn decompress_kernel(block: &CompressedBlock, out_bytes: f64, fused_consumer: bool) -> KernelProfile {
+pub fn decompress_kernel(
+    block: &CompressedBlock,
+    out_bytes: f64,
+    fused_consumer: bool,
+) -> KernelProfile {
     let read = block.wire_bytes() as f64 / block.n.max(1) as f64;
     let instr = match block.scheme {
         Scheme::BitPack => 7.0,
@@ -289,10 +286,7 @@ mod tests {
 
     #[test]
     fn delta_rejects_unsorted() {
-        assert_eq!(
-            compress(&[3, 1, 2], Scheme::Delta),
-            Err(CompressError::NotSorted)
-        );
+        assert_eq!(compress(&[3, 1, 2], Scheme::Delta), Err(CompressError::NotSorted));
     }
 
     #[test]

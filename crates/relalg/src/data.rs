@@ -267,10 +267,7 @@ impl Relation {
 
     /// An empty relation with the same schema.
     pub fn empty_like(&self) -> Relation {
-        Relation {
-            key: Vec::new(),
-            cols: self.cols.iter().map(Column::empty_like).collect(),
-        }
+        Relation { key: Vec::new(), cols: self.cols.iter().map(Column::empty_like).collect() }
     }
 
     /// The IR input row for tuple `i`: slot 0 = key (as i64), slot `1+c` =
@@ -357,11 +354,7 @@ mod tests {
 
     #[test]
     fn sort_carries_payload() {
-        let mut r = Relation::new(
-            vec![3, 1, 2],
-            vec![Column::I64(vec![30, 10, 20])],
-        )
-        .unwrap();
+        let mut r = Relation::new(vec![3, 1, 2], vec![Column::I64(vec![30, 10, 20])]).unwrap();
         r.sort_by_key();
         assert_eq!(r.key, vec![1, 2, 3]);
         assert_eq!(r.cols[0].as_i64().unwrap(), &[10, 20, 30]);
@@ -369,11 +362,7 @@ mod tests {
 
     #[test]
     fn sort_is_stable_for_equal_keys() {
-        let mut r = Relation::new(
-            vec![2, 1, 2, 1],
-            vec![Column::I64(vec![1, 2, 3, 4])],
-        )
-        .unwrap();
+        let mut r = Relation::new(vec![2, 1, 2, 1], vec![Column::I64(vec![1, 2, 3, 4])]).unwrap();
         r.sort_by_key();
         assert_eq!(r.key, vec![1, 1, 2, 2]);
         assert_eq!(r.cols[0].as_i64().unwrap(), &[2, 4, 1, 3]);

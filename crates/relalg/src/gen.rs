@@ -6,15 +6,14 @@
 //! every figure regenerates identically.
 
 use crate::data::{Column, Relation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kfusion_prng::Rng;
 
 /// Key space of the micro-benchmark inputs (32-bit, as in the paper).
 pub const KEY_SPACE: u64 = 1 << 32;
 
 /// A relation of `n` uniform random keys in `[0, KEY_SPACE)`.
 pub fn random_keys(n: usize, seed: u64) -> Relation {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Relation::from_keys((0..n).map(|_| rng.gen_range(0..KEY_SPACE)).collect())
 }
 
@@ -28,16 +27,16 @@ pub fn threshold_for_selectivity(frac: f64) -> u64 {
 /// payload columns — the substrate's sorted key-value layout, ready for
 /// merge joins.
 pub fn sorted_table(n: usize, cols: usize, seed: u64) -> Relation {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let payload = (0..cols)
-        .map(|_| Column::I64((0..n).map(|_| rng.gen_range(-1000..1000)).collect()))
+        .map(|_| Column::I64((0..n).map(|_| rng.gen_range(-1000i64..1000)).collect()))
         .collect();
     Relation::new((0..n as u64).collect(), payload).expect("rectangular by construction")
 }
 
 /// A sorted relation with an f64 payload column in `[lo, hi)`.
 pub fn sorted_f64_table(n: usize, lo: f64, hi: f64, seed: u64) -> Relation {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Relation::new(
         (0..n as u64).collect(),
         vec![Column::F64((0..n).map(|_| rng.gen_range(lo..hi)).collect())],
@@ -63,10 +62,7 @@ mod tests {
         for frac in [0.1, 0.5, 0.9] {
             let pred = predicates::key_lt(threshold_for_selectivity(frac));
             let got = count_selected(&r, &pred).unwrap() as f64 / r.len() as f64;
-            assert!(
-                (got - frac).abs() < 0.01,
-                "selectivity {frac}: measured {got}"
-            );
+            assert!((got - frac).abs() < 0.01, "selectivity {frac}: measured {got}");
         }
     }
 

@@ -6,7 +6,7 @@
 //! Q1 plan SORTs before aggregating, Fig. 17(a)), making the reduction a
 //! single linear segmented scan.
 
-use crate::data::{Column, Relation, RelError};
+use crate::data::{Column, RelError, Relation};
 
 /// One aggregate over a payload column (or over the rows themselves).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,9 +53,7 @@ enum Acc {
 
 fn make_acc(rel: &Relation, agg: Agg) -> Result<Acc, RelError> {
     let col_ty = |c: usize| -> Result<&Column, RelError> {
-        rel.cols
-            .get(c)
-            .ok_or(RelError::NoSuchColumn { col: c, available: rel.n_cols() })
+        rel.cols.get(c).ok_or(RelError::NoSuchColumn { col: c, available: rel.n_cols() })
     };
     Ok(match agg {
         Agg::Count => Acc::Count(0),
@@ -140,10 +138,8 @@ pub fn aggregate_by_key(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelE
     let mut i = 0usize;
     while i < input.len() {
         let k = input.key[i];
-        let mut accs: Vec<Acc> = aggs
-            .iter()
-            .map(|&a| make_acc(input, a))
-            .collect::<Result<_, _>>()?;
+        let mut accs: Vec<Acc> =
+            aggs.iter().map(|&a| make_acc(input, a)).collect::<Result<_, _>>()?;
         while i < input.len() && input.key[i] == k {
             for (acc, &agg) in accs.iter_mut().zip(aggs) {
                 feed(acc, agg, input, i);

@@ -7,7 +7,7 @@
 //! one input element it is freely fusable with its neighbours (dependence
 //! class (i) of §III-C).
 
-use crate::data::{Column, Relation, RelError};
+use crate::data::{Column, RelError, Relation};
 use kfusion_ir::interp::Machine;
 use kfusion_ir::opt::infer_types;
 use kfusion_ir::{KernelBody, Ty, Value};

@@ -5,7 +5,7 @@
 //! antijoin variants implement the EXISTS / NOT EXISTS sub-queries of
 //! TPC-H Q21.
 
-use crate::data::{Relation, RelError};
+use crate::data::{RelError, Relation};
 
 fn group_end(keys: &[u64], start: usize) -> usize {
     let k = keys[start];
@@ -84,7 +84,11 @@ pub fn antijoin(a: &Relation, b: &Relation) -> Result<Relation, RelError> {
     filter_by_membership(a, b, false)
 }
 
-fn filter_by_membership(a: &Relation, b: &Relation, keep_present: bool) -> Result<Relation, RelError> {
+fn filter_by_membership(
+    a: &Relation,
+    b: &Relation,
+    keep_present: bool,
+) -> Result<Relation, RelError> {
     a.require_sorted()?;
     b.require_sorted()?;
     let mut out = a.empty_like();

@@ -5,7 +5,7 @@
 //! column (the paper's example keeps `y`'s first field inline:
 //! `(3,a,True,2)`).
 
-use crate::data::{Column, Relation, RelError};
+use crate::data::{Column, RelError, Relation};
 
 /// Cartesian product, `x`-major. Output schema: `x.key`, `x` payload
 /// columns, `y.key` as an i64 column, `y` payload columns.

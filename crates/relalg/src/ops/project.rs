@@ -5,7 +5,7 @@
 //! The paper's Fig. 2(h) uses PROJECT to discard arithmetic sources and keep
 //! only results.
 
-use crate::data::{Relation, RelError};
+use crate::data::{RelError, Relation};
 
 /// Re-key the relation by an i64 payload column: the column's values become
 /// the tuple keys and the column leaves the payload. The query plans use
@@ -25,13 +25,8 @@ pub fn rekey(input: &Relation, col: usize) -> Result<Relation, RelError> {
         return Err(RelError::SchemaMismatch);
     }
     let key = vals.iter().map(|&v| v as u64).collect();
-    let cols = input
-        .cols
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i != col)
-        .map(|(_, c)| c.clone())
-        .collect();
+    let cols =
+        input.cols.iter().enumerate().filter(|(i, _)| *i != col).map(|(_, c)| c.clone()).collect();
     Relation::new(key, cols)
 }
 
@@ -56,11 +51,8 @@ mod tests {
     fn x() -> Relation {
         // Table I: x = {(3,True,a), (4,True,a), (2,False,b)} with True/False
         // as 1/0 and a/b as 1/2. Key is field 0; payload cols are fields 1,2.
-        Relation::new(
-            vec![3, 4, 2],
-            vec![Column::I64(vec![1, 1, 0]), Column::I64(vec![1, 1, 2])],
-        )
-        .unwrap()
+        Relation::new(vec![3, 4, 2], vec![Column::I64(vec![1, 1, 0]), Column::I64(vec![1, 1, 2])])
+            .unwrap()
     }
 
     /// Table I: project [0,2] x → {(3,a), (4,a), (2,b)}.

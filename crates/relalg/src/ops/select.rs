@@ -9,7 +9,7 @@
 //! the gather. The first three stages are one CUDA kernel, the gather a
 //! second; [`crate::profiles`] prices them accordingly.
 
-use crate::data::{Relation, RelError};
+use crate::data::{RelError, Relation};
 use kfusion_ir::interp::Machine;
 use kfusion_ir::{KernelBody, Value};
 use kfusion_vgpu::exec::{par_range_map, DEFAULT_CTA_CHUNK};
@@ -115,11 +115,7 @@ mod tests {
 
     #[test]
     fn select_on_payload_column() {
-        let r = Relation::new(
-            vec![1, 2, 3],
-            vec![Column::F64(vec![0.5, 1.5, 2.5])],
-        )
-        .unwrap();
+        let r = Relation::new(vec![1, 2, 3], vec![Column::F64(vec![0.5, 1.5, 2.5])]).unwrap();
         let mut b = BodyBuilder::new(2);
         b.emit_output(Expr::input(1).gt(Expr::lit(1.0f64)));
         let out = select(&r, &b.build()).unwrap();

@@ -7,7 +7,7 @@
 //! comparison on key hits. Works on unsorted inputs (Table I's literals are
 //! unsorted) and preserves the left argument's tuple order.
 
-use crate::data::{Relation, RelError};
+use crate::data::{RelError, Relation};
 use std::collections::HashMap;
 
 fn key_index(r: &Relation) -> HashMap<u64, Vec<usize>> {
@@ -18,9 +18,13 @@ fn key_index(r: &Relation) -> HashMap<u64, Vec<usize>> {
     idx
 }
 
-fn contains_tuple(idx: &HashMap<u64, Vec<usize>>, rel: &Relation, probe: &Relation, i: usize) -> bool {
-    idx.get(&probe.key[i])
-        .is_some_and(|cands| cands.iter().any(|&j| probe.tuple_eq(i, rel, j)))
+fn contains_tuple(
+    idx: &HashMap<u64, Vec<usize>>,
+    rel: &Relation,
+    probe: &Relation,
+    i: usize,
+) -> bool {
+    idx.get(&probe.key[i]).is_some_and(|cands| cands.iter().any(|&j| probe.tuple_eq(i, rel, j)))
 }
 
 /// Schema check shared by the set operators.

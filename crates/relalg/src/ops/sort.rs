@@ -10,7 +10,7 @@
 //! `log2(n)` full read+write passes, which is what makes SORT ~71% of the
 //! un-optimized Q1 runtime as the paper reports.
 
-use crate::data::{Relation, RelError};
+use crate::data::{RelError, Relation};
 use kfusion_vgpu::exec::{par_range_map, DEFAULT_CTA_CHUNK};
 
 /// What to order by.
@@ -110,7 +110,8 @@ pub fn bitonic_sort(input: &Relation, by: SortBy) -> Result<Relation, RelError> 
     // Pad to a power of two with +inf sentinels (index n == sentinel).
     let m = n.next_power_of_two();
     let sentinel = u64::MAX;
-    let key_of = |idx: usize| if idx < n { (rank[idx], idx as u64) } else { (sentinel, idx as u64) };
+    let key_of =
+        |idx: usize| if idx < n { (rank[idx], idx as u64) } else { (sentinel, idx as u64) };
     let mut idx: Vec<usize> = (0..m).collect();
     // The classic network: k = subsequence size, j = compare distance.
     let mut k = 2usize;
@@ -278,11 +279,8 @@ mod tests {
 
     #[test]
     fn unique_drops_consecutive_duplicates() {
-        let r = Relation::new(
-            vec![1, 1, 2, 2, 2, 3],
-            vec![Column::I64(vec![9, 9, 8, 8, 7, 6])],
-        )
-        .unwrap();
+        let r = Relation::new(vec![1, 1, 2, 2, 2, 3], vec![Column::I64(vec![9, 9, 8, 8, 7, 6])])
+            .unwrap();
         let out = unique(&r).unwrap();
         // (2,8) and (2,7) differ in payload: both kept.
         assert_eq!(out.key, vec![1, 2, 2, 3]);

@@ -37,9 +37,7 @@ pub fn key_eq(value: u64) -> KernelBody {
 pub fn key_in_range(lo: u64, hi: u64) -> KernelBody {
     let mut b = BodyBuilder::new(1);
     b.emit_output(
-        Expr::input(0)
-            .ge(Expr::lit(lo as i64))
-            .and(Expr::input(0).lt(Expr::lit(hi as i64))),
+        Expr::input(0).ge(Expr::lit(lo as i64)).and(Expr::input(0).lt(Expr::lit(hi as i64))),
     );
     b.build()
 }
@@ -137,12 +135,7 @@ mod tests {
     fn charged_price_formula() {
         let e = charged_price(0, 1, 2);
         let mut m = Machine::new();
-        let row = [
-            Value::I64(0),
-            Value::F64(100.0),
-            Value::F64(0.25),
-            Value::F64(0.08),
-        ];
+        let row = [Value::I64(0), Value::F64(100.0), Value::F64(0.25), Value::F64(0.08)];
         let v = m.run_output(&e, &row, 0).unwrap().as_f64().unwrap();
         assert!((v - 81.0).abs() < 1e-12);
     }

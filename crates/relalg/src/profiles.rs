@@ -248,7 +248,11 @@ mod tests {
             }
             prev_gpu = gpu;
             let cpu_spec = DeviceSpec::xeon_e5520_pair();
-            let t = cpu_select(4.0, sel).time(&cpu_spec, &LaunchConfig { ctas: 16, threads_per_cta: 1 }, n);
+            let t = cpu_select(4.0, sel).time(
+                &cpu_spec,
+                &LaunchConfig { ctas: 16, threads_per_cta: 1 },
+                n,
+            );
             let cpu = n as f64 * 4.0 / t / 1e9;
             if prev_cpu > 0.0 {
                 assert!(cpu < prev_cpu, "CPU throughput should fall with selectivity");
@@ -262,8 +266,8 @@ mod tests {
         let a = predicates::key_lt(100);
         let b = predicates::key_lt(70);
         let fused = fuse_predicate_chain(&[a.clone(), b.clone()]);
-        let two = body_instr(&a, OptLevel::O3) + body_instr(&b, OptLevel::O3)
-            + 2.0 * FILTER_STAGE_INSTR;
+        let two =
+            body_instr(&a, OptLevel::O3) + body_instr(&b, OptLevel::O3) + 2.0 * FILTER_STAGE_INSTR;
         let one = body_instr(&fused, OptLevel::O3) + FILTER_STAGE_INSTR;
         assert!(one < two / 1.8, "fused {one} vs separate {two}");
     }
@@ -283,14 +287,10 @@ mod tests {
         let spec = DeviceSpec::tesla_c2070();
         let n = 1u64 << 22;
         let launch = LaunchConfig::for_elements(n, &spec);
-        let small: f64 = join_kernels(16.0, 16.0, 0.1)
-            .iter()
-            .map(|k| k.time(&spec, &launch, n))
-            .sum();
-        let big: f64 = join_kernels(16.0, 16.0, 1.0)
-            .iter()
-            .map(|k| k.time(&spec, &launch, n))
-            .sum();
+        let small: f64 =
+            join_kernels(16.0, 16.0, 0.1).iter().map(|k| k.time(&spec, &launch, n)).sum();
+        let big: f64 =
+            join_kernels(16.0, 16.0, 1.0).iter().map(|k| k.time(&spec, &launch, n)).sum();
         assert!(big > small);
     }
 }

@@ -1,65 +1,85 @@
 //! Property tests: every relational operator agrees with an obviously
 //! correct (naive) model implementation on random inputs, and the
 //! substrate's invariants (sortedness, schema preservation) hold.
+//!
+//! Cases come from a seeded loop over `kfusion-prng` streams; each case
+//! index reproduces independently.
 
+use kfusion_prng::Rng;
 use kfusion_relalg::ops;
 use kfusion_relalg::predicates;
 use kfusion_relalg::{Column, Relation};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-fn rel_keys(max_key: u64, max_len: usize) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec(0..max_key, 0..max_len).prop_map(Relation::from_keys)
+const CASES: u64 = 128;
+
+fn rng_for(tag: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(tag << 32 | case)
 }
 
-fn sorted_rel(max_key: u64, max_len: usize) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec((0..max_key, -50i64..50), 0..max_len).prop_map(|mut rows| {
-        rows.sort_by_key(|r| r.0);
-        Relation::new(
-            rows.iter().map(|r| r.0).collect(),
-            vec![Column::I64(rows.iter().map(|r| r.1).collect())],
-        )
-        .unwrap()
-    })
+fn keys(rng: &mut Rng, max_key: u64, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len).map(|_| rng.gen_range(0..max_key)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn rel_keys(rng: &mut Rng, max_key: u64, max_len: usize) -> Relation {
+    Relation::from_keys(keys(rng, max_key, max_len))
+}
 
-    /// SELECT == the obvious filter.
-    #[test]
-    fn select_matches_filter(r in rel_keys(1000, 200), t in 0u64..1000) {
+fn sorted_rel(rng: &mut Rng, max_key: u64, max_len: usize) -> Relation {
+    let len = rng.gen_range(0..max_len + 1);
+    let mut rows: Vec<(u64, i64)> =
+        (0..len).map(|_| (rng.gen_range(0..max_key), rng.gen_range(-50i64..50))).collect();
+    rows.sort_by_key(|r| r.0);
+    Relation::new(
+        rows.iter().map(|r| r.0).collect(),
+        vec![Column::I64(rows.iter().map(|r| r.1).collect())],
+    )
+    .unwrap()
+}
+
+/// SELECT == the obvious filter.
+#[test]
+fn select_matches_filter() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xA1, case);
+        let r = rel_keys(&mut rng, 1000, 200);
+        let t = rng.gen_range(0u64..1000);
         let out = ops::select(&r, &predicates::key_lt(t)).unwrap();
         let expect: Vec<u64> = r.key.iter().copied().filter(|&k| k < t).collect();
-        prop_assert_eq!(out.key, expect);
+        assert_eq!(out.key, expect, "case {case}");
     }
+}
 
-    /// SELECT then SELECT == SELECT of the conjunction, and cardinality is
-    /// monotonically non-increasing.
-    #[test]
-    fn select_chain_shrinks(r in rel_keys(1000, 200), t1 in 0u64..1000, t2 in 0u64..1000) {
-        let (out, cards) = ops::select_chain_unfused(
-            &r,
-            &[predicates::key_lt(t1), predicates::key_lt(t2)],
-        )
-        .unwrap();
-        prop_assert!(cards[0] >= cards[1]);
+/// SELECT then SELECT == SELECT of the conjunction, and cardinality is
+/// monotonically non-increasing.
+#[test]
+fn select_chain_shrinks() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xA2, case);
+        let r = rel_keys(&mut rng, 1000, 200);
+        let (t1, t2) = (rng.gen_range(0u64..1000), rng.gen_range(0u64..1000));
+        let (out, cards) =
+            ops::select_chain_unfused(&r, &[predicates::key_lt(t1), predicates::key_lt(t2)])
+                .unwrap();
+        assert!(cards[0] >= cards[1], "case {case}");
         let direct = ops::select(&r, &predicates::key_lt(t1.min(t2))).unwrap();
-        prop_assert_eq!(out, direct);
+        assert_eq!(out, direct, "case {case}");
     }
+}
 
-    /// Sort-merge JOIN == nested-loop join (as multisets of key pairs, in
-    /// any order): compare sorted pair lists.
-    #[test]
-    fn join_matches_nested_loop(a in sorted_rel(40, 60), b in sorted_rel(40, 60)) {
+/// Sort-merge JOIN == nested-loop join (as multisets of key pairs, in
+/// any order): compare sorted pair lists.
+#[test]
+fn join_matches_nested_loop() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xA3, case);
+        let a = sorted_rel(&mut rng, 40, 60);
+        let b = sorted_rel(&mut rng, 40, 60);
         let out = ops::join(&a, &b).unwrap();
         let mut got: Vec<(u64, i64, i64)> = (0..out.len())
             .map(|i| {
-                (
-                    out.key[i],
-                    out.cols[0].as_i64().unwrap()[i],
-                    out.cols[1].as_i64().unwrap()[i],
-                )
+                (out.key[i], out.cols[0].as_i64().unwrap()[i], out.cols[1].as_i64().unwrap()[i])
             })
             .collect();
         got.sort_unstable();
@@ -76,58 +96,75 @@ proptest! {
             }
         }
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// Semijoin + antijoin partition the left side.
-    #[test]
-    fn semi_plus_anti_partition(a in sorted_rel(50, 80), b in sorted_rel(50, 80)) {
+/// Semijoin + antijoin partition the left side.
+#[test]
+fn semi_plus_anti_partition() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xA4, case);
+        let a = sorted_rel(&mut rng, 50, 80);
+        let b = sorted_rel(&mut rng, 50, 80);
         let semi = ops::semijoin(&a, &b).unwrap();
         let anti = ops::antijoin(&a, &b).unwrap();
-        prop_assert_eq!(semi.len() + anti.len(), a.len());
+        assert_eq!(semi.len() + anti.len(), a.len(), "case {case}");
         let b_keys: HashSet<u64> = b.key.iter().copied().collect();
-        prop_assert!(semi.key.iter().all(|k| b_keys.contains(k)));
-        prop_assert!(anti.key.iter().all(|k| !b_keys.contains(k)));
+        assert!(semi.key.iter().all(|k| b_keys.contains(k)), "case {case}");
+        assert!(anti.key.iter().all(|k| !b_keys.contains(k)), "case {case}");
     }
+}
 
-    /// Set-operator algebra: |A∩B| + |A−B| == |A dedup|; union contains both.
-    #[test]
-    fn set_op_identities(a in rel_keys(30, 50), b in rel_keys(30, 50)) {
+/// Set-operator algebra: membership laws and union dedup.
+#[test]
+fn set_op_identities() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xA5, case);
+        let a = rel_keys(&mut rng, 30, 50);
+        let b = rel_keys(&mut rng, 30, 50);
         let inter = ops::intersection(&a, &b).unwrap();
         let diff = ops::difference(&a, &b).unwrap();
         let uni = ops::union(&a, &b).unwrap();
         // difference keeps duplicates of a; intersection dedups — compare
         // against per-tuple membership instead of cardinality arithmetic.
         let b_set: HashSet<u64> = b.key.iter().copied().collect();
-        let expect_diff: Vec<u64> =
-            a.key.iter().copied().filter(|k| !b_set.contains(k)).collect();
-        prop_assert_eq!(&diff.key, &expect_diff);
+        let expect_diff: Vec<u64> = a.key.iter().copied().filter(|k| !b_set.contains(k)).collect();
+        assert_eq!(&diff.key, &expect_diff, "case {case}");
         let uni_set: HashSet<u64> = uni.key.iter().copied().collect();
-        prop_assert!(a.key.iter().all(|k| uni_set.contains(k)));
-        prop_assert!(b.key.iter().all(|k| uni_set.contains(k)));
+        assert!(a.key.iter().all(|k| uni_set.contains(k)), "case {case}");
+        assert!(b.key.iter().all(|k| uni_set.contains(k)), "case {case}");
         let a_set: HashSet<u64> = a.key.iter().copied().collect();
-        prop_assert!(inter.key.iter().all(|k| a_set.contains(k) && b_set.contains(k)));
+        assert!(inter.key.iter().all(|k| a_set.contains(k) && b_set.contains(k)), "case {case}");
         // Union has no duplicate tuples (bare keys: no duplicate keys).
-        prop_assert_eq!(uni_set.len(), uni.len());
+        assert_eq!(uni_set.len(), uni.len(), "case {case}");
     }
+}
 
-    /// SORT produces a sorted permutation; UNIQUE of it dedups.
-    #[test]
-    fn sort_then_unique(keys in proptest::collection::vec(0u64..100, 0..300)) {
+/// SORT produces a sorted permutation; UNIQUE of it dedups.
+#[test]
+fn sort_then_unique() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xA6, case);
+        let keys = keys(&mut rng, 100, 300);
         let r = Relation::from_keys(keys.clone());
         let sorted = ops::sort(&r, ops::SortBy::Key).unwrap();
-        prop_assert!(sorted.is_key_sorted());
+        assert!(sorted.is_key_sorted(), "case {case}");
         let mut expect = keys.clone();
         expect.sort_unstable();
-        prop_assert_eq!(&sorted.key, &expect);
+        assert_eq!(&sorted.key, &expect, "case {case}");
         let uniq = ops::unique(&sorted).unwrap();
         expect.dedup();
-        prop_assert_eq!(&uniq.key, &expect);
+        assert_eq!(&uniq.key, &expect, "case {case}");
     }
+}
 
-    /// AGGREGATE sums match a HashMap fold.
-    #[test]
-    fn aggregate_matches_hashmap(r in sorted_rel(20, 150)) {
+/// AGGREGATE sums match a HashMap fold.
+#[test]
+fn aggregate_matches_hashmap() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xA7, case);
+        let r = sorted_rel(&mut rng, 20, 150);
         let out = ops::aggregate_by_key(&r, &[ops::Agg::Sum(0), ops::Agg::Count]).unwrap();
         let mut expect: std::collections::BTreeMap<u64, (i64, i64)> = Default::default();
         for i in 0..r.len() {
@@ -135,89 +172,123 @@ proptest! {
             e.0 += r.cols[0].as_i64().unwrap()[i];
             e.1 += 1;
         }
-        prop_assert_eq!(out.key.len(), expect.len());
+        assert_eq!(out.key.len(), expect.len(), "case {case}");
         for (i, (k, (sum, count))) in expect.iter().enumerate() {
-            prop_assert_eq!(out.key[i], *k);
-            prop_assert_eq!(out.cols[0].as_i64().unwrap()[i], *sum);
-            prop_assert_eq!(out.cols[1].as_i64().unwrap()[i], *count);
+            assert_eq!(out.key[i], *k, "case {case}");
+            assert_eq!(out.cols[0].as_i64().unwrap()[i], *sum, "case {case}");
+            assert_eq!(out.cols[1].as_i64().unwrap()[i], *count, "case {case}");
         }
     }
+}
 
-    /// PRODUCT cardinality and key structure.
-    #[test]
-    fn product_shape(a in rel_keys(100, 20), b in rel_keys(100, 20)) {
+/// PRODUCT cardinality and key structure.
+#[test]
+fn product_shape() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xA8, case);
+        let a = rel_keys(&mut rng, 100, 20);
+        let b = rel_keys(&mut rng, 100, 20);
         let out = ops::product(&a, &b).unwrap();
-        prop_assert_eq!(out.len(), a.len() * b.len());
+        assert_eq!(out.len(), a.len() * b.len(), "case {case}");
         if !b.is_empty() {
             for (i, &k) in a.key.iter().enumerate() {
-                prop_assert_eq!(out.key[i * b.len()], k);
+                assert_eq!(out.key[i * b.len()], k, "case {case}");
             }
         }
     }
+}
 
-    /// column_join then project recovers both sides.
-    #[test]
-    fn column_join_roundtrip(rows in proptest::collection::vec((-50i64..50, -50i64..50), 1..50)) {
+/// column_join then project recovers both sides.
+#[test]
+fn column_join_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xA9, case);
+        let len = rng.gen_range(1usize..50);
+        let rows: Vec<(i64, i64)> =
+            (0..len).map(|_| (rng.gen_range(-50i64..50), rng.gen_range(-50i64..50))).collect();
         let key: Vec<u64> = (0..rows.len() as u64).collect();
-        let a = Relation::new(key.clone(), vec![Column::I64(rows.iter().map(|r| r.0).collect())]).unwrap();
+        let a = Relation::new(key.clone(), vec![Column::I64(rows.iter().map(|r| r.0).collect())])
+            .unwrap();
         let b = Relation::new(key, vec![Column::I64(rows.iter().map(|r| r.1).collect())]).unwrap();
         let wide = ops::column_join(&a, &b).unwrap();
-        prop_assert_eq!(ops::project(&wide, &[0]).unwrap(), a);
-        prop_assert_eq!(ops::project(&wide, &[1]).unwrap(), b);
+        assert_eq!(ops::project(&wide, &[0]).unwrap(), a, "case {case}");
+        assert_eq!(ops::project(&wide, &[1]).unwrap(), b, "case {case}");
     }
+}
 
-    /// rekey moves values to keys; a subsequent sort groups them.
-    #[test]
-    fn rekey_then_sort_groups(vals in proptest::collection::vec(0i64..10, 1..100)) {
+/// rekey moves values to keys; a subsequent sort groups them.
+#[test]
+fn rekey_then_sort_groups() {
+    for case in 0..CASES {
+        let mut rng = rng_for(0xAA, case);
+        let len = rng.gen_range(1usize..100);
+        let vals: Vec<i64> = (0..len).map(|_| rng.gen_range(0i64..10)).collect();
         let key: Vec<u64> = (0..vals.len() as u64).collect();
         let r = Relation::new(key, vec![Column::I64(vals.clone())]).unwrap();
         let rk = ops::rekey(&r, 0).unwrap();
-        prop_assert_eq!(rk.n_cols(), 0);
+        assert_eq!(rk.n_cols(), 0, "case {case}");
         let sorted = ops::sort(&rk, ops::SortBy::Key).unwrap();
-        prop_assert!(sorted.is_key_sorted());
+        assert!(sorted.is_key_sorted(), "case {case}");
         let mut expect: Vec<u64> = vals.iter().map(|&v| v as u64).collect();
         expect.sort_unstable();
-        prop_assert_eq!(sorted.key, expect);
+        assert_eq!(sorted.key, expect, "case {case}");
     }
 }
 
 mod compress_props {
+    use kfusion_prng::Rng;
     use kfusion_relalg::compress::{best_for, compress, decompress, Scheme};
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(192))]
+    const CASES: u64 = 192;
 
-        /// Bit packing round-trips arbitrary values.
-        #[test]
-        fn bitpack_roundtrips(vals in proptest::collection::vec(any::<u64>(), 0..300)) {
+    /// Bit packing round-trips arbitrary values.
+    #[test]
+    fn bitpack_roundtrips() {
+        for case in 0..CASES {
+            let mut rng = Rng::seed_from_u64(0xB1 << 32 | case);
+            let len = rng.gen_range(0usize..300);
+            let vals: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
             let b = compress(&vals, Scheme::BitPack).unwrap();
-            prop_assert_eq!(decompress(&b), vals);
+            assert_eq!(decompress(&b), vals, "case {case}");
         }
+    }
 
-        /// RLE round-trips arbitrary values (runs or not).
-        #[test]
-        fn rle_roundtrips(vals in proptest::collection::vec(0u64..32, 0..400)) {
+    /// RLE round-trips arbitrary values (runs or not).
+    #[test]
+    fn rle_roundtrips() {
+        for case in 0..CASES {
+            let mut rng = Rng::seed_from_u64(0xB2 << 32 | case);
+            let len = rng.gen_range(0usize..400);
+            let vals: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..32)).collect();
             let b = compress(&vals, Scheme::Rle).unwrap();
-            prop_assert_eq!(decompress(&b), vals);
+            assert_eq!(decompress(&b), vals, "case {case}");
         }
+    }
 
-        /// Delta round-trips any sorted input.
-        #[test]
-        fn delta_roundtrips_sorted(mut vals in proptest::collection::vec(any::<u32>(), 0..300)) {
+    /// Delta round-trips any sorted input.
+    #[test]
+    fn delta_roundtrips_sorted() {
+        for case in 0..CASES {
+            let mut rng = Rng::seed_from_u64(0xB3 << 32 | case);
+            let len = rng.gen_range(0usize..300);
+            let mut vals: Vec<u64> = (0..len).map(|_| rng.next_u64() & 0xFFFF_FFFF).collect();
             vals.sort_unstable();
-            let vals: Vec<u64> = vals.into_iter().map(u64::from).collect();
             let b = compress(&vals, Scheme::Delta).unwrap();
-            prop_assert_eq!(decompress(&b), vals);
+            assert_eq!(decompress(&b), vals, "case {case}");
         }
+    }
 
-        /// best_for always round-trips and never exceeds raw u64 size by
-        /// more than the header.
-        #[test]
-        fn best_for_is_sound(vals in proptest::collection::vec(any::<u64>(), 1..300)) {
+    /// best_for always round-trips and never exceeds raw u64 size by
+    /// more than the header.
+    #[test]
+    fn best_for_is_sound() {
+        for case in 0..CASES {
+            let mut rng = Rng::seed_from_u64(0xB4 << 32 | case);
+            let len = rng.gen_range(1usize..300);
+            let vals: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
             let b = best_for(&vals);
-            prop_assert_eq!(decompress(&b), vals.clone());
-            prop_assert!(b.wire_bytes() <= vals.len() as u64 * 8 + 64);
+            assert_eq!(decompress(&b), vals, "case {case}");
+            assert!(b.wire_bytes() <= vals.len() as u64 * 8 + 64, "case {case}");
         }
     }
 }

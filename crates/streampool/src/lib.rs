@@ -175,9 +175,8 @@ impl StreamPool {
         if self.started {
             return Err(PoolError::AlreadyStarted);
         }
-        let schedule = Schedule {
-            streams: self.slots.iter().map(|s| s.commands.clone()).collect(),
-        };
+        let schedule =
+            Schedule { streams: self.slots.iter().map(|s| s.commands.clone()).collect() };
         self.timeline = Some(self.system.simulate(&schedule)?);
         self.started = true;
         Ok(())
@@ -330,10 +329,7 @@ mod tests {
             pool.set_stream_command(StreamHandle(7), kern("k", 1)),
             Err(PoolError::UnknownStream)
         ));
-        assert!(matches!(
-            pool.release_stream(StreamHandle(7)),
-            Err(PoolError::UnknownStream)
-        ));
+        assert!(matches!(pool.release_stream(StreamHandle(7)), Err(PoolError::UnknownStream)));
     }
 
     #[test]

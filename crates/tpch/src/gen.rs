@@ -16,9 +16,8 @@
 //! * `o_orderstatus` is `F` exactly when every lineitem of the order is
 //!   `F`, as in the spec.
 
+use kfusion_prng::Rng;
 use kfusion_relalg::{Column, Relation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Encoded `l_returnflag` values.
 pub mod flags {
@@ -152,31 +151,29 @@ pub struct TpchDb {
 
 /// Generate a database at `cfg`.
 pub fn generate(cfg: TpchConfig) -> TpchDb {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let n_orders = ((1_500_000.0 * cfg.scale) as usize).max(4);
     let n_suppliers = ((10_000.0 * cfg.scale) as usize).max(10);
 
     let supplier = Supplier {
         suppkey: (0..n_suppliers as u64).collect(),
-        nationkey: (0..n_suppliers)
-            .map(|_| rng.gen_range(0..N_NATIONS as i64))
-            .collect(),
+        nationkey: (0..n_suppliers).map(|_| rng.gen_range(0..N_NATIONS as i64)).collect(),
     };
     let nation = Nation { nationkey: (0..N_NATIONS).collect() };
 
     let mut li = Lineitem::default();
-    let mut orders = Orders { orderkey: Vec::with_capacity(n_orders), status: Vec::with_capacity(n_orders) };
+    let mut orders =
+        Orders { orderkey: Vec::with_capacity(n_orders), status: Vec::with_capacity(n_orders) };
     for ok in 0..n_orders as u64 {
         let n_lines = rng.gen_range(1..=7);
         let orderdate: i64 = rng.gen_range(0..MAX_DAY - 151);
         let mut all_f = true;
         let mut all_o = true;
         for _ in 0..n_lines {
-            let shipdate = orderdate + rng.gen_range(1..=121);
-            let commitdate = orderdate + rng.gen_range(30..=90);
-            let receiptdate = shipdate + rng.gen_range(1..=30);
-            let linestatus =
-                if shipdate > LINESTATUS_BOUNDARY { status::O } else { status::F };
+            let shipdate = orderdate + rng.gen_range(1i64..=121);
+            let commitdate = orderdate + rng.gen_range(30i64..=90);
+            let receiptdate = shipdate + rng.gen_range(1i64..=30);
+            let linestatus = if shipdate > LINESTATUS_BOUNDARY { status::O } else { status::F };
             all_f &= linestatus == status::F;
             all_o &= linestatus == status::O;
             let returnflag = if receiptdate <= LINESTATUS_BOUNDARY {
@@ -247,11 +244,8 @@ impl TpchDb {
 
     /// ORDERS keyed by orderkey with `[status]`.
     pub fn orders_rel(&self) -> Relation {
-        Relation::new(
-            self.orders.orderkey.clone(),
-            vec![Column::I64(self.orders.status.clone())],
-        )
-        .expect("columns are rectangular")
+        Relation::new(self.orders.orderkey.clone(), vec![Column::I64(self.orders.status.clone())])
+            .expect("columns are rectangular")
     }
 
     /// SUPPLIER keyed by suppkey with `[nationkey]`.
@@ -348,11 +342,8 @@ mod tests {
     fn linestatus_follows_shipdate_rule() {
         let db = small();
         for i in 0..db.lineitem.len() {
-            let expect = if db.lineitem.shipdate[i] > LINESTATUS_BOUNDARY {
-                status::O
-            } else {
-                status::F
-            };
+            let expect =
+                if db.lineitem.shipdate[i] > LINESTATUS_BOUNDARY { status::O } else { status::F };
             assert_eq!(db.lineitem.linestatus[i], expect);
         }
     }
@@ -361,9 +352,8 @@ mod tests {
     fn order_status_is_f_iff_all_lines_f() {
         let db = small();
         for (oi, &ok) in db.orders.orderkey.iter().enumerate() {
-            let lines: Vec<usize> = (0..db.lineitem.len())
-                .filter(|&i| db.lineitem.orderkey[i] == ok)
-                .collect();
+            let lines: Vec<usize> =
+                (0..db.lineitem.len()).filter(|&i| db.lineitem.orderkey[i] == ok).collect();
             let all_f = lines.iter().all(|&i| db.lineitem.linestatus[i] == status::F);
             assert_eq!(db.orders.status[oi] == status::F, all_f, "order {ok}");
         }

@@ -58,11 +58,7 @@ fn money_body() -> kfusion_ir::KernelBody {
     let tax = || Expr::input(wide::TAX as u32 + 1);
     let mut b = BodyBuilder::new(8);
     b.emit_output(price().mul(Expr::lit(1.0f64).sub(disc())));
-    b.emit_output(
-        price()
-            .mul(Expr::lit(1.0f64).sub(disc()))
-            .mul(Expr::lit(1.0f64).add(tax())),
-    );
+    b.emit_output(price().mul(Expr::lit(1.0f64).sub(disc())).mul(Expr::lit(1.0f64).add(tax())));
     b.build()
 }
 
@@ -91,9 +87,7 @@ pub fn q1_plan() -> PlanGraph {
     }
     // Date-range SELECT.
     let sel = g.add(
-        OpKind::Select {
-            pred: predicates::col_cmp_i64(wide::SHIPDATE, CmpOp::Le, Q1_CUTOFF_DAY),
-        },
+        OpKind::Select { pred: predicates::col_cmp_i64(wide::SHIPDATE, CmpOp::Le, Q1_CUTOFF_DAY) },
         vec![acc],
     );
     // Pack the group attributes and re-key, then SORT (the barrier).
@@ -113,7 +107,11 @@ pub fn q1_inputs(db: &TpchDb) -> Vec<Relation> {
 }
 
 /// Run Q1 on `system` under `strategy`.
-pub fn run_q1(system: &GpuSystem, db: &TpchDb, strategy: Strategy) -> Result<ExecResult, CoreError> {
+pub fn run_q1(
+    system: &GpuSystem,
+    db: &TpchDb,
+    strategy: Strategy,
+) -> Result<ExecResult, CoreError> {
     let plan = q1_plan();
     let inputs = q1_inputs(db);
     execute(system, &plan, &inputs, &ExecConfig::new(strategy, system))
@@ -238,16 +236,9 @@ mod tests {
         let db = db();
         let sys = GpuSystem::c2070();
         let expect = reference_q1(&db);
-        for strat in [
-            Strategy::Serial,
-            Strategy::Fusion,
-            Strategy::FusionFission { segments: 8 },
-        ] {
+        for strat in [Strategy::Serial, Strategy::Fusion, Strategy::FusionFission { segments: 8 }] {
             let r = run_q1(&sys, &db, strat).unwrap();
-            assert!(
-                q1_matches_reference(&r.output, &expect, 1e-9),
-                "strategy {strat:?} diverged"
-            );
+            assert!(q1_matches_reference(&r.output, &expect, 1e-9), "strategy {strat:?} diverged");
         }
     }
 
@@ -273,15 +264,10 @@ mod tests {
         let sys = GpuSystem::c2070();
         let base = run_q1(&sys, &db, Strategy::Serial).unwrap().report.total();
         let fused = run_q1(&sys, &db, Strategy::Fusion).unwrap().report.total();
-        let both = run_q1(&sys, &db, Strategy::FusionFission { segments: 8 })
-            .unwrap()
-            .report
-            .total();
+        let both =
+            run_q1(&sys, &db, Strategy::FusionFission { segments: 8 }).unwrap().report.total();
         let fusion_speedup = base / fused;
-        assert!(
-            (1.05..1.8).contains(&fusion_speedup),
-            "fusion speedup {fusion_speedup}"
-        );
+        assert!((1.05..1.8).contains(&fusion_speedup), "fusion speedup {fusion_speedup}");
         // Fission's contribution to Q1 is tiny (paper: ~1%): the input
         // transfer is a sliver of a SORT-dominated query, and the fission
         // cost model only pipelines when the overlap beats the derated

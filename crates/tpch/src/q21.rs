@@ -61,14 +61,10 @@ pub fn q21_plan(nationkey: i64) -> PlanGraph {
     // EXISTS other supplier in the order: min(supp) != max(supp) over all
     // of the order's lineitems.
     let all_supp = g.add(OpKind::Project { keep: vec![li::SUPPKEY] }, vec![lineitem]);
-    let multi_agg = g.add(
-        OpKind::Aggregate { aggs: vec![Agg::Min(0), Agg::Max(0)] },
-        vec![all_supp],
-    );
-    let multi = g.add(
-        OpKind::Select { pred: predicates::col_cmp_col(0, CmpOp::Ne, 1) },
-        vec![multi_agg],
-    );
+    let multi_agg =
+        g.add(OpKind::Aggregate { aggs: vec![Agg::Min(0), Agg::Max(0)] }, vec![all_supp]);
+    let multi =
+        g.add(OpKind::Select { pred: predicates::col_cmp_col(0, CmpOp::Ne, 1) }, vec![multi_agg]);
     let l3 = g.add(OpKind::Semijoin, vec![l2, multi]);
     // Fig. 17(b)'s second mid-plan SORT boundary.
     let l3 = g.add(OpKind::Sort { by: SortBy::Key }, vec![l3]);
@@ -76,14 +72,8 @@ pub fn q21_plan(nationkey: i64) -> PlanGraph {
     // NOT EXISTS other *late* supplier: exclude orders whose late lineitems
     // span more than one supplier.
     let late_supp = g.add(OpKind::Project { keep: vec![li::SUPPKEY] }, vec![late]);
-    let lm_agg = g.add(
-        OpKind::Aggregate { aggs: vec![Agg::Min(0), Agg::Max(0)] },
-        vec![late_supp],
-    );
-    let lm = g.add(
-        OpKind::Select { pred: predicates::col_cmp_col(0, CmpOp::Ne, 1) },
-        vec![lm_agg],
-    );
+    let lm_agg = g.add(OpKind::Aggregate { aggs: vec![Agg::Min(0), Agg::Max(0)] }, vec![late_supp]);
+    let lm = g.add(OpKind::Select { pred: predicates::col_cmp_col(0, CmpOp::Ne, 1) }, vec![lm_agg]);
     let l4 = g.add(OpKind::Antijoin, vec![l3, lm]);
 
     // Re-key by supplier and SORT (barrier), filter by nation, count.
@@ -125,20 +115,10 @@ pub fn run_q21(
 /// column, sorted by (count, suppkey).
 pub fn reference_q21(db: &TpchDb, nationkey: i64) -> Relation {
     let li_t = &db.lineitem;
-    let order_status: HashMap<u64, i64> = db
-        .orders
-        .orderkey
-        .iter()
-        .copied()
-        .zip(db.orders.status.iter().copied())
-        .collect();
-    let nation_of: HashMap<u64, i64> = db
-        .supplier
-        .suppkey
-        .iter()
-        .copied()
-        .zip(db.supplier.nationkey.iter().copied())
-        .collect();
+    let order_status: HashMap<u64, i64> =
+        db.orders.orderkey.iter().copied().zip(db.orders.status.iter().copied()).collect();
+    let nation_of: HashMap<u64, i64> =
+        db.supplier.suppkey.iter().copied().zip(db.supplier.nationkey.iter().copied()).collect();
 
     // Per order: all suppliers, late suppliers.
     let mut suppliers_of: HashMap<u64, HashSet<i64>> = HashMap::new();
@@ -210,11 +190,7 @@ mod tests {
         let db = db();
         let sys = GpuSystem::c2070();
         let expect = reference_q21(&db, NATION);
-        for strat in [
-            Strategy::Serial,
-            Strategy::Fusion,
-            Strategy::FusionFission { segments: 8 },
-        ] {
+        for strat in [Strategy::Serial, Strategy::Fusion, Strategy::FusionFission { segments: 8 }] {
             let r = run_q21(&sys, &db, NATION, strat).unwrap();
             assert_eq!(r.output, expect, "strategy {strat:?} diverged");
         }
@@ -225,11 +201,8 @@ mod tests {
         // Paper: Q21 gains less from fusion "mainly because of the number of
         // kernels that are not fused" — its plan has more barrier-separated
         // groups.
-        let q21 = fuse_plan(
-            &q21_plan(NATION),
-            &FusionBudget { max_regs_per_thread: 63 },
-            OptLevel::O3,
-        );
+        let q21 =
+            fuse_plan(&q21_plan(NATION), &FusionBudget { max_regs_per_thread: 63 }, OptLevel::O3);
         let q1 = fuse_plan(
             &crate::q1::q1_plan(),
             &FusionBudget { max_regs_per_thread: 63 },

@@ -40,9 +40,7 @@ mod cols {
 
 fn revenue_body() -> kfusion_ir::KernelBody {
     let mut b = BodyBuilder::new(5);
-    b.emit_output(
-        Expr::input(cols::PRICE as u32 + 1).mul(Expr::input(cols::DISCOUNT as u32 + 1)),
-    );
+    b.emit_output(Expr::input(cols::PRICE as u32 + 1).mul(Expr::input(cols::DISCOUNT as u32 + 1)));
     b.build()
 }
 
@@ -87,14 +85,15 @@ pub fn q6_plan() -> PlanGraph {
 /// Plan inputs: the four lineitem column relations Q6 reads.
 pub fn q6_inputs(db: &TpchDb) -> Vec<Relation> {
     use crate::gen::LineitemCol::*;
-    [Shipdate, Quantity, ExtendedPrice, Discount]
-        .iter()
-        .map(|&c| db.lineitem_column(c))
-        .collect()
+    [Shipdate, Quantity, ExtendedPrice, Discount].iter().map(|&c| db.lineitem_column(c)).collect()
 }
 
 /// Run Q6 under `strategy`.
-pub fn run_q6(system: &GpuSystem, db: &TpchDb, strategy: Strategy) -> Result<ExecResult, CoreError> {
+pub fn run_q6(
+    system: &GpuSystem,
+    db: &TpchDb,
+    strategy: Strategy,
+) -> Result<ExecResult, CoreError> {
     execute(system, &q6_plan(), &q6_inputs(db), &ExecConfig::new(strategy, system))
 }
 
@@ -122,10 +121,7 @@ pub fn q6_answer(out: &Relation) -> Option<(f64, i64)> {
     if out.len() != 1 {
         return None;
     }
-    Some((
-        out.cols.first()?.as_f64()?[0],
-        out.cols.get(1)?.as_i64()?[0],
-    ))
+    Some((out.cols.first()?.as_f64()?[0], out.cols.get(1)?.as_i64()?[0]))
 }
 
 #[cfg(test)]

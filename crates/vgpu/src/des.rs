@@ -110,25 +110,61 @@ pub struct Command {
     pub class: CommandClass,
     /// Payload.
     pub kind: CommandKind,
+    /// Named device buffers this command reads. H2D copies read nothing on
+    /// the device; D2H copies read the buffer named by their label; kernels
+    /// declare reads via [`Command::reading`].
+    pub reads: Vec<String>,
+    /// Named device buffers this command writes. H2D copies write the
+    /// buffer named by their label; kernels declare writes via
+    /// [`Command::writing`].
+    pub writes: Vec<String>,
 }
 
 impl Command {
-    /// A host→device input copy.
-    pub fn h2d(label: impl Into<String>, class: CommandClass, bytes: u64, mem: HostMemKind) -> Self {
-        Command { label: label.into(), class, kind: CommandKind::CopyH2D { bytes, mem } }
+    /// A host→device input copy. Writes the device buffer named `label`.
+    pub fn h2d(
+        label: impl Into<String>,
+        class: CommandClass,
+        bytes: u64,
+        mem: HostMemKind,
+    ) -> Self {
+        let label = label.into();
+        Command {
+            writes: vec![label.clone()],
+            label,
+            class,
+            kind: CommandKind::CopyH2D { bytes, mem },
+            reads: Vec::new(),
+        }
     }
 
-    /// A device→host output copy.
-    pub fn d2h(label: impl Into<String>, class: CommandClass, bytes: u64, mem: HostMemKind) -> Self {
-        Command { label: label.into(), class, kind: CommandKind::CopyD2H { bytes, mem } }
+    /// A device→host output copy. Reads the device buffer named `label`.
+    pub fn d2h(
+        label: impl Into<String>,
+        class: CommandClass,
+        bytes: u64,
+        mem: HostMemKind,
+    ) -> Self {
+        let label = label.into();
+        Command {
+            reads: vec![label.clone()],
+            label,
+            class,
+            kind: CommandKind::CopyD2H { bytes, mem },
+            writes: Vec::new(),
+        }
     }
 
-    /// A kernel launch.
+    /// A kernel launch. Declares no buffer accesses; chain
+    /// [`Command::reading`]/[`Command::writing`] so the hazard detector can
+    /// order it against copies.
     pub fn kernel(profile: KernelProfile, launch: LaunchConfig, elems: u64) -> Self {
         Command {
             label: profile.name.clone(),
             class: CommandClass::Compute,
             kind: CommandKind::Kernel { profile, launch, elems },
+            reads: Vec::new(),
+            writes: Vec::new(),
         }
     }
 
@@ -138,6 +174,8 @@ impl Command {
             label: label.into(),
             class: CommandClass::HostWork,
             kind: CommandKind::HostWork { seconds },
+            reads: Vec::new(),
+            writes: Vec::new(),
         }
     }
 
@@ -147,6 +185,8 @@ impl Command {
             label: format!("record({})", event.0),
             class: CommandClass::Sync,
             kind: CommandKind::RecordEvent(event),
+            reads: Vec::new(),
+            writes: Vec::new(),
         }
     }
 
@@ -156,7 +196,21 @@ impl Command {
             label: format!("wait({})", event.0),
             class: CommandClass::Sync,
             kind: CommandKind::WaitEvent(event),
+            reads: Vec::new(),
+            writes: Vec::new(),
         }
+    }
+
+    /// Declare that this command reads the device buffer `buf`.
+    pub fn reading(mut self, buf: impl Into<String>) -> Self {
+        self.reads.push(buf.into());
+        self
+    }
+
+    /// Declare that this command writes the device buffer `buf`.
+    pub fn writing(mut self, buf: impl Into<String>) -> Self {
+        self.writes.push(buf.into());
+        self
     }
 }
 
@@ -243,21 +297,13 @@ impl Timeline {
 
     /// Sum of span durations whose label starts with `prefix`.
     pub fn time_with_label_prefix(&self, prefix: &str) -> f64 {
-        self.spans
-            .iter()
-            .filter(|s| s.label.starts_with(prefix))
-            .map(Span::duration)
-            .sum::<f64>()
+        self.spans.iter().filter(|s| s.label.starts_with(prefix)).map(Span::duration).sum::<f64>()
             + 0.0
     }
 
     /// Busy time of one engine.
     pub fn busy(&self, engine: Engine) -> f64 {
-        self.spans
-            .iter()
-            .filter(|s| s.engine == Some(engine))
-            .map(Span::duration)
-            .sum::<f64>()
+        self.spans.iter().filter(|s| s.engine == Some(engine)).map(Span::duration).sum::<f64>()
             + 0.0
     }
 }
@@ -273,6 +319,8 @@ pub enum SimError {
     },
     /// An event was recorded twice.
     DuplicateEvent(u32),
+    /// The static hazard detector found a data race in the schedule.
+    Hazard(crate::hazard::Hazard),
 }
 
 impl std::fmt::Display for SimError {
@@ -282,6 +330,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "deadlock: streams {blocked_streams:?} wait on unrecorded events")
             }
             SimError::DuplicateEvent(e) => write!(f, "event {e} recorded twice"),
+            SimError::Hazard(h) => write!(f, "schedule hazard: {h}"),
         }
     }
 }
@@ -351,9 +400,8 @@ pub fn simulate(system: &GpuSystem, schedule: &Schedule) -> Result<Timeline, Sim
             }
         }
         let Some((start, s)) = best else {
-            let blocked: Vec<usize> = (0..n_streams)
-                .filter(|&s| head[s] < schedule.streams[s].len())
-                .collect();
+            let blocked: Vec<usize> =
+                (0..n_streams).filter(|&s| head[s] < schedule.streams[s].len()).collect();
             return Err(SimError::Deadlock { blocked_streams: blocked });
         };
         let cmd = &schedule.streams[s][head[s]];
@@ -363,9 +411,7 @@ pub fn simulate(system: &GpuSystem, schedule: &Schedule) -> Result<Timeline, Sim
             // in-flight work; a trailing copy after all streams drain runs
             // at full synchronous bandwidth.
             let others_active = (0..n_streams).any(|s2| {
-                s2 != s
-                    && (head[s2] < schedule.streams[s2].len()
-                        || stream_end[s2] > start + 1e-15)
+                s2 != s && (head[s2] < schedule.streams[s2].len() || stream_end[s2] > start + 1e-15)
             });
             if others_active {
                 concurrent_derate
@@ -532,10 +578,8 @@ mod tests {
     #[test]
     fn duplicate_event_record_is_an_error() {
         let s = sys();
-        let sched = Schedule::serial(vec![
-            Command::record(EventId(1)),
-            Command::record(EventId(1)),
-        ]);
+        let sched =
+            Schedule::serial(vec![Command::record(EventId(1)), Command::record(EventId(1))]);
         assert!(matches!(s.simulate(&sched), Err(SimError::DuplicateEvent(1))));
     }
 
@@ -559,9 +603,19 @@ mod tests {
         let serial: Vec<Command> = (0..4)
             .flat_map(|i| {
                 vec![
-                    Command::h2d(format!("in{i}"), CommandClass::InputOutput, seg_bytes, HostMemKind::Pinned),
+                    Command::h2d(
+                        format!("in{i}"),
+                        CommandClass::InputOutput,
+                        seg_bytes,
+                        HostMemKind::Pinned,
+                    ),
                     kern(&format!("k{i}"), seg_elems),
-                    Command::d2h(format!("out{i}"), CommandClass::InputOutput, seg_bytes, HostMemKind::Pinned),
+                    Command::d2h(
+                        format!("out{i}"),
+                        CommandClass::InputOutput,
+                        seg_bytes,
+                        HostMemKind::Pinned,
+                    ),
                 ]
             })
             .collect();
@@ -573,9 +627,25 @@ mod tests {
         }
         for i in 0..4 {
             let st = i % 3;
-            pipe.push(st, Command::h2d(format!("in{i}"), CommandClass::InputOutput, seg_bytes, HostMemKind::Pinned));
+            pipe.push(
+                st,
+                Command::h2d(
+                    format!("in{i}"),
+                    CommandClass::InputOutput,
+                    seg_bytes,
+                    HostMemKind::Pinned,
+                ),
+            );
             pipe.push(st, kern(&format!("k{i}"), seg_elems));
-            pipe.push(st, Command::d2h(format!("out{i}"), CommandClass::InputOutput, seg_bytes, HostMemKind::Pinned));
+            pipe.push(
+                st,
+                Command::d2h(
+                    format!("out{i}"),
+                    CommandClass::InputOutput,
+                    seg_bytes,
+                    HostMemKind::Pinned,
+                ),
+            );
         }
         let t_pipe = s.simulate(&pipe).unwrap().total();
         assert!(
@@ -594,7 +664,9 @@ mod tests {
             kern("k", MB64 / 4),
         ]);
         let t = s.simulate(&sched).unwrap();
-        assert!(t.time_in_class(CommandClass::RoundTrip) > t.time_in_class(CommandClass::InputOutput));
+        assert!(
+            t.time_in_class(CommandClass::RoundTrip) > t.time_in_class(CommandClass::InputOutput)
+        );
         assert!(t.time_in_class(CommandClass::Compute) > 0.0);
         assert!(t.time_with_label_prefix("tmp_") > 0.0);
     }

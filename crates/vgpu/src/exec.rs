@@ -8,8 +8,6 @@
 //! this module is purely about producing correct outputs fast enough to test
 //! at figure scale.
 
-use crossbeam::thread;
-
 /// Default number of elements each simulated CTA processes.
 pub const DEFAULT_CTA_CHUNK: usize = 64 * 1024;
 
@@ -46,18 +44,14 @@ where
     }
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n_ctas);
     if workers <= 1 || n_ctas == 1 {
-        return ranges
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| work(i, &input[r]))
-            .collect();
+        return ranges.into_iter().enumerate().map(|(i, r)| work(i, &input[r])).collect();
     }
     let mut results: Vec<Option<R>> = (0..n_ctas).map(|_| None).collect();
     let work = &work;
     let ranges = &ranges;
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (w, mut slot_chunk) in chunked_slots(&mut results, workers).into_iter().enumerate() {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, slot) in slot_chunk.iter_mut().enumerate() {
                     let cta = w + offset * workers;
                     let r = ranges[cta].clone();
@@ -65,8 +59,7 @@ where
                 }
             });
         }
-    })
-    .expect("CTA worker panicked");
+    });
     results.into_iter().map(|r| r.expect("all CTAs filled")).collect()
 }
 
@@ -101,17 +94,16 @@ where
     let mut results: Vec<Option<R>> = (0..n_ctas).map(|_| None).collect();
     let work = &work;
     let ranges = &ranges;
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (w, mut slot_chunk) in chunked_slots(&mut results, workers).into_iter().enumerate() {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, slot) in slot_chunk.iter_mut().enumerate() {
                     let cta = w + offset * workers;
                     **slot = Some(work(cta, ranges[cta].clone()));
                 }
             });
         }
-    })
-    .expect("CTA worker panicked");
+    });
     results.into_iter().map(|r| r.expect("all CTAs filled")).collect()
 }
 

@@ -75,9 +75,8 @@ mod tests {
         let sys = GpuSystem::c2070();
         let spec = DeviceSpec::tesla_c2070();
         let kern = |i: usize| {
-            let p = KernelProfile::new(format!("k{i}"))
-                .instr_per_elem(200.0)
-                .bytes_read_per_elem(4.0);
+            let p =
+                KernelProfile::new(format!("k{i}")).instr_per_elem(200.0).bytes_read_per_elem(4.0);
             Command::kernel(p, LaunchConfig::for_elements(4 << 20, &spec), 4 << 20)
         };
         let mut sched = Schedule::new();
@@ -89,12 +88,22 @@ mod tests {
             let s = i % n_streams;
             sched.push(
                 s,
-                Command::h2d(format!("in{i}"), CommandClass::InputOutput, 16 << 20, HostMemKind::Pinned),
+                Command::h2d(
+                    format!("in{i}"),
+                    CommandClass::InputOutput,
+                    16 << 20,
+                    HostMemKind::Pinned,
+                ),
             );
             sched.push(s, kern(i));
             sched.push(
                 s,
-                Command::d2h(format!("out{i}"), CommandClass::InputOutput, 8 << 20, HostMemKind::Pinned),
+                Command::d2h(
+                    format!("out{i}"),
+                    CommandClass::InputOutput,
+                    8 << 20,
+                    HostMemKind::Pinned,
+                ),
             );
         }
         sys.simulate(&sched).unwrap()
@@ -121,10 +130,7 @@ mod tests {
         // (modulo cell-boundary rounding, hence the generous width).
         let t = sample_timeline(false);
         let g = render(&t, 200);
-        let rows: Vec<&str> = g
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let rows: Vec<&str> = g.lines().filter(|l| l.contains('|')).collect();
         let bars: Vec<Vec<u8>> = rows
             .iter()
             .map(|r| {
@@ -159,9 +165,8 @@ mod tests {
             })
             .collect();
         let width = bars[0].len();
-        let overlapped = (0..width)
-            .filter(|&c| bars.iter().filter(|b| b[c] == b'#').count() > 1)
-            .count();
+        let overlapped =
+            (0..width).filter(|&c| bars.iter().filter(|b| b[c] == b'#').count() > 1).count();
         assert!(overlapped > width / 10, "expected visible overlap:\n{g}");
     }
 

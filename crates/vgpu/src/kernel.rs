@@ -173,8 +173,8 @@ impl KernelProfile {
         // use the square root so underpopulated launches still stream
         // reasonably (matches the gentler small-N rolloff of Fig. 4(a)).
         let u_mem = u.sqrt();
-        let instrs =
-            n as f64 * self.instr_per_elem + launch.total_threads() as f64 * self.fixed_instr_per_thread;
+        let instrs = n as f64 * self.instr_per_elem
+            + launch.total_threads() as f64 * self.fixed_instr_per_thread;
         let t_compute = instrs / (spec.peak_ips() * u.max(1e-9));
         let t_mem = self.traffic_bytes(spec, n)
             / (spec.mem_bw_bytes() * self.mem_efficiency * u_mem.max(1e-9));
@@ -212,9 +212,7 @@ mod tests {
     fn memory_bound_kernel_hits_bandwidth_roof() {
         let g = gpu();
         // 1 instruction but 64 bytes per element: memory bound.
-        let p = KernelProfile::new("mem")
-            .instr_per_elem(1.0)
-            .bytes_read_per_elem(64.0);
+        let p = KernelProfile::new("mem").instr_per_elem(1.0).bytes_read_per_elem(64.0);
         let n = 1u64 << 26;
         let l = LaunchConfig::for_elements(n, &g);
         let t = p.time(&g, &l, n) - g.launch_overhead_s;

@@ -49,14 +49,16 @@
 
 pub mod des;
 pub mod device;
-pub mod gantt;
 pub mod exec;
+pub mod gantt;
+pub mod hazard;
 pub mod kernel;
 pub mod memory;
 pub mod pcie;
 
 pub use des::{Command, CommandClass, Engine, Schedule, SimError, Span, Timeline};
 pub use device::DeviceSpec;
+pub use hazard::Hazard;
 pub use kernel::{KernelProfile, LaunchConfig};
 pub use memory::{DeviceMemory, MemError};
 pub use pcie::{Direction, HostMemKind, PcieModel};
@@ -82,7 +84,14 @@ impl GpuSystem {
     }
 
     /// Simulate a schedule of stream commands on this system.
+    ///
+    /// With the `check` feature (default-on) the [`hazard`] detector runs
+    /// first: a schedule whose declared buffer accesses race fails with
+    /// [`SimError::Hazard`] instead of silently simulating a timing for a
+    /// computation that would corrupt data on real hardware.
     pub fn simulate(&self, schedule: &Schedule) -> Result<Timeline, SimError> {
+        #[cfg(feature = "check")]
+        hazard::check_schedule(schedule).map_err(SimError::Hazard)?;
         des::simulate(self, schedule)
     }
 }

@@ -1,9 +1,14 @@
 //! Property tests for the discrete-event scheduler: CUDA stream semantics
 //! must hold on arbitrary schedules.
+//!
+//! Schedules are generated from seeded `kfusion-prng` streams; each case
+//! index reproduces independently.
 
+use kfusion_prng::Rng;
 use kfusion_vgpu::des::{Command, CommandClass, EventId, Schedule};
 use kfusion_vgpu::{Engine, GpuSystem, HostMemKind, KernelProfile, LaunchConfig};
-use proptest::prelude::*;
+
+const CASES: u64 = 128;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,13 +18,23 @@ enum Op {
     Host(u16),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u32..64).prop_map(Op::H2D),
-        (1u32..64).prop_map(Op::D2H),
-        (1u32..64).prop_map(Op::Kernel),
-        (1u16..50).prop_map(Op::Host),
-    ]
+fn arb_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0usize..4) {
+        0 => Op::H2D(rng.gen_range(1u32..64)),
+        1 => Op::D2H(rng.gen_range(1u32..64)),
+        2 => Op::Kernel(rng.gen_range(1u32..64)),
+        _ => Op::Host(rng.gen_range(1u32..50) as u16),
+    }
+}
+
+fn arb_streams(rng: &mut Rng, n_streams_max: usize, ops_max: usize) -> Vec<Vec<Op>> {
+    let n = rng.gen_range(1..n_streams_max);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(0..ops_max);
+            (0..len).map(|_| arb_op(rng)).collect()
+        })
+        .collect()
 }
 
 fn to_command(op: &Op, idx: usize) -> Command {
@@ -62,100 +77,110 @@ fn build_schedule(streams: &[Vec<Op>]) -> Schedule {
     sched
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Simulation is deterministic: same schedule, same timeline.
-    #[test]
-    fn simulation_is_deterministic(
-        streams in proptest::collection::vec(
-            proptest::collection::vec(arb_op(), 0..8), 1..5)
-    ) {
+/// Simulation is deterministic: same schedule, same timeline.
+#[test]
+fn simulation_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD1 << 32 | case);
+        let streams = arb_streams(&mut rng, 5, 8);
         let sys = GpuSystem::c2070();
         let sched = build_schedule(&streams);
         let a = sys.simulate(&sched).unwrap();
         let b = sys.simulate(&sched).unwrap();
-        prop_assert_eq!(a.spans.len(), b.spans.len());
+        assert_eq!(a.spans.len(), b.spans.len(), "case {case}");
         for (x, y) in a.spans.iter().zip(&b.spans) {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y, "case {case}");
         }
     }
+}
 
-    /// Commands within one stream execute in issue order (CUDA FIFO
-    /// semantics), and every command executes exactly once.
-    #[test]
-    fn stream_fifo_order_holds(
-        streams in proptest::collection::vec(
-            proptest::collection::vec(arb_op(), 0..10), 1..5)
-    ) {
+/// Commands within one stream execute in issue order (CUDA FIFO
+/// semantics), and every command executes exactly once.
+#[test]
+fn stream_fifo_order_holds() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD2 << 32 | case);
+        let streams = arb_streams(&mut rng, 5, 10);
         let sys = GpuSystem::c2070();
         let sched = build_schedule(&streams);
         let total: usize = streams.iter().map(Vec::len).sum();
         let t = sys.simulate(&sched).unwrap();
-        prop_assert_eq!(t.spans.len(), total);
+        assert_eq!(t.spans.len(), total, "case {case}");
         for (s, ops) in streams.iter().enumerate() {
             let mut spans: Vec<_> = t.spans.iter().filter(|sp| sp.stream == s).collect();
             spans.sort_by_key(|sp| sp.index);
-            prop_assert_eq!(spans.len(), ops.len());
+            assert_eq!(spans.len(), ops.len(), "case {case}");
             for w in spans.windows(2) {
-                prop_assert!(
+                assert!(
                     w[0].end <= w[1].start + 1e-12,
-                    "stream {s}: {:?} overlaps {:?}", w[0], w[1]
+                    "case {case} stream {s}: {:?} overlaps {:?}",
+                    w[0],
+                    w[1]
                 );
             }
         }
     }
+}
 
-    /// No engine ever runs two commands at once.
-    #[test]
-    fn engines_never_double_book(
-        streams in proptest::collection::vec(
-            proptest::collection::vec(arb_op(), 0..10), 1..6)
-    ) {
+/// No engine ever runs two commands at once.
+#[test]
+fn engines_never_double_book() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD3 << 32 | case);
+        let streams = arb_streams(&mut rng, 6, 10);
         let sys = GpuSystem::c2070();
         let t = sys.simulate(&build_schedule(&streams)).unwrap();
         for engine in [Engine::Compute, Engine::CopyH2D, Engine::CopyD2H, Engine::Host] {
-            let mut spans: Vec<_> = t
-                .spans
-                .iter()
-                .filter(|s| s.engine == Some(engine))
-                .collect();
+            let mut spans: Vec<_> = t.spans.iter().filter(|s| s.engine == Some(engine)).collect();
             spans.sort_by(|a, b| a.start.total_cmp(&b.start));
             for w in spans.windows(2) {
-                prop_assert!(
+                assert!(
                     w[0].end <= w[1].start + 1e-12,
-                    "{engine:?} double-booked: {:?} and {:?}", w[0], w[1]
+                    "case {case} {engine:?} double-booked: {:?} and {:?}",
+                    w[0],
+                    w[1]
                 );
             }
         }
     }
+}
 
-    /// Makespan is at least every engine's busy time, and at most the sum
-    /// of all span durations (no time travel either way).
-    #[test]
-    fn makespan_bounds(
-        streams in proptest::collection::vec(
-            proptest::collection::vec(arb_op(), 1..8), 1..5)
-    ) {
+/// Makespan is at least every engine's busy time, and at most the sum
+/// of all span durations (no time travel either way).
+#[test]
+fn makespan_bounds() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD4 << 32 | case);
+        let n = rng.gen_range(1usize..5);
+        let streams: Vec<Vec<Op>> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1usize..8);
+                (0..len).map(|_| arb_op(&mut rng)).collect()
+            })
+            .collect();
         let sys = GpuSystem::c2070();
         let t = sys.simulate(&build_schedule(&streams)).unwrap();
         let total = t.total();
         for engine in [Engine::Compute, Engine::CopyH2D, Engine::CopyD2H, Engine::Host] {
-            prop_assert!(t.busy(engine) <= total + 1e-9);
+            assert!(t.busy(engine) <= total + 1e-9, "case {case}");
         }
         let sum: f64 = t.spans.iter().map(|s| s.end - s.start).sum();
-        prop_assert!(total <= sum + 1e-9);
+        assert!(total <= sum + 1e-9, "case {case}");
     }
+}
 
-    /// Adding cross-stream event edges never makes the schedule *faster* —
-    /// on a contention-free link. (With the async-efficiency derate the
-    /// property is genuinely false: serializing copy-heavy streams can beat
-    /// derated overlap, which is exactly the effect the model adds.)
-    #[test]
-    fn event_edges_only_delay(
-        ops_a in proptest::collection::vec(arb_op(), 1..6),
-        ops_b in proptest::collection::vec(arb_op(), 1..6),
-    ) {
+/// Adding cross-stream event edges never makes the schedule *faster* —
+/// on a contention-free link. (With the async-efficiency derate the
+/// property is genuinely false: serializing copy-heavy streams can beat
+/// derated overlap, which is exactly the effect the model adds.)
+#[test]
+fn event_edges_only_delay() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD5 << 32 | case);
+        let len_a = rng.gen_range(1usize..6);
+        let ops_a: Vec<Op> = (0..len_a).map(|_| arb_op(&mut rng)).collect();
+        let len_b = rng.gen_range(1usize..6);
+        let ops_b: Vec<Op> = (0..len_b).map(|_| arb_op(&mut rng)).collect();
         let mut sys = GpuSystem::c2070();
         sys.pcie.async_efficiency = 1.0;
         // Free: two independent streams.
@@ -169,7 +194,9 @@ proptest! {
             chained.push(1, to_command(op, 1000 + k));
         }
         let t_chained = sys.simulate(&chained).unwrap().total();
-        prop_assert!(t_chained >= t_free - 1e-9,
-            "chaining sped things up: {t_chained} < {t_free}");
+        assert!(
+            t_chained >= t_free - 1e-9,
+            "case {case}: chaining sped things up: {t_chained} < {t_free}"
+        );
     }
 }

@@ -6,11 +6,11 @@
 //! cargo run --release --example extensions
 //! ```
 
+use kfusion::core::exec::ExecConfig;
 use kfusion::core::exec::{execute_auto_serial, Strategy};
 use kfusion::core::hetero;
-use kfusion::core::multiquery::{batching_speedup, execute_multi, merge_plans};
-use kfusion::core::exec::ExecConfig;
 use kfusion::core::microbench::SelectChain;
+use kfusion::core::multiquery::{batching_speedup, execute_multi, merge_plans};
 use kfusion::core::{OpKind, PlanGraph};
 use kfusion::relalg::{gen, predicates};
 use kfusion::vgpu::{DeviceSpec, GpuSystem};

@@ -10,9 +10,7 @@
 //! trip / fused), verify the fused kernel computes the identical relation,
 //! and print the throughput and time breakdown of each method.
 
-use kfusion::core::microbench::{
-    run_with_cards, verify_chain_equivalence, SelectChain, Strategy,
-};
+use kfusion::core::microbench::{run_with_cards, verify_chain_equivalence, SelectChain, Strategy};
 use kfusion::vgpu::GpuSystem;
 
 fn main() {

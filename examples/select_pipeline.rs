@@ -59,5 +59,7 @@ fn main() {
 
     println!("\npipeline Gantt (first rows of the fused+fission timeline):");
     print!("{}", kfusion::vgpu::gantt::render(&best.timeline, 84));
-    println!("\npaper Fig. 16: fusion+fission beats serial by ~41%, fusion by ~31%, fission by ~10%.");
+    println!(
+        "\npaper Fig. 16: fusion+fission beats serial by ~41%, fusion by ~31%, fission by ~10%."
+    );
 }

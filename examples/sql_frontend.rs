@@ -63,10 +63,7 @@ fn main() {
     );
 
     let mut base = 0.0;
-    for (name, strat) in [
-        ("not optimized", Strategy::Serial),
-        ("fusion", Strategy::Fusion),
-    ] {
+    for (name, strat) in [("not optimized", Strategy::Serial), ("fusion", Strategy::Fusion)] {
         let r = execute(&sys, &q.plan, std::slice::from_ref(&table), &ExecConfig::new(strat, &sys))
             .expect("runs");
         if base == 0.0 {

@@ -47,13 +47,23 @@ fn main() {
         let h = streams[(s as usize) % 3];
         pool.set_stream_command(
             h,
-            Command::h2d(format!("in[seg{s}]"), CommandClass::InputOutput, seg_bytes, HostMemKind::Pinned),
+            Command::h2d(
+                format!("in[seg{s}]"),
+                CommandClass::InputOutput,
+                seg_bytes,
+                HostMemKind::Pinned,
+            ),
         )
         .unwrap();
         pool.set_stream_command(h, kernel(s)).unwrap();
         pool.set_stream_command(
             h,
-            Command::d2h(format!("out[seg{s}]"), CommandClass::InputOutput, seg_bytes / 2, HostMemKind::Pinned),
+            Command::d2h(
+                format!("out[seg{s}]"),
+                CommandClass::InputOutput,
+                seg_bytes / 2,
+                HostMemKind::Pinned,
+            ),
         )
         .unwrap();
     }
@@ -62,22 +72,22 @@ fn main() {
     pool.start_streams().unwrap();
     let timeline = pool.wait_all().unwrap();
 
-    println!("executed {} commands; makespan {:.3} ms", timeline.spans.len(), timeline.total() * 1e3);
+    println!(
+        "executed {} commands; makespan {:.3} ms",
+        timeline.spans.len(),
+        timeline.total() * 1e3
+    );
     println!("\nfirst 12 spans (stream, label, start ms, end ms):");
     for s in timeline.spans.iter().take(12) {
-        println!(
-            "  s{} {:<12} {:>8.3} {:>8.3}",
-            s.stream,
-            s.label,
-            s.start * 1e3,
-            s.end * 1e3
-        );
+        println!("  s{} {:<12} {:>8.3} {:>8.3}", s.stream, s.label, s.start * 1e3, s.end * 1e3);
     }
 
     // The whole point: engine busy time ~ makespan on the bottleneck engine.
     use kfusion::vgpu::Engine;
     println!("\nengine busy (ms):");
-    for (name, e) in [("H2D", Engine::CopyH2D), ("D2H", Engine::CopyD2H), ("compute", Engine::Compute)] {
+    for (name, e) in
+        [("H2D", Engine::CopyH2D), ("D2H", Engine::CopyD2H), ("compute", Engine::Compute)]
+    {
         println!("  {name:<8} {:>8.3}", timeline.busy(e) * 1e3);
     }
 

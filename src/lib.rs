@@ -18,6 +18,7 @@
 //! | [`streampool`] | `kfusion-streampool` | the paper's Stream Pool runtime (Table IV) |
 //! | [`tpch`] | `kfusion-tpch` | dbgen-lite + Q1/Q21/Q6 plans + reference executors |
 //! | [`frontend`] | `kfusion-frontend` | SQL subset compiling to plan graphs |
+//! | [`check`] | `kfusion-check` | static verification: typed IR verifier, fusion legality, schedule hazards |
 //!
 //! ## Quick start
 //!
@@ -38,6 +39,7 @@
 //! for the harnesses that regenerate every table and figure of the paper
 //! (EXPERIMENTS.md maps each to its target).
 
+pub use kfusion_check as check;
 pub use kfusion_core as core;
 pub use kfusion_frontend as frontend;
 pub use kfusion_ir as ir;

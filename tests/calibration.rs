@@ -14,9 +14,7 @@
 //! * Fig. 18: Q1 total +26.5% (fusion 1.25×, SORT ≈71%); Q21 total +13.2%.
 
 use kfusion::core::exec::Strategy as QStrategy;
-use kfusion::core::microbench::{
-    run_compute_only, run_cpu, run_with_cards, SelectChain, Strategy,
-};
+use kfusion::core::microbench::{run_compute_only, run_cpu, run_with_cards, SelectChain, Strategy};
 use kfusion::tpch::gen::{generate, TpchConfig};
 use kfusion::tpch::{q1, q21};
 use kfusion::vgpu::{CommandClass, DeviceSpec, GpuSystem};
@@ -26,10 +24,7 @@ fn sys() -> GpuSystem {
 }
 
 fn assert_band(what: &str, value: f64, lo: f64, hi: f64) {
-    assert!(
-        (lo..=hi).contains(&value),
-        "{what}: {value:.3} outside calibration band [{lo}, {hi}]"
-    );
+    assert!((lo..=hi).contains(&value), "{what}: {value:.3} outside calibration band [{lo}, {hi}]");
 }
 
 #[test]
@@ -37,20 +32,13 @@ fn fig04a_gpu_vs_cpu_ratios() {
     let cpu = DeviceSpec::xeon_e5520_pair();
     let s = sys();
     // (selectivity, paper ratio, band)
-    for (sel, paper, lo, hi) in [
-        (0.1, 2.88, 2.0, 4.8),
-        (0.5, 8.80, 6.0, 11.5),
-        (0.9, 8.35, 5.5, 11.0),
-    ] {
+    for (sel, paper, lo, hi) in
+        [(0.1, 2.88, 2.0, 4.8), (0.5, 8.80, 6.0, 11.5), (0.9, 8.35, 5.5, 11.0)]
+    {
         let chain = SelectChain::auto(1 << 24, &[sel]);
         let gpu = run_compute_only(&s, &chain, false).unwrap().throughput_gbps();
         let host = run_cpu(&cpu, &chain).unwrap().throughput_gbps();
-        assert_band(
-            &format!("GPU/CPU at {sel} (paper {paper})"),
-            gpu / host,
-            lo,
-            hi,
-        );
+        assert_band(&format!("GPU/CPU at {sel} (paper {paper})"), gpu / host, lo, hi);
     }
 }
 
@@ -88,13 +76,8 @@ fn fig08_fusion_gains() {
 fn fig09_round_trip_share() {
     let s = sys();
     let chain = SelectChain::auto(1 << 24, &[0.5, 0.5]);
-    let r = run_with_cards(
-        &s,
-        &chain,
-        Strategy::WithRoundTrip,
-        &chain.cardinalities().unwrap(),
-    )
-    .unwrap();
+    let r = run_with_cards(&s, &chain, Strategy::WithRoundTrip, &chain.cardinalities().unwrap())
+        .unwrap();
     let share = r.class_time(CommandClass::RoundTrip) / r.total();
     assert_band("round-trip share (paper 0.54)", share, 0.25, 0.65);
 }

@@ -82,10 +82,7 @@ fn missing_column_in_predicate_surfaces() {
     // Predicate reads column 3 of a keys-only relation.
     let mut g = PlanGraph::new();
     let i = g.input(0);
-    g.add(
-        OpKind::Select { pred: predicates::col_cmp_i64(3, kfusion::ir::CmpOp::Lt, 5) },
-        vec![i],
-    );
+    g.add(OpKind::Select { pred: predicates::col_cmp_i64(3, kfusion::ir::CmpOp::Lt, 5) }, vec![i]);
     let keys_only = gen::random_keys(100, 1);
     let r = execute(
         &sys(),
@@ -107,13 +104,8 @@ fn single_row_relation_through_tpch_style_plan() {
     g.add(OpKind::Aggregate { aggs: vec![Agg::Sum(0), Agg::Count] }, vec![srt]);
     let one_a = Relation::new(vec![7], vec![Column::I64(vec![42])]).unwrap();
     let one_b = Relation::new(vec![7], vec![Column::I64(vec![8])]).unwrap();
-    let r = execute(
-        &sys(),
-        &g,
-        &[one_a, one_b],
-        &ExecConfig::new(Strategy::Fusion, &sys()),
-    )
-    .unwrap();
+    let r =
+        execute(&sys(), &g, &[one_a, one_b], &ExecConfig::new(Strategy::Fusion, &sys())).unwrap();
     assert_eq!(r.output.key, vec![7]);
     assert_eq!(r.output.cols[0].as_i64().unwrap(), &[42]);
     assert_eq!(r.output.cols[1].as_i64().unwrap(), &[1]);
@@ -128,7 +120,9 @@ fn many_segment_fission_on_small_input_stays_correct() {
     g.add(OpKind::Select { pred: predicates::key_lt(1 << 31) }, vec![i]);
     let input = gen::random_keys(1000, 2);
     let s = sys();
-    let serial = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
+    let serial =
+        execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s))
+            .unwrap();
     let fission = execute(
         &s,
         &g,
@@ -162,14 +156,13 @@ fn deep_chain_with_tiny_register_budget_still_correct() {
     let mut g = PlanGraph::new();
     let mut cur = g.input(0);
     for k in 0..6u64 {
-        cur = g.add(
-            OpKind::Select { pred: predicates::key_lt(u64::MAX / (k + 2)) },
-            vec![cur],
-        );
+        cur = g.add(OpKind::Select { pred: predicates::key_lt(u64::MAX / (k + 2)) }, vec![cur]);
     }
     let input = gen::random_keys(50_000, 3);
     let fused = execute(&s, &g, std::slice::from_ref(&input), &cfg).unwrap();
-    let serial = execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s)).unwrap();
+    let serial =
+        execute(&s, &g, std::slice::from_ref(&input), &ExecConfig::new(Strategy::Serial, &s))
+            .unwrap();
     assert_eq!(fused.output, serial.output);
     // Under a 1-register budget nothing multi-member can form.
     assert_eq!(fused.fusion.fused_group_count(), 0);

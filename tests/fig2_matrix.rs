@@ -98,10 +98,7 @@ fn chains_of_patterns_compose() {
     let b = g.input(1);
     // (e): JOIN -> ARITH
     let j = g.add(OpKind::ColumnJoin, vec![a, b]);
-    let ar = g.add(
-        OpKind::ArithExtend { body: predicates::discounted_price(0, 1) },
-        vec![j],
-    );
+    let ar = g.add(OpKind::ArithExtend { body: predicates::discounted_price(0, 1) }, vec![j]);
     // (h): ARITH -> PROJECT (keep only the computed column)
     let pr = g.add(OpKind::Project { keep: vec![2] }, vec![ar]);
     let plan = fuse_plan(&g, &budget(), OptLevel::O3);
@@ -126,10 +123,7 @@ fn register_budget_is_respected_exactly() {
             // Multi-member groups must respect the budget (singleton groups
             // may exceed it: one kernel cannot be split further by fusion).
             if group.len() > 1 {
-                assert!(
-                    regs <= max_regs,
-                    "group {group:?} uses {regs} regs > budget {max_regs}"
-                );
+                assert!(regs <= max_regs, "group {group:?} uses {regs} regs > budget {max_regs}");
             }
         }
     }

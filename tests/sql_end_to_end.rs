@@ -62,18 +62,14 @@ fn run_all_strategies(sql: &str, input: &Relation) -> Vec<Relation> {
 #[test]
 fn filtered_projection_matches_reference() {
     let input = lineitem_relation();
-    let outs = run_all_strategies(
-        "SELECT price FROM lineitem WHERE shipdate < 1000 AND qty < 24",
-        &input,
-    );
+    let outs =
+        run_all_strategies("SELECT price FROM lineitem WHERE shipdate < 1000 AND qty < 24", &input);
     // Imperative reference.
     let ship = input.cols[0].as_i64().unwrap();
     let qty = input.cols[1].as_f64().unwrap();
     let price = input.cols[2].as_f64().unwrap();
-    let expect: Vec<f64> = (0..input.len())
-        .filter(|&i| ship[i] < 1000 && qty[i] < 24.0)
-        .map(|i| price[i])
-        .collect();
+    let expect: Vec<f64> =
+        (0..input.len()).filter(|&i| ship[i] < 1000 && qty[i] < 24.0).map(|i| price[i]).collect();
     assert!(!expect.is_empty());
     for out in outs {
         assert_eq!(out.n_cols(), 1);
@@ -123,10 +119,8 @@ fn computed_projection_with_coercion() {
     let ship = input.cols[0].as_i64().unwrap();
     let price = input.cols[2].as_f64().unwrap();
     let disc = input.cols[3].as_f64().unwrap();
-    let expect: Vec<f64> = (0..input.len())
-        .filter(|&i| ship[i] < 400)
-        .map(|i| price[i] * (1.0 - disc[i]))
-        .collect();
+    let expect: Vec<f64> =
+        (0..input.len()).filter(|&i| ship[i] < 400).map(|i| price[i] * (1.0 - disc[i])).collect();
     for out in outs {
         let got = out.cols[0].as_f64().unwrap();
         assert_eq!(got.len(), expect.len());

@@ -3,7 +3,7 @@
 //! Random plan graphs over random relations execute under every strategy;
 //! all must produce the root relation the serial (unoptimized) execution
 //! produces. This is the system-level version of the per-pass semantics
-//! proofs in `kfusion-ir`.
+//! proofs in `kfusion-ir`. Cases come from seeded `kfusion-prng` streams.
 
 use kfusion::core::exec::{execute, ExecConfig, Strategy as ExecStrategy};
 use kfusion::core::{OpKind, PlanGraph};
@@ -11,7 +11,7 @@ use kfusion::ir::CmpOp;
 use kfusion::relalg::ops::{Agg, SortBy};
 use kfusion::relalg::{predicates, Column, Relation};
 use kfusion::vgpu::GpuSystem;
-use proptest::prelude::*;
+use kfusion_prng::Rng;
 
 /// A random chain plan: each step appends one unary operator chosen from a
 /// small menu; binary operators take a fresh input as the right side.
@@ -21,23 +21,21 @@ enum Step {
     SelectCol(i64),
     Sort,
     Unique,
-    Rekey,
     Semijoin,
     Antijoin,
     Aggregate,
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0u64..2000).prop_map(Step::Select),
-        (-40i64..40).prop_map(Step::SelectCol),
-        Just(Step::Sort),
-        Just(Step::Unique),
-        Just(Step::Rekey),
-        Just(Step::Semijoin),
-        Just(Step::Antijoin),
-        Just(Step::Aggregate),
-    ]
+fn arb_step(rng: &mut Rng) -> Step {
+    match rng.gen_range(0usize..7) {
+        0 => Step::Select(rng.gen_range(0u64..2000)),
+        1 => Step::SelectCol(rng.gen_range(-40i64..40)),
+        2 => Step::Sort,
+        3 => Step::Unique,
+        4 => Step::Semijoin,
+        5 => Step::Antijoin,
+        _ => Step::Aggregate,
+    }
 }
 
 /// Build a valid plan from the steps. The relation starts as (key, i64 col);
@@ -68,13 +66,6 @@ fn build_plan(steps: &[Step]) -> (PlanGraph, usize) {
                 cur = g.add(OpKind::Unique, vec![cur]);
             }
             Step::Unique => {}
-            Step::Rekey if cols >= 1 => {
-                // Keys must be non-negative: rekey by a column we know is
-                // small and non-negative only if we inserted it; skip when
-                // the column may be negative (cols generated in -50..50).
-                // Use abs via arith instead: keep it simple and skip.
-            }
-            Step::Rekey => {}
             Step::Semijoin | Step::Antijoin if sorted => {
                 let rhs = g.input(next_input);
                 next_input += 1;
@@ -87,10 +78,7 @@ fn build_plan(steps: &[Step]) -> (PlanGraph, usize) {
             }
             Step::Semijoin | Step::Antijoin => {}
             Step::Aggregate if sorted && cols >= 1 => {
-                cur = g.add(
-                    OpKind::Aggregate { aggs: vec![Agg::Sum(0), Agg::Count] },
-                    vec![cur],
-                );
+                cur = g.add(OpKind::Aggregate { aggs: vec![Agg::Sum(0), Agg::Count] }, vec![cur]);
                 cols = 2;
             }
             Step::Aggregate => {}
@@ -100,53 +88,50 @@ fn build_plan(steps: &[Step]) -> (PlanGraph, usize) {
 }
 
 fn make_input(seed: u64, n: usize) -> Relation {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1500)).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1500)).collect();
     keys.sort_unstable();
-    let col = Column::I64((0..n).map(|_| rng.gen_range(-50..50)).collect());
+    let col = Column::I64((0..n).map(|_| rng.gen_range(-50i64..50)).collect());
     Relation::new(keys, vec![col]).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_strategies_agree_on_random_plans(
-        steps in proptest::collection::vec(arb_step(), 1..8),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn all_strategies_agree_on_random_plans() {
+    for case in 0u64..48 {
+        let mut rng = Rng::seed_from_u64(0xE1 << 32 | case);
+        let n_steps = rng.gen_range(1usize..8);
+        let steps: Vec<Step> = (0..n_steps).map(|_| arb_step(&mut rng)).collect();
+        let seed = rng.gen_range(0u64..1000);
         let (plan, n_inputs) = build_plan(&steps);
         let inputs: Vec<Relation> =
             (0..n_inputs).map(|k| make_input(seed + k as u64, 800)).collect();
         let sys = GpuSystem::c2070();
-        let baseline = execute(&sys, &plan, &inputs, &ExecConfig::new(ExecStrategy::Serial, &sys));
-        let baseline = match baseline {
-            Ok(r) => r,
-            Err(e) => return Err(TestCaseError::fail(format!("serial failed: {e}"))),
-        };
+        let baseline = execute(&sys, &plan, &inputs, &ExecConfig::new(ExecStrategy::Serial, &sys))
+            .unwrap_or_else(|e| panic!("case {case}: serial failed: {e}"));
         for strat in [
             ExecStrategy::SerialRoundTrip,
             ExecStrategy::Fusion,
             ExecStrategy::FusionFission { segments: 4 },
         ] {
             let r = execute(&sys, &plan, &inputs, &ExecConfig::new(strat, &sys)).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 &r.output, &baseline.output,
-                "strategy {:?} changed the answer for steps {:?}", strat, steps
+                "case {case}: strategy {strat:?} changed the answer for steps {steps:?}"
             );
-            prop_assert!(r.report.total() > 0.0);
+            assert!(r.report.total() > 0.0, "case {case}");
         }
     }
+}
 
-    /// Simulated time is positive and fusion never loses to serial by more
-    /// than noise on pure elementwise chains.
-    #[test]
-    fn fusion_never_slower_on_select_chains(
-        thresholds in proptest::collection::vec(100u64..4_000_000_000, 1..6),
-        seed in 0u64..100,
-    ) {
+/// Simulated time is positive and fusion never loses to serial by more
+/// than noise on pure elementwise chains.
+#[test]
+fn fusion_never_slower_on_select_chains() {
+    for case in 0u64..32 {
+        let mut rng = Rng::seed_from_u64(0xE2 << 32 | case);
+        let n = rng.gen_range(1usize..6);
+        let thresholds: Vec<u64> = (0..n).map(|_| rng.gen_range(100u64..4_000_000_000)).collect();
+        let seed = rng.gen_range(0u64..100);
         let mut g = PlanGraph::new();
         let mut cur = g.input(0);
         for &t in &thresholds {
@@ -154,9 +139,15 @@ proptest! {
         }
         let input = kfusion::relalg::gen::random_keys(50_000, seed);
         let sys = GpuSystem::c2070();
-        let serial = execute(&sys, &g, std::slice::from_ref(&input), &ExecConfig::new(ExecStrategy::Serial, &sys)).unwrap();
-        let fused = execute(&sys, &g, std::slice::from_ref(&input), &ExecConfig::new(ExecStrategy::Fusion, &sys)).unwrap();
-        prop_assert!(fused.report.total() <= serial.report.total() * 1.0001,
-            "fusion slower: {} vs {}", fused.report.total(), serial.report.total());
+        let cfg_serial = ExecConfig::new(ExecStrategy::Serial, &sys);
+        let serial = execute(&sys, &g, std::slice::from_ref(&input), &cfg_serial).unwrap();
+        let cfg_fused = ExecConfig::new(ExecStrategy::Fusion, &sys);
+        let fused = execute(&sys, &g, std::slice::from_ref(&input), &cfg_fused).unwrap();
+        assert!(
+            fused.report.total() <= serial.report.total() * 1.0001,
+            "case {case}: fusion slower: {} vs {}",
+            fused.report.total(),
+            serial.report.total()
+        );
     }
 }
