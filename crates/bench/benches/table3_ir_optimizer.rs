@@ -8,7 +8,7 @@
 
 use kfusion_bench::{print_header, Table};
 use kfusion_ir::builder::BodyBuilder;
-use kfusion_ir::cost::instruction_count;
+use kfusion_ir::cost::{distinct_regs, instruction_count, max_live_regs};
 use kfusion_ir::fuse::fuse_predicate_chain;
 use kfusion_ir::opt::{optimize, OptLevel};
 
@@ -19,24 +19,37 @@ fn main() {
     let fused = fuse_predicate_chain(&[a.clone(), b.clone()]);
 
     let count = |body: &kfusion_ir::KernelBody, l: OptLevel| instruction_count(&optimize(body, l));
+    // Register pressure, both ways: the naive distinct-register count and
+    // the liveness-precise simultaneous maximum occupancy depends on.
+    let regs = |body: &kfusion_ir::KernelBody, l: OptLevel| {
+        let o = optimize(body, l);
+        (distinct_regs(&o), max_live_regs(&o))
+    };
 
     let unfused_o0 = count(&a, OptLevel::O0) + count(&b, OptLevel::O0);
     let unfused_o3 = count(&a, OptLevel::O3) + count(&b, OptLevel::O3);
     let fused_o0 = count(&fused, OptLevel::O0);
     let fused_o3 = count(&fused, OptLevel::O3);
 
-    let mut t = Table::new(["statement", "inst # (O0)", "inst # (O3)"]);
+    let reg_cell = |(d, m): (usize, usize)| format!("{d} / {m}");
+    let mut t =
+        Table::new(["statement", "inst # (O0)", "inst # (O3)", "regs d/l (O0)", "regs d/l (O3)"]);
     t.row([
         "if (d<T1) ; if (d<T2)  [not fused]".to_string(),
         format!("{}x2={}", unfused_o0 / 2, unfused_o0),
         format!("{}x2={}", unfused_o3 / 2, unfused_o3),
+        reg_cell(regs(&a, OptLevel::O0)),
+        reg_cell(regs(&a, OptLevel::O3)),
     ]);
     t.row([
         "if (d<T1 && d<T2)      [fused]".to_string(),
         fused_o0.to_string(),
         fused_o3.to_string(),
+        reg_cell(regs(&fused, OptLevel::O0)),
+        reg_cell(regs(&fused, OptLevel::O3)),
     ]);
     t.print();
+    println!("regs d/l = distinct registers / liveness max simultaneously live.");
 
     println!(
         "O3 reduction unfused: {:.0}%   (paper: 40%)",

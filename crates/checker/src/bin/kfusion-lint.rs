@@ -1,0 +1,180 @@
+//! `kfusion-lint` — run the full static-analysis suite over a plan and
+//! render rustc-style diagnostics.
+//!
+//! ```sh
+//! kfusion-lint [--deny warnings] [tpch-q1] [tpch-q21] [tour] [demo-defects]
+//! ```
+//!
+//! With no targets, lints `tpch-q1 tpch-q21 tour` (all expected clean).
+//! `demo-defects` lints a deliberately broken plan and schedule — one seeded
+//! instance of each major defect class — and therefore always exits nonzero.
+//! Exit status: 0 when no deny-level lint fired (and, under
+//! `--deny warnings`, no warning either), 1 otherwise.
+
+use kfusion_check::lint::{lint_body, lint_fusion, lint_plan, lint_schedule, LintReport};
+use kfusion_core::graph::{OpKind, PlanGraph};
+use kfusion_core::{FusionBudget, FusionPlan};
+use kfusion_ir::builder::BodyBuilder;
+use kfusion_ir::fuse::fuse_predicate_chain;
+use kfusion_ir::opt::OptLevel;
+use kfusion_ir::{BinOp, CmpOp, Instr, KernelBody, Value};
+use kfusion_relalg::predicates;
+use kfusion_relalg::profiles::STAGE_REGS;
+use kfusion_vgpu::des::{Command, CommandClass, EventId, Schedule};
+use kfusion_vgpu::{DeviceSpec, HostMemKind, KernelProfile, LaunchConfig};
+
+fn budget() -> FusionBudget {
+    FusionBudget::for_device(&DeviceSpec::tesla_c2070())
+}
+
+/// Lint a TPC-H physical plan as planning sees it.
+fn lint_tpch(graph: &PlanGraph) -> LintReport {
+    lint_plan(graph, &budget(), OptLevel::O3)
+}
+
+/// Lint the `compiler_tour` bodies and its repaired two-stream schedule.
+fn lint_tour() -> LintReport {
+    let mut report = LintReport::default();
+    let a = BodyBuilder::threshold_lt(0, 100).build();
+    let b = BodyBuilder::threshold_lt(0, 70).build();
+    let fused = fuse_predicate_chain(&[a.clone(), b.clone()]);
+    for (origin, body) in [("tour: body A", &a), ("tour: body B", &b), ("tour: fused", &fused)] {
+        report.lints.extend(lint_body(origin, body, true));
+    }
+
+    let spec = DeviceSpec::tesla_c2070();
+    let filter = KernelProfile::new("filter").instr_per_elem(8.0).bytes_read_per_elem(4.0);
+    let mut fixed = Schedule::new();
+    let upload = fixed.add_stream();
+    let compute = fixed.add_stream();
+    fixed
+        .push(upload, Command::h2d("in", CommandClass::InputOutput, 64 << 20, HostMemKind::Pinned));
+    fixed.push(upload, Command::record(EventId(0)));
+    fixed.push(compute, Command::wait(EventId(0)));
+    fixed.push(
+        compute,
+        Command::kernel(filter, LaunchConfig::for_elements(1 << 20, &spec), 1 << 20).reading("in"),
+    );
+    report.lints.extend(lint_schedule("tour: schedule", &fixed));
+    report
+}
+
+/// One seeded instance of each defect class the lints exist to catch.
+fn lint_demo_defects() -> LintReport {
+    let mut report = LintReport::default();
+
+    // 1. A loaded-but-dead input slot (also dead code in the authored body).
+    let dead_load = KernelBody {
+        instrs: vec![
+            Instr::LoadInput { slot: 0 },
+            Instr::LoadInput { slot: 1 }, // never used
+            Instr::Const { value: Value::I64(10) },
+            Instr::Cmp { op: CmpOp::Lt, lhs: 0, rhs: 2 },
+        ],
+        outputs: vec![3],
+        n_inputs: 2,
+    };
+    report.lints.extend(lint_body("defect: dead load", &dead_load, true));
+
+    // 2. Dead arithmetic the author left behind (O3 removes it; the lint
+    //    points at the source).
+    let dead_math = KernelBody {
+        instrs: vec![
+            Instr::LoadInput { slot: 0 },
+            Instr::Const { value: Value::I64(2) },
+            Instr::Bin { op: BinOp::Mul, lhs: 0, rhs: 1 }, // dead
+            Instr::Const { value: Value::I64(50) },
+            Instr::Cmp { op: CmpOp::Lt, lhs: 0, rhs: 3 },
+        ],
+        outputs: vec![4],
+        n_inputs: 1,
+    };
+    report.lints.extend(lint_body("defect: dead math", &dead_math, true));
+
+    // 3. A filter that value-range analysis proves rejects every row:
+    //    (x % 10) >= 100.
+    let always_false = KernelBody {
+        instrs: vec![
+            Instr::LoadInput { slot: 0 },
+            Instr::Const { value: Value::I64(10) },
+            Instr::Bin { op: BinOp::Rem, lhs: 0, rhs: 1 },
+            Instr::Const { value: Value::I64(100) },
+            Instr::Cmp { op: CmpOp::Ge, lhs: 2, rhs: 3 },
+        ],
+        outputs: vec![4],
+        n_inputs: 1,
+    };
+    report.lints.extend(lint_body("defect: impossible filter", &always_false, true));
+
+    // 4. A hand-built fusion group whose analyzed register pressure blows
+    //    the budget (six distinct-column predicates under a tiny budget).
+    let mut g = PlanGraph::new();
+    let mut cur = g.input(0);
+    let mut members = Vec::new();
+    for k in 0..6 {
+        cur = g.add(OpKind::Select { pred: predicates::col_cmp_i64(k, CmpOp::Lt, 100) }, vec![cur]);
+        members.push(cur);
+    }
+    let mut group_of = vec![None; g.nodes.len()];
+    for &m in &members {
+        group_of[m] = Some(0);
+    }
+    let fusion = FusionPlan { group_of, groups: vec![members] };
+    let tiny = FusionBudget { max_regs_per_thread: STAGE_REGS + 2 };
+    report.lints.extend(lint_fusion(&g, &fusion, &tiny, OptLevel::O3));
+
+    // 5. A single-stream schedule that serializes PCIe against compute.
+    let spec = DeviceSpec::tesla_c2070();
+    let k = KernelProfile::new("filter").instr_per_elem(8.0).bytes_read_per_elem(4.0);
+    let serial = Schedule::serial(vec![
+        Command::h2d("in", CommandClass::InputOutput, 64 << 20, HostMemKind::Pinned),
+        Command::kernel(k, LaunchConfig::for_elements(1 << 20, &spec), 1 << 20).reading("in"),
+    ]);
+    report.lints.extend(lint_schedule("defect: serial pipeline", &serial));
+
+    report
+}
+
+fn main() {
+    let mut deny_warnings = false;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                other => {
+                    eprintln!("--deny expects `warnings`, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: kfusion-lint [--deny warnings] [tpch-q1|tpch-q21|tour|demo-defects]..."
+                );
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets = vec!["tpch-q1".into(), "tpch-q21".into(), "tour".into()];
+    }
+
+    let mut failed = false;
+    for t in &targets {
+        let report = match t.as_str() {
+            "tpch-q1" => lint_tpch(&kfusion_tpch::q1::q1_plan()),
+            "tpch-q21" => lint_tpch(&kfusion_tpch::q21::q21_plan(1)),
+            "tour" => lint_tour(),
+            "demo-defects" => lint_demo_defects(),
+            other => {
+                eprintln!("unknown target {other:?} (try tpch-q1, tpch-q21, tour, demo-defects)");
+                std::process::exit(2);
+            }
+        };
+        println!("== {t} ==\n{}\n", report.render());
+        failed |= report.fails(deny_warnings);
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

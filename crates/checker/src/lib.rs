@@ -17,15 +17,26 @@
 //!   [`kfusion_vgpu::Schedule`]: happens-before analysis flagging
 //!   use-before-def, write-write and read-write races on named device
 //!   buffers.
+//! * [`lint`] — dataflow-powered diagnostics with deny/warn severities
+//!   (DESIGN.md §8), driven by the `kfusion-lint` binary.
 //!
 //! The integration tests in this crate hold the layer to its contract:
 //! optimization passes preserve verifier acceptance on random well-formed
 //! bodies, and random mutations of well-formed bodies are rejected at least
 //! as often as pure structural checking rejects them.
 
+pub mod lint;
+
 /// The typed IR verifier (re-export of [`kfusion_ir::verify`]).
 pub mod ir {
     pub use kfusion_ir::verify::{output_types, slot_types, verify, VerifyError};
+}
+
+/// The dataflow analyses the lints are built on (re-export of
+/// [`kfusion_ir::dataflow`]).
+pub mod dataflow {
+    pub use kfusion_ir::dataflow::{available, liveness, range, reaching};
+    pub use kfusion_ir::dataflow::{Analysis, BitSet, Direction, Solution};
 }
 
 /// Plan well-formedness + fusion legality (re-export of

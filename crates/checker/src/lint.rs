@@ -1,0 +1,481 @@
+//! `kfusion-lint` — diagnostics over plans, bodies and schedules, built on
+//! the dataflow framework (`kfusion_ir::dataflow`) and the verification
+//! layer (DESIGN.md §7/§8).
+//!
+//! Where the verifiers reject programs that are *wrong* (ill-typed bodies,
+//! non-convex fused regions, racing streams), the lints flag programs that
+//! are *suspicious*: a filter that provably drops every row, a fused group
+//! whose analyzed register pressure exceeds the device budget, a schedule
+//! that never overlaps copy with compute. Each lint has a stable id and a
+//! severity; [`LintReport::fails`] implements `--deny warnings`.
+//!
+//! The catalog (one line per lint) lives in DESIGN.md §8.
+
+use kfusion_core::analyze::analyzed_group_regs;
+use kfusion_core::graph::{NodeId, OpKind, PlanGraph};
+use kfusion_core::{fuse_plan, FusionBudget, FusionPlan};
+use kfusion_ir::dataflow::{available, liveness, range};
+use kfusion_ir::opt::{optimize_report, OptLevel};
+use kfusion_ir::KernelBody;
+use kfusion_vgpu::des::{CommandKind, Schedule};
+
+/// How a diagnostic counts toward the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong; fails only under
+    /// `--deny warnings`.
+    Warn,
+    /// Almost certainly a defect; always fails the run.
+    Deny,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warning"),
+            Severity::Deny => write!(f, "error"),
+        }
+    }
+}
+
+/// One rendered diagnostic.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Stable kebab-case id (`always-false-predicate`, ...).
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// What was found, where (one line).
+    pub message: String,
+    /// Supporting evidence, one `= note:` line each.
+    pub notes: Vec<String>,
+}
+
+impl Lint {
+    fn new(id: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Lint { id, severity, message: message.into(), notes: Vec::new() }
+    }
+
+    fn note(mut self, n: impl Into<String>) -> Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Rustc-style rendering: `severity[id]: message` plus indented notes.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.id, self.message);
+        for n in &self.notes {
+            out.push_str("\n  = note: ");
+            out.push_str(n);
+        }
+        out
+    }
+}
+
+/// Every diagnostic from one lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// The diagnostics, in discovery order.
+    pub lints: Vec<Lint>,
+}
+
+impl LintReport {
+    /// Number of `Deny` diagnostics.
+    pub fn deny_count(&self) -> usize {
+        self.lints.iter().filter(|l| l.severity == Severity::Deny).count()
+    }
+
+    /// Number of `Warn` diagnostics.
+    pub fn warn_count(&self) -> usize {
+        self.lints.iter().filter(|l| l.severity == Severity::Warn).count()
+    }
+
+    /// Whether the run fails: any deny-level lint, or (under
+    /// `--deny warnings`) any lint at all.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.deny_count() > 0 || (deny_warnings && !self.lints.is_empty())
+    }
+
+    /// Render every diagnostic plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lints {
+            out.push_str(&l.render());
+            out.push_str("\n\n");
+        }
+        out.push_str(&format!("{} error(s), {} warning(s)", self.deny_count(), self.warn_count()));
+        out
+    }
+}
+
+/// Lint one IR body. `origin` names it in messages; `is_predicate` enables
+/// the value-range verdicts (a filter body's output 0 is its keep/drop
+/// decision — an `Arith` body has no such reading).
+pub fn lint_body(origin: &str, body: &KernelBody, is_predicate: bool) -> Vec<Lint> {
+    let mut lints = Vec::new();
+
+    // Everything below assumes a well-typed body.
+    if let Err(e) = kfusion_ir::verify::verify(body) {
+        lints.push(
+            Lint::new(
+                "ill-typed-body",
+                Severity::Deny,
+                format!("{origin}: body fails type verification"),
+            )
+            .note(e.to_string()),
+        );
+        return lints;
+    }
+
+    for slot in liveness::unused_loaded_slots(body) {
+        lints.push(
+            Lint::new(
+                "unused-input-slot",
+                Severity::Warn,
+                format!("{origin}: input slot {slot} is loaded but the value is never used"),
+            )
+            .note("the load costs memory traffic and a register for nothing"),
+        );
+    }
+
+    let dead = liveness::dead_instrs(body);
+    if !dead.is_empty() {
+        lints.push(
+            Lint::new(
+                "dead-code",
+                Severity::Warn,
+                format!(
+                    "{origin}: {} dead instruction(s) in the authored body (indices {:?})",
+                    dead.len(),
+                    dead
+                ),
+            )
+            .note("liveness analysis: no path from these definitions to an output"),
+        );
+    }
+
+    let (o3, report) = optimize_report(body, OptLevel::O3);
+    if !report.converged {
+        lints.push(Lint::new(
+            "opt-not-converged",
+            Severity::Warn,
+            format!(
+                "{origin}: O3 pipeline still changing after {} iteration(s)",
+                report.iterations
+            ),
+        ));
+    }
+    let dead_o3 = liveness::dead_instrs(&o3);
+    if !dead_o3.is_empty() {
+        lints.push(
+            Lint::new(
+                "dead-code-post-opt",
+                Severity::Deny,
+                format!("{origin}: {} dead instruction(s) survive O3", dead_o3.len()),
+            )
+            .note("dead-code elimination should have removed these; optimizer defect"),
+        );
+    }
+    let redundant = available::redundant_exprs(&o3);
+    if !redundant.is_empty() {
+        let pairs: Vec<String> =
+            redundant.iter().map(|(l, e)| format!("r{l} recomputes r{e}")).collect();
+        lints.push(
+            Lint::new(
+                "missed-cse",
+                Severity::Warn,
+                format!("{origin}: {} expression(s) still redundant after O3", redundant.len()),
+            )
+            .note(pairs.join(", ")),
+        );
+    }
+
+    if is_predicate {
+        match range::predicate_verdict(body) {
+            range::PredicateVerdict::AlwaysFalse => lints.push(
+                Lint::new(
+                    "always-false-predicate",
+                    Severity::Deny,
+                    format!("{origin}: filter predicate is provably false for every input"),
+                )
+                .note("value-range analysis proves selectivity 0 — the query result is empty"),
+            ),
+            range::PredicateVerdict::AlwaysTrue => lints.push(
+                Lint::new(
+                    "always-true-predicate",
+                    Severity::Warn,
+                    format!("{origin}: filter predicate is provably true for every input"),
+                )
+                .note("selectivity 1 — the SELECT is a no-op and should be removed"),
+            ),
+            range::PredicateVerdict::Mixed => {}
+        }
+    }
+
+    lints
+}
+
+fn kind_name(kind: &OpKind) -> &'static str {
+    match kind {
+        OpKind::Input { .. } => "INPUT",
+        OpKind::Select { .. } => "SELECT",
+        OpKind::Project { .. } => "PROJECT",
+        OpKind::Arith { .. } => "ARITH",
+        OpKind::ArithExtend { .. } => "ARITH-EXTEND",
+        OpKind::Rekey { .. } => "REKEY",
+        OpKind::Join => "JOIN",
+        OpKind::ColumnJoin => "COLUMN-JOIN",
+        OpKind::Semijoin => "SEMIJOIN",
+        OpKind::Antijoin => "ANTIJOIN",
+        OpKind::Product => "PRODUCT",
+        OpKind::Union => "UNION",
+        OpKind::Intersect => "INTERSECT",
+        OpKind::Difference => "DIFFERENCE",
+        OpKind::Aggregate { .. } => "AGGREGATE",
+        OpKind::AggregateAll { .. } => "AGGREGATE-ALL",
+        OpKind::Sort { .. } => "SORT",
+        OpKind::Unique => "UNIQUE",
+    }
+}
+
+fn node_ir(kind: &OpKind) -> Option<(&KernelBody, bool)> {
+    match kind {
+        OpKind::Select { pred } => Some((pred, true)),
+        OpKind::Arith { body } | OpKind::ArithExtend { body } => Some((body, false)),
+        _ => None,
+    }
+}
+
+/// Lint a fusion plan's groups against the device register budget, using
+/// the *analyzed* pressure of each group's fused, optimized body.
+pub fn lint_fusion(
+    graph: &PlanGraph,
+    fusion: &FusionPlan,
+    budget: &FusionBudget,
+    level: OptLevel,
+) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    if let Err(e) = kfusion_core::check::check_fusion(graph, fusion) {
+        lints.push(
+            Lint::new("illegal-fusion", Severity::Deny, "fusion plan fails legality analysis")
+                .note(e.to_string()),
+        );
+        return lints;
+    }
+    for (gi, members) in fusion.groups.iter().enumerate() {
+        let regs = analyzed_group_regs(graph, members, level);
+        if regs > budget.max_regs_per_thread {
+            let names: Vec<String> = members
+                .iter()
+                .map(|&m: &NodeId| format!("n{m}:{}", kind_name(&graph.nodes[m].kind)))
+                .collect();
+            lints.push(
+                Lint::new(
+                    "over-budget-group",
+                    Severity::Deny,
+                    format!(
+                        "fused group {gi} needs {regs} registers/thread, budget is {}",
+                        budget.max_regs_per_thread
+                    ),
+                )
+                .note(format!("members: {}", names.join(", ")))
+                .note("liveness analysis of the fused, optimized body — expect spills"),
+            );
+        }
+    }
+    lints
+}
+
+/// Lint a whole plan: well-formedness, every IR body, and the fusion the
+/// greedy pass would build for it under `budget`.
+pub fn lint_plan(graph: &PlanGraph, budget: &FusionBudget, level: OptLevel) -> LintReport {
+    let mut report = LintReport::default();
+    if let Err(e) = kfusion_core::check::check_plan(graph) {
+        report.lints.push(
+            Lint::new("invalid-plan", Severity::Deny, "plan fails well-formedness checking")
+                .note(e.to_string()),
+        );
+        return report;
+    }
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if let Some((body, is_pred)) = node_ir(&node.kind) {
+            let origin = format!("node {id} ({})", kind_name(&node.kind));
+            report.lints.extend(lint_body(&origin, body, is_pred));
+        }
+    }
+    let fusion = fuse_plan(graph, budget, level);
+    report.lints.extend(lint_fusion(graph, &fusion, budget, level));
+    report
+}
+
+/// Lint a stream schedule: hazards (deny) and the structural
+/// copy/compute-overlap check (warn) — a schedule that funnels every copy
+/// and every kernel through one stream serializes PCIe against compute,
+/// which is exactly what fission's multi-stream pipeline exists to avoid
+/// (Fig. 8).
+pub fn lint_schedule(origin: &str, schedule: &Schedule) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for h in kfusion_vgpu::hazard::find_hazards(schedule) {
+        lints.push(
+            Lint::new("schedule-hazard", Severity::Deny, format!("{origin}: {h}"))
+                .note("insert a record/wait event edge to order the streams"),
+        );
+    }
+    let mut copy_streams = Vec::new();
+    let mut kernel_streams = Vec::new();
+    for (s, cmds) in schedule.streams.iter().enumerate() {
+        for c in cmds {
+            match c.kind {
+                CommandKind::CopyH2D { .. } | CommandKind::CopyD2H { .. }
+                    if !copy_streams.contains(&s) =>
+                {
+                    copy_streams.push(s);
+                }
+                CommandKind::Kernel { .. } if !kernel_streams.contains(&s) => {
+                    kernel_streams.push(s);
+                }
+                _ => {}
+            }
+        }
+    }
+    if !copy_streams.is_empty()
+        && !kernel_streams.is_empty()
+        && copy_streams == kernel_streams
+        && copy_streams.len() == 1
+    {
+        lints.push(
+            Lint::new(
+                "no-copy-compute-overlap",
+                Severity::Warn,
+                format!("{origin}: all copies and kernels share stream {}", copy_streams[0]),
+            )
+            .note("transfers serialize against compute; segment the work across streams (kernel fission)"),
+        );
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_ir::{BinOp, CmpOp, Instr, Value};
+    use kfusion_relalg::predicates;
+    use kfusion_relalg::profiles::STAGE_REGS;
+    use kfusion_vgpu::des::{Command, CommandClass, EventId};
+    use kfusion_vgpu::{DeviceSpec, HostMemKind, KernelProfile, LaunchConfig};
+
+    fn body_with_dead_load() -> KernelBody {
+        KernelBody {
+            instrs: vec![
+                Instr::LoadInput { slot: 0 },
+                Instr::LoadInput { slot: 1 }, // dead
+                Instr::Const { value: Value::I64(10) },
+                Instr::Cmp { op: CmpOp::Lt, lhs: 0, rhs: 2 },
+            ],
+            outputs: vec![3],
+            n_inputs: 2,
+        }
+    }
+
+    #[test]
+    fn flags_unused_slot_and_dead_code() {
+        let lints = lint_body("demo", &body_with_dead_load(), true);
+        let ids: Vec<_> = lints.iter().map(|l| l.id).collect();
+        assert!(ids.contains(&"unused-input-slot"), "{ids:?}");
+        assert!(ids.contains(&"dead-code"), "{ids:?}");
+        // O3 removes the dead load, so nothing survives post-opt.
+        assert!(!ids.contains(&"dead-code-post-opt"), "{ids:?}");
+    }
+
+    #[test]
+    fn flags_always_false_predicate() {
+        // (x % 10) >= 100: the remainder is within (-10, 10).
+        let body = KernelBody {
+            instrs: vec![
+                Instr::LoadInput { slot: 0 },
+                Instr::Const { value: Value::I64(10) },
+                Instr::Bin { op: BinOp::Rem, lhs: 0, rhs: 1 },
+                Instr::Const { value: Value::I64(100) },
+                Instr::Cmp { op: CmpOp::Ge, lhs: 2, rhs: 3 },
+            ],
+            outputs: vec![4],
+            n_inputs: 1,
+        };
+        let lints = lint_body("demo", &body, true);
+        assert!(lints
+            .iter()
+            .any(|l| l.id == "always-false-predicate" && l.severity == Severity::Deny));
+    }
+
+    #[test]
+    fn clean_predicate_produces_no_lints() {
+        let lints = lint_body("demo", &predicates::key_lt(100), true);
+        assert!(lints.is_empty(), "{:?}", lints.iter().map(|l| l.id).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flags_over_budget_group() {
+        let mut g = PlanGraph::new();
+        let mut cur = g.input(0);
+        let mut members = Vec::new();
+        for k in 0..6 {
+            cur = g.add(
+                OpKind::Select { pred: predicates::col_cmp_i64(k, CmpOp::Lt, 100) },
+                vec![cur],
+            );
+            members.push(cur);
+        }
+        let fusion = FusionPlan {
+            group_of: {
+                let mut v = vec![None; g.nodes.len()];
+                for &m in &members {
+                    v[m] = Some(0);
+                }
+                v
+            },
+            groups: vec![members],
+        };
+        let budget = FusionBudget { max_regs_per_thread: STAGE_REGS + 2 };
+        let lints = lint_fusion(&g, &fusion, &budget, OptLevel::O3);
+        assert!(lints.iter().any(|l| l.id == "over-budget-group"), "{lints:?}");
+        // The greedy pass under the same budget splits the chain, so the
+        // plan-level entry point stays clean.
+        let report = lint_plan(&g, &budget, OptLevel::O3);
+        assert!(!report.fails(true), "{}", report.render());
+    }
+
+    #[test]
+    fn flags_serial_copy_compute_schedule() {
+        let spec = DeviceSpec::tesla_c2070();
+        let k = KernelProfile::new("k").instr_per_elem(4.0);
+        let sched = Schedule::serial(vec![
+            Command::h2d("in", CommandClass::InputOutput, 1 << 20, HostMemKind::Pinned),
+            Command::kernel(k, LaunchConfig::for_elements(1 << 18, &spec), 1 << 18).reading("in"),
+        ]);
+        let lints = lint_schedule("demo", &sched);
+        assert!(lints.iter().any(|l| l.id == "no-copy-compute-overlap"), "{lints:?}");
+
+        // A two-stream schedule with an event edge is clean.
+        let k2 = KernelProfile::new("k").instr_per_elem(4.0);
+        let mut piped = Schedule::new();
+        let up = piped.add_stream();
+        let comp = piped.add_stream();
+        piped.push(up, Command::h2d("in", CommandClass::InputOutput, 1 << 20, HostMemKind::Pinned));
+        piped.push(up, Command::record(EventId(0)));
+        piped.push(comp, Command::wait(EventId(0)));
+        piped.push(
+            comp,
+            Command::kernel(k2, LaunchConfig::for_elements(1 << 18, &spec), 1 << 18).reading("in"),
+        );
+        assert!(lint_schedule("demo", &piped).is_empty());
+    }
+
+    #[test]
+    fn report_fails_under_deny_warnings_only() {
+        let mut report = LintReport::default();
+        report.lints.push(Lint::new("dead-code", Severity::Warn, "x"));
+        assert!(!report.fails(false));
+        assert!(report.fails(true));
+        assert!(report.render().contains("warning[dead-code]"));
+    }
+}

@@ -10,7 +10,7 @@
 //! and the *consequence* sides of the paper's trade-off are modeled.
 
 use crate::graph::{NodeId, OpKind, PlanGraph};
-use kfusion_ir::cost::register_pressure;
+use kfusion_ir::cost::max_live_regs;
 use kfusion_ir::opt::{optimize, OptLevel};
 use kfusion_ir::KernelBody;
 use kfusion_relalg::profiles::STAGE_REGS;
@@ -49,12 +49,24 @@ pub fn node_regs(kind: &OpKind, level: OptLevel) -> u32 {
 }
 
 fn body_regs(body: &KernelBody, level: OptLevel) -> u32 {
-    register_pressure(&optimize(body, level)) as u32
+    max_live_regs(&optimize(body, level)) as u32
 }
 
-/// Estimated per-thread registers of a fused kernel containing `members`:
-/// the shared multi-stage skeleton plus every member's live values.
+/// Estimated per-thread registers of a fused kernel containing `members`,
+/// from liveness analysis of the group's actual fused, optimized body
+/// (see [`crate::analyze::analyzed_group_regs`]). This is what
+/// [`FusionBudget`] gating consumes: two predicates on the same column cost
+/// one compare, not two.
 pub fn group_regs(graph: &PlanGraph, members: &[NodeId], level: OptLevel) -> u32 {
+    crate::analyze::analyzed_group_regs(graph, members, level)
+}
+
+/// The pre-analysis estimate: the shared multi-stage skeleton plus every
+/// member's *individual* register count, summed. Kept as the comparison
+/// baseline (the ablation bench shows where the analyzed estimate flips
+/// fusion decisions this one gets wrong) and as the fallback when a group's
+/// bodies cannot be spliced into one verifiable stage.
+pub fn group_regs_summed(graph: &PlanGraph, members: &[NodeId], level: OptLevel) -> u32 {
     STAGE_REGS + members.iter().map(|&m| node_regs(&graph.nodes[m].kind, level)).sum::<u32>()
 }
 
@@ -83,7 +95,70 @@ pub fn member_instr(kind: &OpKind, level: OptLevel) -> f64 {
 /// Split a chain of SELECT predicates into maximal fusable runs under the
 /// register budget — the depth cut-off the paper leaves as "the subject of
 /// ongoing work". Each run fuses into one kernel.
+///
+/// A run's cost is the *analyzed* pressure of its fused, optimized body
+/// ([`run_regs`]): predicates that collapse together (same column) extend a
+/// run for free, while genuinely independent predicates accumulate live
+/// booleans until the budget forces a split.
 pub fn split_select_chain(
+    preds: &[KernelBody],
+    budget: &FusionBudget,
+    level: OptLevel,
+) -> Vec<Vec<KernelBody>> {
+    let mut runs: Vec<Vec<KernelBody>> = Vec::new();
+    let mut cur: Vec<KernelBody> = Vec::new();
+    for p in preds {
+        cur.push(p.clone());
+        if cur.len() > 1 && run_regs(&cur, level) > budget.max_regs_per_thread {
+            let keep = cur.pop().expect("just pushed");
+            runs.push(std::mem::take(&mut cur));
+            cur.push(keep);
+        }
+    }
+    if !cur.is_empty() {
+        runs.push(cur);
+    }
+    runs
+}
+
+/// Analyzed per-thread registers of one fused predicate run: skeleton plus
+/// the liveness maximum of the fused, optimized conjunction body. A run
+/// whose predicates cannot splice into one well-typed body (conflicting
+/// slot types) falls back to the summed estimate.
+pub fn run_regs(preds: &[KernelBody], level: OptLevel) -> u32 {
+    use kfusion_ir::fuse::{fuse, FuseError, FusedOutput, SlotSource};
+    if preds.is_empty() {
+        return STAGE_REGS;
+    }
+    let wiring: Vec<Vec<SlotSource>> =
+        preds.iter().map(|p| (0..p.n_inputs).map(SlotSource::External).collect()).collect();
+    let outputs: Vec<FusedOutput> =
+        (0..preds.len()).map(|b| FusedOutput { body: b, output: 0 }).collect();
+    match fuse(preds, &wiring, &outputs) {
+        Ok(mut fused) => {
+            let mut acc = fused.outputs[0];
+            for k in 1..fused.outputs.len() {
+                let rhs = fused.outputs[k];
+                acc = fused.push(kfusion_ir::Instr::Bin {
+                    op: kfusion_ir::BinOp::And,
+                    lhs: acc,
+                    rhs,
+                });
+            }
+            fused.outputs = vec![acc];
+            STAGE_REGS + max_live_regs(&optimize(&fused, level)) as u32
+        }
+        Err(FuseError::Invalid { .. }) => {
+            STAGE_REGS + preds.iter().map(|p| body_regs(p, level)).sum::<u32>()
+        }
+        Err(e) => unreachable!("predicate-chain wiring is structurally valid: {e}"),
+    }
+}
+
+/// The pre-analysis splitter: accumulates each predicate's *individual*
+/// optimized register count until the sum exceeds the budget. Kept as the
+/// ablation baseline; [`split_select_chain`] is what planning uses.
+pub fn split_select_chain_summed(
     preds: &[KernelBody],
     budget: &FusionBudget,
     level: OptLevel,
@@ -122,13 +197,29 @@ mod tests {
 
     #[test]
     fn tight_budget_splits_chain() {
-        let preds: Vec<_> = (0..8).map(|k| predicates::key_lt(100 + k)).collect();
+        // Distinct columns: each predicate's boolean stays live until the
+        // final AND, so the analyzed pressure genuinely grows with depth.
+        let preds: Vec<_> = (0..8)
+            .map(|k| predicates::col_cmp_i64(k, kfusion_ir::CmpOp::Lt, 100 + k as i64))
+            .collect();
         let budget = FusionBudget { max_regs_per_thread: STAGE_REGS + 5 };
         let runs = split_select_chain(&preds, &budget, OptLevel::O3);
         assert!(runs.len() > 1, "expected a split, got {} runs", runs.len());
         let total: usize = runs.iter().map(Vec::len).sum();
         assert_eq!(total, 8, "no predicate lost");
         assert!(runs.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn same_column_chain_never_splits_under_analysis() {
+        // The compares combine into one under O3, so the analyzed run cost
+        // stays flat — the summed splitter would cut this chain in pieces.
+        let preds: Vec<_> = (0..8).map(|k| predicates::key_lt(100 + k)).collect();
+        let budget = FusionBudget { max_regs_per_thread: STAGE_REGS + 5 };
+        let analyzed = split_select_chain(&preds, &budget, OptLevel::O3);
+        assert_eq!(analyzed.len(), 1, "collapsible chain should fuse whole");
+        let summed = split_select_chain_summed(&preds, &budget, OptLevel::O3);
+        assert!(summed.len() > 1, "baseline splits what analysis proves cheap");
     }
 
     #[test]

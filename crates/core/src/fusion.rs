@@ -264,18 +264,40 @@ mod tests {
     }
 
     /// Register pressure bounds fusion depth: a tiny budget forces splits.
+    /// Distinct-column predicates, so the analyzed pressure genuinely grows
+    /// with depth (same-column chains collapse and never split — see
+    /// `same_column_chain_fuses_whole_under_tight_budget`).
     #[test]
     fn register_budget_limits_depth() {
         let mut g = PlanGraph::new();
         let mut cur = g.input(0);
         for k in 0..8 {
-            cur = g.add(OpKind::Select { pred: predicates::key_lt(100 + k) }, vec![cur]);
+            cur = g.add(
+                OpKind::Select { pred: predicates::col_cmp_i64(k, kfusion_ir::CmpOp::Lt, 100) },
+                vec![cur],
+            );
         }
-        let tight = FusionBudget { max_regs_per_thread: kfusion_relalg::profiles::STAGE_REGS + 7 };
+        let tight = FusionBudget { max_regs_per_thread: kfusion_relalg::profiles::STAGE_REGS + 5 };
         let plan = fuse_plan(&g, &tight, OptLevel::O3);
         assert!(plan.groups.len() > 1, "tight budget must split: {:?}", plan.groups);
         let generous = fuse(&g);
         assert_eq!(generous.groups.len(), 1);
+    }
+
+    /// The analyzed cost model sees through collapsible chains: the same
+    /// tight budget that splits distinct-column predicates keeps a
+    /// same-column chain — whose compares combine into one — in one group.
+    /// This is a fusion decision the summed per-op estimate gets wrong.
+    #[test]
+    fn same_column_chain_fuses_whole_under_tight_budget() {
+        let mut g = PlanGraph::new();
+        let mut cur = g.input(0);
+        for k in 0..8 {
+            cur = g.add(OpKind::Select { pred: predicates::key_lt(100 + k) }, vec![cur]);
+        }
+        let tight = FusionBudget { max_regs_per_thread: kfusion_relalg::profiles::STAGE_REGS + 5 };
+        let plan = fuse_plan(&g, &tight, OptLevel::O3);
+        assert_eq!(plan.groups.len(), 1, "collapsible chain split: {:?}", plan.groups);
     }
 
     #[test]

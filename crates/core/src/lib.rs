@@ -40,6 +40,7 @@
 //! assert!(fused.total() < serial.total());
 //! ```
 
+pub mod analyze;
 pub mod check;
 pub mod cost;
 pub mod deps;

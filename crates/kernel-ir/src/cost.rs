@@ -1,13 +1,42 @@
 //! Static cost metrics: instruction counts and register pressure.
 //!
-//! These two numbers are the bridge between the compiler-side story
-//! (Table III) and the performance-side story (the throughput figures): the
-//! virtual GPU charges per-element compute time proportional to
-//! [`instruction_count`], and charges *spill traffic* when
-//! [`register_pressure`] exceeds the device's per-thread register budget —
-//! the paper's stated limit on how many kernels can profitably fuse
-//! (§III-C: "kernel fusion will create increased register pressure").
+//! These numbers are the bridge between the compiler-side story (Table III)
+//! and the performance-side story (the throughput figures): the virtual GPU
+//! charges per-element compute time proportional to [`instruction_count`],
+//! and charges *spill traffic* when register pressure exceeds the device's
+//! per-thread register budget — the paper's stated limit on how many
+//! kernels can profitably fuse (§III-C: "kernel fusion will create
+//! increased register pressure").
+//!
+//! # Two register metrics
+//!
+//! [`distinct_regs`] counts every register that carries a used value — what
+//! a back end that never reuses registers would allocate. [`max_live_regs`]
+//! is the liveness-analysis maximum of *simultaneously* live registers —
+//! what a back end that reuses registers across disjoint live ranges needs.
+//! They diverge on any chain: in
+//!
+//! ```text
+//! r0 = load in[0]
+//! r1 = const 1
+//! r2 = Add r0, r1
+//! r3 = const 1
+//! r4 = Add r2, r3
+//! out[0] = r4
+//! ```
+//!
+//! five registers carry used values (`distinct_regs` = 5) but at most two
+//! are ever live at once (`max_live_regs` = 2): `r0`/`r1` die at the first
+//! add. Occupancy and fusion-budget decisions must consume the liveness
+//! metric; the distinct count only bounds it from above.
+//!
+//! Note that optimization can *raise* `max_live_regs` while lowering the
+//! instruction count: CSE replaces a recomputation with an extended live
+//! range (pinned in `tests/prop_dataflow.rs::cse_can_trade_recompute_for_pressure`).
+//! That trade-off is why the fusion budget measures the final optimized
+//! body instead of assuming passes only ever help.
 
+use crate::dataflow::liveness;
 use crate::ir::KernelBody;
 
 /// Dynamic instructions per element: every IR instruction plus one store per
@@ -16,46 +45,39 @@ pub fn instruction_count(body: &KernelBody) -> usize {
     body.instrs.len() + body.outputs.len()
 }
 
-/// Maximum number of simultaneously-live registers, by linear scan over the
-/// straight-line body.
-///
-/// A register is live from its definition to its last use (outputs count as
-/// uses at the end of the body). This models the per-thread register
-/// footprint a real back end would allocate, which drives the fusion cost
-/// model's spill estimate.
-pub fn register_pressure(body: &KernelBody) -> usize {
+/// Number of distinct registers carrying a used value (read by some
+/// instruction or exposed as an output) — the no-reuse upper bound on
+/// register pressure. See the module docs for where this diverges from
+/// [`max_live_regs`]; keep cost decisions on the latter.
+pub fn distinct_regs(body: &KernelBody) -> usize {
     let n = body.instrs.len();
-    if n == 0 {
-        return 0;
-    }
-    // last_use[r]: the last instruction index that reads r, or n for outputs.
-    let mut last_use = vec![usize::MAX; n];
-    for (i, instr) in body.instrs.iter().enumerate() {
-        instr.for_each_operand(|r| {
-            last_use[r as usize] = i;
-        });
+    let mut used = vec![false; n];
+    for instr in &body.instrs {
+        instr.for_each_operand(|r| used[r as usize] = true);
     }
     for &out in &body.outputs {
-        last_use[out as usize] = n;
+        used[out as usize] = true;
     }
-    // Interval sweep: register defined at `def` with last use `lu` is live on
-    // the half-open point range (def, lu]. Count overlap with a +1/-1 scan.
-    let mut delta = vec![0isize; n + 2];
-    for (def, &lu) in last_use.iter().enumerate() {
-        if lu == usize::MAX {
-            continue; // value never used: a real allocator frees it instantly
-        }
-        let lu = lu.min(n);
-        delta[def + 1] += 1;
-        delta[lu + 1] -= 1;
-    }
-    let mut live = 0isize;
-    let mut max_live = 0isize;
-    for d in delta {
-        live += d;
-        max_live = max_live.max(live);
-    }
-    max_live as usize
+    used.iter().filter(|&&u| u).count()
+}
+
+/// Maximum number of simultaneously-live registers, from backward liveness
+/// analysis ([`crate::dataflow::liveness`]). This is the per-thread register
+/// footprint a register-reusing back end allocates, and the number the
+/// fusion cost model and the virtual GPU's occupancy/spill model consume.
+///
+/// Unlike an interval scan over definition-to-last-use ranges, liveness is
+/// transitively precise: a dead instruction keeps nothing alive, not even
+/// its operands.
+pub fn max_live_regs(body: &KernelBody) -> usize {
+    liveness::max_live_regs(body)
+}
+
+/// Register pressure of `body` — an alias for [`max_live_regs`], kept so
+/// the historical name keeps working; new code should call the explicit
+/// metric (or [`distinct_regs`] when the no-reuse bound is really wanted).
+pub fn register_pressure(body: &KernelBody) -> usize {
+    max_live_regs(body)
 }
 
 #[cfg(test)]
@@ -69,6 +91,7 @@ mod tests {
         let body = KernelBody::new(0);
         assert_eq!(instruction_count(&body), 0);
         assert_eq!(register_pressure(&body), 0);
+        assert_eq!(distinct_regs(&body), 0);
     }
 
     #[test]
@@ -86,6 +109,29 @@ mod tests {
         );
         let p = register_pressure(&b.build());
         assert!(p <= 3, "chain pressure was {p}");
+    }
+
+    #[test]
+    fn chain_metrics_diverge_as_documented() {
+        // The module-docs example: distinct counts the whole chain, liveness
+        // sees only two values alive at once.
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).add(Expr::lit(1i64)).add(Expr::lit(1i64)));
+        let body = b.build();
+        assert_eq!(distinct_regs(&body), 5);
+        assert_eq!(max_live_regs(&body), 2);
+    }
+
+    #[test]
+    fn max_live_never_exceeds_distinct() {
+        for body in [
+            BodyBuilder::threshold_lt(0, 10).build(),
+            crate::fuse::fuse_predicate_chain(
+                &(0..8).map(|k| BodyBuilder::threshold_lt(0, 100 + k).build()).collect::<Vec<_>>(),
+            ),
+        ] {
+            assert!(max_live_regs(&body) <= distinct_regs(&body), "{body}");
+        }
     }
 
     #[test]

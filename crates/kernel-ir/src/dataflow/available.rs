@@ -1,0 +1,111 @@
+//! Forward available-expressions analysis.
+//!
+//! An expression is *available* at a point when an instruction computing it
+//! has already executed. All instructions in this IR are pure and SSA means
+//! nothing is ever killed, so availability only grows along the body — the
+//! analysis is the forward mirror of what CSE exploits. Its product here is
+//! the *missed-CSE* report: later instructions recomputing an expression
+//! that an earlier register already holds.
+
+use std::collections::HashMap;
+
+use super::{solve, Analysis, BitSet, Direction, Solution};
+use crate::ir::{Instr, KernelBody};
+
+/// The available-expressions analysis: forward, facts are sets of
+/// instruction indices whose expression has been computed.
+pub struct Available;
+
+impl Analysis for Available {
+    type Fact = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, body: &KernelBody) -> BitSet {
+        BitSet::new(body.instrs.len())
+    }
+
+    /// gen = {idx}, kill = ∅ — purity means an expression, once computed,
+    /// stays available to the end of the body.
+    fn transfer(&self, _body: &KernelBody, idx: usize, before: &BitSet) -> BitSet {
+        let mut out = before.clone();
+        out.insert(idx);
+        out
+    }
+}
+
+/// Solve availability: `facts[i]` is the set of instructions executed before
+/// program point `i`.
+pub fn analyze(body: &KernelBody) -> Solution<BitSet> {
+    solve(&Available, body)
+}
+
+/// Structural key identifying an expression up to its defining register.
+/// `Instr` holds `f64` constants, so it is `PartialEq` but not `Hash`; the
+/// debug form is a faithful canonical key for hashing (bodies are small
+/// enough that string keys cost nothing measurable).
+fn expr_key(instr: &Instr) -> String {
+    format!("{instr:?}")
+}
+
+/// Pairs `(later, earlier)` where instruction `later` recomputes the exact
+/// expression instruction `earlier` already produced — i.e. `earlier` is
+/// available at `later`'s program point. On an O3-optimized body this list
+/// is empty (CSE consumed it); on an authored body it quantifies what
+/// fusion-enlarged CSE scope will reclaim (paper Table III).
+pub fn redundant_exprs(body: &KernelBody) -> Vec<(usize, usize)> {
+    let sol = analyze(body);
+    let mut first: HashMap<String, usize> = HashMap::new();
+    let mut out = Vec::new();
+    for (i, instr) in body.instrs.iter().enumerate() {
+        // Copies are transparent forwarding, not computation.
+        if matches!(instr, Instr::Copy { .. }) {
+            continue;
+        }
+        match first.entry(expr_key(instr)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let earlier = *e.get();
+                debug_assert!(sol.before(i).contains(earlier));
+                out.push((i, earlier));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BodyBuilder;
+    use crate::fuse::fuse_predicate_chain;
+    use crate::opt::{optimize, OptLevel};
+
+    #[test]
+    fn fused_duplicate_predicates_share_loads() {
+        // Two thresholds on the same column: the fused body loads slot 0
+        // twice and computes two identical `const` patterns — availability
+        // sees the redundancy that CSE will collapse.
+        let preds: Vec<_> = (0..2).map(|_| BodyBuilder::threshold_lt(0, 50).build()).collect();
+        let fused = fuse_predicate_chain(&preds);
+        assert!(!redundant_exprs(&fused).is_empty(), "expected missed CSE in {fused}");
+        let opt = optimize(&fused, OptLevel::O3);
+        assert!(redundant_exprs(&opt).is_empty(), "O3 left redundancy in {opt}");
+    }
+
+    #[test]
+    fn availability_grows_monotonically() {
+        let body = BodyBuilder::threshold_lt(0, 10).build();
+        let sol = analyze(&body);
+        assert!(sol.converged);
+        for i in 0..body.instrs.len() {
+            for r in sol.before(i).iter() {
+                assert!(sol.after(i).contains(r), "availability shrank at {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Forward value-range (interval) abstract interpretation.
+//!
+//! Tracks, for every register, a conservative over-approximation of the
+//! values it can take: an integer interval, a boolean may-true/may-false
+//! pair, a float singleton, or ⊤. The transfer functions mirror
+//! [`crate::interp`] exactly — whenever both operands are singletons the
+//! analysis *calls* the interpreter, so proved-constant facts agree with
+//! execution by construction. Integer arithmetic is evaluated in `i128`
+//! and any bound escaping `i64` widens to the full interval, which is the
+//! only sound answer under the IR's wrapping semantics.
+//!
+//! Consumers: the [`crate::opt`] dead-branch pass rewrites instructions the
+//! analysis proves constant, and the lint layer flags filters that are
+//! always-false (select nothing) or always-true (filter nothing).
+
+use super::{solve, Analysis, Direction};
+use crate::interp::{eval_bin, eval_cast, eval_cmp, eval_un};
+use crate::ir::{BinOp, CmpOp, Instr, KernelBody, UnOp};
+use crate::value::{Ty, Value};
+use crate::verify;
+
+/// An abstract value: what a register may hold at runtime.
+#[derive(Debug, Clone, Copy)]
+pub enum Range {
+    /// No information (unknown type, or an unbounded float).
+    Any,
+    /// An integer in `[lo, hi]` (inclusive, `lo <= hi`).
+    Int {
+        /// Smallest possible value.
+        lo: i64,
+        /// Largest possible value.
+        hi: i64,
+    },
+    /// A boolean that may be true and/or may be false.
+    Bool {
+        /// Whether `true` is a possible value.
+        may_true: bool,
+        /// Whether `false` is a possible value.
+        may_false: bool,
+    },
+    /// A float known to be exactly this value.
+    FloatConst(f64),
+}
+
+impl PartialEq for Range {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Range::Any, Range::Any) => true,
+            (Range::Int { lo: a, hi: b }, Range::Int { lo: c, hi: d }) => a == c && b == d,
+            (
+                Range::Bool { may_true: a, may_false: b },
+                Range::Bool { may_true: c, may_false: d },
+            ) => a == c && b == d,
+            // Bitwise so a NaN singleton still compares equal to itself —
+            // IEEE `==` would make the fixpoint driver never converge.
+            (Range::FloatConst(a), Range::FloatConst(c)) => a.to_bits() == c.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+/// The full `i64` interval — the sound answer whenever arithmetic may wrap.
+const FULL: Range = Range::Int { lo: i64::MIN, hi: i64::MAX };
+/// A boolean about which nothing is known.
+const ANY_BOOL: Range = Range::Bool { may_true: true, may_false: true };
+
+impl Range {
+    /// The singleton range of a concrete value.
+    pub fn from_value(v: Value) -> Range {
+        match v {
+            Value::I64(x) => Range::Int { lo: x, hi: x },
+            Value::Bool(b) => Range::Bool { may_true: b, may_false: !b },
+            Value::F64(x) => Range::FloatConst(x),
+        }
+    }
+
+    /// The concrete value, when the range pins exactly one. NaN singletons
+    /// are not reported: rewriting through them is sound but defeats the
+    /// bit-exact output comparisons the optimizer is held to.
+    pub fn as_const(&self) -> Option<Value> {
+        match *self {
+            Range::Int { lo, hi } if lo == hi => Some(Value::I64(lo)),
+            Range::Bool { may_true: true, may_false: false } => Some(Value::Bool(true)),
+            Range::Bool { may_true: false, may_false: true } => Some(Value::Bool(false)),
+            Range::FloatConst(x) if !x.is_nan() => Some(Value::F64(x)),
+            _ => None,
+        }
+    }
+
+    /// Least upper bound: the smallest range covering both.
+    pub fn join(self, other: Range) -> Range {
+        match (self, other) {
+            (Range::Int { lo: a, hi: b }, Range::Int { lo: c, hi: d }) => {
+                Range::Int { lo: a.min(c), hi: b.max(d) }
+            }
+            (
+                Range::Bool { may_true: a, may_false: b },
+                Range::Bool { may_true: c, may_false: d },
+            ) => Range::Bool { may_true: a || c, may_false: b || d },
+            (Range::FloatConst(a), Range::FloatConst(c)) if a.to_bits() == c.to_bits() => {
+                Range::FloatConst(a)
+            }
+            _ => Range::Any,
+        }
+    }
+}
+
+/// Exact `i128` bounds, widened to [`FULL`] when they escape `i64` (the
+/// wrapped result could then be anything).
+fn clamp128(lo: i128, hi: i128) -> Range {
+    if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
+        FULL
+    } else {
+        Range::Int { lo: lo as i64, hi: hi as i64 }
+    }
+}
+
+fn int_bin(op: BinOp, (a_lo, a_hi): (i64, i64), (b_lo, b_hi): (i64, i64)) -> Range {
+    let (al, ah, bl, bh) = (a_lo as i128, a_hi as i128, b_lo as i128, b_hi as i128);
+    let abs_a = al.abs().max(ah.abs());
+    let abs_b = bl.abs().max(bh.abs());
+    match op {
+        BinOp::Add => clamp128(al + bl, ah + bh),
+        BinOp::Sub => clamp128(al - bh, ah - bl),
+        BinOp::Mul => {
+            let ps = [al * bl, al * bh, ah * bl, ah * bh];
+            clamp128(*ps.iter().min().unwrap(), *ps.iter().max().unwrap())
+        }
+        BinOp::Min => Range::Int { lo: a_lo.min(b_lo), hi: a_hi.min(b_hi) },
+        BinOp::Max => Range::Int { lo: a_lo.max(b_lo), hi: a_hi.max(b_hi) },
+        // |a / b| ≤ |a| for |b| ≥ 1; b = 0 yields 0; MIN / -1 wraps to MIN,
+        // still within ±|a| in i128. Nonnegative operands stay nonnegative.
+        BinOp::Div => {
+            if a_lo >= 0 && b_lo >= 0 {
+                Range::Int { lo: 0, hi: a_hi }
+            } else {
+                clamp128(-abs_a, abs_a)
+            }
+        }
+        // |a % b| ≤ min(|a|, |b| - 1) and the sign follows the dividend;
+        // b = 0 yields 0, which every branch below contains.
+        BinOp::Rem => {
+            let bound = abs_a.min((abs_b - 1).max(0));
+            if a_lo >= 0 {
+                clamp128(0, bound)
+            } else if a_hi <= 0 {
+                clamp128(-bound, 0)
+            } else {
+                clamp128(-bound, bound)
+            }
+        }
+        BinOp::And if a_lo >= 0 && b_lo >= 0 => Range::Int { lo: 0, hi: a_hi.min(b_hi) },
+        BinOp::Or | BinOp::Xor if a_lo >= 0 && b_lo >= 0 => {
+            // Bits can only combine below the highest bit present in either.
+            let m = (a_hi | b_hi) as u64;
+            let cap = if m == 0 { 0 } else { ((1u64 << (64 - m.leading_zeros())) - 1) as i64 };
+            Range::Int { lo: 0, hi: cap }
+        }
+        BinOp::Shr if a_lo >= 0 => Range::Int { lo: 0, hi: a_hi },
+        BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr => FULL,
+    }
+}
+
+fn bool_bin(op: BinOp, (t1, f1): (bool, bool), (t2, f2): (bool, bool)) -> Range {
+    match op {
+        BinOp::And => Range::Bool { may_true: t1 && t2, may_false: f1 || f2 },
+        BinOp::Or => Range::Bool { may_true: t1 || t2, may_false: f1 && f2 },
+        BinOp::Xor => {
+            Range::Bool { may_true: (t1 && f2) || (f1 && t2), may_false: (t1 && t2) || (f1 && f2) }
+        }
+        _ => Range::Any,
+    }
+}
+
+fn bin_range(op: BinOp, a: Range, b: Range) -> Range {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        if let Ok(v) = eval_bin(op, x, y) {
+            return Range::from_value(v);
+        }
+    }
+    match (a, b) {
+        (Range::Int { lo: al, hi: ah }, Range::Int { lo: bl, hi: bh }) => {
+            int_bin(op, (al, ah), (bl, bh))
+        }
+        (
+            Range::Bool { may_true: t1, may_false: f1 },
+            Range::Bool { may_true: t2, may_false: f2 },
+        ) => bool_bin(op, (t1, f1), (t2, f2)),
+        _ => Range::Any,
+    }
+}
+
+fn cmp_range(op: CmpOp, a: Range, b: Range) -> Range {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        if let Ok(v) = eval_cmp(op, x, y) {
+            return Range::from_value(v);
+        }
+    }
+    if let (Range::Int { lo: al, hi: ah }, Range::Int { lo: bl, hi: bh }) = (a, b) {
+        // Decide each predicate when the intervals are ordered or disjoint.
+        let verdict = match op {
+            CmpOp::Lt => {
+                if ah < bl {
+                    Some(true)
+                } else if al >= bh {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpOp::Le => {
+                if ah <= bl {
+                    Some(true)
+                } else if al > bh {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpOp::Gt => {
+                if al > bh {
+                    Some(true)
+                } else if ah <= bl {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpOp::Ge => {
+                if al >= bh {
+                    Some(true)
+                } else if ah < bl {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpOp::Eq => {
+                if ah < bl || bh < al {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpOp::Ne => {
+                if ah < bl || bh < al {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(v) = verdict {
+            return Range::from_value(Value::Bool(v));
+        }
+    }
+    ANY_BOOL
+}
+
+fn cast_range(ty: Ty, a: Range) -> Range {
+    if let Some(x) = a.as_const() {
+        if let Ok(v) = eval_cast(ty, x) {
+            return Range::from_value(v);
+        }
+    }
+    match (ty, a) {
+        (Ty::I64, Range::Int { lo, hi }) => Range::Int { lo, hi },
+        (Ty::I64, Range::Bool { may_true, may_false }) => {
+            Range::Int { lo: if may_false { 0 } else { 1 }, hi: if may_true { 1 } else { 0 } }
+        }
+        // f64-as-i64 saturates in Rust, so the full interval is sound.
+        (Ty::I64, _) => FULL,
+        (Ty::Bool, Range::Bool { may_true, may_false }) => Range::Bool { may_true, may_false },
+        (Ty::Bool, Range::Int { lo, hi }) => {
+            Range::Bool { may_true: lo != 0 || hi != 0, may_false: lo <= 0 && hi >= 0 }
+        }
+        (Ty::Bool, _) => ANY_BOOL,
+        (Ty::F64, _) => Range::Any,
+    }
+}
+
+fn un_range(op: UnOp, a: Range) -> Range {
+    if let Some(x) = a.as_const() {
+        if let Ok(v) = eval_un(op, x) {
+            return Range::from_value(v);
+        }
+    }
+    match (op, a) {
+        (UnOp::Not, Range::Bool { may_true, may_false }) => {
+            Range::Bool { may_true: may_false, may_false: may_true }
+        }
+        // !x = -x - 1, monotone decreasing; exact in i128.
+        (UnOp::Not, Range::Int { lo, hi }) => clamp128(-(hi as i128) - 1, -(lo as i128) - 1),
+        (UnOp::Neg, Range::Int { lo, hi }) => clamp128(-(hi as i128), -(lo as i128)),
+        _ => Range::Any,
+    }
+}
+
+/// The range analysis: forward; the fact is the per-register range vector.
+pub struct Ranges {
+    /// Abstract value of each input slot, seeded from the type verifier.
+    slot_ranges: Vec<Range>,
+}
+
+impl Ranges {
+    /// Seed slot ranges from the verifier's inferred slot types; an
+    /// unverifiable body gets ⊤ everywhere (the analysis stays sound and
+    /// silent rather than panicking on ill-typed input).
+    pub fn for_body(body: &KernelBody) -> Ranges {
+        let slot_ranges = match verify::slot_types(body) {
+            Ok(tys) => tys
+                .into_iter()
+                .map(|ty| match ty {
+                    Some(Ty::I64) => FULL,
+                    Some(Ty::Bool) => ANY_BOOL,
+                    _ => Range::Any,
+                })
+                .collect(),
+            Err(_) => vec![Range::Any; body.n_inputs as usize],
+        };
+        Ranges { slot_ranges }
+    }
+}
+
+impl Analysis for Ranges {
+    type Fact = Vec<Range>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, body: &KernelBody) -> Vec<Range> {
+        vec![Range::Any; body.instrs.len()]
+    }
+
+    fn transfer(&self, body: &KernelBody, idx: usize, before: &Vec<Range>) -> Vec<Range> {
+        let mut out = before.clone();
+        let r = |reg: u32| before[reg as usize];
+        out[idx] = match body.instrs[idx] {
+            Instr::LoadInput { slot } => {
+                self.slot_ranges.get(slot as usize).copied().unwrap_or(Range::Any)
+            }
+            Instr::Const { value } => Range::from_value(value),
+            Instr::Copy { src } => r(src),
+            Instr::Bin { op, lhs, rhs } => bin_range(op, r(lhs), r(rhs)),
+            Instr::Un { op, arg } => un_range(op, r(arg)),
+            Instr::Cmp { op, lhs, rhs } => cmp_range(op, r(lhs), r(rhs)),
+            Instr::Select { cond, then_r, else_r } => match r(cond) {
+                Range::Bool { may_true: true, may_false: false } => r(then_r),
+                Range::Bool { may_true: false, may_false: true } => r(else_r),
+                _ => r(then_r).join(r(else_r)),
+            },
+            Instr::Cast { ty, arg } => cast_range(ty, r(arg)),
+        };
+        out
+    }
+}
+
+/// Compute the range of every register in `body`.
+pub fn analyze_ranges(body: &KernelBody) -> Vec<Range> {
+    let sol = solve(&Ranges::for_body(body), body);
+    sol.facts.last().cloned().unwrap_or_default()
+}
+
+/// The constant each instruction is proven to produce, where one is proven.
+pub fn proven_consts(body: &KernelBody) -> Vec<Option<Value>> {
+    analyze_ranges(body).iter().map(Range::as_const).collect()
+}
+
+/// Static verdict on a single-output boolean predicate body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateVerdict {
+    /// Proven to select every row.
+    AlwaysTrue,
+    /// Proven to select no row.
+    AlwaysFalse,
+    /// Not statically decided.
+    Mixed,
+}
+
+/// Statically judge a predicate body (output slot 0).
+pub fn predicate_verdict(body: &KernelBody) -> PredicateVerdict {
+    let Some(&out) = body.outputs.first() else {
+        return PredicateVerdict::Mixed;
+    };
+    match analyze_ranges(body).get(out as usize) {
+        Some(Range::Bool { may_true: true, may_false: false }) => PredicateVerdict::AlwaysTrue,
+        Some(Range::Bool { may_true: false, may_false: true }) => PredicateVerdict::AlwaysFalse,
+        _ => PredicateVerdict::Mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BodyBuilder;
+
+    fn pred(build: impl FnOnce(&mut KernelBody)) -> KernelBody {
+        let mut b = KernelBody::new(2);
+        build(&mut b);
+        b
+    }
+
+    #[test]
+    fn rem_bounds_prove_always_true_guard() {
+        // (x % 10) < 100 holds for every x: the remainder lies in [-9, 9].
+        let body = pred(|b| {
+            let x = b.push(Instr::LoadInput { slot: 0 });
+            let ten = b.push(Instr::Const { value: Value::I64(10) });
+            let r = b.push(Instr::Bin { op: BinOp::Rem, lhs: x, rhs: ten });
+            let hundred = b.push(Instr::Const { value: Value::I64(100) });
+            let c = b.push(Instr::Cmp { op: CmpOp::Lt, lhs: r, rhs: hundred });
+            b.outputs.push(c);
+        });
+        assert_eq!(predicate_verdict(&body), PredicateVerdict::AlwaysTrue);
+    }
+
+    #[test]
+    fn bool_cast_bounds_prove_always_false_filter() {
+        // cast(bool -> i64) ∈ [0, 1], so "> 5" never fires.
+        let body = pred(|b| {
+            let x = b.push(Instr::LoadInput { slot: 0 });
+            let y = b.push(Instr::LoadInput { slot: 1 });
+            let eq = b.push(Instr::Cmp { op: CmpOp::Eq, lhs: x, rhs: y });
+            let as_int = b.push(Instr::Cast { ty: Ty::I64, arg: eq });
+            let five = b.push(Instr::Const { value: Value::I64(5) });
+            let c = b.push(Instr::Cmp { op: CmpOp::Gt, lhs: as_int, rhs: five });
+            b.outputs.push(c);
+        });
+        assert_eq!(predicate_verdict(&body), PredicateVerdict::AlwaysFalse);
+    }
+
+    #[test]
+    fn ordinary_threshold_is_mixed() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        assert_eq!(predicate_verdict(&body), PredicateVerdict::Mixed);
+    }
+
+    #[test]
+    fn constants_fold_through_selects() {
+        // select(c, 3, 3) with unknown c is still proven 3 by the join.
+        let body = pred(|b| {
+            let x = b.push(Instr::LoadInput { slot: 0 });
+            let z = b.push(Instr::Const { value: Value::I64(0) });
+            let c = b.push(Instr::Cmp { op: CmpOp::Lt, lhs: x, rhs: z });
+            let t = b.push(Instr::Const { value: Value::I64(3) });
+            let s = b.push(Instr::Select { cond: c, then_r: t, else_r: t });
+            b.outputs.push(s);
+        });
+        let consts = proven_consts(&body);
+        assert_eq!(consts[4].and_then(|v| v.as_i64()), Some(3));
+        assert_eq!(consts[2], None, "the compare itself is genuinely mixed");
+    }
+
+    #[test]
+    fn wrapping_add_widens_to_full_interval() {
+        // x + 1 may wrap: the interval must widen rather than claim x+1 > x.
+        let body = pred(|b| {
+            let x = b.push(Instr::LoadInput { slot: 0 });
+            let one = b.push(Instr::Const { value: Value::I64(1) });
+            let a = b.push(Instr::Bin { op: BinOp::Add, lhs: x, rhs: one });
+            let c = b.push(Instr::Cmp { op: CmpOp::Gt, lhs: a, rhs: x });
+            b.outputs.push(c);
+        });
+        assert_eq!(predicate_verdict(&body), PredicateVerdict::Mixed);
+    }
+
+    #[test]
+    fn ill_typed_body_degrades_to_any() {
+        // slot 0 used as both i64 and bool -> verify fails -> no claims.
+        let body = pred(|b| {
+            let x = b.push(Instr::LoadInput { slot: 0 });
+            let z = b.push(Instr::Const { value: Value::I64(0) });
+            let c = b.push(Instr::Cmp { op: CmpOp::Lt, lhs: x, rhs: z });
+            let y = b.push(Instr::LoadInput { slot: 0 });
+            let n = b.push(Instr::Un { op: UnOp::Not, arg: y });
+            let a = b.push(Instr::Bin { op: BinOp::And, lhs: c, rhs: n });
+            b.outputs.push(a);
+        });
+        assert_eq!(predicate_verdict(&body), PredicateVerdict::Mixed);
+    }
+}

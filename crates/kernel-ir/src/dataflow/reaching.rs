@@ -1,0 +1,88 @@
+//! Forward reaching-definitions analysis and def-use chains.
+//!
+//! Straight-line SSA makes the reaching relation simple — every register has
+//! one definition, which reaches every later point — so the analysis mostly
+//! serves as the framework's forward instantiation and as the producer of
+//! the *def-use chains* the lint layer and the range analysis consume: for
+//! each register, exactly which instructions and output slots read it.
+
+use super::{solve, Analysis, BitSet, Direction, Solution};
+use crate::ir::KernelBody;
+
+/// The reaching-definitions analysis: forward, facts are sets of registers
+/// whose (unique) definition has executed.
+pub struct Reaching;
+
+impl Analysis for Reaching {
+    type Fact = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, body: &KernelBody) -> BitSet {
+        BitSet::new(body.instrs.len())
+    }
+
+    /// gen = {def(i)}, kill = ∅ (SSA: definitions are never overwritten).
+    fn transfer(&self, _body: &KernelBody, idx: usize, before: &BitSet) -> BitSet {
+        let mut out = before.clone();
+        out.insert(idx);
+        out
+    }
+}
+
+/// Solve reaching definitions: `facts[i]` is the set of registers defined
+/// before program point `i`.
+pub fn analyze(body: &KernelBody) -> Solution<BitSet> {
+    solve(&Reaching, body)
+}
+
+/// All uses of each register: `uses[r]` lists the instruction indices that
+/// read `r`. Output reads are reported separately by [`output_uses`].
+pub fn def_use_chains(body: &KernelBody) -> Vec<Vec<usize>> {
+    let mut uses: Vec<Vec<usize>> = vec![Vec::new(); body.instrs.len()];
+    for (i, instr) in body.instrs.iter().enumerate() {
+        instr.for_each_operand(|r| uses[r as usize].push(i));
+    }
+    uses
+}
+
+/// The output slots that read each register.
+pub fn output_uses(body: &KernelBody) -> Vec<Vec<usize>> {
+    let mut uses: Vec<Vec<usize>> = vec![Vec::new(); body.instrs.len()];
+    for (j, &r) in body.outputs.iter().enumerate() {
+        uses[r as usize].push(j);
+    }
+    uses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BodyBuilder;
+
+    #[test]
+    fn every_def_reaches_every_later_point() {
+        let body = BodyBuilder::threshold_lt(0, 10).build();
+        let sol = analyze(&body);
+        assert!(sol.converged);
+        let n = body.instrs.len();
+        for i in 0..n {
+            for r in 0..n {
+                assert_eq!(sol.facts[i].contains(r), r < i, "point {i} reg {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn chains_report_all_readers() {
+        // threshold_lt lowering: r2 = cmp(r0, r1); r5 = select(r2, r3, r4).
+        let body = BodyBuilder::threshold_lt(0, 10).build();
+        let uses = def_use_chains(&body);
+        assert_eq!(uses[0], vec![2], "input load read by the compare");
+        assert_eq!(uses[2], vec![5], "compare read by the select");
+        let outs = output_uses(&body);
+        assert_eq!(outs[5], vec![0], "select is output 0");
+    }
+}

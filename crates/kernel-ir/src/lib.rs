@@ -47,6 +47,7 @@
 
 pub mod builder;
 pub mod cost;
+pub mod dataflow;
 pub mod fuse;
 pub mod interp;
 pub mod ir;

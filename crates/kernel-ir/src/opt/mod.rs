@@ -16,6 +16,7 @@ mod const_fold;
 mod copy_prop;
 mod cse;
 mod dce;
+mod simplify_ranges;
 mod strength;
 mod types;
 
@@ -24,6 +25,7 @@ pub use const_fold::const_fold;
 pub use copy_prop::copy_prop;
 pub use cse::cse;
 pub use dce::dce;
+pub use simplify_ranges::simplify_ranges;
 pub use strength::strength;
 pub use types::infer_types;
 
@@ -71,29 +73,55 @@ pub fn run_all_once(body: &mut KernelBody) -> bool {
     changed |= copy_prop(body);
     changed |= cse(body);
     changed |= copy_prop(body);
+    changed |= simplify_ranges(body);
     changed |= dce(body);
     changed
 }
 
+/// Iteration cap of the [`OptLevel::O3`] fixpoint loop.
+pub const MAX_O3_ITERS: usize = 16;
+
+/// What [`optimize_report`] observed while running the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptReport {
+    /// Pipeline iterations executed (each is one [`run_all_once`] at O2/O3).
+    pub iterations: usize,
+    /// Whether an iteration completed with no pass changing the body. Only
+    /// O3 iterates, so this is vacuously true below it; at O3 it means the
+    /// body genuinely reached a fixpoint within [`MAX_O3_ITERS`].
+    pub converged: bool,
+}
+
 /// Optimize a copy of `body` at `level`.
 pub fn optimize(body: &KernelBody, level: OptLevel) -> KernelBody {
+    optimize_report(body, level).0
+}
+
+/// Optimize a copy of `body` at `level`, reporting fixpoint behaviour.
+pub fn optimize_report(body: &KernelBody, level: OptLevel) -> (KernelBody, OptReport) {
     let mut out = body.clone();
+    let mut report = OptReport { iterations: 0, converged: true };
     match level {
         OptLevel::O0 => {}
         OptLevel::O1 => {
             const_fold(&mut out);
             copy_prop(&mut out);
             dce(&mut out);
+            report.iterations = 1;
         }
         OptLevel::O2 => {
             run_all_once(&mut out);
+            report.iterations = 1;
         }
         OptLevel::O3 => {
             // Fixpoint iteration; the pipeline strictly shrinks or rewrites
             // toward normal forms, so this terminates quickly in practice.
             // The bound is a backstop against pass-interaction cycles.
-            for _ in 0..16 {
+            report.converged = false;
+            for _ in 0..MAX_O3_ITERS {
+                report.iterations += 1;
                 if !run_all_once(&mut out) {
+                    report.converged = true;
                     break;
                 }
             }
@@ -111,7 +139,7 @@ pub fn optimize(body: &KernelBody, level: OptLevel) -> KernelBody {
     }
     #[cfg(not(feature = "check"))]
     debug_assert!(out.validate().is_ok(), "optimizer produced invalid IR");
-    out
+    (out, report)
 }
 
 #[cfg(test)]
@@ -147,6 +175,29 @@ mod tests {
         let once = optimize(&body, OptLevel::O3);
         let twice = optimize(&once, OptLevel::O3);
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn o3_reaches_fixpoint_within_bound() {
+        let fused = crate::fuse::fuse_predicate_chain(
+            &(0..8).map(|k| BodyBuilder::threshold_lt(0, 100 + k).build()).collect::<Vec<_>>(),
+        );
+        for body in [BodyBuilder::threshold_lt(0, 42).build(), fused] {
+            let (out, report) = optimize_report(&body, OptLevel::O3);
+            assert!(report.converged, "O3 hit the iteration cap on {body}");
+            assert!(report.iterations <= MAX_O3_ITERS);
+            // Fixpoint means one more pipeline sweep changes nothing.
+            let mut again = out.clone();
+            assert!(!run_all_once(&mut again), "claimed fixpoint was not one: {out}");
+        }
+    }
+
+    #[test]
+    fn optimize_report_counts_o0_as_zero_iterations() {
+        let body = BodyBuilder::threshold_lt(0, 42).build();
+        let (out, report) = optimize_report(&body, OptLevel::O0);
+        assert_eq!(out, body);
+        assert_eq!(report, OptReport { iterations: 0, converged: true });
     }
 
     #[test]

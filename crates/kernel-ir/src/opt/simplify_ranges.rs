@@ -1,0 +1,120 @@
+//! Range-based simplification: the dead-branch / proven-constant pass.
+//!
+//! Constant folding only acts when an operand *is* a constant; the value-
+//! range analysis ([`crate::dataflow::range`]) proves facts about whole
+//! intervals — `x % 10` can never reach 100, a bool widened to `i64` can
+//! never exceed 1 — so predicates over non-constant inputs can still be
+//! decided statically. This pass rewrites every instruction the analysis
+//! pins to a single value into a `Const`, and collapses `Select`s whose
+//! condition is proven one-sided into a `Copy` of the taken branch. The
+//! downstream copy-prop/CSE/DCE passes then erase the untaken computation —
+//! the "dead branch".
+
+use crate::dataflow::range::{analyze_ranges, Range};
+use crate::ir::{Instr, KernelBody};
+
+/// Rewrite range-proven-constant instructions to `Const` and proven-
+/// one-sided `Select`s to `Copy`. Returns whether the body changed.
+pub fn simplify_ranges(body: &mut KernelBody) -> bool {
+    let ranges = analyze_ranges(body);
+    if ranges.is_empty() {
+        return false;
+    }
+    let mut changed = false;
+    for i in 0..body.instrs.len() {
+        let instr = body.instrs[i];
+        let new_instr = match instr {
+            // Already in normal form; nothing a proof could improve.
+            Instr::Const { .. } | Instr::Copy { .. } => None,
+            Instr::Select { cond, then_r, else_r } => match ranges[cond as usize] {
+                Range::Bool { may_true: true, may_false: false } => {
+                    Some(Instr::Copy { src: then_r })
+                }
+                Range::Bool { may_true: false, may_false: true } => {
+                    Some(Instr::Copy { src: else_r })
+                }
+                _ => ranges[i].as_const().map(|value| Instr::Const { value }),
+            },
+            _ => ranges[i].as_const().map(|value| Instr::Const { value }),
+        };
+        if let Some(ni) = new_instr {
+            if ni != instr {
+                body.instrs[i] = ni;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::range::{predicate_verdict, PredicateVerdict};
+    use crate::interp::eval;
+    use crate::ir::{BinOp, CmpOp};
+    use crate::opt::{optimize, OptLevel};
+    use crate::value::Value;
+
+    /// (x % 10) < 100 — always true, but no operand is constant, so plain
+    /// const-folding cannot touch it.
+    fn guarded_rem_body() -> KernelBody {
+        let mut b = KernelBody::new(1);
+        let x = b.push(Instr::LoadInput { slot: 0 });
+        let ten = b.push(Instr::Const { value: Value::I64(10) });
+        let r = b.push(Instr::Bin { op: BinOp::Rem, lhs: x, rhs: ten });
+        let hundred = b.push(Instr::Const { value: Value::I64(100) });
+        let c = b.push(Instr::Cmp { op: CmpOp::Lt, lhs: r, rhs: hundred });
+        b.outputs.push(c);
+        b
+    }
+
+    #[test]
+    fn proves_what_const_fold_cannot() {
+        let mut body = guarded_rem_body();
+        let mut folded = body.clone();
+        assert!(!crate::opt::const_fold(&mut folded), "const_fold has no constant operands");
+        assert!(simplify_ranges(&mut body));
+        assert!(matches!(body.instrs[4], Instr::Const { value: Value::Bool(true) }));
+    }
+
+    #[test]
+    fn o3_collapses_proven_predicate_to_const() {
+        let body = guarded_rem_body();
+        assert_eq!(predicate_verdict(&body), PredicateVerdict::AlwaysTrue);
+        let o3 = optimize(&body, OptLevel::O3);
+        assert_eq!(o3.instrs.len(), 1, "one const remains: {o3}");
+        for v in [-7i64, 0, 9, 12345] {
+            assert_eq!(eval(&o3, &[Value::I64(v)]).unwrap()[0].as_bool(), Some(true));
+        }
+    }
+
+    #[test]
+    fn one_sided_select_takes_the_live_branch() {
+        // select((x % 8) < 50, x, x*x): the condition is proven, the dead
+        // branch's multiply must disappear after DCE.
+        let mut b = KernelBody::new(1);
+        let x = b.push(Instr::LoadInput { slot: 0 });
+        let eight = b.push(Instr::Const { value: Value::I64(8) });
+        let r = b.push(Instr::Bin { op: BinOp::Rem, lhs: x, rhs: eight });
+        let fifty = b.push(Instr::Const { value: Value::I64(50) });
+        let c = b.push(Instr::Cmp { op: CmpOp::Lt, lhs: r, rhs: fifty });
+        let sq = b.push(Instr::Bin { op: BinOp::Mul, lhs: x, rhs: x });
+        let s = b.push(Instr::Select { cond: c, then_r: x, else_r: sq });
+        b.outputs.push(s);
+        let o3 = optimize(&b, OptLevel::O3);
+        assert!(
+            !o3.instrs.iter().any(|i| matches!(i, Instr::Bin { op: BinOp::Mul, .. })),
+            "dead branch survived: {o3}"
+        );
+        for v in [-3i64, 0, 7, 100] {
+            assert_eq!(eval(&o3, &[Value::I64(v)]).unwrap()[0].as_i64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn mixed_predicate_is_untouched() {
+        let mut body = crate::builder::BodyBuilder::threshold_lt(0, 100).build();
+        assert!(!simplify_ranges(&mut body));
+    }
+}

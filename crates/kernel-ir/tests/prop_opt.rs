@@ -7,7 +7,7 @@
 //! so failures reproduce by case number.
 
 use kfusion_ir::builder::{BodyBuilder, Expr};
-use kfusion_ir::cost::{instruction_count, register_pressure};
+use kfusion_ir::cost::{instruction_count, max_live_regs};
 use kfusion_ir::fuse::fuse_predicate_chain;
 use kfusion_ir::interp::{eval, eval_predicate};
 use kfusion_ir::opt::{optimize, OptLevel};
@@ -141,7 +141,7 @@ fn o3_monotone_and_valid() {
         let o3 = optimize(&body, OptLevel::O3);
         assert!(o3.validate().is_ok(), "case {case}");
         assert!(instruction_count(&o3) <= instruction_count(&body), "case {case}");
-        assert!(register_pressure(&o3) <= body.instrs.len().max(1), "case {case}");
+        assert!(max_live_regs(&o3) <= body.instrs.len().max(1), "case {case}");
     }
 }
 

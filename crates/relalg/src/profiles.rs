@@ -19,7 +19,7 @@
 //! Constants are calibrated so the virtual C2070 lands in the throughput
 //! bands of the paper's Fig. 4(a); see EXPERIMENTS.md for paper-vs-measured.
 
-use kfusion_ir::cost::{instruction_count, register_pressure};
+use kfusion_ir::cost::{instruction_count, max_live_regs};
 use kfusion_ir::opt::{optimize, OptLevel};
 use kfusion_ir::KernelBody;
 use kfusion_vgpu::KernelProfile;
@@ -53,8 +53,10 @@ pub fn body_instr(body: &KernelBody, level: OptLevel) -> f64 {
 }
 
 /// Register footprint of an IR body at `level`, plus the skeleton registers.
+/// Uses the liveness-precise maximum (`max_live_regs`), not the distinct
+/// register count — what occupancy actually depends on.
 pub fn body_regs(body: &KernelBody, level: OptLevel) -> u32 {
-    register_pressure(&optimize(body, level)) as u32 + STAGE_REGS
+    max_live_regs(&optimize(body, level)) as u32 + STAGE_REGS
 }
 
 /// The filter kernel of one (possibly fused) SELECT: evaluates `body` per

@@ -41,6 +41,12 @@ pub struct DeviceSpec {
     pub max_threads_per_cta: u32,
     /// Register budget per thread before the backend spills to memory.
     pub max_regs_per_thread: u32,
+    /// 32-bit registers in each SM's register file. Occupancy is capped at
+    /// `regfile_per_sm / regs_per_thread` resident threads per SM — the
+    /// second way register pressure costs performance (§III-C): before a
+    /// kernel ever spills, heavy bodies already reduce residency below the
+    /// latency-hiding requirement.
+    pub regfile_per_sm: u32,
     /// Number of DMA copy engines (2 on the C2070: simultaneous H2D + D2H).
     pub copy_engines: u32,
 }
@@ -83,6 +89,7 @@ impl DeviceSpec {
             max_ctas_per_sm: 8,
             max_threads_per_cta: 1024,
             max_regs_per_thread: 63,
+            regfile_per_sm: 32 * 1024,
             copy_engines: 2,
         }
     }
@@ -105,6 +112,7 @@ impl DeviceSpec {
             max_ctas_per_sm: 8,
             max_threads_per_cta: 512,
             max_regs_per_thread: 124,
+            regfile_per_sm: 16 * 1024,
             copy_engines: 1,
         }
     }
@@ -127,6 +135,7 @@ impl DeviceSpec {
             max_ctas_per_sm: 8,
             max_threads_per_cta: 1024,
             max_regs_per_thread: 63,
+            regfile_per_sm: 32 * 1024,
             copy_engines: 1,
         }
     }
@@ -151,6 +160,9 @@ impl DeviceSpec {
             max_ctas_per_sm: 2,
             max_threads_per_cta: 1,
             max_regs_per_thread: 16,
+            // CPUs rename onto a physical register file far larger than the
+            // architectural set; residency is never register-bound.
+            regfile_per_sm: 1 << 20,
             copy_engines: 0,
         }
     }

@@ -152,15 +152,20 @@ impl KernelProfile {
     /// `max_ctas_per_sm` CTAs and `max_threads_per_sm` threads, so small
     /// CTAs cap resident threads below the latency-hiding requirement —
     /// launching with half-size CTAs is slower even on huge grids (the
-    /// paper's "no stream (new)" line, Fig. 12).
+    /// paper's "no stream (new)" line, Fig. 12). The register file is the
+    /// third ceiling: at most `regfile_per_sm / regs_per_thread` threads fit
+    /// per SM, so register-heavy fused bodies lose occupancy before they
+    /// ever spill (§III-C).
     pub fn utilization(&self, spec: &DeviceSpec, launch: &LaunchConfig) -> f64 {
         let ctas_per_sm = spec
             .max_ctas_per_sm
             .min(spec.max_threads_per_sm / launch.threads_per_cta.max(1))
             .max(1);
+        let regfile_cap = (spec.regfile_per_sm / self.regs_per_thread.max(1)).max(1) as u64;
         let resident_cap = spec.sm_count as u64
             * (ctas_per_sm as u64 * launch.threads_per_cta as u64)
-                .min(spec.max_threads_per_sm as u64);
+                .min(spec.max_threads_per_sm as u64)
+                .min(regfile_cap);
         let resident = launch.total_threads().min(resident_cap) as f64;
         let sat = spec.saturation_threads() as f64;
         (resident / sat).min(1.0)
@@ -252,6 +257,21 @@ mod tests {
         let full = LaunchConfig::for_elements(n, &g);
         let half = full.halved();
         assert!(p.time(&g, &half, n) > p.time(&g, &full, n));
+    }
+
+    #[test]
+    fn register_pressure_costs_occupancy_before_spilling() {
+        let g = gpu();
+        let n = 1u64 << 24;
+        let l = LaunchConfig::for_elements(n, &g);
+        let lean = basic().regs_per_thread(16);
+        // 63 regs is within budget (no spill traffic), but 32768/63 = 520
+        // resident threads/SM is well under the 1280 latency-hiding needs.
+        let heavy = basic().regs_per_thread(g.max_regs_per_thread);
+        assert!((lean.utilization(&g, &l) - 1.0).abs() < 1e-9);
+        assert!(heavy.utilization(&g, &l) < 0.5);
+        assert_eq!(heavy.traffic_bytes(&g, n), lean.traffic_bytes(&g, n));
+        assert!(heavy.time(&g, &l, n) > lean.time(&g, &l, n));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! illegal (non-convex) fusion and a stream schedule that races an upload.
 
 use kfusion::ir::builder::BodyBuilder;
-use kfusion::ir::cost::{instruction_count, register_pressure};
+use kfusion::ir::cost::{distinct_regs, instruction_count, max_live_regs};
 use kfusion::ir::fuse::fuse_predicate_chain;
 use kfusion::ir::interp::eval_predicate;
 use kfusion::ir::opt::{optimize, OptLevel};
@@ -36,9 +36,11 @@ fn main() {
 
     let fused = fuse_predicate_chain(&[a.clone(), b.clone()]);
     println!(
-        "fused body (A ; B ; AND) — {} instructions, register pressure {}:\n{fused}\n",
+        "fused body (A ; B ; AND) — {} instructions, {} distinct registers \
+         but only {} ever live at once:\n{fused}\n",
         instruction_count(&fused),
-        register_pressure(&fused)
+        distinct_regs(&fused),
+        max_live_regs(&fused)
     );
 
     let fused_o3 = optimize(&fused, OptLevel::O3);
