@@ -1,0 +1,217 @@
+//! Host execution-engine throughput: scalar interpreter vs vectorized
+//! batch engine (`kfusion_ir::batch`).
+//!
+//! Unlike the fig/table benches, which report *simulated* GPU time, this
+//! harness measures real host wall-clock — the first perf-trajectory
+//! artifact for the functional layer. Three cases:
+//!
+//! 1. `fused_q1_predicate` — rows/sec evaluating the O3-optimized Q1
+//!    date-range predicate (the body inside the fused JOIN+SELECT block)
+//!    over a shipdate column, single-threaded, both engines.
+//! 2. `tpch_q1_functional` / `tpch_q6_functional` — wall-clock of the full
+//!    functional phase (`execute`, serial strategy) with the batch engine
+//!    toggled off/on. Simulated timings are engine-independent by
+//!    construction; only the host clock moves.
+//!
+//! Writes `BENCH_host_throughput.json` at the repo root (override with
+//! `--out`) and exits nonzero if the batch engine fails to beat the scalar
+//! interpreter on the predicate case — the CI perf-smoke gate.
+//!
+//! ```sh
+//! cargo bench --bench throughput_host -- [--rows N] [--scale SF] [--out PATH]
+//! ```
+
+use kfusion_core::exec::{execute, ExecConfig, Strategy};
+use kfusion_ir::batch::{BatchMachine, CompiledKernel, BATCH_ROWS};
+use kfusion_ir::fuse::fuse_predicate_chain;
+use kfusion_ir::interp::Machine;
+use kfusion_ir::opt::{optimize, OptLevel};
+use kfusion_ir::{CmpOp, KernelBody, Value};
+use kfusion_relalg::{engine, predicates, Column, Relation};
+use kfusion_tpch::gen::{generate, TpchConfig, MAX_DAY, Q1_CUTOFF_DAY};
+use kfusion_tpch::{q1, q6};
+use kfusion_vgpu::GpuSystem;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+/// Best-of-N wall-clock seconds for `f` (first call is the warmup).
+fn time_best<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut out = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (out, best)
+}
+
+/// The Q1 date-range predicate as the fused SELECT block evaluates it:
+/// fused (trivially, Q1 has one predicate) and O3-optimized.
+fn fused_q1_predicate() -> KernelBody {
+    let pred = predicates::col_cmp_i64(0, CmpOp::Le, Q1_CUTOFF_DAY);
+    optimize(&fuse_predicate_chain(std::slice::from_ref(&pred)), OptLevel::O3)
+}
+
+/// A key + shipdate relation with the generator's date distribution.
+fn shipdate_relation(rows: usize) -> Relation {
+    let mut rng = kfusion_prng::Rng::seed_from_u64(0x51ED47E);
+    let col = (0..rows).map(|_| rng.gen_range(0..MAX_DAY + 1)).collect();
+    Relation::new((0..rows as u64).collect(), vec![Column::I64(col)]).unwrap()
+}
+
+/// Scalar engine: one `Machine`, one row at a time — exactly the per-tuple
+/// loop SELECT ran before the batch engine existed.
+fn scalar_count(body: &KernelBody, rel: &Relation) -> u64 {
+    let mut m = Machine::for_body(body);
+    let mut row: Vec<Value> = Vec::with_capacity(1 + rel.n_cols());
+    let mut count = 0u64;
+    for i in 0..rel.len() {
+        rel.ir_inputs(i, &mut row);
+        count += m.run_predicate(body, &row).expect("well-typed predicate") as u64;
+    }
+    count
+}
+
+/// Batch engine: compiled kernel over 1024-row batches, popcounting the
+/// selection bitmask.
+fn batch_count(body: &KernelBody, rel: &Relation) -> u64 {
+    let k = CompiledKernel::compile(body, &rel.ir_slot_types()).expect("predicate compiles");
+    let cols = rel.ir_cols();
+    let mut bm = BatchMachine::new(&k);
+    let mut count = 0u64;
+    let mut base = 0;
+    while base < rel.len() {
+        let n = (rel.len() - base).min(BATCH_ROWS);
+        bm.run(&k, &cols, base, n);
+        let mask = bm.selection_mask(&k);
+        for (w, &word) in mask.iter().enumerate().take(n.div_ceil(64)) {
+            let lo = w * 64;
+            let mut m = word;
+            if n - lo < 64 {
+                m &= (1u64 << (n - lo)) - 1;
+            }
+            count += m.count_ones() as u64;
+        }
+        base += n;
+    }
+    count
+}
+
+struct Case {
+    name: &'static str,
+    unit: &'static str,
+    scalar: f64,
+    batch: f64,
+    speedup: f64,
+}
+
+/// Wall-clock a full functional-phase execution under both engines.
+fn functional_case(
+    name: &'static str,
+    run: impl Fn() -> f64, // returns simulated total, for the invariance check
+) -> Case {
+    engine::set_batch_enabled(false);
+    let (sim_scalar, t_scalar) = time_best(&run);
+    engine::set_batch_enabled(true);
+    let (sim_batch, t_batch) = time_best(&run);
+    assert_eq!(sim_scalar, sim_batch, "{name}: engine choice changed simulated time");
+    Case {
+        name,
+        unit: "wall_ms",
+        scalar: t_scalar * 1e3,
+        batch: t_batch * 1e3,
+        speedup: t_scalar / t_batch,
+    }
+}
+
+fn main() {
+    let mut rows = 1usize << 22;
+    let mut scale = 0.05f64;
+    let mut out_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_host_throughput.json").to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--rows" => rows = args.next().and_then(|v| v.parse().ok()).expect("--rows N"),
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).expect("--scale SF"),
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--bench" => {} // cargo bench appends this; ignore
+            other => {
+                eprintln!("unknown arg {other:?} (try --rows N, --scale SF, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== throughput_host: scalar interpreter vs batch engine ==");
+    println!("predicate rows: {rows}; TPC-H scale factor: {scale}\n");
+    let mut cases = Vec::new();
+
+    // Case 1: the fused Q1 predicate, single-threaded rows/sec.
+    let body = fused_q1_predicate();
+    let rel = shipdate_relation(rows);
+    let (n_scalar, t_scalar) = time_best(|| scalar_count(&body, &rel));
+    let (n_batch, t_batch) = time_best(|| batch_count(&body, &rel));
+    assert_eq!(n_scalar, n_batch, "engines disagree on selectivity");
+    cases.push(Case {
+        name: "fused_q1_predicate",
+        unit: "rows_per_sec",
+        scalar: rows as f64 / t_scalar,
+        batch: rows as f64 / t_batch,
+        speedup: t_scalar / t_batch,
+    });
+
+    // Cases 2–3: whole functional phases, wall-clock.
+    let db = generate(TpchConfig::scale(scale));
+    let sys = GpuSystem::c2070();
+    let q1_plan = q1::q1_plan();
+    let q1_inputs = q1::q1_inputs(&db);
+    let q6_plan = q6::q6_plan();
+    let q6_inputs = q6::q6_inputs(&db);
+    let cfg = ExecConfig::new(Strategy::Serial, &sys);
+    cases.push(functional_case("tpch_q1_functional", || {
+        execute(&sys, &q1_plan, &q1_inputs, &cfg).unwrap().report.total()
+    }));
+    cases.push(functional_case("tpch_q6_functional", || {
+        execute(&sys, &q6_plan, &q6_inputs, &cfg).unwrap().report.total()
+    }));
+
+    for c in &cases {
+        println!(
+            "{:24} scalar {:>14.1} {u}   batch {:>14.1} {u}   speedup {:.2}x",
+            c.name,
+            c.scalar,
+            c.batch,
+            c.speedup,
+            u = c.unit
+        );
+    }
+
+    let body: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"name\": \"{}\", \"unit\": \"{}\", \"scalar\": {:.3}, \"batch\": {:.3}, \"speedup\": {:.3}}}",
+                c.name, c.unit, c.scalar, c.batch, c.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"throughput_host\",\n  \"predicate_rows\": {rows},\n  \"tpch_scale\": {scale},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write JSON artifact");
+    println!("\nwrote {out_path}");
+
+    // CI gate: vectorization must pay for itself on the predicate case.
+    let pred = &cases[0];
+    if pred.batch <= pred.scalar {
+        eprintln!(
+            "FAIL: batch engine ({:.0} rows/s) not faster than scalar ({:.0} rows/s)",
+            pred.batch, pred.scalar
+        );
+        std::process::exit(1);
+    }
+}

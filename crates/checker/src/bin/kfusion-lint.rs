@@ -123,7 +123,22 @@ fn lint_demo_defects() -> LintReport {
     let tiny = FusionBudget { max_regs_per_thread: STAGE_REGS + 2 };
     report.lints.extend(lint_fusion(&g, &fusion, &tiny, OptLevel::O3));
 
-    // 5. A single-stream schedule that serializes PCIe against compute.
+    // 5. A well-typed body the batch engine cannot take: its input slot
+    //    demands a bool column, which no relational column supplies, so
+    //    execution falls back to the per-tuple scalar interpreter.
+    let bool_slot = KernelBody {
+        instrs: vec![
+            Instr::LoadInput { slot: 0 },
+            Instr::Const { value: Value::I64(1) },
+            Instr::LoadInput { slot: 1 },
+            Instr::Select { cond: 2, then_r: 0, else_r: 1 },
+        ],
+        outputs: vec![3],
+        n_inputs: 2,
+    };
+    report.lints.extend(lint_body("defect: unvectorizable body", &bool_slot, false));
+
+    // 6. A single-stream schedule that serializes PCIe against compute.
     let spec = DeviceSpec::tesla_c2070();
     let k = KernelProfile::new("filter").instr_per_elem(8.0).bytes_read_per_elem(4.0);
     let serial = Schedule::serial(vec![

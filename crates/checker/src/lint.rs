@@ -190,6 +190,41 @@ pub fn lint_body(origin: &str, body: &KernelBody, is_predicate: bool) -> Vec<Lin
         );
     }
 
+    // Would the batch engine take this body, or does execution fall back to
+    // the per-tuple scalar interpreter? The relational layer binds i64/f64
+    // columns, so slots left polymorphic by the body resolve at bind time —
+    // seed them i64 here (every non-single verifier mask includes i64). Two
+    // things defeat vectorization: a slot pinned to bool (no column can
+    // supply it) and a body whose registers stay unresolved even then.
+    let slots = kfusion_ir::verify::slot_types(body).expect("body verified above");
+    if let Some(slot) = slots.iter().position(|t| *t == Some(kfusion_ir::Ty::Bool)) {
+        lints.push(
+            Lint::new(
+                "missed-vectorization",
+                Severity::Warn,
+                format!(
+                    "{origin}: input slot {slot} demands a bool column, which the relational \
+                     layer never supplies"
+                ),
+            )
+            .note("the body falls back to per-tuple interpretation and type-errors at run time"),
+        );
+    } else {
+        let seeded: Vec<Option<kfusion_ir::Ty>> =
+            slots.iter().map(|t| Some(t.unwrap_or(kfusion_ir::Ty::I64))).collect();
+        if let Err(e) = kfusion_ir::batch::CompiledKernel::compile(body, &seeded) {
+            lints.push(
+                Lint::new(
+                    "missed-vectorization",
+                    Severity::Warn,
+                    format!("{origin}: body does not compile for the vectorized batch engine"),
+                )
+                .note(e.to_string())
+                .note("execution falls back to the per-tuple scalar interpreter"),
+            );
+        }
+    }
+
     if is_predicate {
         match range::predicate_verdict(body) {
             range::PredicateVerdict::AlwaysFalse => lints.push(
@@ -411,6 +446,37 @@ mod tests {
     fn clean_predicate_produces_no_lints() {
         let lints = lint_body("demo", &predicates::key_lt(100), true);
         assert!(lints.is_empty(), "{:?}", lints.iter().map(|l| l.id).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flags_bool_input_slot_as_missed_vectorization() {
+        use kfusion_ir::Ty;
+        // select(in[1], in[0], 1): slot 1 is pinned bool — unbindable.
+        let body = KernelBody {
+            instrs: vec![
+                Instr::LoadInput { slot: 0 },
+                Instr::Const { value: Value::I64(1) },
+                Instr::LoadInput { slot: 1 },
+                Instr::Select { cond: 2, then_r: 0, else_r: 1 },
+            ],
+            outputs: vec![3],
+            n_inputs: 2,
+        };
+        assert_eq!(kfusion_ir::verify::verify(&body), Ok(()));
+        let lints = lint_body("demo", &body, false);
+        assert!(
+            lints.iter().any(|l| l.id == "missed-vectorization" && l.severity == Severity::Warn),
+            "{:?}",
+            lints.iter().map(|l| l.id).collect::<Vec<_>>()
+        );
+        // A polymorphic-but-numeric body vectorizes once columns bind: clean.
+        let poly = predicates::col_cmp_col(0, CmpOp::Gt, 1);
+        assert!(kfusion_ir::batch::CompiledKernel::compile(
+            &poly,
+            &[Some(Ty::I64), Some(Ty::I64), Some(Ty::I64)]
+        )
+        .is_ok());
+        assert!(lint_body("demo", &poly, true).is_empty());
     }
 
     #[test]

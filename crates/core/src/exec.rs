@@ -142,34 +142,37 @@ fn run_plan(
     #[cfg(not(feature = "check"))]
     graph.validate()?;
     // ---- Functional phase -------------------------------------------------
-    let mut results: Vec<Relation> = Vec::with_capacity(graph.len());
-    for node in &graph.nodes {
-        let get = |i: usize| &results[node.inputs[i]];
-        let rel = match &node.kind {
-            OpKind::Input { input } => inputs
-                .get(*input)
-                .cloned()
-                .ok_or_else(|| CoreError::Unsupported(format!("missing plan input {input}")))?,
-            OpKind::Select { pred } => ops::select(get(0), pred)?,
-            OpKind::Project { keep } => ops::project(get(0), keep)?,
-            OpKind::Rekey { col } => ops::rekey(get(0), *col)?,
-            OpKind::Arith { body } => ops::arith_map(get(0), body)?,
-            OpKind::ArithExtend { body } => ops::arith_extend(get(0), body)?,
-            OpKind::Join => ops::join(get(0), get(1))?,
-            OpKind::ColumnJoin => ops::column_join(get(0), get(1))?,
-            OpKind::Semijoin => ops::semijoin(get(0), get(1))?,
-            OpKind::Antijoin => ops::antijoin(get(0), get(1))?,
-            OpKind::Product => ops::product(get(0), get(1))?,
-            OpKind::Union => ops::union(get(0), get(1))?,
-            OpKind::Intersect => ops::intersection(get(0), get(1))?,
-            OpKind::Difference => ops::difference(get(0), get(1))?,
-            OpKind::Aggregate { aggs } => ops::aggregate_by_key(get(0), aggs)?,
-            OpKind::AggregateAll { aggs } => ops::aggregate_all(get(0), aggs)?,
-            OpKind::Sort { by } => ops::sort(get(0), *by)?,
-            OpKind::Unique => ops::unique(get(0))?,
-        };
-        results.push(rel);
+    // Independent nodes evaluate in parallel: topological wavefronts (a
+    // node's level is one past its deepest input) run on scoped threads,
+    // results land indexed by node id, and a wave's errors surface in id
+    // order — so answers are deterministic and identical to a serial loop.
+    let mut slots: Vec<Option<Relation>> = (0..graph.len()).map(|_| None).collect();
+    for wave in wavefronts(graph) {
+        if wave.len() == 1 {
+            let id = wave[0];
+            slots[id] = Some(eval_node(graph, id, inputs, &slots)?);
+        } else {
+            let evaluated: Vec<(NodeId, Result<Relation, CoreError>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|&id| {
+                            let slots = &slots;
+                            (id, scope.spawn(move || eval_node(graph, id, inputs, slots)))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(id, h)| (id, h.join().expect("plan node evaluation panicked")))
+                        .collect()
+                });
+            for (id, rel) in evaluated {
+                slots[id] = Some(rel?);
+            }
+        }
     }
+    let results: Vec<Relation> =
+        slots.into_iter().map(|r| r.expect("every wave filled its nodes")).collect();
 
     // ---- Timing phase -----------------------------------------------------
     let stats = Stats::collect(graph, &results);
@@ -190,6 +193,59 @@ fn run_plan(
     let peak = peak_resident_bytes(graph, &stats);
     let outputs: Vec<Relation> = roots.iter().map(|&r| results[r].clone()).collect();
     Ok((outputs, Report::new(timeline, elements, input_bytes), fusion, peak))
+}
+
+/// Partition node ids into topological wavefronts: level 0 holds nodes with
+/// no inputs, level `k` the nodes whose deepest input sits at `k - 1`. All
+/// nodes of one wave depend only on earlier waves, so a wave may evaluate
+/// in parallel. Ids within a wave stay ascending.
+fn wavefronts(graph: &PlanGraph) -> Vec<Vec<NodeId>> {
+    let mut level = vec![0usize; graph.len()];
+    let mut waves: Vec<Vec<NodeId>> = Vec::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let l = node.inputs.iter().map(|&p| level[p] + 1).max().unwrap_or(0);
+        level[id] = l;
+        if waves.len() <= l {
+            waves.resize_with(l + 1, Vec::new);
+        }
+        waves[l].push(id);
+    }
+    waves
+}
+
+/// Evaluate one plan node; `slots` must hold the results of all its inputs
+/// (guaranteed by wavefront order).
+fn eval_node(
+    graph: &PlanGraph,
+    id: NodeId,
+    inputs: &[Relation],
+    slots: &[Option<Relation>],
+) -> Result<Relation, CoreError> {
+    let node = &graph.nodes[id];
+    let get = |i: usize| slots[node.inputs[i]].as_ref().expect("input wave completed");
+    Ok(match &node.kind {
+        OpKind::Input { input } => inputs
+            .get(*input)
+            .cloned()
+            .ok_or_else(|| CoreError::Unsupported(format!("missing plan input {input}")))?,
+        OpKind::Select { pred } => ops::select(get(0), pred)?,
+        OpKind::Project { keep } => ops::project(get(0), keep)?,
+        OpKind::Rekey { col } => ops::rekey(get(0), *col)?,
+        OpKind::Arith { body } => ops::arith_map(get(0), body)?,
+        OpKind::ArithExtend { body } => ops::arith_extend(get(0), body)?,
+        OpKind::Join => ops::join(get(0), get(1))?,
+        OpKind::ColumnJoin => ops::column_join(get(0), get(1))?,
+        OpKind::Semijoin => ops::semijoin(get(0), get(1))?,
+        OpKind::Antijoin => ops::antijoin(get(0), get(1))?,
+        OpKind::Product => ops::product(get(0), get(1))?,
+        OpKind::Union => ops::union(get(0), get(1))?,
+        OpKind::Intersect => ops::intersection(get(0), get(1))?,
+        OpKind::Difference => ops::difference(get(0), get(1))?,
+        OpKind::Aggregate { aggs } => ops::aggregate_by_key(get(0), aggs)?,
+        OpKind::AggregateAll { aggs } => ops::aggregate_all(get(0), aggs)?,
+        OpKind::Sort { by } => ops::sort(get(0), *by)?,
+        OpKind::Unique => ops::unique(get(0))?,
+    })
 }
 
 /// Peak simulated GPU-memory residency (bytes) of executing `graph` with
@@ -412,13 +468,17 @@ impl Renamed for KernelProfile {
 }
 
 /// External inputs of a fused group: producers outside the group feeding
-/// members.
+/// members. A per-plan membership bitset keeps this O(edges), not
+/// O(members × edges).
 fn group_externals(graph: &PlanGraph, members: &[NodeId]) -> Vec<NodeId> {
-    let in_group = |id: NodeId| members.contains(&id);
+    let mut in_group = vec![false; graph.len()];
+    for &m in members {
+        in_group[m] = true;
+    }
     let mut ext: Vec<NodeId> = members
         .iter()
         .flat_map(|&m| graph.nodes[m].inputs.iter().copied())
-        .filter(|&p| !in_group(p))
+        .filter(|&p| !in_group[p])
         .collect();
     ext.sort_unstable();
     ext.dedup();
@@ -426,6 +486,8 @@ fn group_externals(graph: &PlanGraph, members: &[NodeId]) -> Vec<NodeId> {
 }
 
 /// Outputs of a fused group: members consumed outside it, or plan roots.
+/// One pass over the plan's edges marks externally consumed nodes, instead
+/// of rescanning every node per member.
 fn group_outputs(
     graph: &PlanGraph,
     plan: &FusionPlan,
@@ -433,18 +495,18 @@ fn group_outputs(
     roots: &[NodeId],
 ) -> Vec<NodeId> {
     let gid = plan.group_of[members[0]];
-    let mut outs: Vec<NodeId> = members
-        .iter()
-        .copied()
-        .filter(|&m| {
-            roots.contains(&m)
-                || graph
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .any(|(c, n)| plan.group_of[c] != gid && n.inputs.contains(&m))
-        })
-        .collect();
+    let mut wanted = vec![false; graph.len()];
+    for &r in roots {
+        wanted[r] = true;
+    }
+    for (c, n) in graph.nodes.iter().enumerate() {
+        if plan.group_of[c] != gid {
+            for &p in &n.inputs {
+                wanted[p] = true;
+            }
+        }
+    }
+    let mut outs: Vec<NodeId> = members.iter().copied().filter(|&m| wanted[m]).collect();
     outs.sort_unstable();
     outs.dedup();
     outs
@@ -635,7 +697,9 @@ fn fission_schedule(
     let pipes: Vec<usize> = (0..3).map(|_| sched.add_stream()).collect();
     let mut next_event = 0u32;
     let mut pending_events: Vec<EventId> = Vec::new();
-    let mut h2d_done: Vec<NodeId> = Vec::new();
+    // Per-plan bitset: O(1) "already uploaded?" checks however many inputs
+    // the plan has.
+    let mut h2d_done: Vec<bool> = vec![false; graph.len()];
 
     // Fission is applied judiciously: only to streamable leading groups,
     // only with enough data per segment, and only when the cost model says
@@ -726,7 +790,9 @@ fn fission_schedule(
                 sched.push(stream, Command::record(ev));
                 pending_events.push(ev);
             }
-            h2d_done.extend(externals);
+            for &e in &externals {
+                h2d_done[e] = true;
+            }
         } else {
             // Serial on the main stream; first join any pending pipelines
             // and upload any inputs the pipelines didn't cover.
@@ -738,7 +804,7 @@ fn fission_schedule(
                 .filter(|&e| matches!(graph.nodes[e].kind, OpKind::Input { .. }))
                 .collect();
             for &e in &input_externals {
-                if !h2d_done.contains(&e) {
+                if !h2d_done[e] {
                     sched.push(
                         main,
                         Command::h2d(
@@ -748,7 +814,7 @@ fn fission_schedule(
                             cfg.mem_kind,
                         ),
                     );
-                    h2d_done.push(e);
+                    h2d_done[e] = true;
                 }
             }
             for cmd in kernel_cmds(system, kernels) {

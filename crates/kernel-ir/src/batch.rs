@@ -1,0 +1,606 @@
+//! Vectorized batch execution of kernel bodies.
+//!
+//! The per-element [`crate::interp::Machine`] pays boxed [`Value`] dispatch
+//! on every instruction of every tuple. This module removes that cost the
+//! same way the paper's fused kernels do: resolve every register to a static
+//! type *once*, then run each instruction as a tight loop over a whole batch
+//! of rows. A [`CompiledKernel`] uses the verifier's union-find inference
+//! ([`crate::verify::infer_with_slots`]), seeded with the bound column
+//! types, to assign one [`Ty`] per register; a [`BatchMachine`] then holds
+//! one typed columnar bank per register — `Vec<i64>`, `Vec<f64>`, or a
+//! `u64` bitmask for bools — and evaluates column-at-a-time over batches of
+//! [`BATCH_ROWS`] rows. Predicate outputs come back as selection bitmasks.
+//!
+//! Semantics are bit-exact with [`crate::interp::eval`]: integer arithmetic
+//! wraps, `Div`/`Rem` by zero yield 0, shifts mask the amount to 6 bits,
+//! float min/max keep `f64::min`/`f64::max` NaN behavior, and comparisons on
+//! NaN are false except `Ne`. The property tests in
+//! `crates/kernel-ir/tests/prop_batch.rs` enforce this per lane.
+//!
+//! Bodies that stay type-polymorphic under the given binding (or demand a
+//! `bool` input column, which the relational layer cannot supply) fail to
+//! compile; callers fall back to the scalar interpreter, which preserves the
+//! error behavior of the per-row path. Lanes at indices `>= n` of any bank
+//! are unspecified after a run of `n` rows — whole-word bitmask operations
+//! deliberately process garbage tail lanes.
+
+use crate::ir::{BinOp, CmpOp, Instr, KernelBody, Reg, UnOp};
+use crate::value::{Ty, Value};
+use crate::verify::{self, VerifyError};
+use std::fmt;
+
+/// Rows per batch: small enough for register banks to stay cache-resident,
+/// large enough to amortize dispatch. 1024 lanes = 16 bitmask words.
+pub const BATCH_ROWS: usize = 1024;
+
+/// `u64` words per boolean bank.
+pub const MASK_WORDS: usize = BATCH_ROWS / 64;
+
+/// Why a body could not be compiled for batch execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// The body is ill-typed, or a bound column type contradicts it.
+    Verify(VerifyError),
+    /// A register stayed type-polymorphic under the given slot binding.
+    Unresolved {
+        /// The register whose type inference left ambiguous.
+        reg: Reg,
+    },
+    /// A bound column's type does not match what the body loads from it.
+    Binding {
+        /// The input slot with the mismatched (or missing) column.
+        slot: u32,
+        /// The type the compiled body loads from that slot.
+        expected: Ty,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Verify(e) => write!(f, "{e}"),
+            BatchError::Unresolved { reg } => {
+                write!(f, "register r{reg} has no single type under this binding")
+            }
+            BatchError::Binding { slot, expected } => {
+                write!(f, "input slot {slot} needs a {expected:?} column")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<VerifyError> for BatchError {
+    fn from(e: VerifyError) -> Self {
+        BatchError::Verify(e)
+    }
+}
+
+/// A borrowed input column, bound to one input slot for a batch run.
+///
+/// Keys are `u64` in the relational layer but the IR calling convention
+/// reads them as `i64`; [`ColRef::KeyU64`] performs that reinterpretation
+/// per lane (`v as i64`), matching `Relation::ir_inputs`.
+#[derive(Debug, Clone, Copy)]
+pub enum ColRef<'a> {
+    /// An `i64` payload column.
+    I64(&'a [i64]),
+    /// An `f64` payload column.
+    F64(&'a [f64]),
+    /// The `u64` key column, loaded as `i64` lanes.
+    KeyU64(&'a [u64]),
+}
+
+impl ColRef<'_> {
+    /// The IR-level type lanes of this column load as.
+    pub fn ty(&self) -> Ty {
+        match self {
+            ColRef::I64(_) | ColRef::KeyU64(_) => Ty::I64,
+            ColRef::F64(_) => Ty::F64,
+        }
+    }
+}
+
+/// A body compiled for batch execution: the instruction list plus a single
+/// static [`Ty`] for every register, resolved against the caller's column
+/// types. Compile once per (body, binding); run over many batches.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    instrs: Vec<Instr>,
+    outputs: Vec<Reg>,
+    reg_ty: Vec<Ty>,
+}
+
+impl CompiledKernel {
+    /// Compile `body` against known input slot types (`None` = unknown).
+    ///
+    /// Fails when the body is ill-typed under the binding or when any
+    /// register's type stays ambiguous — the cases where the caller must
+    /// fall back to the scalar interpreter.
+    pub fn compile(body: &KernelBody, slot_tys: &[Option<Ty>]) -> Result<Self, BatchError> {
+        let assign = verify::infer_with_slots(body, slot_tys)?;
+        let reg_ty = assign
+            .regs
+            .iter()
+            .enumerate()
+            .map(|(r, t)| t.ok_or(BatchError::Unresolved { reg: r as Reg }))
+            .collect::<Result<Vec<Ty>, BatchError>>()?;
+        Ok(CompiledKernel { instrs: body.instrs.clone(), outputs: body.outputs.clone(), reg_ty })
+    }
+
+    /// Number of output slots.
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The static type of output slot `idx`.
+    pub fn output_ty(&self, idx: usize) -> Ty {
+        self.reg_ty[self.outputs[idx] as usize]
+    }
+
+    /// Check that `cols` can feed this kernel: every slot the body actually
+    /// loads must be present with the loaded type. Extra columns are fine;
+    /// slots the body never loads need no column (mirroring the scalar
+    /// interpreter, which only errors on executed `LoadInput`s).
+    pub fn check_binding(&self, cols: &[ColRef<'_>]) -> Result<(), BatchError> {
+        for (r, instr) in self.instrs.iter().enumerate() {
+            if let Instr::LoadInput { slot } = *instr {
+                let expected = self.reg_ty[r];
+                match cols.get(slot as usize) {
+                    Some(c) if c.ty() == expected => {}
+                    _ => return Err(BatchError::Binding { slot, expected }),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One typed columnar register bank, [`BATCH_ROWS`] lanes wide.
+#[derive(Debug, Clone)]
+enum Bank {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Vec<u64>),
+}
+
+impl Bank {
+    fn for_ty(ty: Ty) -> Bank {
+        match ty {
+            Ty::I64 => Bank::I64(vec![0; BATCH_ROWS]),
+            Ty::F64 => Bank::F64(vec![0.0; BATCH_ROWS]),
+            Ty::Bool => Bank::Bool(vec![0; MASK_WORDS]),
+        }
+    }
+
+    fn as_i64(&self) -> &[i64] {
+        match self {
+            Bank::I64(v) => v,
+            _ => unreachable!("typed compile guarantees an i64 bank"),
+        }
+    }
+
+    fn as_f64(&self) -> &[f64] {
+        match self {
+            Bank::F64(v) => v,
+            _ => unreachable!("typed compile guarantees an f64 bank"),
+        }
+    }
+
+    fn as_mask(&self) -> &[u64] {
+        match self {
+            Bank::Bool(v) => v,
+            _ => unreachable!("typed compile guarantees a bool bank"),
+        }
+    }
+}
+
+/// A read-only view of one register bank after a run. Only the first `n`
+/// lanes (of the `n` passed to [`BatchMachine::run`]) are meaningful.
+#[derive(Debug, Clone, Copy)]
+pub enum BankView<'a> {
+    /// `i64` lanes.
+    I64(&'a [i64]),
+    /// `f64` lanes.
+    F64(&'a [f64]),
+    /// Boolean lanes as a bitmask, lane `j` at `mask[j / 64] >> (j % 64)`.
+    Bool(&'a [u64]),
+}
+
+/// Read lane `j` of a bitmask.
+#[inline]
+pub fn mask_lane(mask: &[u64], j: usize) -> bool {
+    (mask[j >> 6] >> (j & 63)) & 1 == 1
+}
+
+/// Reusable batch evaluation state for one [`CompiledKernel`]: one typed
+/// bank per register, with constant banks splatted once at construction.
+/// Hold one per worker thread.
+#[derive(Debug, Clone)]
+pub struct BatchMachine {
+    banks: Vec<Bank>,
+}
+
+impl BatchMachine {
+    /// Allocate banks for `k` and pre-splat its constants.
+    pub fn new(k: &CompiledKernel) -> Self {
+        let mut banks: Vec<Bank> = k.reg_ty.iter().map(|&t| Bank::for_ty(t)).collect();
+        for (r, instr) in k.instrs.iter().enumerate() {
+            if let Instr::Const { value } = *instr {
+                match (&mut banks[r], value) {
+                    (Bank::I64(d), Value::I64(c)) => d.fill(c),
+                    (Bank::F64(d), Value::F64(c)) => d.fill(c),
+                    (Bank::Bool(d), Value::Bool(c)) => d.fill(if c { u64::MAX } else { 0 }),
+                    _ => unreachable!("const bank type mismatch"),
+                }
+            }
+        }
+        BatchMachine { banks }
+    }
+
+    /// Evaluate `k` over rows `base .. base + n` of `cols` (`n` at most
+    /// [`BATCH_ROWS`]), leaving each register's lanes in its bank.
+    ///
+    /// The binding must satisfy [`CompiledKernel::check_binding`]; this
+    /// method panics on a mismatched binding rather than reporting it.
+    pub fn run(&mut self, k: &CompiledKernel, cols: &[ColRef<'_>], base: usize, n: usize) {
+        debug_assert!(n <= BATCH_ROWS);
+        for (i, instr) in k.instrs.iter().enumerate() {
+            let (prev, rest) = self.banks.split_at_mut(i);
+            let dst = &mut rest[0];
+            match *instr {
+                Instr::Const { .. } => {} // splatted at construction
+                Instr::LoadInput { slot } => load(dst, cols[slot as usize], base, n),
+                Instr::Copy { src } => copy_bank(dst, &prev[src as usize], n),
+                Instr::Bin { op, lhs, rhs } => {
+                    bin(dst, op, &prev[lhs as usize], &prev[rhs as usize], n)
+                }
+                Instr::Un { op, arg } => un(dst, op, &prev[arg as usize], n),
+                Instr::Cmp { op, lhs, rhs } => {
+                    cmp(dst, op, &prev[lhs as usize], &prev[rhs as usize], n)
+                }
+                Instr::Select { cond, then_r, else_r } => select(
+                    dst,
+                    prev[cond as usize].as_mask(),
+                    &prev[then_r as usize],
+                    &prev[else_r as usize],
+                    n,
+                ),
+                Instr::Cast { ty: _, arg } => cast(dst, &prev[arg as usize], n),
+            }
+        }
+    }
+
+    /// View output slot `idx` after a run.
+    pub fn output(&self, k: &CompiledKernel, idx: usize) -> BankView<'_> {
+        match &self.banks[k.outputs[idx] as usize] {
+            Bank::I64(v) => BankView::I64(v),
+            Bank::F64(v) => BankView::F64(v),
+            Bank::Bool(v) => BankView::Bool(v),
+        }
+    }
+
+    /// The selection bitmask of a predicate's output slot 0; panics if the
+    /// output is not boolean (check [`CompiledKernel::output_ty`] first).
+    pub fn selection_mask(&self, k: &CompiledKernel) -> &[u64] {
+        self.banks[k.outputs[0] as usize].as_mask()
+    }
+}
+
+fn load(dst: &mut Bank, col: ColRef<'_>, base: usize, n: usize) {
+    match (dst, col) {
+        (Bank::I64(d), ColRef::I64(s)) => d[..n].copy_from_slice(&s[base..base + n]),
+        (Bank::F64(d), ColRef::F64(s)) => d[..n].copy_from_slice(&s[base..base + n]),
+        (Bank::I64(d), ColRef::KeyU64(s)) => {
+            for (dj, &sj) in d[..n].iter_mut().zip(&s[base..base + n]) {
+                *dj = sj as i64;
+            }
+        }
+        _ => unreachable!("binding checked by CompiledKernel::check_binding"),
+    }
+}
+
+fn copy_bank(dst: &mut Bank, src: &Bank, n: usize) {
+    match (dst, src) {
+        (Bank::I64(d), Bank::I64(s)) => d[..n].copy_from_slice(&s[..n]),
+        (Bank::F64(d), Bank::F64(s)) => d[..n].copy_from_slice(&s[..n]),
+        (Bank::Bool(d), Bank::Bool(s)) => d.copy_from_slice(s),
+        _ => unreachable!("copy banks share a type"),
+    }
+}
+
+fn bin(dst: &mut Bank, op: BinOp, lhs: &Bank, rhs: &Bank, n: usize) {
+    match dst {
+        Bank::I64(d) => {
+            let (a, b) = (lhs.as_i64(), rhs.as_i64());
+            let d = &mut d[..n];
+            match op {
+                BinOp::Add => zip3(d, a, b, |x, y| x.wrapping_add(y)),
+                BinOp::Sub => zip3(d, a, b, |x, y| x.wrapping_sub(y)),
+                BinOp::Mul => zip3(d, a, b, |x, y| x.wrapping_mul(y)),
+                BinOp::Div => zip3(d, a, b, |x, y| if y == 0 { 0 } else { x.wrapping_div(y) }),
+                BinOp::Rem => zip3(d, a, b, |x, y| if y == 0 { 0 } else { x.wrapping_rem(y) }),
+                BinOp::Min => zip3(d, a, b, i64::min),
+                BinOp::Max => zip3(d, a, b, i64::max),
+                BinOp::And => zip3(d, a, b, |x, y| x & y),
+                BinOp::Or => zip3(d, a, b, |x, y| x | y),
+                BinOp::Xor => zip3(d, a, b, |x, y| x ^ y),
+                BinOp::Shl => zip3(d, a, b, |x, y| x.wrapping_shl(y as u32 & 63)),
+                BinOp::Shr => zip3(d, a, b, |x, y| x.wrapping_shr(y as u32 & 63)),
+            }
+        }
+        Bank::F64(d) => {
+            let (a, b) = (lhs.as_f64(), rhs.as_f64());
+            let d = &mut d[..n];
+            match op {
+                BinOp::Add => zip3(d, a, b, |x, y| x + y),
+                BinOp::Sub => zip3(d, a, b, |x, y| x - y),
+                BinOp::Mul => zip3(d, a, b, |x, y| x * y),
+                BinOp::Div => zip3(d, a, b, |x, y| x / y),
+                BinOp::Rem => zip3(d, a, b, |x, y| x % y),
+                BinOp::Min => zip3(d, a, b, f64::min),
+                BinOp::Max => zip3(d, a, b, f64::max),
+                _ => unreachable!("verifier rejects bit ops on f64"),
+            }
+        }
+        Bank::Bool(d) => {
+            let (a, b) = (lhs.as_mask(), rhs.as_mask());
+            match op {
+                BinOp::And => zip3(d, a, b, |x, y| x & y),
+                BinOp::Or => zip3(d, a, b, |x, y| x | y),
+                BinOp::Xor => zip3(d, a, b, |x, y| x ^ y),
+                _ => unreachable!("verifier rejects arithmetic on bool"),
+            }
+        }
+    }
+}
+
+fn un(dst: &mut Bank, op: UnOp, arg: &Bank, n: usize) {
+    match dst {
+        Bank::I64(d) => {
+            let a = arg.as_i64();
+            let d = &mut d[..n];
+            match op {
+                UnOp::Not => zip2(d, a, |x| !x),
+                UnOp::Neg => zip2(d, a, i64::wrapping_neg),
+            }
+        }
+        Bank::F64(d) => {
+            let a = arg.as_f64();
+            match op {
+                UnOp::Neg => zip2(&mut d[..n], a, |x| -x),
+                UnOp::Not => unreachable!("verifier rejects Not on f64"),
+            }
+        }
+        Bank::Bool(d) => match op {
+            UnOp::Not => zip2(d, arg.as_mask(), |x| !x),
+            UnOp::Neg => unreachable!("verifier rejects Neg on bool"),
+        },
+    }
+}
+
+fn cmp(dst: &mut Bank, op: CmpOp, lhs: &Bank, rhs: &Bank, n: usize) {
+    let d = match dst {
+        Bank::Bool(d) => d,
+        _ => unreachable!("cmp result is bool"),
+    };
+    match lhs {
+        Bank::I64(_) => {
+            let (a, b) = (lhs.as_i64(), rhs.as_i64());
+            match op {
+                CmpOp::Lt => store_lanes(d, n, |j| a[j] < b[j]),
+                CmpOp::Le => store_lanes(d, n, |j| a[j] <= b[j]),
+                CmpOp::Gt => store_lanes(d, n, |j| a[j] > b[j]),
+                CmpOp::Ge => store_lanes(d, n, |j| a[j] >= b[j]),
+                CmpOp::Eq => store_lanes(d, n, |j| a[j] == b[j]),
+                CmpOp::Ne => store_lanes(d, n, |j| a[j] != b[j]),
+            }
+        }
+        Bank::F64(_) => {
+            let (a, b) = (lhs.as_f64(), rhs.as_f64());
+            match op {
+                CmpOp::Lt => store_lanes(d, n, |j| a[j] < b[j]),
+                CmpOp::Le => store_lanes(d, n, |j| a[j] <= b[j]),
+                CmpOp::Gt => store_lanes(d, n, |j| a[j] > b[j]),
+                CmpOp::Ge => store_lanes(d, n, |j| a[j] >= b[j]),
+                CmpOp::Eq => store_lanes(d, n, |j| a[j] == b[j]),
+                CmpOp::Ne => store_lanes(d, n, |j| a[j] != b[j]),
+            }
+        }
+        Bank::Bool(_) => {
+            let (a, b) = (lhs.as_mask(), rhs.as_mask());
+            match op {
+                CmpOp::Eq => zip3(d, a, b, |x, y| !(x ^ y)),
+                CmpOp::Ne => zip3(d, a, b, |x, y| x ^ y),
+                _ => unreachable!("verifier rejects ordered cmp on bool"),
+            }
+        }
+    }
+}
+
+fn select(dst: &mut Bank, cond: &[u64], then_b: &Bank, else_b: &Bank, n: usize) {
+    match dst {
+        Bank::I64(d) => {
+            let (t, e) = (then_b.as_i64(), else_b.as_i64());
+            for (j, dj) in d[..n].iter_mut().enumerate() {
+                *dj = if mask_lane(cond, j) { t[j] } else { e[j] };
+            }
+        }
+        Bank::F64(d) => {
+            let (t, e) = (then_b.as_f64(), else_b.as_f64());
+            for (j, dj) in d[..n].iter_mut().enumerate() {
+                *dj = if mask_lane(cond, j) { t[j] } else { e[j] };
+            }
+        }
+        Bank::Bool(d) => {
+            let (t, e) = (then_b.as_mask(), else_b.as_mask());
+            for (w, dw) in d.iter_mut().enumerate() {
+                *dw = (cond[w] & t[w]) | (!cond[w] & e[w]);
+            }
+        }
+    }
+}
+
+fn cast(dst: &mut Bank, arg: &Bank, n: usize) {
+    match (dst, arg) {
+        (Bank::I64(d), Bank::I64(s)) => d[..n].copy_from_slice(&s[..n]),
+        (Bank::F64(d), Bank::F64(s)) => d[..n].copy_from_slice(&s[..n]),
+        (Bank::Bool(d), Bank::Bool(s)) => d.copy_from_slice(s),
+        (Bank::I64(d), Bank::F64(s)) => zip2(&mut d[..n], s, |x| x as i64),
+        (Bank::F64(d), Bank::I64(s)) => zip2(&mut d[..n], s, |x| x as f64),
+        (Bank::I64(d), Bank::Bool(s)) => {
+            for (j, dj) in d[..n].iter_mut().enumerate() {
+                *dj = mask_lane(s, j) as i64;
+            }
+        }
+        (Bank::F64(d), Bank::Bool(s)) => {
+            for (j, dj) in d[..n].iter_mut().enumerate() {
+                *dj = mask_lane(s, j) as u8 as f64;
+            }
+        }
+        (Bank::Bool(d), Bank::I64(s)) => store_lanes(d, n, |j| s[j] != 0),
+        (Bank::Bool(_), Bank::F64(_)) => unreachable!("verifier rejects f64 -> bool cast"),
+    }
+}
+
+/// `d[j] = f(a[j], b[j])` over the common prefix — the auto-vectorizable
+/// inner-loop shape every typed operation lowers to.
+#[inline]
+fn zip3<T: Copy, U: Copy>(d: &mut [T], a: &[U], b: &[U], f: impl Fn(U, U) -> T) {
+    for (dj, (&aj, &bj)) in d.iter_mut().zip(a.iter().zip(b)) {
+        *dj = f(aj, bj);
+    }
+}
+
+#[inline]
+fn zip2<T: Copy, U: Copy>(d: &mut [T], a: &[U], f: impl Fn(U) -> T) {
+    for (dj, &aj) in d.iter_mut().zip(a) {
+        *dj = f(aj);
+    }
+}
+
+/// Pack per-lane booleans into whole bitmask words; lanes `>= n` of the last
+/// written word are cleared, later words untouched (unspecified).
+#[inline]
+fn store_lanes(d: &mut [u64], n: usize, f: impl Fn(usize) -> bool) {
+    for (w, dw) in d.iter_mut().enumerate().take(n.div_ceil(64)) {
+        let lo = w * 64;
+        let hi = (lo + 64).min(n);
+        let mut m = 0u64;
+        for j in lo..hi {
+            m |= (f(j) as u64) << (j - lo);
+        }
+        *dw = m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::interp;
+
+    fn compile_all_i64(body: &KernelBody) -> CompiledKernel {
+        let seeds: Vec<Option<Ty>> = vec![Some(Ty::I64); body.n_inputs as usize];
+        CompiledKernel::compile(body, &seeds).unwrap()
+    }
+
+    #[test]
+    fn predicate_mask_matches_interp() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        let k = compile_all_i64(&body);
+        let vals: Vec<i64> = (0..200).map(|i| i * 3 - 50).collect();
+        let cols = [ColRef::I64(&vals)];
+        k.check_binding(&cols).unwrap();
+        let mut bm = BatchMachine::new(&k);
+        bm.run(&k, &cols, 0, vals.len());
+        let mask = bm.selection_mask(&k);
+        for (j, &v) in vals.iter().enumerate() {
+            let scalar = interp::eval_predicate(&body, &[Value::I64(v)]).unwrap();
+            assert_eq!(mask_lane(mask, j), scalar, "lane {j} value {v}");
+        }
+    }
+
+    #[test]
+    fn key_column_loads_as_i64() {
+        let body = BodyBuilder::threshold_lt(0, 10).build();
+        let k = compile_all_i64(&body);
+        let keys: Vec<u64> = vec![0, 9, 10, u64::MAX];
+        let cols = [ColRef::KeyU64(&keys)];
+        k.check_binding(&cols).unwrap();
+        let mut bm = BatchMachine::new(&k);
+        bm.run(&k, &cols, 0, keys.len());
+        let mask = bm.selection_mask(&k);
+        // u64::MAX as i64 == -1 < 10: matches the scalar calling convention.
+        assert_eq!(
+            (0..4).map(|j| mask_lane(mask, j)).collect::<Vec<_>>(),
+            vec![true, true, false, true]
+        );
+    }
+
+    #[test]
+    fn polymorphic_body_fails_to_compile() {
+        // out = in[0] with no seed: no single register type.
+        let mut b = KernelBody::new(1);
+        let x = b.push(Instr::LoadInput { slot: 0 });
+        b.outputs.push(x);
+        assert!(matches!(
+            CompiledKernel::compile(&b, &[None]),
+            Err(BatchError::Unresolved { reg: 0 })
+        ));
+        // Seeded, it compiles.
+        assert!(CompiledKernel::compile(&b, &[Some(Ty::F64)]).is_ok());
+    }
+
+    #[test]
+    fn conflicting_seed_fails_to_compile() {
+        let body = BodyBuilder::threshold_lt(0, 100).build(); // slot 0 is i64
+        assert!(matches!(
+            CompiledKernel::compile(&body, &[Some(Ty::F64)]),
+            Err(BatchError::Verify(_))
+        ));
+    }
+
+    #[test]
+    fn binding_check_rejects_wrong_column_type() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        let k = compile_all_i64(&body);
+        let f: Vec<f64> = vec![1.0];
+        assert!(matches!(
+            k.check_binding(&[ColRef::F64(&f)]),
+            Err(BatchError::Binding { slot: 0, expected: Ty::I64 })
+        ));
+        assert!(matches!(k.check_binding(&[]), Err(BatchError::Binding { slot: 0, .. })));
+    }
+
+    #[test]
+    fn multi_output_arith_matches_interp() {
+        let mut b = BodyBuilder::new(3);
+        b.emit_output(Expr::input(1).mul(Expr::input(2)));
+        b.emit_output(Expr::input(1).add(Expr::lit(7i64)).cmp(CmpOp::Ge, Expr::input(2)));
+        let body = b.build();
+        let k =
+            CompiledKernel::compile(&body, &[Some(Ty::I64), Some(Ty::I64), Some(Ty::I64)]).unwrap();
+        let a: Vec<i64> = (0..100).map(|i| i * 17 - 300).collect();
+        let c: Vec<i64> = (0..100).map(|i| 50 - i).collect();
+        let keys: Vec<u64> = (0..100).collect();
+        let cols = [ColRef::KeyU64(&keys), ColRef::I64(&a), ColRef::I64(&c)];
+        k.check_binding(&cols).unwrap();
+        let mut bm = BatchMachine::new(&k);
+        bm.run(&k, &cols, 0, 100);
+        let (o0, o1) = (bm.output(&k, 0), bm.output(&k, 1));
+        for j in 0..100 {
+            let row = [Value::I64(keys[j] as i64), Value::I64(a[j]), Value::I64(c[j])];
+            let expect = interp::eval(&body, &row).unwrap();
+            match o0 {
+                BankView::I64(v) => assert_eq!(Value::I64(v[j]), expect[0]),
+                _ => panic!("output 0 should be i64"),
+            }
+            match o1 {
+                BankView::Bool(m) => assert_eq!(Value::Bool(mask_lane(m, j)), expect[1]),
+                _ => panic!("output 1 should be bool"),
+            }
+        }
+    }
+}

@@ -143,6 +143,13 @@ impl Machine {
         Machine::default()
     }
 
+    /// An evaluation context pre-sized for `body`, so per-tuple `run` calls
+    /// never consult the allocator. Use this when one body runs over many
+    /// rows; the machine still works (and grows once) for larger bodies.
+    pub fn for_body(body: &KernelBody) -> Self {
+        Machine { regs: Vec::with_capacity(body.instrs.len()) }
+    }
+
     /// Run `body` on one element's `inputs`; the returned slice aliases the
     /// machine's register file and is valid until the next call.
     pub fn run<'m>(
@@ -151,7 +158,6 @@ impl Machine {
         inputs: &[Value],
     ) -> Result<&'m [Value], EvalError> {
         self.regs.clear();
-        self.regs.reserve(body.instrs.len());
         eval_into(body, inputs, &mut self.regs)?;
         Ok(&self.regs)
     }

@@ -45,6 +45,7 @@
 //! assert!(cost::instruction_count(&o3) < cost::instruction_count(&fused));
 //! ```
 
+pub mod batch;
 pub mod builder;
 pub mod cost;
 pub mod dataflow;

@@ -264,6 +264,50 @@ pub fn slot_types(body: &KernelBody) -> Result<Vec<Option<Ty>>, VerifyError> {
     Ok((0..body.n_inputs).map(|s| vars.mask_of(s as usize).single()).collect())
 }
 
+/// A full type assignment: the resolved type of every input slot and every
+/// register, after seeding inference with externally known slot types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeAssignment {
+    /// Per input slot: `Some` where pinned (by the body or a seed).
+    pub slots: Vec<Option<Ty>>,
+    /// Per register (= per instruction): `Some` where a single type remains.
+    pub regs: Vec<Option<Ty>>,
+}
+
+/// Run inference with externally supplied slot types (`None` = unknown; the
+/// relational layer passes the bound column types) and report the resolved
+/// type of every slot and register. Seeds beyond `body.n_inputs` are ignored;
+/// unseeded slots stay polymorphic. `Err` when a seed contradicts the body's
+/// own constraints — the body would type-error at run time under that
+/// binding.
+pub fn infer_with_slots(
+    body: &KernelBody,
+    slot_seeds: &[Option<Ty>],
+) -> Result<TypeAssignment, VerifyError> {
+    let mut vars = apply_constraints(body)?;
+    for (s, seed) in slot_seeds.iter().enumerate().take(body.n_inputs as usize) {
+        if let Some(ty) = seed {
+            let v = vars.slot_var(s as u32);
+            vars.restrict(v, TyMask::of(*ty)).map_err(|(have, want, _)| {
+                VerifyError::SlotConflict {
+                    slot: s as u32,
+                    // Binding-time conflict: anchor past the last instruction.
+                    instr: body.instrs.len(),
+                    what: format!("bound column type {want} conflicts with inferred {have}"),
+                }
+            })?;
+        }
+    }
+    let slots = (0..body.n_inputs).map(|s| vars.mask_of(s as usize).single()).collect();
+    let regs = (0..body.instrs.len())
+        .map(|r| {
+            let v = vars.reg_var(r as u32);
+            vars.mask_of(v).single()
+        })
+        .collect();
+    Ok(TypeAssignment { slots, regs })
+}
+
 /// The inferred concrete type of each output slot, where the body pins one.
 pub fn output_types(body: &KernelBody) -> Result<Vec<Option<Ty>>, VerifyError> {
     let mut vars = apply_constraints(body)?;

@@ -281,6 +281,39 @@ impl Relation {
         }
     }
 
+    /// The batch-engine view of the same calling convention as
+    /// [`Relation::ir_inputs`]: one [`kfusion_ir::batch::ColRef`] per input
+    /// slot — the key column at slot 0 (loaded as `i64`), payload column `c`
+    /// at slot `1+c`.
+    pub fn ir_cols(&self) -> Vec<kfusion_ir::batch::ColRef<'_>> {
+        use kfusion_ir::batch::ColRef;
+        let mut out = Vec::with_capacity(1 + self.cols.len());
+        out.push(ColRef::KeyU64(&self.key));
+        for c in &self.cols {
+            out.push(match c {
+                Column::I64(v) => ColRef::I64(v),
+                Column::F64(v) => ColRef::F64(v),
+            });
+        }
+        out
+    }
+
+    /// The concrete IR type of each input slot under the library calling
+    /// convention — the seeds batch compilation resolves register types
+    /// against.
+    pub fn ir_slot_types(&self) -> Vec<Option<kfusion_ir::Ty>> {
+        use kfusion_ir::Ty;
+        let mut out = Vec::with_capacity(1 + self.cols.len());
+        out.push(Some(Ty::I64));
+        for c in &self.cols {
+            out.push(Some(match c {
+                Column::I64(_) => Ty::I64,
+                Column::F64(_) => Ty::F64,
+            }));
+        }
+        out
+    }
+
     /// Append row `i` of `src` (same schema).
     ///
     /// # Panics

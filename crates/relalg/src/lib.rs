@@ -37,6 +37,7 @@
 
 pub mod compress;
 pub mod data;
+pub mod engine;
 pub mod gen;
 pub mod ops;
 pub mod predicates;

@@ -7,6 +7,8 @@
 //! single linear segmented scan.
 
 use crate::data::{Column, RelError, Relation};
+use kfusion_vgpu::exec::{par_cta_map, DEFAULT_CTA_CHUNK};
+use std::ops::Range;
 
 /// One aggregate over a payload column (or over the rows themselves).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,11 +123,7 @@ fn flush(acc: Acc, col: &mut Column) {
     }
 }
 
-/// Group the (key-sorted) input by key and compute `aggs` per group. The
-/// result has one row per distinct key and one column per aggregate.
-pub fn aggregate_by_key(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelError> {
-    input.require_sorted()?;
-    // Validate column references up front.
+fn validate_agg_cols(input: &Relation, aggs: &[Agg]) -> Result<(), RelError> {
     for a in aggs {
         if let Some(c) = a.col() {
             if c >= input.n_cols() {
@@ -133,14 +131,23 @@ pub fn aggregate_by_key(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelE
             }
         }
     }
+    Ok(())
+}
+
+/// The serial segmented scan over one row range; `range` must start and end
+/// on group boundaries for the result to compose with neighbors.
+fn aggregate_range(input: &Relation, aggs: &[Agg], range: Range<usize>) -> Relation {
     let mut out_key = Vec::new();
     let mut out_cols: Vec<Column> = (0..aggs.len()).map(|k| out_column(aggs, input, k)).collect();
-    let mut i = 0usize;
-    while i < input.len() {
+    let mut i = range.start;
+    while i < range.end {
         let k = input.key[i];
-        let mut accs: Vec<Acc> =
-            aggs.iter().map(|&a| make_acc(input, a)).collect::<Result<_, _>>()?;
-        while i < input.len() && input.key[i] == k {
+        let mut accs: Vec<Acc> = aggs
+            .iter()
+            .map(|&a| make_acc(input, a))
+            .collect::<Result<_, _>>()
+            .expect("columns validated by caller");
+        while i < range.end && input.key[i] == k {
             for (acc, &agg) in accs.iter_mut().zip(aggs) {
                 feed(acc, agg, input, i);
             }
@@ -151,18 +158,79 @@ pub fn aggregate_by_key(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelE
             flush(acc, col);
         }
     }
-    Relation::new(out_key, out_cols)
+    Relation { key: out_key, cols: out_cols }
+}
+
+/// Split `0..keys.len()` into ~`chunk`-row morsels whose boundaries sit on
+/// key-run boundaries, so every group lands wholly inside one morsel and
+/// per-group accumulation order (hence float summation order) is exactly
+/// the serial scan's.
+fn group_aligned_ranges(keys: &[u64], chunk: usize) -> Vec<Range<usize>> {
+    let n = keys.len();
+    let mut bounds = vec![0usize];
+    loop {
+        let start = *bounds.last().unwrap();
+        let tentative = start + chunk;
+        if tentative >= n {
+            break;
+        }
+        // Snap forward past the run of the key straddling the cut.
+        let run_key = keys[tentative - 1];
+        let end = keys.partition_point(|&x| x <= run_key).max(tentative);
+        if end >= n {
+            break;
+        }
+        bounds.push(end);
+    }
+    bounds.push(n);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// Group the (key-sorted) input by key and compute `aggs` per group. The
+/// result has one row per distinct key and one column per aggregate.
+///
+/// Large inputs aggregate in parallel over group-aligned morsels; because
+/// no group spans a morsel boundary, the per-group fold order — and thus
+/// every float sum — is bit-identical to the serial scan.
+pub fn aggregate_by_key(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelError> {
+    input.require_sorted()?;
+    validate_agg_cols(input, aggs)?;
+    if input.len() <= DEFAULT_CTA_CHUNK {
+        return Ok(aggregate_range(input, aggs, 0..input.len()));
+    }
+    let ranges = group_aligned_ranges(&input.key, DEFAULT_CTA_CHUNK);
+    let parts: Vec<Relation> =
+        par_cta_map(&ranges, 1, |_cta, r| aggregate_range(input, aggs, r[0].clone()));
+    let mut out = parts[0].clone();
+    for p in &parts[1..] {
+        out.extend_from(p);
+    }
+    Ok(out)
 }
 
 /// Aggregate the whole relation as a single group (no key), producing a
 /// one-row relation with key 0 — the paper's plain AGGREGATION after a
-/// SELECT (Fig. 2(g)).
+/// SELECT (Fig. 2(g)). One linear pass; no re-keyed copy of the input.
 pub fn aggregate_all(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelError> {
-    let mut flat = input.clone();
-    for k in &mut flat.key {
-        *k = 0;
+    validate_agg_cols(input, aggs)?;
+    let mut out_cols: Vec<Column> = (0..aggs.len()).map(|k| out_column(aggs, input, k)).collect();
+    if input.is_empty() {
+        return Relation::new(Vec::new(), out_cols);
     }
-    aggregate_by_key(&flat, aggs)
+    let mut accs: Vec<Acc> = aggs
+        .iter()
+        .map(|&a| make_acc(input, a))
+        .collect::<Result<_, _>>()
+        .expect("columns validated above");
+    for i in 0..input.len() {
+        for (acc, &agg) in accs.iter_mut().zip(aggs) {
+            feed(acc, agg, input, i);
+        }
+    }
+    for (acc, col) in accs.into_iter().zip(out_cols.iter_mut()) {
+        flush(acc, col);
+    }
+    Relation::new(vec![0], out_cols)
 }
 
 #[cfg(test)]
@@ -233,6 +301,42 @@ mod tests {
         }
         // Order matters: (a,b) and (b,a) pack differently.
         assert_ne!(pack_key2(1, 2), pack_key2(2, 1));
+    }
+
+    #[test]
+    fn parallel_morsels_match_serial_scan_bitwise() {
+        // Rows well past DEFAULT_CTA_CHUNK with long runs per key, so morsel
+        // boundaries must snap; compare against a forced single-range scan.
+        let n = 3 * DEFAULT_CTA_CHUNK + 17;
+        let keys: Vec<u64> = (0..n).map(|i| (i / 40_000) as u64).collect();
+        let vals: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let ints: Vec<i64> = (0..n).map(|i| i as i64 % 101 - 50).collect();
+        let r = Relation::new(keys, vec![Column::F64(vals), Column::I64(ints)]).unwrap();
+        let aggs = [Agg::Sum(0), Agg::Avg(0), Agg::Sum(1), Agg::Min(1), Agg::Count];
+        let serial = aggregate_range(&r, &aggs, 0..r.len());
+        let parallel = aggregate_by_key(&r, &aggs).unwrap();
+        assert_eq!(serial.key, parallel.key);
+        for (a, b) in serial.cols.iter().zip(&parallel.cols) {
+            match (a, b) {
+                (Column::I64(x), Column::I64(y)) => assert_eq!(x, y),
+                (Column::F64(x), Column::F64(y)) => {
+                    assert!(x.iter().zip(y).all(|(u, v)| u.to_bits() == v.to_bits()))
+                }
+                _ => panic!("column types diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn group_aligned_ranges_land_on_run_boundaries() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i / 90).collect();
+        let ranges = group_aligned_ranges(&keys, 100);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, keys.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert_ne!(keys[w[0].end - 1], keys[w[0].end], "cut inside a run");
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! class (i) of §III-C).
 
 use crate::data::{Column, RelError, Relation};
+use crate::engine;
+use kfusion_ir::batch::{mask_lane, BankView, BatchMachine, CompiledKernel, BATCH_ROWS};
 use kfusion_ir::interp::Machine;
 use kfusion_ir::opt::infer_types;
 use kfusion_ir::{KernelBody, Ty, Value};
@@ -34,7 +36,18 @@ fn empty_cols(tys: &[Ty], cap: usize) -> Vec<Column> {
 /// Compute `body` per tuple; the result keeps the input keys and has one
 /// column per body output (the sources are discarded, as PROJECT does in
 /// the paper's ARITH→PROJECT idiom).
+///
+/// Runs on the vectorized batch engine when the body compiles against the
+/// input's column types ([`crate::engine`]); otherwise falls back to the
+/// per-tuple interpreter, preserving its error behavior.
 pub fn arith_map(input: &Relation, body: &KernelBody) -> Result<Relation, RelError> {
+    if engine::batch_enabled() && !input.is_empty() {
+        if let Ok(k) = CompiledKernel::compile(body, &input.ir_slot_types()) {
+            if k.check_binding(&input.ir_cols()).is_ok() {
+                return arith_map_batch(input, &k);
+            }
+        }
+    }
     // Output column types: static inference can't see through input slots
     // (they are bound at execution time), so type from the first row's
     // actual values when there is one; inference covers the empty case.
@@ -50,7 +63,7 @@ pub fn arith_map(input: &Relation, body: &KernelBody) -> Result<Relation, RelErr
     };
     let parts: Vec<Result<Vec<Column>, RelError>> =
         par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
-            let mut m = Machine::new();
+            let mut m = Machine::for_body(body);
             let mut row: Vec<Value> = Vec::with_capacity(1 + input.n_cols());
             let mut cols = empty_cols(&tys, range.len());
             for i in range {
@@ -65,6 +78,42 @@ pub fn arith_map(input: &Relation, body: &KernelBody) -> Result<Relation, RelErr
     let mut cols = empty_cols(&tys, input.len());
     for p in parts {
         for (d, s) in cols.iter_mut().zip(p?.iter()) {
+            d.extend_from(s);
+        }
+    }
+    Relation::new(input.key.clone(), cols)
+}
+
+/// Batch-engine ARITH: each CTA evaluates the compiled kernel over
+/// [`BATCH_ROWS`]-row batches and appends whole typed lanes to its output
+/// columns. Boolean outputs become i64 flag columns, as in the scalar path.
+fn arith_map_batch(input: &Relation, k: &CompiledKernel) -> Result<Relation, RelError> {
+    let tys: Vec<Ty> = (0..k.n_outputs()).map(|s| k.output_ty(s)).collect();
+    let cols_in = input.ir_cols();
+    let parts: Vec<Vec<Column>> = par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
+        let mut bm = BatchMachine::new(k);
+        let mut cols = empty_cols(&tys, range.len());
+        let mut base = range.start;
+        while base < range.end {
+            let n = (range.end - base).min(BATCH_ROWS);
+            bm.run(k, &cols_in, base, n);
+            for (slot, col) in cols.iter_mut().enumerate() {
+                match (col, bm.output(k, slot)) {
+                    (Column::I64(c), BankView::I64(v)) => c.extend_from_slice(&v[..n]),
+                    (Column::F64(c), BankView::F64(v)) => c.extend_from_slice(&v[..n]),
+                    (Column::I64(c), BankView::Bool(m)) => {
+                        c.extend((0..n).map(|j| mask_lane(m, j) as i64))
+                    }
+                    _ => unreachable!("output column type fixed by compile"),
+                }
+            }
+            base += n;
+        }
+        cols
+    });
+    let mut cols = empty_cols(&tys, input.len());
+    for p in parts {
+        for (d, s) in cols.iter_mut().zip(p.iter()) {
             d.extend_from(s);
         }
     }
@@ -152,5 +201,33 @@ mod tests {
         b.emit_output(Expr::input(0).gt(Expr::lit(4i64)));
         let out = arith_map(&r, &b.build()).unwrap();
         assert_eq!(out.cols[0].as_i64().unwrap(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn batch_and_scalar_engines_agree_bitwise() {
+        let n = 5000usize;
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let q: Vec<i64> = (0..n).map(|i| i as i64 * 31 - 700).collect();
+        let p: Vec<f64> = (0..n).map(|i| i as f64 * 0.25 - 100.0).collect();
+        let r = Relation::new(keys, vec![Column::I64(q), Column::F64(p)]).unwrap();
+        let mut b = BodyBuilder::new(3);
+        b.emit_output(Expr::input(2).mul(Expr::lit(1.0f64).sub(Expr::input(2))));
+        b.emit_output(Expr::input(1).mul(Expr::input(1)).add(Expr::input(0)));
+        b.emit_output(Expr::input(1).gt(Expr::lit(100i64)));
+        let body = b.build();
+        engine::set_batch_enabled(false);
+        let scalar = arith_map(&r, &body).unwrap();
+        engine::set_batch_enabled(true);
+        let batch = arith_map(&r, &body).unwrap();
+        assert_eq!(scalar.key, batch.key);
+        for (a, c) in scalar.cols.iter().zip(&batch.cols) {
+            match (a, c) {
+                (Column::I64(x), Column::I64(y)) => assert_eq!(x, y),
+                (Column::F64(x), Column::F64(y)) => {
+                    assert!(x.iter().zip(y).all(|(u, v)| u.to_bits() == v.to_bits()))
+                }
+                _ => panic!("engines produced different column types"),
+            }
+        }
     }
 }

@@ -8,11 +8,64 @@
 //! `par_range_map` is partition+filter+buffer, the final concatenation is
 //! the gather. The first three stages are one CUDA kernel, the gather a
 //! second; [`crate::profiles`] prices them accordingly.
+//!
+//! Predicates are evaluated by the vectorized batch engine when the body
+//! compiles against the relation's column types ([`crate::engine`]): each
+//! CTA runs a [`BatchMachine`] over [`BATCH_ROWS`]-row batches and gathers
+//! survivors from the resulting selection bitmask. Bodies that fail batch
+//! compilation fall back to the per-tuple interpreter, preserving its error
+//! behavior exactly.
 
 use crate::data::{RelError, Relation};
+use crate::engine;
+use kfusion_ir::batch::{BatchMachine, CompiledKernel, BATCH_ROWS};
 use kfusion_ir::interp::Machine;
-use kfusion_ir::{KernelBody, Value};
+use kfusion_ir::{KernelBody, Ty, Value};
 use kfusion_vgpu::exec::{par_range_map, DEFAULT_CTA_CHUNK};
+
+/// Compile `predicate` for batch execution over `input`'s columns, if the
+/// engine is on and the body both resolves to concrete types and yields a
+/// boolean in output slot 0.
+fn compile_predicate(input: &Relation, predicate: &KernelBody) -> Option<CompiledKernel> {
+    if !engine::batch_enabled() || input.is_empty() || predicate.outputs.is_empty() {
+        return None;
+    }
+    let k = CompiledKernel::compile(predicate, &input.ir_slot_types()).ok()?;
+    if k.output_ty(0) != Ty::Bool || k.check_binding(&input.ir_cols()).is_err() {
+        return None;
+    }
+    Some(k)
+}
+
+/// Visit each selected row index in `range`, reading the predicate's
+/// selection bitmask batch by batch.
+fn for_each_selected(
+    k: &CompiledKernel,
+    input: &Relation,
+    range: std::ops::Range<usize>,
+    mut visit: impl FnMut(usize),
+) {
+    let cols = input.ir_cols();
+    let mut bm = BatchMachine::new(k);
+    let mut base = range.start;
+    while base < range.end {
+        let n = (range.end - base).min(BATCH_ROWS);
+        bm.run(k, &cols, base, n);
+        let mask = bm.selection_mask(k);
+        for (w, &word) in mask.iter().enumerate().take(n.div_ceil(64)) {
+            let lo = w * 64;
+            let mut m = word;
+            if n - lo < 64 {
+                m &= (1u64 << (n - lo)) - 1; // tail lanes are unspecified
+            }
+            while m != 0 {
+                visit(base + lo + m.trailing_zeros() as usize);
+                m &= m - 1;
+            }
+        }
+        base += n;
+    }
+}
 
 /// Filter `input` to the tuples satisfying `predicate`.
 ///
@@ -20,10 +73,24 @@ use kfusion_vgpu::exec::{par_range_map, DEFAULT_CTA_CHUNK};
 /// slot 0 is the key (as `i64`), slot `1+c` is payload column `c`; output 0
 /// must be a boolean.
 pub fn select(input: &Relation, predicate: &KernelBody) -> Result<Relation, RelError> {
-    // Partition + filter + buffer: one result buffer per CTA.
+    if let Some(k) = compile_predicate(input, predicate) {
+        // Partition + filter + buffer, batch-at-a-time per CTA.
+        let parts: Vec<Relation> = par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
+            let mut buf = input.empty_like();
+            for_each_selected(&k, input, range, |i| buf.push_row_from(input, i));
+            buf
+        });
+        // Global sync + gather.
+        let mut out = input.empty_like();
+        for p in &parts {
+            out.extend_from(p);
+        }
+        return Ok(out);
+    }
+    // Scalar fallback: per-tuple interpretation.
     let parts: Vec<Result<Relation, RelError>> =
         par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
-            let mut m = Machine::new();
+            let mut m = Machine::for_body(predicate);
             let mut row: Vec<Value> = Vec::with_capacity(1 + input.n_cols());
             let mut buf = input.empty_like();
             for i in range {
@@ -34,7 +101,6 @@ pub fn select(input: &Relation, predicate: &KernelBody) -> Result<Relation, RelE
             }
             Ok(buf)
         });
-    // Global sync + gather.
     let mut out = input.empty_like();
     for p in parts {
         out.extend_from(&p?);
@@ -62,9 +128,17 @@ pub fn select_chain_unfused(
 /// Count (without materializing) how many tuples satisfy `predicate` — used
 /// by harnesses that only need cardinalities.
 pub fn count_selected(input: &Relation, predicate: &KernelBody) -> Result<usize, RelError> {
+    if let Some(k) = compile_predicate(input, predicate) {
+        let parts: Vec<usize> = par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
+            let mut n = 0usize;
+            for_each_selected(&k, input, range, |_| n += 1);
+            n
+        });
+        return Ok(parts.into_iter().sum());
+    }
     let parts: Vec<Result<usize, RelError>> =
         par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
-            let mut m = Machine::new();
+            let mut m = Machine::for_body(predicate);
             let mut row: Vec<Value> = Vec::with_capacity(1 + input.n_cols());
             let mut n = 0usize;
             for i in range {
@@ -170,5 +244,24 @@ mod tests {
         let mut b = BodyBuilder::new(1);
         b.emit_output(Expr::input(0).add(Expr::lit(1i64)));
         assert!(matches!(select(&r, &b.build()), Err(RelError::Eval(_))));
+    }
+
+    #[test]
+    fn batch_and_scalar_engines_agree() {
+        let keys: Vec<u64> = (0..40_000u64).map(|k| k.wrapping_mul(2654435761) % 100_000).collect();
+        let f: Vec<f64> = keys.iter().map(|&k| k as f64 / 1000.0).collect();
+        let r = Relation::new(keys, vec![Column::F64(f)]).unwrap();
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(
+            Expr::input(0)
+                .lt(Expr::lit(60_000i64))
+                .and(Expr::input(1).gt(Expr::lit(12.5f64)).or(Expr::input(1).lt(Expr::lit(3.0)))),
+        );
+        let pred = b.build();
+        engine::set_batch_enabled(false);
+        let scalar = select(&r, &pred);
+        engine::set_batch_enabled(true);
+        let batch = select(&r, &pred);
+        assert_eq!(scalar.unwrap(), batch.unwrap());
     }
 }

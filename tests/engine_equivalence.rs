@@ -1,0 +1,66 @@
+//! The vectorized batch engine must never change a TPC-H answer.
+//!
+//! Companion to `strategy_equivalence`: that file proves the *optimizer*
+//! preserves semantics across strategies; this one proves the *execution
+//! engine* does across backends. Every query runs twice — once on the
+//! per-tuple scalar interpreter, once on the batch engine — and the outputs
+//! must be byte-identical (f64 compared by bit pattern, so even NaN payloads
+//! and signed zeros may not drift). Simulated timings must match exactly:
+//! the virtual GPU charges time from cardinalities and cost profiles, never
+//! from host wall-clock, so the engine choice is invisible to it.
+
+use kfusion::core::exec::{ExecResult, Strategy};
+use kfusion::relalg::{engine, Column, Relation};
+use kfusion::tpch::gen::{generate, TpchConfig, TpchDb};
+use kfusion::tpch::{q1, q21, q6};
+use kfusion::vgpu::GpuSystem;
+
+fn assert_bit_identical(a: &Relation, b: &Relation, what: &str) {
+    assert_eq!(a.key, b.key, "{what}: keys differ");
+    assert_eq!(a.n_cols(), b.n_cols(), "{what}: column counts differ");
+    for (c, (x, y)) in a.cols.iter().zip(&b.cols).enumerate() {
+        match (x, y) {
+            (Column::I64(x), Column::I64(y)) => assert_eq!(x, y, "{what}: i64 col {c}"),
+            (Column::F64(x), Column::F64(y)) => {
+                assert_eq!(x.len(), y.len(), "{what}: f64 col {c} length");
+                for (r, (u, v)) in x.iter().zip(y).enumerate() {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{what}: f64 col {c} row {r}: {u} vs {v}");
+                }
+            }
+            _ => panic!("{what}: col {c} changed type between engines"),
+        }
+    }
+}
+
+/// Run `query` on both engines under `strategy` and demand identical
+/// answers and identical simulated timelines.
+fn check(what: &str, strategy: Strategy, query: impl Fn(Strategy) -> ExecResult) {
+    engine::set_batch_enabled(false);
+    let scalar = query(strategy);
+    engine::set_batch_enabled(true);
+    let batch = query(strategy);
+    assert_bit_identical(&scalar.output, &batch.output, what);
+    assert_eq!(
+        scalar.report.total(),
+        batch.report.total(),
+        "{what}: engine choice leaked into simulated time"
+    );
+}
+
+fn strategies() -> [Strategy; 3] {
+    [Strategy::Serial, Strategy::Fusion, Strategy::FusionFission { segments: 8 }]
+}
+
+// One test function: the engine toggle is process-global, so the
+// scalar/batch pairs must not interleave with each other.
+#[test]
+fn batch_engine_never_changes_tpch_answers() {
+    let db: TpchDb = generate(TpchConfig::scale(0.01));
+    let sys = GpuSystem::c2070();
+    for strat in strategies() {
+        check(&format!("Q1 {strat:?}"), strat, |s| q1::run_q1(&sys, &db, s).unwrap());
+        check(&format!("Q6 {strat:?}"), strat, |s| q6::run_q6(&sys, &db, s).unwrap());
+        check(&format!("Q21 {strat:?}"), strat, |s| q21::run_q21(&sys, &db, 20, s).unwrap());
+    }
+    engine::set_batch_enabled(true);
+}
