@@ -17,6 +17,7 @@ use kfusion_relalg::profiles::STAGE_REGS;
 use kfusion_vgpu::DeviceSpec;
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("ablation");
     let sys = system();
 
     print_header("Ablation 1", "optimization level x fusion (2x SELECT, compute)");

@@ -23,6 +23,7 @@ use kfusion_relalg::profiles;
 use kfusion_vgpu::{Command, CommandClass, HostMemKind, LaunchConfig, Schedule};
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("compression");
     print_header("Extension", "transfer compression x kernel fusion (1x SELECT, 50%)");
     let sys = system();
     let n: usize = 1 << 24;

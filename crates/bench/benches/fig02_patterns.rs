@@ -24,6 +24,7 @@ fn inputs_for(g: &kfusion_core::PlanGraph, rows: usize) -> Vec<Relation> {
 }
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig02_patterns");
     print_header("Fig. 2", "fusable operator patterns: structure and benefit");
     let sys = system();
     let budget = FusionBudget::for_device(&sys.spec);

@@ -10,6 +10,7 @@ use kfusion_core::microbench::{run_compute_only, run_cpu};
 use kfusion_vgpu::DeviceSpec;
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig04a_select_gpu_vs_cpu");
     print_header("Fig. 4(a)", "SELECT throughput, GPU vs CPU (compute only)");
     let sys = system();
     let cpu = DeviceSpec::xeon_e5520_pair();

@@ -10,6 +10,7 @@ use kfusion_bench::{gbps, print_header, system, Table};
 use kfusion_vgpu::{Direction, HostMemKind};
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig04b_pcie_bandwidth");
     print_header("Fig. 4(b)", "PCIe 2.0 x16 effective bandwidth vs transfer size");
     let sys = system();
     let mut t =

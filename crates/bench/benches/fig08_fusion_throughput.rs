@@ -12,6 +12,7 @@ use kfusion_bench::{chain, fusion_axis, gbps, print_header, ratio, system, Table
 use kfusion_core::microbench::{run_compute_only, run_with_cards, Strategy};
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig08_fusion_throughput");
     print_header("Fig. 8", "2x back-to-back SELECT (50%): round trip vs fused");
     let sys = system();
     let mut t = Table::new([

@@ -12,6 +12,7 @@ use kfusion_core::microbench::{run_with_cards, Strategy};
 use kfusion_vgpu::CommandClass;
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig09_breakdown");
     print_header("Fig. 9", "execution-time breakdown (normalized to w/ round trip)");
     let sys = system();
     let mut t =

@@ -10,6 +10,7 @@ use kfusion_bench::{chain, print_header, ratio, system, Table};
 use kfusion_core::microbench::run_compute_only;
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig10_compute_breakdown");
     print_header("Fig. 10", "compute breakdown: filter vs gather, fused vs unfused");
     let sys = system();
     let mut t = Table::new(["elements", "version", "filter(norm)", "gather(norm)", "total(norm)"]);

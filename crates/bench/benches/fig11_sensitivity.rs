@@ -12,6 +12,7 @@ use kfusion_bench::{chain, fusion_axis, gbps, print_header, ratio, system, Table
 use kfusion_core::microbench::run_compute_only;
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig11_sensitivity");
     print_header("Fig. 11(a)", "sensitivity to the number of fused SELECTs (compute)");
     let sys = system();
     let axis = fusion_axis();

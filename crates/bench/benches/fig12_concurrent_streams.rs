@@ -17,6 +17,7 @@ use kfusion_bench::{fusion_axis, gbps, print_header, system, Table};
 use kfusion_core::microbench::{run_concurrent, ConcurrentVariant};
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig12_concurrent_streams");
     print_header("Fig. 12", "two concurrent SELECTs vs full/halved serial (end-to-end)");
     let sys = system();
     let mut t =

@@ -11,6 +11,7 @@ use kfusion_bench::{chain, fission_axis, gbps, print_header, system, Table};
 use kfusion_core::microbench::{run_with_cards, Strategy};
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig14_fission");
     print_header("Fig. 14", "kernel fission vs serial, data >> GPU memory");
     let sys = system();
     println!(

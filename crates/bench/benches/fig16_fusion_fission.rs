@@ -9,6 +9,7 @@ use kfusion_bench::{chain, fission_axis, gbps, print_header, system, Table};
 use kfusion_core::microbench::{run_with_cards, Strategy};
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig16_fusion_fission");
     print_header("Fig. 16", "serial vs fusion vs fission vs fusion+fission (2x SELECT)");
     let sys = system();
     let mut t = Table::new([

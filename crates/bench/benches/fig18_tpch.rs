@@ -18,6 +18,7 @@ fn scale() -> f64 {
 }
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("fig18_tpch");
     let sf = scale();
     let db = generate(TpchConfig::scale(sf));
     let sys = system();

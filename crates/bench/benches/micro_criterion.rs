@@ -2,11 +2,12 @@
 //! simulated): the IR optimizer, the per-row interpreter, the functional
 //! SELECT, the discrete-event scheduler, the sorts, and the codecs.
 //!
-//! A self-contained timing harness (warmup + median-of-samples) keeps the
-//! workspace dependency-free; throughput rows print in the same aligned
-//! style as the figure harnesses.
+//! The shared timing harness (warmup + median-of-samples) lives in
+//! `kfusion_bench::time_median`, keeping the workspace dependency-free;
+//! throughput rows print in the same aligned style as the figure
+//! harnesses.
 
-use kfusion_bench::{print_header, system, Table};
+use kfusion_bench::{print_header, system, time_median as time_it, Table};
 use kfusion_core::microbench::{run_with_cards, SelectChain, Strategy};
 use kfusion_ir::builder::BodyBuilder;
 use kfusion_ir::fuse::fuse_predicate_chain;
@@ -14,23 +15,6 @@ use kfusion_ir::interp::Machine;
 use kfusion_ir::opt::{optimize, OptLevel};
 use kfusion_ir::Value;
 use kfusion_relalg::{gen, ops, predicates};
-use std::time::Instant;
-
-/// Median seconds per call of `f` over `samples` timed runs (after warmup).
-fn time_it<R>(samples: usize, iters: u32, mut f: impl FnMut() -> R) -> f64 {
-    std::hint::black_box(f());
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t0 = Instant::now();
-            for _ in 0..iters {
-                std::hint::black_box(f());
-            }
-            t0.elapsed().as_secs_f64() / iters as f64
-        })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
-}
 
 fn row(t: &mut Table, name: &str, secs: f64, elems: Option<u64>) {
     let per = match elems {
@@ -42,6 +26,7 @@ fn row(t: &mut Table, name: &str, secs: f64, elems: Option<u64>) {
 
 fn main() {
     print_header("Micro", "wall-clock hot paths (median of samples)");
+    let _trace = kfusion_bench::trace_session("micro");
     let mut t = Table::new(["path", "time/call", "throughput"]);
 
     // IR optimizer on a 6-deep fused predicate chain.

@@ -16,6 +16,7 @@ use kfusion_core::microbench::{run_compute_only, run_with_cards, Strategy};
 use kfusion_vgpu::{DeviceSpec, GpuSystem, PcieModel};
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("sensitivity");
     print_header("Sensitivity 1", "fusion/fission benefit vs PCIe generation");
     let links = [
         ("PCIe 1.1 x16", PcieModel::pcie1_x16()),

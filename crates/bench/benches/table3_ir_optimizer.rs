@@ -13,6 +13,7 @@ use kfusion_ir::fuse::fuse_predicate_chain;
 use kfusion_ir::opt::{optimize, OptLevel};
 
 fn main() {
+    let _trace = kfusion_bench::trace_session("table3_ir_optimizer");
     print_header("Table III", "instruction counts: fusion x optimization level");
     let a = BodyBuilder::threshold_lt(0, 100).build();
     let b = BodyBuilder::threshold_lt(0, 70).build();

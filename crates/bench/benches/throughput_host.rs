@@ -3,7 +3,7 @@
 //!
 //! Unlike the fig/table benches, which report *simulated* GPU time, this
 //! harness measures real host wall-clock — the first perf-trajectory
-//! artifact for the functional layer. Three cases:
+//! artifact for the functional layer. Four cases:
 //!
 //! 1. `fused_q1_predicate` — rows/sec evaluating the O3-optimized Q1
 //!    date-range predicate (the body inside the fused JOIN+SELECT block)
@@ -12,15 +12,23 @@
 //!    functional phase (`execute`, serial strategy) with the batch engine
 //!    toggled off/on. Simulated timings are engine-independent by
 //!    construction; only the host clock moves.
+//! 3. `recorder_overhead_disabled` — the batch inner loop with trace
+//!    instrumentation (`BatchMachine::run`, whose counters short-circuit
+//!    on a relaxed atomic when the recorder is off) against the bare
+//!    `run_uncounted` baseline. The CI gate pins the disabled-recorder
+//!    overhead below [`MAX_OVERHEAD_FRAC`].
 //!
 //! Writes `BENCH_host_throughput.json` at the repo root (override with
-//! `--out`) and exits nonzero if the batch engine fails to beat the scalar
-//! interpreter on the predicate case — the CI perf-smoke gate.
+//! `--out`) plus the standard `BENCH_host_throughput.trace.json` /
+//! `.metrics.txt` artifacts, and exits nonzero if the batch engine fails
+//! to beat the scalar interpreter on the predicate case or the recorder
+//! overhead gate trips — the CI perf-smoke gates.
 //!
 //! ```sh
 //! cargo bench --bench throughput_host -- [--rows N] [--scale SF] [--out PATH]
 //! ```
 
+use kfusion_bench::time_best;
 use kfusion_core::exec::{execute, ExecConfig, Strategy};
 use kfusion_ir::batch::{BatchMachine, CompiledKernel, BATCH_ROWS};
 use kfusion_ir::fuse::fuse_predicate_chain;
@@ -31,21 +39,16 @@ use kfusion_relalg::{engine, predicates, Column, Relation};
 use kfusion_tpch::gen::{generate, TpchConfig, MAX_DAY, Q1_CUTOFF_DAY};
 use kfusion_tpch::{q1, q6};
 use kfusion_vgpu::GpuSystem;
-use std::time::Instant;
 
 const REPS: usize = 3;
 
-/// Best-of-N wall-clock seconds for `f` (first call is the warmup).
-fn time_best<R>(mut f: impl FnMut() -> R) -> (R, f64) {
-    let mut out = f();
-    let mut best = f64::INFINITY;
-    for _ in 0..REPS {
-        let t = Instant::now();
-        out = f();
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    (out, best)
-}
+/// Reps for the recorder-overhead case: the two loops differ by one atomic
+/// load per batch, so more reps squeeze out scheduler noise.
+const OVERHEAD_REPS: usize = 7;
+
+/// Maximum tolerated disabled-recorder overhead (fraction) on the batch
+/// inner loop. Pinned by CI.
+const MAX_OVERHEAD_FRAC: f64 = 0.02;
 
 /// The Q1 date-range predicate as the fused SELECT block evaluates it:
 /// fused (trivially, Q1 has one predicate) and O3-optimized.
@@ -75,8 +78,10 @@ fn scalar_count(body: &KernelBody, rel: &Relation) -> u64 {
 }
 
 /// Batch engine: compiled kernel over 1024-row batches, popcounting the
-/// selection bitmask.
-fn batch_count(body: &KernelBody, rel: &Relation) -> u64 {
+/// selection bitmask. `counted` picks the instrumented `run` (counter per
+/// batch) or the bare `run_uncounted` baseline the overhead gate compares
+/// against.
+fn batch_count_impl(body: &KernelBody, rel: &Relation, counted: bool) -> u64 {
     let k = CompiledKernel::compile(body, &rel.ir_slot_types()).expect("predicate compiles");
     let cols = rel.ir_cols();
     let mut bm = BatchMachine::new(&k);
@@ -84,7 +89,11 @@ fn batch_count(body: &KernelBody, rel: &Relation) -> u64 {
     let mut base = 0;
     while base < rel.len() {
         let n = (rel.len() - base).min(BATCH_ROWS);
-        bm.run(&k, &cols, base, n);
+        if counted {
+            bm.run(&k, &cols, base, n);
+        } else {
+            bm.run_uncounted(&k, &cols, base, n);
+        }
         let mask = bm.selection_mask(&k);
         for (w, &word) in mask.iter().enumerate().take(n.div_ceil(64)) {
             let lo = w * 64;
@@ -97,6 +106,10 @@ fn batch_count(body: &KernelBody, rel: &Relation) -> u64 {
         base += n;
     }
     count
+}
+
+fn batch_count(body: &KernelBody, rel: &Relation) -> u64 {
+    batch_count_impl(body, rel, true)
 }
 
 struct Case {
@@ -113,9 +126,9 @@ fn functional_case(
     run: impl Fn() -> f64, // returns simulated total, for the invariance check
 ) -> Case {
     engine::set_batch_enabled(false);
-    let (sim_scalar, t_scalar) = time_best(&run);
+    let (sim_scalar, t_scalar) = time_best(REPS, &run);
     engine::set_batch_enabled(true);
-    let (sim_batch, t_batch) = time_best(&run);
+    let (sim_batch, t_batch) = time_best(REPS, &run);
     assert_eq!(sim_scalar, sim_batch, "{name}: engine choice changed simulated time");
     Case {
         name,
@@ -147,13 +160,14 @@ fn main() {
 
     println!("== throughput_host: scalar interpreter vs batch engine ==");
     println!("predicate rows: {rows}; TPC-H scale factor: {scale}\n");
+    let _trace = kfusion_bench::trace_session("host_throughput");
     let mut cases = Vec::new();
 
     // Case 1: the fused Q1 predicate, single-threaded rows/sec.
     let body = fused_q1_predicate();
     let rel = shipdate_relation(rows);
-    let (n_scalar, t_scalar) = time_best(|| scalar_count(&body, &rel));
-    let (n_batch, t_batch) = time_best(|| batch_count(&body, &rel));
+    let (n_scalar, t_scalar) = time_best(REPS, || scalar_count(&body, &rel));
+    let (n_batch, t_batch) = time_best(REPS, || batch_count(&body, &rel));
     assert_eq!(n_scalar, n_batch, "engines disagree on selectivity");
     cases.push(Case {
         name: "fused_q1_predicate",
@@ -177,6 +191,28 @@ fn main() {
     cases.push(functional_case("tpch_q6_functional", || {
         execute(&sys, &q6_plan, &q6_inputs, &cfg).unwrap().report.total()
     }));
+
+    // Case 4: disabled-recorder overhead on the fused-Q1 predicate batch
+    // loop. Collection off, so the instrumented loop pays exactly the
+    // per-batch relaxed atomic load the fast path promises to keep free.
+    kfusion_trace::set_enabled(false);
+    let (n_base, t_base) = time_best(OVERHEAD_REPS, || batch_count_impl(&body, &rel, false));
+    let (n_instr, t_instr) = time_best(OVERHEAD_REPS, || batch_count_impl(&body, &rel, true));
+    kfusion_trace::set_enabled(true);
+    assert_eq!(n_base, n_instr, "instrumentation changed the answer");
+    let overhead = (t_instr / t_base - 1.0).max(0.0);
+    cases.push(Case {
+        name: "recorder_overhead_disabled",
+        unit: "wall_ms",
+        scalar: t_base * 1e3,
+        batch: t_instr * 1e3,
+        speedup: t_base / t_instr,
+    });
+    println!(
+        "disabled-recorder overhead: {:.2}% (gate: {:.0}%)\n",
+        overhead * 100.0,
+        MAX_OVERHEAD_FRAC * 100.0
+    );
 
     for c in &cases {
         println!(
@@ -211,6 +247,17 @@ fn main() {
         eprintln!(
             "FAIL: batch engine ({:.0} rows/s) not faster than scalar ({:.0} rows/s)",
             pred.batch, pred.scalar
+        );
+        std::process::exit(1);
+    }
+    // CI gate: the disabled recorder must stay within the pinned overhead.
+    if overhead > MAX_OVERHEAD_FRAC {
+        eprintln!(
+            "FAIL: disabled-recorder overhead {:.2}% exceeds the {:.0}% gate ({:.3} ms instrumented vs {:.3} ms bare)",
+            overhead * 100.0,
+            MAX_OVERHEAD_FRAC * 100.0,
+            t_instr * 1e3,
+            t_base * 1e3
         );
         std::process::exit(1);
     }

@@ -3,10 +3,14 @@
 //! Every bench target in `benches/` regenerates one table or figure of the
 //! paper: it prints the same rows/series the paper plots, as an aligned
 //! text table plus a TSV block that plotting scripts can consume. This
-//! module holds the shared formatting, the Table II environment header, and
-//! the element-count axes the paper sweeps.
+//! module holds the shared formatting, the Table II environment header,
+//! the element-count axes the paper sweeps, the shared wall-clock timers,
+//! and the [`trace_session`] guard every bench uses to emit its Perfetto
+//! trace + metrics artifacts.
 
 use kfusion_vgpu::{DeviceSpec, GpuSystem};
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// Print the experiment banner with the simulated environment — the
 /// reproduction's version of the paper's Table II.
@@ -139,6 +143,78 @@ pub fn system() -> GpuSystem {
     GpuSystem::c2070()
 }
 
+/// Best-of-`reps` wall-clock seconds for `f`, after one warmup call. The
+/// returned value is the last call's result.
+pub fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut out = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (out, best)
+}
+
+/// Median seconds per call of `f` over `samples` timed runs of `iters`
+/// calls each (after one warmup call).
+pub fn time_median<R>(samples: usize, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Where bench artifacts go: `KFUSION_TRACE_DIR` if set, else the repo
+/// root.
+pub fn artifact_dir() -> PathBuf {
+    match std::env::var("KFUSION_TRACE_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+    }
+}
+
+/// RAII guard that turns the global trace recorder on for the duration of
+/// a bench run and, on drop, writes `BENCH_<name>.trace.json` (Chrome
+/// trace-event JSON, Perfetto-loadable) and `BENCH_<name>.metrics.txt`
+/// (Prometheus text counters) to [`artifact_dir`].
+pub struct TraceSession {
+    name: String,
+}
+
+/// Start a traced bench session. See [`TraceSession`].
+pub fn trace_session(name: &str) -> TraceSession {
+    kfusion_trace::reset();
+    kfusion_trace::set_enabled(true);
+    TraceSession { name: name.to_string() }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        kfusion_trace::set_enabled(false);
+        let trace = kfusion_trace::take();
+        let dir = artifact_dir();
+        for (suffix, content) in [
+            (".trace.json", kfusion_trace::chrome::export(&trace)),
+            (".metrics.txt", kfusion_trace::metrics::export(&trace)),
+        ] {
+            let path = dir.join(format!("BENCH_{}{suffix}", self.name));
+            match std::fs::write(&path, content) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
 /// A [`SelectChain`](kfusion_core::microbench::SelectChain) whose data mode
 /// respects the harness [`real_limit`].
 pub fn chain(n: u64, sels: &[f64]) -> kfusion_core::microbench::SelectChain {
@@ -177,5 +253,34 @@ mod tests {
         assert_eq!(gbps(1.23456), "1.235");
         assert_eq!(ms(0.001), "1.000");
         assert_eq!(ratio(2.0), "2.000");
+    }
+
+    #[test]
+    fn timers_measure_something() {
+        let (v, best) = time_best(2, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(best >= 0.0 && best.is_finite());
+        let med = time_median(3, 10, || std::hint::black_box(1 + 1));
+        assert!(med >= 0.0 && med.is_finite());
+    }
+
+    #[test]
+    fn trace_session_writes_artifacts() {
+        let dir = std::env::temp_dir().join(format!("kfusion-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("KFUSION_TRACE_DIR", &dir);
+        {
+            let _s = trace_session("selftest");
+            kfusion_trace::counter("kfusion_selftest_total", 1);
+            kfusion_trace::sim_span("compute", 0, "k", 0.0, 1.0);
+        }
+        std::env::remove_var("KFUSION_TRACE_DIR");
+        let trace = std::fs::read_to_string(dir.join("BENCH_selftest.trace.json")).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"k\""));
+        let metrics = std::fs::read_to_string(dir.join("BENCH_selftest.metrics.txt")).unwrap();
+        assert!(metrics.contains("kfusion_selftest_total 1"));
+        assert!(!kfusion_trace::enabled(), "session must disable the recorder on drop");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

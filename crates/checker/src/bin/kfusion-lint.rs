@@ -2,7 +2,8 @@
 //! render rustc-style diagnostics.
 //!
 //! ```sh
-//! kfusion-lint [--deny warnings] [tpch-q1] [tpch-q21] [tour] [demo-defects]
+//! kfusion-lint [--deny warnings] [--trace-out PATH] [--metrics-out PATH]
+//!              [--gantt] [tpch-q1] [tpch-q21] [tour] [demo-defects]
 //! ```
 //!
 //! With no targets, lints `tpch-q1 tpch-q21 tour` (all expected clean).
@@ -10,6 +11,11 @@
 //! instance of each major defect class — and therefore always exits nonzero.
 //! Exit status: 0 when no deny-level lint fired (and, under
 //! `--deny warnings`, no warning either), 1 otherwise.
+//!
+//! The lint run itself is traced: every `check_all` pass records a host
+//! span and a `kfusion_checker_passes_total` counter. `--trace-out` /
+//! `--metrics-out` write the session's Chrome trace / Prometheus counters;
+//! `--gantt` prints an ASCII Gantt of the host-clock pass timeline.
 
 use kfusion_check::lint::{lint_body, lint_fusion, lint_plan, lint_schedule, LintReport};
 use kfusion_core::graph::{OpKind, PlanGraph};
@@ -152,6 +158,9 @@ fn lint_demo_defects() -> LintReport {
 
 fn main() {
     let mut deny_warnings = false;
+    let mut gantt = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -163,9 +172,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out PATH")),
+            "--metrics-out" => metrics_out = Some(args.next().expect("--metrics-out PATH")),
+            "--gantt" => gantt = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: kfusion-lint [--deny warnings] [tpch-q1|tpch-q21|tour|demo-defects]..."
+                    "usage: kfusion-lint [--deny warnings] [--trace-out PATH] \
+                     [--metrics-out PATH] [--gantt] [tpch-q1|tpch-q21|tour|demo-defects]..."
                 );
                 return;
             }
@@ -176,20 +189,47 @@ fn main() {
         targets = vec!["tpch-q1".into(), "tpch-q21".into(), "tour".into()];
     }
 
+    kfusion_trace::reset();
+    kfusion_trace::set_enabled(true);
     let mut failed = false;
     for t in &targets {
-        let report = match t.as_str() {
-            "tpch-q1" => lint_tpch(&kfusion_tpch::q1::q1_plan()),
-            "tpch-q21" => lint_tpch(&kfusion_tpch::q21::q21_plan(1)),
-            "tour" => lint_tour(),
-            "demo-defects" => lint_demo_defects(),
-            other => {
-                eprintln!("unknown target {other:?} (try tpch-q1, tpch-q21, tour, demo-defects)");
-                std::process::exit(2);
+        let report = {
+            let _span = kfusion_trace::host_span("checker", &format!("lint:{t}"));
+            kfusion_trace::counter("kfusion_lint_targets_total", 1);
+            match t.as_str() {
+                "tpch-q1" => lint_tpch(&kfusion_tpch::q1::q1_plan()),
+                "tpch-q21" => lint_tpch(&kfusion_tpch::q21::q21_plan(1)),
+                "tour" => lint_tour(),
+                "demo-defects" => lint_demo_defects(),
+                other => {
+                    eprintln!(
+                        "unknown target {other:?} (try tpch-q1, tpch-q21, tour, demo-defects)"
+                    );
+                    std::process::exit(2);
+                }
             }
         };
         println!("== {t} ==\n{}\n", report.render());
         failed |= report.fails(deny_warnings);
+    }
+    kfusion_trace::set_enabled(false);
+    let trace = kfusion_trace::take();
+    if gantt {
+        print!("{}", kfusion_trace::gantt::render(&trace, kfusion_trace::Clock::Host, 72));
+    }
+    for (path, content) in [
+        (&trace_out, kfusion_trace::chrome::export(&trace)),
+        (&metrics_out, kfusion_trace::metrics::export(&trace)),
+    ] {
+        if let Some(path) = path {
+            match std::fs::write(path, content) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
     }
     std::process::exit(if failed { 1 } else { 0 });
 }

@@ -58,9 +58,15 @@ pub fn check_all(
     graph: &kfusion_core::PlanGraph,
     fusion: Option<&kfusion_core::FusionPlan>,
 ) -> Result<(), plan::CheckError> {
-    plan::check_plan(graph).map_err(plan::CheckError::Plan)?;
+    {
+        let _span = kfusion_trace::host_span("checker", "check_plan");
+        plan::check_plan(graph).map_err(plan::CheckError::Plan)?;
+        kfusion_trace::counter("kfusion_checker_passes_total{pass=\"plan\"}", 1);
+    }
     if let Some(f) = fusion {
+        let _span = kfusion_trace::host_span("checker", "check_fusion");
         plan::check_fusion(graph, f).map_err(plan::CheckError::Fusion)?;
+        kfusion_trace::counter("kfusion_checker_passes_total{pass=\"fusion\"}", 1);
     }
     Ok(())
 }

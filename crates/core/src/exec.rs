@@ -85,6 +85,9 @@ pub struct ExecResult {
     pub output: Relation,
     /// Simulated timing.
     pub report: Report,
+    /// `EXPLAIN ANALYZE` tree: per-node rows, simulated time, host time,
+    /// fusion-group membership, and register pressure.
+    pub explain: kfusion_trace::explain::ExplainNode,
     /// The fusion plan used (singleton groups under serial strategies).
     pub fusion: FusionPlan,
     /// Peak simulated GPU-memory residency with intermediates kept on the
@@ -102,10 +105,12 @@ pub fn execute(
     cfg: &ExecConfig,
 ) -> Result<ExecResult, CoreError> {
     let roots = [graph.root];
-    let (mut outputs, report, fusion, peak) = run_plan(system, graph, inputs, cfg, &roots)?;
+    let (mut outputs, report, explain, fusion, peak) =
+        run_plan(system, graph, inputs, cfg, &roots)?;
     Ok(ExecResult {
         output: outputs.pop().expect("one root"),
         report,
+        explain,
         fusion,
         peak_resident_bytes: peak,
     })
@@ -120,20 +125,21 @@ pub(crate) fn execute_multi_impl(
     cfg: &ExecConfig,
     roots: &[NodeId],
 ) -> Result<crate::multiquery::MultiResult, CoreError> {
-    let (outputs, report, fusion, _peak) = run_plan(system, graph, inputs, cfg, roots)?;
+    let (outputs, report, _explain, fusion, _peak) = run_plan(system, graph, inputs, cfg, roots)?;
     Ok(crate::multiquery::MultiResult { outputs, report, fusion })
 }
 
 /// The shared engine: functional phase, fusion, schedule, simulate. Returns
-/// the relations at `roots` (in order) plus the report, fusion plan, and
-/// peak residency.
+/// the relations at `roots` (in order) plus the report, the explain tree
+/// (rooted at `roots[0]`), the fusion plan, and peak residency.
 fn run_plan(
     system: &GpuSystem,
     graph: &PlanGraph,
     inputs: &[Relation],
     cfg: &ExecConfig,
     roots: &[NodeId],
-) -> Result<(Vec<Relation>, Report, FusionPlan, u64), CoreError> {
+) -> Result<(Vec<Relation>, Report, kfusion_trace::explain::ExplainNode, FusionPlan, u64), CoreError>
+{
     // With the `check` feature (default-on) the full plan verifier runs —
     // body typing, column bounds, sortedness preconditions — so executor
     // and simulator only ever see plans that cannot trip their own asserts.
@@ -147,18 +153,25 @@ fn run_plan(
     // results land indexed by node id, and a wave's errors surface in id
     // order — so answers are deterministic and identical to a serial loop.
     let mut slots: Vec<Option<Relation>> = (0..graph.len()).map(|_| None).collect();
-    for wave in wavefronts(graph) {
-        if wave.len() == 1 {
-            let id = wave[0];
-            slots[id] = Some(eval_node(graph, id, inputs, &slots)?);
-        } else {
-            let evaluated: Vec<(NodeId, Result<Relation, CoreError>)> =
-                std::thread::scope(|scope| {
+    let mut host_secs = vec![0.0f64; graph.len()];
+    {
+        let _phase = kfusion_trace::host_span("host", "functional_phase");
+        for (level, wave) in wavefronts(graph).into_iter().enumerate() {
+            let _wave = kfusion_trace::enabled()
+                .then(|| kfusion_trace::host_span("host", &format!("wave#{level}")));
+            if wave.len() == 1 {
+                let id = wave[0];
+                let (rel, secs) = eval_node_timed(graph, id, inputs, &slots)?;
+                slots[id] = Some(rel);
+                host_secs[id] = secs;
+            } else {
+                type WaveResults = Vec<(NodeId, Result<(Relation, f64), CoreError>)>;
+                let evaluated: WaveResults = std::thread::scope(|scope| {
                     let handles: Vec<_> = wave
                         .iter()
                         .map(|&id| {
                             let slots = &slots;
-                            (id, scope.spawn(move || eval_node(graph, id, inputs, slots)))
+                            (id, scope.spawn(move || eval_node_timed(graph, id, inputs, slots)))
                         })
                         .collect();
                     handles
@@ -166,8 +179,11 @@ fn run_plan(
                         .map(|(id, h)| (id, h.join().expect("plan node evaluation panicked")))
                         .collect()
                 });
-            for (id, rel) in evaluated {
-                slots[id] = Some(rel?);
+                for (id, r) in evaluated {
+                    let (rel, secs) = r?;
+                    slots[id] = Some(rel);
+                    host_secs[id] = secs;
+                }
             }
         }
     }
@@ -176,12 +192,16 @@ fn run_plan(
 
     // ---- Timing phase -----------------------------------------------------
     let stats = Stats::collect(graph, &results);
-    let fusion = match cfg.strategy {
-        Strategy::Serial | Strategy::SerialRoundTrip => singleton_plan(graph),
-        _ => fuse_plan(graph, &cfg.budget, cfg.level),
+    let (fusion, timeline) = {
+        let _phase = kfusion_trace::host_span("host", "timing_phase");
+        let fusion = match cfg.strategy {
+            Strategy::Serial | Strategy::SerialRoundTrip => singleton_plan(graph),
+            _ => fuse_plan(graph, &cfg.budget, cfg.level),
+        };
+        let schedule = build_schedule(system, graph, &fusion, &stats, cfg, roots);
+        let timeline = system.simulate(&schedule)?;
+        (fusion, timeline)
     };
-    let schedule = build_schedule(system, graph, &fusion, &stats, cfg, roots);
-    let timeline = system.simulate(&schedule)?;
     let input_bytes: f64 = plan_input_bytes(graph, &stats);
     let elements: u64 = graph
         .nodes
@@ -192,7 +212,36 @@ fn run_plan(
         .sum();
     let peak = peak_resident_bytes(graph, &stats);
     let outputs: Vec<Relation> = roots.iter().map(|&r| results[r].clone()).collect();
-    Ok((outputs, Report::new(timeline, elements, input_bytes), fusion, peak))
+    let measurements =
+        crate::explain::NodeMeasurements { rows: &stats.rows, host_seconds: &host_secs };
+    let explain = crate::explain::build_explain(
+        graph,
+        &fusion,
+        &timeline,
+        &measurements,
+        cfg.level,
+        roots[0],
+    );
+    Ok((outputs, Report::new(timeline, elements, input_bytes), explain, fusion, peak))
+}
+
+/// Evaluate one node under a host trace span, returning the relation and
+/// the wall-clock seconds the evaluation took (the EXPLAIN tree's
+/// `host=` column). Runs on the wave's thread, so parallel nodes land on
+/// distinct host lanes.
+fn eval_node_timed(
+    graph: &PlanGraph,
+    id: NodeId,
+    inputs: &[Relation],
+    slots: &[Option<Relation>],
+) -> Result<(Relation, f64), CoreError> {
+    let _span = kfusion_trace::enabled().then(|| {
+        let name = format!("{}#{id}", graph.nodes[id].kind.name().to_lowercase());
+        kfusion_trace::host_span("host", &name)
+    });
+    let t0 = std::time::Instant::now();
+    let rel = eval_node(graph, id, inputs, slots)?;
+    Ok((rel, t0.elapsed().as_secs_f64()))
 }
 
 /// Partition node ids into topological wavefronts: level 0 holds nodes with

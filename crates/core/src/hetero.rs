@@ -131,7 +131,7 @@ pub fn run_hetero(
     }
 
     let timeline = system.simulate(&sched)?;
-    Ok(Report::new(timeline, chain.n, chain.n as f64 * chain.row_bytes))
+    Ok(Report::from_row_bytes(timeline, chain.n, chain.row_bytes))
 }
 
 /// Sweep the CPU fraction and return `(best_fraction, best_report)`.

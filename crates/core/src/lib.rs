@@ -25,7 +25,10 @@
 //!   fusion+fission).
 //! * [`microbench`] — the back-to-back SELECT experiment engine behind the
 //!   paper's Figs. 4(a), 8–12, 14 and 16.
-//! * [`report`] — timing reports with the figures' breakdowns.
+//! * [`report`] — timing reports with the figures' breakdowns, plus
+//!   Chrome-trace artifact export.
+//! * [`explain`] — `EXPLAIN ANALYZE` trees: per-node rows, simulated and
+//!   host time, fusion-group membership, register pressure.
 //!
 //! # Example: fuse and run a SELECT chain
 //!
@@ -45,6 +48,7 @@ pub mod check;
 pub mod cost;
 pub mod deps;
 pub mod exec;
+pub mod explain;
 pub mod fusion;
 pub mod graph;
 pub mod hetero;

@@ -191,7 +191,7 @@ pub fn run_with_cards(
 ) -> Result<Report, CoreError> {
     let schedule = build_schedule(system, chain, strategy, cards);
     let timeline = system.simulate(&schedule)?;
-    Ok(Report::new(timeline, chain.n, chain.n as f64 * chain.row_bytes))
+    Ok(Report::from_row_bytes(timeline, chain.n, chain.row_bytes))
 }
 
 /// Compute-only run: kernels without any PCIe transfers, as the paper's
@@ -209,7 +209,7 @@ pub fn run_compute_only(
         emit_unfused_kernels(&mut cmds, system, chain, &cards, 1.0, "");
     }
     let timeline = system.simulate(&Schedule::serial(cmds))?;
-    Ok(Report::new(timeline, chain.n, chain.n as f64 * chain.row_bytes))
+    Ok(Report::from_row_bytes(timeline, chain.n, chain.row_bytes))
 }
 
 /// The 16-thread CPU baseline of Fig. 4(a): the same chain on the Xeon
@@ -234,7 +234,7 @@ pub fn run_cpu(cpu: &kfusion_vgpu::DeviceSpec, chain: &SelectChain) -> Result<Re
         });
         total += t;
     }
-    Ok(Report::new(kfusion_vgpu::Timeline { spans }, chain.n, chain.n as f64 * chain.row_bytes))
+    Ok(Report::from_row_bytes(kfusion_vgpu::Timeline { spans }, chain.n, chain.row_bytes))
 }
 
 fn stage_sel(cards: &[u64], i: usize) -> f64 {
@@ -556,7 +556,7 @@ pub fn run_concurrent(
         }
     };
     let timeline = system.simulate(&schedule)?;
-    Ok(Report::new(timeline, n, n as f64 * chain.row_bytes))
+    Ok(Report::from_row_bytes(timeline, n, chain.row_bytes))
 }
 
 /// Functional cross-check: the fused chain (single pass over the conjunction)

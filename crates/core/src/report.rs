@@ -1,8 +1,9 @@
 //! Execution reports: simulated timelines plus the derived metrics the
 //! paper's figures plot (data throughput, execution-time breakdowns,
-//! per-kernel splits).
+//! per-kernel splits), and trace/metrics artifact export.
 
-use kfusion_vgpu::{CommandClass, Engine, Timeline};
+use kfusion_trace::{Clock, Trace};
+use kfusion_vgpu::{CommandClass, DeviceSpec, Engine, Timeline};
 
 /// The result of one simulated execution.
 #[derive(Debug, Clone)]
@@ -14,12 +15,48 @@ pub struct Report {
     /// Logical input bytes (elements × element size) — the numerator of the
     /// paper's "data throughput".
     pub input_bytes: f64,
+    /// The timeline as a trace value (simulated clock), ready for Chrome
+    /// trace-event export or gantt rendering without going through the
+    /// global recorder.
+    pub trace: Trace,
 }
 
 impl Report {
     /// Build a report over a timeline.
     pub fn new(timeline: Timeline, elements: u64, input_bytes: f64) -> Self {
-        Report { timeline, elements, input_bytes }
+        let trace = kfusion_vgpu::tracing::timeline_trace(&timeline);
+        Report { timeline, elements, input_bytes, trace }
+    }
+
+    /// Build a report whose `input_bytes` is derived from a per-element row
+    /// width — the one place that multiplication happens, so every bench
+    /// computes the throughput numerator identically.
+    pub fn from_row_bytes(timeline: Timeline, elements: u64, row_bytes: f64) -> Self {
+        let input_bytes = elements as f64 * row_bytes;
+        Report::new(timeline, elements, input_bytes)
+    }
+
+    /// Build a report over `elements` device-standard elements
+    /// ([`DeviceSpec::ELEMENT_BYTES`]-wide, the paper's 32-bit values).
+    pub fn from_elements(timeline: Timeline, elements: u64) -> Self {
+        Report::from_row_bytes(timeline, elements, DeviceSpec::ELEMENT_BYTES)
+    }
+
+    /// The timeline as Chrome trace-event JSON (load in Perfetto or
+    /// `chrome://tracing`).
+    pub fn trace_json(&self) -> String {
+        kfusion_trace::chrome::export(&self.trace)
+    }
+
+    /// Write [`Report::trace_json`] to `path`.
+    pub fn write_trace_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.trace_json())
+    }
+
+    /// ASCII gantt of the simulated timeline (same renderer as
+    /// [`kfusion_vgpu::gantt::render`]).
+    pub fn gantt(&self, width: usize) -> String {
+        kfusion_trace::gantt::render(&self.trace, Clock::Sim, width)
     }
 
     /// Simulated wall time (s).
@@ -129,5 +166,28 @@ mod tests {
     #[test]
     fn summary_mentions_throughput() {
         assert!(sample().summary().contains("GB/s"));
+    }
+
+    #[test]
+    fn input_bytes_is_centralized_on_element_size() {
+        // The bug this pins: benches used to recompute `input_bytes` with
+        // ad-hoc `n * 4.0` expressions. The constructors must agree with
+        // the device's element width exactly.
+        let timeline = Timeline { spans: vec![] };
+        let r = Report::from_elements(timeline.clone(), 1000);
+        assert_eq!(r.input_bytes, 1000.0 * kfusion_vgpu::DeviceSpec::ELEMENT_BYTES);
+        assert_eq!(r.input_bytes, 4000.0);
+        let r = Report::from_row_bytes(timeline, 500, 16.0);
+        assert_eq!(r.input_bytes, 8000.0);
+    }
+
+    #[test]
+    fn report_carries_a_trace_of_its_timeline() {
+        let r = sample();
+        assert_eq!(r.trace.spans.len(), r.timeline.spans.len());
+        assert_eq!(r.trace.total(kfusion_trace::Clock::Sim), r.total());
+        let json = r.trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(r.gantt(40).contains("total:"));
     }
 }

@@ -119,14 +119,28 @@ impl CompiledKernel {
     /// register's type stays ambiguous — the cases where the caller must
     /// fall back to the scalar interpreter.
     pub fn compile(body: &KernelBody, slot_tys: &[Option<Ty>]) -> Result<Self, BatchError> {
-        let assign = verify::infer_with_slots(body, slot_tys)?;
-        let reg_ty = assign
-            .regs
-            .iter()
-            .enumerate()
-            .map(|(r, t)| t.ok_or(BatchError::Unresolved { reg: r as Reg }))
-            .collect::<Result<Vec<Ty>, BatchError>>()?;
-        Ok(CompiledKernel { instrs: body.instrs.clone(), outputs: body.outputs.clone(), reg_ty })
+        let compiled = (|| {
+            let assign = verify::infer_with_slots(body, slot_tys)?;
+            let reg_ty = assign
+                .regs
+                .iter()
+                .enumerate()
+                .map(|(r, t)| t.ok_or(BatchError::Unresolved { reg: r as Reg }))
+                .collect::<Result<Vec<Ty>, BatchError>>()?;
+            Ok(CompiledKernel {
+                instrs: body.instrs.clone(),
+                outputs: body.outputs.clone(),
+                reg_ty,
+            })
+        })();
+        kfusion_trace::counter(
+            match compiled {
+                Ok(_) => "kfusion_batch_compile_total{result=\"ok\"}",
+                Err(_) => "kfusion_batch_compile_total{result=\"err\"}",
+            },
+            1,
+        );
+        compiled
     }
 
     /// Number of output slots.
@@ -244,7 +258,25 @@ impl BatchMachine {
     ///
     /// The binding must satisfy [`CompiledKernel::check_binding`]; this
     /// method panics on a mismatched binding rather than reporting it.
+    ///
+    /// Counts one `kfusion_batch_batches_total` tick per call (a relaxed
+    /// atomic load when tracing is off — the cost the disabled-recorder
+    /// overhead gate in `throughput_host` measures).
     pub fn run(&mut self, k: &CompiledKernel, cols: &[ColRef<'_>], base: usize, n: usize) {
+        kfusion_trace::counter("kfusion_batch_batches_total", 1);
+        self.run_uncounted(k, cols, base, n);
+    }
+
+    /// [`BatchMachine::run`] without the batch counter — the baseline the
+    /// disabled-recorder overhead benchmark compares against. Not for
+    /// general use: operators should stay observable.
+    pub fn run_uncounted(
+        &mut self,
+        k: &CompiledKernel,
+        cols: &[ColRef<'_>],
+        base: usize,
+        n: usize,
+    ) {
         debug_assert!(n <= BATCH_ROWS);
         for (i, instr) in k.instrs.iter().enumerate() {
             let (prev, rest) = self.banks.split_at_mut(i);

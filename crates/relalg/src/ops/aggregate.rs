@@ -195,16 +195,20 @@ fn group_aligned_ranges(keys: &[u64], chunk: usize) -> Vec<Range<usize>> {
 pub fn aggregate_by_key(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelError> {
     input.require_sorted()?;
     validate_agg_cols(input, aggs)?;
-    if input.len() <= DEFAULT_CTA_CHUNK {
-        return Ok(aggregate_range(input, aggs, 0..input.len()));
-    }
-    let ranges = group_aligned_ranges(&input.key, DEFAULT_CTA_CHUNK);
-    let parts: Vec<Relation> =
-        par_cta_map(&ranges, 1, |_cta, r| aggregate_range(input, aggs, r[0].clone()));
-    let mut out = parts[0].clone();
-    for p in &parts[1..] {
-        out.extend_from(p);
-    }
+    kfusion_trace::counter("kfusion_rows_in_total{op=\"aggregate\"}", input.len() as u64);
+    let out = if input.len() <= DEFAULT_CTA_CHUNK {
+        aggregate_range(input, aggs, 0..input.len())
+    } else {
+        let ranges = group_aligned_ranges(&input.key, DEFAULT_CTA_CHUNK);
+        let parts: Vec<Relation> =
+            par_cta_map(&ranges, 1, |_cta, r| aggregate_range(input, aggs, r[0].clone()));
+        let mut out = parts[0].clone();
+        for p in &parts[1..] {
+            out.extend_from(p);
+        }
+        out
+    };
+    kfusion_trace::counter("kfusion_rows_out_total{op=\"aggregate\"}", out.len() as u64);
     Ok(out)
 }
 
@@ -213,10 +217,12 @@ pub fn aggregate_by_key(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelE
 /// SELECT (Fig. 2(g)). One linear pass; no re-keyed copy of the input.
 pub fn aggregate_all(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelError> {
     validate_agg_cols(input, aggs)?;
+    kfusion_trace::counter("kfusion_rows_in_total{op=\"aggregate\"}", input.len() as u64);
     let mut out_cols: Vec<Column> = (0..aggs.len()).map(|k| out_column(aggs, input, k)).collect();
     if input.is_empty() {
         return Relation::new(Vec::new(), out_cols);
     }
+    kfusion_trace::counter("kfusion_rows_out_total{op=\"aggregate\"}", 1);
     let mut accs: Vec<Acc> = aggs
         .iter()
         .map(|&a| make_acc(input, a))

@@ -41,11 +41,16 @@ fn empty_cols(tys: &[Ty], cap: usize) -> Vec<Column> {
 /// input's column types ([`crate::engine`]); otherwise falls back to the
 /// per-tuple interpreter, preserving its error behavior.
 pub fn arith_map(input: &Relation, body: &KernelBody) -> Result<Relation, RelError> {
+    // ARITH preserves cardinality: rows out == rows in, counted up front.
+    kfusion_trace::counter("kfusion_rows_in_total{op=\"arith\"}", input.len() as u64);
+    kfusion_trace::counter("kfusion_rows_out_total{op=\"arith\"}", input.len() as u64);
     if engine::batch_enabled() && !input.is_empty() {
-        if let Ok(k) = CompiledKernel::compile(body, &input.ir_slot_types()) {
-            if k.check_binding(&input.ir_cols()).is_ok() {
-                return arith_map_batch(input, &k);
-            }
+        let compiled = CompiledKernel::compile(body, &input.ir_slot_types())
+            .ok()
+            .filter(|k| k.check_binding(&input.ir_cols()).is_ok());
+        match compiled {
+            Some(k) => return arith_map_batch(input, &k),
+            None => kfusion_trace::counter("kfusion_batch_fallback_total{op=\"arith\"}", 1),
         }
     }
     // Output column types: static inference can't see through input slots

@@ -22,6 +22,7 @@ fn group_end(keys: &[u64], start: usize) -> usize {
 pub fn join(a: &Relation, b: &Relation) -> Result<Relation, RelError> {
     a.require_sorted()?;
     b.require_sorted()?;
+    kfusion_trace::counter("kfusion_rows_in_total{op=\"join\"}", (a.len() + b.len()) as u64);
     let mut out_key = Vec::new();
     let mut a_idx: Vec<usize> = Vec::new();
     let mut b_idx: Vec<usize> = Vec::new();
@@ -44,6 +45,7 @@ pub fn join(a: &Relation, b: &Relation) -> Result<Relation, RelError> {
             }
         }
     }
+    kfusion_trace::counter("kfusion_rows_out_total{op=\"join\"}", out_key.len() as u64);
     let mut cols = Vec::with_capacity(a.n_cols() + b.n_cols());
     for c in &a.cols {
         cols.push(c.gather(&a_idx));

@@ -27,14 +27,23 @@ use kfusion_vgpu::exec::{par_range_map, DEFAULT_CTA_CHUNK};
 /// engine is on and the body both resolves to concrete types and yields a
 /// boolean in output slot 0.
 fn compile_predicate(input: &Relation, predicate: &KernelBody) -> Option<CompiledKernel> {
-    if !engine::batch_enabled() || input.is_empty() || predicate.outputs.is_empty() {
+    if !engine::batch_enabled() || input.is_empty() {
         return None;
     }
-    let k = CompiledKernel::compile(predicate, &input.ir_slot_types()).ok()?;
-    if k.output_ty(0) != Ty::Bool || k.check_binding(&input.ir_cols()).is_err() {
-        return None;
+    let compiled = (|| {
+        if predicate.outputs.is_empty() {
+            return None;
+        }
+        let k = CompiledKernel::compile(predicate, &input.ir_slot_types()).ok()?;
+        if k.output_ty(0) != Ty::Bool || k.check_binding(&input.ir_cols()).is_err() {
+            return None;
+        }
+        Some(k)
+    })();
+    if compiled.is_none() {
+        kfusion_trace::counter("kfusion_batch_fallback_total{op=\"select\"}", 1);
     }
-    Some(k)
+    compiled
 }
 
 /// Visit each selected row index in `range`, reading the predicate's
@@ -73,6 +82,7 @@ fn for_each_selected(
 /// slot 0 is the key (as `i64`), slot `1+c` is payload column `c`; output 0
 /// must be a boolean.
 pub fn select(input: &Relation, predicate: &KernelBody) -> Result<Relation, RelError> {
+    kfusion_trace::counter("kfusion_rows_in_total{op=\"select\"}", input.len() as u64);
     if let Some(k) = compile_predicate(input, predicate) {
         // Partition + filter + buffer, batch-at-a-time per CTA.
         let parts: Vec<Relation> = par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
@@ -85,6 +95,7 @@ pub fn select(input: &Relation, predicate: &KernelBody) -> Result<Relation, RelE
         for p in &parts {
             out.extend_from(p);
         }
+        kfusion_trace::counter("kfusion_rows_out_total{op=\"select\"}", out.len() as u64);
         return Ok(out);
     }
     // Scalar fallback: per-tuple interpretation.
@@ -105,6 +116,7 @@ pub fn select(input: &Relation, predicate: &KernelBody) -> Result<Relation, RelE
     for p in parts {
         out.extend_from(&p?);
     }
+    kfusion_trace::counter("kfusion_rows_out_total{op=\"select\"}", out.len() as u64);
     Ok(out)
 }
 

@@ -149,6 +149,7 @@ impl StreamPool {
             return Err(PoolError::AlreadyStarted);
         }
         self.slot_mut(h)?.commands.push(cmd);
+        kfusion_trace::counter("kfusion_streampool_commands_total", 1);
         Ok(())
     }
 
@@ -175,6 +176,7 @@ impl StreamPool {
         if self.started {
             return Err(PoolError::AlreadyStarted);
         }
+        let _span = kfusion_trace::host_span("streampool", "start_streams");
         let schedule =
             Schedule { streams: self.slots.iter().map(|s| s.commands.clone()).collect() };
         self.timeline = Some(self.system.simulate(&schedule)?);

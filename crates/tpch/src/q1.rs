@@ -114,7 +114,10 @@ pub fn run_q1(
 ) -> Result<ExecResult, CoreError> {
     let plan = q1_plan();
     let inputs = q1_inputs(db);
-    execute(system, &plan, &inputs, &ExecConfig::new(strategy, system))
+    kfusion_trace::set_scope("q1");
+    let result = execute(system, &plan, &inputs, &ExecConfig::new(strategy, system));
+    kfusion_trace::set_scope("");
+    result
 }
 
 /// Ground truth computed directly from the table arrays (no relational

@@ -106,7 +106,10 @@ pub fn run_q21(
 ) -> Result<ExecResult, CoreError> {
     let plan = q21_plan(nationkey);
     let inputs = q21_inputs(db);
-    execute(system, &plan, &inputs, &ExecConfig::new(strategy, system))
+    kfusion_trace::set_scope("q21");
+    let result = execute(system, &plan, &inputs, &ExecConfig::new(strategy, system));
+    kfusion_trace::set_scope("");
+    result
 }
 
 /// Ground truth, computed imperatively: per supplier in `nationkey`, the

@@ -94,7 +94,10 @@ pub fn run_q6(
     db: &TpchDb,
     strategy: Strategy,
 ) -> Result<ExecResult, CoreError> {
-    execute(system, &q6_plan(), &q6_inputs(db), &ExecConfig::new(strategy, system))
+    kfusion_trace::set_scope("q6");
+    let result = execute(system, &q6_plan(), &q6_inputs(db), &ExecConfig::new(strategy, system));
+    kfusion_trace::set_scope("");
+    result
 }
 
 /// Ground truth: `(revenue, qualifying_rows)` computed imperatively.

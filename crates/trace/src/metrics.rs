@@ -1,0 +1,56 @@
+//! Prometheus text-format exporter for recorded counters.
+//!
+//! Counter keys are stored as full metric names with labels embedded
+//! (e.g. `kfusion_rows_out_total{op="select"}`), so exporting is mostly a
+//! matter of grouping keys by family and prefixing each family with its
+//! `# TYPE` line. The exposition-format output is what the CI observability
+//! job and `kfusion-trace-check --metrics` validate.
+
+use crate::Trace;
+
+/// The metric family of a full counter key: everything before the label
+/// block, or the whole key when there are no labels.
+fn family(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// Export `trace`'s counters as Prometheus text exposition format.
+pub fn export(trace: &Trace) -> String {
+    let mut out = String::from("# kfusion-trace counters (Prometheus text format)\n");
+    let mut last_family = "";
+    // BTreeMap iteration is sorted, so keys of one family are adjacent.
+    for (key, value) in &trace.counters {
+        let fam = family(key);
+        if fam != last_family {
+            out.push_str(&format!("# TYPE {fam} counter\n"));
+            last_family = fam;
+        }
+        out.push_str(&format!("{key} {value}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_families_and_emits_type_lines() {
+        let mut t = Trace::default();
+        t.counters.insert("kfusion_rows_out_total{op=\"agg\"}".into(), 7);
+        t.counters.insert("kfusion_rows_out_total{op=\"select\"}".into(), 9);
+        t.counters.insert("kfusion_sim_commands_total".into(), 3);
+        let out = export(&t);
+        assert_eq!(out.matches("# TYPE kfusion_rows_out_total counter").count(), 1);
+        assert!(out.contains("kfusion_rows_out_total{op=\"select\"} 9\n"));
+        assert!(out
+            .contains("# TYPE kfusion_sim_commands_total counter\nkfusion_sim_commands_total 3\n"));
+    }
+
+    #[test]
+    fn empty_trace_exports_header_only() {
+        let out = export(&Trace::default());
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.starts_with('#'));
+    }
+}

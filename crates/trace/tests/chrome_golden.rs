@@ -1,0 +1,79 @@
+//! Golden-shape test for the Chrome trace-event exporter.
+//!
+//! The golden file is exactly what Perfetto / `chrome://tracing` would be
+//! handed for a small fixed trace: two simulated engine spans (complete
+//! `X` events), one host phase (a `B`/`E` pair), process/thread metadata,
+//! and the global (ts, phase) sort order. Any byte of drift in the format
+//! fails here first, before it fails in a trace viewer.
+//!
+//! Regenerate after an intentional format change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p kfusion-trace --test chrome_golden
+//! ```
+
+use kfusion_trace::{Clock, Span, Trace};
+
+fn golden_trace() -> Trace {
+    let span = |track: &str, lane, clock, name: &str, scope: &str, start, end| Span {
+        name: name.into(),
+        track: track.into(),
+        lane,
+        clock,
+        scope: scope.into(),
+        start,
+        end,
+    };
+    let mut t = Trace::default();
+    // The Fig. 13 shape in miniature: an upload, the kernel it feeds
+    // (overlapping the next segment's upload), and the result download.
+    t.spans.push(span("H2D", 1, Clock::Sim, "in#0[seg0]", "q1", 0.0, 0.010));
+    t.spans.push(span("H2D", 1, Clock::Sim, "in#0[seg1]", "q1", 0.010, 0.020));
+    t.spans.push(span("compute", 0, Clock::Sim, "fused_compute#g0[seg0]", "q1", 0.010, 0.025));
+    t.spans.push(span("D2H", 2, Clock::Sim, "out#9", "q1", 0.025, 0.027));
+    t.spans.push(span("host", 0, Clock::Host, "functional_phase", "q1", 0.001, 0.004));
+    t.counters.insert("kfusion_rows_out_total{op=\"select\"}".into(), 42);
+    t
+}
+
+#[test]
+fn chrome_export_matches_golden_file() {
+    let got = kfusion_trace::chrome::export(&golden_trace());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/chrome_small.trace.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file exists");
+    assert_eq!(
+        got, want,
+        "Chrome export drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_is_valid_and_well_shaped() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/chrome_small.trace.json");
+    let text = std::fs::read_to_string(path).expect("golden file exists");
+    let doc = kfusion_trace::json::parse(&text).expect("golden parses as JSON");
+    let evs = doc.get("traceEvents").and_then(|v| v.as_arr()).expect("traceEvents");
+    // 2 process_name + 4 thread_name + 4 X (sim spans) + 1 B + 1 E.
+    assert_eq!(evs.len(), 12);
+    let count =
+        |ph: &str| evs.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph)).count();
+    assert_eq!(count("M"), 6);
+    assert_eq!(count("X"), 4);
+    assert_eq!(count("B"), 1);
+    assert_eq!(count("E"), 1);
+    // Non-metadata timestamps are monotone.
+    let mut last = f64::NEG_INFINITY;
+    for e in evs {
+        if e.get("ph").and_then(|p| p.as_str()) == Some("M") {
+            continue;
+        }
+        let ts = e.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        assert!(ts >= last, "timestamps not monotone");
+        last = ts;
+    }
+}

@@ -443,6 +443,25 @@ pub fn simulate(system: &GpuSystem, schedule: &Schedule) -> Result<Timeline, Sim
         if let Some(e) = engine {
             engine_free.insert(e, end);
         }
+        if kfusion_trace::enabled() {
+            kfusion_trace::sim_span(
+                crate::tracing::engine_track(engine),
+                s as u32,
+                &cmd.label,
+                start,
+                end,
+            );
+            kfusion_trace::counter("kfusion_sim_commands_total", 1);
+            match &cmd.kind {
+                CommandKind::CopyH2D { bytes, .. } => {
+                    kfusion_trace::counter("kfusion_sim_pcie_bytes_total{dir=\"h2d\"}", *bytes)
+                }
+                CommandKind::CopyD2H { bytes, .. } => {
+                    kfusion_trace::counter("kfusion_sim_pcie_bytes_total{dir=\"d2h\"}", *bytes)
+                }
+                _ => {}
+            }
+        }
         timeline.spans.push(Span {
             stream: s,
             index: head[s],

@@ -52,6 +52,12 @@ pub struct DeviceSpec {
 }
 
 impl DeviceSpec {
+    /// Bytes of one logical table element (the paper works in 32-bit
+    /// integers and floats throughout §V). Reports derive their
+    /// `input_bytes` numerator from this when no explicit row width is
+    /// known, so throughput figures across benches share one definition.
+    pub const ELEMENT_BYTES: f64 = 4.0;
+
     /// Peak instruction throughput in instructions/second.
     pub fn peak_ips(&self) -> f64 {
         self.sm_count as f64 * self.cores_per_sm as f64 * self.clock_ghz * 1e9 * self.ipc

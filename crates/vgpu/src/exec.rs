@@ -42,6 +42,7 @@ where
     if n_ctas == 0 {
         return Vec::new();
     }
+    kfusion_trace::counter("kfusion_host_morsels_total", n_ctas as u64);
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n_ctas);
     if workers <= 1 || n_ctas == 1 {
         return ranges.into_iter().enumerate().map(|(i, r)| work(i, &input[r])).collect();
@@ -87,6 +88,7 @@ where
     if n_ctas == 0 {
         return Vec::new();
     }
+    kfusion_trace::counter("kfusion_host_morsels_total", n_ctas as u64);
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n_ctas);
     if workers <= 1 || n_ctas == 1 {
         return ranges.into_iter().enumerate().map(|(i, r)| work(i, r)).collect();

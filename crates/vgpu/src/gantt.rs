@@ -10,57 +10,21 @@
 //! D2H     |______####__####__####              |
 //! ```
 
-use crate::des::{Engine, Timeline};
-
-/// All engines, in display order.
-const ENGINES: [(Engine, &str); 4] = [
-    (Engine::CopyH2D, "H2D    "),
-    (Engine::Compute, "compute"),
-    (Engine::CopyD2H, "D2H    "),
-    (Engine::Host, "host   "),
-];
+use crate::des::Timeline;
+use crate::tracing::timeline_trace;
+use kfusion_trace::Clock;
 
 /// Render `timeline` as an ASCII Gantt chart `width` characters wide.
 ///
 /// Engines with no spans are omitted. Each cell covers `total/width`
 /// seconds and is drawn `#` if any span on that engine overlaps it.
+///
+/// This is a thin view: the timeline converts to a trace
+/// ([`timeline_trace`]) and the shared renderer in `kfusion-trace` draws
+/// it, so the terminal Gantt and the Perfetto export always show the same
+/// data.
 pub fn render(timeline: &Timeline, width: usize) -> String {
-    let total = timeline.total();
-    let width = width.max(10);
-    if total <= 0.0 {
-        return String::from("(empty timeline)\n");
-    }
-    let cell = total / width as f64;
-    let mut out = String::new();
-    for (engine, label) in ENGINES {
-        let spans: Vec<_> = timeline
-            .spans
-            .iter()
-            .filter(|s| s.engine == Some(engine) && s.duration() > 0.0)
-            .collect();
-        if spans.is_empty() {
-            continue;
-        }
-        let mut row = vec![b'_'; width];
-        for s in &spans {
-            let a = ((s.start / cell).floor() as usize).min(width - 1);
-            let b = ((s.end / cell).ceil() as usize).clamp(a + 1, width);
-            for c in &mut row[a..b] {
-                *c = b'#';
-            }
-        }
-        out.push_str(label);
-        out.push_str(" |");
-        out.push_str(std::str::from_utf8(&row).expect("ascii"));
-        out.push_str("|\n");
-    }
-    out.push_str(&format!(
-        "total: {:.3} ms ({} cells of {:.3} ms)\n",
-        total * 1e3,
-        width,
-        cell * 1e3
-    ));
-    out
+    kfusion_trace::gantt::render(&timeline_trace(timeline), Clock::Sim, width)
 }
 
 #[cfg(test)]

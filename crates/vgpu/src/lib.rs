@@ -18,6 +18,9 @@
 //!   makes kernel fission's copy/compute overlap measurable.
 //! * [`exec`] — functional CTA execution on host threads, so simulated
 //!   kernels still compute *real* results.
+//! * [`tracing`] — bridge into `kfusion-trace`: timelines convert to trace
+//!   values, and the DES mirrors every committed span into the global
+//!   recorder when tracing is enabled.
 //!
 //! Timing is simulated; computation is real. All simulated durations are
 //! `f64` seconds.
@@ -55,6 +58,7 @@ pub mod hazard;
 pub mod kernel;
 pub mod memory;
 pub mod pcie;
+pub mod tracing;
 
 pub use des::{Command, CommandClass, Engine, Schedule, SimError, Span, Timeline};
 pub use device::DeviceSpec;
@@ -91,7 +95,11 @@ impl GpuSystem {
     /// computation that would corrupt data on real hardware.
     pub fn simulate(&self, schedule: &Schedule) -> Result<Timeline, SimError> {
         #[cfg(feature = "check")]
-        hazard::check_schedule(schedule).map_err(SimError::Hazard)?;
+        {
+            let _span = kfusion_trace::host_span("checker", "check_schedule");
+            hazard::check_schedule(schedule).map_err(SimError::Hazard)?;
+            kfusion_trace::counter("kfusion_checker_passes_total{pass=\"schedule\"}", 1);
+        }
         des::simulate(self, schedule)
     }
 }

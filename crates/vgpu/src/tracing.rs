@@ -1,0 +1,85 @@
+//! Bridge from simulated [`Timeline`]s to the `kfusion-trace` layer.
+//!
+//! Two paths, one vocabulary:
+//!
+//! * [`timeline_trace`] converts an executed timeline into a standalone
+//!   [`Trace`] value — the handle `Report` carries, what the Gantt renderer
+//!   draws, and what benches export as `.trace.json` artifacts.
+//! * [`des::simulate`] mirrors the same spans (plus PCIe byte counters)
+//!   into the process-global recorder as it commits them, so a traced run
+//!   interleaves simulator activity with host-side spans from the rest of
+//!   the stack.
+//!
+//! Track names are shared across both paths (and with the Chrome/Gantt
+//! exporters' canonical ordering): `H2D`, `compute`, `D2H`, `host`, plus
+//! `sync` for zero-duration event bookkeeping.
+//!
+//! [`des::simulate`]: crate::des::simulate
+
+use crate::des::{Engine, Span, Timeline};
+use kfusion_trace::{Clock, Trace};
+
+/// The trace track a simulated engine records on.
+pub fn engine_track(engine: Option<Engine>) -> &'static str {
+    match engine {
+        Some(Engine::CopyH2D) => "H2D",
+        Some(Engine::Compute) => "compute",
+        Some(Engine::CopyD2H) => "D2H",
+        Some(Engine::Host) => "host",
+        None => "sync",
+    }
+}
+
+fn trace_span(s: &Span, scope: &str) -> kfusion_trace::Span {
+    kfusion_trace::Span {
+        name: s.label.clone(),
+        track: engine_track(s.engine).to_string(),
+        lane: s.stream as u32,
+        clock: Clock::Sim,
+        scope: scope.to_string(),
+        start: s.start,
+        end: s.end,
+    }
+}
+
+/// Convert an executed timeline into a standalone [`Trace`] on the
+/// simulated clock. Streams become lanes; sync pseudo-commands land on the
+/// `sync` track (zero duration, so views that draw busy time skip them and
+/// the trace total still equals [`Timeline::total`]).
+pub fn timeline_trace(timeline: &Timeline) -> Trace {
+    let mut t = Trace::default();
+    t.spans.extend(timeline.spans.iter().map(|s| trace_span(s, "")));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::CommandClass;
+
+    #[test]
+    fn tracks_lanes_and_totals_carry_over() {
+        let mut tl = Timeline::default();
+        for (engine, stream, start, end) in [
+            (Some(Engine::CopyH2D), 0, 0.0, 1.0),
+            (Some(Engine::Compute), 1, 0.5, 2.0),
+            (None, 0, 2.0, 2.0),
+        ] {
+            tl.spans.push(Span {
+                stream,
+                index: 0,
+                label: "c".into(),
+                class: CommandClass::Compute,
+                engine,
+                start,
+                end,
+            });
+        }
+        let t = timeline_trace(&tl);
+        assert_eq!(t.spans.len(), 3);
+        assert_eq!(t.spans[0].track, "H2D");
+        assert_eq!(t.spans[1].lane, 1);
+        assert_eq!(t.spans[2].track, "sync");
+        assert_eq!(t.total(Clock::Sim), tl.total());
+    }
+}

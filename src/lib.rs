@@ -19,6 +19,7 @@
 //! | [`tpch`] | `kfusion-tpch` | dbgen-lite + Q1/Q21/Q6 plans + reference executors |
 //! | [`frontend`] | `kfusion-frontend` | SQL subset compiling to plan graphs |
 //! | [`check`] | `kfusion-check` | static verification: typed IR verifier, fusion legality, schedule hazards |
+//! | [`trace`] | `kfusion-trace` | tracing/metrics/EXPLAIN-ANALYZE: Chrome trace + Prometheus exporters |
 //!
 //! ## Quick start
 //!
@@ -46,4 +47,5 @@ pub use kfusion_ir as ir;
 pub use kfusion_relalg as relalg;
 pub use kfusion_streampool as streampool;
 pub use kfusion_tpch as tpch;
+pub use kfusion_trace as trace;
 pub use kfusion_vgpu as vgpu;

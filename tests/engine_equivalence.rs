@@ -7,7 +7,10 @@
 //! must be byte-identical (f64 compared by bit pattern, so even NaN payloads
 //! and signed zeros may not drift). Simulated timings must match exactly:
 //! the virtual GPU charges time from cardinalities and cost profiles, never
-//! from host wall-clock, so the engine choice is invisible to it.
+//! from host wall-clock, so the engine choice is invisible to it. The
+//! `kfusion_rows_*` trace counters must match too — operators count rows
+//! above the engine dispatch, so a divergence means an engine dropped or
+//! duplicated work even if the final answer happens to agree.
 
 use kfusion::core::exec::{ExecResult, Strategy};
 use kfusion::relalg::{engine, Column, Relation};
@@ -32,19 +35,42 @@ fn assert_bit_identical(a: &Relation, b: &Relation, what: &str) {
     }
 }
 
+/// The engine-independent counter families: operators count rows at the
+/// ops layer, above the scalar/batch dispatch, so both engines must report
+/// byte-identical row totals. (The `kfusion_batch_*` families are
+/// deliberately excluded — only the batch engine emits those.)
+fn row_counters(trace: &kfusion::trace::Trace) -> Vec<(String, u64)> {
+    trace
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("kfusion_rows_"))
+        .map(|(k, &v)| (k.clone(), v))
+        .collect()
+}
+
 /// Run `query` on both engines under `strategy` and demand identical
-/// answers and identical simulated timelines.
+/// answers, identical simulated timelines, and identical row counters.
 fn check(what: &str, strategy: Strategy, query: impl Fn(Strategy) -> ExecResult) {
+    let traced = |q: &dyn Fn(Strategy) -> ExecResult| {
+        kfusion::trace::reset();
+        kfusion::trace::set_enabled(true);
+        let result = q(strategy);
+        kfusion::trace::set_enabled(false);
+        (result, kfusion::trace::take())
+    };
     engine::set_batch_enabled(false);
-    let scalar = query(strategy);
+    let (scalar, scalar_trace) = traced(&query);
     engine::set_batch_enabled(true);
-    let batch = query(strategy);
+    let (batch, batch_trace) = traced(&query);
     assert_bit_identical(&scalar.output, &batch.output, what);
     assert_eq!(
         scalar.report.total(),
         batch.report.total(),
         "{what}: engine choice leaked into simulated time"
     );
+    let rows = row_counters(&scalar_trace);
+    assert!(!rows.is_empty(), "{what}: operators recorded no row counters");
+    assert_eq!(rows, row_counters(&batch_trace), "{what}: row counters diverged between engines");
 }
 
 fn strategies() -> [Strategy; 3] {
