@@ -1,0 +1,248 @@
+//! Concurrent query-service load: admission batching vs one-at-a-time.
+//!
+//! Closed-loop clients hammer a [`kfusion_server::QueryService`] with a
+//! small mix of selection-chain shapes over one shared table. At each
+//! concurrency level the harness reports
+//!
+//! * the **serial** baseline — the exact simulated cost of executing every
+//!   submitted plan alone, summed (what a one-query-at-a-time server pays),
+//! * the **batched** simulated total — `sum(sim_batch_total / batch_size)`
+//!   over the outcomes, which reproduces the aggregate simulated time of
+//!   the windows the service actually dispatched,
+//! * the resulting speedup, the mean batch size, and the plan-cache
+//!   counters.
+//!
+//! Every answer is checked against the standalone ground truth, so the
+//! numbers only count executions that stayed byte-identical.
+//!
+//! Writes `BENCH_server_load.json` at the repo root (override with
+//! `--out`) plus the standard `BENCH_server_load.trace.json` /
+//! `.metrics.txt` artifacts — the trace carries the service's `server`
+//! track (queue_wait / batch_form / execute spans) for
+//! `kfusion-trace-check --require-tracks server`. Exits nonzero if the
+//! top concurrency level fails to beat the serial baseline — the CI
+//! server-load-smoke gate.
+//!
+//! ```sh
+//! cargo bench --bench server_load -- [--rows N] [--queries M] [--out PATH]
+//! ```
+
+use kfusion_bench::{ratio, Table};
+use kfusion_core::exec::{execute, ExecConfig, Strategy};
+use kfusion_core::graph::{OpKind, PlanGraph};
+use kfusion_relalg::{gen, predicates, Relation};
+use kfusion_server::{QueryService, ServerConfig};
+use kfusion_vgpu::GpuSystem;
+use std::time::{Duration, Instant};
+
+const SHAPES: usize = 4;
+
+/// Selection chains of varying depth/constants — distinct plan shapes that
+/// all scan the one shared table, so any two can batch.
+fn shape(i: usize) -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let mut cur = g.input(0);
+    for d in 0..(1 + i % SHAPES) {
+        cur = g.add(
+            OpKind::Select { pred: predicates::key_lt(1 << (28 + i % SHAPES + d)) },
+            vec![cur],
+        );
+    }
+    g
+}
+
+struct Level {
+    clients: usize,
+    queries: usize,
+    serial_sim: f64,
+    batched_sim: f64,
+    mean_batch: f64,
+    hits: u64,
+    misses: u64,
+    compiles: u64,
+    wall: f64,
+}
+
+fn run_level(
+    system: &GpuSystem,
+    tables: &[Relation],
+    exec_cfg: &ExecConfig,
+    expected: &[Relation],
+    per_shape_sim: &[f64],
+    clients: usize,
+    queries_per_client: usize,
+) -> Level {
+    let mut cfg = ServerConfig::new(*exec_cfg);
+    cfg.workers = 2;
+    cfg.max_batch = clients.max(2);
+    cfg.window = Duration::from_millis(20);
+    cfg.submit_timeout = Duration::from_secs(5);
+
+    let t0 = Instant::now();
+    let (outcomes, stats) = QueryService::serve(system, tables, &cfg, |client| {
+        let per_client: Vec<Vec<(usize, kfusion_server::QueryOutcome)>> = std::thread::scope(|s| {
+            (0..clients)
+                .map(|t| {
+                    s.spawn(move || {
+                        (0..queries_per_client)
+                            .map(|r| {
+                                let i = (t + r) % SHAPES;
+                                (i, client.query(shape(i)).expect("query succeeds"))
+                            })
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        (per_client, client.cache_stats())
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut serial_sim = 0.0;
+    let mut batched_sim = 0.0;
+    let mut batch_sum = 0usize;
+    let mut n = 0usize;
+    for (i, out) in outcomes.iter().flatten() {
+        assert_eq!(
+            out.output, expected[*i],
+            "served answer diverged from standalone execution (shape {i})"
+        );
+        serial_sim += per_shape_sim[*i];
+        batched_sim += out.sim_batch_total / out.batch_size as f64;
+        batch_sum += out.batch_size;
+        n += 1;
+    }
+    assert_eq!(n, clients * queries_per_client);
+    Level {
+        clients,
+        queries: n,
+        serial_sim,
+        batched_sim,
+        mean_batch: batch_sum as f64 / n as f64,
+        hits: stats.hits,
+        misses: stats.misses,
+        compiles: stats.compiles,
+        wall,
+    }
+}
+
+fn main() {
+    let mut rows = 1usize << 20;
+    let mut queries_per_client = 6usize;
+    let mut out_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server_load.json").to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--rows" => rows = args.next().and_then(|v| v.parse().ok()).expect("--rows N"),
+            "--queries" => {
+                queries_per_client = args.next().and_then(|v| v.parse().ok()).expect("--queries M")
+            }
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--bench" => {}
+            other => {
+                eprintln!("unknown arg {other:?} (try --rows N, --queries M, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== server_load: admission batching vs one-at-a-time ==");
+    println!("shared table: {rows} rows; {queries_per_client} queries per client\n");
+    let _trace = kfusion_bench::trace_session("server_load");
+
+    let system = GpuSystem::c2070();
+    let tables = [gen::random_keys(rows, 23)];
+    let exec_cfg = ExecConfig::new(Strategy::Fusion, &system);
+
+    // Standalone ground truth and per-shape simulated cost, once per shape.
+    let mut expected = Vec::with_capacity(SHAPES);
+    let mut per_shape_sim = Vec::with_capacity(SHAPES);
+    for i in 0..SHAPES {
+        let r = execute(&system, &shape(i), &tables, &exec_cfg).expect("standalone execution");
+        per_shape_sim.push(r.report.total());
+        expected.push(r.output);
+    }
+
+    let mut table = Table::new([
+        "clients",
+        "queries",
+        "serial_sim_ms",
+        "batched_sim_ms",
+        "speedup",
+        "mean_batch",
+        "cache_hits",
+        "compiles",
+        "wall_ms",
+    ]);
+    let mut levels = Vec::new();
+    for clients in [2usize, 4, 8] {
+        let l = run_level(
+            &system,
+            &tables,
+            &exec_cfg,
+            &expected,
+            &per_shape_sim,
+            clients,
+            queries_per_client,
+        );
+        table.row([
+            l.clients.to_string(),
+            l.queries.to_string(),
+            format!("{:.3}", l.serial_sim * 1e3),
+            format!("{:.3}", l.batched_sim * 1e3),
+            ratio(l.serial_sim / l.batched_sim),
+            format!("{:.2}", l.mean_batch),
+            l.hits.to_string(),
+            l.compiles.to_string(),
+            format!("{:.1}", l.wall * 1e3),
+        ]);
+        levels.push(l);
+    }
+    table.print();
+
+    let body: Vec<String> = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"clients\": {}, \"queries\": {}, \"serial_sim_s\": {:.6}, \"batched_sim_s\": {:.6}, \"speedup\": {:.3}, \"mean_batch\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \"plan_compiles\": {}, \"wall_s\": {:.3}}}",
+                l.clients,
+                l.queries,
+                l.serial_sim,
+                l.batched_sim,
+                l.serial_sim / l.batched_sim,
+                l.mean_batch,
+                l.hits,
+                l.misses,
+                l.compiles,
+                l.wall
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"server_load\",\n  \"rows\": {rows},\n  \"queries_per_client\": {queries_per_client},\n  \"levels\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write JSON artifact");
+    println!("\nwrote {out_path}");
+
+    // CI gate: at the top concurrency level, batched execution must beat
+    // one-at-a-time on simulated time (deterministic, unlike wall-clock).
+    let top = levels.last().expect("levels");
+    if top.batched_sim >= top.serial_sim {
+        eprintln!(
+            "FAIL: batched sim time {:.6}s not below serial {:.6}s at {} clients (mean batch {:.2})",
+            top.batched_sim, top.serial_sim, top.clients, top.mean_batch
+        );
+        std::process::exit(1);
+    }
+    // Sanity: with closed-loop concurrent clients the windows must actually
+    // have batched something.
+    if top.mean_batch <= 1.0 + f64::EPSILON {
+        eprintln!("FAIL: no cross-query batching occurred at {} clients", top.clients);
+        std::process::exit(1);
+    }
+}

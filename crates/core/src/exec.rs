@@ -106,7 +106,54 @@ pub fn execute(
 ) -> Result<ExecResult, CoreError> {
     let roots = [graph.root];
     let (mut outputs, report, explain, fusion, peak) =
-        run_plan(system, graph, inputs, cfg, &roots)?;
+        run_plan(system, graph, inputs, cfg, &roots, None)?;
+    Ok(ExecResult {
+        output: outputs.pop().expect("one root"),
+        report,
+        explain,
+        fusion,
+        peak_resident_bytes: peak,
+    })
+}
+
+/// Run the compile-side pipeline alone — verify (under the `check`
+/// feature), then fuse at `cfg.level` under `cfg.budget` — and return the
+/// [`FusionPlan`] it settles on. This is the expensive per-*shape* half of
+/// an execution; `kfusion-server` caches its result behind an `Arc` so
+/// concurrent submissions of structurally identical plans pay it once.
+///
+/// Serial strategies get the singleton plan the executor would build for
+/// them, so a cached plan is valid for exactly the `(strategy-class,
+/// budget, level)` it was prepared under.
+pub fn prepare_fusion(graph: &PlanGraph, cfg: &ExecConfig) -> Result<FusionPlan, CoreError> {
+    #[cfg(feature = "check")]
+    crate::check::check_plan(graph)?;
+    #[cfg(not(feature = "check"))]
+    graph.validate()?;
+    let _span =
+        kfusion_trace::enabled().then(|| kfusion_trace::host_span("host", "prepare_fusion"));
+    Ok(match cfg.strategy {
+        Strategy::Serial | Strategy::SerialRoundTrip => singleton_plan(graph),
+        _ => fuse_plan(graph, &cfg.budget, cfg.level),
+    })
+}
+
+/// [`execute`], but with the compile-side pipeline already done: `fusion`
+/// must come from [`prepare_fusion`] on a structurally identical graph
+/// under the same `cfg`. The full plan check is skipped (it ran in
+/// `prepare_fusion`); only the cheap structural validation repeats. The
+/// functional phase never consumes the fusion plan, so the answer is
+/// byte-identical to an uncached [`execute`] by construction.
+pub fn execute_prepared(
+    system: &GpuSystem,
+    graph: &PlanGraph,
+    inputs: &[Relation],
+    cfg: &ExecConfig,
+    fusion: &FusionPlan,
+) -> Result<ExecResult, CoreError> {
+    let roots = [graph.root];
+    let (mut outputs, report, explain, fusion, peak) =
+        run_plan(system, graph, inputs, cfg, &roots, Some(fusion))?;
     Ok(ExecResult {
         output: outputs.pop().expect("one root"),
         report,
@@ -124,8 +171,10 @@ pub(crate) fn execute_multi_impl(
     inputs: &[Relation],
     cfg: &ExecConfig,
     roots: &[NodeId],
+    prepared: Option<&FusionPlan>,
 ) -> Result<crate::multiquery::MultiResult, CoreError> {
-    let (outputs, report, _explain, fusion, _peak) = run_plan(system, graph, inputs, cfg, roots)?;
+    let (outputs, report, _explain, fusion, _peak) =
+        run_plan(system, graph, inputs, cfg, roots, prepared)?;
     Ok(crate::multiquery::MultiResult { outputs, report, fusion })
 }
 
@@ -138,15 +187,23 @@ fn run_plan(
     inputs: &[Relation],
     cfg: &ExecConfig,
     roots: &[NodeId],
+    prepared: Option<&FusionPlan>,
 ) -> Result<(Vec<Relation>, Report, kfusion_trace::explain::ExplainNode, FusionPlan, u64), CoreError>
 {
     // With the `check` feature (default-on) the full plan verifier runs —
     // body typing, column bounds, sortedness preconditions — so executor
     // and simulator only ever see plans that cannot trip their own asserts.
-    #[cfg(feature = "check")]
-    crate::check::check_plan(graph)?;
-    #[cfg(not(feature = "check"))]
-    graph.validate()?;
+    // A prepared fusion plan certifies the full check already ran (in
+    // `prepare_fusion`) on this structure; only the cheap validation stays.
+    match prepared {
+        Some(_) => graph.validate()?,
+        None => {
+            #[cfg(feature = "check")]
+            crate::check::check_plan(graph)?;
+            #[cfg(not(feature = "check"))]
+            graph.validate()?;
+        }
+    }
     // ---- Functional phase -------------------------------------------------
     // Independent nodes evaluate in parallel: topological wavefronts (a
     // node's level is one past its deepest input) run on scoped threads,
@@ -194,9 +251,12 @@ fn run_plan(
     let stats = Stats::collect(graph, &results);
     let (fusion, timeline) = {
         let _phase = kfusion_trace::host_span("host", "timing_phase");
-        let fusion = match cfg.strategy {
-            Strategy::Serial | Strategy::SerialRoundTrip => singleton_plan(graph),
-            _ => fuse_plan(graph, &cfg.budget, cfg.level),
+        let fusion = match prepared {
+            Some(p) => p.clone(),
+            None => match cfg.strategy {
+                Strategy::Serial | Strategy::SerialRoundTrip => singleton_plan(graph),
+                _ => fuse_plan(graph, &cfg.budget, cfg.level),
+            },
         };
         let schedule = build_schedule(system, graph, &fusion, &stats, cfg, roots);
         let timeline = system.simulate(&schedule)?;
@@ -1070,6 +1130,23 @@ mod tests {
         let (strat, r) = execute_auto_serial(&s, &g, std::slice::from_ref(&input)).unwrap();
         assert_eq!(strat, Strategy::SerialRoundTrip);
         assert!(r.report.class_time(CommandClass::RoundTrip) > 0.0);
+    }
+
+    #[test]
+    fn prepared_execution_is_byte_identical_to_plain() {
+        let s = sys();
+        let g = select_chain_graph(3);
+        let input = gen::random_keys(100_000, 8);
+        for strat in [Strategy::Serial, Strategy::Fusion, Strategy::FusionFission { segments: 4 }] {
+            let cfg = ExecConfig::new(strat, &s);
+            let fusion = prepare_fusion(&g, &cfg).unwrap();
+            let prepared =
+                execute_prepared(&s, &g, std::slice::from_ref(&input), &cfg, &fusion).unwrap();
+            let plain = execute(&s, &g, std::slice::from_ref(&input), &cfg).unwrap();
+            assert_eq!(prepared.output, plain.output);
+            assert_eq!(prepared.report.total(), plain.report.total());
+            assert_eq!(prepared.fusion.groups, plain.fusion.groups);
+        }
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //!   Chrome-trace artifact export.
 //! * [`explain`] — `EXPLAIN ANALYZE` trees: per-node rows, simulated and
 //!   host time, fusion-group membership, register pressure.
+//! * [`fingerprint`] — structural plan fingerprints, the key under which
+//!   `kfusion-server`'s plan cache shares compiled fusion plans.
 //!
 //! # Example: fuse and run a SELECT chain
 //!
@@ -49,6 +51,7 @@ pub mod cost;
 pub mod deps;
 pub mod exec;
 pub mod explain;
+pub mod fingerprint;
 pub mod fusion;
 pub mod graph;
 pub mod hetero;
@@ -59,6 +62,7 @@ pub mod report;
 pub mod viz;
 
 pub use cost::FusionBudget;
+pub use fingerprint::{fingerprint_plan, Fingerprint, PlanKey};
 pub use fusion::{fuse_plan, FusionPlan};
 pub use graph::{NodeId, OpKind, PlanGraph};
 pub use report::Report;

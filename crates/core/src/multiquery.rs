@@ -69,17 +69,38 @@ pub fn execute_multi(
     inputs: &[Relation],
     cfg: &ExecConfig,
 ) -> Result<MultiResult, CoreError> {
-    crate::exec::execute_multi_impl(system, &merged.graph, inputs, cfg, &merged.roots)
+    crate::exec::execute_multi_impl(system, &merged.graph, inputs, cfg, &merged.roots, None)
+}
+
+/// [`execute_multi`] with the compile-side pipeline already done: `fusion`
+/// must come from [`crate::exec::prepare_fusion`] on a structurally
+/// identical merged graph under the same `cfg` — the path `kfusion-server`
+/// takes when a batch composition hits its plan cache.
+pub fn execute_multi_prepared(
+    system: &GpuSystem,
+    merged: &MergedPlan,
+    inputs: &[Relation],
+    cfg: &ExecConfig,
+    fusion: &crate::fusion::FusionPlan,
+) -> Result<MultiResult, CoreError> {
+    crate::exec::execute_multi_impl(system, &merged.graph, inputs, cfg, &merged.roots, Some(fusion))
 }
 
 /// Estimate of the batching benefit: simulated batch time vs the sum of the
 /// queries run one at a time under the same strategy.
+///
+/// Degenerate inputs are errors, not silent `NaN`/`inf`: an empty `plans`
+/// slice has no meaningful ratio (`0.0 / 0.0`), and a batch whose simulated
+/// time is zero (or non-finite) cannot divide the separate total.
 pub fn batching_speedup(
     system: &GpuSystem,
     plans: &[PlanGraph],
     inputs: &[Relation],
     strategy: Strategy,
 ) -> Result<f64, CoreError> {
+    if plans.is_empty() {
+        return Err(CoreError::Unsupported("batching_speedup over zero plans".into()));
+    }
     let cfg = ExecConfig::new(strategy, system);
     let mut separate = 0.0;
     for p in plans {
@@ -87,7 +108,13 @@ pub fn batching_speedup(
     }
     let merged = merge_plans(plans);
     let batch = execute_multi(system, &merged, inputs, &cfg)?;
-    Ok(separate / batch.report.total())
+    let batch_total = batch.report.total();
+    if !(batch_total > 0.0 && batch_total.is_finite()) {
+        return Err(CoreError::Unsupported(format!(
+            "batching_speedup over a degenerate batch (simulated total {batch_total})"
+        )));
+    }
+    Ok(separate / batch_total)
 }
 
 #[cfg(test)]
@@ -156,6 +183,44 @@ mod tests {
             let alone = execute(&s, p, std::slice::from_ref(&input), &cfg).unwrap();
             assert_eq!(got, &alone.output);
         }
+    }
+
+    #[test]
+    fn speedup_over_zero_plans_is_an_error_not_nan() {
+        // Regression: `0.0 / 0.0` used to reach the caller as NaN.
+        let input = gen::random_keys(16, 1);
+        let r = batching_speedup(&sys(), &[], std::slice::from_ref(&input), Strategy::Fusion);
+        assert!(matches!(r, Err(CoreError::Unsupported(_))), "{r:?}");
+    }
+
+    #[test]
+    fn speedup_is_never_nan_or_inf_on_degenerate_batches() {
+        // A batch over an empty relation is as degenerate as the executor
+        // can produce; whatever the result, it must be a finite Ok or a
+        // proper error — never NaN/inf.
+        let empty = gen::random_keys(0, 1);
+        let plans = [query(&[100]), query(&[200])];
+        match batching_speedup(&sys(), &plans, std::slice::from_ref(&empty), Strategy::Fusion) {
+            Ok(v) => assert!(v.is_finite(), "non-finite speedup {v}"),
+            Err(CoreError::Unsupported(msg)) => assert!(msg.contains("degenerate"), "{msg}"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn prepared_multi_execution_matches_unprepared() {
+        let plans = [query(&[1 << 30]), query(&[1 << 31])];
+        let input = gen::random_keys(50_000, 13);
+        let s = sys();
+        let cfg = ExecConfig::new(Strategy::Fusion, &s);
+        let merged = merge_plans(&plans);
+        let fusion = crate::exec::prepare_fusion(&merged.graph, &cfg).unwrap();
+        let prepared =
+            execute_multi_prepared(&s, &merged, std::slice::from_ref(&input), &cfg, &fusion)
+                .unwrap();
+        let plain = execute_multi(&s, &merged, std::slice::from_ref(&input), &cfg).unwrap();
+        assert_eq!(prepared.outputs, plain.outputs);
+        assert_eq!(prepared.report.total(), plain.report.total());
     }
 
     #[test]

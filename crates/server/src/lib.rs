@@ -1,0 +1,85 @@
+//! `kfusion-server` — a concurrent query service over the fusion engine.
+//!
+//! The paper's §III-A observes that "there are opportunities to apply
+//! kernel fusion across queries since RA operators from different queries
+//! can be fused" — but the executor crates below this one are
+//! one-query-at-a-time libraries. This crate adds the serving layer a data
+//! warehouse actually runs: many clients submit plans concurrently, and the
+//! service turns that concurrency into the paper's cross-query fusion
+//! opportunities instead of serializing it away. Three pieces compose:
+//!
+//! * **Plan cache** ([`cache::PlanCache`]) — the compile side of an
+//!   execution (verify → fuse → optimize) depends only on the plan's
+//!   *structure* plus the register budget and optimization level, so it is
+//!   keyed by [`kfusion_core::PlanKey`] (a 128-bit structural fingerprint +
+//!   budget + level) and computed once per shape. Concurrent submissions of
+//!   the same shape share one `Arc<FusionPlan>`; hits and misses surface as
+//!   `kfusion_server_plan_cache_*` counters.
+//! * **Admission window** ([`service::QueryService`]'s admission thread) —
+//!   submissions are grouped for a bounded count/time window; queries that
+//!   scan overlapping inputs merge through
+//!   [`kfusion_core::multiquery::merge_plans`] and execute as one batch
+//!   (shared scans, cross-query fused kernels), with each query's result
+//!   routed back over its own channel.
+//! * **Worker pool** — a `std::thread::scope`-based pool with bounded
+//!   queues for backpressure ([`queue::BoundedQueue`]), per-query deadlines
+//!   that reject rather than hang, and a graceful shutdown that drains
+//!   in-flight batches.
+//!
+//! Everything the service does is traced on its own `server` track —
+//! queue-wait, batch-form, and execute spans — so `kfusion-trace-check
+//! --require-tracks server` can validate a load run end to end.
+//!
+//! The service changes *when* and *with whom* a plan executes, never *what*
+//! it computes: the functional phase ignores the fusion plan entirely, so a
+//! batched or cache-hit execution is byte-identical to a standalone
+//! [`kfusion_core::exec::execute`] (the equivalence tests enforce this).
+
+pub mod cache;
+pub mod queue;
+pub mod service;
+
+pub use cache::{CacheStats, PlanCache};
+pub use queue::BoundedQueue;
+pub use service::{QueryOutcome, QueryService, QueryTicket, ServerConfig, ServiceClient};
+
+use kfusion_core::CoreError;
+
+/// Service-level errors delivered to submitters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The engine rejected or failed the query (verifier, executor, or
+    /// simulator error, stringified across the channel).
+    Exec(String),
+    /// The query's deadline passed while it was still queued; it was
+    /// rejected without executing.
+    DeadlineExceeded,
+    /// The submission queue stayed full past the configured admission
+    /// timeout — backpressure instead of unbounded buffering.
+    Overloaded,
+    /// The service is draining and no longer accepts submissions.
+    ShuttingDown,
+    /// The internal reply channel dropped without a result (a worker
+    /// panicked); the query's fate is unknown.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Exec(e) => write!(f, "query execution failed: {e}"),
+            ServerError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServerError::Overloaded => write!(f, "submission queue full (service overloaded)"),
+            ServerError::ShuttingDown => write!(f, "service is shutting down"),
+            ServerError::Disconnected => write!(f, "reply channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<CoreError> for ServerError {
+    fn from(e: CoreError) -> Self {
+        ServerError::Exec(e.to_string())
+    }
+}

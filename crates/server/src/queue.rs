@@ -1,0 +1,191 @@
+//! A bounded MPMC queue on `Mutex` + `Condvar` — the service's
+//! backpressure primitive (no external crates, per the workspace's
+//! no-dependency rule).
+//!
+//! Both ends are timed: producers use [`BoundedQueue::push_timeout`] so an
+//! overloaded service rejects ([`crate::ServerError::Overloaded`]) instead
+//! of buffering without bound, and consumers use
+//! [`BoundedQueue::pop_timeout`] so admission windows and shutdown drains
+//! never block forever. [`BoundedQueue::close`] wakes everyone: queued
+//! items stay poppable (shutdown *drains*), new pushes are refused.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused; the item comes back to the caller either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue stayed full for the whole timeout.
+    Full(T),
+    /// The queue is closed to new items.
+    Closed(T),
+}
+
+/// What a timed pop observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item.
+    Item(T),
+    /// Nothing arrived within the timeout; the queue may still produce.
+    TimedOut,
+    /// Closed and fully drained: no item will ever arrive again.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Push `item`, waiting up to `timeout` for a slot.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed(item));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::Full(item));
+            }
+            let (guard, _timed_out) = self
+                .not_full
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Pop one item, waiting up to `timeout` for one to arrive.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Pop::TimedOut;
+            }
+            let (guard, _timed_out) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Refuse new pushes; queued items remain poppable until drained.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: Duration = Duration::from_millis(5);
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(2);
+        q.push_timeout(1, SHORT).unwrap();
+        q.push_timeout(2, SHORT).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_timeout(SHORT), Pop::Item(1));
+        assert_eq!(q.pop_timeout(SHORT), Pop::Item(2));
+        assert_eq!(q.pop_timeout(SHORT), Pop::TimedOut);
+    }
+
+    #[test]
+    fn full_queue_times_out_with_item_returned() {
+        let q = BoundedQueue::new(1);
+        q.push_timeout(1, SHORT).unwrap();
+        assert_eq!(q.push_timeout(2, SHORT), Err(PushError::Full(2)));
+    }
+
+    #[test]
+    fn close_refuses_pushes_but_drains_pops() {
+        let q = BoundedQueue::new(4);
+        q.push_timeout(7, SHORT).unwrap();
+        q.close();
+        assert_eq!(q.push_timeout(8, SHORT), Err(PushError::Closed(8)));
+        assert_eq!(q.pop_timeout(SHORT), Pop::Item(7));
+        assert_eq!(q.pop_timeout(SHORT), Pop::Closed);
+    }
+
+    #[test]
+    fn blocked_producer_wakes_when_a_slot_frees() {
+        let q = BoundedQueue::new(1);
+        q.push_timeout(1, SHORT).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                q.push_timeout(2, Duration::from_secs(5)).unwrap();
+            });
+            assert_eq!(q.pop_timeout(Duration::from_secs(5)), Pop::Item(1));
+            // The producer's item lands once our pop freed the slot.
+            assert_eq!(q.pop_timeout(Duration::from_secs(5)), Pop::Item(2));
+        });
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.pop_timeout(Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(10));
+            q.close();
+            assert_eq!(h.join().unwrap(), Pop::Closed);
+        });
+    }
+}

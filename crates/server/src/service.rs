@@ -1,0 +1,527 @@
+//! The query service: admission window, shared-scan grouping, worker pool.
+//!
+//! One admission thread and `workers` execution threads run inside a
+//! `std::thread::scope` for the duration of [`QueryService::serve`]; the
+//! caller's closure gets a [`ServiceClient`] and drives load against it
+//! (typically from its own scoped client threads). Submissions flow
+//!
+//! ```text
+//! submit → [submission queue] → admission window → shared-input grouping
+//!        → [dispatch queue] → worker: plan cache → execute → reply channel
+//! ```
+//!
+//! The admission window is bounded in both count ([`ServerConfig::max_batch`])
+//! and time ([`ServerConfig::window`]): the first submission opens the
+//! window, and everything admitted before it closes is grouped by
+//! overlapping scan inputs (union-find). Groups of two or more splice
+//! through [`merge_plans`] and run as one cross-query-fused batch — shared
+//! scans uploaded once, SELECTs from different queries in one kernel — while
+//! singletons take the ordinary path. Either way the compile side comes
+//! from the shared [`PlanCache`].
+//!
+//! Both queues are bounded: a full submission queue rejects with
+//! [`ServerError::Overloaded`] (backpressure at the edge), and a full
+//! dispatch queue blocks *admission*, which in turn fills the submission
+//! queue — load sheds at the client, never as unbounded memory. Shutdown is
+//! a drain: closing the submission queue lets admission flush every queued
+//! query into final batches, then close the dispatch queue, which the
+//! workers drain before exiting; nothing accepted is dropped.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::ServerError;
+use kfusion_core::exec::{execute_prepared, ExecConfig};
+use kfusion_core::graph::{OpKind, PlanGraph};
+use kfusion_core::multiquery::{execute_multi_prepared, merge_plans};
+use kfusion_relalg::Relation;
+use kfusion_vgpu::GpuSystem;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How long a blocked-but-not-closed queue end sleeps between re-checks.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Executor configuration shared by every query the service runs. One
+    /// service instance serves one `(strategy, budget, level)` regime —
+    /// exactly the regime its plan cache is sound for.
+    pub exec: ExecConfig,
+    /// Worker threads executing dispatched groups.
+    pub workers: usize,
+    /// Count bound of the admission window: a window dispatches as soon as
+    /// this many queries are admitted.
+    pub max_batch: usize,
+    /// Time bound of the admission window, measured from the first
+    /// submission that opens it.
+    pub window: Duration,
+    /// Capacity of the submission and dispatch queues.
+    pub queue_depth: usize,
+    /// How long `submit` waits for a submission-queue slot before
+    /// rejecting with [`ServerError::Overloaded`].
+    pub submit_timeout: Duration,
+    /// Deadline applied to submissions that do not carry their own: a query
+    /// still queued when its deadline passes is rejected, not executed.
+    pub default_deadline: Option<Duration>,
+}
+
+impl ServerConfig {
+    /// A config for `exec` with small-service defaults: 2 workers, windows
+    /// of up to 4 queries or 2 ms, queues of 64, 20 ms submit patience, no
+    /// deadline.
+    pub fn new(exec: ExecConfig) -> Self {
+        ServerConfig {
+            exec,
+            workers: 2,
+            max_batch: 4,
+            window: Duration::from_millis(2),
+            queue_depth: 64,
+            submit_timeout: Duration::from_millis(20),
+            default_deadline: None,
+        }
+    }
+}
+
+/// What a successful query gets back.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The query result — byte-identical to a standalone
+    /// [`kfusion_core::exec::execute`] of the same plan over the service's
+    /// tables.
+    pub output: Relation,
+    /// How many queries co-executed in this dispatch (1 = ran alone).
+    pub batch_size: usize,
+    /// Simulated seconds of the whole dispatch this query rode in. Summing
+    /// `sim_batch_total / batch_size` over queries reproduces the exact
+    /// aggregate simulated time of the run.
+    pub sim_batch_total: f64,
+}
+
+/// One queued query: its plan plus everything needed to time it out and to
+/// route its result home.
+struct Submission {
+    plan: PlanGraph,
+    enqueued_at: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Result<QueryOutcome, ServerError>>,
+}
+
+/// A dispatched unit of work: one or more submissions that share inputs.
+struct GroupJob {
+    members: Vec<Submission>,
+}
+
+/// The receiving end of one submission.
+#[derive(Debug)]
+pub struct QueryTicket {
+    rx: mpsc::Receiver<Result<QueryOutcome, ServerError>>,
+}
+
+impl QueryTicket {
+    /// Block until the service delivers this query's outcome.
+    pub fn wait(self) -> Result<QueryOutcome, ServerError> {
+        self.rx.recv().map_err(|_| ServerError::Disconnected)?
+    }
+}
+
+/// The submission handle passed to [`QueryService::serve`]'s closure; share
+/// it across client threads freely (`&self` everywhere).
+pub struct ServiceClient<'a> {
+    submissions: &'a BoundedQueue<Submission>,
+    cache: &'a PlanCache,
+    config: &'a ServerConfig,
+}
+
+impl ServiceClient<'_> {
+    /// Submit `plan` (over the service's table registry) under the
+    /// config's default deadline.
+    pub fn submit(&self, plan: PlanGraph) -> Result<QueryTicket, ServerError> {
+        self.submit_with_deadline(plan, self.config.default_deadline)
+    }
+
+    /// Submit with an explicit deadline (`None` = never times out).
+    pub fn submit_with_deadline(
+        &self,
+        plan: PlanGraph,
+        deadline: Option<Duration>,
+    ) -> Result<QueryTicket, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let sub =
+            Submission { plan, enqueued_at: now, deadline: deadline.map(|d| now + d), reply: tx };
+        kfusion_trace::counter("kfusion_server_submissions_total", 1);
+        match self.submissions.push_timeout(sub, self.config.submit_timeout) {
+            Ok(()) => Ok(QueryTicket { rx }),
+            Err(PushError::Full(_)) => Err(ServerError::Overloaded),
+            Err(PushError::Closed(_)) => Err(ServerError::ShuttingDown),
+        }
+    }
+
+    /// Convenience: submit and wait.
+    pub fn query(&self, plan: PlanGraph) -> Result<QueryOutcome, ServerError> {
+        self.submit(plan)?.wait()
+    }
+
+    /// Point-in-time plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// The service itself; see the module docs for the pipeline it runs.
+pub struct QueryService;
+
+impl QueryService {
+    /// Run a service over `system` and the table registry `tables` (plan
+    /// `Input { i }` leaves read `tables[i]`), call `f` with a client, then
+    /// shut down gracefully: every query accepted before `f` returned is
+    /// executed and answered before `serve` returns.
+    pub fn serve<R>(
+        system: &GpuSystem,
+        tables: &[Relation],
+        config: &ServerConfig,
+        f: impl FnOnce(&ServiceClient<'_>) -> R,
+    ) -> R {
+        let cache = PlanCache::new();
+        let submissions: BoundedQueue<Submission> = BoundedQueue::new(config.queue_depth);
+        let dispatch: BoundedQueue<GroupJob> = BoundedQueue::new(config.queue_depth);
+        let (subs, disp, cache_ref) = (&submissions, &dispatch, &cache);
+        std::thread::scope(|s| {
+            s.spawn(move || admission_loop(subs, disp, config));
+            for _ in 0..config.workers.max(1) {
+                s.spawn(move || worker_loop(system, tables, config, cache_ref, disp));
+            }
+            let client = ServiceClient { submissions: subs, cache: cache_ref, config };
+            let out = f(&client);
+            // Drain, don't drop: admission flushes what is queued into
+            // final batches and then closes the dispatch queue itself.
+            subs.close();
+            out
+        })
+    }
+}
+
+/// The admission thread: open a window on the first arrival, fill it until
+/// the count or time bound, group by shared inputs, dispatch.
+fn admission_loop(
+    subs: &BoundedQueue<Submission>,
+    dispatch: &BoundedQueue<GroupJob>,
+    config: &ServerConfig,
+) {
+    loop {
+        let first = match subs.pop_timeout(POLL) {
+            Pop::Item(x) => x,
+            Pop::TimedOut => continue,
+            // Closed is only returned once fully drained.
+            Pop::Closed => break,
+        };
+        let window_open = Instant::now();
+        let closes_at = window_open + config.window;
+        let mut batch = vec![first];
+        while batch.len() < config.max_batch.max(1) {
+            let now = Instant::now();
+            if now >= closes_at {
+                break;
+            }
+            match subs.pop_timeout(closes_at - now) {
+                Pop::Item(x) => batch.push(x),
+                Pop::TimedOut | Pop::Closed => break,
+            }
+        }
+        kfusion_trace::counter("kfusion_server_windows_total", 1);
+        kfusion_trace::record_host_span("server", "batch_form", window_open);
+        for members in group_by_shared_inputs(batch) {
+            push_until_placed(dispatch, GroupJob { members });
+        }
+    }
+    dispatch.close();
+}
+
+/// Block until the dispatch queue takes `job` — this is the backpressure
+/// path: admission stalls, the submission queue fills, submitters see
+/// `Overloaded`. Only admission closes the dispatch queue, so `Closed`
+/// cannot happen while it still holds a job.
+fn push_until_placed(dispatch: &BoundedQueue<GroupJob>, mut job: GroupJob) {
+    loop {
+        match dispatch.push_timeout(job, POLL) {
+            Ok(()) => return,
+            Err(PushError::Full(j)) => job = j,
+            Err(PushError::Closed(_)) => unreachable!("dispatch closes only after admission exits"),
+        }
+    }
+}
+
+/// The executor-input indices a plan scans, sorted and deduplicated.
+fn input_set(plan: &PlanGraph) -> Vec<usize> {
+    let mut v: Vec<usize> = plan
+        .nodes
+        .iter()
+        .filter_map(|n| match n.kind {
+            OpKind::Input { input } => Some(input),
+            _ => None,
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Partition a window into groups of submissions with overlapping scan-input
+/// sets (transitively: if A shares with B and B with C, all three group),
+/// preserving submission order within each group.
+fn group_by_shared_inputs(batch: Vec<Submission>) -> Vec<Vec<Submission>> {
+    let n = batch.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut first_scanner: HashMap<usize, usize> = HashMap::new();
+    for (i, sub) in batch.iter().enumerate() {
+        for input in input_set(&sub.plan) {
+            match first_scanner.get(&input) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[a] = b;
+                }
+                None => {
+                    first_scanner.insert(input, i);
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<Submission>> = Vec::new();
+    let mut slot_of_root: HashMap<usize, usize> = HashMap::new();
+    for (i, sub) in batch.into_iter().enumerate() {
+        let root = find(&mut parent, i);
+        let slot = *slot_of_root.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[slot].push(sub);
+    }
+    groups
+}
+
+/// A worker thread: pop groups, execute, route results.
+fn worker_loop(
+    system: &GpuSystem,
+    tables: &[Relation],
+    config: &ServerConfig,
+    cache: &PlanCache,
+    dispatch: &BoundedQueue<GroupJob>,
+) {
+    loop {
+        match dispatch.pop_timeout(POLL) {
+            Pop::Item(job) => run_group(system, tables, config, cache, job.members),
+            Pop::TimedOut => continue,
+            Pop::Closed => break,
+        }
+    }
+}
+
+/// Execute one dispatched group and answer every member exactly once.
+fn run_group(
+    system: &GpuSystem,
+    tables: &[Relation],
+    config: &ServerConfig,
+    cache: &PlanCache,
+    members: Vec<Submission>,
+) {
+    let picked_up = Instant::now();
+    let mut live = Vec::with_capacity(members.len());
+    for m in members {
+        kfusion_trace::record_host_span("server", "queue_wait", m.enqueued_at);
+        if m.deadline.is_some_and(|d| picked_up > d) {
+            kfusion_trace::counter("kfusion_server_deadline_rejections_total", 1);
+            let _ = m.reply.send(Err(ServerError::DeadlineExceeded));
+        } else {
+            live.push(m);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let _span = kfusion_trace::host_span("server", "execute");
+    kfusion_trace::counter("kfusion_server_queries_executed_total", live.len() as u64);
+    if live.len() == 1 {
+        let m = live.pop().expect("one member");
+        let res = cache.prepare(&m.plan, &config.exec).and_then(|fusion| {
+            execute_prepared(system, &m.plan, tables, &config.exec, &fusion).map_err(Into::into)
+        });
+        let _ = m.reply.send(res.map(|r| QueryOutcome {
+            output: r.output,
+            batch_size: 1,
+            sim_batch_total: r.report.total(),
+        }));
+        return;
+    }
+    kfusion_trace::counter("kfusion_server_batched_queries_total", live.len() as u64);
+    // Canonicalize member order by structural fingerprint: a recurring batch
+    // *composition* then always merges into the same graph regardless of
+    // arrival order, so it re-keys in the plan cache. Results still route by
+    // member (outputs come back in `live` order), so reordering is safe.
+    live.sort_by_key(|m| kfusion_core::fingerprint_plan(&m.plan).0);
+    let plans: Vec<PlanGraph> = live.iter().map(|m| m.plan.clone()).collect();
+    let merged = merge_plans(&plans);
+    let res = cache.prepare_multi(&merged, &config.exec).and_then(|fusion| {
+        execute_multi_prepared(system, &merged, tables, &config.exec, &fusion).map_err(Into::into)
+    });
+    match res {
+        Ok(multi) => {
+            let total = multi.report.total();
+            let n = live.len();
+            for (m, output) in live.into_iter().zip(multi.outputs) {
+                let _ = m.reply.send(Ok(QueryOutcome {
+                    output,
+                    batch_size: n,
+                    sim_batch_total: total,
+                }));
+            }
+        }
+        Err(e) => {
+            for m in live {
+                let _ = m.reply.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_core::exec::{execute, Strategy};
+    use kfusion_relalg::{gen, predicates};
+
+    fn sys() -> GpuSystem {
+        GpuSystem::c2070()
+    }
+
+    fn query(input: usize, t: u64) -> PlanGraph {
+        let mut g = PlanGraph::new();
+        let i = g.input(input);
+        g.add(OpKind::Select { pred: predicates::key_lt(t) }, vec![i]);
+        g
+    }
+
+    #[test]
+    fn single_query_round_trips_byte_identical() {
+        let s = sys();
+        let tables = [gen::random_keys(100_000, 3)];
+        let cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &s));
+        let outcome = QueryService::serve(&s, &tables, &cfg, |c| c.query(query(0, 1 << 30)))
+            .expect("query succeeds");
+        let alone = execute(&s, &query(0, 1 << 30), &tables, &cfg.exec).unwrap();
+        assert_eq!(outcome.output, alone.output);
+        assert!(outcome.sim_batch_total > 0.0);
+    }
+
+    #[test]
+    fn same_window_shared_input_queries_batch_together() {
+        let s = sys();
+        let tables = [gen::random_keys(50_000, 5)];
+        let mut cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &s));
+        // A generous window and one worker so both submissions land in the
+        // same admission window deterministically.
+        cfg.window = Duration::from_millis(200);
+        cfg.workers = 1;
+        let (a, b) = QueryService::serve(&s, &tables, &cfg, |c| {
+            let ta = c.submit(query(0, 1 << 30)).unwrap();
+            let tb = c.submit(query(0, 1 << 29)).unwrap();
+            (ta.wait().unwrap(), tb.wait().unwrap())
+        });
+        assert_eq!(a.batch_size, 2, "both queries must ride one dispatch");
+        assert_eq!(b.batch_size, 2);
+        assert_eq!(a.sim_batch_total, b.sim_batch_total);
+        for (q, out) in [(query(0, 1 << 30), &a), (query(0, 1 << 29), &b)] {
+            assert_eq!(out.output, execute(&s, &q, &tables, &cfg.exec).unwrap().output);
+        }
+    }
+
+    #[test]
+    fn disjoint_inputs_do_not_merge() {
+        let s = sys();
+        let tables = [gen::random_keys(20_000, 7), gen::random_keys(20_000, 8)];
+        let mut cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &s));
+        cfg.window = Duration::from_millis(200);
+        cfg.workers = 1;
+        let (a, b) = QueryService::serve(&s, &tables, &cfg, |c| {
+            let ta = c.submit(query(0, 1 << 30)).unwrap();
+            let tb = c.submit(query(1, 1 << 30)).unwrap();
+            (ta.wait().unwrap(), tb.wait().unwrap())
+        });
+        assert_eq!((a.batch_size, b.batch_size), (1, 1), "no shared scans, no merge");
+    }
+
+    #[test]
+    fn expired_deadline_rejects_instead_of_executing() {
+        let s = sys();
+        let tables = [gen::random_keys(10_000, 9)];
+        let mut cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &s));
+        // One-query windows held open long past the deadline.
+        cfg.window = Duration::from_millis(100);
+        cfg.max_batch = 4;
+        let res = QueryService::serve(&s, &tables, &cfg, |c| {
+            c.submit_with_deadline(query(0, 100), Some(Duration::from_millis(1))).unwrap().wait()
+        });
+        assert!(matches!(res, Err(ServerError::DeadlineExceeded)), "{res:?}");
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_queries() {
+        let s = sys();
+        let tables = [gen::random_keys(50_000, 11)];
+        let mut cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &s));
+        cfg.workers = 1;
+        // Submit and return the tickets unwaited: serve must still answer
+        // them all before returning.
+        let tickets = QueryService::serve(&s, &tables, &cfg, |c| {
+            (0..6).map(|i| c.submit(query(0, 1 << (20 + i))).unwrap()).collect::<Vec<_>>()
+        });
+        for t in tickets {
+            t.wait().expect("drained query still answered");
+        }
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let s = sys();
+        let tables = [gen::random_keys(10_000, 13)];
+        let cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &s));
+        let stats = QueryService::serve(&s, &tables, &cfg, |c| {
+            for _ in 0..5 {
+                c.query(query(0, 42)).unwrap();
+            }
+            c.cache_stats()
+        });
+        assert!(stats.hits >= 3, "repeats must hit: {stats:?}");
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn grouping_is_transitive_over_shared_inputs() {
+        // A scans {0}, B scans {0,1}, C scans {1}: one group of three.
+        let subs: Vec<Submission> = [vec![0], vec![0, 1], vec![1]]
+            .into_iter()
+            .map(|ins| {
+                let mut g = PlanGraph::new();
+                let nodes: Vec<_> = ins.into_iter().map(|i| g.input(i)).collect();
+                let mut acc = nodes[0];
+                for &n in &nodes[1..] {
+                    acc = g.add(OpKind::ColumnJoin, vec![acc, n]);
+                }
+                let _ = acc;
+                let (tx, _rx) = mpsc::channel();
+                Submission { plan: g, enqueued_at: Instant::now(), deadline: None, reply: tx }
+            })
+            .collect();
+        let groups = group_by_shared_inputs(subs);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Service-batched TPC-H equivalence: Q1 and Q6 submitted concurrently
+//! must batch (they share lineitem scans), execute as one cross-query-fused
+//! dispatch, and return outputs bit-for-bit identical to standalone runs.
+//!
+//! The table registry is Q1's seven lineitem columns; Q6's four inputs are
+//! exactly the first four of those (shipdate, quantity, extendedprice,
+//! discount), so both plans index the same registry and the admission
+//! grouper sees the overlap.
+
+use kfusion_core::exec::{execute, ExecConfig, Strategy};
+use kfusion_server::{QueryService, ServerConfig};
+use kfusion_tpch::gen::{generate, TpchConfig};
+use kfusion_tpch::q1::{q1_inputs, q1_plan};
+use kfusion_tpch::q6::q6_plan;
+use kfusion_vgpu::GpuSystem;
+use std::time::Duration;
+
+#[test]
+fn batched_q1_q6_are_bit_for_bit_standalone() {
+    let system = GpuSystem::c2070();
+    let db = generate(TpchConfig::scale(0.01));
+    let tables = q1_inputs(&db);
+    let exec_cfg = ExecConfig::new(Strategy::Fusion, &system);
+
+    // Standalone ground truth over the same registry.
+    let q1_alone = execute(&system, &q1_plan(), &tables, &exec_cfg).unwrap();
+    let q6_alone = execute(&system, &q6_plan(), &tables, &exec_cfg).unwrap();
+
+    let mut cfg = ServerConfig::new(exec_cfg);
+    // A wide-open window and a single worker force both queries into one
+    // admission window — the grouping itself is what's under test.
+    cfg.window = Duration::from_millis(300);
+    cfg.workers = 1;
+    let (q1_served, q6_served, stats) = QueryService::serve(&system, &tables, &cfg, |c| {
+        let t1 = c.submit(q1_plan()).unwrap();
+        let t6 = c.submit(q6_plan()).unwrap();
+        (t1.wait().unwrap(), t6.wait().unwrap(), c.cache_stats())
+    });
+
+    assert_eq!(q1_served.batch_size, 2, "Q1 and Q6 share scans; they must co-dispatch");
+    assert_eq!(q6_served.batch_size, 2);
+    assert_eq!(q1_served.output, q1_alone.output, "Q1 bit-for-bit");
+    assert_eq!(q6_served.output, q6_alone.output, "Q6 bit-for-bit");
+    assert_eq!(stats.entries, 1, "one merged-batch shape compiled: {stats:?}");
+
+    // The batch shares the four overlapping column uploads, so its
+    // simulated time undercuts the standalone sum.
+    let separate = q1_alone.report.total() + q6_alone.report.total();
+    assert!(
+        q1_served.sim_batch_total < separate,
+        "batch {} vs separate {separate}",
+        q1_served.sim_batch_total
+    );
+}
+
+#[test]
+fn repeated_q6_submissions_hit_the_plan_cache_with_identical_answers() {
+    let system = GpuSystem::c2070();
+    let db = generate(TpchConfig::scale(0.01));
+    let tables = q1_inputs(&db);
+    let exec_cfg = ExecConfig::new(Strategy::Fusion, &system);
+    let alone = execute(&system, &q6_plan(), &tables, &exec_cfg).unwrap();
+
+    // Short window so each submission dispatches alone: every repeat takes
+    // the single-query path and must hit the cache after the first.
+    let mut cfg = ServerConfig::new(exec_cfg);
+    cfg.window = Duration::from_millis(1);
+    cfg.max_batch = 1;
+    let stats = QueryService::serve(&system, &tables, &cfg, |c| {
+        for _ in 0..4 {
+            let out = c.query(q6_plan()).unwrap();
+            assert_eq!(out.output, alone.output);
+        }
+        c.cache_stats()
+    });
+    assert_eq!(stats.entries, 1, "{stats:?}");
+    assert!(stats.hits >= 3, "{stats:?}");
+}

@@ -52,6 +52,8 @@ pub struct StreamHandle(usize);
 pub enum PoolError {
     /// The handle does not belong to this pool.
     UnknownStream,
+    /// `reuse_stream` on a stream some caller currently holds.
+    AlreadyClaimed,
     /// Commands cannot be queued after `start_streams`.
     AlreadyStarted,
     /// `wait_all` called before `start_streams`.
@@ -64,6 +66,7 @@ impl std::fmt::Display for PoolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PoolError::UnknownStream => write!(f, "unknown stream handle"),
+            PoolError::AlreadyClaimed => write!(f, "stream is currently claimed"),
             PoolError::AlreadyStarted => write!(f, "pool already started"),
             PoolError::NotStarted => write!(f, "pool not started"),
             PoolError::Sim(e) => write!(f, "simulation failed: {e}"),
@@ -127,19 +130,42 @@ impl StreamPool {
         self.slots.is_empty()
     }
 
-    /// Claim an idle stream (`getAvailabeStream`). Returns `None` when every
-    /// stream is taken.
+    /// Claim an idle **clean** stream (`getAvailabeStream`): a slot that is
+    /// neither taken nor holding commands queued by a previous owner.
+    /// Returns `None` when no such stream exists.
+    ///
+    /// A released stream with a pending queue is deliberately *not*
+    /// claimable here — handing it out would silently serialize the new
+    /// owner's commands behind a stranger's (the stale-queue bug this
+    /// contract exists to prevent). Re-claim such a stream explicitly with
+    /// [`StreamPool::reuse_stream`] when appending is intended.
     pub fn get_available_stream(&mut self) -> Option<StreamHandle> {
-        let idx = self.slots.iter().position(|s| !s.taken)?;
+        let idx = self.slots.iter().position(|s| !s.taken && s.commands.is_empty())?;
         self.slots[idx].taken = true;
         Some(StreamHandle(idx))
     }
 
-    /// Hand a stream back to the pool; its queued commands remain (they
-    /// still execute on `start_streams`), but the slot becomes claimable
-    /// again for round-robin reuse.
+    /// Hand a stream back to the pool. Its queued commands remain — they
+    /// still execute on `start_streams` — so the slot is only re-claimable
+    /// through [`StreamPool::reuse_stream`] (which documents the append)
+    /// until the queue drains; a command-free released stream returns to
+    /// the [`StreamPool::get_available_stream`] rotation.
     pub fn release_stream(&mut self, h: StreamHandle) -> Result<(), PoolError> {
         self.slot_mut(h)?.taken = false;
+        Ok(())
+    }
+
+    /// Explicitly re-claim a previously released stream, **keeping** its
+    /// queued commands: subsequent [`StreamPool::set_stream_command`] calls
+    /// append after them, and per-stream FIFO order serializes the new work
+    /// behind the old. This is the opt-in counterpart to the clean-stream
+    /// guarantee of [`StreamPool::get_available_stream`].
+    pub fn reuse_stream(&mut self, h: StreamHandle) -> Result<(), PoolError> {
+        let slot = self.slot_mut(h)?;
+        if slot.taken {
+            return Err(PoolError::AlreadyClaimed);
+        }
+        slot.taken = true;
         Ok(())
     }
 
@@ -256,6 +282,32 @@ mod tests {
         assert!(pool.get_available_stream().is_none());
         pool.release_stream(a).unwrap();
         assert_eq!(pool.get_available_stream(), Some(a));
+    }
+
+    #[test]
+    fn released_stream_with_pending_queue_is_not_silently_reassigned() {
+        // Regression: release_stream used to hand the slot straight back to
+        // get_available_stream with its queue intact, so a new claimant's
+        // commands landed behind a previous owner's without anyone opting in.
+        let mut pool = StreamPool::new(sys(), 2);
+        let a = pool.get_available_stream().unwrap();
+        let b = pool.get_available_stream().unwrap();
+        pool.set_stream_command(a, kern("stale", 1 << 18)).unwrap();
+        pool.release_stream(a).unwrap();
+        pool.release_stream(b).unwrap();
+        // Only the clean stream is claimable; `a` still holds "stale".
+        assert_eq!(pool.get_available_stream(), Some(b));
+        assert_eq!(pool.get_available_stream(), None);
+        // Appending to the dirty stream requires the explicit opt-in…
+        pool.reuse_stream(a).unwrap();
+        pool.set_stream_command(a, kern("appended", 1 << 18)).unwrap();
+        // …and double-claiming it is rejected.
+        assert!(matches!(pool.reuse_stream(a), Err(PoolError::AlreadyClaimed)));
+        pool.start_streams().unwrap();
+        let t = pool.wait_all().unwrap();
+        let stale = t.spans.iter().find(|s| s.label == "stale").unwrap();
+        let appended = t.spans.iter().find(|s| s.label == "appended").unwrap();
+        assert!(appended.start >= stale.end - 1e-12, "reuse keeps FIFO order");
     }
 
     #[test]

@@ -14,33 +14,23 @@
 //!     --require-overlap H2D,compute
 //! ```
 //!
-//! Exits 0 when every check passes, 1 with a diagnostic otherwise.
+//! Exits 0 when every check passes, 1 with a diagnostic otherwise. All
+//! validation lives in [`kfusion_trace::validate`]; malformed artifacts
+//! (events missing fields, non-numeric pids, ill-nested pairs) produce
+//! diagnostics, never panics.
 
-use kfusion_trace::json::{parse, Value};
-use std::collections::HashMap;
+use kfusion_trace::json::parse;
+use kfusion_trace::validate::{validate, validate_metrics, Requirements};
 
 fn fail(msg: &str) -> ! {
     eprintln!("kfusion-trace-check: FAIL: {msg}");
     std::process::exit(1);
 }
 
-/// A reconstructed interval on one (pid, tid).
-struct Interval {
-    pid: f64,
-    tid: f64,
-    start: f64,
-    end: f64,
-}
-
-fn num(e: &Value, key: &str) -> Option<f64> {
-    e.get(key).and_then(Value::as_f64)
-}
-
 fn main() {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
-    let mut require_tracks: Vec<String> = Vec::new();
-    let mut require_overlap: Option<(String, String)> = None;
+    let mut req = Requirements::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -49,13 +39,13 @@ fn main() {
             }
             "--require-tracks" => {
                 let list = args.next().unwrap_or_else(|| fail("--require-tracks needs A,B,C"));
-                require_tracks = list.split(',').map(str::to_string).collect();
+                req.tracks = list.split(',').map(str::to_string).collect();
             }
             "--require-overlap" => {
                 let list = args.next().unwrap_or_else(|| fail("--require-overlap needs A,B"));
                 let mut it = list.splitn(2, ',');
                 match (it.next(), it.next()) {
-                    (Some(a), Some(b)) => require_overlap = Some((a.to_string(), b.to_string())),
+                    (Some(a), Some(b)) => req.overlap = Some((a.to_string(), b.to_string())),
                     _ => fail("--require-overlap needs two track names: A,B"),
                 }
             }
@@ -76,149 +66,22 @@ fn main() {
     let text = std::fs::read_to_string(&trace_path)
         .unwrap_or_else(|e| fail(&format!("cannot read {trace_path}: {e}")));
     let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{trace_path}: {e}")));
-    let events = doc
-        .get("traceEvents")
-        .and_then(Value::as_arr)
-        .unwrap_or_else(|| fail("document has no traceEvents array"));
-
-    // Pass 1: field shape, metadata, monotone timestamps.
-    let mut track_of_tid: HashMap<(u64, u64), String> = HashMap::new();
-    let mut last_ts = f64::NEG_INFINITY;
-    let mut n_spans = 0usize;
-    for (i, e) in events.iter().enumerate() {
-        let ph = e
-            .get("ph")
-            .and_then(Value::as_str)
-            .unwrap_or_else(|| fail(&format!("event {i} has no ph")));
-        for key in ["name", "pid", "tid", "ts"] {
-            if e.get(key).is_none() {
-                fail(&format!("event {i} (ph={ph}) is missing {key}"));
-            }
-        }
-        let (pid, tid) = (num(e, "pid").unwrap(), num(e, "tid").unwrap());
-        let ts = num(e, "ts").unwrap_or_else(|| fail(&format!("event {i}: ts is not a number")));
-        match ph {
-            "M" => {
-                if e.get("name").and_then(Value::as_str) == Some("thread_name") {
-                    let tname = e
-                        .get("args")
-                        .and_then(|a| a.get("name"))
-                        .and_then(Value::as_str)
-                        .unwrap_or_else(|| {
-                            fail(&format!("event {i}: thread_name without args.name"))
-                        });
-                    // Thread names are "{track}/{lane}".
-                    let track = tname.rsplit_once('/').map_or(tname, |(t, _)| t);
-                    track_of_tid.insert((pid as u64, tid as u64), track.to_string());
-                }
-            }
-            "B" | "E" | "X" => {
-                if ts < last_ts {
-                    fail(&format!("event {i}: ts {ts} < previous {last_ts} (not monotone)"));
-                }
-                last_ts = ts;
-                n_spans += 1;
-            }
-            other => fail(&format!("event {i}: unexpected ph {other:?}")),
-        }
-    }
-
-    // Pass 2: B/E pairing per (pid, tid), and interval reconstruction.
-    let mut stacks: HashMap<(u64, u64), Vec<(String, f64)>> = HashMap::new();
-    let mut intervals: Vec<Interval> = Vec::new();
-    for (i, e) in events.iter().enumerate() {
-        let ph = e.get("ph").and_then(Value::as_str).unwrap();
-        let key = (num(e, "pid").unwrap() as u64, num(e, "tid").unwrap() as u64);
-        let name = e.get("name").and_then(Value::as_str).unwrap_or("");
-        let ts = num(e, "ts").unwrap();
-        match ph {
-            "B" => stacks.entry(key).or_default().push((name.to_string(), ts)),
-            "E" => {
-                let Some((open, start)) = stacks.entry(key).or_default().pop() else {
-                    fail(&format!("event {i}: E {name:?} with no open B on pid/tid {key:?}"));
-                };
-                if open != name {
-                    fail(&format!("event {i}: E {name:?} closes B {open:?} (ill-nested)"));
-                }
-                intervals.push(Interval { pid: key.0 as f64, tid: key.1 as f64, start, end: ts });
-            }
-            "X" => {
-                let dur = num(e, "dur").unwrap_or(0.0);
-                intervals.push(Interval {
-                    pid: key.0 as f64,
-                    tid: key.1 as f64,
-                    start: ts,
-                    end: ts + dur,
-                });
-            }
-            _ => {}
-        }
-    }
-    for (key, stack) in &stacks {
-        if let Some((name, _)) = stack.last() {
-            fail(&format!("unclosed B {name:?} on pid/tid {key:?}"));
-        }
-    }
-
-    // Track-level requirements.
-    let tracks_present: Vec<&str> = {
-        let mut v: Vec<&str> = track_of_tid.values().map(String::as_str).collect();
-        v.sort();
-        v.dedup();
-        v
+    let summary = match validate(&doc, &req) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("{trace_path}: {e}")),
     };
-    for want in &require_tracks {
-        if !tracks_present.iter().any(|t| t == want) {
-            fail(&format!("required track {want:?} not in trace (present: {tracks_present:?})"));
-        }
-    }
-    if let Some((a, b)) = &require_overlap {
-        let on_track = |want: &str| -> Vec<&Interval> {
-            intervals
-                .iter()
-                .filter(|iv| {
-                    track_of_tid.get(&(iv.pid as u64, iv.tid as u64)).is_some_and(|t| t == want)
-                })
-                .collect()
-        };
-        let (ia, ib) = (on_track(a), on_track(b));
-        let overlapped = ia
-            .iter()
-            .any(|x| ib.iter().any(|y| x.start < y.end && y.start < x.end && x.end > x.start));
-        if !overlapped {
-            fail(&format!(
-                "no span on track {a:?} overlaps any span on track {b:?} \
-                 ({} vs {} spans) — expected copy/compute overlap",
-                ia.len(),
-                ib.len()
-            ));
-        }
-    }
 
-    // Metrics text, when given: comments + `name value` lines, u64 values.
     if let Some(path) = &metrics_path {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-        let mut n_metrics = 0usize;
-        for (lineno, line) in text.lines().enumerate() {
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let Some((name, value)) = line.rsplit_once(' ') else {
-                fail(&format!("{path}:{}: not a `name value` line: {line:?}", lineno + 1));
-            };
-            if name.is_empty() || value.parse::<u64>().is_err() {
-                fail(&format!("{path}:{}: bad counter line: {line:?}", lineno + 1));
-            }
-            n_metrics += 1;
+        match validate_metrics(&text) {
+            Ok(n) => println!("kfusion-trace-check: {path}: {n} counters OK"),
+            Err(e) => fail(&format!("{path}: {e}")),
         }
-        if n_metrics == 0 {
-            fail(&format!("{path}: no counters recorded"));
-        }
-        println!("kfusion-trace-check: {path}: {n_metrics} counters OK");
     }
 
     println!(
-        "kfusion-trace-check: {trace_path}: {n_spans} span events on tracks {tracks_present:?} OK"
+        "kfusion-trace-check: {trace_path}: {} span events on tracks {:?} OK",
+        summary.span_events, summary.tracks
     );
 }

@@ -240,23 +240,27 @@ mod tests {
     #[test]
     fn nested_host_spans_stay_well_nested() {
         // Inner recorded before outer (RAII drop order); same begin instant.
+        // The shared validator proves the B/E stream is well nested — the
+        // same code path `kfusion-trace-check` gates CI with, which returns
+        // errors (never panics) on malformed input.
         let mut t = Trace::default();
         t.spans.push(span("host", 0, Clock::Host, "inner", 0.0, 1.0));
         t.spans.push(span("host", 0, Clock::Host, "outer", 0.0, 2.0));
         let out = export(&t);
         let j = crate::json::parse(&out).unwrap();
-        let evs = j.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
-        let mut stack: Vec<String> = Vec::new();
-        for e in evs {
-            match e.get("ph").and_then(|p| p.as_str()).unwrap() {
-                "B" => stack.push(e.get("name").and_then(|n| n.as_str()).unwrap().to_string()),
-                "E" => {
-                    let open = stack.pop().expect("E without B");
-                    assert_eq!(open, e.get("name").and_then(|n| n.as_str()).unwrap());
-                }
-                _ => {}
-            }
-        }
-        assert!(stack.is_empty());
+        let s = crate::validate::validate(&j, &crate::validate::Requirements::default())
+            .expect("exported host spans are well nested");
+        assert_eq!(s.span_events, 4, "two B/E pairs");
+    }
+
+    #[test]
+    fn validator_reports_malformed_events_instead_of_panicking() {
+        // Regression for the old unwrap-based B/E stack check: a B event
+        // with no name must surface as a validation error.
+        let j =
+            crate::json::parse(r#"{"traceEvents":[{"ph":"B","pid":2,"tid":1,"ts":0.0}]}"#).unwrap();
+        let e = crate::validate::validate(&j, &crate::validate::Requirements::default())
+            .expect_err("malformed event must fail validation");
+        assert!(e.0.contains("name"), "{e}");
     }
 }

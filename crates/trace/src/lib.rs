@@ -20,8 +20,9 @@
 //!   ([`metrics`]), and an `EXPLAIN ANALYZE` plan-tree report ([`explain`]);
 //! * an ASCII **Gantt** view over any trace ([`gantt`]) — the single
 //!   renderer behind `kfusion_vgpu::gantt`;
-//! * a dependency-free **JSON parser** ([`json`]) used by the
-//!   `kfusion-trace-check` validator binary and the golden tests.
+//! * a dependency-free **JSON parser** ([`json`]) and the artifact
+//!   **validator** ([`validate`]) behind the `kfusion-trace-check` binary
+//!   and the golden tests.
 //!
 //! The crate depends on nothing but `std`, so every other workspace crate
 //! (including the virtual GPU at the bottom of the dependency order) can
@@ -32,6 +33,7 @@ pub mod explain;
 pub mod gantt;
 pub mod json;
 pub mod metrics;
+pub mod validate;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -273,6 +275,23 @@ pub fn host_span(track: &str, name: &str) -> SpanGuard {
         return SpanGuard { live: None };
     }
     SpanGuard { live: Some((track.to_string(), name.to_string(), Instant::now())) }
+}
+
+/// Record a host-clock span ending *now* that began at `began` — for
+/// regions whose start predates the code that reports them, like a query's
+/// queue wait: the service stamps `Instant::now()` at admission and records
+/// the span once the query is dispatched.
+#[inline]
+pub fn record_host_span(track: &str, name: &str, began: Instant) {
+    if !enabled() {
+        return;
+    }
+    SpanGuard { live: Some((track.to_string(), name.to_string(), began)) }.finish();
+}
+
+impl SpanGuard {
+    /// Record the span now (identical to dropping the guard).
+    pub fn finish(self) {}
 }
 
 /// Clone the recorded data without clearing it.

@@ -1,0 +1,354 @@
+//! Structural validation of Chrome trace-event documents — the library
+//! behind the `kfusion-trace-check` binary.
+//!
+//! The validator enforces the invariants [`crate::chrome::export`]
+//! guarantees (field shapes, monotone timestamps, well-nested `B`/`E`
+//! pairs per `(pid, tid)`) and, optionally, the physics a run claims:
+//! required tracks present, and a cross-track span overlap (the Fig. 13
+//! copy/compute proof).
+//!
+//! Every malformed input is a [`ValidateError`], never a panic: the binary
+//! gates CI jobs on arbitrary artifacts, and a trace mangled by a crashed
+//! run (a `B` event with no `name`, a string `pid`, a boolean `ts`) must
+//! produce a diagnostic, not take the checker down with it.
+
+use crate::json::Value;
+
+/// A validation failure, with enough context to locate the bad event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError(pub String);
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ValidateError> {
+    Err(ValidateError(msg.into()))
+}
+
+/// Optional requirements beyond structural soundness.
+#[derive(Debug, Clone, Default)]
+pub struct Requirements {
+    /// Track names that must appear as thread names in the trace.
+    pub tracks: Vec<String>,
+    /// A pair of tracks that must have at least one overlapping span pair.
+    pub overlap: Option<(String, String)>,
+}
+
+/// What a successful validation observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of `B`/`E`/`X` span events.
+    pub span_events: usize,
+    /// Distinct track names, sorted.
+    pub tracks: Vec<String>,
+}
+
+/// A reconstructed interval on one `(pid, tid)`.
+struct Interval {
+    pid: u64,
+    tid: u64,
+    start: f64,
+    end: f64,
+}
+
+fn num(e: &Value, key: &str) -> Option<f64> {
+    e.get(key).and_then(Value::as_f64)
+}
+
+/// Validate a parsed trace document against `req`.
+pub fn validate(doc: &Value, req: &Requirements) -> Result<Summary, ValidateError> {
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_arr) else {
+        return err("document has no traceEvents array");
+    };
+
+    // Pass 1: field shape, metadata, monotone timestamps.
+    let mut track_of_tid: Vec<((u64, u64), String)> = Vec::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut n_spans = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let Some(ph) = e.get("ph").and_then(Value::as_str) else {
+            return err(format!("event {i} has no ph"));
+        };
+        if e.get("name").and_then(Value::as_str).is_none() {
+            return err(format!("event {i} (ph={ph}): name is missing or not a string"));
+        }
+        let (Some(pid), Some(tid)) = (num(e, "pid"), num(e, "tid")) else {
+            return err(format!("event {i} (ph={ph}): pid/tid missing or not numbers"));
+        };
+        let Some(ts) = num(e, "ts") else {
+            return err(format!("event {i} (ph={ph}): ts missing or not a number"));
+        };
+        let _ = (pid, tid);
+        match ph {
+            "M" => {
+                if e.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    let Some(tname) =
+                        e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str)
+                    else {
+                        return err(format!("event {i}: thread_name without args.name"));
+                    };
+                    // Thread names are "{track}/{lane}".
+                    let track = tname.rsplit_once('/').map_or(tname, |(t, _)| t);
+                    track_of_tid.push(((pid as u64, tid as u64), track.to_string()));
+                }
+            }
+            "B" | "E" | "X" => {
+                if ts < last_ts {
+                    return err(format!("event {i}: ts {ts} < previous {last_ts} (not monotone)"));
+                }
+                last_ts = ts;
+                n_spans += 1;
+            }
+            other => return err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    let track_of = |pid: u64, tid: u64| -> Option<&str> {
+        track_of_tid.iter().find(|(k, _)| *k == (pid, tid)).map(|(_, t)| t.as_str())
+    };
+
+    // Pass 2: B/E pairing per (pid, tid), and interval reconstruction. The
+    // field shapes were proven in pass 1, so missing fields here cannot
+    // occur — but everything still routes through Results, not unwraps.
+    // One open-span stack (name, begin ts) per (pid, tid) lane.
+    type LaneStacks = Vec<((u64, u64), Vec<(String, f64)>)>;
+    let mut stacks: LaneStacks = Vec::new();
+    let mut intervals: Vec<Interval> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        let (Some(pid), Some(tid), Some(ts)) = (num(e, "pid"), num(e, "tid"), num(e, "ts")) else {
+            return err(format!("event {i}: lost pid/tid/ts between passes"));
+        };
+        let key = (pid as u64, tid as u64);
+        let name = e.get("name").and_then(Value::as_str).unwrap_or("");
+        let stack_of = |stacks: &mut LaneStacks| {
+            if let Some(pos) = stacks.iter().position(|(k, _)| *k == key) {
+                pos
+            } else {
+                stacks.push((key, Vec::new()));
+                stacks.len() - 1
+            }
+        };
+        match ph {
+            "B" => {
+                let pos = stack_of(&mut stacks);
+                stacks[pos].1.push((name.to_string(), ts));
+            }
+            "E" => {
+                let pos = stack_of(&mut stacks);
+                let Some((open, start)) = stacks[pos].1.pop() else {
+                    return err(format!("event {i}: E {name:?} with no open B on pid/tid {key:?}"));
+                };
+                if open != name {
+                    return err(format!("event {i}: E {name:?} closes B {open:?} (ill-nested)"));
+                }
+                intervals.push(Interval { pid: key.0, tid: key.1, start, end: ts });
+            }
+            "X" => {
+                let dur = num(e, "dur").unwrap_or(0.0);
+                intervals.push(Interval { pid: key.0, tid: key.1, start: ts, end: ts + dur });
+            }
+            _ => {}
+        }
+    }
+    for (key, stack) in &stacks {
+        if let Some((name, _)) = stack.last() {
+            return err(format!("unclosed B {name:?} on pid/tid {key:?}"));
+        }
+    }
+
+    // Track-level requirements.
+    let tracks_present: Vec<String> = {
+        let mut v: Vec<String> = track_of_tid.iter().map(|(_, t)| t.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    for want in &req.tracks {
+        if !tracks_present.iter().any(|t| t == want) {
+            return err(format!(
+                "required track {want:?} not in trace (present: {tracks_present:?})"
+            ));
+        }
+    }
+    if let Some((a, b)) = &req.overlap {
+        let on_track = |want: &str| -> Vec<&Interval> {
+            intervals
+                .iter()
+                .filter(|iv| track_of(iv.pid, iv.tid).is_some_and(|t| t == want))
+                .collect()
+        };
+        let (ia, ib) = (on_track(a), on_track(b));
+        let overlapped = ia
+            .iter()
+            .any(|x| ib.iter().any(|y| x.start < y.end && y.start < x.end && x.end > x.start));
+        if !overlapped {
+            return err(format!(
+                "no span on track {a:?} overlaps any span on track {b:?} \
+                 ({} vs {} spans) — expected copy/compute overlap",
+                ia.len(),
+                ib.len()
+            ));
+        }
+    }
+
+    Ok(Summary { span_events: n_spans, tracks: tracks_present })
+}
+
+/// Validate a Prometheus-style metrics text: comments plus `name value`
+/// lines with `u64` values, at least one counter. Returns the counter count.
+pub fn validate_metrics(text: &str) -> Result<usize, ValidateError> {
+    let mut n_metrics = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            return err(format!("line {}: not a `name value` line: {line:?}", lineno + 1));
+        };
+        if name.is_empty() || value.parse::<u64>().is_err() {
+            return err(format!("line {}: bad counter line: {line:?}", lineno + 1));
+        }
+        n_metrics += 1;
+    }
+    if n_metrics == 0 {
+        return err("no counters recorded");
+    }
+    Ok(n_metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn doc(events: &str) -> Value {
+        parse(&format!("{{\"traceEvents\":[{events}]}}")).expect("test JSON parses")
+    }
+
+    fn ok(events: &str) -> Summary {
+        validate(&doc(events), &Requirements::default()).expect("valid")
+    }
+
+    fn fails(events: &str) -> String {
+        validate(&doc(events), &Requirements::default()).expect_err("must fail").0
+    }
+
+    #[test]
+    fn well_formed_pair_passes() {
+        let s =
+            ok(r#"{"name":"thread_name","ph":"M","pid":2,"tid":1,"ts":0,"args":{"name":"host/0"}},
+                      {"name":"p","cat":"host","ph":"B","pid":2,"tid":1,"ts":0.0},
+                      {"name":"p","cat":"host","ph":"E","pid":2,"tid":1,"ts":5.0}"#);
+        assert_eq!(s.span_events, 2);
+        assert_eq!(s.tracks, vec!["host".to_string()]);
+    }
+
+    #[test]
+    fn b_event_missing_name_is_an_error_not_a_panic() {
+        // Regression: the checker used to unwrap the name field.
+        let msg = fails(r#"{"ph":"B","pid":2,"tid":1,"ts":0.0}"#);
+        assert!(msg.contains("name"), "{msg}");
+    }
+
+    #[test]
+    fn non_string_name_is_an_error() {
+        let msg = fails(r#"{"name":42,"ph":"B","pid":2,"tid":1,"ts":0.0}"#);
+        assert!(msg.contains("name"), "{msg}");
+    }
+
+    #[test]
+    fn non_numeric_pid_is_an_error_not_a_panic() {
+        // Regression: a string pid used to panic the checker in pass 1.
+        let msg = fails(r#"{"name":"p","ph":"B","pid":"two","tid":1,"ts":0.0}"#);
+        assert!(msg.contains("pid"), "{msg}");
+    }
+
+    #[test]
+    fn non_numeric_ts_is_an_error() {
+        let msg = fails(r#"{"name":"p","ph":"X","pid":1,"tid":1,"ts":true}"#);
+        assert!(msg.contains("ts"), "{msg}");
+    }
+
+    #[test]
+    fn unmatched_e_and_unclosed_b_are_errors() {
+        assert!(fails(r#"{"name":"p","ph":"E","pid":2,"tid":1,"ts":1.0}"#).contains("no open B"));
+        assert!(fails(r#"{"name":"p","ph":"B","pid":2,"tid":1,"ts":1.0}"#).contains("unclosed B"));
+    }
+
+    #[test]
+    fn ill_nested_pairs_are_errors() {
+        let msg = fails(
+            r#"{"name":"a","ph":"B","pid":2,"tid":1,"ts":0.0},
+               {"name":"b","ph":"B","pid":2,"tid":1,"ts":1.0},
+               {"name":"a","ph":"E","pid":2,"tid":1,"ts":2.0}"#,
+        );
+        assert!(msg.contains("ill-nested"), "{msg}");
+    }
+
+    #[test]
+    fn non_monotone_timestamps_are_errors() {
+        let msg = fails(
+            r#"{"name":"a","ph":"X","pid":1,"tid":1,"ts":5.0},
+               {"name":"b","ph":"X","pid":1,"tid":1,"ts":1.0}"#,
+        );
+        assert!(msg.contains("monotone"), "{msg}");
+    }
+
+    #[test]
+    fn missing_required_track_is_an_error() {
+        let req = Requirements { tracks: vec!["server".into()], overlap: None };
+        let d = doc(r#"{"name":"a","ph":"X","pid":1,"tid":1,"ts":0.0}"#);
+        let msg = validate(&d, &req).expect_err("track absent").0;
+        assert!(msg.contains("server"), "{msg}");
+    }
+
+    #[test]
+    fn overlap_requirement_detects_and_rejects() {
+        let events = |second_start: f64| {
+            format!(
+                r#"{{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{{"name":"H2D/0"}}}},
+                   {{"name":"thread_name","ph":"M","pid":1,"tid":2,"ts":0,"args":{{"name":"compute/0"}}}},
+                   {{"name":"up","ph":"X","pid":1,"tid":1,"ts":0.0,"dur":5.0}},
+                   {{"name":"k","ph":"X","pid":1,"tid":2,"ts":{second_start},"dur":5.0}}"#
+            )
+        };
+        let req = Requirements {
+            tracks: vec![],
+            overlap: Some(("H2D".to_string(), "compute".to_string())),
+        };
+        assert!(validate(&doc(&events(2.0)), &req).is_ok());
+        assert!(validate(&doc(&events(9.0)), &req).is_err());
+    }
+
+    #[test]
+    fn exported_traces_always_validate() {
+        // The exporter's own output is the golden path.
+        let mut t = crate::Trace::default();
+        t.spans.push(crate::Span {
+            name: "k".into(),
+            track: "compute".into(),
+            lane: 0,
+            clock: crate::Clock::Sim,
+            scope: String::new(),
+            start: 0.0,
+            end: 1.0,
+        });
+        let d = parse(&crate::chrome::export(&t)).unwrap();
+        let s = validate(&d, &Requirements::default()).unwrap();
+        assert_eq!(s.span_events, 1);
+        assert_eq!(s.tracks, vec!["compute".to_string()]);
+    }
+
+    #[test]
+    fn metrics_lines_validate() {
+        assert_eq!(validate_metrics("# c\nkfusion_x_total 3\n"), Ok(1));
+        assert!(validate_metrics("").is_err());
+        assert!(validate_metrics("bad line here\n").is_err());
+        assert!(validate_metrics("kfusion_x_total -1\n").is_err());
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`frontend`] | `kfusion-frontend` | SQL subset compiling to plan graphs |
 //! | [`check`] | `kfusion-check` | static verification: typed IR verifier, fusion legality, schedule hazards |
 //! | [`trace`] | `kfusion-trace` | tracing/metrics/EXPLAIN-ANALYZE: Chrome trace + Prometheus exporters |
+//! | [`server`] | `kfusion-server` | concurrent query service: plan cache + admission batching over cross-query fusion |
 //!
 //! ## Quick start
 //!
@@ -45,6 +46,7 @@ pub use kfusion_core as core;
 pub use kfusion_frontend as frontend;
 pub use kfusion_ir as ir;
 pub use kfusion_relalg as relalg;
+pub use kfusion_server as server;
 pub use kfusion_streampool as streampool;
 pub use kfusion_tpch as tpch;
 pub use kfusion_trace as trace;
