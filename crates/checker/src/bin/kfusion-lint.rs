@@ -153,6 +153,34 @@ fn lint_demo_defects() -> LintReport {
     ]);
     report.lints.extend(lint_schedule("defect: serial pipeline", &serial));
 
+    // 7. A semantics-changing rewrite: the "optimizer" flipped the compare
+    //    direction. The translation validator refutes it with a witness.
+    #[cfg(feature = "validate")]
+    {
+        let original = BodyBuilder::threshold_lt(0, 100).build();
+        let mut flipped = original.clone();
+        for instr in &mut flipped.instrs {
+            if let Instr::Cmp { op: op @ CmpOp::Lt, .. } = instr {
+                *op = CmpOp::Gt;
+            }
+        }
+        report.lints.extend(kfusion_check::lint::lint_rewrite(
+            "defect: sign-flipped rewrite",
+            &original,
+            &flipped,
+        ));
+    }
+
+    // 8. An off-by-one fission segmentation: segment 2 starts one element
+    //    early, so the boundary element is computed twice.
+    let mut segs = kfusion_vgpu::segment::partition(1 << 20, 4);
+    segs[2].lo -= 1;
+    report.lints.extend(kfusion_check::lint::lint_segments(
+        "defect: overlapping fission segments",
+        1 << 20,
+        &segs,
+    ));
+
     report
 }
 

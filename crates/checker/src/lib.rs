@@ -52,6 +52,16 @@ pub mod schedule {
     pub use kfusion_vgpu::hazard::{check_schedule, find_hazards, CmdRef, Hazard};
 }
 
+/// Translation validation (re-export of [`kfusion_ir::symexec`] plus the
+/// fission segment partition validator from [`kfusion_vgpu::segment`]).
+#[cfg(feature = "validate")]
+pub mod prover {
+    pub use kfusion_ir::symexec::{
+        prove_body_equiv, prove_conjunction, prove_fuse_equiv, Counterexample, Verdict,
+    };
+    pub use kfusion_vgpu::segment::{check_partition, partition, SegRange, SegmentError};
+}
+
 /// Run every applicable analysis on a plan graph: the plan verifier, then
 /// fusion legality of `fusion` if one is given.
 pub fn check_all(

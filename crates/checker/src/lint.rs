@@ -390,6 +390,53 @@ pub fn lint_schedule(origin: &str, schedule: &Schedule) -> Vec<Lint> {
     lints
 }
 
+/// Lint a rewrite `original -> rewritten` through the translation validator
+/// (DESIGN.md §12): a [`Refuted`](kfusion_ir::symexec::Verdict::Refuted)
+/// verdict becomes a deny-level `rewrite-changed-semantics` diagnostic whose
+/// notes carry the concrete counterexample.
+#[cfg(feature = "validate")]
+pub fn lint_rewrite(origin: &str, original: &KernelBody, rewritten: &KernelBody) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    if let kfusion_ir::symexec::Verdict::Refuted(cx) =
+        kfusion_ir::symexec::prove_body_equiv(original, rewritten)
+    {
+        let mut lint = Lint::new(
+            "rewrite-changed-semantics",
+            Severity::Deny,
+            format!("{origin}: rewritten body is not equivalent to the original"),
+        );
+        for line in cx.render().lines() {
+            lint = lint.note(line.to_string());
+        }
+        lints.push(lint.note("translation validation refuted the rewrite (DESIGN.md §12)"));
+    }
+    lints
+}
+
+/// Lint a fission segmentation: the segments must partition `[0, total)`
+/// exactly. Overlap (an element computed twice) and gap (an element dropped)
+/// both surface as the deny-level `fission-segment-overlap` lint — the
+/// message says which, and the note names the witness element.
+pub fn lint_segments(
+    origin: &str,
+    total: u64,
+    segs: &[kfusion_vgpu::segment::SegRange],
+) -> Vec<Lint> {
+    match kfusion_vgpu::segment::check_partition(total, segs) {
+        Ok(()) => Vec::new(),
+        Err(err) => {
+            let rendered: Vec<String> = segs.iter().map(|s| s.to_string()).collect();
+            vec![Lint::new(
+                "fission-segment-overlap",
+                Severity::Deny,
+                format!("{origin}: segments do not partition the {total}-element space: {err}"),
+            )
+            .note(format!("segments: {}", rendered.join(" ")))
+            .note("every element must be computed exactly once across the fission pipeline")]
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +581,50 @@ mod tests {
             Command::kernel(k2, LaunchConfig::for_elements(1 << 18, &spec), 1 << 18).reading("in"),
         );
         assert!(lint_schedule("demo", &piped).is_empty());
+    }
+
+    #[cfg(feature = "validate")]
+    #[test]
+    fn flags_semantics_changing_rewrite() {
+        // x < 100 "optimized" to x > 100: the prover must refute it and the
+        // lint must carry a concrete witness input.
+        let original = predicates::col_cmp_i64(0, CmpOp::Lt, 100);
+        let rewritten = predicates::col_cmp_i64(0, CmpOp::Gt, 100);
+        let lints = lint_rewrite("demo", &original, &rewritten);
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.id == "rewrite-changed-semantics" && l.severity == Severity::Deny),
+            "{lints:?}"
+        );
+        assert!(lints[0].notes.iter().any(|n| n.contains("in0")), "{lints:?}");
+        // A faithful rewrite is clean.
+        let same = kfusion_ir::opt::optimize(&original, kfusion_ir::opt::OptLevel::O3);
+        assert!(lint_rewrite("demo", &original, &same).is_empty());
+    }
+
+    #[test]
+    fn flags_overlapping_and_gapped_segments() {
+        use kfusion_vgpu::segment::partition;
+        let mut overl = partition(1 << 20, 4);
+        overl[2].lo -= 1;
+        let lints = lint_segments("demo", 1 << 20, &overl);
+        assert!(
+            lints.iter().any(|l| l.id == "fission-segment-overlap"
+                && l.severity == Severity::Deny
+                && l.message.contains("computed twice")),
+            "{lints:?}"
+        );
+        let mut gap = partition(1 << 20, 4);
+        gap[1].lo += 1;
+        let lints = lint_segments("demo", 1 << 20, &gap);
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.id == "fission-segment-overlap" && l.message.contains("never computed")),
+            "{lints:?}"
+        );
+        assert!(lint_segments("demo", 1 << 20, &partition(1 << 20, 4)).is_empty());
     }
 
     #[test]

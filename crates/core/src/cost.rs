@@ -49,6 +49,8 @@ pub fn node_regs(kind: &OpKind, level: OptLevel) -> u32 {
 }
 
 fn body_regs(body: &KernelBody, level: OptLevel) -> u32 {
+    #[cfg(feature = "validate")]
+    let _probe = kfusion_ir::symexec::speculation();
     max_live_regs(&optimize(body, level)) as u32
 }
 
@@ -58,6 +60,11 @@ fn body_regs(body: &KernelBody, level: OptLevel) -> u32 {
 /// [`FusionBudget`] gating consumes: two predicates on the same column cost
 /// one compare, not two.
 pub fn group_regs(graph: &PlanGraph, members: &[NodeId], level: OptLevel) -> u32 {
+    // A cost probe, not an emission: the spliced body is measured and
+    // discarded, so the translation validator skips it (the chosen group is
+    // recompiled — and proved — on the emit path).
+    #[cfg(feature = "validate")]
+    let _probe = kfusion_ir::symexec::speculation();
     crate::analyze::analyzed_group_regs(graph, members, level)
 }
 
@@ -74,6 +81,8 @@ pub fn group_regs_summed(graph: &PlanGraph, members: &[NodeId], level: OptLevel)
 /// (its IR body, optimized, plus a small operator-specific step cost).
 pub fn member_instr(kind: &OpKind, level: OptLevel) -> f64 {
     use kfusion_ir::cost::instruction_count;
+    #[cfg(feature = "validate")]
+    let _probe = kfusion_ir::symexec::speculation();
     let body = |b: &KernelBody| instruction_count(&optimize(b, level)) as f64;
     match kind {
         OpKind::Input { .. } => 0.0,
@@ -127,6 +136,8 @@ pub fn split_select_chain(
 /// slot types) falls back to the summed estimate.
 pub fn run_regs(preds: &[KernelBody], level: OptLevel) -> u32 {
     use kfusion_ir::fuse::{fuse, FuseError, FusedOutput, SlotSource};
+    #[cfg(feature = "validate")]
+    let _probe = kfusion_ir::symexec::speculation();
     if preds.is_empty() {
         return STAGE_REGS;
     }

@@ -33,7 +33,7 @@ use kfusion_relalg::profiles::{
 use kfusion_relalg::{ops, Relation};
 use kfusion_vgpu::des::EventId;
 use kfusion_vgpu::{
-    Command, CommandClass, GpuSystem, HostMemKind, KernelProfile, LaunchConfig, Schedule,
+    segment, Command, CommandClass, GpuSystem, HostMemKind, KernelProfile, LaunchConfig, Schedule,
 };
 
 /// Execution strategy.
@@ -863,13 +863,40 @@ fn fission_schedule(
     for (gidx, members) in plan.groups.iter().enumerate() {
         let kernels = group_kernels(graph, plan, stats, members, cfg.level, gidx, roots);
         if segments > 1 && should_pipeline(members, &kernels) {
-            // Pipeline this group: segment its inputs and kernels.
+            // Pipeline this group: segment its inputs and kernels. Segment
+            // sizes come from exact balanced partitions — the previous
+            // `ceil`/`round` scaling could over- or under-cover the transfer
+            // and iteration space (e.g. `round(10/4) = 3` per segment covers
+            // 12 of 10 elements), which translation validation now rejects.
             let externals = group_externals(graph, members);
-            let scale = 1.0 / segments as f64;
+            let byte_parts: Vec<Vec<segment::SegRange>> =
+                externals.iter().map(|&e| segment::partition(stats.bytes(e), segments)).collect();
+            let elem_parts: Vec<Vec<segment::SegRange>> =
+                kernels.iter().map(|(_, n)| segment::partition(*n, segments)).collect();
+            #[cfg(feature = "validate")]
+            {
+                for (&e, parts) in externals.iter().zip(&byte_parts) {
+                    if let Err(err) = segment::check_partition(stats.bytes(e), parts) {
+                        panic!(
+                            "fission segments for input #{e} do not partition its \
+                             {} transfer bytes: {err}",
+                            stats.bytes(e)
+                        );
+                    }
+                }
+                for ((_, n), parts) in kernels.iter().zip(&elem_parts) {
+                    if let Err(err) = segment::check_partition(*n, parts) {
+                        panic!(
+                            "fission segments do not partition the {n}-element \
+                             iteration space: {err}"
+                        );
+                    }
+                }
+            }
             for s in 0..segments {
                 let stream = pipes[(s as usize) % pipes.len()];
-                for &e in &externals {
-                    let b = (stats.bytes(e) as f64 * scale).ceil() as u64;
+                for (ei, &e) in externals.iter().enumerate() {
+                    let b = byte_parts[ei][s as usize].len();
                     sched.push(
                         stream,
                         Command::h2d(
@@ -880,8 +907,8 @@ fn fission_schedule(
                         ),
                     );
                 }
-                for (p, n) in &kernels {
-                    let seg_n = ((*n as f64) * scale).round() as u64;
+                for (ki, (p, _)) in kernels.iter().enumerate() {
+                    let seg_n = elem_parts[ki][s as usize].len();
                     let mut p = p.clone();
                     p.name = format!("{}[seg{s}]", p.name);
                     let launch = LaunchConfig::for_elements(seg_n.max(1), &system.spec);

@@ -11,7 +11,7 @@
 use crate::ir::{BinOp, Instr, KernelBody, Reg};
 
 /// Where a consumer body's input slot comes from in the fused kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlotSource {
     /// An external input of the fused kernel (slot index in the fused body).
     External(u32),
@@ -25,7 +25,7 @@ pub enum SlotSource {
 }
 
 /// An output of the fused kernel: output slot `output` of body `body`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FusedOutput {
     /// Index of the body in the fusion list.
     pub body: usize,
@@ -75,6 +75,12 @@ pub enum FuseError {
         /// The rendered [`crate::verify::VerifyError`] diagnostic.
         detail: String,
     },
+    /// Translation validation refuted the splice: the fused body disagrees
+    /// with the unfused chain on a concrete input (`validate` feature).
+    SemanticsChanged {
+        /// The rendered counterexample.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for FuseError {
@@ -94,6 +100,9 @@ impl std::fmt::Display for FuseError {
             }
             FuseError::Invalid { detail } => {
                 write!(f, "fused body failed verification: {detail}")
+            }
+            FuseError::SemanticsChanged { detail } => {
+                write!(f, "fused body is not equivalent to the kernel chain:\n{detail}")
             }
         }
     }
@@ -176,6 +185,17 @@ pub fn fuse(
     }
     #[cfg(not(feature = "check"))]
     debug_assert!(fused.validate().is_ok());
+    // Translation-validation sandwich: prove the splice computes exactly
+    // what the unfused chain computes (the symbolic proof is immediate for
+    // a correct splice — terms thread through the wiring unchanged).
+    #[cfg(feature = "validate")]
+    if crate::symexec::enabled() {
+        if let crate::symexec::Verdict::Refuted(cx) =
+            crate::symexec::prove_fuse_equiv(bodies, wiring, outputs, &fused)
+        {
+            return Err(FuseError::SemanticsChanged { detail: cx.render() });
+        }
+    }
     Ok(fused)
 }
 
@@ -204,6 +224,15 @@ pub fn fuse_predicate_chain(preds: &[KernelBody]) -> KernelBody {
         acc = fused.push(Instr::Bin { op: BinOp::And, lhs: acc, rhs });
     }
     fused.outputs = vec![acc];
+    // Validate the conjunction against the member predicates directly.
+    #[cfg(feature = "validate")]
+    if crate::symexec::enabled() {
+        if let crate::symexec::Verdict::Refuted(cx) =
+            crate::symexec::prove_conjunction(preds, &fused)
+        {
+            panic!("fuse_predicate_chain changed semantics:\n{cx}");
+        }
+    }
     fused
 }
 

@@ -101,7 +101,11 @@ pub enum UnOp {
 
 /// One IR instruction. Instruction `i` in [`KernelBody::instrs`] defines
 /// register `i`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq`/`Hash` follow [`Value`]'s bit-exact equality, so instructions (and
+/// bodies) can key hash maps — the translation validator's proof cache
+/// relies on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// Read input slot `slot` for the current element.
     LoadInput {
@@ -246,7 +250,7 @@ impl fmt::Display for IrError {
 impl std::error::Error for IrError {}
 
 /// The per-thread body of one kernel stage.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct KernelBody {
     /// Instructions in execution order; instruction `i` defines register `i`.
     pub instrs: Vec<Instr>,

@@ -53,6 +53,8 @@ pub mod fuse;
 pub mod interp;
 pub mod ir;
 pub mod opt;
+#[cfg(feature = "validate")]
+pub mod symexec;
 pub mod text;
 pub mod value;
 pub mod verify;

@@ -15,12 +15,13 @@
 //! while the predicates live in separate kernels.
 
 use crate::ir::{BinOp, CmpOp, Instr, KernelBody, Reg, UnOp};
-use crate::value::Value;
+use crate::value::{Ty, Value};
 
 /// Run combining rewrites. Returns whether anything changed. Expects
 /// `copy_prop` to have run (operands canonical).
 pub fn combine(body: &mut KernelBody) -> bool {
     let mut changed = false;
+    let tys = super::types::infer_types(body);
     for i in 0..body.instrs.len() {
         let new_instr = match body.instrs[i] {
             Instr::Bin { op: BinOp::And, lhs, rhs } => {
@@ -32,9 +33,17 @@ pub fn combine(body: &mut KernelBody) -> bool {
                 }
             }
             Instr::Bin { op: BinOp::Or, lhs, rhs } if lhs == rhs => Some(Instr::Copy { src: lhs }),
-            // !(a cmp b)  ==>  a !cmp b
+            // !(a cmp b)  ==>  a !cmp b. Negating an *ordered* compare is
+            // wrong for floats (`!(NaN < y)` is true, `NaN >= y` is false),
+            // so Lt/Le/Gt/Ge require a known-i64 operand; Eq/Ne negation is
+            // exact at every type.
             Instr::Un { op: UnOp::Not, arg } => match body.instrs[arg as usize] {
-                Instr::Cmp { op, lhs, rhs } => Some(Instr::Cmp { op: op.negated(), lhs, rhs }),
+                Instr::Cmp { op, lhs, rhs }
+                    if matches!(op, CmpOp::Eq | CmpOp::Ne)
+                        || tys[lhs as usize].or(tys[rhs as usize]) == Some(Ty::I64) =>
+                {
+                    Some(Instr::Cmp { op: op.negated(), lhs, rhs })
+                }
                 _ => None,
             },
             // select(c, true, false) ==> c ; select(c, false, true) ==> !c

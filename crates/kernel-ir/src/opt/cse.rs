@@ -33,6 +33,7 @@ fn commutative(op: BinOp) -> bool {
 pub fn cse(body: &mut KernelBody) -> bool {
     let mut changed = false;
     let mut table: HashMap<Key, Reg> = HashMap::with_capacity(body.instrs.len());
+    let tys = super::types::infer_types(body);
     // canon[r]: representative register for r's value.
     let mut canon: Vec<Reg> = Vec::with_capacity(body.instrs.len());
     for i in 0..body.instrs.len() {
@@ -45,7 +46,15 @@ pub fn cse(body: &mut KernelBody) -> bool {
             }
             Instr::Bin { op, lhs, rhs } => {
                 let (mut a, mut b) = (c(lhs, &canon), c(rhs, &canon));
-                if commutative(op) && a > b {
+                // Operand order is observable for f64 at the bit level
+                // (`min(0.0, -0.0)` picks by position; NaN payloads follow
+                // the operand order), so only canonicalize at a known
+                // integer/bool type.
+                let int_or_bool = matches!(
+                    tys.get(i).copied().flatten(),
+                    Some(crate::value::Ty::I64 | crate::value::Ty::Bool)
+                );
+                if commutative(op) && int_or_bool && a > b {
                     std::mem::swap(&mut a, &mut b);
                 }
                 Some(Key::Bin(op, a, b))
@@ -128,14 +137,31 @@ mod tests {
 
     #[test]
     fn commutative_operands_unify() {
+        // Known-i64 operands (via the casts): operand order canonicalizes.
+        let mut b = BodyBuilder::new(2);
+        let x = Expr::input(0).cast(crate::value::Ty::I64);
+        let y = Expr::input(1).cast(crate::value::Ty::I64);
+        b.emit_output(x.clone().add(y.clone()));
+        b.emit_output(y.add(x));
+        let out = run(&b.build());
+        let adds =
+            out.instrs.iter().filter(|i| matches!(i, Instr::Bin { op: BinOp::Add, .. })).count();
+        assert_eq!(adds, 1);
+        assert_eq!(out.outputs[0], out.outputs[1]);
+    }
+
+    #[test]
+    fn possibly_float_commutative_operands_stay_distinct() {
+        // Untyped operands could be f64, where operand order is observable
+        // at the bit level (min/max of signed zeros, NaN payloads): the
+        // swapped duplicates must NOT unify.
         let mut b = BodyBuilder::new(2);
         b.emit_output(Expr::input(0).add(Expr::input(1)));
         b.emit_output(Expr::input(1).add(Expr::input(0)));
         let out = run(&b.build());
         let adds =
             out.instrs.iter().filter(|i| matches!(i, Instr::Bin { op: BinOp::Add, .. })).count();
-        assert_eq!(adds, 1);
-        assert_eq!(out.outputs[0], out.outputs[1]);
+        assert_eq!(adds, 2);
     }
 
     #[test]

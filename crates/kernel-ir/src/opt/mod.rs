@@ -29,7 +29,7 @@ pub use simplify_ranges::simplify_ranges;
 pub use strength::strength;
 pub use types::infer_types;
 
-use crate::ir::KernelBody;
+use crate::ir::{KernelBody, Reg};
 
 /// Optimization effort, mirroring the paper's `-O0` / `-O3` comparison
 /// (Table III) with two intermediate points for ablation benches.
@@ -62,27 +62,81 @@ impl std::fmt::Display for OptLevel {
     }
 }
 
+/// A pass pipeline: named passes run in order.
+pub type Pipeline = &'static [(&'static str, fn(&mut KernelBody) -> bool)];
+
+/// The full pipeline one [`OptLevel::O2`]/[`OptLevel::O3`] iteration runs.
+pub const PIPELINE: Pipeline = &[
+    ("const_fold", const_fold),
+    ("copy_prop", copy_prop),
+    ("combine", combine),
+    ("strength", strength),
+    ("copy_prop", copy_prop),
+    ("cse", cse),
+    ("copy_prop", copy_prop),
+    ("simplify_ranges", simplify_ranges),
+    ("dce", dce),
+];
+
+/// The [`OptLevel::O1`] pipeline: folding, propagation, cleanup.
+pub const O1_PIPELINE: Pipeline =
+    &[("const_fold", const_fold), ("copy_prop", copy_prop), ("dce", dce)];
+
 /// Run one iteration of the full pass pipeline. Returns whether anything
 /// changed.
 pub fn run_all_once(body: &mut KernelBody) -> bool {
+    run_pipeline(body, PIPELINE, 0, &mut Vec::new())
+}
+
+/// Run `pipeline` once, appending a [`PassRun`] per pass that changed the
+/// body. Returns whether anything changed.
+fn run_pipeline(
+    body: &mut KernelBody,
+    pipeline: Pipeline,
+    iteration: usize,
+    rewrites: &mut Vec<PassRun>,
+) -> bool {
     let mut changed = false;
-    changed |= const_fold(body);
-    changed |= copy_prop(body);
-    changed |= combine(body);
-    changed |= strength(body);
-    changed |= copy_prop(body);
-    changed |= cse(body);
-    changed |= copy_prop(body);
-    changed |= simplify_ranges(body);
-    changed |= dce(body);
+    for &(name, pass) in pipeline {
+        let before = body.instrs.clone();
+        if pass(body) {
+            changed = true;
+            rewrites.push(PassRun {
+                pass: name,
+                iteration,
+                regs: changed_regs(&before, &body.instrs),
+            });
+        }
+    }
     changed
+}
+
+/// Registers whose defining instruction differs between two snapshots
+/// (indices past the shorter body count as changed — `dce` shrinks).
+fn changed_regs(before: &[crate::ir::Instr], after: &[crate::ir::Instr]) -> Vec<Reg> {
+    let n = before.len().max(after.len());
+    (0..n).filter(|&i| before.get(i) != after.get(i)).map(|i| i as Reg).collect()
 }
 
 /// Iteration cap of the [`OptLevel::O3`] fixpoint loop.
 pub const MAX_O3_ITERS: usize = 16;
 
+/// One pass application that changed the body: which pass, in which
+/// pipeline iteration, and which registers it rewrote. This is the log
+/// that lets a validator refutation name the guilty pass instead of just
+/// "somewhere in O3".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassRun {
+    /// Pass name, as in [`PIPELINE`].
+    pub pass: &'static str,
+    /// Zero-based pipeline iteration (always 0 below O3).
+    pub iteration: usize,
+    /// Registers whose defining instruction the pass changed.
+    pub regs: Vec<Reg>,
+}
+
 /// What [`optimize_report`] observed while running the pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct OptReport {
     /// Pipeline iterations executed (each is one [`run_all_once`] at O2/O3).
     pub iterations: usize,
@@ -90,6 +144,8 @@ pub struct OptReport {
     /// O3 iterates, so this is vacuously true below it; at O3 it means the
     /// body genuinely reached a fixpoint within [`MAX_O3_ITERS`].
     pub converged: bool,
+    /// Every pass application that changed the body, in execution order.
+    pub rewrites: Vec<PassRun>,
 }
 
 /// Optimize a copy of `body` at `level`.
@@ -100,17 +156,15 @@ pub fn optimize(body: &KernelBody, level: OptLevel) -> KernelBody {
 /// Optimize a copy of `body` at `level`, reporting fixpoint behaviour.
 pub fn optimize_report(body: &KernelBody, level: OptLevel) -> (KernelBody, OptReport) {
     let mut out = body.clone();
-    let mut report = OptReport { iterations: 0, converged: true };
+    let mut report = OptReport { iterations: 0, converged: true, rewrites: Vec::new() };
     match level {
         OptLevel::O0 => {}
         OptLevel::O1 => {
-            const_fold(&mut out);
-            copy_prop(&mut out);
-            dce(&mut out);
+            run_pipeline(&mut out, O1_PIPELINE, 0, &mut report.rewrites);
             report.iterations = 1;
         }
         OptLevel::O2 => {
-            run_all_once(&mut out);
+            run_pipeline(&mut out, PIPELINE, 0, &mut report.rewrites);
             report.iterations = 1;
         }
         OptLevel::O3 => {
@@ -118,9 +172,9 @@ pub fn optimize_report(body: &KernelBody, level: OptLevel) -> (KernelBody, OptRe
             // toward normal forms, so this terminates quickly in practice.
             // The bound is a backstop against pass-interaction cycles.
             report.converged = false;
-            for _ in 0..MAX_O3_ITERS {
+            for it in 0..MAX_O3_ITERS {
                 report.iterations += 1;
-                if !run_all_once(&mut out) {
+                if !run_pipeline(&mut out, PIPELINE, it, &mut report.rewrites) {
                     report.converged = true;
                     break;
                 }
@@ -139,7 +193,50 @@ pub fn optimize_report(body: &KernelBody, level: OptLevel) -> (KernelBody, OptRe
     }
     #[cfg(not(feature = "check"))]
     debug_assert!(out.validate().is_ok(), "optimizer produced invalid IR");
+    // Translation-validation sandwich: prove the end-to-end rewrite
+    // preserved semantics; on refutation, replay the pipeline step by step
+    // so the panic names the guilty pass from the rewrite log.
+    #[cfg(feature = "validate")]
+    if crate::symexec::enabled() {
+        if let crate::symexec::Verdict::Refuted(cx) = crate::symexec::prove_body_equiv(body, &out) {
+            let guilty =
+                find_guilty_pass(body, level).map(|p| format!(" (pass `{p}`)")).unwrap_or_default();
+            panic!(
+                "optimize({level}) changed semantics{guilty}:\n{cx}\nbefore:\n{body}\nafter:\n{out}"
+            );
+        }
+    }
     (out, report)
+}
+
+/// Failure-path diagnosis: re-run the pipeline for `level`, validating
+/// after each individual pass, and name the first pass whose application
+/// is refuted.
+#[cfg(feature = "validate")]
+fn find_guilty_pass(body: &KernelBody, level: OptLevel) -> Option<&'static str> {
+    let pipeline = match level {
+        OptLevel::O0 => return None,
+        OptLevel::O1 => O1_PIPELINE,
+        OptLevel::O2 | OptLevel::O3 => PIPELINE,
+    };
+    let iters = if level == OptLevel::O3 { MAX_O3_ITERS } else { 1 };
+    let mut cur = body.clone();
+    for _ in 0..iters {
+        let mut changed = false;
+        for &(name, pass) in pipeline {
+            let before = cur.clone();
+            if pass(&mut cur) {
+                changed = true;
+                if crate::symexec::prove_body_equiv(&before, &cur).is_refuted() {
+                    return Some(name);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -197,7 +294,23 @@ mod tests {
         let body = BodyBuilder::threshold_lt(0, 42).build();
         let (out, report) = optimize_report(&body, OptLevel::O0);
         assert_eq!(out, body);
-        assert_eq!(report, OptReport { iterations: 0, converged: true });
+        assert_eq!(report, OptReport { iterations: 0, converged: true, rewrites: Vec::new() });
+    }
+
+    #[test]
+    fn rewrite_log_names_passes_and_registers() {
+        let body = BodyBuilder::threshold_lt(0, 42).build();
+        let (_, report) = optimize_report(&body, OptLevel::O3);
+        assert!(!report.rewrites.is_empty(), "O3 rewrites the threshold body");
+        for run in &report.rewrites {
+            assert!(PIPELINE.iter().any(|&(n, _)| n == run.pass), "unknown pass {}", run.pass);
+        }
+        // At least one logged run names the registers it rewrote (a run with
+        // no register changes only rerouted the output list).
+        assert!(report.rewrites.iter().any(|r| !r.regs.is_empty()));
+        // O0 logs nothing.
+        let (_, r0) = optimize_report(&body, OptLevel::O0);
+        assert!(r0.rewrites.is_empty());
     }
 
     #[test]

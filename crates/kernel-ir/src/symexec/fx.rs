@@ -1,0 +1,107 @@
+//! A fast, deterministic hasher for the validator's hot maps.
+//!
+//! The term arena interns a handful of bytes per operation and the proof
+//! cache hashes whole bodies on every `optimize`/`fuse` call; the standard
+//! library's DoS-resistant SipHash costs more than the lookups it guards.
+//! Keys here are process-internal (never attacker-chosen), so a multiply-
+//! rotate hash in the Fx/FNV family is appropriate: a few cycles per word,
+//! deterministic across runs (refutations reproduce), and well-mixed enough
+//! for `HashMap`'s power-of-two bucketing.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` state plugging [`FxHasher`] in for SipHash.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-rotate hasher (the rustc `FxHasher` recipe).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Mix the length first: the multiply-rotate step has a zero
+        // fixpoint, so all-zero buffers of different sizes would otherwise
+        // collide.
+        self.add(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_and_usable_as_map_state() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello world, kernel fusion");
+        b.write(b"hello world, kernel fusion");
+        assert_eq!(a.finish(), b.finish());
+
+        let mut m: HashMap<(u32, i64), u32, FxBuildHasher> = HashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, -(i as i64)), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(41, -41)], 41);
+    }
+
+    #[test]
+    fn distinguishes_near_keys() {
+        let h = |bytes: &[u8]| {
+            let mut x = FxHasher::default();
+            x.write(bytes);
+            x.finish()
+        };
+        assert_ne!(h(b"aaaaaaaa"), h(b"aaaaaaab"));
+        assert_ne!(h(&[0u8; 8]), h(&[0u8; 16]));
+    }
+}

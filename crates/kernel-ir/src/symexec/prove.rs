@@ -1,0 +1,672 @@
+//! Per-instance equivalence proving: symbolic first, differential fallback.
+//!
+//! [`prove_body_equiv`] is the validator's core: normalize both bodies into
+//! one shared [`TermArena`] over the same symbolic inputs — equal output
+//! terms are a proof of equivalence on every well-typed input. When terms
+//! differ (a rewrite outside the normalizer's rule set, e.g. value-range
+//! simplification, or a genuinely wrong rewrite), seeded differential
+//! testing decides between [`Verdict::Refuted`] — with the concrete
+//! counterexample input — and [`Verdict::Inconclusive`] — every trial
+//! agreed, which is evidence but not proof.
+//!
+//! The trial inputs are adversarial by construction: zero divisors,
+//! `i64::MIN` (the `MIN / -1` and `wrapping_neg` edge), shift amounts
+//! around 63/64, `±0.0`, `NaN`, and infinities, mixed with PRNG draws. All
+//! seeding is deterministic, so a refutation reproduces.
+
+use super::term::{sym_eval, TermArena, TermId};
+use super::Timer;
+use crate::fuse::{FusedOutput, SlotSource};
+use crate::interp::{eval, EvalError};
+use crate::ir::KernelBody;
+use crate::value::{Ty, Value};
+use crate::verify::infer_with_slots;
+use kfusion_prng::Rng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// Pooled term arena: proofs run back to back during a compile, and
+    /// reusing one arena's allocations roughly halves a cold proof's cost.
+    static ARENA_POOL: RefCell<TermArena> = RefCell::new(TermArena::default());
+}
+
+/// Run `f` on the pooled arena, reset to `input_tys`. Falls back to a fresh
+/// arena if the pool is already borrowed (a proof nested inside a proof).
+fn with_arena<R>(input_tys: &[Option<Ty>], f: impl FnOnce(&mut TermArena) -> R) -> R {
+    ARENA_POOL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut arena) => {
+            arena.reset(input_tys);
+            f(&mut arena)
+        }
+        Err(_) => f(&mut TermArena::new(input_tys.to_vec())),
+    })
+}
+
+/// Differential trials per instance (symbolic failure path only).
+const TRIALS: usize = 96;
+
+/// Proof-cache bound: fusion planning proves the same candidate rewrites
+/// over and over, but an unbounded process (a fuzzer) must not grow without
+/// limit. The cache clears wholesale when full; correctness never depends
+/// on a hit.
+const CACHE_CAP: usize = 8192;
+
+/// A fully-identifying key for one proof instance. Every field that affects
+/// the verdict participates in `Eq` (bit-exact through [`Value`]), so a hit
+/// is a replay of the identical deterministic computation.
+#[derive(PartialEq, Eq)]
+enum ProofKey {
+    Body(KernelBody, KernelBody),
+    Fuse(Vec<KernelBody>, Vec<Vec<SlotSource>>, Vec<FusedOutput>, KernelBody),
+    Conjunction(Vec<KernelBody>, KernelBody),
+}
+
+/// The cache buckets full keys under a fingerprint of their *borrowed*
+/// parts, so a lookup never clones the bodies it is about to prove — the
+/// owned [`ProofKey`] is built once, on insert. Equality on the stored key
+/// still decides hits; the fingerprint only routes.
+type ProofCache = HashMap<u64, Vec<(ProofKey, Verdict)>, super::fx::FxBuildHasher>;
+
+fn cache() -> &'static Mutex<ProofCache> {
+    static CACHE: OnceLock<Mutex<ProofCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::default()))
+}
+
+/// Fingerprint of a proof instance's borrowed parts. The `tag` separates
+/// the key variants; each component hashes through its derived `Hash`
+/// (bit-exact for [`Value`]), matching what the owned key would hash.
+fn fingerprint(tag: u8, parts: impl FnOnce(&mut super::fx::FxHasher)) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = super::fx::FxHasher::default();
+    h.write_u8(tag);
+    parts(&mut h);
+    h.finish()
+}
+
+fn cache_get(fp: u64, matches: impl Fn(&ProofKey) -> bool) -> Option<Verdict> {
+    let map = cache().lock().ok()?;
+    map.get(&fp)?.iter().find(|(k, _)| matches(k)).map(|(_, v)| v.clone())
+}
+
+fn cache_put(fp: u64, key: ProofKey, verdict: &Verdict) {
+    if let Ok(mut map) = cache().lock() {
+        if map.len() >= CACHE_CAP {
+            map.clear();
+        }
+        map.entry(fp).or_default().push((key, verdict.clone()));
+    }
+}
+
+/// Drop every cached verdict (cold-start measurement support).
+pub fn clear_proof_cache() {
+    if let Ok(mut map) = cache().lock() {
+        map.clear();
+    }
+}
+
+/// Outcome of a translation-validation instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The bodies' output terms normalized to identical DAG nodes: a proof
+    /// of bit-exact equivalence on every well-typed input.
+    Verified,
+    /// A concrete input on which the two bodies disagree.
+    Refuted(Box<Counterexample>),
+    /// Symbolic proof failed but every differential trial agreed.
+    Inconclusive {
+        /// Number of trials on which the original body evaluated cleanly
+        /// (and the rewritten body matched it).
+        trials: usize,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict is [`Verdict::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted(_))
+    }
+}
+
+/// A concrete disagreement between an original body and its rewrite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// The input row both bodies were evaluated on.
+    pub inputs: Vec<Value>,
+    /// The original body's outputs (the specification).
+    pub original: Result<Vec<Value>, EvalError>,
+    /// The rewritten body's outputs.
+    pub rewritten: Result<Vec<Value>, EvalError>,
+}
+
+fn render_result(r: &Result<Vec<Value>, EvalError>) -> String {
+    match r {
+        Ok(vals) => {
+            let items: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+            format!("[{}]", items.join(", "))
+        }
+        Err(e) => format!("evaluation error: {e}"),
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample input:")?;
+        for (s, v) in self.inputs.iter().enumerate() {
+            writeln!(f, "  in{s} = {v}")?;
+        }
+        writeln!(f, "original  => {}", render_result(&self.original))?;
+        write!(f, "rewritten => {}", render_result(&self.rewritten))
+    }
+}
+
+impl Counterexample {
+    /// Multi-line diagnostic body for lint notes and panics.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// Slot types of `body` under its own constraints (`None` per slot when the
+/// body is ill-typed — type-guarded normalization then stays off and the
+/// differential trials default to i64).
+fn own_slot_types(body: &KernelBody) -> Vec<Option<Ty>> {
+    infer_with_slots(body, &[])
+        .map(|a| a.slots)
+        .unwrap_or_else(|_| vec![None; body.n_inputs as usize])
+}
+
+fn pad_slots(slots: &[Option<Ty>], n: usize) -> Vec<Option<Ty>> {
+    let mut out = slots.to_vec();
+    out.resize(n, None);
+    out
+}
+
+/// Prove that `rewritten` computes the same outputs as `original` on every
+/// well-typed input row.
+pub fn prove_body_equiv(original: &KernelBody, rewritten: &KernelBody) -> Verdict {
+    let _t = Timer::start();
+    // Structurally identical bodies are trivially equivalent, and repeated
+    // instances (fusion planning re-proves candidate groups) replay their
+    // deterministic verdict from the cache.
+    if original == rewritten {
+        return Verdict::Verified;
+    }
+    use std::hash::Hash as _;
+    let fp = fingerprint(0, |h| {
+        original.hash(h);
+        rewritten.hash(h);
+    });
+    let hit =
+        cache_get(fp, |k| matches!(k, ProofKey::Body(a, b) if a == original && b == rewritten));
+    if let Some(v) = hit {
+        return v;
+    }
+    let v = prove_body_equiv_uncached(original, rewritten);
+    cache_put(fp, ProofKey::Body(original.clone(), rewritten.clone()), &v);
+    v
+}
+
+fn prove_body_equiv_uncached(original: &KernelBody, rewritten: &KernelBody) -> Verdict {
+    let n = original.n_inputs.max(rewritten.n_inputs) as usize;
+    let slots = pad_slots(&own_slot_types(original), n);
+    if original.outputs.len() == rewritten.outputs.len() {
+        let proved = with_arena(&slots, |arena| {
+            let inputs: Vec<TermId> = (0..n as u32).map(|s| arena.input(s)).collect();
+            match (sym_eval(arena, original, &inputs), sym_eval(arena, rewritten, &inputs)) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            }
+        });
+        if proved {
+            return Verdict::Verified;
+        }
+    }
+    differential(original, rewritten, &slots)
+}
+
+/// Prove that `fused` (a [`crate::fuse::fuse`] result) computes exactly what
+/// chaining `bodies` per `wiring` computes, output for output.
+pub fn prove_fuse_equiv(
+    bodies: &[KernelBody],
+    wiring: &[Vec<SlotSource>],
+    outputs: &[FusedOutput],
+    fused: &KernelBody,
+) -> Verdict {
+    let _t = Timer::start();
+    use std::hash::Hash as _;
+    let fp = fingerprint(1, |h| {
+        bodies.hash(h);
+        wiring.hash(h);
+        outputs.hash(h);
+        fused.hash(h);
+    });
+    let hit = cache_get(fp, |k| {
+        matches!(k, ProofKey::Fuse(b, w, o, f)
+            if b == bodies && w == wiring && o == outputs && f == fused)
+    });
+    if let Some(v) = hit {
+        return v;
+    }
+    let v = prove_fuse_equiv_uncached(bodies, wiring, outputs, fused);
+    cache_put(
+        fp,
+        ProofKey::Fuse(bodies.to_vec(), wiring.to_vec(), outputs.to_vec(), fused.clone()),
+        &v,
+    );
+    v
+}
+
+fn prove_fuse_equiv_uncached(
+    bodies: &[KernelBody],
+    wiring: &[Vec<SlotSource>],
+    outputs: &[FusedOutput],
+    fused: &KernelBody,
+) -> Verdict {
+    // The splice only counts externals some body actually *loads* into its
+    // `n_inputs`; a wired-but-dead external slot still needs a value when
+    // the chain is evaluated, so size the input row by the wiring too.
+    let max_ext = wiring
+        .iter()
+        .flatten()
+        .filter_map(|w| match w {
+            SlotSource::External(e) => Some(e + 1),
+            SlotSource::Producer { .. } => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let n = fused.n_inputs.max(max_ext) as usize;
+    // The splice carries the union of the members' constraints, so its own
+    // inference types the shared external slots.
+    let slots = pad_slots(&own_slot_types(fused), n);
+
+    // Symbolic: thread producer output terms through the wiring.
+    let proved = with_arena(&slots, |arena| {
+        let ext: Vec<TermId> = (0..n as u32).map(|s| arena.input(s)).collect();
+        let mut body_outs: Vec<Vec<TermId>> = Vec::with_capacity(bodies.len());
+        for (bi, body) in bodies.iter().enumerate() {
+            let mut ins: Vec<TermId> = Vec::with_capacity(body.n_inputs as usize);
+            for w in &wiring[bi] {
+                match *w {
+                    SlotSource::External(e) => match ext.get(e as usize) {
+                        Some(&t) => ins.push(t),
+                        None => return false,
+                    },
+                    SlotSource::Producer { body: pb, output } => {
+                        match body_outs.get(pb).and_then(|o| o.get(output)) {
+                            Some(&t) => ins.push(t),
+                            None => return false,
+                        }
+                    }
+                }
+            }
+            match sym_eval(arena, body, &ins) {
+                Some(outs) => body_outs.push(outs),
+                None => return false,
+            }
+        }
+        let spec: Option<Vec<TermId>> = outputs
+            .iter()
+            .map(|fo| body_outs.get(fo.body).and_then(|o| o.get(fo.output)).copied())
+            .collect();
+        let got = sym_eval(arena, fused, &ext);
+        matches!((spec, got), (Some(spec), Some(got)) if spec == got)
+    });
+    if proved {
+        return Verdict::Verified;
+    }
+
+    // Differential: evaluate the chain concretely as the specification.
+    let pool = ConstPool::harvest(bodies.iter().chain([fused]));
+    let mut rng = trial_rng(fused);
+    let mut trials = 0usize;
+    for _ in 0..TRIALS {
+        let inputs: Vec<Value> =
+            (0..n).map(|s| gen_value(&mut rng, slots.get(s).copied().flatten(), &pool)).collect();
+        let spec = chain_eval(bodies, wiring, outputs, &inputs);
+        if spec.is_err() {
+            continue;
+        }
+        let got = eval(fused, &inputs);
+        if got != spec {
+            return Verdict::Refuted(Box::new(Counterexample {
+                inputs,
+                original: spec,
+                rewritten: got,
+            }));
+        }
+        trials += 1;
+    }
+    Verdict::Inconclusive { trials }
+}
+
+/// Prove that `fused` is the conjunction of the single-output predicates
+/// `preds` (all reading the same external slots) — the
+/// [`crate::fuse::fuse_predicate_chain`] contract.
+pub fn prove_conjunction(preds: &[KernelBody], fused: &KernelBody) -> Verdict {
+    let _t = Timer::start();
+    use std::hash::Hash as _;
+    let fp = fingerprint(2, |h| {
+        preds.hash(h);
+        fused.hash(h);
+    });
+    let hit =
+        cache_get(fp, |k| matches!(k, ProofKey::Conjunction(p, f) if p == preds && f == fused));
+    if let Some(v) = hit {
+        return v;
+    }
+    let v = prove_conjunction_uncached(preds, fused);
+    cache_put(fp, ProofKey::Conjunction(preds.to_vec(), fused.clone()), &v);
+    v
+}
+
+fn prove_conjunction_uncached(preds: &[KernelBody], fused: &KernelBody) -> Verdict {
+    use crate::ir::BinOp;
+    let n = fused.n_inputs as usize;
+    let slots = pad_slots(&own_slot_types(fused), n);
+
+    // Symbolic.
+    let proved = with_arena(&slots, |arena| {
+        let ext: Vec<TermId> = (0..n as u32).map(|s| arena.input(s)).collect();
+        let mut spec: Option<TermId> = None;
+        for pred in preds {
+            match sym_eval(arena, pred, &ext).and_then(|o| o.first().copied()) {
+                Some(t) => {
+                    spec = Some(match spec {
+                        None => t,
+                        Some(acc) => arena.bin(BinOp::And, acc, t),
+                    });
+                }
+                None => return false,
+            }
+        }
+        match (spec, sym_eval(arena, fused, &ext)) {
+            (Some(spec), Some(got)) => got.len() == 1 && got[0] == spec,
+            _ => false,
+        }
+    });
+    if proved {
+        return Verdict::Verified;
+    }
+
+    // Differential.
+    let pool = ConstPool::harvest(preds.iter().chain([fused]));
+    let mut rng = trial_rng(fused);
+    let mut trials = 0usize;
+    for _ in 0..TRIALS {
+        let inputs: Vec<Value> =
+            (0..n).map(|s| gen_value(&mut rng, slots.get(s).copied().flatten(), &pool)).collect();
+        let spec: Result<Vec<Value>, EvalError> = preds
+            .iter()
+            .map(|p| eval(p, &inputs).map(|o| o[0]))
+            .try_fold(true, |acc, v| {
+                v.and_then(|v| match v {
+                    Value::Bool(b) => Ok(acc && b),
+                    _ => Err(EvalError::TypeMismatch { what: "predicate output" }),
+                })
+            })
+            .map(|b| vec![Value::Bool(b)]);
+        if spec.is_err() {
+            continue;
+        }
+        let got = eval(fused, &inputs);
+        if got != spec {
+            return Verdict::Refuted(Box::new(Counterexample {
+                inputs,
+                original: spec,
+                rewritten: got,
+            }));
+        }
+        trials += 1;
+    }
+    Verdict::Inconclusive { trials }
+}
+
+/// Evaluate the unfused chain: each body's inputs come from external slots
+/// or earlier bodies' outputs, per the wiring.
+fn chain_eval(
+    bodies: &[KernelBody],
+    wiring: &[Vec<SlotSource>],
+    outputs: &[FusedOutput],
+    inputs: &[Value],
+) -> Result<Vec<Value>, EvalError> {
+    let mut body_outs: Vec<Vec<Value>> = Vec::with_capacity(bodies.len());
+    for (bi, body) in bodies.iter().enumerate() {
+        let row: Vec<Value> = wiring[bi]
+            .iter()
+            .map(|w| match *w {
+                SlotSource::External(e) => inputs[e as usize],
+                SlotSource::Producer { body: pb, output } => body_outs[pb][output],
+            })
+            .collect();
+        body_outs.push(eval(body, &row)?);
+    }
+    Ok(outputs.iter().map(|fo| body_outs[fo.body][fo.output]).collect())
+}
+
+fn differential(original: &KernelBody, rewritten: &KernelBody, slots: &[Option<Ty>]) -> Verdict {
+    let n = slots.len();
+    let pool = ConstPool::harvest([original, rewritten]);
+    let mut rng = trial_rng(original);
+    let mut trials = 0usize;
+    for _ in 0..TRIALS {
+        let inputs: Vec<Value> =
+            (0..n).map(|s| gen_value(&mut rng, slots.get(s).copied().flatten(), &pool)).collect();
+        let o = eval(original, &inputs);
+        if o.is_err() {
+            // Ill-typed under this instantiation: no semantics to preserve.
+            continue;
+        }
+        let r = eval(rewritten, &inputs);
+        if r != o {
+            return Verdict::Refuted(Box::new(Counterexample {
+                inputs,
+                original: o,
+                rewritten: r,
+            }));
+        }
+        trials += 1;
+    }
+    Verdict::Inconclusive { trials }
+}
+
+/// A deterministic per-instance seed: refutations reproduce run to run.
+fn trial_rng(body: &KernelBody) -> Rng {
+    let shape =
+        (body.instrs.len() as u64) << 32 | (body.outputs.len() as u64) << 16 | body.n_inputs as u64;
+    Rng::seed_from_u64(0x0072_616e_7376_616c_u64 ^ shape)
+}
+
+/// Adversarial i64 constants: division/negation/shift edge cases.
+const I64_POOL: [i64; 14] =
+    [0, 1, -1, 2, -2, 3, 63, 64, 65, -63, -64, i64::MIN, i64::MIN + 1, i64::MAX];
+
+/// Adversarial f64 constants: signed zeros, NaN, infinities.
+const F64_POOL: [f64; 9] =
+    [0.0, -0.0, 1.0, -1.0, 0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE];
+
+/// Per-instance constant pool: the literals appearing in the bodies under
+/// proof, plus each i64's neighbors. Rewrite bugs disagree in windows the
+/// program's own constants delimit — `(x < 100) && (x < 70)` mis-merged to
+/// `x < 100` only misbehaves on `[70, 100)`, which generic adversarial
+/// draws essentially never hit — so the trials must aim where the
+/// boundaries are.
+#[derive(Default)]
+struct ConstPool {
+    i64s: Vec<i64>,
+    f64s: Vec<f64>,
+}
+
+impl ConstPool {
+    fn harvest<'a>(bodies: impl IntoIterator<Item = &'a KernelBody>) -> Self {
+        let mut pool = ConstPool::default();
+        for body in bodies {
+            for instr in &body.instrs {
+                if let crate::ir::Instr::Const { value } = instr {
+                    match *value {
+                        Value::I64(c) => {
+                            pool.i64s.extend([c.wrapping_sub(1), c, c.wrapping_add(1)])
+                        }
+                        Value::F64(c) => pool.f64s.push(c),
+                        Value::Bool(_) => {}
+                    }
+                }
+            }
+        }
+        pool
+    }
+}
+
+fn gen_value(rng: &mut Rng, ty: Option<Ty>, pool: &ConstPool) -> Value {
+    // Unconstrained slots accept any type; i64 exercises the most rewrites.
+    match ty.unwrap_or(Ty::I64) {
+        Ty::I64 => {
+            if !pool.i64s.is_empty() && rng.gen_bool(0.4) {
+                Value::I64(pool.i64s[rng.gen_range(0..pool.i64s.len())])
+            } else if rng.gen_bool(0.5) {
+                Value::I64(I64_POOL[rng.gen_range(0..I64_POOL.len())])
+            } else {
+                Value::I64(rng.next_u64() as i64)
+            }
+        }
+        Ty::F64 => {
+            if !pool.f64s.is_empty() && rng.gen_bool(0.25) {
+                Value::F64(pool.f64s[rng.gen_range(0..pool.f64s.len())])
+            } else if rng.gen_bool(0.5) {
+                Value::F64(F64_POOL[rng.gen_range(0..F64_POOL.len())])
+            } else {
+                // Spread across magnitudes; payload-free NaNs only (see the
+                // commutativity note in `term`).
+                let mag = 10f64.powi(rng.gen_range(-3i64..9) as i32);
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                Value::F64(sign * rng.next_f64() * mag)
+            }
+        }
+        Ty::Bool => Value::Bool(rng.gen_bool(0.5)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BodyBuilder, Expr};
+    use crate::ir::{BinOp, CmpOp, Instr};
+    use crate::opt::{optimize, OptLevel};
+
+    #[test]
+    fn optimized_threshold_verifies() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        for level in OptLevel::ALL {
+            let opt = optimize(&body, level);
+            assert_eq!(prove_body_equiv(&body, &opt), Verdict::Verified, "{level}");
+        }
+    }
+
+    #[test]
+    fn fused_chain_plus_o3_verifies() {
+        let preds: Vec<KernelBody> =
+            [100, 70, 85].iter().map(|&t| BodyBuilder::threshold_lt(0, t).build()).collect();
+        let fused = crate::fuse::fuse_predicate_chain(&preds);
+        let o3 = optimize(&fused, OptLevel::O3);
+        assert_eq!(prove_body_equiv(&fused, &o3), Verdict::Verified);
+        assert_eq!(prove_conjunction(&preds, &fused), Verdict::Verified);
+    }
+
+    #[test]
+    fn sign_flipped_compare_is_refuted() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        let mut bad = optimize(&body, OptLevel::O3);
+        for instr in &mut bad.instrs {
+            if let Instr::Cmp { op, .. } = instr {
+                *op = op.swapped();
+            }
+        }
+        match prove_body_equiv(&body, &bad) {
+            Verdict::Refuted(cx) => {
+                assert!(cx.original != cx.rewritten, "{cx}");
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrapping_mul_edge_is_respected() {
+        // x * 2 vs x + x agree even at i64::MIN / MAX — must verify, not
+        // merely pass differential trials.
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).mul(Expr::lit(2i64)));
+        let body = b.build();
+        let mut doubled = KernelBody::new(1);
+        let x = doubled.push(Instr::LoadInput { slot: 0 });
+        let s = doubled.push(Instr::Bin { op: BinOp::Add, lhs: x, rhs: x });
+        doubled.outputs.push(s);
+        assert_eq!(prove_body_equiv(&body, &doubled), Verdict::Verified);
+    }
+
+    #[test]
+    fn dropping_a_guard_is_refuted_by_adversarial_divisor() {
+        // original: in0 / in1 (guarded: /0 -> 0). "Optimized" variant
+        // replaces the divisor with 1 — only a zero or non-unit divisor
+        // distinguishes them, which the adversarial pool supplies.
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::input(0).div(Expr::input(1)));
+        let body = b.build();
+        let mut bad = BodyBuilder::new(2);
+        bad.emit_output(Expr::input(0).div(Expr::lit(1i64)));
+        let bad = bad.build();
+        assert!(prove_body_equiv(&body, &bad).is_refuted());
+    }
+
+    #[test]
+    fn nan_distinguishes_negated_float_compare() {
+        // !(x < 5.0) vs x >= 5.0: differ exactly on NaN.
+        let mut a = BodyBuilder::new(1);
+        a.emit_output(Expr::input(0).lt(Expr::lit(5.0f64)).not());
+        let a = a.build();
+        let mut b = BodyBuilder::new(1);
+        b.emit_output(Expr::input(0).ge(Expr::lit(5.0f64)));
+        let b = b.build();
+        match prove_body_equiv(&a, &b) {
+            Verdict::Refuted(cx) => {
+                assert!(
+                    cx.inputs.iter().any(|v| matches!(v, Value::F64(x) if x.is_nan())),
+                    "expected a NaN witness: {cx}"
+                );
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconclusive_when_rewrite_needs_range_facts() {
+        // in0 (bool) ? 1 : 1+1 vs const 2 under the then-branch being dead:
+        // build two genuinely equivalent bodies the normalizer cannot
+        // relate: min(in0, i64::MAX) vs in0.
+        let mut a = KernelBody::new(1);
+        let x = a.push(Instr::LoadInput { slot: 0 });
+        let m = a.push(Instr::Const { value: Value::I64(i64::MAX) });
+        let mn = a.push(Instr::Bin { op: BinOp::Min, lhs: x, rhs: m });
+        // Pin the slot type so differential trials draw i64s.
+        let k = a.push(Instr::Const { value: Value::I64(0) });
+        let _cmp = a.push(Instr::Cmp { op: CmpOp::Lt, lhs: x, rhs: k });
+        a.outputs.push(mn);
+        let mut b = KernelBody::new(1);
+        let x2 = b.push(Instr::LoadInput { slot: 0 });
+        b.outputs.push(x2);
+        match prove_body_equiv(&a, &b) {
+            Verdict::Inconclusive { trials } => assert!(trials > 0),
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_time_is_accounted() {
+        super::super::reset_validation_nanos();
+        let body = BodyBuilder::threshold_lt(0, 10).build();
+        let opt = optimize(&body, OptLevel::O3);
+        let _ = prove_body_equiv(&body, &opt);
+        assert!(super::super::validation_nanos() > 0);
+    }
+}

@@ -1,0 +1,570 @@
+//! Hash-consed term DAG with normalizing smart constructors.
+//!
+//! A [`Term`] denotes the value a register computes as a function of the
+//! kernel's input slots. Terms are interned ([`TermArena`]) so structural
+//! equality is pointer equality, and every constructor *normalizes* before
+//! interning: constants fold through the interpreter's own `eval_*`
+//! functions (bit-exactness by construction), and each algebraic rule below
+//! mirrors one optimizer rewrite — `const_fold`'s identity table,
+//! `combine`'s predicate simplification and range-check merging, `cse`'s
+//! commutative canonicalization, and `strength`'s `mul`↔`shl`/`add`
+//! reassociations. Two bodies related by those passes therefore normalize
+//! to identical output terms; rewrites outside this set (value-range
+//! simplification) fall to the differential checker in [`super::prove`].
+//!
+//! # Soundness
+//!
+//! Every rule is exact on the interpreter's semantics for *well-typed*
+//! instantiations of the input slots (wrapping i64 arithmetic, guarded
+//! div/rem, 6-bit shift masks, IEEE-754 bit patterns). Type-dependent rules
+//! fire only when the term's type is pinned — by a constant operand, a
+//! cast, or the slot seeds the prover supplies — and float-only hazards
+//! (NaN under negated ordered compares, `±0.0` under `min`/`max` operand
+//! swaps) are excluded by requiring a known integer/bool type, exactly as
+//! the guarded passes do.
+
+use super::fx::FxBuildHasher;
+use crate::interp::{eval_bin, eval_cast, eval_cmp, eval_un};
+use crate::ir::{BinOp, CmpOp, Instr, KernelBody, UnOp};
+use crate::value::{Ty, Value};
+use std::collections::HashMap;
+
+/// Index of an interned term in its [`TermArena`].
+pub type TermId = u32;
+
+/// A node of the term DAG. `Copy` instructions have no term form — they
+/// resolve to their source's term during [`sym_eval`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// The value of input slot `0`'s … — symbolic, one per slot.
+    Input(u32),
+    /// A literal constant (bit-exact identity via [`Value`]'s `Eq`/`Hash`).
+    Const(Value),
+    /// A binary operation over two terms.
+    Bin(BinOp, TermId, TermId),
+    /// A unary operation.
+    Un(UnOp, TermId),
+    /// A comparison (always `Bool`-typed).
+    Cmp(CmpOp, TermId, TermId),
+    /// `cond ? then : else`.
+    Select(TermId, TermId, TermId),
+    /// A type conversion.
+    Cast(Ty, TermId),
+}
+
+/// Interning arena: one entry per distinct normalized term, with the
+/// bottom-up type of each term (seeded by the prover's slot types).
+#[derive(Debug, Default)]
+pub struct TermArena {
+    terms: Vec<Term>,
+    tys: Vec<Option<Ty>>,
+    dedup: HashMap<Term, TermId, FxBuildHasher>,
+    input_tys: Vec<Option<Ty>>,
+}
+
+fn commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Min | BinOp::Max
+    )
+}
+
+impl TermArena {
+    /// An arena whose `Input(s)` terms carry the given slot types
+    /// (`None` = polymorphic; type-guarded rules then stay off).
+    pub fn new(input_tys: Vec<Option<Ty>>) -> Self {
+        TermArena { input_tys, ..Default::default() }
+    }
+
+    /// Pre-size the arena for roughly `n` further interned terms.
+    pub fn reserve(&mut self, n: usize) {
+        self.terms.reserve(n);
+        self.tys.reserve(n);
+        self.dedup.reserve(n);
+    }
+
+    /// Empty the arena for a fresh proof with the given slot types, keeping
+    /// every allocation. Proofs run back to back (one per rewrite during a
+    /// compile), and a pooled arena turns their per-proof cost from "grow
+    /// three containers from nothing" into "overwrite warm memory".
+    pub fn reset(&mut self, input_tys: &[Option<Ty>]) {
+        self.terms.clear();
+        self.tys.clear();
+        self.dedup.clear();
+        self.input_tys.clear();
+        self.input_tys.extend_from_slice(input_tys);
+    }
+
+    /// The interned term for `id`.
+    pub fn term(&self, id: TermId) -> Term {
+        self.terms[id as usize]
+    }
+
+    /// The term's type, where pinned.
+    pub fn ty(&self, id: TermId) -> Option<Ty> {
+        self.tys[id as usize]
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn intern(&mut self, t: Term) -> TermId {
+        if let Some(&id) = self.dedup.get(&t) {
+            return id;
+        }
+        let ty = self.compute_ty(&t);
+        let id = self.terms.len() as TermId;
+        self.terms.push(t);
+        self.tys.push(ty);
+        self.dedup.insert(t, id);
+        id
+    }
+
+    /// Forward type propagation, the term-level analogue of
+    /// `opt::infer_types` (binary/unary ops are homogeneous).
+    fn compute_ty(&self, t: &Term) -> Option<Ty> {
+        match *t {
+            Term::Input(s) => self.input_tys.get(s as usize).copied().flatten(),
+            Term::Const(v) => Some(v.ty()),
+            Term::Bin(op, a, b) => match op {
+                // Shifts are i64-only in the IR.
+                BinOp::Shl | BinOp::Shr => Some(Ty::I64),
+                _ => self.tys[a as usize].or(self.tys[b as usize]),
+            },
+            Term::Un(_, a) => self.tys[a as usize],
+            Term::Cmp(..) => Some(Ty::Bool),
+            Term::Select(_, t_, e_) => self.tys[t_ as usize].or(self.tys[e_ as usize]),
+            Term::Cast(ty, _) => Some(ty),
+        }
+    }
+
+    fn as_const(&self, id: TermId) -> Option<Value> {
+        match self.terms[id as usize] {
+            Term::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn is_int_or_bool(&self, id: TermId) -> bool {
+        matches!(self.tys[id as usize], Some(Ty::I64) | Some(Ty::Bool))
+    }
+
+    /// Intern the symbolic value of input slot `slot`.
+    pub fn input(&mut self, slot: u32) -> TermId {
+        self.intern(Term::Input(slot))
+    }
+
+    /// Intern a constant.
+    pub fn konst(&mut self, v: Value) -> TermId {
+        self.intern(Term::Const(v))
+    }
+
+    /// Normalize and intern a binary operation.
+    pub fn bin(&mut self, op: BinOp, a: TermId, b: TermId) -> TermId {
+        // Constant folding, with the interpreter's own arithmetic.
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            if let Ok(v) = eval_bin(op, x, y) {
+                return self.konst(v);
+            }
+        }
+        // Idempotents over the *same* term are exact at any type the op
+        // admits (`combine`'s `x && x`, plus min/max over identical bits).
+        if a == b {
+            match op {
+                BinOp::And | BinOp::Or | BinOp::Min | BinOp::Max => return a,
+                _ => {}
+            }
+        }
+        // `const_fold::algebraic_bin`'s identity table.
+        if let Some(id) = self.bin_identity(op, a, b) {
+            return id;
+        }
+        // `strength`: `x * -1 → -x`, `x << k → x * 2^k` (canonical form is
+        // the multiply; `wrapping_shl` with the 6-bit mask and
+        // `wrapping_mul` by `2^(k&63)` agree on every i64).
+        if op == BinOp::Mul {
+            let (var, konst) = match (self.as_const(a), self.as_const(b)) {
+                (None, Some(Value::I64(c))) => (a, Some(c)),
+                (Some(Value::I64(c)), None) => (b, Some(c)),
+                _ => (a, None),
+            };
+            if konst == Some(-1) {
+                return self.un(UnOp::Neg, var);
+            }
+        }
+        if op == BinOp::Shl {
+            if let Some(Value::I64(k)) = self.as_const(b) {
+                let pow = 1i64.wrapping_shl(k as u32 & 63);
+                let pow = self.konst(Value::I64(pow));
+                return self.bin(BinOp::Mul, a, pow);
+            }
+        }
+        // `strength`: `x + x → x * 2` at a known-i64 type (the pass only
+        // rewrites the multiply form into the add, so the multiply is the
+        // normal form; unknown types might be f64, where the pass never
+        // fires because the constant 2 is an i64).
+        if op == BinOp::Add && a == b && self.tys[a as usize] == Some(Ty::I64) {
+            let two = self.konst(Value::I64(2));
+            return self.bin(BinOp::Mul, a, two);
+        }
+        // `combine`: AND of two range checks on the same subject.
+        if op == BinOp::And {
+            if let Some(id) = self.merge_range_checks(a, b) {
+                return id;
+            }
+        }
+        // `cse`: canonical operand order for commutative ops — guarded to
+        // integer/bool terms (f64 `min(0.0, -0.0)` is order-sensitive at
+        // the bit level, and NaN payload propagation follows operand order).
+        let (a, b) =
+            if commutative(op) && a > b && (self.is_int_or_bool(a) || self.is_int_or_bool(b)) {
+                (b, a)
+            } else {
+                (a, b)
+            };
+        self.intern(Term::Bin(op, a, b))
+    }
+
+    /// `const_fold::algebraic_bin`, ported to terms: identities with one
+    /// constant operand, exact for the type the constant implies.
+    fn bin_identity(&mut self, op: BinOp, a: TermId, b: TermId) -> Option<TermId> {
+        use Value::{Bool, I64};
+        let (var, con, con_on_left) = match (self.as_const(a), self.as_const(b)) {
+            (None, Some(v)) => (a, v, false),
+            (Some(v), None) => (b, v, true),
+            _ => return None,
+        };
+        if con_on_left && !commutative(op) {
+            return match (op, con) {
+                (BinOp::Sub, I64(0)) => Some(self.un(UnOp::Neg, var)),
+                (BinOp::Div, I64(0)) | (BinOp::Rem, I64(0)) => Some(self.konst(I64(0))),
+                (BinOp::Shl, I64(0)) | (BinOp::Shr, I64(0)) => Some(self.konst(I64(0))),
+                _ => None,
+            };
+        }
+        match (op, con) {
+            (BinOp::Add, I64(0)) | (BinOp::Sub, I64(0)) => Some(var),
+            (BinOp::Mul, I64(1)) | (BinOp::Div, I64(1)) => Some(var),
+            (BinOp::Mul, I64(0)) => Some(self.konst(I64(0))),
+            (BinOp::And, Bool(true)) => Some(var),
+            (BinOp::And, Bool(false)) => Some(self.konst(Bool(false))),
+            (BinOp::Or, Bool(false)) => Some(var),
+            (BinOp::Or, Bool(true)) => Some(self.konst(Bool(true))),
+            (BinOp::Xor, Bool(false)) => Some(var),
+            (BinOp::Xor, Bool(true)) => Some(self.un(UnOp::Not, var)),
+            (BinOp::And, I64(0)) => Some(self.konst(I64(0))),
+            (BinOp::And, I64(-1)) => Some(var),
+            (BinOp::Or, I64(0)) => Some(var),
+            (BinOp::Or, I64(-1)) => Some(self.konst(I64(-1))),
+            (BinOp::Xor, I64(0)) => Some(var),
+            (BinOp::Shl, I64(0)) | (BinOp::Shr, I64(0)) if !con_on_left => Some(var),
+            _ => None,
+        }
+    }
+
+    /// A compare of a term against an i64 constant, subject on the left —
+    /// `combine::range_check` over terms.
+    fn range_check(&self, id: TermId) -> Option<(TermId, CmpOp, i64)> {
+        if let Term::Cmp(op, lhs, rhs) = self.terms[id as usize] {
+            if let Some(Value::I64(k)) = self.as_const(rhs) {
+                return Some((lhs, op, k));
+            }
+            if let Some(Value::I64(k)) = self.as_const(lhs) {
+                return Some((rhs, op.swapped(), k));
+            }
+        }
+        None
+    }
+
+    /// `combine::combine_and`: `(x ⋈ c1) && (x ⋈ c2)` keeps the tighter
+    /// bound, folds equality conjunctions, or contradicts to `false`.
+    fn merge_range_checks(&mut self, a: TermId, b: TermId) -> Option<TermId> {
+        let (xa, op_a, ka) = self.range_check(a)?;
+        let (xb, op_b, kb) = self.range_check(b)?;
+        if xa != xb {
+            return None;
+        }
+        let pick = |keep_a: bool| if keep_a { a } else { b };
+        let f = Value::Bool(false);
+        match (op_a, op_b) {
+            (CmpOp::Lt, CmpOp::Lt) | (CmpOp::Le, CmpOp::Le) => Some(pick(ka <= kb)),
+            (CmpOp::Gt, CmpOp::Gt) | (CmpOp::Ge, CmpOp::Ge) => Some(pick(ka >= kb)),
+            (CmpOp::Lt, CmpOp::Le) => Some(pick(ka <= kb)),
+            (CmpOp::Le, CmpOp::Lt) => Some(pick(kb > ka)),
+            (CmpOp::Gt, CmpOp::Ge) => Some(pick(ka >= kb)),
+            (CmpOp::Ge, CmpOp::Gt) => Some(pick(kb < ka)),
+            (CmpOp::Eq, CmpOp::Eq) => {
+                if ka == kb {
+                    Some(a)
+                } else {
+                    Some(self.konst(f))
+                }
+            }
+            (CmpOp::Eq, other) => {
+                if cmp_const(ka, other, kb) {
+                    Some(a)
+                } else {
+                    Some(self.konst(f))
+                }
+            }
+            (other, CmpOp::Eq) => {
+                if cmp_const(kb, other, ka) {
+                    Some(b)
+                } else {
+                    Some(self.konst(f))
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Normalize and intern a unary operation.
+    pub fn un(&mut self, op: UnOp, a: TermId) -> TermId {
+        if let Some(x) = self.as_const(a) {
+            if let Ok(v) = eval_un(op, x) {
+                return self.konst(v);
+            }
+        }
+        match (op, self.terms[a as usize]) {
+            // `const_fold`: !!x and -(-x) collapse (exact for wrapping i64
+            // negation and IEEE sign flips alike).
+            (UnOp::Not, Term::Un(UnOp::Not, inner)) => return inner,
+            (UnOp::Neg, Term::Un(UnOp::Neg, inner)) => return inner,
+            // `combine`: !(a cmp b) ⇒ a !cmp b. De Morgan on an ordered
+            // compare is wrong for NaN (`!(x < y)` is true, `x >= y` is
+            // false), so ordered negation needs a known-i64 operand;
+            // Eq/Ne negation is exact at every type.
+            (UnOp::Not, Term::Cmp(cmp, lhs, rhs)) => {
+                let invertible = matches!(cmp, CmpOp::Eq | CmpOp::Ne)
+                    || self.tys[lhs as usize].or(self.tys[rhs as usize]) == Some(Ty::I64);
+                if invertible {
+                    return self.cmp(cmp.negated(), lhs, rhs);
+                }
+            }
+            _ => {}
+        }
+        self.intern(Term::Un(op, a))
+    }
+
+    /// Normalize and intern a comparison.
+    pub fn cmp(&mut self, op: CmpOp, a: TermId, b: TermId) -> TermId {
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            if let Ok(v) = eval_cmp(op, x, y) {
+                return self.konst(v);
+            }
+        }
+        // `cse`: `b > a` and `a < b` unify. Swapping a compare is exact at
+        // every type (including NaN: both orders are false).
+        if a > b {
+            self.intern(Term::Cmp(op.swapped(), b, a))
+        } else {
+            self.intern(Term::Cmp(op, a, b))
+        }
+    }
+
+    /// Normalize and intern a select.
+    pub fn select(&mut self, cond: TermId, then_t: TermId, else_t: TermId) -> TermId {
+        // `const_fold`: constant condition picks an arm; identical arms
+        // collapse (well-typed conditions are pure bools).
+        match self.as_const(cond) {
+            Some(Value::Bool(true)) => return then_t,
+            Some(Value::Bool(false)) => return else_t,
+            _ => {}
+        }
+        if then_t == else_t {
+            return then_t;
+        }
+        // `combine`: select(c, true, false) ⇒ c ; select(c, false, true) ⇒ !c.
+        match (self.as_const(then_t), self.as_const(else_t)) {
+            (Some(Value::Bool(true)), Some(Value::Bool(false))) => return cond,
+            (Some(Value::Bool(false)), Some(Value::Bool(true))) => return self.un(UnOp::Not, cond),
+            _ => {}
+        }
+        self.intern(Term::Select(cond, then_t, else_t))
+    }
+
+    /// Normalize and intern a cast.
+    pub fn cast(&mut self, ty: Ty, a: TermId) -> TermId {
+        if let Some(x) = self.as_const(a) {
+            if let Ok(v) = eval_cast(ty, x) {
+                return self.konst(v);
+            }
+        }
+        // `const_fold::cast_of_known_type`: casting to the type a term
+        // already has is the identity for all three types.
+        if self.tys[a as usize] == Some(ty) {
+            return a;
+        }
+        self.intern(Term::Cast(ty, a))
+    }
+}
+
+fn cmp_const(x: i64, op: CmpOp, c: i64) -> bool {
+    match op {
+        CmpOp::Lt => x < c,
+        CmpOp::Le => x <= c,
+        CmpOp::Gt => x > c,
+        CmpOp::Ge => x >= c,
+        CmpOp::Eq => x == c,
+        CmpOp::Ne => x != c,
+    }
+}
+
+/// Symbolically evaluate `body`, with `inputs[s]` the term feeding input
+/// slot `s`. Returns the output registers' terms, or `None` when a load
+/// references a slot beyond `inputs` (a malformed splice).
+pub fn sym_eval(
+    arena: &mut TermArena,
+    body: &KernelBody,
+    inputs: &[TermId],
+) -> Option<Vec<TermId>> {
+    arena.reserve(body.instrs.len());
+    let mut regs: Vec<TermId> = Vec::with_capacity(body.instrs.len());
+    for instr in &body.instrs {
+        let t = match *instr {
+            Instr::LoadInput { slot } => *inputs.get(slot as usize)?,
+            Instr::Const { value } => arena.konst(value),
+            Instr::Copy { src } => regs[src as usize],
+            Instr::Bin { op, lhs, rhs } => arena.bin(op, regs[lhs as usize], regs[rhs as usize]),
+            Instr::Un { op, arg } => arena.un(op, regs[arg as usize]),
+            Instr::Cmp { op, lhs, rhs } => arena.cmp(op, regs[lhs as usize], regs[rhs as usize]),
+            Instr::Select { cond, then_r, else_r } => {
+                arena.select(regs[cond as usize], regs[then_r as usize], regs[else_r as usize])
+            }
+            Instr::Cast { ty, arg } => arena.cast(ty, regs[arg as usize]),
+        };
+        regs.push(t);
+    }
+    Some(body.outputs.iter().map(|&r| regs[r as usize]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> TermArena {
+        TermArena::new(vec![Some(Ty::I64), Some(Ty::I64)])
+    }
+
+    #[test]
+    fn constants_fold_through_the_interpreter() {
+        let mut a = arena();
+        let x = a.konst(Value::I64(6));
+        let y = a.konst(Value::I64(7));
+        let m = a.bin(BinOp::Mul, x, y);
+        assert_eq!(a.term(m), Term::Const(Value::I64(42)));
+        // Guarded division: 1/0 folds to 0, like the interpreter.
+        let z = a.konst(Value::I64(0));
+        let one = a.konst(Value::I64(1));
+        let d = a.bin(BinOp::Div, one, z);
+        assert_eq!(a.term(d), Term::Const(Value::I64(0)));
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut a = arena();
+        let x = a.input(0);
+        let k = a.konst(Value::I64(3));
+        let s1 = a.bin(BinOp::Add, x, k);
+        let s2 = a.bin(BinOp::Add, x, k);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn commutative_int_operands_canonicalize() {
+        let mut a = arena();
+        let x = a.input(0);
+        let y = a.input(1);
+        assert_eq!(a.bin(BinOp::Add, y, x), a.bin(BinOp::Add, x, y));
+    }
+
+    #[test]
+    fn float_min_operands_do_not_canonicalize() {
+        let mut a = TermArena::new(vec![Some(Ty::F64), Some(Ty::F64)]);
+        let x = a.input(0);
+        let y = a.input(1);
+        // min(0.0, -0.0) != min(-0.0, 0.0) at the bit level, so the terms
+        // must stay distinct.
+        assert_ne!(a.bin(BinOp::Min, y, x), a.bin(BinOp::Min, x, y));
+    }
+
+    #[test]
+    fn shl_by_const_is_the_multiply() {
+        let mut a = arena();
+        let x = a.input(0);
+        let three = a.konst(Value::I64(3));
+        let eight = a.konst(Value::I64(8));
+        assert_eq!(a.bin(BinOp::Shl, x, three), a.bin(BinOp::Mul, x, eight));
+    }
+
+    #[test]
+    fn add_self_is_double() {
+        let mut a = arena();
+        let x = a.input(0);
+        let two = a.konst(Value::I64(2));
+        assert_eq!(a.bin(BinOp::Add, x, x), a.bin(BinOp::Mul, x, two));
+    }
+
+    #[test]
+    fn negated_float_compare_stays() {
+        let mut a = TermArena::new(vec![Some(Ty::F64), Some(Ty::F64)]);
+        let x = a.input(0);
+        let y = a.input(1);
+        let lt = a.cmp(CmpOp::Lt, x, y);
+        let not = a.un(UnOp::Not, lt);
+        // !(x < y) over floats must NOT normalize to x >= y (NaN).
+        assert!(matches!(a.term(not), Term::Un(UnOp::Not, _)));
+        // Over i64 it does.
+        let mut b = arena();
+        let x = b.input(0);
+        let y = b.input(1);
+        let lt = b.cmp(CmpOp::Lt, x, y);
+        let not = b.un(UnOp::Not, lt);
+        assert!(matches!(b.term(not), Term::Cmp(CmpOp::Ge, ..)));
+    }
+
+    #[test]
+    fn range_checks_merge_to_tighter_bound() {
+        let mut a = arena();
+        let x = a.input(0);
+        let k100 = a.konst(Value::I64(100));
+        let k70 = a.konst(Value::I64(70));
+        let c1 = a.cmp(CmpOp::Lt, x, k100);
+        let c2 = a.cmp(CmpOp::Lt, x, k70);
+        assert_eq!(a.bin(BinOp::And, c1, c2), c2);
+    }
+
+    #[test]
+    fn contradictory_equalities_are_false() {
+        let mut a = arena();
+        let x = a.input(0);
+        let k3 = a.konst(Value::I64(3));
+        let k4 = a.konst(Value::I64(4));
+        let e1 = a.cmp(CmpOp::Eq, x, k3);
+        let e2 = a.cmp(CmpOp::Eq, x, k4);
+        let and = a.bin(BinOp::And, e1, e2);
+        assert_eq!(a.term(and), Term::Const(Value::Bool(false)));
+    }
+
+    #[test]
+    fn select_boolean_arms_collapse() {
+        let mut a = arena();
+        let x = a.input(0);
+        let k = a.konst(Value::I64(5));
+        let c = a.cmp(CmpOp::Lt, x, k);
+        let t = a.konst(Value::Bool(true));
+        let f = a.konst(Value::Bool(false));
+        assert_eq!(a.select(c, t, f), c);
+        // select(c, false, true) is !c, which the i64-typed compare then
+        // normalizes further into the negated compare.
+        let inv = a.select(c, f, t);
+        assert!(matches!(a.term(inv), Term::Cmp(CmpOp::Ge, ..)));
+    }
+}

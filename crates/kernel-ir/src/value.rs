@@ -113,6 +113,14 @@ impl PartialEq for Value {
 
 impl Eq for Value {}
 
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Must agree with the bit-exact `PartialEq`: hash the same key the
+        // optimizer's value numbering uses.
+        self.bit_key().hash(state);
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -58,6 +58,7 @@ pub mod hazard;
 pub mod kernel;
 pub mod memory;
 pub mod pcie;
+pub mod segment;
 pub mod tracing;
 
 pub use des::{Command, CommandClass, Engine, Schedule, SimError, Span, Timeline};
@@ -66,6 +67,7 @@ pub use hazard::Hazard;
 pub use kernel::{KernelProfile, LaunchConfig};
 pub use memory::{DeviceMemory, MemError};
 pub use pcie::{Direction, HostMemKind, PcieModel};
+pub use segment::{check_partition, partition, SegRange, SegmentError};
 
 /// A complete simulated GPU system: the device and its PCIe link.
 #[derive(Debug, Clone)]
