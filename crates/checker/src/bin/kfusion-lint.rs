@@ -2,30 +2,32 @@
 //! render rustc-style diagnostics.
 //!
 //! ```sh
-//! kfusion-lint [--deny warnings] [--trace-out PATH] [--metrics-out PATH]
-//!              [--gantt] [tpch-q1] [tpch-q21] [tour] [demo-defects]
+//! kfusion-lint [--deny warnings] [--format text|json] [--trace-out PATH]
+//!              [--metrics-out PATH] [--gantt] [tpch-q1] [tpch-q21] [tour]
+//!              [demo-defects]
 //! ```
 //!
 //! With no targets, lints `tpch-q1 tpch-q21 tour` (all expected clean).
-//! `demo-defects` lints a deliberately broken plan and schedule — one seeded
-//! instance of each major defect class — and therefore always exits nonzero.
-//! Exit status: 0 when no deny-level lint fired (and, under
-//! `--deny warnings`, no warning either), 1 otherwise.
+//! `demo-defects` lints the deliberately broken corpus in
+//! [`kfusion_check::demo`] — one seeded instance of each major defect class
+//! — and therefore always exits nonzero. `--format json` emits one
+//! machine-readable document (schema pinned by `tests/lint_json.rs`)
+//! instead of rustc-style text; the exit status is unchanged. Exit status:
+//! 0 when no deny-level lint fired (and, under `--deny warnings`, no
+//! warning either), 1 otherwise.
 //!
 //! The lint run itself is traced: every `check_all` pass records a host
 //! span and a `kfusion_checker_passes_total` counter. `--trace-out` /
 //! `--metrics-out` write the session's Chrome trace / Prometheus counters;
 //! `--gantt` prints an ASCII Gantt of the host-clock pass timeline.
 
-use kfusion_check::lint::{lint_body, lint_fusion, lint_plan, lint_schedule, LintReport};
-use kfusion_core::graph::{OpKind, PlanGraph};
-use kfusion_core::{FusionBudget, FusionPlan};
+use kfusion_check::demo::demo_defects;
+use kfusion_check::lint::{lint_body, lint_plan, lint_schedule, targets_json, LintReport};
+use kfusion_core::graph::PlanGraph;
+use kfusion_core::FusionBudget;
 use kfusion_ir::builder::BodyBuilder;
 use kfusion_ir::fuse::fuse_predicate_chain;
 use kfusion_ir::opt::OptLevel;
-use kfusion_ir::{BinOp, CmpOp, Instr, KernelBody, Value};
-use kfusion_relalg::predicates;
-use kfusion_relalg::profiles::STAGE_REGS;
 use kfusion_vgpu::des::{Command, CommandClass, EventId, Schedule};
 use kfusion_vgpu::{DeviceSpec, HostMemKind, KernelProfile, LaunchConfig};
 
@@ -65,127 +67,9 @@ fn lint_tour() -> LintReport {
     report
 }
 
-/// One seeded instance of each defect class the lints exist to catch.
-fn lint_demo_defects() -> LintReport {
-    let mut report = LintReport::default();
-
-    // 1. A loaded-but-dead input slot (also dead code in the authored body).
-    let dead_load = KernelBody {
-        instrs: vec![
-            Instr::LoadInput { slot: 0 },
-            Instr::LoadInput { slot: 1 }, // never used
-            Instr::Const { value: Value::I64(10) },
-            Instr::Cmp { op: CmpOp::Lt, lhs: 0, rhs: 2 },
-        ],
-        outputs: vec![3],
-        n_inputs: 2,
-    };
-    report.lints.extend(lint_body("defect: dead load", &dead_load, true));
-
-    // 2. Dead arithmetic the author left behind (O3 removes it; the lint
-    //    points at the source).
-    let dead_math = KernelBody {
-        instrs: vec![
-            Instr::LoadInput { slot: 0 },
-            Instr::Const { value: Value::I64(2) },
-            Instr::Bin { op: BinOp::Mul, lhs: 0, rhs: 1 }, // dead
-            Instr::Const { value: Value::I64(50) },
-            Instr::Cmp { op: CmpOp::Lt, lhs: 0, rhs: 3 },
-        ],
-        outputs: vec![4],
-        n_inputs: 1,
-    };
-    report.lints.extend(lint_body("defect: dead math", &dead_math, true));
-
-    // 3. A filter that value-range analysis proves rejects every row:
-    //    (x % 10) >= 100.
-    let always_false = KernelBody {
-        instrs: vec![
-            Instr::LoadInput { slot: 0 },
-            Instr::Const { value: Value::I64(10) },
-            Instr::Bin { op: BinOp::Rem, lhs: 0, rhs: 1 },
-            Instr::Const { value: Value::I64(100) },
-            Instr::Cmp { op: CmpOp::Ge, lhs: 2, rhs: 3 },
-        ],
-        outputs: vec![4],
-        n_inputs: 1,
-    };
-    report.lints.extend(lint_body("defect: impossible filter", &always_false, true));
-
-    // 4. A hand-built fusion group whose analyzed register pressure blows
-    //    the budget (six distinct-column predicates under a tiny budget).
-    let mut g = PlanGraph::new();
-    let mut cur = g.input(0);
-    let mut members = Vec::new();
-    for k in 0..6 {
-        cur = g.add(OpKind::Select { pred: predicates::col_cmp_i64(k, CmpOp::Lt, 100) }, vec![cur]);
-        members.push(cur);
-    }
-    let mut group_of = vec![None; g.nodes.len()];
-    for &m in &members {
-        group_of[m] = Some(0);
-    }
-    let fusion = FusionPlan { group_of, groups: vec![members] };
-    let tiny = FusionBudget { max_regs_per_thread: STAGE_REGS + 2 };
-    report.lints.extend(lint_fusion(&g, &fusion, &tiny, OptLevel::O3));
-
-    // 5. A well-typed body the batch engine cannot take: its input slot
-    //    demands a bool column, which no relational column supplies, so
-    //    execution falls back to the per-tuple scalar interpreter.
-    let bool_slot = KernelBody {
-        instrs: vec![
-            Instr::LoadInput { slot: 0 },
-            Instr::Const { value: Value::I64(1) },
-            Instr::LoadInput { slot: 1 },
-            Instr::Select { cond: 2, then_r: 0, else_r: 1 },
-        ],
-        outputs: vec![3],
-        n_inputs: 2,
-    };
-    report.lints.extend(lint_body("defect: unvectorizable body", &bool_slot, false));
-
-    // 6. A single-stream schedule that serializes PCIe against compute.
-    let spec = DeviceSpec::tesla_c2070();
-    let k = KernelProfile::new("filter").instr_per_elem(8.0).bytes_read_per_elem(4.0);
-    let serial = Schedule::serial(vec![
-        Command::h2d("in", CommandClass::InputOutput, 64 << 20, HostMemKind::Pinned),
-        Command::kernel(k, LaunchConfig::for_elements(1 << 20, &spec), 1 << 20).reading("in"),
-    ]);
-    report.lints.extend(lint_schedule("defect: serial pipeline", &serial));
-
-    // 7. A semantics-changing rewrite: the "optimizer" flipped the compare
-    //    direction. The translation validator refutes it with a witness.
-    #[cfg(feature = "validate")]
-    {
-        let original = BodyBuilder::threshold_lt(0, 100).build();
-        let mut flipped = original.clone();
-        for instr in &mut flipped.instrs {
-            if let Instr::Cmp { op: op @ CmpOp::Lt, .. } = instr {
-                *op = CmpOp::Gt;
-            }
-        }
-        report.lints.extend(kfusion_check::lint::lint_rewrite(
-            "defect: sign-flipped rewrite",
-            &original,
-            &flipped,
-        ));
-    }
-
-    // 8. An off-by-one fission segmentation: segment 2 starts one element
-    //    early, so the boundary element is computed twice.
-    let mut segs = kfusion_vgpu::segment::partition(1 << 20, 4);
-    segs[2].lo -= 1;
-    report.lints.extend(kfusion_check::lint::lint_segments(
-        "defect: overlapping fission segments",
-        1 << 20,
-        &segs,
-    ));
-
-    report
-}
-
 fn main() {
     let mut deny_warnings = false;
+    let mut json = false;
     let mut gantt = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -200,13 +84,22 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("--format expects `text` or `json`, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out PATH")),
             "--metrics-out" => metrics_out = Some(args.next().expect("--metrics-out PATH")),
             "--gantt" => gantt = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: kfusion-lint [--deny warnings] [--trace-out PATH] \
-                     [--metrics-out PATH] [--gantt] [tpch-q1|tpch-q21|tour|demo-defects]..."
+                    "usage: kfusion-lint [--deny warnings] [--format text|json] \
+                     [--trace-out PATH] [--metrics-out PATH] [--gantt] \
+                     [tpch-q1|tpch-q21|tour|demo-defects]..."
                 );
                 return;
             }
@@ -220,7 +113,8 @@ fn main() {
     kfusion_trace::reset();
     kfusion_trace::set_enabled(true);
     let mut failed = false;
-    for t in &targets {
+    let mut reports: Vec<(String, LintReport)> = Vec::new();
+    for t in targets {
         let report = {
             let _span = kfusion_trace::host_span("checker", &format!("lint:{t}"));
             kfusion_trace::counter("kfusion_lint_targets_total", 1);
@@ -228,7 +122,7 @@ fn main() {
                 "tpch-q1" => lint_tpch(&kfusion_tpch::q1::q1_plan()),
                 "tpch-q21" => lint_tpch(&kfusion_tpch::q21::q21_plan(1)),
                 "tour" => lint_tour(),
-                "demo-defects" => lint_demo_defects(),
+                "demo-defects" => demo_defects(),
                 other => {
                     eprintln!(
                         "unknown target {other:?} (try tpch-q1, tpch-q21, tour, demo-defects)"
@@ -237,8 +131,15 @@ fn main() {
                 }
             }
         };
-        println!("== {t} ==\n{}\n", report.render());
         failed |= report.fails(deny_warnings);
+        reports.push((t, report));
+    }
+    if json {
+        print!("{}", targets_json(&reports, deny_warnings));
+    } else {
+        for (t, report) in &reports {
+            println!("== {t} ==\n{}\n", report.render());
+        }
     }
     kfusion_trace::set_enabled(false);
     let trace = kfusion_trace::take();

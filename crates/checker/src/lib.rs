@@ -25,7 +25,10 @@
 //! bodies, and random mutations of well-formed bodies are rejected at least
 //! as often as pure structural checking rejects them.
 
+pub mod demo;
 pub mod lint;
+#[cfg(kfusion_model)]
+pub mod model_scenarios;
 
 /// The typed IR verifier (re-export of [`kfusion_ir::verify`]).
 pub mod ir {

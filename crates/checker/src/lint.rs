@@ -70,6 +70,39 @@ impl Lint {
         }
         out
     }
+
+    /// One JSON object: `{"id","severity","message","notes"}`.
+    pub fn to_json(&self) -> String {
+        let notes: Vec<String> = self.notes.iter().map(|n| json_string(n)).collect();
+        format!(
+            "{{\"id\":{},\"severity\":{},\"message\":{},\"notes\":[{}]}}",
+            json_string(self.id),
+            json_string(&self.severity.to_string()),
+            json_string(&self.message),
+            notes.join(",")
+        )
+    }
+}
+
+/// Minimal JSON string encoder (the workspace is dependency-free; mirrors
+/// `kfusion_trace::json`'s escaping rules, which the golden test parses
+/// back with that same module).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Every diagnostic from one lint run.
@@ -106,6 +139,39 @@ impl LintReport {
         out.push_str(&format!("{} error(s), {} warning(s)", self.deny_count(), self.warn_count()));
         out
     }
+
+    /// One JSON object: counts plus the lints in discovery order.
+    pub fn to_json(&self) -> String {
+        let lints: Vec<String> = self.lints.iter().map(Lint::to_json).collect();
+        format!(
+            "{{\"errors\":{},\"warnings\":{},\"lints\":[{}]}}",
+            self.deny_count(),
+            self.warn_count(),
+            lints.join(",")
+        )
+    }
+}
+
+/// The `kfusion-lint --format json` document: one entry per linted target,
+/// plus the overall exit verdict under the given `--deny warnings` setting.
+/// Machine-readable so CI can diff results instead of grepping rendered
+/// text.
+pub fn targets_json(targets: &[(String, LintReport)], deny_warnings: bool) -> String {
+    let failed = targets.iter().any(|(_, r)| r.fails(deny_warnings));
+    let entries: Vec<String> = targets
+        .iter()
+        .map(|(name, r)| {
+            let body = r.to_json();
+            // Splice the target name into the report object.
+            format!("{{\"target\":{},{}", json_string(name), &body[1..])
+        })
+        .collect();
+    format!(
+        "{{\"tool\":\"kfusion-lint\",\"schema_version\":1,\"deny_warnings\":{},\"failed\":{},\"targets\":[{}]}}\n",
+        deny_warnings,
+        failed,
+        entries.join(",")
+    )
 }
 
 /// Lint one IR body. `origin` names it in messages; `is_predicate` enables
@@ -434,6 +500,78 @@ pub fn lint_segments(
             .note(format!("segments: {}", rendered.join(" ")))
             .note("every element must be computed exactly once across the fission pipeline")]
         }
+    }
+}
+
+/// Lint a schedule through the static certifiers (DESIGN.md §13): a
+/// wait-for-graph cycle or orphaned wait becomes `schedule-deadlock`, and a
+/// peak resident footprint exceeding device capacity becomes
+/// `footprint-over-capacity`, each carrying the certifier's concrete
+/// witness. Clean schedules produce no lints — the positive certificates
+/// are reported by the `kfusion-model` bin instead.
+pub fn lint_certificates(
+    origin: &str,
+    schedule: &Schedule,
+    spec: &kfusion_vgpu::DeviceSpec,
+) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    if let Err(w) = kfusion_model::certify::certify_deadlock_free(schedule) {
+        lints.push(
+            Lint::new(
+                "schedule-deadlock",
+                Severity::Deny,
+                format!("{origin}: schedule can deadlock: {w}"),
+            )
+            .note("wait-for-graph certification: every wait needs a matching record and an acyclic graph")
+            .note("a conforming executor (DES or real streams) would stall forever on this schedule"),
+        );
+    }
+    if let Err(w) = kfusion_model::certify::certify_memory_bound(schedule, spec) {
+        lints.push(
+            Lint::new(
+                "footprint-over-capacity",
+                Severity::Deny,
+                format!("{origin}: resident footprint exceeds device memory: {w}"),
+            )
+            .note("peak-memory abstract interpretation over happens-before liveness (sound over-approximation)")
+            .note("shrink fission segments or add round-trips so intermediates retire earlier"),
+        );
+    }
+    lints
+}
+
+/// Lint a model-checker violation (`kfusion-model`'s explorer output).
+///
+/// Only violations with a lint-shaped diagnosis map to lints: a deadlock
+/// becomes `schedule-deadlock` (same id as the static certifier — both
+/// prove "this protocol/schedule can stall forever", by different means),
+/// and an assertion failure that needed an injected spurious wakeup becomes
+/// `unchecked-condvar-wait` (the signature of `if` where `while` was
+/// required around a condvar wait). Other assertion failures are protocol
+/// bugs the `kfusion-model` bin reports directly with their schedule trace.
+pub fn lint_model_violation(v: &kfusion_model::ViolationInfo) -> Vec<Lint> {
+    let replay_note = format!("replay: kfusion-model --replay {} {}", v.scenario, v.replay_csv());
+    match v.kind {
+        kfusion_model::ViolationKind::Deadlock => vec![Lint::new(
+            "schedule-deadlock",
+            Severity::Deny,
+            format!("scenario `{}`: {}", v.scenario, v.message),
+        )
+        .note("found by exhaustive interleaving exploration (kfusion-model)")
+        .note(replay_note)],
+        kfusion_model::ViolationKind::AssertionFailed if v.spurious_wakeups > 0 => {
+            vec![Lint::new(
+                "unchecked-condvar-wait",
+                Severity::Deny,
+                format!(
+                    "scenario `{}`: an injected spurious wakeup breaks the protocol: {}",
+                    v.scenario, v.message
+                ),
+            )
+            .note("a condvar wait must re-check its predicate in a loop; `if !ready { wait() }` is not enough")
+            .note(replay_note)]
+        }
+        _ => Vec::new(),
     }
 }
 

@@ -138,6 +138,34 @@ pub fn prepare_fusion(graph: &PlanGraph, cfg: &ExecConfig) -> Result<FusionPlan,
     })
 }
 
+/// The device schedule [`execute`] would simulate for `(graph, inputs,
+/// cfg)`, without simulating it — the compile-side artifact the static
+/// schedule certifier (`kfusion-model::certify`) proves deadlock-freedom
+/// and memory bounds over.
+///
+/// Runs the functional phase (schedules are sized from real cardinalities,
+/// so certifying a schedule certifies it for the actual data, not a guess)
+/// and the fusion pipeline, then builds the schedule exactly as execution
+/// would.
+pub fn plan_schedule(
+    system: &GpuSystem,
+    graph: &PlanGraph,
+    inputs: &[Relation],
+    cfg: &ExecConfig,
+) -> Result<Schedule, CoreError> {
+    let fusion = prepare_fusion(graph, cfg)?;
+    let mut slots: Vec<Option<Relation>> = (0..graph.len()).map(|_| None).collect();
+    for wave in wavefronts(graph) {
+        for id in wave {
+            slots[id] = Some(eval_node(graph, id, inputs, &slots)?);
+        }
+    }
+    let results: Vec<Relation> =
+        slots.into_iter().map(|r| r.expect("every wave filled its nodes")).collect();
+    let stats = Stats::collect(graph, &results);
+    Ok(build_schedule(system, graph, &fusion, &stats, cfg, &[graph.root]))
+}
+
 /// [`execute`], but with the compile-side pipeline already done: `fusion`
 /// must come from [`prepare_fusion`] on a structurally identical graph
 /// under the same `cfg`. The full plan check is skipped (it ran in

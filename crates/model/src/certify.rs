@@ -1,0 +1,519 @@
+//! Static schedule certification over `vgpu` schedules (always compiled —
+//! no model cfg needed; these are whole-schedule proofs, not dynamic
+//! exploration).
+//!
+//! Two certificates, both computed from the same happens-before relation
+//! (program order within a stream, plus `record(e) → wait(e)` edges across
+//! streams):
+//!
+//! * [`certify_deadlock_free`] — the wait-for graph of a schedule is
+//!   acyclic and every `wait` has a matching `record`, so a conforming
+//!   executor (the DES, or real streams with events) can always retire the
+//!   next command: the schedule cannot deadlock. On failure the witness is
+//!   the concrete command cycle (or the orphaned wait).
+//! * [`certify_memory_bound`] — an abstract interpretation of peak resident
+//!   device memory: a buffer is considered resident at a command unless the
+//!   happens-before relation *proves* all its uses are fully before or
+//!   fully after that command. The per-command footprint therefore
+//!   over-approximates every legal interleaving, so `peak ≤ capacity` is a
+//!   sound certificate; on failure the witness names the violating command
+//!   and the resident set.
+//!
+//! Soundness caveats (documented in DESIGN.md §13): buffer sizes come from
+//! the transfer commands that touch them (a buffer only ever touched by
+//! kernels contributes 0 bytes), and buffers with the same label are the
+//! same buffer. Both match how `exec::fission_schedule` names and sizes its
+//! segments.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use kfusion_vgpu::des::{Command, CommandKind, Schedule};
+use kfusion_vgpu::device::DeviceSpec;
+use kfusion_vgpu::hazard::CmdRef;
+
+/// Proof summary that a schedule cannot deadlock.
+#[derive(Debug, Clone)]
+pub struct DeadlockCert {
+    /// Commands in the schedule.
+    pub commands: usize,
+    /// Streams in the schedule.
+    pub streams: usize,
+    /// Cross-stream `record → wait` edges in the wait-for graph.
+    pub event_edges: usize,
+}
+
+impl fmt::Display for DeadlockCert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deadlock-free: {} commands / {} streams, wait-for graph acyclic ({} event edges)",
+            self.commands, self.streams, self.event_edges
+        )
+    }
+}
+
+/// Counterexample to deadlock-freedom.
+#[derive(Debug, Clone)]
+pub enum DeadlockWitness {
+    /// A cycle in the wait-for graph: each command waits (directly via an
+    /// event, or transitively via stream order) on the next, and the last
+    /// on the first.
+    Cycle {
+        /// The commands forming the cycle, in dependency order.
+        cmds: Vec<CmdRef>,
+    },
+    /// A `wait(e)` with no `record(e)` anywhere in the schedule: the
+    /// waiting stream blocks forever.
+    UnmatchedWait {
+        /// The orphaned wait command.
+        cmd: CmdRef,
+        /// The event it waits for.
+        event: u32,
+    },
+}
+
+impl fmt::Display for DeadlockWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlockWitness::Cycle { cmds } => {
+                let chain: Vec<String> = cmds.iter().map(|c| c.to_string()).collect();
+                write!(f, "wait-for cycle: {}", chain.join(" -> "))
+            }
+            DeadlockWitness::UnmatchedWait { cmd, event } => {
+                write!(f, "{cmd} waits on event {event}, which no stream records")
+            }
+        }
+    }
+}
+
+/// Counterexample to the memory bound: the first command whose resident
+/// set exceeds device capacity.
+#[derive(Debug, Clone)]
+pub struct MemoryWitness {
+    /// The violating timestep.
+    pub at: CmdRef,
+    /// Bytes resident at that command under the abstraction.
+    pub resident_bytes: u64,
+    /// Device capacity it exceeds.
+    pub capacity: u64,
+    /// The resident buffers (label, bytes), largest first.
+    pub resident: Vec<(String, u64)>,
+}
+
+impl fmt::Display for MemoryWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "at {}: {} bytes resident > capacity {} ({} buffers",
+            self.at,
+            self.resident_bytes,
+            self.capacity,
+            self.resident.len()
+        )?;
+        for (label, bytes) in self.resident.iter().take(4) {
+            write!(f, ", {label}={bytes}B")?;
+        }
+        if self.resident.len() > 4 {
+            write!(f, ", ...")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Proof summary that peak resident memory fits the device.
+#[derive(Debug, Clone)]
+pub struct MemoryCert {
+    /// Peak resident bytes over all commands (the abstraction's maximum).
+    pub peak_bytes: u64,
+    /// Device capacity certified against.
+    pub capacity: u64,
+    /// The command where the peak occurs (first such).
+    pub peak_at: CmdRef,
+    /// Distinct device buffers seen.
+    pub buffers: usize,
+}
+
+impl fmt::Display for MemoryCert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory-bounded: peak {} / {} bytes ({} buffers), at {}",
+            self.peak_bytes, self.capacity, self.buffers, self.peak_at
+        )
+    }
+}
+
+/// Flattened view: command + its (stream, index) coordinates.
+struct Flat<'a> {
+    cmds: Vec<(&'a Command, usize, usize)>,
+}
+
+impl<'a> Flat<'a> {
+    fn new(schedule: &'a Schedule) -> Self {
+        let mut cmds = Vec::new();
+        for (s, stream) in schedule.streams.iter().enumerate() {
+            for (i, cmd) in stream.iter().enumerate() {
+                cmds.push((cmd, s, i));
+            }
+        }
+        Flat { cmds }
+    }
+
+    fn cref(&self, id: usize) -> CmdRef {
+        let (cmd, stream, index) = self.cmds[id];
+        CmdRef { stream, index, label: cmd.label.clone() }
+    }
+}
+
+/// Successor lists of the wait-for graph: stream order + record→wait.
+fn wait_for_graph(flat: &Flat<'_>) -> Result<(Vec<Vec<usize>>, usize), DeadlockWitness> {
+    let n = flat.cmds.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut records: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut waits: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (id, (cmd, _, index)) in flat.cmds.iter().enumerate() {
+        if *index > 0 {
+            succs[id - 1].push(id);
+        }
+        match cmd.kind {
+            CommandKind::RecordEvent(ev) => records.entry(ev.0).or_default().push(id),
+            CommandKind::WaitEvent(ev) => waits.entry(ev.0).or_default().push(id),
+            _ => {}
+        }
+    }
+    let mut event_edges = 0usize;
+    for (ev, ws) in &waits {
+        match records.get(ev) {
+            None => {
+                return Err(DeadlockWitness::UnmatchedWait { cmd: flat.cref(ws[0]), event: *ev });
+            }
+            Some(rs) => {
+                for &r in rs {
+                    for &w in ws {
+                        succs[r].push(w);
+                        event_edges += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok((succs, event_edges))
+}
+
+/// Kahn's algorithm; `Ok(topo_order)` or `Err(nodes_on_cycles)`.
+fn toposort(succs: &[Vec<usize>]) -> Result<Vec<usize>, Vec<usize>> {
+    let n = succs.len();
+    let mut indeg = vec![0usize; n];
+    for ss in succs {
+        for &s in ss {
+            indeg[s] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(id) = queue.pop() {
+        order.push(id);
+        for &s in &succs[id] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err((0..n).filter(|&i| indeg[i] > 0).collect())
+    }
+}
+
+/// Extract one concrete cycle from the residual (all-on-or-before-a-cycle)
+/// node set: walk successors within the set until a node repeats.
+fn extract_cycle(succs: &[Vec<usize>], residual: &[usize]) -> Vec<usize> {
+    let in_residual: std::collections::HashSet<usize> = residual.iter().copied().collect();
+    let start = residual[0];
+    let mut path = vec![start];
+    let mut seen: HashMap<usize, usize> = HashMap::new();
+    seen.insert(start, 0);
+    let mut cur = start;
+    loop {
+        let next = succs[cur]
+            .iter()
+            .copied()
+            .find(|s| in_residual.contains(s))
+            .expect("residual node has a residual successor");
+        if let Some(&pos) = seen.get(&next) {
+            return path[pos..].to_vec();
+        }
+        seen.insert(next, path.len());
+        path.push(next);
+        cur = next;
+    }
+}
+
+/// Prove the schedule's wait-for graph is acyclic and every wait matched —
+/// i.e. the schedule cannot deadlock under any conforming executor.
+pub fn certify_deadlock_free(schedule: &Schedule) -> Result<DeadlockCert, DeadlockWitness> {
+    let flat = Flat::new(schedule);
+    let (succs, event_edges) = wait_for_graph(&flat)?;
+    match toposort(&succs) {
+        Ok(_) => Ok(DeadlockCert {
+            commands: flat.cmds.len(),
+            streams: schedule.streams.len(),
+            event_edges,
+        }),
+        Err(residual) => {
+            let cycle = extract_cycle(&succs, &residual);
+            Err(DeadlockWitness::Cycle { cmds: cycle.iter().map(|&id| flat.cref(id)).collect() })
+        }
+    }
+}
+
+/// Dense happens-before reachability: `hb[a]` has bit `b` set iff `a`
+/// happens-before `b` (strict).
+struct Reach {
+    words: Vec<Vec<u64>>,
+}
+
+impl Reach {
+    fn compute(succs: &[Vec<usize>], topo: &[usize]) -> Reach {
+        let n = succs.len();
+        let stride = n.div_ceil(64);
+        let mut words = vec![vec![0u64; stride]; n];
+        // Reverse topological order: a node's reachable set is the union of
+        // its successors' sets plus the successors themselves.
+        for &id in topo.iter().rev() {
+            let mut acc = vec![0u64; stride];
+            for &s in &succs[id] {
+                acc[s / 64] |= 1 << (s % 64);
+                for (w, sw) in acc.iter_mut().zip(&words[s]) {
+                    *w |= sw;
+                }
+            }
+            words[id] = acc;
+        }
+        Reach { words }
+    }
+
+    fn before(&self, a: usize, b: usize) -> bool {
+        self.words[a][b / 64] & (1 << (b % 64)) != 0
+    }
+}
+
+/// Certify that the schedule's peak resident device memory never exceeds
+/// `spec.mem_capacity`, under the sound liveness abstraction described in
+/// the module docs. A cyclic schedule degrades to "everything is always
+/// resident" (no happens-before facts can be proven), which stays sound.
+pub fn certify_memory_bound(
+    schedule: &Schedule,
+    spec: &DeviceSpec,
+) -> Result<MemoryCert, Box<MemoryWitness>> {
+    let flat = Flat::new(schedule);
+    let n = flat.cmds.len();
+    let (succs, _) = match wait_for_graph(&flat) {
+        Ok(g) => g,
+        // An orphaned wait blocks forever; treat as "no ordering facts".
+        Err(_) => (vec![Vec::new(); n], 0),
+    };
+    let reach = match toposort(&succs) {
+        Ok(topo) => Reach::compute(&succs, &topo),
+        Err(_) => Reach { words: vec![vec![0u64; n.div_ceil(64)]; n] },
+    };
+
+    // Buffer table: label -> (bytes, commands touching it). Sizes come from
+    // the transfers; kernels only extend liveness.
+    let mut buffers: Vec<(String, u64, Vec<usize>)> = Vec::new();
+    let mut by_label: HashMap<&str, usize> = HashMap::new();
+    for (id, (cmd, _, _)) in flat.cmds.iter().enumerate() {
+        let bytes = match cmd.kind {
+            CommandKind::CopyH2D { bytes, .. } | CommandKind::CopyD2H { bytes, .. } => bytes,
+            _ => 0,
+        };
+        for label in cmd.reads.iter().chain(cmd.writes.iter()) {
+            let slot = *by_label.entry(label.as_str()).or_insert_with(|| {
+                buffers.push((label.clone(), 0, Vec::new()));
+                buffers.len() - 1
+            });
+            buffers[slot].1 = buffers[slot].1.max(bytes);
+            buffers[slot].2.push(id);
+        }
+    }
+
+    let mut peak: u64 = 0;
+    let mut peak_at: usize = 0;
+    let mut peak_resident: Vec<(String, u64)> = Vec::new();
+    for c in 0..n {
+        let mut resident_bytes = 0u64;
+        let mut resident: Vec<(String, u64)> = Vec::new();
+        for (label, bytes, touches) in &buffers {
+            if *bytes == 0 {
+                continue;
+            }
+            // Dead at `c` only if provably entirely before or entirely
+            // after; anything unordered must be assumed resident.
+            let all_before = touches.iter().all(|&t| reach.before(t, c));
+            let all_after = touches.iter().all(|&t| reach.before(c, t));
+            if !(all_before || all_after) {
+                resident_bytes += bytes;
+                resident.push((label.clone(), *bytes));
+            }
+        }
+        if resident_bytes > spec.mem_capacity {
+            resident.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            return Err(Box::new(MemoryWitness {
+                at: flat.cref(c),
+                resident_bytes,
+                capacity: spec.mem_capacity,
+                resident,
+            }));
+        }
+        if resident_bytes > peak {
+            peak = resident_bytes;
+            peak_at = c;
+            peak_resident = resident;
+        }
+    }
+    let _ = peak_resident;
+    Ok(MemoryCert {
+        peak_bytes: peak,
+        capacity: spec.mem_capacity,
+        peak_at: if n == 0 {
+            CmdRef { stream: 0, index: 0, label: "<empty>".to_string() }
+        } else {
+            flat.cref(peak_at)
+        },
+        buffers: buffers.iter().filter(|(_, b, _)| *b > 0).count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_vgpu::des::{Command, CommandClass, EventId, Schedule};
+    use kfusion_vgpu::kernel::{KernelProfile, LaunchConfig};
+    use kfusion_vgpu::pcie::HostMemKind;
+
+    fn gpu() -> DeviceSpec {
+        DeviceSpec::tesla_c2070()
+    }
+
+    fn kernel(name: &str) -> Command {
+        let spec = gpu();
+        let profile = KernelProfile::new(name).instr_per_elem(4.0).bytes_read_per_elem(4.0);
+        let launch = LaunchConfig::for_elements(1024, &spec);
+        Command::kernel(profile, launch, 1024)
+    }
+
+    fn pipeline() -> Schedule {
+        let mut s = Schedule::new();
+        s.add_stream();
+        s.push(
+            0,
+            Command::h2d("in".to_string(), CommandClass::InputOutput, 100, HostMemKind::Pinned),
+        );
+        s.push(0, kernel("k").reading("in").writing("out"));
+        s.push(
+            0,
+            Command::d2h("out".to_string(), CommandClass::InputOutput, 50, HostMemKind::Pinned),
+        );
+        s
+    }
+
+    #[test]
+    fn serial_pipeline_is_certified() {
+        let s = pipeline();
+        let cert = certify_deadlock_free(&s).unwrap();
+        assert_eq!(cert.commands, 3);
+        assert_eq!(cert.event_edges, 0);
+        let mem = certify_memory_bound(&s, &gpu()).unwrap();
+        // Peak at the kernel: both the input and the output live.
+        assert_eq!(mem.peak_bytes, 150);
+        assert_eq!(mem.peak_at.index, 1);
+    }
+
+    #[test]
+    fn cross_stream_wait_cycle_is_witnessed() {
+        // stream 0: wait(1); record(0)   stream 1: wait(0); record(1)
+        let mut s = Schedule::new();
+        s.add_stream();
+        s.add_stream();
+        s.push(0, Command::wait(EventId(1)));
+        s.push(0, Command::record(EventId(0)));
+        s.push(1, Command::wait(EventId(0)));
+        s.push(1, Command::record(EventId(1)));
+        match certify_deadlock_free(&s) {
+            Err(DeadlockWitness::Cycle { cmds }) => {
+                assert!(cmds.len() >= 2, "cycle too short: {cmds:?}");
+            }
+            other => panic!("expected a cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn orphaned_wait_is_witnessed() {
+        let mut s = Schedule::new();
+        s.add_stream();
+        s.push(0, Command::wait(EventId(7)));
+        match certify_deadlock_free(&s) {
+            Err(DeadlockWitness::UnmatchedWait { event, .. }) => assert_eq!(event, 7),
+            other => panic!("expected an unmatched wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_wait_pairs_certify() {
+        let mut s = Schedule::new();
+        s.add_stream();
+        s.add_stream();
+        s.push(
+            0,
+            Command::h2d("a".to_string(), CommandClass::InputOutput, 10, HostMemKind::Pinned),
+        );
+        s.push(0, Command::record(EventId(0)));
+        s.push(1, Command::wait(EventId(0)));
+        s.push(1, kernel("k").reading("a"));
+        let cert = certify_deadlock_free(&s).unwrap();
+        assert_eq!(cert.event_edges, 1);
+        certify_memory_bound(&s, &gpu()).unwrap();
+    }
+
+    #[test]
+    fn over_capacity_names_the_violating_timestep() {
+        let mut s = pipeline();
+        // A second resident input pushes the kernel timestep over a tiny
+        // device.
+        s.streams[0].insert(
+            1,
+            Command::h2d("in2".to_string(), CommandClass::InputOutput, 100, HostMemKind::Pinned),
+        );
+        s.streams[0][2] = kernel("k").reading("in").reading("in2").writing("out");
+        let mut small = gpu();
+        small.mem_capacity = 200;
+        let w = certify_memory_bound(&s, &small).unwrap_err();
+        assert_eq!(w.resident_bytes, 250);
+        assert_eq!(w.capacity, 200);
+        assert!(w.resident.iter().any(|(l, _)| l == "in2"));
+    }
+
+    #[test]
+    fn disjoint_phases_do_not_stack() {
+        // Two back-to-back pipelines on one stream: the second input's
+        // liveness must not overlap the first's (the first is provably
+        // dead by then), so peak = one phase, not both.
+        let mut s = Schedule::new();
+        s.add_stream();
+        for phase in 0..2 {
+            let inp = format!("in{phase}");
+            let out = format!("out{phase}");
+            s.push(
+                0,
+                Command::h2d(inp.clone(), CommandClass::InputOutput, 100, HostMemKind::Pinned),
+            );
+            s.push(0, kernel("k").reading(&inp).writing(&out));
+            s.push(0, Command::d2h(out, CommandClass::InputOutput, 50, HostMemKind::Pinned));
+        }
+        let mem = certify_memory_bound(&s, &gpu()).unwrap();
+        assert_eq!(mem.peak_bytes, 150);
+    }
+}

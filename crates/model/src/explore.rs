@@ -1,0 +1,110 @@
+//! Stateless-DFS exploration over scheduling choices (model cfg only).
+//!
+//! [`crate::rt::run_one`] makes every execution a deterministic function of
+//! its recorded choice vector. Exploration is therefore prefix replay:
+//! re-run the scenario following the previous execution's choices up to the
+//! deepest point that still has an untried alternative, take the next
+//! alternative there, and default to alternative 0 beyond. When no recorded
+//! choice has an untried alternative left, the scenario's full interleaving
+//! space (under the configured preemption bound and spurious-wakeup budget)
+//! has been enumerated.
+//!
+//! This is the CHESS-style stateless search: nothing is memoized between
+//! executions, so memory stays O(depth) while the number of executions is
+//! exactly the number of leaves of the choice tree.
+
+use crate::rt::{self, Config, Scenario};
+use crate::ViolationInfo;
+
+/// Aggregate result of exhaustively exploring one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Executions (leaves of the choice tree) run.
+    pub executions: u64,
+    /// Total branch points taken across all executions ("states explored").
+    pub decision_points: u64,
+    /// Configured preemption bound (`None` = unbounded).
+    pub max_preemptions: Option<u32>,
+    /// Highest preemption count observed on any single execution.
+    pub peak_preemptions: u32,
+    /// Configured spurious-wakeup budget per execution.
+    pub spurious_budget: u32,
+    /// Total spurious wakeups injected across all executions.
+    pub spurious_injected: u64,
+    /// Whether the choice tree was fully enumerated. `false` when a
+    /// violation stopped the search or `max_executions` truncated it.
+    pub complete: bool,
+    /// First violation found, if any (the search stops at the first).
+    pub violation: Option<ViolationInfo>,
+    /// Wall-clock time spent exploring, in milliseconds.
+    pub wall_ms: u128,
+}
+
+/// Exhaustively explore `scenario`, stopping at the first violation.
+pub fn explore(name: &str, cfg: &Config, scenario: Scenario) -> ScenarioReport {
+    let t0 = std::time::Instant::now();
+    let _span = kfusion_trace::host_span("model", &format!("explore:{name}"));
+    let mut report = ScenarioReport {
+        name: name.to_string(),
+        executions: 0,
+        decision_points: 0,
+        max_preemptions: cfg.max_preemptions,
+        peak_preemptions: 0,
+        spurious_budget: cfg.spurious_budget,
+        spurious_injected: 0,
+        complete: true,
+        violation: None,
+        wall_ms: 0,
+    };
+    let mut prefix: Vec<usize> = Vec::new();
+    loop {
+        let out = rt::run_one(cfg, &prefix, scenario.clone());
+        report.executions += 1;
+        report.decision_points += out.choices.len() as u64;
+        report.peak_preemptions = report.peak_preemptions.max(out.preemptions);
+        report.spurious_injected += u64::from(out.spurious);
+        if out.violation.is_some() {
+            report.violation = out.into_violation(name);
+            report.complete = false;
+            break;
+        }
+        if cfg.max_executions.is_some_and(|cap| report.executions >= cap) {
+            if next_prefix(&out.choices).is_some() {
+                report.complete = false;
+            }
+            break;
+        }
+        match next_prefix(&out.choices) {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    report.wall_ms = t0.elapsed().as_millis();
+    kfusion_trace::counter(&format!("kfusion_model_executions[{name}]"), report.executions);
+    kfusion_trace::counter(
+        &format!("kfusion_model_decision_points[{name}]"),
+        report.decision_points,
+    );
+    report
+}
+
+/// Replay a recorded choice prefix (e.g. from a [`ViolationInfo`]) and
+/// return the raw outcome of that single execution.
+pub fn replay(cfg: &Config, scenario: Scenario, prefix: &[usize]) -> rt::ExecOutcome {
+    rt::run_one(cfg, prefix, scenario)
+}
+
+/// Backtrack: the deepest recorded choice with an untried alternative,
+/// advanced by one; `None` when the tree is exhausted.
+fn next_prefix(choices: &[rt::ChoicePoint]) -> Option<Vec<usize>> {
+    for i in (0..choices.len()).rev() {
+        if choices[i].chosen + 1 < choices[i].n_alts {
+            let mut p: Vec<usize> = choices[..i].iter().map(|c| c.chosen).collect();
+            p.push(choices[i].chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}

@@ -1,0 +1,842 @@
+//! Model-checking runtime: serialized threads under an explorer-controlled
+//! scheduler. Compiled only under `--cfg kfusion_model`.
+//!
+//! The design is the loom/CHESS "baton-passing" runtime. Scenario threads
+//! are real OS threads, but exactly one participant — one scenario thread
+//! *or* the explorer — holds the baton at any instant; everyone else is
+//! parked on one central condvar. Before every operation with inter-thread
+//! visible effects (lock, unlock, condvar wait, notify, atomic access,
+//! spawn, join) a thread *publishes* the pending operation and hands the
+//! baton to the explorer, which picks the next thread to run. Scheduling
+//! picks, `notify_one` wake-target picks, and injected spurious wakeups are
+//! the only sources of nondeterminism, and each is recorded as an indexed
+//! choice — replaying a recorded choice prefix replays the execution
+//! exactly. OS scheduling and real time are excluded by construction:
+//! serialized execution means the "real" std primitives backing the shim
+//! are always uncontended, and time is the explorer's virtual clock
+//! ([`crate::time`]).
+//!
+//! [`run_one`] drives a single execution for a given choice prefix;
+//! [`crate::explore`] wraps it in the stateless-DFS backtracking loop.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::{ViolationInfo, ViolationKind};
+
+/// Index of a scenario thread within one execution.
+pub type Tid = usize;
+/// Index of a registered sync object (mutex/condvar/atomic).
+pub type ObjId = usize;
+
+/// A scenario body: re-run from scratch for every explored execution.
+pub type Scenario = Arc<dyn Fn() + Send + Sync>;
+
+/// Explorer configuration shared by [`run_one`] and [`crate::explore`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// CHESS-style preemption bound: `Some(k)` restricts exploration to
+    /// executions with at most `k` preemptions (scheduling away from a
+    /// thread that could still run). `None` explores everything.
+    pub max_preemptions: Option<u32>,
+    /// How many spurious condvar wakeups the explorer may inject per
+    /// execution (0 disables injection).
+    pub spurious_budget: u32,
+    /// Scheduler steps before an execution is abandoned as a livelock.
+    pub max_steps: u64,
+    /// DFS execution cap for [`crate::explore::explore`]; `None` runs to
+    /// exhaustion. A capped run reports `complete: false`.
+    pub max_executions: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_preemptions: None,
+            spurious_budget: 0,
+            max_steps: 200_000,
+            max_executions: None,
+        }
+    }
+}
+
+/// Kind tag for a registered sync object (used in trace labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    /// A [`crate::sync::Mutex`].
+    Mutex,
+    /// A [`crate::sync::Condvar`].
+    Condvar,
+    /// Any of the [`crate::sync::atomic`] types.
+    Atomic,
+}
+
+/// Lazily registers a per-execution object id for a shim primitive.
+///
+/// Shim objects outlive executions (a scenario may even stash them in
+/// statics), but object ids are per-execution. Each cell caches the id it
+/// was assigned together with the execution epoch that assigned it; a new
+/// epoch re-registers on first touch, which also makes registration order —
+/// and thus ids — deterministic for a fixed schedule prefix.
+#[derive(Debug)]
+pub struct ObjCell {
+    kind: ObjKind,
+    epoch_cell: AtomicU64,
+    id_cell: AtomicU64,
+}
+
+impl ObjCell {
+    /// A cell for an object of the given kind, not yet registered.
+    pub fn new(kind: ObjKind) -> Self {
+        ObjCell { kind, epoch_cell: AtomicU64::new(0), id_cell: AtomicU64::new(0) }
+    }
+
+    /// This object's id in the current execution, registering on first use.
+    pub fn id(&self) -> ObjId {
+        let (shared, _tid) = ctx();
+        if self.epoch_cell.load(Ordering::Relaxed) == shared.epoch {
+            return self.id_cell.load(Ordering::Relaxed) as ObjId;
+        }
+        let id = {
+            let mut c = lock(&shared.m);
+            c.objs.push(self.kind);
+            c.owner.push(None);
+            c.objs.len() - 1
+        };
+        self.id_cell.store(id as u64, Ordering::Relaxed);
+        self.epoch_cell.store(shared.epoch, Ordering::Relaxed);
+        id
+    }
+}
+
+/// The operation a thread is about to perform, published before yielding.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// First activation: run until the first shim operation.
+    Start,
+    /// About to acquire a mutex.
+    MutexLock(ObjId),
+    /// About to release a mutex.
+    MutexUnlock(ObjId),
+    /// About to atomically release a mutex and wait on a condvar.
+    CondWait { cv: ObjId, mutex: ObjId },
+    /// About to notify one waiter.
+    NotifyOne(ObjId),
+    /// About to notify all waiters.
+    NotifyAll(ObjId),
+    /// About to perform an atomic access.
+    Atomic(ObjId),
+    /// About to spawn a scenario thread.
+    Spawn(Tid),
+    /// About to join a scenario thread.
+    Join(Tid),
+}
+
+fn obj_label(objs: &[ObjKind], id: ObjId) -> String {
+    let prefix = match objs[id] {
+        ObjKind::Mutex => "m",
+        ObjKind::Condvar => "c",
+        ObjKind::Atomic => "a",
+    };
+    format!("{prefix}{id}")
+}
+
+fn render_op(op: &Op, objs: &[ObjKind]) -> String {
+    match op {
+        Op::Start => "start".to_string(),
+        Op::MutexLock(m) => format!("lock({})", obj_label(objs, *m)),
+        Op::MutexUnlock(m) => format!("unlock({})", obj_label(objs, *m)),
+        Op::CondWait { cv, mutex } => {
+            format!("wait({}, {})", obj_label(objs, *cv), obj_label(objs, *mutex))
+        }
+        Op::NotifyOne(cv) => format!("notify_one({})", obj_label(objs, *cv)),
+        Op::NotifyAll(cv) => format!("notify_all({})", obj_label(objs, *cv)),
+        Op::Atomic(a) => format!("atomic({})", obj_label(objs, *a)),
+        Op::Spawn(t) => format!("spawn(t{t})"),
+        Op::Join(t) => format!("join(t{t})"),
+    }
+}
+
+/// Why a condvar waiter woke up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    /// A notify reached this waiter.
+    Notified,
+    /// The virtual clock passed the wait deadline.
+    TimedOut,
+    /// The explorer injected a spurious wakeup.
+    Spurious,
+}
+
+#[derive(Debug, Clone)]
+enum Status {
+    /// Can be scheduled.
+    Ready,
+    /// Waiting for a mutex held by another thread.
+    BlockedMutex(ObjId),
+    /// Waiting on a condvar, with an optional virtual-clock deadline
+    /// (`None` = wait forever).
+    BlockedCond { cv: ObjId, deadline: Option<u128> },
+    /// Waiting for another thread to finish.
+    BlockedJoin(Tid),
+    /// Ran to completion (or was aborted during cleanup).
+    Finished,
+    /// Panicked with the given message — an assertion violation.
+    Panicked(String),
+}
+
+#[derive(Debug)]
+struct ThreadCell {
+    status: Status,
+    pending: Op,
+    wake: Option<Wake>,
+}
+
+/// Who currently holds the baton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Who {
+    Explorer,
+    Thread(Tid),
+}
+
+/// A pending `notify_one` with multiple candidate waiters: the notifier
+/// hands the wake-target choice to the explorer.
+#[derive(Debug)]
+struct NotifyRequest {
+    tid: Tid,
+    cv: ObjId,
+    candidates: Vec<Tid>,
+}
+
+struct Central {
+    active: Who,
+    threads: Vec<ThreadCell>,
+    objs: Vec<ObjKind>,
+    /// Mutex ownership, indexed by ObjId (None for condvars/atomics too).
+    owner: Vec<Option<Tid>>,
+    now: u128,
+    abort: bool,
+    request: Option<NotifyRequest>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct ExecShared {
+    m: StdMutex<Central>,
+    cv: StdCondvar,
+    epoch: u64,
+}
+
+/// Panic payload used to unwind scenario threads during abort cleanup.
+struct Abort;
+
+type Guard<'a> = StdMutexGuard<'a, Central>;
+
+fn lock(m: &StdMutex<Central>) -> Guard<'_> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Ctx {
+    shared: Arc<ExecShared>,
+    tid: Tid,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Whether the calling thread is a scenario thread inside an execution.
+pub fn in_execution() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn ctx() -> (Arc<ExecShared>, Tid) {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b.as_ref().expect("shim operation outside a model execution");
+        (ctx.shared.clone(), ctx.tid)
+    })
+}
+
+/// Current virtual clock (nanoseconds since execution start).
+pub fn now_nanos() -> u128 {
+    let (shared, _tid) = ctx();
+    let now = lock(&shared.m).now;
+    now
+}
+
+static EPOCHS: AtomicU64 = AtomicU64::new(0);
+
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Abort>().is_some() {
+                return;
+            }
+            // Scenario-thread panics are the explorer's *signal* (reported
+            // as assertion violations); keep stderr clean while exploring.
+            if in_execution() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn payload_msg(p: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-side protocol
+// ---------------------------------------------------------------------------
+
+fn wait_until_active<'a>(shared: &'a ExecShared, tid: Tid, mut c: Guard<'a>) -> Guard<'a> {
+    while c.active != Who::Thread(tid) {
+        c = shared.cv.wait(c).unwrap_or_else(|e| e.into_inner());
+    }
+    if c.abort && !std::thread::panicking() {
+        drop(c);
+        std::panic::panic_any(Abort);
+    }
+    c
+}
+
+/// Hand the baton to the explorer and park until scheduled again.
+fn yield_to_explorer<'a>(shared: &'a ExecShared, tid: Tid, mut c: Guard<'a>) -> Guard<'a> {
+    c.active = Who::Explorer;
+    shared.cv.notify_all();
+    wait_until_active(shared, tid, c)
+}
+
+/// Publish `op` as this thread's pending operation and yield — the standard
+/// pre-operation decision point.
+fn announce<'a>(shared: &'a ExecShared, tid: Tid, mut c: Guard<'a>, op: Op) -> Guard<'a> {
+    c.threads[tid].pending = op;
+    yield_to_explorer(shared, tid, c)
+}
+
+/// Acquire the logical mutex `obj` (decision point, may block).
+pub(crate) fn mutex_lock(obj: ObjId) {
+    let (shared, tid) = ctx();
+    let mut c = lock(&shared.m);
+    c = announce(&shared, tid, c, Op::MutexLock(obj));
+    loop {
+        match c.owner[obj] {
+            None => {
+                c.owner[obj] = Some(tid);
+                return;
+            }
+            Some(_) => {
+                c.threads[tid].status = Status::BlockedMutex(obj);
+                c = yield_to_explorer(&shared, tid, c);
+            }
+        }
+    }
+}
+
+/// Release the logical mutex `obj` (decision point) and make contenders
+/// runnable.
+pub(crate) fn mutex_unlock(obj: ObjId) {
+    let (shared, tid) = ctx();
+    let mut c = lock(&shared.m);
+    c = announce(&shared, tid, c, Op::MutexUnlock(obj));
+    debug_assert_eq!(c.owner[obj], Some(tid), "unlock of a mutex not held");
+    c.owner[obj] = None;
+    for th in c.threads.iter_mut() {
+        if matches!(th.status, Status::BlockedMutex(o) if o == obj) {
+            th.status = Status::Ready;
+        }
+    }
+}
+
+/// Atomically release `mutex` and wait on `cv`; returns why we woke.
+/// `timeout_nanos: None` waits forever. On return the caller still has to
+/// reacquire the mutex via [`mutex_relock`].
+pub(crate) fn cond_wait(cv: ObjId, mutex: ObjId, timeout_nanos: Option<u128>) -> Wake {
+    let (shared, tid) = ctx();
+    let mut c = lock(&shared.m);
+    c = announce(&shared, tid, c, Op::CondWait { cv, mutex });
+    // Release the mutex and block on the condvar in one atomic step — no
+    // window where a notify can be lost between release and wait.
+    debug_assert_eq!(c.owner[mutex], Some(tid), "cond_wait without holding the mutex");
+    c.owner[mutex] = None;
+    for th in c.threads.iter_mut() {
+        if matches!(th.status, Status::BlockedMutex(o) if o == mutex) {
+            th.status = Status::Ready;
+        }
+    }
+    let deadline = timeout_nanos.map(|t| c.now.saturating_add(t));
+    c.threads[tid].status = Status::BlockedCond { cv, deadline };
+    c.threads[tid].wake = None;
+    c = yield_to_explorer(&shared, tid, c);
+    c.threads[tid].wake.take().expect("condvar waiter woken without a wake reason")
+}
+
+/// Reacquire `mutex` after a condvar wait (blocks without a fresh decision
+/// point: the wake itself was the decision).
+pub(crate) fn mutex_relock(mutex: ObjId) {
+    let (shared, tid) = ctx();
+    let mut c = lock(&shared.m);
+    loop {
+        match c.owner[mutex] {
+            None => {
+                c.owner[mutex] = Some(tid);
+                return;
+            }
+            Some(_) => {
+                c.threads[tid].status = Status::BlockedMutex(mutex);
+                c = yield_to_explorer(&shared, tid, c);
+            }
+        }
+    }
+}
+
+/// Wake one waiter on `cv` (decision point; wake target is an explorer
+/// choice when several wait). Waking nobody is the (legal) lost-notify case.
+pub(crate) fn notify_one(cv: ObjId) {
+    let (shared, tid) = ctx();
+    let mut c = lock(&shared.m);
+    c = announce(&shared, tid, c, Op::NotifyOne(cv));
+    let candidates: Vec<Tid> = waiters_on(&c, cv);
+    match candidates.len() {
+        0 => {}
+        1 => wake_thread(&mut c, candidates[0], Wake::Notified),
+        _ => {
+            // Which waiter a notify_one wakes is unspecified — make it an
+            // explorer choice so DFS covers every possibility.
+            c.request = Some(NotifyRequest { tid, cv, candidates });
+            let _c = yield_to_explorer(&shared, tid, c);
+        }
+    }
+}
+
+/// Wake every waiter on `cv` (decision point).
+pub(crate) fn notify_all(cv: ObjId) {
+    let (shared, tid) = ctx();
+    let mut c = lock(&shared.m);
+    c = announce(&shared, tid, c, Op::NotifyAll(cv));
+    for w in waiters_on(&c, cv) {
+        wake_thread(&mut c, w, Wake::Notified);
+    }
+}
+
+/// An atomic access (decision point — atomics are inter-thread visible).
+pub(crate) fn atomic_op(obj: ObjId) {
+    let (shared, tid) = ctx();
+    let c = lock(&shared.m);
+    let c = announce(&shared, tid, c, Op::Atomic(obj));
+    drop(c);
+}
+
+fn waiters_on(c: &Central, cv: ObjId) -> Vec<Tid> {
+    c.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, th)| matches!(th.status, Status::BlockedCond { cv: w, .. } if w == cv))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn wake_thread(c: &mut Central, t: Tid, reason: Wake) {
+    c.threads[t].status = Status::Ready;
+    c.threads[t].wake = Some(reason);
+}
+
+// ---------------------------------------------------------------------------
+// Spawn / join
+// ---------------------------------------------------------------------------
+
+/// Spawn a scenario thread (decision point); returns its model tid.
+pub(crate) fn spawn_thread(f: Box<dyn FnOnce() + Send>) -> Tid {
+    let (shared, tid) = ctx();
+    let child = {
+        let mut c = lock(&shared.m);
+        let hint = c.threads.len();
+        c = announce(&shared, tid, c, Op::Spawn(hint));
+        // Compute the real index only after regaining the baton: another
+        // thread may have spawned while we were parked at the decision point.
+        let child = c.threads.len();
+        c.threads.push(ThreadCell { status: Status::Ready, pending: Op::Start, wake: None });
+        child
+    };
+    spawn_model_thread(&shared, child, f);
+    child
+}
+
+/// Block until scenario thread `target` finishes (decision point).
+pub(crate) fn join_thread(target: Tid) {
+    let (shared, tid) = ctx();
+    let mut c = lock(&shared.m);
+    c = announce(&shared, tid, c, Op::Join(target));
+    loop {
+        match c.threads[target].status {
+            Status::Finished | Status::Panicked(_) => return,
+            _ => {
+                c.threads[tid].status = Status::BlockedJoin(target);
+                c = yield_to_explorer(&shared, tid, c);
+            }
+        }
+    }
+}
+
+fn spawn_model_thread(shared: &Arc<ExecShared>, tid: Tid, f: Box<dyn FnOnce() + Send>) {
+    let sh = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("kfusion-model-t{tid}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some(Ctx { shared: Arc::clone(&sh), tid }));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                {
+                    // First activation: wait to be scheduled before running
+                    // any scenario code.
+                    let c = lock(&sh.m);
+                    let c = wait_until_active(&sh, tid, c);
+                    drop(c);
+                }
+                f();
+            }));
+            let mut c = lock(&sh.m);
+            c.threads[tid].status = match result {
+                Ok(()) => Status::Finished,
+                Err(p) if p.downcast_ref::<Abort>().is_some() => Status::Finished,
+                Err(p) => Status::Panicked(payload_msg(&p)),
+            };
+            for th in c.threads.iter_mut() {
+                if matches!(th.status, Status::BlockedJoin(j) if j == tid) {
+                    th.status = Status::Ready;
+                }
+            }
+            c.active = Who::Explorer;
+            sh.cv.notify_all();
+            drop(c);
+            CTX.with(|c| *c.borrow_mut() = None);
+        })
+        .expect("spawn model thread");
+    lock(&shared.m).os_handles.push(handle);
+}
+
+// ---------------------------------------------------------------------------
+// Explorer: one execution
+// ---------------------------------------------------------------------------
+
+/// A recorded nondeterministic choice (only points with > 1 alternative are
+/// recorded; forced moves are replayed deterministically).
+#[derive(Debug, Clone)]
+pub struct ChoicePoint {
+    /// Number of alternatives at this point.
+    pub n_alts: usize,
+    /// Index taken on this execution.
+    pub chosen: usize,
+    /// Human-readable description of the taken alternative.
+    pub label: String,
+}
+
+/// A violation as detected by a single execution (before `explore` attaches
+/// scenario name and replay prefix).
+#[derive(Debug, Clone)]
+pub struct RawViolation {
+    /// Classification.
+    pub kind: ViolationKind,
+    /// Details (blocked-thread dump or panic message).
+    pub message: String,
+}
+
+/// Everything observed on one execution.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Recorded branch points (the DFS frontier).
+    pub choices: Vec<ChoicePoint>,
+    /// Full scheduling event log, including forced moves and clock advances.
+    pub events: Vec<String>,
+    /// The violation, if this execution hit one.
+    pub violation: Option<RawViolation>,
+    /// Preemptions taken (schedules away from a still-runnable thread).
+    pub preemptions: u32,
+    /// Spurious wakeups injected.
+    pub spurious: u32,
+    /// Scheduler steps consumed.
+    pub steps: u64,
+}
+
+impl ExecOutcome {
+    /// The choice indices of this execution, for replay.
+    pub fn replay_prefix(&self) -> Vec<usize> {
+        self.choices.iter().map(|c| c.chosen).collect()
+    }
+
+    /// Attach scenario identity to this outcome's violation.
+    pub fn into_violation(self, scenario: &str) -> Option<ViolationInfo> {
+        let raw = self.violation?;
+        Some(ViolationInfo {
+            scenario: scenario.to_string(),
+            kind: raw.kind,
+            message: raw.message,
+            schedule: self.events,
+            replay: self.choices.iter().map(|c| c.chosen).collect(),
+            spurious_wakeups: self.spurious,
+        })
+    }
+}
+
+/// One alternative at a scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Alt {
+    /// Schedule thread `t`.
+    Run(Tid),
+    /// Inject a spurious wakeup into condvar waiter `t`.
+    Spurious(Tid),
+}
+
+/// Run one execution of `scenario`, following `prefix` at recorded choice
+/// points and taking alternative 0 beyond it.
+pub fn run_one(cfg: &Config, prefix: &[usize], scenario: Scenario) -> ExecOutcome {
+    install_quiet_hook();
+    let epoch = EPOCHS.fetch_add(1, Ordering::Relaxed) + 1;
+    let shared = Arc::new(ExecShared {
+        m: StdMutex::new(Central {
+            active: Who::Explorer,
+            threads: vec![ThreadCell { status: Status::Ready, pending: Op::Start, wake: None }],
+            objs: Vec::new(),
+            owner: Vec::new(),
+            now: 0,
+            abort: false,
+            request: None,
+            os_handles: Vec::new(),
+        }),
+        cv: StdCondvar::new(),
+        epoch,
+    });
+    spawn_model_thread(&shared, 0, Box::new(move || scenario()));
+
+    let mut out = ExecOutcome {
+        choices: Vec::new(),
+        events: Vec::new(),
+        violation: None,
+        preemptions: 0,
+        spurious: 0,
+        steps: 0,
+    };
+    let mut prev_running: Option<Tid> = None;
+    let mut c = lock(&shared.m);
+    loop {
+        while c.active != Who::Explorer {
+            c = shared.cv.wait(c).unwrap_or_else(|e| e.into_inner());
+        }
+        out.steps += 1;
+        if out.steps > cfg.max_steps {
+            out.violation = Some(RawViolation {
+                kind: ViolationKind::StepLimit,
+                message: format!(
+                    "no quiescence after {} scheduler steps (livelock?)",
+                    cfg.max_steps
+                ),
+            });
+            break;
+        }
+
+        // A notifier asked us to pick the wake target.
+        if let Some(req) = c.request.take() {
+            let chosen = pick(prefix, &mut out, req.candidates.len(), |i| {
+                format!(
+                    "t{}:notify_one({}) wakes t{}",
+                    req.tid,
+                    obj_label(&c.objs, req.cv),
+                    req.candidates[i]
+                )
+            });
+            wake_thread(&mut c, req.candidates[chosen], Wake::Notified);
+            c.active = Who::Thread(req.tid);
+            shared.cv.notify_all();
+            continue;
+        }
+
+        // An assertion failure ends the execution immediately.
+        if let Some((t, msg)) = c.threads.iter().enumerate().find_map(|(i, th)| match &th.status {
+            Status::Panicked(m) => Some((i, m.clone())),
+            _ => None,
+        }) {
+            out.violation = Some(RawViolation {
+                kind: ViolationKind::AssertionFailed,
+                message: format!("t{t} panicked: {msg}"),
+            });
+            break;
+        }
+
+        if c.threads.iter().all(|t| matches!(t.status, Status::Finished)) {
+            break;
+        }
+
+        let runnable: Vec<Tid> = c
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, th)| matches!(th.status, Status::Ready))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Preemption bound (CHESS): once the budget is spent, keep running
+        // the previous thread while it still can run — and stop injecting
+        // spurious wakeups, which are preemptions in disguise.
+        let bounded = cfg.max_preemptions.is_some_and(|k| out.preemptions >= k)
+            && prev_running.is_some_and(|p| runnable.contains(&p));
+
+        let mut alts: Vec<Alt> = Vec::new();
+        if bounded {
+            alts.push(Alt::Run(prev_running.expect("bounded implies prev")));
+        } else {
+            alts.extend(runnable.iter().map(|&t| Alt::Run(t)));
+            if out.spurious < cfg.spurious_budget {
+                for (i, th) in c.threads.iter().enumerate() {
+                    if matches!(th.status, Status::BlockedCond { .. }) {
+                        alts.push(Alt::Spurious(i));
+                    }
+                }
+            }
+        }
+
+        if alts.is_empty() {
+            // Quiescent: advance the virtual clock to the earliest deadline,
+            // or report a deadlock if nothing can ever run again.
+            let min_deadline = c
+                .threads
+                .iter()
+                .filter_map(|th| match th.status {
+                    Status::BlockedCond { deadline: Some(d), .. } => Some(d),
+                    _ => None,
+                })
+                .min();
+            match min_deadline {
+                Some(d) => {
+                    c.now = c.now.max(d);
+                    let now = c.now;
+                    for th in c.threads.iter_mut() {
+                        if let Status::BlockedCond { deadline: Some(dl), .. } = th.status {
+                            if dl <= now {
+                                th.status = Status::Ready;
+                                th.wake = Some(Wake::TimedOut);
+                            }
+                        }
+                    }
+                    out.events.push(format!("advance clock to {now}ns (timeout fires)"));
+                    continue;
+                }
+                None => {
+                    out.violation = Some(RawViolation {
+                        kind: ViolationKind::Deadlock,
+                        message: deadlock_message(&c),
+                    });
+                    break;
+                }
+            }
+        }
+
+        let chosen = pick(prefix, &mut out, alts.len(), |i| match alts[i] {
+            Alt::Run(t) => format!("run t{t}: {}", render_op(&c.threads[t].pending, &c.objs)),
+            Alt::Spurious(t) => format!("spurious wakeup of t{t}"),
+        });
+        match alts[chosen] {
+            Alt::Run(t) => {
+                if let Some(p) = prev_running {
+                    if p != t && runnable.contains(&p) {
+                        out.preemptions += 1;
+                    }
+                }
+                prev_running = Some(t);
+                c.active = Who::Thread(t);
+                shared.cv.notify_all();
+            }
+            Alt::Spurious(t) => {
+                out.spurious += 1;
+                wake_thread(&mut c, t, Wake::Spurious);
+            }
+        }
+    }
+
+    // Abort cleanup: unwind every unfinished scenario thread, then reap the
+    // OS threads so no state leaks across executions.
+    let incomplete = |c: &Central| {
+        c.threads.iter().position(|t| !matches!(t.status, Status::Finished | Status::Panicked(_)))
+    };
+    if incomplete(&c).is_some() {
+        c.abort = true;
+        let mut rounds = 0u32;
+        while let Some(t) = incomplete(&c) {
+            rounds += 1;
+            if rounds > 100_000 {
+                break; // safety valve; never expected
+            }
+            c.threads[t].status = Status::Ready;
+            c.threads[t].wake = Some(Wake::Spurious);
+            c.active = Who::Thread(t);
+            shared.cv.notify_all();
+            while c.active != Who::Explorer {
+                c = shared.cv.wait(c).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+    let handles = std::mem::take(&mut c.os_handles);
+    drop(c);
+    for h in handles {
+        let _ = h.join();
+    }
+    out
+}
+
+/// Record (if branching) and resolve one choice. Replays `prefix` while it
+/// lasts, then always takes alternative 0 — together with deterministic
+/// execution this makes stateless DFS correct.
+fn pick(
+    prefix: &[usize],
+    out: &mut ExecOutcome,
+    n_alts: usize,
+    label: impl Fn(usize) -> String,
+) -> usize {
+    if n_alts == 1 {
+        out.events.push(label(0));
+        return 0;
+    }
+    let depth = out.choices.len();
+    let chosen = prefix.get(depth).copied().unwrap_or(0);
+    assert!(
+        chosen < n_alts,
+        "replay prefix diverged: choice {depth} wants alternative {chosen} of {n_alts}"
+    );
+    let l = label(chosen);
+    out.events.push(format!("[choice {depth}: {chosen}/{n_alts}] {l}"));
+    out.choices.push(ChoicePoint { n_alts, chosen, label: l });
+    chosen
+}
+
+fn deadlock_message(c: &Central) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (i, th) in c.threads.iter().enumerate() {
+        let desc = match &th.status {
+            Status::BlockedMutex(m) => {
+                let holder = c.owner[*m].map_or("nobody".to_string(), |t| format!("t{t}"));
+                Some(format!("t{i} blocked locking {} (held by {holder})", obj_label(&c.objs, *m)))
+            }
+            Status::BlockedCond { cv, deadline: None } => Some(format!(
+                "t{i} waiting on {} with no timeout, and no live thread can notify it",
+                obj_label(&c.objs, *cv)
+            )),
+            Status::BlockedCond { cv, deadline: Some(d) } => {
+                Some(format!("t{i} waiting on {} until {d}ns", obj_label(&c.objs, *cv)))
+            }
+            Status::BlockedJoin(t) => Some(format!("t{i} joining t{t}")),
+            _ => None,
+        };
+        parts.extend(desc);
+    }
+    format!("deadlock: {}", parts.join("; "))
+}

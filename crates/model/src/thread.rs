@@ -1,0 +1,52 @@
+//! Scenario-thread spawn/join (model cfg only).
+//!
+//! Scenarios spawn their threads through this module so the runtime knows
+//! about them. The result slot is a plain std mutex: it is only touched by
+//! the spawned thread (at completion) and the joiner (after `join_thread`
+//! returns, which happens-after completion), so it is never contended and
+//! never a decision point.
+
+use crate::rt;
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned scenario thread.
+pub struct JoinHandle<T> {
+    tid: rt::Tid,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a scenario thread under the model scheduler.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(None));
+    let out = Arc::clone(&slot);
+    let tid = rt::spawn_thread(Box::new(move || {
+        let v = f();
+        *out.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    }));
+    JoinHandle { tid, slot }
+}
+
+impl<T> JoinHandle<T> {
+    /// Model tid of the spawned thread (as it appears in schedule traces).
+    pub fn tid(&self) -> rt::Tid {
+        self.tid
+    }
+
+    /// Block until the thread finishes; `Err` if it panicked. (In practice
+    /// the explorer ends the execution at the first panic, so scenario code
+    /// only ever sees `Ok`.)
+    pub fn join(self) -> Result<T, Box<dyn Any + Send>> {
+        rt::join_thread(self.tid);
+        match self.slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => Ok(v),
+            None => {
+                Err(Box::new("joined scenario thread panicked".to_string()) as Box<dyn Any + Send>)
+            }
+        }
+    }
+}

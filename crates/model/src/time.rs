@@ -1,0 +1,79 @@
+//! Monotonic-clock shim: `std::time::Instant` outside the model cfg, a
+//! virtual clock under it.
+//!
+//! Under `cfg(kfusion_model)` time is *logical*: it advances only when the
+//! explorer finds every runnable thread blocked and jumps the clock to the
+//! earliest pending timeout (discrete-event style). This makes timeouts
+//! deterministic — a `wait_timeout` can only fire when no untimed transition
+//! could run instead — and it makes "wait forever" (`checked_add` overflow →
+//! no deadline) distinguishable from any finite wait, so lost wakeups
+//! surface as deadlocks rather than as slow tests.
+//!
+//! `Instant::now()` is **not** a scheduling decision point: reading the
+//! clock has no inter-thread visible effect.
+
+#[cfg(not(kfusion_model))]
+pub use std::time::Instant;
+
+#[cfg(kfusion_model)]
+pub use model_impl::Instant;
+
+#[cfg(kfusion_model)]
+mod model_impl {
+    use std::time::Duration;
+
+    /// Virtual-clock instant: nanoseconds since the start of the execution.
+    ///
+    /// Implements the subset of `std::time::Instant` the ported code uses:
+    /// `now`, `checked_add`, `saturating_duration_since`, ordering.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub struct Instant {
+        nanos: u128,
+    }
+
+    impl Instant {
+        /// Current time: the explorer's virtual clock inside an execution, a
+        /// process-epoch monotonic reading outside one (so shim-built code
+        /// still runs in ordinary tests).
+        pub fn now() -> Instant {
+            if crate::rt::in_execution() {
+                Instant { nanos: crate::rt::now_nanos() }
+            } else {
+                use std::sync::OnceLock;
+                static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+                let epoch = *EPOCH.get_or_init(std::time::Instant::now);
+                Instant { nanos: epoch.elapsed().as_nanos() }
+            }
+        }
+
+        /// `self + duration`, or `None` on overflow of the representable
+        /// range — the same contract as std, which callers rely on to turn
+        /// `Duration::MAX` timeouts into "wait forever".
+        pub fn checked_add(&self, duration: Duration) -> Option<Instant> {
+            self.nanos.checked_add(duration.as_nanos()).map(|nanos| Instant { nanos })
+        }
+
+        /// `self - earlier`, clamped to zero.
+        pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+            let d = self.nanos.saturating_sub(earlier.nanos);
+            // A u128 nanosecond span can exceed Duration::MAX in theory;
+            // clamp rather than panic (the explorer never advances that far).
+            let secs = (d / 1_000_000_000) as u64;
+            let sub = (d % 1_000_000_000) as u32;
+            Duration::new(secs, sub)
+        }
+
+        /// Raw virtual-clock reading (model-mode only; used by scenarios to
+        /// assert on elapsed virtual time).
+        pub fn nanos(&self) -> u128 {
+            self.nanos
+        }
+    }
+
+    impl std::ops::Add<Duration> for Instant {
+        type Output = Instant;
+        fn add(self, rhs: Duration) -> Instant {
+            self.checked_add(rhs).expect("virtual clock overflow")
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Explorer self-tests: tiny scenarios with known interleaving spaces and
+//! known bugs. Only meaningful under the model cfg; build with
+//! `RUSTFLAGS="--cfg kfusion_model" cargo test -p kfusion-model`.
+#![cfg(kfusion_model)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kfusion_model::explore::{explore, replay};
+use kfusion_model::rt::Config;
+use kfusion_model::sync::atomic::{AtomicU64, Ordering};
+use kfusion_model::sync::{Condvar, Mutex};
+use kfusion_model::{thread, ViolationKind};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> kfusion_model::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn mutex_increments_never_race() {
+    let report = explore(
+        "mutex_increments",
+        &Config::default(),
+        Arc::new(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let n = Arc::clone(&n);
+                handles.push(thread::spawn(move || {
+                    let mut g = lock(&n);
+                    *g += 1;
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*lock(&n), 2);
+        }),
+    );
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.complete);
+    // More than one interleaving exists, and all were tried.
+    assert!(report.executions > 1, "only {} executions", report.executions);
+}
+
+#[test]
+fn atomic_read_modify_write_race_is_found() {
+    // Non-atomic increment via load+store: the classic lost update. The
+    // explorer must find an interleaving where the final count is 1.
+    let report = explore(
+        "lost_update",
+        &Config::default(),
+        Arc::new(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let n = Arc::clone(&n);
+                handles.push(thread::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        }),
+    );
+    let v = report.violation.expect("explorer must find the lost update");
+    assert_eq!(v.kind, ViolationKind::AssertionFailed);
+    assert!(v.message.contains("lost update"), "{}", v.message);
+    assert!(!v.replay.is_empty());
+}
+
+#[test]
+fn abba_deadlock_is_found_and_replays() {
+    let scenario: kfusion_model::rt::Scenario = Arc::new(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t1 = thread::spawn(move || {
+            let _ga = lock(&a2);
+            let _gb = lock(&b2);
+        });
+        let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+        let t2 = thread::spawn(move || {
+            let _gb = lock(&b3);
+            let _ga = lock(&a3);
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+    let report = explore("abba", &Config::default(), scenario.clone());
+    let v = report.violation.expect("ABBA deadlock must be found");
+    assert_eq!(v.kind, ViolationKind::Deadlock);
+    // The recorded prefix replays to the same deadlock.
+    let out = replay(&Config::default(), scenario, &v.replay);
+    let raw = out.violation.expect("replay reaches the violation");
+    assert_eq!(raw.kind, ViolationKind::Deadlock);
+}
+
+#[test]
+fn condvar_handoff_has_no_violations() {
+    let report = explore(
+        "condvar_handoff",
+        &Config::default(),
+        Arc::new(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let waiter = thread::spawn(move || {
+                let (m, cv) = &*s2;
+                let mut g = lock(m);
+                while !*g {
+                    g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+            });
+            {
+                let (m, cv) = &*state;
+                *lock(m) = true;
+                cv.notify_one();
+            }
+            waiter.join().unwrap();
+        }),
+    );
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.complete);
+}
+
+#[test]
+fn unchecked_wait_breaks_under_spurious_wakeup() {
+    let cfg = Config { spurious_budget: 1, ..Config::default() };
+    let report = explore(
+        "naked_wait",
+        &cfg,
+        Arc::new(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let waiter = thread::spawn(move || {
+                let (m, cv) = &*s2;
+                let mut g = lock(m);
+                if !*g {
+                    g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+                assert!(*g, "woke without the predicate");
+            });
+            let (m, cv) = &*state;
+            *lock(m) = true;
+            cv.notify_one();
+            waiter.join().unwrap();
+        }),
+    );
+    let v = report.violation.expect("spurious wakeup must break the naked wait");
+    assert_eq!(v.kind, ViolationKind::AssertionFailed);
+    assert!(v.spurious_wakeups > 0);
+}
+
+#[test]
+fn timeout_fires_on_the_virtual_clock() {
+    let report = explore(
+        "timeout_fires",
+        &Config::default(),
+        Arc::new(|| {
+            let state = (Mutex::new(()), Condvar::new());
+            let g = lock(&state.0);
+            let (_g, res) = state
+                .1
+                .wait_timeout(g, Duration::from_millis(5))
+                .unwrap_or_else(|e| e.into_inner());
+            assert!(res.timed_out());
+        }),
+    );
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.complete);
+}
+
+#[test]
+fn preemption_bound_prunes_the_tree() {
+    let body: kfusion_model::rt::Scenario = Arc::new(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n = Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                for _ in 0..3 {
+                    n.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 6);
+    });
+    let unbounded = explore("fetch_adds_unbounded", &Config::default(), body.clone());
+    let bounded = explore(
+        "fetch_adds_bounded",
+        &Config { max_preemptions: Some(1), ..Config::default() },
+        body,
+    );
+    assert!(unbounded.violation.is_none());
+    assert!(bounded.violation.is_none());
+    assert!(
+        bounded.executions < unbounded.executions,
+        "bound must prune: {} vs {}",
+        bounded.executions,
+        unbounded.executions
+    );
+}

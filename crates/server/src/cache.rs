@@ -22,9 +22,11 @@ use kfusion_core::fusion::FusionPlan;
 use kfusion_core::graph::PlanGraph;
 use kfusion_core::multiquery::MergedPlan;
 use kfusion_core::PlanKey;
+// Shimmed sync (std in production builds): the cache's racy-miss protocol
+// is one of the fixed scenarios `kfusion-model` explores exhaustively.
+use kfusion_model::sync::atomic::{AtomicU64, Ordering};
+use kfusion_model::sync::{Arc, Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Serial strategies prepare singleton plans, fused strategies run the
 /// fusion pass; a cached entry is only valid within its class.

@@ -8,10 +8,16 @@
 //! [`BoundedQueue::pop_timeout`] so admission windows and shutdown drains
 //! never block forever. [`BoundedQueue::close`] wakes everyone: queued
 //! items stay poppable (shutdown *drains*), new pushes are refused.
+//!
+//! Sync primitives come from `kfusion_model::sync` — plain `std::sync`
+//! re-exports in production builds, the model-checker shim under
+//! `cfg(kfusion_model)` so the queue's whole interleaving space is
+//! explored by `kfusion-model` (see `crates/checker/src/model_scenarios.rs`).
 
+use kfusion_model::sync::{Condvar, Mutex, MutexGuard};
+use kfusion_model::time::Instant;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Why a push was refused; the item comes back to the caller either way.
 #[derive(Debug, PartialEq, Eq)]
@@ -64,8 +70,15 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Push `item`, waiting up to `timeout` for a slot.
+    ///
+    /// The deadline is re-checked against the monotonic clock on every trip
+    /// around the wait loop, so a spurious wakeup near the deadline neither
+    /// returns [`PushError::Full`] early nor waits past the deadline. A
+    /// `timeout` too large to represent as an instant (e.g.
+    /// `Duration::MAX`) means "wait forever" — it used to panic on the
+    /// `Instant + Duration` overflow.
     pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError<T>> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
         let mut inner = self.lock();
         loop {
             if inner.closed {
@@ -76,21 +89,30 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(PushError::Full(item));
-            }
-            let (guard, _timed_out) = self
-                .not_full
-                .wait_timeout(inner, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
-            inner = guard;
+            inner = match deadline {
+                None => self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(PushError::Full(item));
+                    }
+                    let (guard, _timed_out) = self
+                        .not_full
+                        .wait_timeout(inner, remaining)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard
+                }
+            };
         }
     }
 
     /// Pop one item, waiting up to `timeout` for one to arrive.
+    ///
+    /// Same deadline discipline as [`BoundedQueue::push_timeout`]: the
+    /// deadline is re-derived from the clock after every wakeup, and an
+    /// unrepresentable deadline waits forever instead of panicking.
     pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
         let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
@@ -100,15 +122,20 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return Pop::Closed;
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Pop::TimedOut;
-            }
-            let (guard, _timed_out) = self
-                .not_empty
-                .wait_timeout(inner, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
-            inner = guard;
+            inner = match deadline {
+                None => self.not_empty.wait(inner).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Pop::TimedOut;
+                    }
+                    let (guard, _timed_out) = self
+                        .not_empty
+                        .wait_timeout(inner, remaining)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard
+                }
+            };
         }
     }
 
@@ -176,6 +203,40 @@ mod tests {
             // The producer's item lands once our pop freed the slot.
             assert_eq!(q.pop_timeout(Duration::from_secs(5)), Pop::Item(2));
         });
+    }
+
+    #[test]
+    fn duration_max_means_wait_forever_not_panic() {
+        // Regression: `Instant::now() + Duration::MAX` used to panic on
+        // overflow before any wait happened.
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.pop_timeout(Duration::MAX));
+            std::thread::sleep(Duration::from_millis(10));
+            q.push_timeout(9, Duration::MAX).unwrap();
+            assert_eq!(h.join().unwrap(), Pop::Item(9));
+        });
+    }
+
+    #[test]
+    fn closing_unblocks_an_unbounded_wait() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.pop_timeout(Duration::MAX));
+            std::thread::sleep(Duration::from_millis(10));
+            q.close();
+            assert_eq!(h.join().unwrap(), Pop::Closed);
+        });
+    }
+
+    #[test]
+    fn timeout_is_honored_against_the_monotonic_clock() {
+        // The deadline must hold even across (possibly spurious) wakeups:
+        // an empty queue's pop may not return TimedOut before the deadline.
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let t0 = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(30)), Pop::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(30));
     }
 
     #[test]

@@ -87,3 +87,45 @@ fn cache_hit_plans_are_shared_not_recompiled() {
     }
     assert_eq!(cache.stats().compiles, 1);
 }
+
+#[test]
+fn racing_duplicate_compiles_stay_bounded_and_leak_nothing() {
+    // Many threads race the same *fresh* shape: some duplicate the compile
+    // (benign, bounded by the racer count), but every caller must converge
+    // on the map's winning Arc and every losing duplicate must be dropped.
+    // The exact-interleaving version of this property is explored
+    // exhaustively by the `cache-race-duplicate-compile` scenario in
+    // `crates/checker/src/model_scenarios.rs`; this test covers the real
+    // thread scheduler at a scale the explorer cannot.
+    let system = GpuSystem::c2070();
+    let cfg = ExecConfig::new(Strategy::Fusion, &system);
+    let cache = PlanCache::new();
+    let plans: Vec<_> = std::thread::scope(|s| {
+        (0..THREADS)
+            .map(|_| {
+                let (cache, cfg) = (&cache, &cfg);
+                s.spawn(move || cache.prepare(&shape(1), cfg).unwrap())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 1, "{stats:?}");
+    assert!(
+        (1..=THREADS as u64).contains(&stats.compiles),
+        "compiles must stay within the benign-race ceiling: {stats:?}"
+    );
+    for p in &plans {
+        assert!(std::sync::Arc::ptr_eq(p, &plans[0]), "racers must converge on one plan");
+    }
+    // Losing compiles' Arcs are gone: the only strong refs left are the
+    // cache's map entry plus our THREADS clones. A duplicate surviving
+    // anywhere would show up here as a leaked count.
+    assert_eq!(
+        std::sync::Arc::strong_count(&plans[0]),
+        THREADS + 1,
+        "every losing duplicate Arc must have been dropped"
+    );
+}

@@ -41,6 +41,9 @@
 use kfusion_vgpu::des::EventId;
 use kfusion_vgpu::{Command, GpuSystem, Schedule, SimError, Timeline};
 
+pub mod shared;
+pub use shared::StreamClaims;
+
 /// Opaque handle to a pool stream. The caller never learns which underlying
 /// CUDA-stream-equivalent it maps to — that detail is the pool's, as in the
 /// paper.
@@ -54,6 +57,8 @@ pub enum PoolError {
     UnknownStream,
     /// `reuse_stream` on a stream some caller currently holds.
     AlreadyClaimed,
+    /// Releasing a stream nobody holds ([`StreamClaims::release`]).
+    NotClaimed,
     /// Commands cannot be queued after `start_streams`.
     AlreadyStarted,
     /// `wait_all` called before `start_streams`.
@@ -67,6 +72,7 @@ impl std::fmt::Display for PoolError {
         match self {
             PoolError::UnknownStream => write!(f, "unknown stream handle"),
             PoolError::AlreadyClaimed => write!(f, "stream is currently claimed"),
+            PoolError::NotClaimed => write!(f, "stream is not claimed"),
             PoolError::AlreadyStarted => write!(f, "pool already started"),
             PoolError::NotStarted => write!(f, "pool not started"),
             PoolError::Sim(e) => write!(f, "simulation failed: {e}"),

@@ -1,0 +1,160 @@
+//! [`StreamClaims`]: a thread-safe claim table over a fixed set of streams.
+//!
+//! [`crate::StreamPool`] itself is `&mut self` — one coordinator thread owns
+//! the DES. What concurrent clients contend on is *which stream is free*:
+//! the claim/release protocol the concurrent server uses to hand pipeline
+//! stages to pool streams. That protocol lives here, built on the
+//! `kfusion_model::sync` shim (plain `std::sync` in production), so
+//! `kfusion-model` can exhaustively check its mutual exclusion and wakeup
+//! discipline — the same treatment as `server::queue` (see
+//! `crates/checker/src/model_scenarios.rs`).
+
+use crate::PoolError;
+use kfusion_model::sync::{Condvar, Mutex, MutexGuard};
+use kfusion_model::time::Instant;
+use std::time::Duration;
+
+/// Thread-safe free/claimed bookkeeping for `n` streams.
+///
+/// Claims hand out the lowest free slot; releases wake exactly one blocked
+/// claimer ([`Condvar::notify_one`] — every waiter wants any slot, and one
+/// release frees exactly one, so waking more would thunder).
+#[derive(Debug)]
+pub struct StreamClaims {
+    claimed: Mutex<Vec<bool>>,
+    freed: Condvar,
+}
+
+impl StreamClaims {
+    /// A claim table over `n` streams (minimum 1), all free.
+    pub fn new(n: usize) -> Self {
+        StreamClaims { claimed: Mutex::new(vec![false; n.max(1)]), freed: Condvar::new() }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<bool>> {
+        self.claimed.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of streams tracked.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the table tracks no streams (never true: `new` clamps to 1).
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Streams currently claimed.
+    pub fn claimed(&self) -> usize {
+        self.lock().iter().filter(|&&c| c).count()
+    }
+
+    /// Claim the lowest free stream without blocking.
+    pub fn try_claim(&self) -> Option<usize> {
+        Self::take_free(&mut self.lock())
+    }
+
+    /// Claim the lowest free stream, waiting up to `timeout` for a release.
+    ///
+    /// Deadline discipline matches `BoundedQueue`: re-checked against the
+    /// monotonic clock after every wakeup, and a `timeout` too large to
+    /// represent (e.g. `Duration::MAX`) waits forever.
+    pub fn claim_timeout(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut claimed = self.lock();
+        loop {
+            if let Some(slot) = Self::take_free(&mut claimed) {
+                return Some(slot);
+            }
+            claimed = match deadline {
+                None => self.freed.wait(claimed).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return None;
+                    }
+                    let (guard, _timed_out) = self
+                        .freed
+                        .wait_timeout(claimed, remaining)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard
+                }
+            };
+        }
+    }
+
+    /// Release a claimed stream, waking one blocked claimer.
+    pub fn release(&self, slot: usize) -> Result<(), PoolError> {
+        {
+            let mut claimed = self.lock();
+            match claimed.get(slot) {
+                None => return Err(PoolError::UnknownStream),
+                Some(false) => return Err(PoolError::NotClaimed),
+                Some(true) => claimed[slot] = false,
+            }
+        }
+        // Notify outside the critical section: the woken claimer reacquires
+        // the lock anyway, and notifying under the lock just makes it bounce.
+        self.freed.notify_one();
+        Ok(())
+    }
+
+    fn take_free(claimed: &mut [bool]) -> Option<usize> {
+        let slot = claimed.iter().position(|&c| !c)?;
+        claimed[slot] = true;
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hand_out_distinct_lowest_slots() {
+        let c = StreamClaims::new(3);
+        assert_eq!(c.try_claim(), Some(0));
+        assert_eq!(c.try_claim(), Some(1));
+        assert_eq!(c.try_claim(), Some(2));
+        assert_eq!(c.try_claim(), None);
+        assert_eq!(c.claimed(), 3);
+    }
+
+    #[test]
+    fn release_frees_the_slot_for_reclaim() {
+        let c = StreamClaims::new(2);
+        let a = c.try_claim().unwrap();
+        c.try_claim().unwrap();
+        c.release(a).unwrap();
+        assert_eq!(c.try_claim(), Some(a));
+    }
+
+    #[test]
+    fn release_rejects_free_and_unknown_slots() {
+        let c = StreamClaims::new(2);
+        assert_eq!(c.release(0), Err(PoolError::NotClaimed));
+        assert_eq!(c.release(5), Err(PoolError::UnknownStream));
+    }
+
+    #[test]
+    fn exhausted_table_times_out() {
+        let c = StreamClaims::new(1);
+        c.try_claim().unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(c.claim_timeout(Duration::from_millis(20)), None);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn blocked_claimer_wakes_on_release() {
+        let c = StreamClaims::new(1);
+        let slot = c.try_claim().unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| c.claim_timeout(Duration::MAX));
+            std::thread::sleep(Duration::from_millis(10));
+            c.release(slot).unwrap();
+            assert_eq!(h.join().unwrap(), Some(slot));
+        });
+    }
+}
