@@ -3,7 +3,7 @@
 //!
 //! Unlike the fig/table benches, which report *simulated* GPU time, this
 //! harness measures real host wall-clock — the first perf-trajectory
-//! artifact for the functional layer. Four cases:
+//! artifact for the functional layer. Five cases:
 //!
 //! 1. `fused_q1_predicate` — rows/sec evaluating the O3-optimized Q1
 //!    date-range predicate (the body inside the fused JOIN+SELECT block)
@@ -17,12 +17,18 @@
 //!    on a relaxed atomic when the recorder is off) against the bare
 //!    `run_uncounted` baseline. The CI gate pins the disabled-recorder
 //!    overhead below [`MAX_OVERHEAD_FRAC`].
+//! 4. `steady_state_allocs` — allocations per batch on a warm batch-engine
+//!    Q1 run, counted by the installed [`CountingAlloc`]: whole-run
+//!    allocations in the `scalar` column, steady-state-region allocations
+//!    (the per-batch loops, DESIGN.md §14) in the `batch` column. The
+//!    steady state must allocate *nothing*.
 //!
 //! Writes `BENCH_host_throughput.json` at the repo root (override with
 //! `--out`) plus the standard `BENCH_host_throughput.trace.json` /
-//! `.metrics.txt` artifacts, and exits nonzero if the batch engine fails
-//! to beat the scalar interpreter on the predicate case or the recorder
-//! overhead gate trips — the CI perf-smoke gates.
+//! `.metrics.txt` artifacts, and exits nonzero on any perf-smoke gate:
+//! batch slower than scalar on the predicate or Q1 functional cases, the
+//! recorder overhead above its pin, or a nonzero steady-state allocation
+//! count.
 //!
 //! ```sh
 //! cargo bench --bench throughput_host -- [--rows N] [--scale SF] [--out PATH]
@@ -38,7 +44,13 @@ use kfusion_ir::{CmpOp, KernelBody, Value};
 use kfusion_relalg::{engine, predicates, Column, Relation};
 use kfusion_tpch::gen::{generate, TpchConfig, MAX_DAY, Q1_CUTOFF_DAY};
 use kfusion_tpch::{q1, q6};
+use kfusion_trace::allocwatch;
 use kfusion_vgpu::GpuSystem;
+
+/// Every allocation in this process ticks [`allocwatch`]'s counters while
+/// counting is enabled — the measurement behind `steady_state_allocs`.
+#[global_allocator]
+static ALLOC: allocwatch::CountingAlloc = allocwatch::CountingAlloc;
 
 const REPS: usize = 3;
 
@@ -141,7 +153,7 @@ fn functional_case(
 
 fn main() {
     let mut rows = 1usize << 22;
-    let mut scale = 0.05f64;
+    let mut scale = 0.2f64;
     let mut out_path =
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_host_throughput.json").to_string();
     let mut args = std::env::args().skip(1);
@@ -214,6 +226,35 @@ fn main() {
         MAX_OVERHEAD_FRAC * 100.0
     );
 
+    // Case 5: steady-state allocations per batch on a warm batch-engine Q1
+    // functional phase. The first execution warms every reusable buffer
+    // (scratch machines, trace counter keys, thread-local arenas); the
+    // second runs with allocation counting on. Allocations inside the
+    // operators' steady-state regions — the per-batch loops — must be zero;
+    // whole-run allocations (per-morsel setup, output materialization) are
+    // reported alongside as the denominator's context.
+    engine::set_batch_enabled(true);
+    execute(&sys, &q1_plan, &q1_inputs, &cfg).unwrap();
+    let batches_before = kfusion_trace::snapshot().counter("kfusion_batch_batches_total");
+    allocwatch::reset();
+    allocwatch::set_enabled(true);
+    execute(&sys, &q1_plan, &q1_inputs, &cfg).unwrap();
+    allocwatch::set_enabled(false);
+    let batches = kfusion_trace::snapshot().counter("kfusion_batch_batches_total") - batches_before;
+    let (steady_allocs, steady_bytes) = allocwatch::region_counts();
+    let (run_allocs, _) = allocwatch::total_counts();
+    allocwatch::export_counters();
+    assert!(batches > 0, "batch engine processed no batches");
+    let run_per_batch = run_allocs as f64 / batches as f64;
+    let steady_per_batch = steady_allocs as f64 / batches as f64;
+    cases.push(Case {
+        name: "steady_state_allocs",
+        unit: "allocs_per_batch",
+        scalar: run_per_batch,
+        batch: steady_per_batch,
+        speedup: (run_per_batch + 1.0) / (steady_per_batch + 1.0),
+    });
+
     for c in &cases {
         println!(
             "{:24} scalar {:>14.1} {u}   batch {:>14.1} {u}   speedup {:.2}x",
@@ -258,6 +299,24 @@ fn main() {
             MAX_OVERHEAD_FRAC * 100.0,
             t_instr * 1e3,
             t_base * 1e3
+        );
+        std::process::exit(1);
+    }
+    // CI gate: the batch engine must beat the scalar interpreter on the
+    // whole Q1 functional phase, not just the predicate microbenchmark.
+    let q1_case = cases.iter().find(|c| c.name == "tpch_q1_functional").expect("case exists");
+    if q1_case.batch >= q1_case.scalar {
+        eprintln!(
+            "FAIL: batch Q1 functional phase ({:.1} ms) not faster than scalar ({:.1} ms)",
+            q1_case.batch, q1_case.scalar
+        );
+        std::process::exit(1);
+    }
+    // CI gate: the steady state allocates nothing once warm.
+    if steady_allocs != 0 {
+        eprintln!(
+            "FAIL: steady-state regions allocated {steady_allocs} times ({steady_bytes} bytes) \
+             across {batches} batches; the per-batch loops must not allocate"
         );
         std::process::exit(1);
     }

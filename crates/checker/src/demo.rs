@@ -186,6 +186,20 @@ pub fn demo_defects() -> LintReport {
     };
     report.lints.extend(lint_model_violation(&naked_wait));
 
+    // 12. A steady-state allocation regression, as an allocation-counting
+    //     harness would export it: a run that processed batches but whose
+    //     per-batch loops allocated — a buffer sized per batch instead of
+    //     per morsel. (Live measurement lives in the `throughput_host`
+    //     bench and the `steady_state_allocs` test; this entry pins the
+    //     counter→lint mapping.)
+    let mut leaky = kfusion_trace::Trace::default();
+    leaky.counters.insert("kfusion_batch_batches_total".into(), 4096);
+    leaky.counters.insert("kfusion_batch_allocs_total{scope=\"steady_state\"}".into(), 4096);
+    leaky
+        .counters
+        .insert("kfusion_batch_alloc_bytes_total{scope=\"steady_state\"}".into(), 4096 * 8192);
+    report.lints.extend(crate::lint::lint_alloc_counters("defect: per-batch buffer", &leaky));
+
     report
 }
 
@@ -208,6 +222,7 @@ mod tests {
             "schedule-deadlock",
             "footprint-over-capacity",
             "unchecked-condvar-wait",
+            "allocating-steady-state",
         ] {
             assert!(ids.contains(&expected), "missing {expected} in {ids:?}");
         }

@@ -540,6 +540,33 @@ pub fn lint_certificates(
     lints
 }
 
+/// Lint a trace snapshot for steady-state allocations (DESIGN.md §14).
+///
+/// Harnesses that install the counting allocator
+/// (`kfusion_trace::allocwatch`) export its totals as
+/// `kfusion_batch_allocs_total{scope="steady_state"}` after a run. A
+/// nonzero value alongside processed batches means a per-batch loop
+/// allocated — the zero-allocation steady-state contract regressed, even
+/// if every answer is still correct.
+pub fn lint_alloc_counters(origin: &str, trace: &kfusion_trace::Trace) -> Vec<Lint> {
+    let batches = trace.counter("kfusion_batch_batches_total");
+    let allocs = trace.counter("kfusion_batch_allocs_total{scope=\"steady_state\"}");
+    let bytes = trace.counter("kfusion_batch_alloc_bytes_total{scope=\"steady_state\"}");
+    if batches == 0 || allocs == 0 {
+        return Vec::new();
+    }
+    vec![Lint::new(
+        "allocating-steady-state",
+        Severity::Deny,
+        format!(
+            "{origin}: {allocs} allocations ({bytes} bytes) inside steady-state \
+             regions across {batches} batches"
+        ),
+    )
+    .note("per-batch loops must run entirely out of checked-out scratch banks and preallocated buffers (DESIGN.md §14)")
+    .note("look for buffers sized per batch instead of per morsel, or a scratch checkout that moved inside the loop")]
+}
+
 /// Lint a model-checker violation (`kfusion-model`'s explorer output).
 ///
 /// Only violations with a lint-shaped diagnosis map to lints: a deadlock
@@ -595,6 +622,19 @@ mod tests {
             outputs: vec![3],
             n_inputs: 2,
         }
+    }
+
+    #[test]
+    fn alloc_lint_needs_both_batches_and_allocations() {
+        let mut t = kfusion_trace::Trace::default();
+        assert!(lint_alloc_counters("x", &t).is_empty(), "empty trace is clean");
+        t.counters.insert("kfusion_batch_batches_total".into(), 10);
+        assert!(lint_alloc_counters("x", &t).is_empty(), "zero allocs is the healthy state");
+        t.counters.insert("kfusion_batch_allocs_total{scope=\"steady_state\"}".into(), 3);
+        let lints = lint_alloc_counters("x", &t);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].id, "allocating-steady-state");
+        assert!(matches!(lints[0].severity, Severity::Deny));
     }
 
     #[test]

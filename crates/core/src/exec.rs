@@ -154,15 +154,15 @@ pub fn plan_schedule(
     cfg: &ExecConfig,
 ) -> Result<Schedule, CoreError> {
     let fusion = prepare_fusion(graph, cfg)?;
-    let mut slots: Vec<Option<Relation>> = (0..graph.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<NodeVal>> = (0..graph.len()).map(|_| None).collect();
     for wave in wavefronts(graph) {
         for id in wave {
-            slots[id] = Some(eval_node(graph, id, inputs, &slots)?);
+            slots[id] = Some(eval_node(graph, id, inputs, &slots, None)?);
         }
     }
-    let results: Vec<Relation> =
+    let results: Vec<NodeVal> =
         slots.into_iter().map(|r| r.expect("every wave filled its nodes")).collect();
-    let stats = Stats::collect(graph, &results);
+    let stats = Stats::collect(&results);
     Ok(build_schedule(system, graph, &fusion, &stats, cfg, &[graph.root]))
 }
 
@@ -237,8 +237,14 @@ fn run_plan(
     // node's level is one past its deepest input) run on scoped threads,
     // results land indexed by node id, and a wave's errors surface in id
     // order — so answers are deterministic and identical to a serial loop.
-    let mut slots: Vec<Option<Relation>> = (0..graph.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<NodeVal>> = (0..graph.len()).map(|_| None).collect();
     let mut host_secs = vec![0.0f64; graph.len()];
+    // Cardinalities are captured the moment a slot fills, because a
+    // downstream in-place operator may later *steal* the relation out of a
+    // single-consumer slot (see `steal_input`) — the timing phase still
+    // needs every node's measured size.
+    let mut stats = Stats { rows: vec![0; graph.len()], row_bytes: vec![0.0; graph.len()] };
+    let consumers = graph.consumer_counts();
     {
         let _phase = kfusion_trace::host_span("host", "functional_phase");
         for (level, wave) in wavefronts(graph).into_iter().enumerate() {
@@ -246,17 +252,24 @@ fn run_plan(
                 .then(|| kfusion_trace::host_span("host", &format!("wave#{level}")));
             if wave.len() == 1 {
                 let id = wave[0];
-                let (rel, secs) = eval_node_timed(graph, id, inputs, &slots)?;
+                let stolen = steal_input(graph, id, roots, &consumers, &mut slots);
+                let (rel, secs) = eval_node_timed(graph, id, inputs, &slots, stolen)?;
+                stats.record(id, rel.as_rel());
                 slots[id] = Some(rel);
                 host_secs[id] = secs;
             } else {
-                type WaveResults = Vec<(NodeId, Result<(Relation, f64), CoreError>)>;
+                let mut stolen: Vec<Option<Relation>> = wave
+                    .iter()
+                    .map(|&id| steal_input(graph, id, roots, &consumers, &mut slots))
+                    .collect();
+                type WaveResults<'a> = Vec<(NodeId, Result<(NodeVal<'a>, f64), CoreError>)>;
                 let evaluated: WaveResults = std::thread::scope(|scope| {
                     let handles: Vec<_> = wave
                         .iter()
-                        .map(|&id| {
+                        .zip(stolen.iter_mut().map(Option::take))
+                        .map(|(&id, st)| {
                             let slots = &slots;
-                            (id, scope.spawn(move || eval_node_timed(graph, id, inputs, slots)))
+                            (id, scope.spawn(move || eval_node_timed(graph, id, inputs, slots, st)))
                         })
                         .collect();
                     handles
@@ -266,17 +279,15 @@ fn run_plan(
                 });
                 for (id, r) in evaluated {
                     let (rel, secs) = r?;
+                    stats.record(id, rel.as_rel());
                     slots[id] = Some(rel);
                     host_secs[id] = secs;
                 }
             }
         }
     }
-    let results: Vec<Relation> =
-        slots.into_iter().map(|r| r.expect("every wave filled its nodes")).collect();
 
     // ---- Timing phase -----------------------------------------------------
-    let stats = Stats::collect(graph, &results);
     let (fusion, timeline) = {
         let _phase = kfusion_trace::host_span("host", "timing_phase");
         let fusion = match prepared {
@@ -299,7 +310,10 @@ fn run_plan(
         .map(|(id, _)| stats.rows[id])
         .sum();
     let peak = peak_resident_bytes(graph, &stats);
-    let outputs: Vec<Relation> = roots.iter().map(|&r| results[r].clone()).collect();
+    let outputs: Vec<Relation> = roots
+        .iter()
+        .map(|&r| slots[r].as_ref().expect("roots are never stolen").as_rel().clone())
+        .collect();
     let measurements =
         crate::explain::NodeMeasurements { rows: &stats.rows, host_seconds: &host_secs };
     let explain = crate::explain::build_explain(
@@ -317,19 +331,49 @@ fn run_plan(
 /// the wall-clock seconds the evaluation took (the EXPLAIN tree's
 /// `host=` column). Runs on the wave's thread, so parallel nodes land on
 /// distinct host lanes.
-fn eval_node_timed(
+fn eval_node_timed<'a>(
     graph: &PlanGraph,
     id: NodeId,
-    inputs: &[Relation],
-    slots: &[Option<Relation>],
-) -> Result<(Relation, f64), CoreError> {
+    inputs: &'a [Relation],
+    slots: &[Option<NodeVal<'a>>],
+    stolen: Option<Relation>,
+) -> Result<(NodeVal<'a>, f64), CoreError> {
     let _span = kfusion_trace::enabled().then(|| {
         let name = format!("{}#{id}", graph.nodes[id].kind.name().to_lowercase());
         kfusion_trace::host_span("host", &name)
     });
     let t0 = std::time::Instant::now();
-    let rel = eval_node(graph, id, inputs, slots)?;
+    let rel = eval_node(graph, id, inputs, slots, stolen)?;
     Ok((rel, t0.elapsed().as_secs_f64()))
+}
+
+/// If node `id` may consume its first input in place — it has an in-place
+/// variant, the input is an owned intermediate (never a plan input or a
+/// requested root), and `id` is its only consumer — take the relation out
+/// of the slot and hand it over. The stolen slot stays `None`; its
+/// cardinality was recorded when it filled.
+fn steal_input(
+    graph: &PlanGraph,
+    id: NodeId,
+    roots: &[NodeId],
+    consumers: &[usize],
+    slots: &mut [Option<NodeVal>],
+) -> Option<Relation> {
+    let node = &graph.nodes[id];
+    if !matches!(node.kind, OpKind::ArithExtend { .. } | OpKind::Rekey { .. }) {
+        return None;
+    }
+    let p = *node.inputs.first()?;
+    if consumers[p] != 1 || roots.contains(&p) {
+        return None;
+    }
+    match slots[p].take() {
+        Some(NodeVal::Owned(r)) => Some(r),
+        other => {
+            slots[p] = other;
+            None
+        }
+    }
 }
 
 /// Partition node ids into topological wavefronts: level 0 holds nodes with
@@ -350,21 +394,53 @@ fn wavefronts(graph: &PlanGraph) -> Vec<Vec<NodeId>> {
     waves
 }
 
+/// A functional-phase slot value. Input nodes *borrow* the caller's
+/// relation instead of cloning it (base tables are the largest relations in
+/// every TPC-H plan, and the old per-node clone was a full-table copy);
+/// every other operator owns its freshly computed output.
+enum NodeVal<'a> {
+    Ref(&'a Relation),
+    Owned(Relation),
+}
+
+impl NodeVal<'_> {
+    fn as_rel(&self) -> &Relation {
+        match self {
+            NodeVal::Ref(r) => r,
+            NodeVal::Owned(r) => r,
+        }
+    }
+}
+
 /// Evaluate one plan node; `slots` must hold the results of all its inputs
 /// (guaranteed by wavefront order).
-fn eval_node(
+fn eval_node<'a>(
     graph: &PlanGraph,
     id: NodeId,
-    inputs: &[Relation],
-    slots: &[Option<Relation>],
-) -> Result<Relation, CoreError> {
+    inputs: &'a [Relation],
+    slots: &[Option<NodeVal<'a>>],
+    stolen: Option<Relation>,
+) -> Result<NodeVal<'a>, CoreError> {
     let node = &graph.nodes[id];
-    let get = |i: usize| slots[node.inputs[i]].as_ref().expect("input wave completed");
-    Ok(match &node.kind {
-        OpKind::Input { input } => inputs
+    let get = |i: usize| slots[node.inputs[i]].as_ref().expect("input wave completed").as_rel();
+    if let OpKind::Input { input } = &node.kind {
+        return inputs
             .get(*input)
-            .cloned()
-            .ok_or_else(|| CoreError::Unsupported(format!("missing plan input {input}")))?,
+            .map(NodeVal::Ref)
+            .ok_or_else(|| CoreError::Unsupported(format!("missing plan input {input}")));
+    }
+    // In-place fast paths: a stolen single-consumer input is mutated rather
+    // than copied. The owned variants compute the same relation as the
+    // borrowing ones by construction (their tests compare the two).
+    if let Some(rel) = stolen {
+        return Ok(NodeVal::Owned(match &node.kind {
+            OpKind::ArithExtend { body } => ops::arith_extend_owned(rel, body)?,
+            OpKind::Rekey { col } => ops::rekey_owned(rel, *col)?,
+            _ => unreachable!("steal_input only feeds in-place operators"),
+        }));
+    }
+    Ok(NodeVal::Owned(match &node.kind {
+        OpKind::Input { .. } => unreachable!("handled above"),
         OpKind::Select { pred } => ops::select(get(0), pred)?,
         OpKind::Project { keep } => ops::project(get(0), keep)?,
         OpKind::Rekey { col } => ops::rekey(get(0), *col)?,
@@ -382,7 +458,7 @@ fn eval_node(
         OpKind::AggregateAll { aggs } => ops::aggregate_all(get(0), aggs)?,
         OpKind::Sort { by } => ops::sort(get(0), *by)?,
         OpKind::Unique => ops::unique(get(0))?,
-    })
+    }))
 }
 
 /// Peak simulated GPU-memory residency (bytes) of executing `graph` with
@@ -454,12 +530,16 @@ struct Stats {
 }
 
 impl Stats {
-    fn collect(graph: &PlanGraph, results: &[Relation]) -> Self {
-        let _ = graph;
+    fn collect(results: &[NodeVal]) -> Self {
         Stats {
-            rows: results.iter().map(|r| r.len() as u64).collect(),
-            row_bytes: results.iter().map(|r| r.row_bytes() as f64).collect(),
+            rows: results.iter().map(|r| r.as_rel().len() as u64).collect(),
+            row_bytes: results.iter().map(|r| r.as_rel().row_bytes() as f64).collect(),
         }
+    }
+
+    fn record(&mut self, id: NodeId, rel: &Relation) {
+        self.rows[id] = rel.len() as u64;
+        self.row_bytes[id] = rel.row_bytes() as f64;
     }
 
     fn bytes(&self, id: NodeId) -> u64 {

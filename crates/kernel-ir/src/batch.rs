@@ -28,6 +28,8 @@ use crate::ir::{BinOp, CmpOp, Instr, KernelBody, Reg, UnOp};
 use crate::value::{Ty, Value};
 use crate::verify::{self, VerifyError};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Rows per batch: small enough for register banks to stay cache-resident,
 /// large enough to amortize dispatch. 1024 lanes = 16 bitmask words.
@@ -105,12 +107,23 @@ impl ColRef<'_> {
 /// A body compiled for batch execution: the instruction list plus a single
 /// static [`Ty`] for every register, resolved against the caller's column
 /// types. Compile once per (body, binding); run over many batches.
+///
+/// The instruction/output/type tables live behind `Arc`s, so cloning a
+/// compiled kernel (the plan cache hands one copy to every concurrent
+/// submission) is three refcount bumps, never a per-clone duplication of
+/// the instruction vector.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
-    instrs: Vec<Instr>,
-    outputs: Vec<Reg>,
-    reg_ty: Vec<Ty>,
+    instrs: Arc<[Instr]>,
+    outputs: Arc<[Reg]>,
+    reg_ty: Arc<[Ty]>,
+    /// Distinct per `compile` call; clones share it. [`Scratch`] uses this
+    /// to recognize a cached [`BatchMachine`] whose bank shapes still fit.
+    id: u64,
+    fused: Option<Fused>,
 }
+
+static NEXT_KERNEL_ID: AtomicU64 = AtomicU64::new(1);
 
 impl CompiledKernel {
     /// Compile `body` against known input slot types (`None` = unknown).
@@ -127,10 +140,13 @@ impl CompiledKernel {
                 .enumerate()
                 .map(|(r, t)| t.ok_or(BatchError::Unresolved { reg: r as Reg }))
                 .collect::<Result<Vec<Ty>, BatchError>>()?;
+            let fused = Fused::recognize(&body.instrs, &body.outputs, &reg_ty);
             Ok(CompiledKernel {
-                instrs: body.instrs.clone(),
-                outputs: body.outputs.clone(),
-                reg_ty,
+                instrs: body.instrs.as_slice().into(),
+                outputs: body.outputs.as_slice().into(),
+                reg_ty: reg_ty.into(),
+                id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
+                fused,
             })
         })();
         kfusion_trace::counter(
@@ -141,6 +157,22 @@ impl CompiledKernel {
             1,
         );
         compiled
+    }
+
+    /// Identity of this compile (shared by clones, distinct across
+    /// `compile` calls). The key under which [`Scratch`] caches machines.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Name of the recognized multi-op fused primitive, if any — for tests
+    /// and EXPLAIN-style introspection.
+    pub fn fused_primitive(&self) -> Option<&'static str> {
+        self.fused.as_ref().map(|f| match f {
+            Fused::PackI64 { .. } => "pack_i64",
+            Fused::MoneyPair { .. } => "money_pair",
+            Fused::CmpChain { .. } => "cmp_chain",
+        })
     }
 
     /// Number of output slots.
@@ -168,6 +200,150 @@ impl CompiledKernel {
             }
         }
         Ok(())
+    }
+}
+
+/// A hardcoded multi-op fused primitive: one of the hottest Q1/Q6
+/// instruction chains, recognized at compile time and executed as a single
+/// pass over the input columns instead of one bank sweep per instruction.
+///
+/// Every variant is bit-exact with the generic interpretation: the fused
+/// loop performs the same operations on the same operands in the same
+/// order (`MoneyPair` reuses the discounted price the generic path
+/// recomputes, but a repeated identical f64 expression yields identical
+/// bits, so sharing it is observationally invisible).
+#[derive(Debug, Clone, PartialEq)]
+enum Fused {
+    /// `out0 = in[a] * mul + in[b]` over i64 (Q1's group-code pack).
+    PackI64 { a: u32, mul: i64, b: u32 },
+    /// `out0 = p * (c_sub - d)`, `out1 = out0 * (c_add + t)` over f64
+    /// (Q1's discounted/charged price pair).
+    MoneyPair { price: u32, disc: u32, tax: u32, c_sub: f64, c_add: f64 },
+    /// `out0 = term_0 && term_1 && ...`, each term `in[slot] <op> const`
+    /// (every Q1/Q6 SELECT predicate, including the two-sided range).
+    CmpChain { terms: Vec<CmpTerm> },
+}
+
+/// One comparison of a `CmpChain`: `in[slot] <op> rhs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CmpTerm {
+    slot: u32,
+    op: CmpOp,
+    rhs: Value,
+}
+
+impl Fused {
+    fn recognize(instrs: &[Instr], outputs: &[Reg], reg_ty: &[Ty]) -> Option<Fused> {
+        let load = |r: Reg| match instrs[r as usize] {
+            Instr::LoadInput { slot } => Some(slot),
+            _ => None,
+        };
+        let const_i64 = |r: Reg| match instrs[r as usize] {
+            Instr::Const { value: Value::I64(c) } => Some(c),
+            _ => None,
+        };
+        let const_f64 = |r: Reg| match instrs[r as usize] {
+            Instr::Const { value: Value::F64(c) } => Some(c),
+            _ => None,
+        };
+        // out = load(a) * mul + load(b), all i64.
+        let pack = |r: Reg| -> Option<Fused> {
+            if reg_ty[r as usize] != Ty::I64 {
+                return None;
+            }
+            let (sum_l, sum_r) = match instrs[r as usize] {
+                Instr::Bin { op: BinOp::Add, lhs, rhs } => (lhs, rhs),
+                _ => return None,
+            };
+            let (mul_l, mul_r) = match instrs[sum_l as usize] {
+                Instr::Bin { op: BinOp::Mul, lhs, rhs } => (lhs, rhs),
+                _ => return None,
+            };
+            let (a, mul) = match (load(mul_l), const_i64(mul_r), const_i64(mul_l), load(mul_r)) {
+                (Some(a), Some(m), _, _) => (a, m),
+                (_, _, Some(m), Some(a)) => (a, m),
+                _ => return None,
+            };
+            Some(Fused::PackI64 { a, mul, b: load(sum_r)? })
+        };
+        // dp(r) = load(price) * (c_sub - load(disc)), all f64.
+        let discounted = |r: Reg| -> Option<(u32, u32, f64)> {
+            let (p_reg, sub_reg) = match instrs[r as usize] {
+                Instr::Bin { op: BinOp::Mul, lhs, rhs } => (lhs, rhs),
+                _ => return None,
+            };
+            let (c_reg, d_reg) = match instrs[sub_reg as usize] {
+                Instr::Bin { op: BinOp::Sub, lhs, rhs } => (lhs, rhs),
+                _ => return None,
+            };
+            Some((load(p_reg)?, load(d_reg)?, const_f64(c_reg)?))
+        };
+        let money = |o0: Reg, o1: Reg| -> Option<Fused> {
+            if reg_ty[o0 as usize] != Ty::F64 || reg_ty[o1 as usize] != Ty::F64 {
+                return None;
+            }
+            let (price, disc, c_sub) = discounted(o0)?;
+            let (dp_reg, add_reg) = match instrs[o1 as usize] {
+                Instr::Bin { op: BinOp::Mul, lhs, rhs } => (lhs, rhs),
+                _ => return None,
+            };
+            // The naive builder re-emits the discounted-price subtree; it
+            // must match out0's exactly for the fused sharing to be sound.
+            let (p2, d2, c2) = discounted(dp_reg)?;
+            if (p2, d2, c2.to_bits()) != (price, disc, c_sub.to_bits()) {
+                return None;
+            }
+            let (ca_reg, t_reg) = match instrs[add_reg as usize] {
+                Instr::Bin { op: BinOp::Add, lhs, rhs } => (lhs, rhs),
+                _ => return None,
+            };
+            Some(Fused::MoneyPair {
+                price,
+                disc,
+                tax: load(t_reg)?,
+                c_sub,
+                c_add: const_f64(ca_reg)?,
+            })
+        };
+        // Conjunction tree of `load <op> const` comparisons, bool result.
+        fn chain_terms(instrs: &[Instr], r: Reg, terms: &mut Vec<CmpTerm>) -> bool {
+            match instrs[r as usize] {
+                Instr::Bin { op: BinOp::And, lhs, rhs } => {
+                    chain_terms(instrs, lhs, terms) && chain_terms(instrs, rhs, terms)
+                }
+                Instr::Cmp { op, lhs, rhs } => {
+                    let load = |x: Reg| match instrs[x as usize] {
+                        Instr::LoadInput { slot } => Some(slot),
+                        _ => None,
+                    };
+                    let konst = |x: Reg| match instrs[x as usize] {
+                        Instr::Const { value: v @ (Value::I64(_) | Value::F64(_)) } => Some(v),
+                        _ => None,
+                    };
+                    match (load(lhs), konst(rhs), konst(lhs), load(rhs)) {
+                        (Some(slot), Some(rhs), _, _) => {
+                            terms.push(CmpTerm { slot, op, rhs });
+                            true
+                        }
+                        (_, _, Some(lhs), Some(slot)) => {
+                            terms.push(CmpTerm { slot, op: op.swapped(), rhs: lhs });
+                            true
+                        }
+                        _ => false,
+                    }
+                }
+                _ => false,
+            }
+        }
+        match outputs {
+            [o] if reg_ty[*o as usize] == Ty::Bool => {
+                let mut terms = Vec::new();
+                chain_terms(instrs, *o, &mut terms).then_some(Fused::CmpChain { terms })
+            }
+            [o] => pack(*o),
+            [o0, o1] => money(*o0, *o1),
+            _ => None,
+        }
     }
 }
 
@@ -228,6 +404,118 @@ pub fn mask_lane(mask: &[u64], j: usize) -> bool {
     (mask[j >> 6] >> (j & 63)) & 1 == 1
 }
 
+/// When `true` (default), [`Scratch`] hands cached machines and buffers
+/// back out instead of constructing fresh ones. Disable to A/B the reuse
+/// path against cold construction (the equivalence suite runs both).
+static SCRATCH_REUSE: AtomicBool = AtomicBool::new(true);
+
+/// When `true`, every [`BatchMachine::run`] first fills all non-constant
+/// banks with sentinel garbage. Any batch-path result that depends on a
+/// stale or zero-initialized lane — instead of on lanes the current batch
+/// actually wrote — changes under poisoning, so the equivalence suite can
+/// assert reuse never leaks state between batches. Off by default (it
+/// costs a full bank sweep per batch).
+static SCRATCH_POISON: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable [`Scratch`] reuse of machines and index buffers.
+pub fn set_scratch_reuse(on: bool) {
+    SCRATCH_REUSE.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`Scratch`] reuse is enabled.
+pub fn scratch_reuse() -> bool {
+    SCRATCH_REUSE.load(Ordering::Relaxed)
+}
+
+/// Enable or disable per-batch bank poisoning.
+pub fn set_scratch_poison(on: bool) {
+    SCRATCH_POISON.store(on, Ordering::Relaxed);
+}
+
+/// Whether per-batch bank poisoning is enabled.
+pub fn scratch_poison() -> bool {
+    SCRATCH_POISON.load(Ordering::Relaxed)
+}
+
+/// Sentinel lane values for poisoning: recognizable, and vicious — the f64
+/// pattern is a NaN, so any arithmetic that touches a stale lane infects
+/// its result.
+const POISON_I64: i64 = 0x5AA5_5AA5_5AA5_5AA5_u64 as i64;
+const POISON_F64_BITS: u64 = 0x7FF8_DEAD_BEEF_F00D;
+const POISON_MASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// A per-worker scratch arena: caches [`BatchMachine`]s by kernel identity
+/// and recycles index buffers, so steady-state batch loops check state out
+/// and return it instead of allocating. Keep one per worker thread (the
+/// relational operators hold one in a thread-local) and `reset` it when the
+/// worker retires.
+///
+/// The checkout/return protocol moves ownership — a checked-out machine is
+/// plain owned state with no lifetime tie to the arena — so holding a
+/// machine across a whole morsel loop borrows nothing.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    machines: Vec<(u64, BatchMachine)>,
+    idx_bufs: Vec<Vec<u32>>,
+}
+
+/// Cap on cached machines / buffers per arena; a worker only ever needs a
+/// handful (one per distinct kernel in flight), so anything beyond this is
+/// leak, not reuse.
+const SCRATCH_CAP: usize = 16;
+
+impl Scratch {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Check out a machine for `k`: a cached one compiled from the same
+    /// `CompiledKernel::compile` call when reuse is on and one is pooled,
+    /// otherwise a fresh construction.
+    pub fn machine(&mut self, k: &CompiledKernel) -> BatchMachine {
+        if scratch_reuse() {
+            if let Some(pos) = self.machines.iter().position(|(id, _)| *id == k.id) {
+                return self.machines.swap_remove(pos).1;
+            }
+        }
+        BatchMachine::new(k)
+    }
+
+    /// Return a machine checked out for `k` to the pool. Dropped (not
+    /// pooled) when reuse is off or the pool is full.
+    pub fn put_machine(&mut self, k: &CompiledKernel, m: BatchMachine) {
+        if scratch_reuse() && self.machines.len() < SCRATCH_CAP {
+            self.machines.push((k.id, m));
+        }
+    }
+
+    /// Check out an empty `u32` index buffer (capacity retained from prior
+    /// use when reuse is on).
+    pub fn idx_buf(&mut self) -> Vec<u32> {
+        if scratch_reuse() {
+            if let Some(mut v) = self.idx_bufs.pop() {
+                v.clear();
+                return v;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Return an index buffer to the pool.
+    pub fn put_idx_buf(&mut self, v: Vec<u32>) {
+        if scratch_reuse() && self.idx_bufs.len() < SCRATCH_CAP {
+            self.idx_bufs.push(v);
+        }
+    }
+
+    /// Drop all pooled state.
+    pub fn reset(&mut self) {
+        self.machines.clear();
+        self.idx_bufs.clear();
+    }
+}
+
 /// Reusable batch evaluation state for one [`CompiledKernel`]: one typed
 /// bank per register, with constant banks splatted once at construction.
 /// Hold one per worker thread.
@@ -239,10 +527,16 @@ pub struct BatchMachine {
 impl BatchMachine {
     /// Allocate banks for `k` and pre-splat its constants.
     pub fn new(k: &CompiledKernel) -> Self {
-        let mut banks: Vec<Bank> = k.reg_ty.iter().map(|&t| Bank::for_ty(t)).collect();
+        let banks = k.reg_ty.iter().map(|&t| Bank::for_ty(t)).collect();
+        let mut m = BatchMachine { banks };
+        m.splat_consts(k);
+        m
+    }
+
+    fn splat_consts(&mut self, k: &CompiledKernel) {
         for (r, instr) in k.instrs.iter().enumerate() {
             if let Instr::Const { value } = *instr {
-                match (&mut banks[r], value) {
+                match (&mut self.banks[r], value) {
                     (Bank::I64(d), Value::I64(c)) => d.fill(c),
                     (Bank::F64(d), Value::F64(c)) => d.fill(c),
                     (Bank::Bool(d), Value::Bool(c)) => d.fill(if c { u64::MAX } else { 0 }),
@@ -250,7 +544,20 @@ impl BatchMachine {
                 }
             }
         }
-        BatchMachine { banks }
+    }
+
+    /// Fill every bank with sentinel garbage, then re-splat `k`'s constant
+    /// banks. Leaves the machine in the worst legal state reuse can hand a
+    /// batch: nothing zeroed, every stale lane poisoned.
+    pub fn poison(&mut self, k: &CompiledKernel) {
+        for bank in &mut self.banks {
+            match bank {
+                Bank::I64(d) => d.fill(POISON_I64),
+                Bank::F64(d) => d.fill(f64::from_bits(POISON_F64_BITS)),
+                Bank::Bool(d) => d.fill(POISON_MASK),
+            }
+        }
+        self.splat_consts(k);
     }
 
     /// Evaluate `k` over rows `base .. base + n` of `cols` (`n` at most
@@ -267,6 +574,66 @@ impl BatchMachine {
         self.run_uncounted(k, cols, base, n);
     }
 
+    /// Execute a recognized [`Fused`] primitive: a single pass straight
+    /// from the input columns into the output banks, skipping per-instr
+    /// bank sweeps entirely. Nothing in here allocates — this is the
+    /// steady-state inner loop the allocation gate measures.
+    fn run_fused(
+        &mut self,
+        f: &Fused,
+        k: &CompiledKernel,
+        cols: &[ColRef<'_>],
+        base: usize,
+        n: usize,
+    ) {
+        match f {
+            Fused::PackI64 { a, mul, b } => {
+                let d = match &mut self.banks[k.outputs[0] as usize] {
+                    Bank::I64(d) => &mut d[..n],
+                    _ => unreachable!("pack output is i64"),
+                };
+                let (a, b) = (I64Lanes::of(cols[*a as usize]), I64Lanes::of(cols[*b as usize]));
+                for (j, dj) in d.iter_mut().enumerate() {
+                    *dj = a.get(base + j).wrapping_mul(*mul).wrapping_add(b.get(base + j));
+                }
+            }
+            Fused::MoneyPair { price, disc, tax, c_sub, c_add } => {
+                let (o0, o1) = (k.outputs[0] as usize, k.outputs[1] as usize);
+                // SSA: out1's defining Mul reads registers above out0's
+                // whole subtree, so o0 < o1 always holds here.
+                let (lo, hi) = self.banks.split_at_mut(o1);
+                let (d0, d1) = match (&mut lo[o0], &mut hi[0]) {
+                    (Bank::F64(d0), Bank::F64(d1)) => (&mut d0[..n], &mut d1[..n]),
+                    _ => unreachable!("money outputs are f64"),
+                };
+                let p = f64_lanes(cols[*price as usize]);
+                let dc = f64_lanes(cols[*disc as usize]);
+                let t = f64_lanes(cols[*tax as usize]);
+                for j in 0..n {
+                    let dp = p[base + j] * (c_sub - dc[base + j]);
+                    d0[j] = dp;
+                    d1[j] = dp * (c_add + t[base + j]);
+                }
+            }
+            Fused::CmpChain { terms } => {
+                let d = match &mut self.banks[k.outputs[0] as usize] {
+                    Bank::Bool(d) => d,
+                    _ => unreachable!("predicate output is bool"),
+                };
+                for (w, dw) in d.iter_mut().enumerate().take(n.div_ceil(64)) {
+                    let lo = w * 64;
+                    let hi = (lo + 64).min(n);
+                    // Lanes >= n of the last word cleared, like store_lanes.
+                    let mut acc = if hi - lo == 64 { u64::MAX } else { (1u64 << (hi - lo)) - 1 };
+                    for term in terms {
+                        acc &= cmp_term_word(term, cols, base + lo, hi - lo);
+                    }
+                    *dw = acc;
+                }
+            }
+        }
+    }
+
     /// [`BatchMachine::run`] without the batch counter — the baseline the
     /// disabled-recorder overhead benchmark compares against. Not for
     /// general use: operators should stay observable.
@@ -278,6 +645,13 @@ impl BatchMachine {
         n: usize,
     ) {
         debug_assert!(n <= BATCH_ROWS);
+        if scratch_poison() {
+            self.poison(k);
+        }
+        if let Some(f) = &k.fused {
+            self.run_fused(f, k, cols, base, n);
+            return;
+        }
         for (i, instr) in k.instrs.iter().enumerate() {
             let (prev, rest) = self.banks.split_at_mut(i);
             let dst = &mut rest[0];
@@ -330,6 +704,89 @@ fn load(dst: &mut Bank, col: ColRef<'_>, base: usize, n: usize) {
             }
         }
         _ => unreachable!("binding checked by CompiledKernel::check_binding"),
+    }
+}
+
+/// An `i64`-typed input column for fused primitives: either a plain slice
+/// or the key column read through the `u64 -> i64` calling convention.
+#[derive(Clone, Copy)]
+enum I64Lanes<'a> {
+    Plain(&'a [i64]),
+    Key(&'a [u64]),
+}
+
+impl<'a> I64Lanes<'a> {
+    fn of(col: ColRef<'a>) -> Self {
+        match col {
+            ColRef::I64(s) => I64Lanes::Plain(s),
+            ColRef::KeyU64(s) => I64Lanes::Key(s),
+            ColRef::F64(_) => unreachable!("binding checked by CompiledKernel::check_binding"),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> i64 {
+        match self {
+            I64Lanes::Plain(s) => s[i],
+            I64Lanes::Key(s) => s[i] as i64,
+        }
+    }
+}
+
+fn f64_lanes<'a>(col: ColRef<'a>) -> &'a [f64] {
+    match col {
+        ColRef::F64(s) => s,
+        _ => unreachable!("binding checked by CompiledKernel::check_binding"),
+    }
+}
+
+/// One bitmask word (`lanes` low bits) of `in[term.slot] <op> term.rhs`
+/// evaluated at rows `start .. start + lanes`.
+#[inline]
+fn cmp_term_word(term: &CmpTerm, cols: &[ColRef<'_>], start: usize, lanes: usize) -> u64 {
+    let mut m = 0u64;
+    match (cols[term.slot as usize], term.rhs) {
+        (ColRef::I64(s), Value::I64(c)) => {
+            for (j, &v) in s[start..start + lanes].iter().enumerate() {
+                m |= (cmp_scalar_i64(term.op, v, c) as u64) << j;
+            }
+        }
+        (ColRef::KeyU64(s), Value::I64(c)) => {
+            for (j, &v) in s[start..start + lanes].iter().enumerate() {
+                m |= (cmp_scalar_i64(term.op, v as i64, c) as u64) << j;
+            }
+        }
+        (ColRef::F64(s), Value::F64(c)) => {
+            for (j, &v) in s[start..start + lanes].iter().enumerate() {
+                m |= (cmp_scalar_f64(term.op, v, c) as u64) << j;
+            }
+        }
+        _ => unreachable!("binding checked by CompiledKernel::check_binding"),
+    }
+    m
+}
+
+#[inline]
+fn cmp_scalar_i64(op: CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+#[inline]
+fn cmp_scalar_f64(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
     }
 }
 
@@ -604,6 +1061,173 @@ mod tests {
             Err(BatchError::Binding { slot: 0, expected: Ty::I64 })
         ));
         assert!(matches!(k.check_binding(&[]), Err(BatchError::Binding { slot: 0, .. })));
+    }
+
+    /// Run `body` fused and generically over the same columns and assert
+    /// both agree bit-for-bit with the scalar interpreter on every lane.
+    fn assert_fused_matches_interp(
+        body: &KernelBody,
+        slot_tys: &[Option<Ty>],
+        cols: &[ColRef<'_>],
+        rows: &[Vec<Value>],
+        expect_fused: &str,
+    ) {
+        let k = CompiledKernel::compile(body, slot_tys).unwrap();
+        assert_eq!(k.fused_primitive(), Some(expect_fused));
+        k.check_binding(cols).unwrap();
+        let mut fused = BatchMachine::new(&k);
+        fused.run(&k, cols, 0, rows.len());
+        let mut generic = BatchMachine::new(&k);
+        let mut plain = k.clone();
+        plain.fused = None;
+        generic.run(&plain, cols, 0, rows.len());
+        for (j, row) in rows.iter().enumerate() {
+            let expect = interp::eval(body, row).unwrap();
+            for (slot, want) in expect.iter().enumerate() {
+                for (label, m) in [("fused", &fused), ("generic", &generic)] {
+                    let got = match m.output(&k, slot) {
+                        BankView::I64(v) => Value::I64(v[j]),
+                        BankView::F64(v) => Value::F64(v[j]),
+                        BankView::Bool(mask) => Value::Bool(mask_lane(mask, j)),
+                    };
+                    match (got, *want) {
+                        (Value::F64(a), Value::F64(b)) => {
+                            assert_eq!(a.to_bits(), b.to_bits(), "{label} lane {j} out {slot}")
+                        }
+                        (a, b) => assert_eq!(a, b, "{label} lane {j} out {slot}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pack_matches_interp() {
+        let mut b = BodyBuilder::new(3);
+        b.emit_output(Expr::input(1).mul(Expr::lit(65536i64)).add(Expr::input(2)));
+        let body = b.build();
+        let flag: Vec<i64> = (0..200).map(|i| i % 3).collect();
+        let status: Vec<i64> = (0..200).map(|i| (i * 7) % 5 - 2).collect();
+        let keys: Vec<u64> = (0..200).collect();
+        let rows: Vec<Vec<Value>> = (0..200)
+            .map(|j| vec![Value::I64(keys[j] as i64), Value::I64(flag[j]), Value::I64(status[j])])
+            .collect();
+        assert_fused_matches_interp(
+            &body,
+            &[Some(Ty::I64), Some(Ty::I64), Some(Ty::I64)],
+            &[ColRef::KeyU64(&keys), ColRef::I64(&flag), ColRef::I64(&status)],
+            &rows,
+            "pack_i64",
+        );
+    }
+
+    #[test]
+    fn fused_money_pair_matches_interp() {
+        // The naive builder duplicates the discounted-price subtree, the
+        // exact shape Q1's money kernel has.
+        let mut b = BodyBuilder::new(4);
+        let dp = || Expr::input(1).mul(Expr::lit(1.0f64).sub(Expr::input(2)));
+        b.emit_output(dp());
+        b.emit_output(dp().mul(Expr::lit(1.0f64).add(Expr::input(3))));
+        let body = b.build();
+        let price: Vec<f64> = (0..200).map(|i| 900.0 + (i as f64) * 1.37).collect();
+        let disc: Vec<f64> = (0..200).map(|i| (i % 11) as f64 * 0.01).collect();
+        let tax: Vec<f64> = (0..200).map(|i| (i % 9) as f64 * 0.01).collect();
+        let keys: Vec<u64> = (0..200).collect();
+        let rows: Vec<Vec<Value>> = (0..200)
+            .map(|j| {
+                vec![
+                    Value::I64(keys[j] as i64),
+                    Value::F64(price[j]),
+                    Value::F64(disc[j]),
+                    Value::F64(tax[j]),
+                ]
+            })
+            .collect();
+        assert_fused_matches_interp(
+            &body,
+            &[Some(Ty::I64), Some(Ty::F64), Some(Ty::F64), Some(Ty::F64)],
+            &[ColRef::KeyU64(&keys), ColRef::F64(&price), ColRef::F64(&disc), ColRef::F64(&tax)],
+            &rows,
+            "money_pair",
+        );
+    }
+
+    #[test]
+    fn fused_cmp_chain_matches_interp() {
+        // disc >= lo && disc <= hi && 24.0 > qty — mixed operand orders and
+        // a three-term conjunction (Q6's range predicate shape).
+        let mut b = BodyBuilder::new(3);
+        let range = Expr::input(1)
+            .cmp(CmpOp::Ge, Expr::lit(0.0499f64))
+            .and(Expr::input(1).cmp(CmpOp::Le, Expr::lit(0.0701f64)));
+        b.emit_output(range.and(Expr::lit(24.0f64).cmp(CmpOp::Gt, Expr::input(2))));
+        let body = b.build();
+        let disc: Vec<f64> = (0..300).map(|i| (i % 13) as f64 * 0.007).collect();
+        let qty: Vec<f64> = (0..300).map(|i| (i % 50) as f64).collect();
+        let keys: Vec<u64> = (0..300).collect();
+        let rows: Vec<Vec<Value>> = (0..300)
+            .map(|j| vec![Value::I64(keys[j] as i64), Value::F64(disc[j]), Value::F64(qty[j])])
+            .collect();
+        assert_fused_matches_interp(
+            &body,
+            &[Some(Ty::I64), Some(Ty::F64), Some(Ty::F64)],
+            &[ColRef::KeyU64(&keys), ColRef::F64(&disc), ColRef::F64(&qty)],
+            &rows,
+            "cmp_chain",
+        );
+    }
+
+    #[test]
+    fn unrecognized_shapes_stay_generic() {
+        // A division chain matches no fused primitive.
+        let mut b = BodyBuilder::new(2);
+        b.emit_output(Expr::input(1).div(Expr::lit(3i64)));
+        let k = CompiledKernel::compile(&b.build(), &[Some(Ty::I64), Some(Ty::I64)]).unwrap();
+        assert_eq!(k.fused_primitive(), None);
+    }
+
+    #[test]
+    fn scratch_reuses_machines_by_kernel_identity() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        let k1 = compile_all_i64(&body);
+        let k2 = compile_all_i64(&body); // same body, distinct compile
+        assert_ne!(k1.id(), k2.id());
+        assert_eq!(k1.id(), k1.clone().id(), "clones share identity");
+        let mut s = Scratch::new();
+        let m = s.machine(&k1);
+        s.put_machine(&k1, m);
+        assert_eq!(s.machines.len(), 1);
+        // A different kernel misses the cache; the k1 machine stays pooled.
+        let m2 = s.machine(&k2);
+        assert_eq!(s.machines.len(), 1);
+        s.put_machine(&k2, m2);
+        assert_eq!(s.machines.len(), 2);
+        // Checking k1 back out drains its pool slot.
+        let _m = s.machine(&k1);
+        assert_eq!(s.machines.iter().filter(|(id, _)| *id == k1.id()).count(), 0);
+        s.reset();
+        assert!(s.machines.is_empty());
+    }
+
+    #[test]
+    fn poisoned_machine_still_computes_exact_results() {
+        let body = BodyBuilder::threshold_lt(0, 100).build();
+        let k = compile_all_i64(&body);
+        let vals: Vec<i64> = (0..150).map(|i| i * 2 - 30).collect();
+        let cols = [ColRef::I64(&vals)];
+        let mut clean = BatchMachine::new(&k);
+        clean.run(&k, &cols, 0, vals.len());
+        let mut dirty = BatchMachine::new(&k);
+        dirty.poison(&k);
+        dirty.run(&k, &cols, 0, vals.len());
+        for j in 0..vals.len() {
+            assert_eq!(
+                mask_lane(clean.selection_mask(&k), j),
+                mask_lane(dirty.selection_mask(&k), j),
+                "lane {j}"
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,14 @@ impl Column {
         self.len() == 0
     }
 
+    /// Remove all values, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        match self {
+            Column::I64(v) => v.clear(),
+            Column::F64(v) => v.clear(),
+        }
+    }
+
     /// An empty column of the same type.
     pub fn empty_like(&self) -> Column {
         match self {
@@ -118,7 +126,166 @@ impl Column {
             Column::F64(v) => Column::F64(idx.iter().map(|&i| v[i]).collect()),
         }
     }
+
+    /// [`Column::gather`] into a caller-owned column: replaces `dst`'s
+    /// contents with the rows at `idx`, reusing its capacity. The `_into`
+    /// shape the zero-allocation runtime uses wherever a gather repeats
+    /// (DESIGN.md §14).
+    ///
+    /// # Panics
+    /// If the column types differ.
+    pub fn gather_into(&self, idx: &[usize], dst: &mut Column) {
+        match (self, dst) {
+            (Column::I64(s), Column::I64(d)) => {
+                d.clear();
+                d.extend(idx.iter().map(|&i| s[i]));
+            }
+            (Column::F64(s), Column::F64(d)) => {
+                d.clear();
+                d.extend(idx.iter().map(|&i| s[i]));
+            }
+            _ => panic!("column type mismatch in gather_into"),
+        }
+    }
+
+    /// Append the rows at `base + idx[..]` (same-typed column) onto `dst` —
+    /// the columnar inner loop of the batch SELECT: one type dispatch per
+    /// column per batch instead of one per row. Within reserved capacity
+    /// this never allocates.
+    ///
+    /// # Panics
+    /// If the column types differ.
+    pub fn gather_append(&self, base: usize, idx: &[u32], dst: &mut Column) {
+        match (self, dst) {
+            (Column::I64(s), Column::I64(d)) => {
+                d.extend(idx.iter().map(|&i| s[base + i as usize]));
+            }
+            (Column::F64(s), Column::F64(d)) => {
+                d.extend(idx.iter().map(|&i| s[base + i as usize]));
+            }
+            _ => panic!("column type mismatch in gather_append"),
+        }
+    }
+
+    /// Whether `other` stores the same value type.
+    pub fn same_type(&self, other: &Column) -> bool {
+        matches!((self, other), (Column::I64(_), Column::I64(_)) | (Column::F64(_), Column::F64(_)))
+    }
+
+    /// Resize to exactly `n` values, zero-filled. When the current buffer
+    /// cannot hold `n`, the old allocation is dropped and a fresh
+    /// zero-initialized one is requested instead of growing in place —
+    /// large zeroed requests come back as lazily-mapped zero pages, so the
+    /// page-fault cost of first touch lands on whichever worker thread
+    /// writes each region rather than serially on the caller.
+    pub fn resize_zeroed(&mut self, n: usize) {
+        match self {
+            Column::I64(v) => resize_zeroed_vec(v, n),
+            Column::F64(v) => resize_zeroed_vec(v, n),
+        }
+    }
 }
+
+pub(crate) fn resize_zeroed_vec<T: Clone + Default>(v: &mut Vec<T>, n: usize) {
+    if v.capacity() < n {
+        *v = vec![T::default(); n];
+    } else {
+        v.clear();
+        v.resize(n, T::default());
+    }
+}
+
+/// A disjoint mutable row-window over one column's buffer — the unit of
+/// work for parallel materialization (each worker owns one window of every
+/// column, so scoped threads write without locks).
+pub(crate) enum ColWindow<'a> {
+    /// Window of an i64 column.
+    I64(&'a mut [i64]),
+    /// Window of an f64 column.
+    F64(&'a mut [f64]),
+}
+
+impl ColWindow<'_> {
+    /// Copy a whole same-typed column into this window.
+    ///
+    /// # Panics
+    /// If types or lengths differ.
+    pub(crate) fn copy_from(&mut self, src: &Column) {
+        match (self, src) {
+            (ColWindow::I64(d), Column::I64(s)) => d.copy_from_slice(s),
+            (ColWindow::F64(d), Column::F64(s)) => d.copy_from_slice(s),
+            _ => panic!("column type mismatch in ColWindow::copy_from"),
+        }
+    }
+
+    /// Fill this window with `src[idx[j]]` for each position `j`.
+    ///
+    /// # Panics
+    /// If types differ or `idx` is shorter than the window.
+    pub(crate) fn gather_from(&mut self, src: &Column, idx: &[usize]) {
+        match (self, src) {
+            (ColWindow::I64(d), Column::I64(s)) => {
+                for (o, &i) in d.iter_mut().zip(idx) {
+                    *o = s[i];
+                }
+            }
+            (ColWindow::F64(d), Column::F64(s)) => {
+                for (o, &i) in d.iter_mut().zip(idx) {
+                    *o = s[i];
+                }
+            }
+            _ => panic!("column type mismatch in ColWindow::gather_from"),
+        }
+    }
+}
+
+/// Split `s` into consecutive disjoint mutable windows of the given
+/// lengths. The lengths must sum to at most `s.len()`.
+pub(crate) fn slice_windows<'a, T>(mut s: &'a mut [T], lens: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(lens.len());
+    for &len in lens {
+        let (head, tail) = std::mem::take(&mut s).split_at_mut(len);
+        out.push(head);
+        s = tail;
+    }
+    out
+}
+
+/// Split every column into consecutive disjoint row-windows of the given
+/// lengths: result `[w][c]` is window `w` of column `c`.
+pub(crate) fn col_windows<'a>(cols: &'a mut [Column], lens: &[usize]) -> Vec<Vec<ColWindow<'a>>> {
+    let mut rests: Vec<ColWindow<'a>> = cols
+        .iter_mut()
+        .map(|c| match c {
+            Column::I64(v) => ColWindow::I64(v.as_mut_slice()),
+            Column::F64(v) => ColWindow::F64(v.as_mut_slice()),
+        })
+        .collect();
+    let mut out = Vec::with_capacity(lens.len());
+    for &len in lens {
+        let mut row = Vec::with_capacity(rests.len());
+        for rest in rests.iter_mut() {
+            match rest {
+                ColWindow::I64(s) => {
+                    let (head, tail) = std::mem::take(s).split_at_mut(len);
+                    row.push(ColWindow::I64(head));
+                    *s = tail;
+                }
+                ColWindow::F64(s) => {
+                    let (head, tail) = std::mem::take(s).split_at_mut(len);
+                    row.push(ColWindow::F64(head));
+                    *s = tail;
+                }
+            }
+        }
+        out.push(row);
+    }
+    out
+}
+
+/// Row count below which the parallel materialization helpers fall back to
+/// their serial equivalents (thread spawn would cost more than the copy).
+pub(crate) const PAR_COPY_MIN_ROWS: usize = 64 * 1024;
 
 /// Structural errors on relations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -265,9 +432,140 @@ impl Relation {
         }
     }
 
+    /// Remove all tuples, keeping the schema and every column's allocated
+    /// capacity — the reset step of the `_into` operator variants.
+    pub fn clear(&mut self) {
+        self.key.clear();
+        for c in &mut self.cols {
+            c.clear();
+        }
+    }
+
     /// An empty relation with the same schema.
     pub fn empty_like(&self) -> Relation {
         Relation { key: Vec::new(), cols: self.cols.iter().map(Column::empty_like).collect() }
+    }
+
+    /// An empty relation with the same schema and `cap` rows of reserved
+    /// capacity in the key and every column — so appends up to `cap` rows
+    /// never reallocate.
+    pub fn empty_like_with_capacity(&self, cap: usize) -> Relation {
+        Relation {
+            key: Vec::with_capacity(cap),
+            cols: self.cols.iter().map(|c| c.empty_like_with_capacity(cap)).collect(),
+        }
+    }
+
+    /// Clear `self` and make it share `src`'s schema, reusing each column
+    /// buffer whose type already matches — the reset step of the `_into`
+    /// operator variants when the caller-owned output may have come from a
+    /// different operator.
+    pub fn reset_like(&mut self, src: &Relation) {
+        self.key.clear();
+        if self.cols.len() == src.cols.len()
+            && self.cols.iter().zip(&src.cols).all(|(a, b)| a.same_type(b))
+        {
+            for c in &mut self.cols {
+                c.clear();
+            }
+        } else {
+            self.cols = src.cols.iter().map(Column::empty_like).collect();
+        }
+    }
+
+    /// Replace `self`'s rows with the concatenation of `parts` (which must
+    /// share `self`'s schema), copying the parts in parallel — one worker
+    /// per part, each writing a disjoint row-window sized up front. Small
+    /// totals fall back to serial appends.
+    ///
+    /// # Panics
+    /// If schemas differ.
+    pub fn concat_from_parallel(&mut self, parts: &[Relation]) {
+        let lens: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let total: usize = lens.iter().sum();
+        if total < PAR_COPY_MIN_ROWS || parts.len() < 2 {
+            self.clear();
+            for p in parts {
+                self.extend_from(p);
+            }
+            return;
+        }
+        resize_zeroed_vec(&mut self.key, total);
+        for c in &mut self.cols {
+            c.resize_zeroed(total);
+        }
+        let key_wins = slice_windows(&mut self.key, &lens);
+        let col_wins = col_windows(&mut self.cols, &lens);
+        std::thread::scope(|scope| {
+            for ((kw, cw), part) in key_wins.into_iter().zip(col_wins).zip(parts) {
+                scope.spawn(move || {
+                    kw.copy_from_slice(&part.key);
+                    for (mut w, s) in cw.into_iter().zip(&part.cols) {
+                        w.copy_from(s);
+                    }
+                });
+            }
+        });
+    }
+
+    /// The relation whose row `i` is row `idx[i]` of `self` — `permute`
+    /// without first cloning the unpermuted payload (SORT's output step
+    /// builds each column exactly once this way). Large gathers run in
+    /// parallel over disjoint output windows.
+    pub fn gathered(&self, idx: &[usize]) -> Relation {
+        let n = idx.len();
+        if n < PAR_COPY_MIN_ROWS {
+            return Relation {
+                key: idx.iter().map(|&i| self.key[i]).collect(),
+                cols: self.cols.iter().map(|c| c.gather(idx)).collect(),
+            };
+        }
+        let mut out = self.empty_like();
+        resize_zeroed_vec(&mut out.key, n);
+        for c in &mut out.cols {
+            c.resize_zeroed(n);
+        }
+        let lens: Vec<usize> = {
+            let mut v = Vec::new();
+            let mut rest = n;
+            while rest > 0 {
+                let take = rest.min(PAR_COPY_MIN_ROWS);
+                v.push(take);
+                rest -= take;
+            }
+            v
+        };
+        let key_wins = slice_windows(&mut out.key, &lens);
+        let col_wins = col_windows(&mut out.cols, &lens);
+        std::thread::scope(|scope| {
+            let mut start = 0usize;
+            for ((kw, cw), &len) in key_wins.into_iter().zip(col_wins).zip(&lens) {
+                let ids = &idx[start..start + len];
+                start += len;
+                scope.spawn(move || {
+                    for (o, &i) in kw.iter_mut().zip(ids) {
+                        *o = self.key[i];
+                    }
+                    for (mut w, c) in cw.into_iter().zip(&self.cols) {
+                        w.gather_from(c, ids);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Append the rows at `base + idx[..]` of `src` (same schema) onto
+    /// `self`, column at a time. Within reserved capacity this never
+    /// allocates — the batch SELECT's output path.
+    ///
+    /// # Panics
+    /// If schemas differ.
+    pub fn gather_append(&mut self, src: &Relation, base: usize, idx: &[u32]) {
+        self.key.extend(idx.iter().map(|&i| src.key[base + i as usize]));
+        for (d, s) in self.cols.iter_mut().zip(&src.cols) {
+            s.gather_append(base, idx, d);
+        }
     }
 
     /// The IR input row for tuple `i`: slot 0 = key (as i64), slot `1+c` =

@@ -42,5 +42,6 @@ pub mod gen;
 pub mod ops;
 pub mod predicates;
 pub mod profiles;
+pub mod scratch;
 
 pub use data::{Column, RelError, Relation};

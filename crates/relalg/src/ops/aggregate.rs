@@ -137,8 +137,19 @@ fn validate_agg_cols(input: &Relation, aggs: &[Agg]) -> Result<(), RelError> {
 /// The serial segmented scan over one row range; `range` must start and end
 /// on group boundaries for the result to compose with neighbors.
 fn aggregate_range(input: &Relation, aggs: &[Agg], range: Range<usize>) -> Relation {
-    let mut out_key = Vec::new();
-    let mut out_cols: Vec<Column> = (0..aggs.len()).map(|k| out_column(aggs, input, k)).collect();
+    let mut out = Relation {
+        key: Vec::new(),
+        cols: (0..aggs.len()).map(|k| out_column(aggs, input, k)).collect(),
+    };
+    aggregate_range_into(input, aggs, range, &mut out);
+    out
+}
+
+/// [`aggregate_range`] as an appending partial (the `_into` contract,
+/// DESIGN.md §14): group rows are *appended* to `out`, whose columns must
+/// already match the aggregate schema. The fold is the same serial scan, so
+/// float sums are bit-identical no matter which buffer receives them.
+fn aggregate_range_into(input: &Relation, aggs: &[Agg], range: Range<usize>, out: &mut Relation) {
     let mut i = range.start;
     while i < range.end {
         let k = input.key[i];
@@ -153,12 +164,11 @@ fn aggregate_range(input: &Relation, aggs: &[Agg], range: Range<usize>) -> Relat
             }
             i += 1;
         }
-        out_key.push(k);
-        for (acc, col) in accs.into_iter().zip(out_cols.iter_mut()) {
+        out.key.push(k);
+        for (acc, col) in accs.into_iter().zip(out.cols.iter_mut()) {
             flush(acc, col);
         }
     }
-    Relation { key: out_key, cols: out_cols }
 }
 
 /// Split `0..keys.len()` into ~`chunk`-row morsels whose boundaries sit on
@@ -193,23 +203,49 @@ fn group_aligned_ranges(keys: &[u64], chunk: usize) -> Vec<Range<usize>> {
 /// no group spans a morsel boundary, the per-group fold order — and thus
 /// every float sum — is bit-identical to the serial scan.
 pub fn aggregate_by_key(input: &Relation, aggs: &[Agg]) -> Result<Relation, RelError> {
+    let mut out = Relation::default();
+    aggregate_by_key_into(input, aggs, &mut out)?;
+    Ok(out)
+}
+
+/// [`aggregate_by_key`] writing into a caller-owned relation (the `_into`
+/// contract, DESIGN.md §14): `out` is cleared and refilled, reusing its key
+/// and column buffers whenever they already match the aggregate schema.
+pub fn aggregate_by_key_into(
+    input: &Relation,
+    aggs: &[Agg],
+    out: &mut Relation,
+) -> Result<(), RelError> {
     input.require_sorted()?;
     validate_agg_cols(input, aggs)?;
     kfusion_trace::counter("kfusion_rows_in_total{op=\"aggregate\"}", input.len() as u64);
-    let out = if input.len() <= DEFAULT_CTA_CHUNK {
-        aggregate_range(input, aggs, 0..input.len())
+    out.key.clear();
+    let matches = out.cols.len() == aggs.len()
+        && (0..aggs.len()).all(|k| {
+            matches!(
+                (&out.cols[k], out_column(aggs, input, k)),
+                (Column::I64(_), Column::I64(_)) | (Column::F64(_), Column::F64(_))
+            )
+        });
+    if matches {
+        for c in &mut out.cols {
+            c.clear();
+        }
+    } else {
+        out.cols = (0..aggs.len()).map(|k| out_column(aggs, input, k)).collect();
+    }
+    if input.len() <= DEFAULT_CTA_CHUNK {
+        aggregate_range_into(input, aggs, 0..input.len(), out);
     } else {
         let ranges = group_aligned_ranges(&input.key, DEFAULT_CTA_CHUNK);
         let parts: Vec<Relation> =
             par_cta_map(&ranges, 1, |_cta, r| aggregate_range(input, aggs, r[0].clone()));
-        let mut out = parts[0].clone();
-        for p in &parts[1..] {
+        for p in &parts {
             out.extend_from(p);
         }
-        out
-    };
+    }
     kfusion_trace::counter("kfusion_rows_out_total{op=\"aggregate\"}", out.len() as u64);
-    Ok(out)
+    Ok(())
 }
 
 /// Aggregate the whole relation as a single group (no key), producing a

@@ -9,7 +9,7 @@
 
 use crate::data::{Column, RelError, Relation};
 use crate::engine;
-use kfusion_ir::batch::{mask_lane, BankView, BatchMachine, CompiledKernel, BATCH_ROWS};
+use kfusion_ir::batch::{mask_lane, BankView, CompiledKernel, BATCH_ROWS};
 use kfusion_ir::interp::Machine;
 use kfusion_ir::opt::infer_types;
 use kfusion_ir::{KernelBody, Ty, Value};
@@ -41,6 +41,85 @@ fn empty_cols(tys: &[Ty], cap: usize) -> Vec<Column> {
 /// input's column types ([`crate::engine`]); otherwise falls back to the
 /// per-tuple interpreter, preserving its error behavior.
 pub fn arith_map(input: &Relation, body: &KernelBody) -> Result<Relation, RelError> {
+    let mut out = Relation::default();
+    arith_map_into(input, body, &mut out)?;
+    Ok(out)
+}
+
+/// [`arith_map`] writing into a caller-owned relation (the `_into`
+/// contract, DESIGN.md §14): `out` is cleared and refilled; its key and
+/// column buffers are reused whenever the output schema matches what `out`
+/// already holds, so repeated maps into one buffer stop allocating once
+/// capacity has grown to fit.
+pub fn arith_map_into(
+    input: &Relation,
+    body: &KernelBody,
+    out: &mut Relation,
+) -> Result<(), RelError> {
+    let (tys, parts) = arith_parts(input, body)?;
+    reset_cols(out, &tys);
+    assemble_parallel(out, &input.key, &[], &parts);
+    Ok(())
+}
+
+/// Assemble an ARITH output in parallel: the key copies from `key`, the
+/// first `passthrough.len()` columns copy whole from `passthrough` (the
+/// extend variant's sources), and the remaining columns concatenate the
+/// per-chunk computed `parts` — every worker writing a disjoint window of
+/// buffers sized once up front. Small results assemble serially.
+fn assemble_parallel(
+    out: &mut Relation,
+    key: &[u64],
+    passthrough: &[Column],
+    parts: &[Vec<Column>],
+) {
+    let n = key.len();
+    let n_pass = passthrough.len();
+    if n < crate::data::PAR_COPY_MIN_ROWS {
+        out.key.extend_from_slice(key);
+        for (d, s) in out.cols.iter_mut().zip(passthrough) {
+            d.extend_from(s);
+        }
+        for p in parts {
+            for (d, s) in out.cols[n_pass..].iter_mut().zip(p.iter()) {
+                d.extend_from(s);
+            }
+        }
+        return;
+    }
+    let Relation { key: out_key, cols: out_cols } = out;
+    crate::data::resize_zeroed_vec(out_key, n);
+    for c in out_cols.iter_mut() {
+        c.resize_zeroed(n);
+    }
+    let lens: Vec<usize> = parts.iter().map(|p| p.first().map_or(0, Column::len)).collect();
+    let (pass_cols, computed_cols) = out_cols.split_at_mut(n_pass);
+    let computed_wins = crate::data::col_windows(computed_cols, &lens);
+    std::thread::scope(|scope| {
+        scope.spawn(|| out_key.copy_from_slice(key));
+        for (d, s) in pass_cols.iter_mut().zip(passthrough) {
+            scope.spawn(move || match (d, s) {
+                (Column::I64(d), Column::I64(s)) => d.copy_from_slice(s),
+                (Column::F64(d), Column::F64(s)) => d.copy_from_slice(s),
+                _ => unreachable!("schema fixed by reset_cols"),
+            });
+        }
+        for (cw, part) in computed_wins.into_iter().zip(parts) {
+            scope.spawn(move || {
+                for (mut w, s) in cw.into_iter().zip(part) {
+                    w.copy_from(s);
+                }
+            });
+        }
+    });
+}
+
+/// Per-chunk output columns of `body` over `input`, on whichever engine
+/// applies — the compute stage both `_into` assemblers share.
+fn arith_parts(
+    input: &Relation,
+    body: &KernelBody,
+) -> Result<(Vec<Ty>, Vec<Vec<Column>>), RelError> {
     // ARITH preserves cardinality: rows out == rows in, counted up front.
     kfusion_trace::counter("kfusion_rows_in_total{op=\"arith\"}", input.len() as u64);
     kfusion_trace::counter("kfusion_rows_out_total{op=\"arith\"}", input.len() as u64);
@@ -49,7 +128,7 @@ pub fn arith_map(input: &Relation, body: &KernelBody) -> Result<Relation, RelErr
             .ok()
             .filter(|k| k.check_binding(&input.ir_cols()).is_ok());
         match compiled {
-            Some(k) => return arith_map_batch(input, &k),
+            Some(k) => return Ok(arith_parts_batch(input, &k)),
             None => kfusion_trace::counter("kfusion_batch_fallback_total{op=\"arith\"}", 1),
         }
     }
@@ -80,58 +159,137 @@ pub fn arith_map(input: &Relation, body: &KernelBody) -> Result<Relation, RelErr
             }
             Ok(cols)
         });
-    let mut cols = empty_cols(&tys, input.len());
-    for p in parts {
-        for (d, s) in cols.iter_mut().zip(p?.iter()) {
-            d.extend_from(s);
+    let parts = parts.into_iter().collect::<Result<Vec<Vec<Column>>, RelError>>()?;
+    Ok((tys, parts))
+}
+
+/// Clear `out` and make its columns match `tys` exactly, reusing each
+/// already-matching column buffer (a bool output occupies an i64 column,
+/// as in the scalar path). Mismatched columns become *empty* vectors on
+/// purpose: the parallel assembler then requests fresh zeroed allocations,
+/// whose pages fault in on the workers that first write them rather than
+/// serially up front.
+fn reset_cols(out: &mut Relation, tys: &[Ty]) {
+    out.key.clear();
+    let matches = out.cols.len() == tys.len()
+        && out.cols.iter().zip(tys).all(|(c, t)| match (c, t) {
+            (Column::F64(_), Ty::F64) => true,
+            (Column::I64(_), Ty::F64) => false,
+            (Column::I64(_), _) => true,
+            _ => false,
+        });
+    if matches {
+        for c in &mut out.cols {
+            c.clear();
         }
+    } else {
+        out.cols = empty_cols(tys, 0);
     }
-    Relation::new(input.key.clone(), cols)
 }
 
 /// Batch-engine ARITH: each CTA evaluates the compiled kernel over
 /// [`BATCH_ROWS`]-row batches and appends whole typed lanes to its output
 /// columns. Boolean outputs become i64 flag columns, as in the scalar path.
-fn arith_map_batch(input: &Relation, k: &CompiledKernel) -> Result<Relation, RelError> {
+fn arith_parts_batch(input: &Relation, k: &CompiledKernel) -> (Vec<Ty>, Vec<Vec<Column>>) {
     let tys: Vec<Ty> = (0..k.n_outputs()).map(|s| k.output_ty(s)).collect();
     let cols_in = input.ir_cols();
     let parts: Vec<Vec<Column>> = par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
-        let mut bm = BatchMachine::new(k);
-        let mut cols = empty_cols(&tys, range.len());
-        let mut base = range.start;
-        while base < range.end {
-            let n = (range.end - base).min(BATCH_ROWS);
-            bm.run(k, &cols_in, base, n);
-            for (slot, col) in cols.iter_mut().enumerate() {
-                match (col, bm.output(k, slot)) {
-                    (Column::I64(c), BankView::I64(v)) => c.extend_from_slice(&v[..n]),
-                    (Column::F64(c), BankView::F64(v)) => c.extend_from_slice(&v[..n]),
-                    (Column::I64(c), BankView::Bool(m)) => {
-                        c.extend((0..n).map(|j| mask_lane(m, j) as i64))
+        crate::scratch::with_scratch(|s| {
+            // Per-morsel setup; the per-batch loop below runs inside a
+            // steady-state region and appends into preallocated columns.
+            let mut bm = s.machine(k);
+            let mut cols = empty_cols(&tys, range.len());
+            {
+                let _steady = kfusion_trace::allocwatch::region();
+                let mut base = range.start;
+                while base < range.end {
+                    let n = (range.end - base).min(BATCH_ROWS);
+                    bm.run(k, &cols_in, base, n);
+                    for (slot, col) in cols.iter_mut().enumerate() {
+                        match (col, bm.output(k, slot)) {
+                            (Column::I64(c), BankView::I64(v)) => c.extend_from_slice(&v[..n]),
+                            (Column::F64(c), BankView::F64(v)) => c.extend_from_slice(&v[..n]),
+                            (Column::I64(c), BankView::Bool(m)) => {
+                                c.extend((0..n).map(|j| mask_lane(m, j) as i64))
+                            }
+                            _ => unreachable!("output column type fixed by compile"),
+                        }
                     }
-                    _ => unreachable!("output column type fixed by compile"),
+                    base += n;
                 }
             }
-            base += n;
-        }
-        cols
+            s.put_machine(k, bm);
+            cols
+        })
     });
-    let mut cols = empty_cols(&tys, input.len());
-    for p in parts {
-        for (d, s) in cols.iter_mut().zip(p.iter()) {
-            d.extend_from(s);
-        }
-    }
-    Relation::new(input.key.clone(), cols)
+    (tys, parts)
 }
 
 /// Like [`arith_map`] but *appends* the computed columns to the existing
 /// payload instead of replacing it.
 pub fn arith_extend(input: &Relation, body: &KernelBody) -> Result<Relation, RelError> {
-    let computed = arith_map(input, body)?;
-    let mut cols = input.cols.clone();
-    cols.extend(computed.cols);
-    Relation::new(input.key.clone(), cols)
+    let mut out = Relation::default();
+    arith_extend_into(input, body, &mut out)?;
+    Ok(out)
+}
+
+/// [`arith_extend`] writing into a caller-owned relation (the `_into`
+/// contract, DESIGN.md §14). The output schema is the input's columns
+/// followed by one column per body output; as with [`arith_map_into`],
+/// `out`'s buffers are reused when they already match that schema.
+pub fn arith_extend_into(
+    input: &Relation,
+    body: &KernelBody,
+    out: &mut Relation,
+) -> Result<(), RelError> {
+    let (tys, parts) = arith_parts(input, body)?;
+    let mut all_tys: Vec<Ty> = input
+        .cols
+        .iter()
+        .map(|c| match c {
+            Column::F64(_) => Ty::F64,
+            Column::I64(_) => Ty::I64,
+        })
+        .collect();
+    all_tys.extend_from_slice(&tys);
+    reset_cols(out, &all_tys);
+    assemble_parallel(out, &input.key, &input.cols, &parts);
+    Ok(())
+}
+
+/// [`arith_extend`] for a caller that owns the input relation: the computed
+/// columns are appended in place, so the key and the existing payload are
+/// never copied at all. The plan executor routes single-consumer owned
+/// intermediates here — on the TPC-H plans that removes the widest copies
+/// of the whole query.
+pub fn arith_extend_owned(mut input: Relation, body: &KernelBody) -> Result<Relation, RelError> {
+    let (tys, parts) = arith_parts(&input, body)?;
+    let n = input.len();
+    let mut computed = empty_cols(&tys, 0);
+    if n < crate::data::PAR_COPY_MIN_ROWS {
+        for p in &parts {
+            for (d, s) in computed.iter_mut().zip(p) {
+                d.extend_from(s);
+            }
+        }
+    } else {
+        for c in computed.iter_mut() {
+            c.resize_zeroed(n);
+        }
+        let lens: Vec<usize> = parts.iter().map(|p| p.first().map_or(0, Column::len)).collect();
+        let wins = crate::data::col_windows(&mut computed, &lens);
+        std::thread::scope(|scope| {
+            for (cw, part) in wins.into_iter().zip(&parts) {
+                scope.spawn(move || {
+                    for (mut w, s) in cw.into_iter().zip(part) {
+                        w.copy_from(s);
+                    }
+                });
+            }
+        });
+    }
+    input.cols.extend(computed);
+    Ok(input)
 }
 
 fn push_coerced(col: &mut Column, v: Value) -> Result<(), RelError> {

@@ -5,7 +5,7 @@
 //! The paper's Fig. 2(h) uses PROJECT to discard arithmetic sources and keep
 //! only results.
 
-use crate::data::{RelError, Relation};
+use crate::data::{RelError, Relation, PAR_COPY_MIN_ROWS};
 
 /// Re-key the relation by an i64 payload column: the column's values become
 /// the tuple keys and the column leaves the payload. The query plans use
@@ -24,23 +24,70 @@ pub fn rekey(input: &Relation, col: usize) -> Result<Relation, RelError> {
     if vals.iter().any(|&v| v < 0) {
         return Err(RelError::SchemaMismatch);
     }
-    let key = vals.iter().map(|&v| v as u64).collect();
-    let cols =
-        input.cols.iter().enumerate().filter(|(i, _)| *i != col).map(|(_, c)| c.clone()).collect();
+    let kept = input.cols.iter().enumerate().filter(|(i, _)| *i != col).map(|(_, c)| c);
+    let (key, cols) = if input.len() < PAR_COPY_MIN_ROWS {
+        (vals.iter().map(|&v| v as u64).collect(), kept.cloned().collect())
+    } else {
+        // Wide-relation materialization: one worker per surviving column
+        // (plus one for the new key), so the copy's page faults spread
+        // across threads instead of landing serially on the caller.
+        std::thread::scope(|scope| {
+            let kh = scope.spawn(|| vals.iter().map(|&v| v as u64).collect::<Vec<u64>>());
+            let hs: Vec<_> = kept.map(|c| scope.spawn(move || c.clone())).collect();
+            (
+                kh.join().expect("rekey worker panicked"),
+                hs.into_iter().map(|h| h.join().expect("rekey worker panicked")).collect(),
+            )
+        })
+    };
     Relation::new(key, cols)
+}
+
+/// [`rekey`] for a caller that owns the input relation: only the new key
+/// vector is materialized; the surviving payload columns move instead of
+/// cloning. Used by the plan executor for single-consumer intermediates.
+pub fn rekey_owned(mut input: Relation, col: usize) -> Result<Relation, RelError> {
+    let key: Vec<u64> = {
+        let vals = input
+            .cols
+            .get(col)
+            .ok_or(RelError::NoSuchColumn { col, available: input.n_cols() })?
+            .as_i64()
+            .ok_or(RelError::SchemaMismatch)?;
+        if vals.iter().any(|&v| v < 0) {
+            return Err(RelError::SchemaMismatch);
+        }
+        vals.iter().map(|&v| v as u64).collect()
+    };
+    input.key = key;
+    input.cols.remove(col);
+    Ok(input)
 }
 
 /// Keep the key plus the payload columns listed in `keep`, in that order.
 pub fn project(input: &Relation, keep: &[usize]) -> Result<Relation, RelError> {
-    let mut cols = Vec::with_capacity(keep.len());
+    let mut srcs = Vec::with_capacity(keep.len());
     for &c in keep {
-        let col = input
-            .cols
-            .get(c)
-            .ok_or(RelError::NoSuchColumn { col: c, available: input.n_cols() })?;
-        cols.push(col.clone());
+        srcs.push(
+            input
+                .cols
+                .get(c)
+                .ok_or(RelError::NoSuchColumn { col: c, available: input.n_cols() })?,
+        );
     }
-    Ok(Relation { key: input.key.clone(), cols })
+    if input.len() < PAR_COPY_MIN_ROWS {
+        return Ok(Relation { key: input.key.clone(), cols: srcs.into_iter().cloned().collect() });
+    }
+    // Parallel per-column materialization, as in [`rekey`].
+    let (key, cols) = std::thread::scope(|scope| {
+        let kh = scope.spawn(|| input.key.clone());
+        let hs: Vec<_> = srcs.into_iter().map(|c| scope.spawn(move || c.clone())).collect();
+        (
+            kh.join().expect("project worker panicked"),
+            hs.into_iter().map(|h| h.join().expect("project worker panicked")).collect(),
+        )
+    });
+    Ok(Relation { key, cols })
 }
 
 #[cfg(test)]

@@ -16,12 +16,14 @@
 //! compilation fall back to the per-tuple interpreter, preserving its error
 //! behavior exactly.
 
-use crate::data::{RelError, Relation};
+use crate::data::{
+    col_windows, resize_zeroed_vec, slice_windows, ColWindow, Column, RelError, Relation,
+};
 use crate::engine;
-use kfusion_ir::batch::{BatchMachine, CompiledKernel, BATCH_ROWS};
+use kfusion_ir::batch::{CompiledKernel, BATCH_ROWS};
 use kfusion_ir::interp::Machine;
 use kfusion_ir::{KernelBody, Ty, Value};
-use kfusion_vgpu::exec::{par_range_map, DEFAULT_CTA_CHUNK};
+use kfusion_vgpu::exec::{cta_ranges, par_range_map, DEFAULT_CTA_CHUNK};
 
 /// Compile `predicate` for batch execution over `input`'s columns, if the
 /// engine is on and the body both resolves to concrete types and yields a
@@ -47,7 +49,8 @@ fn compile_predicate(input: &Relation, predicate: &KernelBody) -> Option<Compile
 }
 
 /// Visit each selected row index in `range`, reading the predicate's
-/// selection bitmask batch by batch.
+/// selection bitmask batch by batch. The machine comes from (and returns
+/// to) this worker's scratch arena.
 fn for_each_selected(
     k: &CompiledKernel,
     input: &Relation,
@@ -55,24 +58,63 @@ fn for_each_selected(
     mut visit: impl FnMut(usize),
 ) {
     let cols = input.ir_cols();
-    let mut bm = BatchMachine::new(k);
-    let mut base = range.start;
-    while base < range.end {
-        let n = (range.end - base).min(BATCH_ROWS);
-        bm.run(k, &cols, base, n);
-        let mask = bm.selection_mask(k);
-        for (w, &word) in mask.iter().enumerate().take(n.div_ceil(64)) {
-            let lo = w * 64;
-            let mut m = word;
-            if n - lo < 64 {
-                m &= (1u64 << (n - lo)) - 1; // tail lanes are unspecified
+    crate::scratch::with_scratch(|s| {
+        let mut bm = s.machine(k);
+        let mut base = range.start;
+        while base < range.end {
+            let n = (range.end - base).min(BATCH_ROWS);
+            bm.run(k, &cols, base, n);
+            let mask = bm.selection_mask(k);
+            for (w, &word) in mask.iter().enumerate().take(n.div_ceil(64)) {
+                let lo = w * 64;
+                let mut m = word;
+                if n - lo < 64 {
+                    m &= (1u64 << (n - lo)) - 1; // tail lanes are unspecified
+                }
+                while m != 0 {
+                    visit(base + lo + m.trailing_zeros() as usize);
+                    m &= m - 1;
+                }
             }
-            while m != 0 {
-                visit(base + lo + m.trailing_zeros() as usize);
-                m &= m - 1;
-            }
+            base += n;
         }
-        base += n;
+        s.put_machine(k, bm);
+    });
+}
+
+/// Copy one CTA's survivors (the set bits of `words`, lane 0 = input row
+/// `start`) into its output windows, column at a time — the gather stage of
+/// the two-phase batch SELECT. The windows are exactly as long as the
+/// survivor count, so a full walk fills them completely.
+fn scatter_window(
+    input: &Relation,
+    start: usize,
+    words: &[u64],
+    kw: &mut [u64],
+    cw: Vec<ColWindow<'_>>,
+) {
+    scatter_col(&input.key, start, words, kw);
+    for (win, col) in cw.into_iter().zip(&input.cols) {
+        match (win, col) {
+            (ColWindow::I64(d), Column::I64(s)) => scatter_col(s, start, words, d),
+            (ColWindow::F64(d), Column::F64(s)) => scatter_col(s, start, words, d),
+            _ => unreachable!("output schema reset from input"),
+        }
+    }
+}
+
+/// Compact `src`'s selected lanes into `dst`: one value per set bit of
+/// `words`, in lane order.
+fn scatter_col<T: Copy>(src: &[T], start: usize, words: &[u64], dst: &mut [T]) {
+    let mut pos = 0;
+    for (w, &word) in words.iter().enumerate() {
+        let base = start + w * 64;
+        let mut m = word;
+        while m != 0 {
+            dst[pos] = src[base + m.trailing_zeros() as usize];
+            pos += 1;
+            m &= m - 1;
+        }
     }
 }
 
@@ -82,21 +124,86 @@ fn for_each_selected(
 /// slot 0 is the key (as `i64`), slot `1+c` is payload column `c`; output 0
 /// must be a boolean.
 pub fn select(input: &Relation, predicate: &KernelBody) -> Result<Relation, RelError> {
+    let mut out = input.empty_like();
+    select_into(input, predicate, &mut out)?;
+    Ok(out)
+}
+
+/// [`select`] writing into a caller-owned relation: `out` is cleared (its
+/// capacity retained) and filled with the surviving tuples, so a caller
+/// that filters repeatedly can reuse one output allocation across calls
+/// (the `_into` contract, DESIGN.md §14).
+///
+/// # Panics
+/// If `out`'s schema differs from `input`'s.
+pub fn select_into(
+    input: &Relation,
+    predicate: &KernelBody,
+    out: &mut Relation,
+) -> Result<(), RelError> {
+    out.clear();
     kfusion_trace::counter("kfusion_rows_in_total{op=\"select\"}", input.len() as u64);
     if let Some(k) = compile_predicate(input, predicate) {
-        // Partition + filter + buffer, batch-at-a-time per CTA.
-        let parts: Vec<Relation> = par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
-            let mut buf = input.empty_like();
-            for_each_selected(&k, input, range, |i| buf.push_row_from(input, i));
-            buf
-        });
-        // Global sync + gather.
-        let mut out = input.empty_like();
-        for p in &parts {
-            out.extend_from(p);
+        // Phase 1 — partition + filter: each CTA evaluates the predicate
+        // batch-at-a-time and keeps only the selection bitmask plus its
+        // popcount (selection is bitmap-only — unselected lanes are never
+        // written anywhere). Mask storage is one word per 64 rows, sized in
+        // the per-morsel setup; the per-batch loop inside the steady-state
+        // region allocates nothing. `BATCH_ROWS` is 64-divisible, so every
+        // non-final batch contributes whole words and the chunk's words
+        // concatenate exactly.
+        let parts: Vec<(Vec<u64>, usize)> =
+            par_range_map(input.len(), DEFAULT_CTA_CHUNK, |_cta, range| {
+                crate::scratch::with_scratch(|s| {
+                    let cols = input.ir_cols();
+                    let mut bm = s.machine(&k);
+                    let mut words: Vec<u64> = Vec::with_capacity(range.len().div_ceil(64) + 16);
+                    let mut count = 0usize;
+                    {
+                        let _steady = kfusion_trace::allocwatch::region();
+                        let mut base = range.start;
+                        while base < range.end {
+                            let n = (range.end - base).min(BATCH_ROWS);
+                            bm.run(&k, &cols, base, n);
+                            let mask = bm.selection_mask(&k);
+                            for (w, &word) in mask.iter().enumerate().take(n.div_ceil(64)) {
+                                let lo = w * 64;
+                                let mut m = word;
+                                if n - lo < 64 {
+                                    m &= (1u64 << (n - lo)) - 1; // tail lanes are unspecified
+                                }
+                                count += m.count_ones() as usize;
+                                words.push(m);
+                            }
+                            base += n;
+                        }
+                    }
+                    s.put_machine(&k, bm);
+                    (words, count)
+                })
+            });
+        // Phase 2 — global sync + gather: survivors copy straight from the
+        // input into disjoint windows of the output, one worker per CTA, so
+        // the result is materialized exactly once.
+        let counts: Vec<usize> = parts.iter().map(|p| p.1).collect();
+        let total: usize = counts.iter().sum();
+        out.reset_like(input);
+        resize_zeroed_vec(&mut out.key, total);
+        for c in &mut out.cols {
+            c.resize_zeroed(total);
         }
-        kfusion_trace::counter("kfusion_rows_out_total{op=\"select\"}", out.len() as u64);
-        return Ok(out);
+        let ranges = cta_ranges(input.len(), DEFAULT_CTA_CHUNK);
+        let key_wins = slice_windows(&mut out.key, &counts);
+        let col_wins = col_windows(&mut out.cols, &counts);
+        std::thread::scope(|scope| {
+            for (((range, (words, _)), kw), cw) in
+                ranges.into_iter().zip(&parts).zip(key_wins).zip(col_wins)
+            {
+                scope.spawn(move || scatter_window(input, range.start, words, kw, cw));
+            }
+        });
+        kfusion_trace::counter("kfusion_rows_out_total{op=\"select\"}", total as u64);
+        return Ok(());
     }
     // Scalar fallback: per-tuple interpretation.
     let parts: Vec<Result<Relation, RelError>> =
@@ -112,12 +219,11 @@ pub fn select(input: &Relation, predicate: &KernelBody) -> Result<Relation, RelE
             }
             Ok(buf)
         });
-    let mut out = input.empty_like();
     for p in parts {
         out.extend_from(&p?);
     }
     kfusion_trace::counter("kfusion_rows_out_total{op=\"select\"}", out.len() as u64);
-    Ok(out)
+    Ok(())
 }
 
 /// SELECT with a *chain* of predicates applied as separate passes — the
@@ -128,10 +234,15 @@ pub fn select_chain_unfused(
     input: &Relation,
     predicates: &[KernelBody],
 ) -> Result<(Relation, Vec<usize>), RelError> {
+    // Ping-pong two buffers through the chain: each pass filters `cur`
+    // into `next`, then the buffers swap — after the first pass no pass
+    // allocates beyond capacity growth.
     let mut cur = input.clone();
+    let mut next = input.empty_like();
     let mut cards = Vec::with_capacity(predicates.len());
     for p in predicates {
-        cur = select(&cur, p)?;
+        select_into(&cur, p, &mut next)?;
+        std::mem::swap(&mut cur, &mut next);
         cards.push(cur.len());
     }
     Ok((cur, cards))

@@ -24,7 +24,6 @@ pub enum SortBy {
 
 /// Sort the relation (stable).
 pub fn sort(input: &Relation, by: SortBy) -> Result<Relation, RelError> {
-    let n = input.len();
     let rank: Vec<u64> = match by {
         SortBy::Key => input.key.clone(),
         SortBy::I64Col(c) => {
@@ -38,6 +37,66 @@ pub fn sort(input: &Relation, by: SortBy) -> Result<Relation, RelError> {
             col.iter().map(|&v| (v as u64) ^ (1 << 63)).collect()
         }
     };
+    let idx = sort_index(&rank);
+    Ok(input.gathered(&idx))
+}
+
+/// Stable sort permutation over `rank`: position `p` of the output holds
+/// `idx[p]`, the input row ranked `p`-th by `(rank, original index)`.
+///
+/// Picks between two stable algorithms that produce the *identical*
+/// permutation (both order by `(rank, index)`), so the choice is invisible
+/// to callers and to cross-engine bit-equality:
+/// - a two-pass counting sort when the rank range is small relative to `n`
+///   (the common case after REKEY packs a handful of group codes — Q1's
+///   post-rekey sort has ~6 distinct ranks, turning `n log n` comparisons
+///   into two linear sweeps);
+/// - the parallel chunk-sort + pairwise-merge otherwise (the BSP shape the
+///   cost model prices).
+fn sort_index(rank: &[u64]) -> Vec<usize> {
+    let n = rank.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (mut lo, mut hi) = (u64::MAX, 0u64);
+    for &r in rank {
+        lo = lo.min(r);
+        hi = hi.max(r);
+    }
+    // Counting-sort threshold: bucket array must stay O(n) (+ a fixed floor
+    // so tiny inputs with moderate ranges still qualify).
+    let limit = 4 * (n as u64) + 65_536;
+    if hi - lo < limit {
+        return counting_sort_index(rank, lo, (hi - lo) as usize + 1);
+    }
+    merge_sort_index(rank)
+}
+
+/// Stable counting sort: histogram, exclusive prefix sum, then a scatter in
+/// original index order (equal ranks keep ascending index — the same
+/// tie-break as `merge_sort_index`).
+fn counting_sort_index(rank: &[u64], lo: u64, buckets: usize) -> Vec<usize> {
+    let mut offsets = vec![0usize; buckets];
+    for &r in rank {
+        offsets[(r - lo) as usize] += 1;
+    }
+    let mut sum = 0usize;
+    for slot in offsets.iter_mut() {
+        let count = *slot;
+        *slot = sum;
+        sum += count;
+    }
+    let mut idx = vec![0usize; rank.len()];
+    for (i, &r) in rank.iter().enumerate() {
+        let b = (r - lo) as usize;
+        idx[offsets[b]] = i;
+        offsets[b] += 1;
+    }
+    idx
+}
+
+fn merge_sort_index(rank: &[u64]) -> Vec<usize> {
+    let n = rank.len();
     // Parallel chunk sort (each "CTA" sorts its partition)...
     let mut runs: Vec<Vec<usize>> = par_range_map(n, DEFAULT_CTA_CHUNK.max(1), |_cta, range| {
         let mut idx: Vec<usize> = range.collect();
@@ -50,16 +109,13 @@ pub fn sort(input: &Relation, by: SortBy) -> Result<Relation, RelError> {
         let mut it = runs.into_iter();
         while let Some(a) = it.next() {
             match it.next() {
-                Some(b) => next.push(merge_runs(&a, &b, &rank)),
+                Some(b) => next.push(merge_runs(&a, &b, rank)),
                 None => next.push(a),
             }
         }
         runs = next;
     }
-    let idx = runs.pop().unwrap_or_default();
-    let mut out = input.clone();
-    out.permute(&idx);
-    Ok(out)
+    runs.pop().unwrap_or_default()
 }
 
 fn merge_runs(a: &[usize], b: &[usize], rank: &[u64]) -> Vec<usize> {
@@ -135,9 +191,7 @@ pub fn bitonic_sort(input: &Relation, by: SortBy) -> Result<Relation, RelError> 
         k *= 2;
     }
     let order: Vec<usize> = idx.into_iter().filter(|&i| i < n).collect();
-    let mut out = input.clone();
-    out.permute(&order);
-    Ok(out)
+    Ok(input.gathered(&order))
 }
 
 /// Number of compare-exchange passes a bitonic network over `n` elements
@@ -210,6 +264,35 @@ mod tests {
                 assert!(pay[w] < pay[w + 1], "unstable at {w}");
             }
         }
+    }
+
+    #[test]
+    fn counting_and_merge_paths_produce_identical_permutations() {
+        // Both index sorts are stable on (rank, index), so they must agree
+        // exactly — this is what makes the fast path invisible to callers.
+        for (n, modulus) in [(0usize, 1u64), (1, 1), (977, 7), (50_000, 1000), (10_000, 3)] {
+            let rank: Vec<u64> =
+                (0..n as u64).map(|i| (i.wrapping_mul(2_654_435_761)) % modulus).collect();
+            let fast = counting_sort_index(
+                &rank,
+                rank.iter().copied().min().unwrap_or(0),
+                modulus as usize,
+            );
+            let general = merge_sort_index(&rank);
+            assert_eq!(fast, general, "n={n} modulus={modulus}");
+        }
+    }
+
+    #[test]
+    fn wide_rank_range_takes_merge_path_and_sorts() {
+        // Ranks spread across the full u64 range exceed the counting-sort
+        // threshold; the merge path must still produce a stable order.
+        let n = 10_000usize;
+        let key: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let r = Relation::from_keys(key);
+        let out = sort(&r, SortBy::Key).unwrap();
+        assert!(out.is_key_sorted());
+        assert_eq!(out.len(), n);
     }
 
     #[test]

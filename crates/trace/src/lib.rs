@@ -28,6 +28,7 @@
 //! (including the virtual GPU at the bottom of the dependency order) can
 //! record into it.
 
+pub mod allocwatch;
 pub mod chrome;
 pub mod explain;
 pub mod gantt;

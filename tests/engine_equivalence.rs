@@ -77,10 +77,17 @@ fn strategies() -> [Strategy; 3] {
     [Strategy::Serial, Strategy::Fusion, Strategy::FusionFission { segments: 8 }]
 }
 
-// One test function: the engine toggle is process-global, so the
-// scalar/batch pairs must not interleave with each other.
+// The engine and scratch toggles are process-global and `cargo test` runs
+// test functions on concurrent threads, so every test here serializes on
+// one lock.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[test]
 fn batch_engine_never_changes_tpch_answers() {
+    let _g = serial();
     let db: TpchDb = generate(TpchConfig::scale(0.01));
     let sys = GpuSystem::c2070();
     for strat in strategies() {
@@ -88,5 +95,33 @@ fn batch_engine_never_changes_tpch_answers() {
         check(&format!("Q6 {strat:?}"), strat, |s| q6::run_q6(&sys, &db, s).unwrap());
         check(&format!("Q21 {strat:?}"), strat, |s| q21::run_q21(&sys, &db, 20, s).unwrap());
     }
+    engine::set_batch_enabled(true);
+}
+
+// Scratch-poisoning equivalence: the arena's reused banks carry arbitrary
+// garbage between checkouts, and the batch operators' validity-bitmap-only
+// contract says no lane beyond the live count may influence an answer. The
+// poison toggle overwrites every reused bank (and the mask beyond the tail)
+// with sentinel bit patterns — quiet-NaN payloads in f64 lanes, alternating
+// bits in masks — before each run, so any operator that reads a stale or
+// unselected lane produces a bitwise-visible diff against the scalar
+// engine. Reuse-off is the control: fresh banks every checkout.
+#[test]
+fn scratch_poisoning_never_changes_tpch_answers() {
+    let _g = serial();
+    let db: TpchDb = generate(TpchConfig::scale(0.01));
+    let sys = GpuSystem::c2070();
+    for reuse in [false, true] {
+        for poison in [false, true] {
+            engine::set_scratch_reuse(reuse);
+            engine::set_scratch_poison(poison);
+            let what = |q: &str| format!("{q} reuse={reuse} poison={poison}");
+            check(&what("Q1"), Strategy::Serial, |s| q1::run_q1(&sys, &db, s).unwrap());
+            check(&what("Q6"), Strategy::Serial, |s| q6::run_q6(&sys, &db, s).unwrap());
+            check(&what("Q21"), Strategy::Serial, |s| q21::run_q21(&sys, &db, 20, s).unwrap());
+        }
+    }
+    engine::set_scratch_reuse(true);
+    engine::set_scratch_poison(false);
     engine::set_batch_enabled(true);
 }
