@@ -1,0 +1,344 @@
+//! Soak: sustained mixed TPC-H load through the query service, reported as
+//! end-to-end latency percentiles (EXPERIMENTS.md Note 11).
+//!
+//! Barrier-synced closed-loop clients cycle three real query shapes — Q6
+//! (fully fusable aggregation), Q1 (SORT-barrier group-by), Q21 (the
+//! paper's join-heavy worst case) — through one [`QueryService`] over a
+//! combined table registry, then an open-loop burst submits Q6 via
+//! [`QueryTicket::wait_timeout`] polling. Every answer is checked against a
+//! standalone execution of the same plan, and the run's observability
+//! surface is the product under test:
+//!
+//! * per-stage latency percentiles from `server_stats()` — queue wait,
+//!   batch formation, compile, execute, reply on the host clock; H2D /
+//!   compute / D2H engine-time shares on the simulated clock,
+//! * the flight recorder and slow-query log,
+//! * the `kfusion_server_stage_{host,sim}_seconds` histogram families in
+//!   the exported metrics (`kfusion-trace-check --require-histogram`).
+//!
+//! Writes `BENCH_soak.json` plus the standard `.trace.json` /
+//! `.metrics.txt` artifacts. Exits nonzero when any gate fails:
+//! p50 ≤ p95 ≤ p99 per stage, the counting invariant
+//! `completed == submitted - shed - failed`, stage counts matching the
+//! completed count, and the batched simulated-total p99 beating the
+//! serial (one-query-at-a-time) baseline p99.
+//!
+//! ```sh
+//! cargo bench --bench soak -- [--scale F] [--clients N] [--rounds R] \
+//!     [--open M] [--out PATH]
+//! ```
+
+use kfusion_bench::{ratio, system, Table};
+use kfusion_core::exec::{execute, ExecConfig, Strategy};
+use kfusion_core::graph::{OpKind, PlanGraph};
+use kfusion_server::{
+    HostStage, QueryService, ServerConfig, ServerError, ServerStats, SimStage, StageSummary,
+    HOST_STAGES, SIM_STAGES,
+};
+use kfusion_tpch::gen::{generate, TpchConfig};
+use kfusion_tpch::{q1, q21, q6};
+use kfusion_trace::hist::Hist;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Q21's nation parameter ("SAUDI ARABIA" in the spec's ordering).
+const NATION: i64 = 20;
+
+/// Input offsets of each query's tables in the combined registry:
+/// Q1 columns at 0..7, Q6 columns at 7..11, Q21 relations at 11..14.
+const Q1_OFF: usize = 0;
+const Q6_OFF: usize = 7;
+const Q21_OFF: usize = 11;
+
+/// Shift every `Input` node by `offset` — the plan builders number their
+/// inputs from zero, the service serves them all from one registry.
+fn offset_inputs(mut g: PlanGraph, offset: usize) -> PlanGraph {
+    for node in &mut g.nodes {
+        if let OpKind::Input { input } = &mut node.kind {
+            *input += offset;
+        }
+    }
+    g
+}
+
+/// The workload mix, by shape index.
+const SHAPE_NAMES: [&str; 3] = ["q6", "q1", "q21"];
+
+fn shape(i: usize) -> PlanGraph {
+    match i % 3 {
+        0 => offset_inputs(q6::q6_plan(), Q6_OFF),
+        1 => offset_inputs(q1::q1_plan(), Q1_OFF),
+        _ => offset_inputs(q21::q21_plan(NATION), Q21_OFF),
+    }
+}
+
+struct GateFailures(Vec<String>);
+
+impl GateFailures {
+    fn check(&mut self, ok: bool, msg: String) {
+        if !ok {
+            self.0.push(msg);
+        }
+    }
+}
+
+fn stage_rows(
+    label: &str,
+    stages: &[(&'static str, StageSummary)],
+    table: &mut Table,
+    gates: &mut GateFailures,
+    completed: u64,
+) -> String {
+    let mut json = Vec::new();
+    for (name, s) in stages {
+        table.row([
+            format!("{label}/{name}"),
+            s.count.to_string(),
+            format!("{:.6}", s.p50),
+            format!("{:.6}", s.p95),
+            format!("{:.6}", s.p99),
+        ]);
+        gates.check(
+            s.p50 <= s.p95 && s.p95 <= s.p99,
+            format!("{label}/{name}: percentiles not monotone ({} / {} / {})", s.p50, s.p95, s.p99),
+        );
+        gates.check(
+            s.count == completed,
+            format!("{label}/{name}: stage count {} != completed {completed}", s.count),
+        );
+        json.push(format!(
+            "    {{\"stage\": \"{name}\", \"count\": {}, \"p50_s\": {:.9}, \"p95_s\": {:.9}, \"p99_s\": {:.9}}}",
+            s.count, s.p50, s.p95, s.p99
+        ));
+    }
+    json.join(",\n")
+}
+
+fn main() {
+    let mut sf = 0.05f64;
+    let mut clients = 4usize;
+    let mut rounds = 12usize;
+    let mut open = 8usize;
+    let mut out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_soak.json").to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => sf = args.next().and_then(|v| v.parse().ok()).expect("--scale F"),
+            "--clients" => clients = args.next().and_then(|v| v.parse().ok()).expect("--clients N"),
+            "--rounds" => rounds = args.next().and_then(|v| v.parse().ok()).expect("--rounds R"),
+            "--open" => open = args.next().and_then(|v| v.parse().ok()).expect("--open M"),
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--bench" => {}
+            other => {
+                eprintln!(
+                    "unknown arg {other:?} (try --scale F, --clients N, --rounds R, --open M, --out PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(clients >= 2, "soak needs at least 2 clients to batch");
+
+    println!("== soak: mixed TPC-H load, latency percentiles end-to-end ==");
+    println!("scale {sf}; {clients} closed-loop clients x {rounds} rounds; {open} open-loop\n");
+    let _trace = kfusion_bench::trace_session("soak");
+
+    let sys = system();
+    let db = generate(TpchConfig::scale(sf));
+    let mut tables = q1::q1_inputs(&db);
+    tables.extend(q6::q6_inputs(&db));
+    tables.extend(q21::q21_inputs(&db));
+    assert_eq!(tables.len(), Q21_OFF + 3);
+    let exec_cfg = ExecConfig::new(Strategy::Fusion, &sys);
+
+    // Standalone ground truth per shape: the expected answer and the
+    // simulated cost a one-query-at-a-time server would pay.
+    let mut expected = Vec::new();
+    let mut per_shape_sim = Vec::new();
+    for i in 0..3 {
+        let r = execute(&sys, &shape(i), &tables, &exec_cfg).expect("standalone execution");
+        per_shape_sim.push(r.report.total());
+        expected.push(r.output);
+    }
+
+    let mut cfg = ServerConfig::new(exec_cfg);
+    cfg.workers = 2;
+    cfg.max_batch = clients;
+    cfg.window = Duration::from_millis(20);
+    cfg.submit_timeout = Duration::from_secs(10);
+    cfg.slow_query_threshold = Some(Duration::from_millis(1));
+
+    let t0 = Instant::now();
+    let barrier = Barrier::new(clients);
+    let (shapes_run, timeout_polls, stats) = QueryService::serve(&sys, &tables, &cfg, |client| {
+        // Closed loop: every round, all clients submit the same shape at a
+        // barrier, so each window batches `clients` structurally identical
+        // queries (the cross-query fusion case the service exists for).
+        let per_client: Vec<Vec<usize>> = std::thread::scope(|s| {
+            (0..clients)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut ran = Vec::with_capacity(rounds);
+                        for round in 0..rounds {
+                            let i = round % 3;
+                            barrier.wait();
+                            let out = client.query(shape(i)).expect("closed-loop query");
+                            assert_eq!(
+                                out.output, expected[i],
+                                "served answer diverged from standalone ({})",
+                                SHAPE_NAMES[i]
+                            );
+                            ran.push(i);
+                        }
+                        ran
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+
+        // Open loop: burst-submit Q6 tickets, then poll each with a short
+        // wait_timeout — the non-consuming timeout path under real load.
+        let tickets: Vec<_> =
+            (0..open).map(|_| client.submit(shape(0)).expect("open-loop submit")).collect();
+        let mut polls = 0u64;
+        for t in tickets {
+            let out = loop {
+                match t.wait_timeout(Duration::from_micros(200)) {
+                    Ok(out) => break out,
+                    Err(ServerError::WaitTimedOut) => polls += 1,
+                    Err(e) => panic!("open-loop query failed: {e}"),
+                }
+            };
+            assert_eq!(out.output, expected[0], "open-loop answer diverged from standalone");
+        }
+
+        let shapes_run: Vec<usize> =
+            per_client.into_iter().flatten().chain(std::iter::repeat_n(0, open)).collect();
+        (shapes_run, polls, client.server_stats())
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    report(
+        &stats,
+        &shapes_run,
+        &per_shape_sim,
+        timeout_polls,
+        sf,
+        clients,
+        rounds,
+        open,
+        wall,
+        &out_path,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    stats: &ServerStats,
+    shapes_run: &[usize],
+    per_shape_sim: &[f64],
+    timeout_polls: u64,
+    sf: f64,
+    clients: usize,
+    rounds: usize,
+    open: usize,
+    wall: f64,
+    out_path: &str,
+) {
+    let mut gates = GateFailures(Vec::new());
+
+    // The serial baseline distribution: what each completed query would
+    // have cost executed alone, through the same histogram quantization as
+    // the service's batched sim-total stage.
+    let mut serial = Hist::new();
+    for &i in shapes_run {
+        serial.record(per_shape_sim[i]);
+    }
+    let serial_p99 = serial.quantile(0.99);
+    let batched = stats.sim_stage(SimStage::Total);
+    let mean_batch = if stats.recent.is_empty() {
+        0.0
+    } else {
+        stats.recent.iter().map(|r| r.batch_size as f64).sum::<f64>() / stats.recent.len() as f64
+    };
+
+    let mut table = Table::new(["stage", "count", "p50 (s)", "p95 (s)", "p99 (s)"]);
+    let host: Vec<(&'static str, StageSummary)> =
+        HOST_STAGES.iter().map(|&s| (s.as_str(), stats.host_stage(s))).collect();
+    let sim: Vec<(&'static str, StageSummary)> =
+        SIM_STAGES.iter().map(|&s| (s.as_str(), stats.sim_stage(s))).collect();
+    let host_json = stage_rows("host", &host, &mut table, &mut gates, stats.completed);
+    let sim_json = stage_rows("sim", &sim, &mut table, &mut gates, stats.completed);
+    table.print();
+    println!();
+    println!(
+        "submitted {} completed {} shed_overload {} shed_deadline {} failed {}",
+        stats.submitted, stats.completed, stats.shed_overload, stats.shed_deadline, stats.failed
+    );
+    println!(
+        "cache hit rate {:.3} ({} hits / {} misses); mean batch {:.2}",
+        stats.cache_hit_rate, stats.cache.hits, stats.cache.misses, mean_batch
+    );
+    println!(
+        "sim total p99: batched {:.6}s vs serial {:.6}s ({}x); {} slow-log entries; {} flight records; {} wait_timeout polls",
+        batched.p99,
+        serial_p99,
+        ratio(serial_p99 / batched.p99),
+        stats.slow.len(),
+        stats.recent.len(),
+        timeout_polls
+    );
+
+    let total = stats.completed + stats.shed_overload + stats.shed_deadline + stats.failed;
+    gates.check(
+        stats.submitted == total,
+        format!("counting invariant broken: submitted {} != accounted {total}", stats.submitted),
+    );
+    gates.check(
+        stats.completed == shapes_run.len() as u64,
+        format!("completed {} != queries run {}", stats.completed, shapes_run.len()),
+    );
+    gates.check(
+        batched.p99 < serial_p99,
+        format!("batched sim p99 {:.6}s not below serial baseline {:.6}s", batched.p99, serial_p99),
+    );
+    gates.check(mean_batch > 1.0, format!("no cross-query batching (mean batch {mean_batch:.2})"));
+    // The slow log must have seen the expensive shapes (threshold 1 ms host
+    // total is far under a batched Q21 at any soak scale).
+    gates.check(!stats.slow.is_empty(), "slow-query log is empty".to_string());
+    gates.check(
+        stats.host_stage(HostStage::Total).count == stats.completed,
+        "host total count != completed".to_string(),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"soak\",\n  \"scale\": {sf},\n  \"clients\": {clients},\n  \"rounds\": {rounds},\n  \"open_loop\": {open},\n  \"submitted\": {},\n  \"completed\": {},\n  \"shed_overload\": {},\n  \"shed_deadline\": {},\n  \"failed\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"plan_compiles\": {},\n  \"cache_hit_rate\": {:.4},\n  \"mean_batch\": {:.3},\n  \"wait_timeout_polls\": {timeout_polls},\n  \"slow_log_entries\": {},\n  \"flight_records\": {},\n  \"serial_sim_p99_s\": {:.9},\n  \"batched_sim_total_p99_s\": {:.9},\n  \"host_stages\": [\n{host_json}\n  ],\n  \"sim_stages\": [\n{sim_json}\n  ],\n  \"wall_s\": {wall:.3}\n}}\n",
+        stats.submitted,
+        stats.completed,
+        stats.shed_overload,
+        stats.shed_deadline,
+        stats.failed,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.compiles,
+        stats.cache_hit_rate,
+        mean_batch,
+        stats.slow.len(),
+        stats.recent.len(),
+        serial.quantile(0.99),
+        batched.p99,
+    );
+    std::fs::write(out_path, json).expect("write JSON artifact");
+    println!("\nwrote {out_path}");
+
+    if !gates.0.is_empty() {
+        for g in &gates.0 {
+            eprintln!("FAIL: {g}");
+        }
+        std::process::exit(1);
+    }
+    println!("all soak gates passed");
+}

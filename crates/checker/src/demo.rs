@@ -200,6 +200,45 @@ pub fn demo_defects() -> LintReport {
         .insert("kfusion_batch_alloc_bytes_total{scope=\"steady_state\"}".into(), 4096 * 8192);
     report.lints.extend(crate::lint::lint_alloc_counters("defect: per-batch buffer", &leaky));
 
+    // 13. A service run whose observability doesn't balance: eight queries
+    //     reached workers plus one deadline shed, but only eight lifecycle
+    //     records closed (a worker path returned early without closing its
+    //     QueryRecord), and the reply-stage histogram is one observation
+    //     short of the completed count. (Live enforcement: the service's
+    //     `run_group` closes a record on every path; the soak bench + CI
+    //     gate the real counters. This entry pins the telemetry→lint
+    //     mapping.)
+    let mut unobserved = kfusion_trace::Trace::default();
+    let c = &mut unobserved.counters;
+    c.insert("kfusion_server_queries_executed_total".into(), 8);
+    c.insert("kfusion_server_deadline_rejections_total".into(), 1);
+    c.insert("kfusion_server_query_records_closed_total".into(), 8);
+    c.insert("kfusion_server_queries_completed_total".into(), 7);
+    let stage_hist = |n: u64| {
+        let mut h = kfusion_trace::hist::Hist::new();
+        for i in 0..n {
+            h.record(1e-3 * (i + 1) as f64);
+        }
+        h
+    };
+    for stage in ["queue_wait", "batch_form", "compile", "execute", "reply", "total"] {
+        let key = kfusion_trace::metrics::metric_key(
+            "kfusion_server_stage_host_seconds",
+            &[("stage", stage)],
+        );
+        unobserved.hists.insert(key, stage_hist(if stage == "reply" { 6 } else { 7 }));
+    }
+    for stage in ["h2d", "compute", "d2h", "total"] {
+        let key = kfusion_trace::metrics::metric_key(
+            "kfusion_server_stage_sim_seconds",
+            &[("stage", stage)],
+        );
+        unobserved.hists.insert(key, stage_hist(7));
+    }
+    report
+        .lints
+        .extend(crate::lint::lint_unobserved_stages("defect: lost lifecycle record", &unobserved));
+
     report
 }
 
@@ -223,6 +262,7 @@ mod tests {
             "footprint-over-capacity",
             "unchecked-condvar-wait",
             "allocating-steady-state",
+            "unobserved-stage",
         ] {
             assert!(ids.contains(&expected), "missing {expected} in {ids:?}");
         }

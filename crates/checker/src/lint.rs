@@ -567,6 +567,78 @@ pub fn lint_alloc_counters(origin: &str, trace: &kfusion_trace::Trace) -> Vec<Li
     .note("look for buffers sized per batch instead of per morsel, or a scratch checkout that moved inside the loop")]
 }
 
+/// Host-stage label values of `kfusion_server_stage_host_seconds`, as the
+/// server emits them (the wire contract this lint checks, hardcoded so the
+/// checker needs no dependency on the server crate).
+const SERVER_HOST_STAGES: [&str; 6] =
+    ["queue_wait", "batch_form", "compile", "execute", "reply", "total"];
+/// Sim-stage label values of `kfusion_server_stage_sim_seconds`.
+const SERVER_SIM_STAGES: [&str; 4] = ["h2d", "compute", "d2h", "total"];
+
+/// Lint a trace snapshot for unobserved query stages (DESIGN.md §15).
+///
+/// The service closes one [`QueryRecord`] per query it picks up, and a
+/// closed *completed* record feeds every stage histogram exactly once. Two
+/// balances certify that from the emitted telemetry alone:
+///
+/// * `records_closed == executed + deadline_rejections` — a shortfall means
+///   a query reached a worker but its lifecycle record never closed (an
+///   early return skipped the close path), so its latency is missing from
+///   every percentile;
+/// * every `stage=...` series of the host/sim histogram families holds
+///   exactly `queries_completed` observations — a short series means some
+///   code path recorded only part of the lifecycle, skewing that stage's
+///   percentiles low.
+///
+/// [`QueryRecord`]: ../../kfusion_server/stats/struct.QueryRecord.html
+pub fn lint_unobserved_stages(origin: &str, trace: &kfusion_trace::Trace) -> Vec<Lint> {
+    let executed = trace.counter("kfusion_server_queries_executed_total");
+    let shed = trace.counter("kfusion_server_deadline_rejections_total");
+    let closed = trace.counter("kfusion_server_query_records_closed_total");
+    let completed = trace.counter("kfusion_server_queries_completed_total");
+    if executed == 0 && closed == 0 {
+        return Vec::new();
+    }
+    let mut lints = Vec::new();
+    if closed != executed + shed {
+        lints.push(
+            Lint::new(
+                "unobserved-stage",
+                Severity::Deny,
+                format!(
+                    "{origin}: {executed} executed + {shed} deadline-shed queries but \
+                     {closed} lifecycle records closed"
+                ),
+            )
+            .note("every query a worker picks up must close its QueryRecord exactly once (DESIGN.md §15)")
+            .note("an unclosed record drops the query from every latency percentile and the flight recorder"),
+        );
+    }
+    for (family, stages) in [
+        ("kfusion_server_stage_host_seconds", &SERVER_HOST_STAGES[..]),
+        ("kfusion_server_stage_sim_seconds", &SERVER_SIM_STAGES[..]),
+    ] {
+        for stage in stages {
+            let key = kfusion_trace::metrics::metric_key(family, &[("stage", stage)]);
+            let count = trace.hist(&key).map_or(0, |h| h.count());
+            if count != completed {
+                lints.push(
+                    Lint::new(
+                        "unobserved-stage",
+                        Severity::Deny,
+                        format!(
+                            "{origin}: stage histogram {family}{{stage=\"{stage}\"}} holds \
+                             {count} observations for {completed} completed queries"
+                        ),
+                    )
+                    .note("a completed record feeds every stage histogram exactly once; a short series skews that stage's percentiles low"),
+                );
+            }
+        }
+    }
+    lints
+}
+
 /// Lint a model-checker violation (`kfusion-model`'s explorer output).
 ///
 /// Only violations with a lint-shaped diagnosis map to lints: a deadlock
@@ -635,6 +707,50 @@ mod tests {
         assert_eq!(lints.len(), 1);
         assert_eq!(lints[0].id, "allocating-steady-state");
         assert!(matches!(lints[0].severity, Severity::Deny));
+    }
+
+    #[test]
+    fn unobserved_stage_lint_balances_counters_and_histograms() {
+        let t = kfusion_trace::Trace::default();
+        assert!(lint_unobserved_stages("x", &t).is_empty(), "idle service is clean");
+
+        // A balanced run: 3 executed + 1 shed = 4 closed, 3 completed, and
+        // every stage series holds 3 observations.
+        let mut t = kfusion_trace::Trace::default();
+        t.counters.insert("kfusion_server_queries_executed_total".into(), 3);
+        t.counters.insert("kfusion_server_deadline_rejections_total".into(), 1);
+        t.counters.insert("kfusion_server_query_records_closed_total".into(), 4);
+        t.counters.insert("kfusion_server_queries_completed_total".into(), 3);
+        let full = |n: u64| {
+            let mut h = kfusion_trace::hist::Hist::new();
+            for _ in 0..n {
+                h.record(0.01);
+            }
+            h
+        };
+        for (family, stages) in [
+            ("kfusion_server_stage_host_seconds", &SERVER_HOST_STAGES[..]),
+            ("kfusion_server_stage_sim_seconds", &SERVER_SIM_STAGES[..]),
+        ] {
+            for stage in stages {
+                let key = kfusion_trace::metrics::metric_key(family, &[("stage", stage)]);
+                t.hists.insert(key, full(3));
+            }
+        }
+        assert!(lint_unobserved_stages("x", &t).is_empty(), "balanced telemetry is clean");
+
+        // Lose one record and one compile observation: two diagnostics.
+        t.counters.insert("kfusion_server_query_records_closed_total".into(), 3);
+        let key = kfusion_trace::metrics::metric_key(
+            "kfusion_server_stage_host_seconds",
+            &[("stage", "compile")],
+        );
+        t.hists.insert(key, full(2));
+        let lints = lint_unobserved_stages("x", &t);
+        assert_eq!(lints.len(), 2, "{lints:?}");
+        assert!(lints.iter().all(|l| l.id == "unobserved-stage"));
+        assert!(lints.iter().all(|l| matches!(l.severity, Severity::Deny)));
+        assert!(lints.iter().any(|l| l.message.contains("compile")), "{lints:?}");
     }
 
     #[test]

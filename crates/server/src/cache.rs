@@ -78,6 +78,17 @@ impl PlanCache {
         graph: &PlanGraph,
         cfg: &ExecConfig,
     ) -> Result<Arc<FusionPlan>, ServerError> {
+        self.prepare_observed(graph, cfg).map(|(plan, _)| plan)
+    }
+
+    /// Like [`PlanCache::prepare`], but also reports whether the lookup was
+    /// a hit — the bit the service's `QueryRecord` attributes compile time
+    /// against.
+    pub fn prepare_observed(
+        &self,
+        graph: &PlanGraph,
+        cfg: &ExecConfig,
+    ) -> Result<(Arc<FusionPlan>, bool), ServerError> {
         let key = (PlanKey::new(graph, &cfg.budget, cfg.level), class_of(cfg.strategy));
         self.get_or_build(key, || prepare_fusion(graph, cfg).map_err(Into::into))
     }
@@ -91,6 +102,15 @@ impl PlanCache {
         merged: &MergedPlan,
         cfg: &ExecConfig,
     ) -> Result<Arc<FusionPlan>, ServerError> {
+        self.prepare_multi_observed(merged, cfg).map(|(plan, _)| plan)
+    }
+
+    /// Like [`PlanCache::prepare_multi`], but also reports hit/miss.
+    pub fn prepare_multi_observed(
+        &self,
+        merged: &MergedPlan,
+        cfg: &ExecConfig,
+    ) -> Result<(Arc<FusionPlan>, bool), ServerError> {
         let key = PlanKey {
             plan: fingerprint_multi(&merged.graph, &merged.roots),
             max_regs_per_thread: cfg.budget.max_regs_per_thread,
@@ -105,11 +125,11 @@ impl PlanCache {
         &self,
         key: (PlanKey, PlanClass),
         build: impl FnOnce() -> Result<FusionPlan, ServerError>,
-    ) -> Result<Arc<FusionPlan>, ServerError> {
+    ) -> Result<(Arc<FusionPlan>, bool), ServerError> {
         if let Some(plan) = self.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             kfusion_trace::counter("kfusion_server_plan_cache_hits_total", 1);
-            return Ok(plan.clone());
+            return Ok((plan.clone(), true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         kfusion_trace::counter("kfusion_server_plan_cache_misses_total", 1);
@@ -118,7 +138,7 @@ impl PlanCache {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         kfusion_trace::counter("kfusion_server_plan_compiles_total", 1);
         let plan = Arc::new(build()?);
-        Ok(self.lock().entry(key).or_insert(plan).clone())
+        Ok((self.lock().entry(key).or_insert(plan).clone(), false))
     }
 
     /// Current counters and residency.

@@ -38,10 +38,15 @@
 pub mod cache;
 pub mod queue;
 pub mod service;
+pub mod stats;
 
 pub use cache::{CacheStats, PlanCache};
 pub use queue::BoundedQueue;
 pub use service::{QueryOutcome, QueryService, QueryTicket, ServerConfig, ServiceClient};
+pub use stats::{
+    FlightRecorder, HostStage, QueryRecord, RecordOutcome, ServerStats, SimStage, StageSummary,
+    StatsHub, HOST_STAGES, SIM_STAGES,
+};
 
 use kfusion_core::CoreError;
 
@@ -62,6 +67,9 @@ pub enum ServerError {
     /// The internal reply channel dropped without a result (a worker
     /// panicked); the query's fate is unknown.
     Disconnected,
+    /// A [`QueryTicket::wait_timeout`] poll elapsed before the result
+    /// arrived; the ticket is still live and can be waited on again.
+    WaitTimedOut,
 }
 
 impl std::fmt::Display for ServerError {
@@ -72,6 +80,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Overloaded => write!(f, "submission queue full (service overloaded)"),
             ServerError::ShuttingDown => write!(f, "service is shutting down"),
             ServerError::Disconnected => write!(f, "reply channel disconnected"),
+            ServerError::WaitTimedOut => write!(f, "wait timed out (ticket still pending)"),
         }
     }
 }

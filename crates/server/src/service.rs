@@ -29,18 +29,25 @@
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::stats::{QueryRecord, RecordOutcome, ServerStats, StatsHub, SIM_STAGES};
 use crate::ServerError;
 use kfusion_core::exec::{execute_prepared, ExecConfig};
 use kfusion_core::graph::{OpKind, PlanGraph};
 use kfusion_core::multiquery::{execute_multi_prepared, merge_plans};
+use kfusion_core::report::Report;
 use kfusion_relalg::Relation;
-use kfusion_vgpu::GpuSystem;
+use kfusion_vgpu::{Engine, GpuSystem};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// How long a blocked-but-not-closed queue end sleeps between re-checks.
 const POLL: Duration = Duration::from_millis(50);
+
+/// Lane carrying the retroactive `queue_wait` spans on the `server` track —
+/// far above the recorder's per-thread lane counter, so waits (which
+/// overlap freely) never interleave with a worker's own `execute` spans.
+const QUEUE_WAIT_LANE: u32 = 1 << 16;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -65,12 +72,19 @@ pub struct ServerConfig {
     /// Deadline applied to submissions that do not carry their own: a query
     /// still queued when its deadline passes is rejected, not executed.
     pub default_deadline: Option<Duration>,
+    /// How many recent [`QueryRecord`]s the flight recorder retains.
+    pub flight_recorder_depth: usize,
+    /// How many slow-query records the slow log retains.
+    pub slow_log_depth: usize,
+    /// End-to-end host latency at which a completed query is copied into
+    /// the slow log (`None` disables the log).
+    pub slow_query_threshold: Option<Duration>,
 }
 
 impl ServerConfig {
     /// A config for `exec` with small-service defaults: 2 workers, windows
     /// of up to 4 queries or 2 ms, queues of 64, 20 ms submit patience, no
-    /// deadline.
+    /// deadline, a 256-record flight recorder, and the slow log disabled.
     pub fn new(exec: ExecConfig) -> Self {
         ServerConfig {
             exec,
@@ -80,6 +94,9 @@ impl ServerConfig {
             queue_depth: 64,
             submit_timeout: Duration::from_millis(20),
             default_deadline: None,
+            flight_recorder_depth: 256,
+            slow_log_depth: 32,
+            slow_query_threshold: None,
         }
     }
 }
@@ -97,13 +114,20 @@ pub struct QueryOutcome {
     /// `sim_batch_total / batch_size` over queries reproduces the exact
     /// aggregate simulated time of the run.
     pub sim_batch_total: f64,
+    /// The closed per-stage lifecycle record of this query (queue wait,
+    /// batch formation, compile, execute, reply on the host clock; its
+    /// engine-time share on the simulated clock). The same record is
+    /// retained in the service's flight recorder.
+    pub record: QueryRecord,
 }
 
 /// One queued query: its plan plus everything needed to time it out and to
 /// route its result home.
 struct Submission {
     plan: PlanGraph,
+    seq: u64,
     enqueued_at: Instant,
+    admitted_at: Option<Instant>,
     deadline: Option<Instant>,
     reply: mpsc::Sender<Result<QueryOutcome, ServerError>>,
 }
@@ -124,6 +148,17 @@ impl QueryTicket {
     pub fn wait(self) -> Result<QueryOutcome, ServerError> {
         self.rx.recv().map_err(|_| ServerError::Disconnected)?
     }
+
+    /// Wait at most `timeout` for the outcome. On expiry the ticket is
+    /// *not* consumed: the error is [`ServerError::WaitTimedOut`] and the
+    /// caller can poll again (or fall back to [`QueryTicket::wait`]).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<QueryOutcome, ServerError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(res) => res,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServerError::WaitTimedOut),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServerError::Disconnected),
+        }
+    }
 }
 
 /// The submission handle passed to [`QueryService::serve`]'s closure; share
@@ -132,6 +167,7 @@ pub struct ServiceClient<'a> {
     submissions: &'a BoundedQueue<Submission>,
     cache: &'a PlanCache,
     config: &'a ServerConfig,
+    hub: &'a StatsHub,
 }
 
 impl ServiceClient<'_> {
@@ -149,13 +185,25 @@ impl ServiceClient<'_> {
     ) -> Result<QueryTicket, ServerError> {
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
-        let sub =
-            Submission { plan, enqueued_at: now, deadline: deadline.map(|d| now + d), reply: tx };
+        let sub = Submission {
+            plan,
+            seq: self.hub.submission_attempt(),
+            enqueued_at: now,
+            admitted_at: None,
+            deadline: deadline.map(|d| now + d),
+            reply: tx,
+        };
         kfusion_trace::counter("kfusion_server_submissions_total", 1);
         match self.submissions.push_timeout(sub, self.config.submit_timeout) {
             Ok(()) => Ok(QueryTicket { rx }),
-            Err(PushError::Full(_)) => Err(ServerError::Overloaded),
-            Err(PushError::Closed(_)) => Err(ServerError::ShuttingDown),
+            Err(PushError::Full(_)) => {
+                self.hub.shed_overload();
+                Err(ServerError::Overloaded)
+            }
+            Err(PushError::Closed(_)) => {
+                self.hub.shed_overload();
+                Err(ServerError::ShuttingDown)
+            }
         }
     }
 
@@ -167,6 +215,15 @@ impl ServiceClient<'_> {
     /// Point-in-time plan-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Dump the service's observability state: per-stage p50/p95/p99 in
+    /// both clock domains, cache hit rate, queue depth, shed/deadline
+    /// counts, and the flight-recorder + slow-query rings. Always
+    /// available — the service-local histograms do not depend on the
+    /// global recorder being enabled.
+    pub fn server_stats(&self) -> ServerStats {
+        self.hub.snapshot(self.cache.stats(), self.submissions.len())
     }
 }
 
@@ -185,15 +242,21 @@ impl QueryService {
         f: impl FnOnce(&ServiceClient<'_>) -> R,
     ) -> R {
         let cache = PlanCache::new();
+        let hub = StatsHub::new(
+            config.flight_recorder_depth,
+            config.slow_log_depth,
+            config.slow_query_threshold,
+        );
         let submissions: BoundedQueue<Submission> = BoundedQueue::new(config.queue_depth);
         let dispatch: BoundedQueue<GroupJob> = BoundedQueue::new(config.queue_depth);
-        let (subs, disp, cache_ref) = (&submissions, &dispatch, &cache);
+        let (subs, disp, cache_ref, hub_ref) = (&submissions, &dispatch, &cache, &hub);
         std::thread::scope(|s| {
             s.spawn(move || admission_loop(subs, disp, config));
             for _ in 0..config.workers.max(1) {
-                s.spawn(move || worker_loop(system, tables, config, cache_ref, disp));
+                s.spawn(move || worker_loop(system, tables, config, cache_ref, hub_ref, disp));
             }
-            let client = ServiceClient { submissions: subs, cache: cache_ref, config };
+            let client =
+                ServiceClient { submissions: subs, cache: cache_ref, config, hub: hub_ref };
             let out = f(&client);
             // Drain, don't drop: admission flushes what is queued into
             // final batches and then closes the dispatch queue itself.
@@ -211,13 +274,14 @@ fn admission_loop(
     config: &ServerConfig,
 ) {
     loop {
-        let first = match subs.pop_timeout(POLL) {
+        let mut first = match subs.pop_timeout(POLL) {
             Pop::Item(x) => x,
             Pop::TimedOut => continue,
             // Closed is only returned once fully drained.
             Pop::Closed => break,
         };
         let window_open = Instant::now();
+        first.admitted_at = Some(window_open);
         let closes_at = window_open + config.window;
         let mut batch = vec![first];
         while batch.len() < config.max_batch.max(1) {
@@ -226,7 +290,10 @@ fn admission_loop(
                 break;
             }
             match subs.pop_timeout(closes_at - now) {
-                Pop::Item(x) => batch.push(x),
+                Pop::Item(mut x) => {
+                    x.admitted_at = Some(Instant::now());
+                    batch.push(x);
+                }
                 Pop::TimedOut | Pop::Closed => break,
             }
         }
@@ -314,31 +381,96 @@ fn worker_loop(
     tables: &[Relation],
     config: &ServerConfig,
     cache: &PlanCache,
+    hub: &StatsHub,
     dispatch: &BoundedQueue<GroupJob>,
 ) {
     loop {
         match dispatch.pop_timeout(POLL) {
-            Pop::Item(job) => run_group(system, tables, config, cache, job.members),
+            Pop::Item(job) => run_group(system, tables, config, cache, hub, job.members),
             Pop::TimedOut => continue,
             Pop::Closed => break,
         }
     }
 }
 
-/// Execute one dispatched group and answer every member exactly once.
+/// A dispatch's per-query simulated-stage attribution: each member's share
+/// of the report's H2D / compute / D2H engine seconds and makespan (in
+/// [`SIM_STAGES`] order).
+fn sim_shares(report: &Report, batch_size: usize) -> [f64; SIM_STAGES.len()] {
+    let n = batch_size.max(1) as f64;
+    [
+        report.engine_time(Engine::CopyH2D) / n,
+        report.engine_time(Engine::Compute) / n,
+        report.engine_time(Engine::CopyD2H) / n,
+        report.total() / n,
+    ]
+}
+
+/// Close one member's lifecycle record: compute its host stage durations
+/// (queue wait → admission, batch form → pickup, compile, execute, reply,
+/// total), hand the record to the hub (histograms + flight recorder), and
+/// return it for the [`QueryOutcome`].
+#[allow(clippy::too_many_arguments)]
+fn close_record(
+    hub: &StatsHub,
+    m: &Submission,
+    picked_up: Instant,
+    compile_s: f64,
+    exec_end: Instant,
+    exec_s: f64,
+    cache_hit: bool,
+    batch_size: usize,
+    sim: [f64; SIM_STAGES.len()],
+    outcome: RecordOutcome,
+) -> QueryRecord {
+    let done = Instant::now();
+    let admitted = m.admitted_at.unwrap_or(picked_up);
+    // Host stages in `stats::HOST_STAGES` order.
+    let host = [
+        admitted.saturating_duration_since(m.enqueued_at).as_secs_f64(),
+        picked_up.saturating_duration_since(admitted).as_secs_f64(),
+        compile_s,
+        exec_s,
+        done.saturating_duration_since(exec_end).as_secs_f64(),
+        done.saturating_duration_since(m.enqueued_at).as_secs_f64(),
+    ];
+    let record = QueryRecord { seq: m.seq, batch_size, cache_hit, outcome, host, sim };
+    hub.close_record(record.clone());
+    record
+}
+
+/// Execute one dispatched group and answer every member exactly once —
+/// closing every member's [`QueryRecord`] exactly once on every path
+/// (success, execution failure, deadline shed); the `unobserved-stage`
+/// lint cross-checks that invariant from the emitted counters.
 fn run_group(
     system: &GpuSystem,
     tables: &[Relation],
     config: &ServerConfig,
     cache: &PlanCache,
+    hub: &StatsHub,
     members: Vec<Submission>,
 ) {
     let picked_up = Instant::now();
     let mut live = Vec::with_capacity(members.len());
     for m in members {
-        kfusion_trace::record_host_span("server", "queue_wait", m.enqueued_at);
+        // Recorded retroactively on a dedicated lane: the wait reaches back
+        // across spans this worker has already closed on its own lane.
+        kfusion_trace::record_host_span_on("server", QUEUE_WAIT_LANE, "queue_wait", m.enqueued_at);
         if m.deadline.is_some_and(|d| picked_up > d) {
             kfusion_trace::counter("kfusion_server_deadline_rejections_total", 1);
+            close_record(
+                hub,
+                &m,
+                picked_up,
+                0.0,
+                picked_up,
+                0.0,
+                false,
+                1,
+                [0.0; SIM_STAGES.len()],
+                RecordOutcome::DeadlineExceeded,
+            );
             let _ = m.reply.send(Err(ServerError::DeadlineExceeded));
         } else {
             live.push(m);
@@ -351,14 +483,72 @@ fn run_group(
     kfusion_trace::counter("kfusion_server_queries_executed_total", live.len() as u64);
     if live.len() == 1 {
         let m = live.pop().expect("one member");
-        let res = cache.prepare(&m.plan, &config.exec).and_then(|fusion| {
-            execute_prepared(system, &m.plan, tables, &config.exec, &fusion).map_err(Into::into)
-        });
-        let _ = m.reply.send(res.map(|r| QueryOutcome {
-            output: r.output,
-            batch_size: 1,
-            sim_batch_total: r.report.total(),
-        }));
+        let compile_began = Instant::now();
+        let prepared = cache.prepare_observed(&m.plan, &config.exec);
+        let compile_s = compile_began.elapsed().as_secs_f64();
+        let (fusion, hit) = match prepared {
+            Ok(p) => p,
+            Err(e) => {
+                let now = Instant::now();
+                close_record(
+                    hub,
+                    &m,
+                    picked_up,
+                    compile_s,
+                    now,
+                    0.0,
+                    false,
+                    1,
+                    [0.0; SIM_STAGES.len()],
+                    RecordOutcome::Failed,
+                );
+                let _ = m.reply.send(Err(e));
+                return;
+            }
+        };
+        let exec_began = Instant::now();
+        let res = execute_prepared(system, &m.plan, tables, &config.exec, &fusion)
+            .map_err(ServerError::from);
+        let exec_end = Instant::now();
+        let exec_s = exec_end.saturating_duration_since(exec_began).as_secs_f64();
+        match res {
+            Ok(r) => {
+                let sim = sim_shares(&r.report, 1);
+                let record = close_record(
+                    hub,
+                    &m,
+                    picked_up,
+                    compile_s,
+                    exec_end,
+                    exec_s,
+                    hit,
+                    1,
+                    sim,
+                    RecordOutcome::Completed,
+                );
+                let _ = m.reply.send(Ok(QueryOutcome {
+                    output: r.output,
+                    batch_size: 1,
+                    sim_batch_total: r.report.total(),
+                    record,
+                }));
+            }
+            Err(e) => {
+                close_record(
+                    hub,
+                    &m,
+                    picked_up,
+                    compile_s,
+                    exec_end,
+                    exec_s,
+                    hit,
+                    1,
+                    [0.0; SIM_STAGES.len()],
+                    RecordOutcome::Failed,
+                );
+                let _ = m.reply.send(Err(e));
+            }
+        }
         return;
     }
     kfusion_trace::counter("kfusion_server_batched_queries_total", live.len() as u64);
@@ -369,23 +559,58 @@ fn run_group(
     live.sort_by_key(|m| kfusion_core::fingerprint_plan(&m.plan).0);
     let plans: Vec<PlanGraph> = live.iter().map(|m| m.plan.clone()).collect();
     let merged = merge_plans(&plans);
-    let res = cache.prepare_multi(&merged, &config.exec).and_then(|fusion| {
-        execute_multi_prepared(system, &merged, tables, &config.exec, &fusion).map_err(Into::into)
+    let n = live.len();
+    let compile_began = Instant::now();
+    let prepared = cache.prepare_multi_observed(&merged, &config.exec);
+    let compile_s = compile_began.elapsed().as_secs_f64();
+    let res = prepared.and_then(|(fusion, hit)| {
+        let exec_began = Instant::now();
+        let r = execute_multi_prepared(system, &merged, tables, &config.exec, &fusion)
+            .map_err(ServerError::from);
+        let exec_end = Instant::now();
+        let exec_s = exec_end.saturating_duration_since(exec_began).as_secs_f64();
+        r.map(|multi| (multi, hit, exec_end, exec_s))
     });
     match res {
-        Ok(multi) => {
+        Ok((multi, hit, exec_end, exec_s)) => {
             let total = multi.report.total();
-            let n = live.len();
+            let sim = sim_shares(&multi.report, n);
             for (m, output) in live.into_iter().zip(multi.outputs) {
+                let record = close_record(
+                    hub,
+                    &m,
+                    picked_up,
+                    compile_s,
+                    exec_end,
+                    exec_s,
+                    hit,
+                    n,
+                    sim,
+                    RecordOutcome::Completed,
+                );
                 let _ = m.reply.send(Ok(QueryOutcome {
                     output,
                     batch_size: n,
                     sim_batch_total: total,
+                    record,
                 }));
             }
         }
         Err(e) => {
+            let now = Instant::now();
             for m in live {
+                close_record(
+                    hub,
+                    &m,
+                    picked_up,
+                    compile_s,
+                    now,
+                    0.0,
+                    false,
+                    n,
+                    [0.0; SIM_STAGES.len()],
+                    RecordOutcome::Failed,
+                );
                 let _ = m.reply.send(Err(e.clone()));
             }
         }
@@ -504,6 +729,83 @@ mod tests {
     }
 
     #[test]
+    fn wait_timeout_is_non_consuming() {
+        let s = sys();
+        let tables = [gen::random_keys(50_000, 15)];
+        let mut cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &s));
+        // A long window delays the reply well past the first poll.
+        cfg.window = Duration::from_millis(300);
+        cfg.max_batch = 8;
+        let outcome = QueryService::serve(&s, &tables, &cfg, |c| {
+            let ticket = c.submit(query(0, 1 << 30)).unwrap();
+            let early = ticket.wait_timeout(Duration::from_millis(1));
+            assert!(matches!(early, Err(ServerError::WaitTimedOut)), "{early:?}");
+            // The ticket survives the timeout; the result still arrives.
+            ticket.wait()
+        })
+        .expect("query succeeds after timed-out poll");
+        assert_eq!(outcome.batch_size, 1);
+    }
+
+    #[test]
+    fn outcomes_carry_closed_stage_records() {
+        let s = sys();
+        let tables = [gen::random_keys(50_000, 17)];
+        let mut cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &s));
+        cfg.window = Duration::from_millis(200);
+        cfg.workers = 1;
+        let (a, b) = QueryService::serve(&s, &tables, &cfg, |c| {
+            let ta = c.submit(query(0, 1 << 30)).unwrap();
+            let tb = c.submit(query(0, 1 << 29)).unwrap();
+            (ta.wait().unwrap(), tb.wait().unwrap())
+        });
+        for out in [&a, &b] {
+            let r = &out.record;
+            assert_eq!(r.outcome, RecordOutcome::Completed);
+            assert_eq!(r.batch_size, 2);
+            // Host total covers every other host stage.
+            let total = r.host_stage(crate::stats::HostStage::Total);
+            for stage in crate::stats::HOST_STAGES {
+                assert!(r.host_stage(stage) >= 0.0);
+                if stage != crate::stats::HostStage::Total {
+                    assert!(r.host_stage(stage) <= total + 1e-9, "{stage:?}");
+                }
+            }
+            // The sim share is the batch total split across members.
+            let share = r.sim_stage(crate::stats::SimStage::Total);
+            assert!((share - out.sim_batch_total / 2.0).abs() < 1e-12);
+        }
+        assert_ne!(a.record.seq, b.record.seq);
+    }
+
+    #[test]
+    fn server_stats_snapshot_counts_and_percentiles() {
+        let s = sys();
+        let tables = [gen::random_keys(20_000, 19)];
+        let mut cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &s));
+        cfg.slow_query_threshold = Some(Duration::ZERO); // everything is "slow"
+        let stats = QueryService::serve(&s, &tables, &cfg, |c| {
+            // One shape five times: the repeats hit the plan cache.
+            for _ in 0..5 {
+                c.query(query(0, 1 << 12)).unwrap();
+            }
+            c.server_stats()
+        });
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.completed, 5);
+        assert_eq!((stats.shed_overload, stats.shed_deadline, stats.failed), (0, 0, 0));
+        assert_eq!(stats.recent.len(), 5);
+        assert_eq!(stats.slow.len(), 5, "zero threshold logs every query");
+        let summaries: Vec<_> =
+            stats.host.iter().map(|(_, s)| *s).chain(stats.sim.iter().map(|(_, s)| *s)).collect();
+        for sum in summaries {
+            assert_eq!(sum.count, 5);
+            assert!(sum.p50 <= sum.p95 && sum.p95 <= sum.p99);
+        }
+        assert!(stats.cache_hit_rate > 0.5, "{}", stats.cache_hit_rate);
+    }
+
+    #[test]
     fn grouping_is_transitive_over_shared_inputs() {
         // A scans {0}, B scans {0,1}, C scans {1}: one group of three.
         let subs: Vec<Submission> = [vec![0], vec![0, 1], vec![1]]
@@ -517,7 +819,14 @@ mod tests {
                 }
                 let _ = acc;
                 let (tx, _rx) = mpsc::channel();
-                Submission { plan: g, enqueued_at: Instant::now(), deadline: None, reply: tx }
+                Submission {
+                    plan: g,
+                    seq: 0,
+                    enqueued_at: Instant::now(),
+                    admitted_at: None,
+                    deadline: None,
+                    reply: tx,
+                }
             })
             .collect();
         let groups = group_by_shared_inputs(subs);

@@ -1,0 +1,477 @@
+//! Per-query lifecycle attribution and the service flight recorder
+//! (DESIGN.md §15).
+//!
+//! Every query the service answers carries a [`QueryRecord`] timing each
+//! pipeline stage on the host clock (queue wait → batch formation →
+//! compile → execute → reply) and attributing its share of the dispatch's
+//! simulated time (H2D / compute / D2H engine seconds ÷ batch size). The
+//! worker closes the record exactly once, just before replying; closing it
+//!
+//! * feeds the service-local stage histograms (always on — the service
+//!   owns its own [`Hist`]s so `server_stats()` works with the global
+//!   recorder disabled),
+//! * mirrors every stage into the process-global recorder via
+//!   [`kfusion_trace::observe`] (which self-gates on the recorder's
+//!   enabled flag, keeping the disabled path at one relaxed atomic load),
+//! * pushes the record into the bounded lock-striped flight-recorder ring
+//!   (last N records, striped by sequence number so concurrent workers
+//!   rarely contend), and into the slow-query ring when the end-to-end
+//!   host latency crosses the configured threshold,
+//! * bumps `kfusion_server_query_records_closed_total` — the counter the
+//!   `unobserved-stage` lint balances against
+//!   `kfusion_server_queries_executed_total`.
+//!
+//! [`ServerStats`] is the on-demand snapshot: per-stage p50/p95/p99 in
+//! both clock domains, cache hit rate, queue depth, shed/deadline/failure
+//! counts, and the recent + slow record rings.
+
+use crate::cache::CacheStats;
+use kfusion_model::sync::atomic::{AtomicU64, Ordering};
+use kfusion_model::sync::Mutex;
+use kfusion_trace::hist::Hist;
+use kfusion_trace::metrics::metric_key;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Host-clock pipeline stages of one query, in lifecycle order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostStage {
+    /// Submission push → admission pop.
+    QueueWait,
+    /// Admission pop → worker pickup (the window the query waited to fill,
+    /// plus dispatch-queue time).
+    BatchForm,
+    /// Plan-cache prepare, shared across the group (near zero on a hit).
+    Compile,
+    /// The execute call (functional phase + DES timing phase).
+    Execute,
+    /// Execute end → result handed to the reply channel.
+    Reply,
+    /// Submission push → reply handoff (the submitter-visible latency).
+    Total,
+}
+
+/// Every host stage, in lifecycle order.
+pub const HOST_STAGES: [HostStage; 6] = [
+    HostStage::QueueWait,
+    HostStage::BatchForm,
+    HostStage::Compile,
+    HostStage::Execute,
+    HostStage::Reply,
+    HostStage::Total,
+];
+
+impl HostStage {
+    /// The `stage` label value of this stage's histogram series.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HostStage::QueueWait => "queue_wait",
+            HostStage::BatchForm => "batch_form",
+            HostStage::Compile => "compile",
+            HostStage::Execute => "execute",
+            HostStage::Reply => "reply",
+            HostStage::Total => "total",
+        }
+    }
+}
+
+/// Simulated-clock stages: this query's share of the dispatch's engine
+/// time (engine seconds ÷ batch size), plus the share of the makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimStage {
+    /// Host→device DMA engine seconds.
+    H2d,
+    /// Kernel execution engine seconds.
+    Compute,
+    /// Device→host DMA engine seconds.
+    D2h,
+    /// The dispatch's simulated makespan share.
+    Total,
+}
+
+/// Every sim stage.
+pub const SIM_STAGES: [SimStage; 4] =
+    [SimStage::H2d, SimStage::Compute, SimStage::D2h, SimStage::Total];
+
+impl SimStage {
+    /// The `stage` label value of this stage's histogram series.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimStage::H2d => "h2d",
+            SimStage::Compute => "compute",
+            SimStage::D2h => "d2h",
+            SimStage::Total => "total",
+        }
+    }
+}
+
+/// How a query's lifecycle ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// Executed and answered.
+    Completed,
+    /// Rejected at pickup: its deadline had already passed.
+    DeadlineExceeded,
+    /// Execution failed; the error went back on the reply channel.
+    Failed,
+}
+
+/// The closed lifecycle record of one query — surfaced on
+/// [`crate::QueryOutcome`] and retained in the flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRecord {
+    /// Service-wide submission sequence number (assignment order).
+    pub seq: u64,
+    /// Queries that co-executed in this dispatch (1 = ran alone).
+    pub batch_size: usize,
+    /// Whether the compile side came from the plan cache.
+    pub cache_hit: bool,
+    /// How the lifecycle ended.
+    pub outcome: RecordOutcome,
+    /// Host seconds per [`HostStage`], indexed by [`HOST_STAGES`] order.
+    pub host: [f64; HOST_STAGES.len()],
+    /// Simulated seconds per [`SimStage`], indexed by [`SIM_STAGES`] order.
+    pub sim: [f64; SIM_STAGES.len()],
+}
+
+impl QueryRecord {
+    /// Host seconds spent in `stage`.
+    pub fn host_stage(&self, stage: HostStage) -> f64 {
+        self.host[HOST_STAGES.iter().position(|&s| s == stage).expect("stage in table")]
+    }
+
+    /// Simulated seconds attributed to `stage`.
+    pub fn sim_stage(&self, stage: SimStage) -> f64 {
+        self.sim[SIM_STAGES.iter().position(|&s| s == stage).expect("stage in table")]
+    }
+}
+
+/// A bounded, lock-striped ring of the most recent [`QueryRecord`]s.
+///
+/// Records are striped by sequence number, so concurrent workers closing
+/// records almost always take different locks; each stripe is a
+/// fixed-capacity `VecDeque` that evicts its oldest record on overflow.
+/// `snapshot()` re-interleaves the stripes by `seq`.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    stripes: Vec<Mutex<VecDeque<QueryRecord>>>,
+    per_stripe: usize,
+}
+
+/// Stripe count — a small power of two; contention, not parallelism,
+/// is the thing being bounded.
+const STRIPES: usize = 8;
+
+impl FlightRecorder {
+    /// A recorder retaining (at least) the last `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        let per_stripe = capacity.div_ceil(STRIPES).max(1);
+        FlightRecorder {
+            stripes: (0..STRIPES).map(|_| Mutex::new(VecDeque::new())).collect(),
+            per_stripe,
+        }
+    }
+
+    /// Retain `record`, evicting the stripe's oldest when full.
+    pub fn push(&self, record: QueryRecord) {
+        let stripe = &self.stripes[(record.seq % STRIPES as u64) as usize];
+        let mut ring = stripe.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.per_stripe {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The retained records, oldest first (by sequence number).
+    pub fn snapshot(&self) -> Vec<QueryRecord> {
+        let mut all: Vec<QueryRecord> = self
+            .stripes
+            .iter()
+            .flat_map(|s| {
+                s.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by_key(|r| r.seq);
+        all
+    }
+
+    /// Upper bound on retained records.
+    pub fn capacity(&self) -> usize {
+        self.per_stripe * STRIPES
+    }
+}
+
+/// p50/p95/p99 of one stage's histogram, plus its observation count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSummary {
+    /// Observations (completed queries).
+    pub count: u64,
+    /// Median, seconds (bucket upper bound — see `kfusion_trace::hist`).
+    pub p50: f64,
+    /// 95th percentile, seconds.
+    pub p95: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+}
+
+impl StageSummary {
+    fn of(h: &Hist) -> Self {
+        StageSummary {
+            count: h.count(),
+            p50: h.quantile(0.5),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time service observability snapshot.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Per-host-stage latency summaries, in [`HOST_STAGES`] order.
+    pub host: Vec<(HostStage, StageSummary)>,
+    /// Per-sim-stage latency summaries, in [`SIM_STAGES`] order.
+    pub sim: Vec<(SimStage, StageSummary)>,
+    /// Plan-cache counters at snapshot time.
+    pub cache: CacheStats,
+    /// `hits / (hits + misses)`, 0 when the cache is cold.
+    pub cache_hit_rate: f64,
+    /// Submissions sitting in the queue right now.
+    pub queue_depth: usize,
+    /// Submission attempts (accepted or shed at the door).
+    pub submitted: u64,
+    /// Queries executed and answered.
+    pub completed: u64,
+    /// Submissions rejected at the door (`Overloaded`).
+    pub shed_overload: u64,
+    /// Queries rejected at pickup (deadline passed while queued).
+    pub shed_deadline: u64,
+    /// Queries whose execution failed.
+    pub failed: u64,
+    /// The flight-recorder ring, oldest first.
+    pub recent: Vec<QueryRecord>,
+    /// The slow-query ring (host total ≥ threshold), oldest first.
+    pub slow: Vec<QueryRecord>,
+}
+
+/// The service's always-on observability hub: stage histograms, counters,
+/// the flight recorder, and the slow-query log. One per `serve` call.
+#[derive(Debug)]
+pub struct StatsHub {
+    host: Vec<Mutex<Hist>>,
+    sim: Vec<Mutex<Hist>>,
+    host_keys: Vec<String>,
+    sim_keys: Vec<String>,
+    recorder: FlightRecorder,
+    slow: Mutex<VecDeque<QueryRecord>>,
+    slow_threshold: Option<Duration>,
+    slow_depth: usize,
+    seq: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Host-stage histogram family name (global recorder / Prometheus export).
+pub const HOST_FAMILY: &str = "kfusion_server_stage_host_seconds";
+/// Sim-stage histogram family name.
+pub const SIM_FAMILY: &str = "kfusion_server_stage_sim_seconds";
+
+impl StatsHub {
+    /// A hub retaining `recorder_depth` recent records and `slow_depth`
+    /// slow ones (host total ≥ `slow_threshold`; `None` disables the log).
+    pub fn new(recorder_depth: usize, slow_depth: usize, slow_threshold: Option<Duration>) -> Self {
+        StatsHub {
+            host: HOST_STAGES.iter().map(|_| Mutex::new(Hist::new())).collect(),
+            sim: SIM_STAGES.iter().map(|_| Mutex::new(Hist::new())).collect(),
+            host_keys: HOST_STAGES
+                .iter()
+                .map(|s| metric_key(HOST_FAMILY, &[("stage", s.as_str())]))
+                .collect(),
+            sim_keys: SIM_STAGES
+                .iter()
+                .map(|s| metric_key(SIM_FAMILY, &[("stage", s.as_str())]))
+                .collect(),
+            recorder: FlightRecorder::new(recorder_depth),
+            slow: Mutex::new(VecDeque::new()),
+            slow_threshold,
+            slow_depth: slow_depth.max(1),
+            seq: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    /// Count a submission attempt and assign its sequence number. Every
+    /// attempt counts — attempts that are then shed at the door show up in
+    /// `shed_overload`, so `submitted - shed - failed == completed` holds
+    /// over any quiesced interval.
+    pub fn submission_attempt(&self) -> u64 {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Count a submission shed at the door (`Overloaded`/`ShuttingDown`).
+    pub fn shed_overload(&self) {
+        self.shed_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Close a query's lifecycle record: exactly once per accepted query
+    /// that reached a worker. Completed records feed the stage histograms;
+    /// every record lands in the flight recorder.
+    pub fn close_record(&self, record: QueryRecord) {
+        kfusion_trace::counter("kfusion_server_query_records_closed_total", 1);
+        match record.outcome {
+            RecordOutcome::Completed => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                kfusion_trace::counter("kfusion_server_queries_completed_total", 1);
+                for (i, &v) in record.host.iter().enumerate() {
+                    self.host[i].lock().unwrap_or_else(|e| e.into_inner()).record(v);
+                    kfusion_trace::observe(&self.host_keys[i], v);
+                }
+                for (i, &v) in record.sim.iter().enumerate() {
+                    self.sim[i].lock().unwrap_or_else(|e| e.into_inner()).record(v);
+                    kfusion_trace::observe(&self.sim_keys[i], v);
+                }
+            }
+            RecordOutcome::DeadlineExceeded => {
+                self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            }
+            RecordOutcome::Failed => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if record.outcome == RecordOutcome::Completed {
+            if let Some(thresh) = self.slow_threshold {
+                if record.host_stage(HostStage::Total) >= thresh.as_secs_f64() {
+                    kfusion_trace::counter("kfusion_server_slow_queries_total", 1);
+                    let mut ring = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+                    if ring.len() == self.slow_depth {
+                        ring.pop_front();
+                    }
+                    ring.push_back(record.clone());
+                }
+            }
+        }
+        self.recorder.push(record);
+    }
+
+    /// Snapshot every histogram, counter, and ring. `cache` and
+    /// `queue_depth` come from the service (the hub doesn't own them).
+    pub fn snapshot(&self, cache: CacheStats, queue_depth: usize) -> ServerStats {
+        let summarize = |hists: &[Mutex<Hist>]| -> Vec<StageSummary> {
+            hists
+                .iter()
+                .map(|m| StageSummary::of(&m.lock().unwrap_or_else(|e| e.into_inner())))
+                .collect()
+        };
+        let host = HOST_STAGES.iter().copied().zip(summarize(&self.host)).collect();
+        let sim = SIM_STAGES.iter().copied().zip(summarize(&self.sim)).collect();
+        let denom = cache.hits + cache.misses;
+        ServerStats {
+            host,
+            sim,
+            cache,
+            cache_hit_rate: if denom == 0 { 0.0 } else { cache.hits as f64 / denom as f64 },
+            queue_depth,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            recent: self.recorder.snapshot(),
+            slow: self.slow.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect(),
+        }
+    }
+}
+
+impl ServerStats {
+    /// One host stage's summary.
+    pub fn host_stage(&self, stage: HostStage) -> StageSummary {
+        self.host.iter().find(|(s, _)| *s == stage).map(|(_, v)| *v).expect("stage present")
+    }
+
+    /// One sim stage's summary.
+    pub fn sim_stage(&self, stage: SimStage) -> StageSummary {
+        self.sim.iter().find(|(s, _)| *s == stage).map(|(_, v)| *v).expect("stage present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64, total: f64, outcome: RecordOutcome) -> QueryRecord {
+        QueryRecord {
+            seq,
+            batch_size: 1,
+            cache_hit: seq.is_multiple_of(2),
+            outcome,
+            host: [total / 10.0, total / 10.0, 0.0, total / 2.0, total / 10.0, total],
+            sim: [0.001, 0.002, 0.001, 0.004],
+        }
+    }
+
+    fn empty_cache() -> CacheStats {
+        CacheStats { hits: 0, misses: 0, compiles: 0, entries: 0 }
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_most_recent_and_orders_by_seq() {
+        let fr = FlightRecorder::new(16);
+        for seq in 0..100 {
+            fr.push(record(seq, 0.01, RecordOutcome::Completed));
+        }
+        let snap = fr.snapshot();
+        assert!(snap.len() <= fr.capacity());
+        assert!(!snap.is_empty());
+        // Ordered by seq, and every stripe retains its newest.
+        for w in snap.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        assert_eq!(snap.last().unwrap().seq, 99);
+        // Oldest retained is from the tail, not the head, of the stream.
+        assert!(snap[0].seq >= 100 - fr.capacity() as u64);
+    }
+
+    #[test]
+    fn close_record_routes_outcomes_and_feeds_histograms() {
+        let hub = StatsHub::new(8, 4, Some(Duration::from_millis(50)));
+        hub.submission_attempt();
+        hub.submission_attempt();
+        hub.submission_attempt();
+        hub.close_record(record(0, 0.01, RecordOutcome::Completed));
+        hub.close_record(record(1, 0.2, RecordOutcome::Completed)); // slow
+        hub.close_record(record(2, 0.01, RecordOutcome::DeadlineExceeded));
+        let stats = hub.snapshot(empty_cache(), 0);
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.host_stage(HostStage::Total).count, 2);
+        assert_eq!(stats.sim_stage(SimStage::Compute).count, 2);
+        // Only the 0.2 s query crossed the 50 ms slow threshold.
+        assert_eq!(stats.slow.len(), 1);
+        assert_eq!(stats.slow[0].seq, 1);
+        // All three lifecycles (including the shed one) are in the ring.
+        assert_eq!(stats.recent.len(), 3);
+        // Quantiles are monotone.
+        let t = stats.host_stage(HostStage::Total);
+        assert!(t.p50 <= t.p95 && t.p95 <= t.p99);
+    }
+
+    #[test]
+    fn snapshot_reports_cache_hit_rate() {
+        let hub = StatsHub::new(4, 4, None);
+        let stats = hub.snapshot(CacheStats { hits: 3, misses: 1, compiles: 1, entries: 1 }, 5);
+        assert_eq!(stats.cache_hit_rate, 0.75);
+        assert_eq!(stats.queue_depth, 5);
+        // No threshold → nothing is ever logged slow.
+        assert!(stats.slow.is_empty());
+    }
+}

@@ -20,7 +20,9 @@
 //! diagnostics, never panics.
 
 use kfusion_trace::json::parse;
-use kfusion_trace::validate::{validate, validate_metrics, Requirements};
+use kfusion_trace::validate::{
+    validate, validate_histogram_family, validate_metrics, Requirements,
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("kfusion-trace-check: FAIL: {msg}");
@@ -30,12 +32,18 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut histogram_families: Vec<String> = Vec::new();
     let mut req = Requirements::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--metrics" => {
                 metrics_path = Some(args.next().unwrap_or_else(|| fail("--metrics needs a path")))
+            }
+            "--require-histogram" => {
+                let list =
+                    args.next().unwrap_or_else(|| fail("--require-histogram needs FAMILY[,..]"));
+                histogram_families.extend(list.split(',').map(str::to_string));
             }
             "--require-tracks" => {
                 let list = args.next().unwrap_or_else(|| fail("--require-tracks needs A,B,C"));
@@ -51,7 +59,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: kfusion-trace-check TRACE.json [--metrics PATH] [--require-tracks A,B,C] [--require-overlap A,B]"
+                    "usage: kfusion-trace-check TRACE.json [--metrics PATH] [--require-tracks A,B,C] [--require-overlap A,B] [--require-histogram FAMILY,..]"
                 );
                 return;
             }
@@ -71,12 +79,23 @@ fn main() {
         Err(e) => fail(&format!("{trace_path}: {e}")),
     };
 
+    if !histogram_families.is_empty() && metrics_path.is_none() {
+        fail("--require-histogram needs --metrics PATH");
+    }
     if let Some(path) = &metrics_path {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
         match validate_metrics(&text) {
-            Ok(n) => println!("kfusion-trace-check: {path}: {n} counters OK"),
+            Ok(n) => println!("kfusion-trace-check: {path}: {n} metric lines OK"),
             Err(e) => fail(&format!("{path}: {e}")),
+        }
+        for fam in &histogram_families {
+            match validate_histogram_family(&text, fam) {
+                Ok(n) => {
+                    println!("kfusion-trace-check: {path}: histogram {fam}: {n} label-series OK")
+                }
+                Err(e) => fail(&format!("{path}: {e}")),
+            }
         }
     }
 

@@ -32,9 +32,12 @@ pub mod allocwatch;
 pub mod chrome;
 pub mod explain;
 pub mod gantt;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod validate;
+
+use hist::Hist;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -98,6 +101,9 @@ pub struct Trace {
     /// Counter totals, keyed by full metric name (labels included, e.g.
     /// `kfusion_rows_out_total{op="select"}`).
     pub counters: BTreeMap<String, u64>,
+    /// Latency histograms, keyed like counters (full name + labels). All
+    /// histograms share one fixed bucket layout, so merging is exact.
+    pub hists: BTreeMap<String, Hist>,
 }
 
 impl Trace {
@@ -122,11 +128,25 @@ impl Trace {
         self.counters.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, v)| v).sum()
     }
 
-    /// Merge `other` into `self`: spans append, counters add.
+    /// A histogram by full key, if anything was observed under it.
+    pub fn hist(&self, key: &str) -> Option<&Hist> {
+        self.hists.get(key)
+    }
+
+    /// A histogram's `q`-quantile (0 when nothing was observed).
+    pub fn hist_quantile(&self, key: &str, q: f64) -> f64 {
+        self.hists.get(key).map(|h| h.quantile(q)).unwrap_or(0.0)
+    }
+
+    /// Merge `other` into `self`: spans append, counters add, histograms
+    /// merge bucket-wise (exactly — see [`hist`]).
     pub fn merge(&mut self, other: &Trace) {
         self.spans.extend(other.spans.iter().cloned());
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
         }
     }
 }
@@ -142,6 +162,7 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 struct State {
     spans: Vec<Span>,
     counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Hist>,
     scope: String,
     epoch: Instant,
 }
@@ -152,6 +173,7 @@ fn state() -> &'static Mutex<State> {
         Mutex::new(State {
             spans: Vec::new(),
             counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
             scope: String::new(),
             epoch: Instant::now(),
         })
@@ -182,6 +204,7 @@ pub fn reset() {
     let mut s = lock();
     s.spans.clear();
     s.counters.clear();
+    s.hists.clear();
     s.scope.clear();
     s.epoch = Instant::now();
 }
@@ -210,6 +233,26 @@ pub fn counter(key: &str, delta: u64) {
         Some(v) => *v += delta,
         None => {
             s.counters.insert(key.to_string(), delta);
+        }
+    }
+}
+
+/// Observe one value (seconds) under a latency histogram. `key` is the
+/// full metric name including any labels (build labeled keys with
+/// [`metrics::metric_key`] so values are escaped). Same contract as
+/// [`counter`]: one relaxed atomic load and nothing else while disabled.
+#[inline]
+pub fn observe(key: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut s = lock();
+    match s.hists.get_mut(key) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = Hist::new();
+            h.record(value);
+            s.hists.insert(key.to_string(), h);
         }
     }
 }
@@ -251,6 +294,7 @@ fn host_lane() -> u32 {
 #[must_use = "the span ends when the guard drops"]
 pub struct SpanGuard {
     live: Option<(String, String, Instant)>,
+    lane: Option<u32>,
 }
 
 impl Drop for SpanGuard {
@@ -263,7 +307,7 @@ impl Drop for SpanGuard {
         let start = began.saturating_duration_since(s.epoch).as_secs_f64();
         let end = ended.saturating_duration_since(s.epoch).as_secs_f64().max(start);
         let scope = s.scope.clone();
-        let lane = host_lane();
+        let lane = self.lane.unwrap_or_else(host_lane);
         s.spans.push(Span { name, track, lane, clock: Clock::Host, scope, start, end });
     }
 }
@@ -273,9 +317,9 @@ impl Drop for SpanGuard {
 #[inline]
 pub fn host_span(track: &str, name: &str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { live: None };
+        return SpanGuard { live: None, lane: None };
     }
-    SpanGuard { live: Some((track.to_string(), name.to_string(), Instant::now())) }
+    SpanGuard { live: Some((track.to_string(), name.to_string(), Instant::now())), lane: None }
 }
 
 /// Record a host-clock span ending *now* that began at `began` — for
@@ -287,7 +331,23 @@ pub fn record_host_span(track: &str, name: &str, began: Instant) {
     if !enabled() {
         return;
     }
-    SpanGuard { live: Some((track.to_string(), name.to_string(), began)) }.finish();
+    SpanGuard { live: Some((track.to_string(), name.to_string(), began)), lane: None }.finish();
+}
+
+/// Like [`record_host_span`], but on an explicit `lane` instead of the
+/// calling thread's. Retroactive spans recorded on behalf of *another*
+/// thread's wait (a worker logging a query's queue wait at pickup) must not
+/// share a lane with the recording thread's own live spans: their start
+/// times reach back across spans already closed on that lane, which the
+/// Chrome B/E encoding cannot represent. A dedicated lane — where every
+/// span carries the same name — stays valid under arbitrary overlap.
+#[inline]
+pub fn record_host_span_on(track: &str, lane: u32, name: &str, began: Instant) {
+    if !enabled() {
+        return;
+    }
+    SpanGuard { live: Some((track.to_string(), name.to_string(), began)), lane: Some(lane) }
+        .finish();
 }
 
 impl SpanGuard {
@@ -298,14 +358,17 @@ impl SpanGuard {
 /// Clone the recorded data without clearing it.
 pub fn snapshot() -> Trace {
     let s = lock();
-    Trace { spans: s.spans.clone(), counters: s.counters.clone() }
+    Trace { spans: s.spans.clone(), counters: s.counters.clone(), hists: s.hists.clone() }
 }
 
 /// Take the recorded data, leaving the recorder empty (epoch restarts).
 pub fn take() -> Trace {
     let mut s = lock();
-    let t =
-        Trace { spans: std::mem::take(&mut s.spans), counters: std::mem::take(&mut s.counters) };
+    let t = Trace {
+        spans: std::mem::take(&mut s.spans),
+        counters: std::mem::take(&mut s.counters),
+        hists: std::mem::take(&mut s.hists),
+    };
     s.scope.clear();
     s.epoch = Instant::now();
     t
@@ -328,6 +391,7 @@ mod tests {
         set_enabled(false);
         reset();
         counter("kfusion_test_total", 5);
+        observe("kfusion_test_seconds", 0.25);
         sim_span("compute", 0, "k", 0.0, 1.0);
         {
             let _s = host_span("host", "phase");
@@ -335,6 +399,7 @@ mod tests {
         let t = snapshot();
         assert!(t.spans.is_empty());
         assert!(t.counters.is_empty());
+        assert!(t.hists.is_empty());
     }
 
     #[test]
@@ -345,6 +410,8 @@ mod tests {
         set_scope("q1");
         counter("kfusion_test_total", 2);
         counter("kfusion_test_total", 3);
+        observe("kfusion_test_seconds", 0.008);
+        observe("kfusion_test_seconds", 0.016);
         sim_span("H2D", 1, "in#0", 0.0, 0.5);
         {
             let _s = host_span("host", "functional");
@@ -353,6 +420,9 @@ mod tests {
         set_enabled(false);
         let t = take();
         assert_eq!(t.counter("kfusion_test_total"), 5);
+        let h = t.hist("kfusion_test_seconds").expect("histogram recorded");
+        assert_eq!(h.count(), 2);
+        assert!(t.hist_quantile("kfusion_test_seconds", 1.0) >= 0.016);
         assert_eq!(t.spans.len(), 2);
         let sim = &t.spans[0];
         assert_eq!((sim.track.as_str(), sim.lane, sim.clock), ("H2D", 1, Clock::Sim));
@@ -379,10 +449,18 @@ mod tests {
             start: 0.0,
             end: 1.0,
         });
+        let mut ha = Hist::new();
+        ha.record(0.5);
+        a.hists.insert("h".into(), ha);
+        let mut hb = Hist::new();
+        hb.record(0.5);
+        hb.record(1.0);
+        b.hists.insert("h".into(), hb);
         a.merge(&b);
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.spans.len(), 1);
         assert_eq!(a.counter_prefix_sum("x"), 3);
+        assert_eq!(a.hist("h").unwrap().count(), 3);
     }
 
     #[test]

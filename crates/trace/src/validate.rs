@@ -200,7 +200,9 @@ pub fn validate(doc: &Value, req: &Requirements) -> Result<Summary, ValidateErro
 }
 
 /// Validate a Prometheus-style metrics text: comments plus `name value`
-/// lines with `u64` values, at least one counter. Returns the counter count.
+/// lines whose values are nonnegative finite numbers (counters are
+/// integers; histogram `_sum` series are floats), at least one metric.
+/// Returns the metric-line count.
 pub fn validate_metrics(text: &str) -> Result<usize, ValidateError> {
     let mut n_metrics = 0usize;
     for (lineno, line) in text.lines().enumerate() {
@@ -210,8 +212,10 @@ pub fn validate_metrics(text: &str) -> Result<usize, ValidateError> {
         let Some((name, value)) = line.rsplit_once(' ') else {
             return err(format!("line {}: not a `name value` line: {line:?}", lineno + 1));
         };
-        if name.is_empty() || value.parse::<u64>().is_err() {
-            return err(format!("line {}: bad counter line: {line:?}", lineno + 1));
+        let ok = !name.is_empty()
+            && value.parse::<f64>().map(|v| v.is_finite() && v >= 0.0).unwrap_or(false);
+        if !ok {
+            return err(format!("line {}: bad metric line: {line:?}", lineno + 1));
         }
         n_metrics += 1;
     }
@@ -219,6 +223,179 @@ pub fn validate_metrics(text: &str) -> Result<usize, ValidateError> {
         return err("no counters recorded");
     }
     Ok(n_metrics)
+}
+
+/// Parse a label block body (`a="b",le="+Inf"` — no braces) into pairs,
+/// honoring `\\`, `\"`, and `\n` escapes in values.
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, ValidateError> {
+    let mut pairs = Vec::new();
+    let mut chars = block.chars().peekable();
+    while chars.peek().is_some() {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return err(format!("empty label name in {block:?}"));
+        }
+        if chars.next() != Some('"') {
+            return err(format!("label {key:?} value not quoted in {block:?}"));
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return err(format!("bad escape {other:?} in {block:?}")),
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return err(format!("unterminated label value in {block:?}"));
+        }
+        pairs.push((key, value));
+        match chars.next() {
+            Some(',') | None => {}
+            Some(c) => return err(format!("expected ',' after label, got {c:?} in {block:?}")),
+        }
+    }
+    Ok(pairs)
+}
+
+/// The non-`le` labels of a parsed pair list, re-joined as a stable series
+/// key, plus the `le` value if present.
+fn split_le(pairs: &[(String, String)]) -> (String, Option<String>) {
+    let mut le = None;
+    let mut key = String::new();
+    for (k, v) in pairs {
+        if k == "le" {
+            le = Some(v.clone());
+        } else {
+            if !key.is_empty() {
+                key.push(',');
+            }
+            key.push_str(&format!("{k}={v:?}"));
+        }
+    }
+    (key, le)
+}
+
+/// Validate one histogram family in a metrics text (the
+/// `--require-histogram` mode of `kfusion-trace-check`): the family must
+/// have a `# TYPE <fam> histogram` header, and every label-series must have
+/// cumulative non-decreasing `_bucket` counts ending in `le="+Inf"`, a
+/// `_count` equal to the `+Inf` bucket, and a `_sum`. Returns the number of
+/// label-series validated.
+pub fn validate_histogram_family(text: &str, fam: &str) -> Result<usize, ValidateError> {
+    use std::collections::BTreeMap;
+    let type_line = format!("# TYPE {fam} histogram");
+    let bucket_prefix = format!("{fam}_bucket{{");
+    let count_name = format!("{fam}_count");
+    let sum_name = format!("{fam}_sum");
+    let mut saw_type = false;
+    let mut series: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+
+    let parse_block =
+        |name_part: &str, base: &str| -> Result<Vec<(String, String)>, ValidateError> {
+            match name_part.strip_prefix(base).and_then(|r| r.strip_prefix('{')) {
+                Some(rest) => match rest.strip_suffix('}') {
+                    Some(body) => parse_labels(body),
+                    None => err(format!("unterminated label block on {name_part:?}")),
+                },
+                None if name_part == base => Ok(Vec::new()),
+                None => err(format!("unexpected series name {name_part:?}")),
+            }
+        };
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line == type_line {
+            saw_type = true;
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name_part, value)) = line.rsplit_once(' ') else { continue };
+        let bad = |what: &str| err(format!("line {}: {what}: {line:?}", lineno + 1));
+        if name_part.starts_with(&bucket_prefix) {
+            let pairs = parse_block(name_part, &format!("{fam}_bucket"))?;
+            let (key, le) = split_le(&pairs);
+            let Some(le) = le else {
+                return bad("histogram bucket without le label");
+            };
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                match le.parse::<f64>() {
+                    Ok(v) => v,
+                    Err(_) => return bad("unparseable le bound"),
+                }
+            };
+            let Ok(cum) = value.parse::<u64>() else {
+                return bad("bucket count not a u64");
+            };
+            series.entry(key).or_default().push((le, cum));
+        } else if name_part == count_name || name_part.starts_with(&format!("{count_name}{{")) {
+            let (key, _) = split_le(&parse_block(name_part, &count_name)?);
+            let Ok(n) = value.parse::<u64>() else {
+                return bad("_count not a u64");
+            };
+            counts.insert(key, n);
+        } else if name_part == sum_name || name_part.starts_with(&format!("{sum_name}{{")) {
+            let (key, _) = split_le(&parse_block(name_part, &sum_name)?);
+            let Ok(s) = value.parse::<f64>() else {
+                return bad("_sum not a number");
+            };
+            sums.insert(key, s);
+        }
+    }
+
+    if !saw_type {
+        return err(format!("no `# TYPE {fam} histogram` header in metrics"));
+    }
+    if series.is_empty() {
+        return err(format!("histogram family {fam:?} has no bucket series"));
+    }
+    for (key, buckets) in &mut series {
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let ctx = if key.is_empty() { fam.to_string() } else { format!("{fam}{{{key}}}") };
+        let Some(&(last_le, total)) = buckets.last() else { unreachable!() };
+        if !last_le.is_infinite() {
+            return err(format!("{ctx}: no le=\"+Inf\" bucket"));
+        }
+        for w in buckets.windows(2) {
+            if w[0].1 > w[1].1 {
+                return err(format!(
+                    "{ctx}: cumulative bucket counts decrease ({} > {} at le {})",
+                    w[0].1, w[1].1, w[1].0
+                ));
+            }
+        }
+        match counts.get(key) {
+            None => return err(format!("{ctx}: missing _count series")),
+            Some(&n) if n != total => {
+                return err(format!("{ctx}: _count {n} != +Inf bucket {total}"));
+            }
+            Some(_) => {}
+        }
+        if !sums.contains_key(key) {
+            return err(format!("{ctx}: missing _sum series"));
+        }
+    }
+    Ok(series.len())
 }
 
 #[cfg(test)]
@@ -278,6 +455,18 @@ mod tests {
     fn unmatched_e_and_unclosed_b_are_errors() {
         assert!(fails(r#"{"name":"p","ph":"E","pid":2,"tid":1,"ts":1.0}"#).contains("no open B"));
         assert!(fails(r#"{"name":"p","ph":"B","pid":2,"tid":1,"ts":1.0}"#).contains("unclosed B"));
+    }
+
+    #[test]
+    fn same_name_overlapping_spans_on_one_lane_are_valid() {
+        // The invariant the service's dedicated queue_wait lane relies on:
+        // retroactive waits overlap each other freely, and B/E pairing
+        // stays balanced as long as every span on the lane shares one name.
+        let s = ok(r#"{"name":"queue_wait","ph":"B","pid":2,"tid":9,"ts":0.0},
+               {"name":"queue_wait","ph":"B","pid":2,"tid":9,"ts":1.0},
+               {"name":"queue_wait","ph":"E","pid":2,"tid":9,"ts":2.0},
+               {"name":"queue_wait","ph":"E","pid":2,"tid":9,"ts":5.0}"#);
+        assert_eq!(s.span_events, 4);
     }
 
     #[test]
@@ -350,5 +539,48 @@ mod tests {
         assert!(validate_metrics("").is_err());
         assert!(validate_metrics("bad line here\n").is_err());
         assert!(validate_metrics("kfusion_x_total -1\n").is_err());
+        // Histogram _sum lines are floats and must pass.
+        assert_eq!(validate_metrics("kfusion_x_seconds_sum 0.1234\n"), Ok(1));
+        assert!(validate_metrics("kfusion_x_seconds_sum NaN\n").is_err());
+    }
+
+    #[test]
+    fn exported_histograms_always_validate() {
+        let mut t = crate::Trace::default();
+        let mut h = crate::hist::Hist::new();
+        for v in [0.001, 0.002, 0.004, 8.0] {
+            h.record(v);
+        }
+        t.hists.insert("kfusion_stage_seconds{stage=\"execute\"}".into(), h.clone());
+        t.hists.insert("kfusion_stage_seconds{stage=\"reply\"}".into(), h);
+        let text = crate::metrics::export(&t);
+        assert!(validate_metrics(&text).unwrap() > 0);
+        assert_eq!(validate_histogram_family(&text, "kfusion_stage_seconds"), Ok(2));
+        // A family not in the text is an error.
+        let msg = validate_histogram_family(&text, "kfusion_missing_seconds").unwrap_err().0;
+        assert!(msg.contains("TYPE"), "{msg}");
+    }
+
+    #[test]
+    fn histogram_validation_rejects_broken_families() {
+        // Decreasing cumulative counts.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"0.5\"} 5\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 2.0\nh_count 5\n";
+        assert!(validate_histogram_family(bad, "h").unwrap_err().0.contains("decrease"));
+        // _count disagrees with the +Inf bucket.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"0.5\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 2.0\nh_count 4\n";
+        assert!(validate_histogram_family(bad, "h").unwrap_err().0.contains("_count"));
+        // Missing +Inf bucket.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"0.5\"} 5\nh_sum 2.0\nh_count 5\n";
+        assert!(validate_histogram_family(bad, "h").unwrap_err().0.contains("+Inf"));
+        // Missing _sum.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n";
+        assert!(validate_histogram_family(bad, "h").unwrap_err().0.contains("_sum"));
+        // Escaped quotes in label values parse rather than derail.
+        let ok = "# TYPE h histogram\n\
+                  h_bucket{q=\"a\\\"b\",le=\"+Inf\"} 1\nh_sum{q=\"a\\\"b\"} 0.5\nh_count{q=\"a\\\"b\"} 1\n";
+        assert_eq!(validate_histogram_family(ok, "h"), Ok(1));
     }
 }

@@ -1,0 +1,76 @@
+//! Byte-pinned golden test for the Prometheus text exposition — counters
+//! plus the histogram families added in DESIGN.md §15. Any drift in family
+//! grouping, `# TYPE` headers, `le` bound rendering, label escaping, or the
+//! `_bucket`/`_sum`/`_count` sibling layout fails here before it fails a
+//! scraper.
+//!
+//! Regenerate after an intentional format change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p kfusion-trace --test metrics_golden
+//! ```
+
+use kfusion_trace::hist::Hist;
+use kfusion_trace::metrics::{export, metric_key};
+use kfusion_trace::validate::{validate_histogram_family, validate_metrics};
+use kfusion_trace::Trace;
+
+fn golden_trace() -> Trace {
+    let mut t = Trace::default();
+    t.counters.insert("kfusion_rows_out_total{op=\"agg\"}".into(), 7);
+    t.counters.insert("kfusion_rows_out_total{op=\"select\"}".into(), 42);
+    t.counters.insert("kfusion_sim_commands_total".into(), 3);
+    // Two label-series of one histogram family: both sort adjacent and
+    // share one `# TYPE` header. Values chosen to occupy an in-range
+    // bucket, a boundary (power of two), and the overflow bucket.
+    let mut exec = Hist::new();
+    for v in [0.001, 0.001, 0.002, 1.0, 5000.0] {
+        exec.record(v);
+    }
+    let mut queue = Hist::new();
+    queue.record(0.25);
+    t.hists.insert(metric_key("kfusion_server_stage_host_seconds", &[("stage", "execute")]), exec);
+    t.hists
+        .insert(metric_key("kfusion_server_stage_host_seconds", &[("stage", "queue_wait")]), queue);
+    // An unlabeled histogram gets `{le="..."}`-only labels.
+    let mut total = Hist::new();
+    total.record(0.5);
+    t.hists.insert("kfusion_query_total_seconds".into(), total);
+    // Label-value escaping: backslash, quote, newline.
+    let mut odd = Hist::new();
+    odd.record(0.125);
+    t.hists.insert(metric_key("kfusion_odd_seconds", &[("q", "a\\b\"c\nd")]), odd);
+    t
+}
+
+#[test]
+fn metrics_export_matches_golden_file() {
+    let got = export(&golden_trace());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_small.txt");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file exists");
+    assert_eq!(
+        got, want,
+        "metrics export drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_validates_as_metrics_and_histograms() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_small.txt");
+    let text = std::fs::read_to_string(path).expect("golden file exists");
+    assert!(validate_metrics(&text).expect("metrics validate") > 0);
+    assert_eq!(validate_histogram_family(&text, "kfusion_server_stage_host_seconds"), Ok(2));
+    assert_eq!(validate_histogram_family(&text, "kfusion_query_total_seconds"), Ok(1));
+    assert_eq!(validate_histogram_family(&text, "kfusion_odd_seconds"), Ok(1));
+    // Sibling series never split a family: exactly one TYPE header each.
+    for fam in
+        ["kfusion_server_stage_host_seconds", "kfusion_query_total_seconds", "kfusion_odd_seconds"]
+    {
+        assert_eq!(text.matches(&format!("# TYPE {fam} histogram")).count(), 1, "{fam}");
+    }
+}

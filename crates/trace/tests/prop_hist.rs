@@ -1,0 +1,113 @@
+//! Property tests for the mergeable log-bucketed histogram (DESIGN.md §15).
+//!
+//! Two properties carry the whole design:
+//!
+//! 1. **Exact merge** — split one value stream into K sub-streams any way
+//!    at all, histogram each, merge: the bucket counts are *bit-identical*
+//!    to the histogram of the combined stream. This is what makes
+//!    per-thread and per-query histograms foldable with zero resampling
+//!    error.
+//! 2. **Bounded quantile error** — for any q, `quantile(q)` brackets the
+//!    exact sorted quantile from above by at most one bucket width
+//!    (≤ 12.5% relative for in-range values).
+//!
+//! Seeded (kfusion-prng splitmix64), so failures replay deterministically.
+
+use kfusion_prng::Rng;
+use kfusion_trace::hist::{bucket_index, bucket_lower, bucket_upper, Hist};
+
+/// A latency-shaped value: log-uniform across the histogram's whole range,
+/// with occasional underflow/overflow outliers to exercise the edge
+/// buckets.
+fn sample_latency(rng: &mut Rng) -> f64 {
+    match rng.gen_range(0..100u32) {
+        0 => 0.0,
+        1 => 1e-12,  // underflow bucket
+        2 => 5000.0, // overflow bucket
+        _ => {
+            // log-uniform in [1e-8, 100) seconds
+            let u = rng.next_f64();
+            1e-8 * 10f64.powf(u * 10.0)
+        }
+    }
+}
+
+#[test]
+fn merging_k_random_splits_is_bit_identical_to_the_combined_stream() {
+    for seed in 0..20u64 {
+        let mut rng = Rng::seed_from_u64(0xC0FFEE ^ seed);
+        let n = rng.gen_range(1..2000usize);
+        let k = rng.gen_range(2..9usize);
+        let values: Vec<f64> = (0..n).map(|_| sample_latency(&mut rng)).collect();
+
+        let mut combined = Hist::new();
+        let mut parts: Vec<Hist> = (0..k).map(|_| Hist::new()).collect();
+        for &v in &values {
+            combined.record(v);
+            // The split is itself random: any partition must merge exactly.
+            parts[rng.gen_range(0..k)].record(v);
+        }
+        let mut merged = Hist::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(
+            merged.bucket_counts(),
+            combined.bucket_counts(),
+            "seed {seed}: merged buckets differ from combined stream (n={n}, k={k})"
+        );
+        assert_eq!(merged.count(), combined.count());
+        // Sums are f64 adds in different orders — equal to rounding only.
+        assert!((merged.sum() - combined.sum()).abs() <= 1e-9 * combined.sum().abs().max(1.0));
+    }
+}
+
+#[test]
+fn quantiles_bracket_exact_sorted_quantiles_within_one_bucket() {
+    for seed in 0..20u64 {
+        let mut rng = Rng::seed_from_u64(0xBEEF ^ seed);
+        let n = rng.gen_range(1..3000usize);
+        // In-range values only: the edge buckets have unbounded width by
+        // construction and are exercised separately below.
+        let mut values: Vec<f64> = (0..n)
+            .map(|_| {
+                let u = rng.next_f64();
+                1e-8 * 10f64.powf(u * 10.0)
+            })
+            .collect();
+        let mut h = Hist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(f64::total_cmp);
+
+        for &q in &[0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            let approx = h.quantile(q);
+            let b = bucket_index(exact);
+            let width = bucket_upper(b) - bucket_lower(b);
+            assert!(approx >= exact, "seed {seed} q={q}: quantile {approx} below exact {exact}");
+            assert!(
+                approx - exact <= width,
+                "seed {seed} q={q}: error {} exceeds bucket width {width}",
+                approx - exact
+            );
+        }
+    }
+}
+
+#[test]
+fn edge_bucket_quantiles_stay_finite() {
+    let mut h = Hist::new();
+    for _ in 0..10 {
+        h.record(0.0); // underflow
+        h.record(1e9); // overflow
+    }
+    // Underflow quantiles report the underflow bucket's upper bound …
+    assert_eq!(h.quantile(0.25), bucket_upper(0));
+    // … and overflow quantiles clamp to the overflow lower bound, never Inf.
+    let p99 = h.quantile(0.99);
+    assert!(p99.is_finite());
+    assert_eq!(p99, (kfusion_trace::hist::MAX_EXP as f64).exp2());
+}
