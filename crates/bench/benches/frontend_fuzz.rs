@@ -1,0 +1,81 @@
+//! Differential fuzz harness for the SQL front end — the CI
+//! `frontend-fuzz-smoke` gate.
+//!
+//! Drives [`kfusion_frontend::fuzz::fuzz`]: seeded random well-typed
+//! queries over random catalogs, each executed across the full engine ×
+//! strategy × opt-level matrix (scalar vs batch engine; serial, fusion,
+//! fusion+fission; O1–O3) and compared **bit for bit** against the scalar
+//! serial O1 oracle. A mismatch is minimized to a replayable SQL string +
+//! seed and printed; the harness then exits nonzero.
+//!
+//! Writes `BENCH_frontend_fuzz.json` at the repo root (override with
+//! `--out`): `{queries, executions, mismatches, seed0, rows}`.
+//!
+//! ```sh
+//! cargo bench --bench frontend_fuzz -- [--queries N] [--rows N] [--seed0 N] [--out PATH]
+//! ```
+
+use kfusion_frontend::fuzz::fuzz;
+use kfusion_vgpu::GpuSystem;
+use std::time::Instant;
+
+fn main() {
+    let mut queries = 500usize;
+    let mut rows = 96usize;
+    let mut seed0 = 0u64;
+    let mut out_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontend_fuzz.json").to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--queries" => queries = args.next().and_then(|v| v.parse().ok()).expect("--queries N"),
+            "--rows" => rows = args.next().and_then(|v| v.parse().ok()).expect("--rows N"),
+            "--seed0" => seed0 = args.next().and_then(|v| v.parse().ok()).expect("--seed0 N"),
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--bench" => {}
+            other => {
+                eprintln!(
+                    "unknown arg {other:?} (try --queries N, --rows N, --seed0 N, --out PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== frontend_fuzz: SQL front end vs scalar oracle ==");
+    println!("{queries} queries, tables up to {rows} rows, seeds from {seed0}\n");
+
+    let system = GpuSystem::c2070();
+    let start = Instant::now();
+    let report = fuzz(&system, queries, rows, seed0);
+    let wall = start.elapsed().as_secs_f64();
+
+    println!(
+        "{} queries compiled, {} differential executions, {} mismatches in {:.2}s",
+        report.queries,
+        report.executions,
+        report.failures.len(),
+        wall
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"frontend_fuzz\",\n  \"queries\": {},\n  \"executions\": {},\n  \"mismatches\": {},\n  \"seed0\": {seed0},\n  \"rows\": {rows},\n  \"wall_s\": {wall:.3}\n}}\n",
+        report.queries,
+        report.executions,
+        report.failures.len()
+    );
+    std::fs::write(&out_path, json).expect("write JSON artifact");
+    println!("wrote {out_path}");
+
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("\n{f}");
+        }
+        eprintln!(
+            "\nFAIL: {} of {} fuzzed queries diverged from the scalar oracle",
+            report.failures.len(),
+            report.queries
+        );
+        std::process::exit(1);
+    }
+}

@@ -4,11 +4,13 @@
 //! ```sh
 //! kfusion-lint [--deny warnings] [--format text|json] [--trace-out PATH]
 //!              [--metrics-out PATH] [--gantt] [tpch-q1] [tpch-q21] [tour]
-//!              [demo-defects]
+//!              [fuzz-corpus] [demo-defects]
 //! ```
 //!
 //! With no targets, lints `tpch-q1 tpch-q21 tour` (all expected clean).
-//! `demo-defects` lints the deliberately broken corpus in
+//! `fuzz-corpus` compiles 64 seeded fuzzer-generated SQL queries and lints
+//! every resulting plan — the front end must never lower to a statically
+//! objectionable graph. `demo-defects` lints the deliberately broken corpus in
 //! [`kfusion_check::demo`] — one seeded instance of each major defect class
 //! — and therefore always exits nonzero. `--format json` emits one
 //! machine-readable document (schema pinned by `tests/lint_json.rs`)
@@ -38,6 +40,31 @@ fn budget() -> FusionBudget {
 /// Lint a TPC-H physical plan as planning sees it.
 fn lint_tpch(graph: &PlanGraph) -> LintReport {
     lint_plan(graph, &budget(), OptLevel::O3)
+}
+
+/// Lint a corpus of seeded fuzzer-generated SQL queries: every random
+/// well-typed query the front end compiles must also be statically clean —
+/// the lowering can never emit a plan the verifier objects to.
+///
+/// Trivial-predicate lints are excluded: the fuzzer generates constant
+/// predicates *on purpose* (they drive empty and pass-through selections
+/// through every engine), so `always-{false,true}-predicate` are correct
+/// observations about the query, not lowering defects.
+fn lint_fuzz_corpus(n: usize) -> LintReport {
+    let mut report = LintReport::default();
+    for seed in 0..n as u64 {
+        let case = kfusion_frontend::fuzz::gen_case(seed, 64);
+        let compiled = kfusion_frontend::compile(&case.sql, &case.catalog).unwrap_or_else(|e| {
+            panic!("fuzz corpus seed {seed} failed to compile: {e}\n{}", case.sql)
+        });
+        let mut lints = lint_tpch(&compiled.plan).lints;
+        lints.retain(|l| !matches!(l.id, "always-false-predicate" | "always-true-predicate"));
+        for l in &mut lints {
+            l.notes.push(format!("from fuzz corpus seed {seed}: {}", case.sql));
+        }
+        report.lints.extend(lints);
+    }
+    report
 }
 
 /// Lint the `compiler_tour` bodies and its repaired two-stream schedule.
@@ -99,7 +126,7 @@ fn main() {
                 eprintln!(
                     "usage: kfusion-lint [--deny warnings] [--format text|json] \
                      [--trace-out PATH] [--metrics-out PATH] [--gantt] \
-                     [tpch-q1|tpch-q21|tour|demo-defects]..."
+                     [tpch-q1|tpch-q21|tour|fuzz-corpus|demo-defects]..."
                 );
                 return;
             }
@@ -122,10 +149,11 @@ fn main() {
                 "tpch-q1" => lint_tpch(&kfusion_tpch::q1::q1_plan()),
                 "tpch-q21" => lint_tpch(&kfusion_tpch::q21::q21_plan(1)),
                 "tour" => lint_tour(),
+                "fuzz-corpus" => lint_fuzz_corpus(64),
                 "demo-defects" => demo_defects(),
                 other => {
                     eprintln!(
-                        "unknown target {other:?} (try tpch-q1, tpch-q21, tour, demo-defects)"
+                        "unknown target {other:?} (try tpch-q1, tpch-q21, tour, fuzz-corpus, demo-defects)"
                     );
                     std::process::exit(2);
                 }

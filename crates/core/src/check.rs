@@ -449,20 +449,17 @@ pub fn check_plan(graph: &PlanGraph) -> Result<(), PlanCheckError> {
                 (Some(aggs.len()), Sortedness::Sorted)
             }
             OpKind::Sort { by } => {
-                if let (SortBy::I64Col(col), Some(available)) = (by, in_width(0)) {
-                    if *col >= available {
-                        return Err(PlanCheckError::ColumnOutOfRange {
-                            node: id,
-                            col: *col,
-                            available,
-                        });
+                if let (Some(col), Some(available)) = (by.col(), in_width(0)) {
+                    if col >= available {
+                        return Err(PlanCheckError::ColumnOutOfRange { node: id, col, available });
                     }
                 }
                 let order = match by {
                     SortBy::Key => Sortedness::Sorted,
-                    // Sorting by a payload column reorders tuples by that
-                    // column; key order is whatever falls out.
-                    SortBy::I64Col(_) => Sortedness::Unknown,
+                    // Sorting by a payload column (or by key descending)
+                    // reorders tuples; ascending key order is whatever
+                    // falls out.
+                    _ => Sortedness::Unknown,
                 };
                 (in_width(0), order)
             }

@@ -241,6 +241,19 @@ fn mix_kind(m: &mut Mixer, kind: &OpKind) {
                     m.word(0x41);
                     m.usize(*c);
                 }
+                SortBy::F64Col(c) => {
+                    m.word(0x42);
+                    m.usize(*c);
+                }
+                SortBy::KeyDesc => m.word(0x43),
+                SortBy::I64ColDesc(c) => {
+                    m.word(0x44);
+                    m.usize(*c);
+                }
+                SortBy::F64ColDesc(c) => {
+                    m.word(0x45);
+                    m.usize(*c);
+                }
             }
         }
         OpKind::Unique => m.word(0x15),

@@ -6,11 +6,11 @@
 //! query    := SELECT items FROM ident
 //!             (WHERE pred (AND pred)*)?
 //!             (GROUP BY KEY)?
-//!             (ORDER BY (KEY | ident) ASC?)?
+//!             (ORDER BY (KEY | ident) (ASC | DESC)?)?
 //! items    := item (',' item)*
 //! item     := '*' | agg | expr (AS ident)?
 //! agg      := (SUM|AVG|MIN|MAX) '(' expr ')' (AS ident)?
-//!           | COUNT '(' '*' ')' (AS ident)?
+//!           | COUNT '(' ('*' | expr) ')' (AS ident)?
 //! pred     := expr cmp expr | expr BETWEEN expr AND expr
 //! cmp      := '<' | '<=' | '>' | '>=' | '=' | '<>'
 //! expr     := term (('+'|'-') term)*
@@ -123,11 +123,20 @@ pub enum Item {
 
 /// Sort target of `ORDER BY`.
 #[derive(Debug, Clone, PartialEq)]
-pub enum OrderBy {
+pub enum OrderTarget {
     /// `ORDER BY KEY`
     Key,
     /// `ORDER BY <column>` (of the *output*).
     Column(String),
+}
+
+/// The `ORDER BY` clause: target plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    /// What to order by.
+    pub target: OrderTarget,
+    /// Whether `DESC` was given (default is ascending).
+    pub desc: bool,
 }
 
 /// A parsed query.

@@ -46,6 +46,7 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod fuzz;
 pub mod lower;
 pub mod parser;
 pub mod token;

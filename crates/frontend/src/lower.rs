@@ -7,7 +7,7 @@
 //! the paper's query-plan generator; the optimizer, not the lowering, is
 //! responsible for making the result fast.
 
-use crate::ast::{self, AggFunc, Expr, Item, OrderBy, Query};
+use crate::ast::{self, AggFunc, Expr, Item, OrderTarget, Query};
 use crate::catalog::{Catalog, ColType, TableSchema};
 use kfusion_core::{OpKind, PlanGraph};
 use kfusion_ir::builder::{BodyBuilder, Expr as IrExpr};
@@ -24,9 +24,11 @@ pub enum LowerError {
     UnknownColumn(String),
     /// SELECT mixes aggregates with non-aggregate items.
     MixedAggregates,
-    /// `ORDER BY <col>` names a column absent from the output (or, for a
-    /// payload sort, one that is not integer-typed).
+    /// `ORDER BY <col>` names a column absent from the output.
     BadOrderBy(String),
+    /// `ORDER BY <col>` names a column that appears more than once in the
+    /// output (duplicate explicit aliases).
+    AmbiguousOrderBy(String),
     /// An expression mixes types in an unsupported way.
     TypeError(String),
 }
@@ -40,6 +42,9 @@ impl fmt::Display for LowerError {
                 write!(f, "SELECT list mixes aggregates with plain expressions")
             }
             LowerError::BadOrderBy(c) => write!(f, "cannot ORDER BY {c:?}"),
+            LowerError::AmbiguousOrderBy(c) => {
+                write!(f, "ORDER BY {c:?} is ambiguous: multiple output columns share that name")
+            }
             LowerError::TypeError(m) => write!(f, "type error: {m}"),
         }
     }
@@ -47,13 +52,15 @@ impl fmt::Display for LowerError {
 
 impl std::error::Error for LowerError {}
 
-/// A compiled query: the plan plus its output column names.
+/// A compiled query: the plan plus its output column names and types.
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
     /// The plan; its single input (index 0) is the FROM table's relation.
     pub plan: PlanGraph,
     /// Output payload column names, in order.
     pub output_names: Vec<String>,
+    /// Output payload column types, parallel to `output_names`.
+    pub output_tys: Vec<ColType>,
 }
 
 /// Compile `sql` against `catalog`.
@@ -196,7 +203,15 @@ pub fn lower(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, LowerErr
     }
 
     let mut output_names = Vec::new();
+    let mut output_tys = Vec::new();
     if has_agg {
+        if query.group_by_key {
+            // Grouped aggregation folds runs of equal keys, so its input
+            // must be key-sorted; an arbitrary table's keys are not. The
+            // stable key sort keeps the per-group row order equal to the
+            // source order, which pins the fold order bit-for-bit.
+            cur = plan.add(OpKind::Sort { by: SortBy::Key }, vec![cur]);
+        }
         // Computed aggregate arguments become columns first (one fused
         // arithmetic stage), then a single AGGREGATION consumes them.
         let mut extend = BodyBuilder::new(schema.len() as u32 + 1);
@@ -204,16 +219,25 @@ pub fn lower(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, LowerErr
         let mut aggs = Vec::new();
         for item in &query.items {
             let Item::Agg { func, arg, alias } = item else { unreachable!() };
-            let col = match arg {
-                None => usize::MAX, // COUNT(*) takes no column
+            let (col, arg_ty) = match arg {
+                None => (usize::MAX, ETy::I64), // COUNT(*) takes no column
                 Some(Expr::Column(name)) => {
-                    schema.column(name).ok_or_else(|| LowerError::UnknownColumn(name.clone()))?.0
+                    let (idx, ct) = schema
+                        .column(name)
+                        .ok_or_else(|| LowerError::UnknownColumn(name.clone()))?;
+                    (idx, if ct == ColType::F64 { ETy::F64 } else { ETy::I64 })
                 }
                 Some(expr) => {
                     let want = expr_ty(expr, schema)?;
-                    extend.emit_output(lower_expr(expr, schema, want)?);
-                    extended += 1;
-                    schema.len() + extended - 1
+                    if *func == AggFunc::Count {
+                        // COUNT ignores its argument's values; validate the
+                        // expression but emit no column for it.
+                        (usize::MAX, want)
+                    } else {
+                        extend.emit_output(lower_expr(expr, schema, want)?);
+                        extended += 1;
+                        (schema.len() + extended - 1, want)
+                    }
                 }
             };
             aggs.push(match func {
@@ -223,7 +247,13 @@ pub fn lower(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, LowerErr
                 AggFunc::Max => Agg::Max(col),
                 AggFunc::Count => Agg::Count,
             });
-            output_names.push(alias.clone().unwrap_or_else(|| default_agg_name(func, arg)));
+            let out_ty = match func {
+                AggFunc::Count => ColType::I64,
+                AggFunc::Avg => ColType::F64,
+                _ => col_type(arg_ty),
+            };
+            push_name(&mut output_names, alias.as_ref(), || default_agg_name(func, arg));
+            output_tys.push(out_ty);
         }
         if extended > 0 {
             cur = plan.add(OpKind::ArithExtend { body: extend.build() }, vec![cur]);
@@ -243,23 +273,26 @@ pub fn lower(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, LowerErr
                 Item::Star => {
                     for (i, name) in schema.names().enumerate() {
                         keep.push(i);
-                        output_names.push(name.to_string());
+                        push_name(&mut output_names, None, || name.to_string());
+                        output_tys.push(schema.col_type(i));
                     }
                 }
                 Item::Expr { expr: Expr::Column(name), alias } => {
-                    let (idx, _) = schema
+                    let (idx, ct) = schema
                         .column(name)
                         .ok_or_else(|| LowerError::UnknownColumn(name.clone()))?;
                     keep.push(idx);
-                    output_names.push(alias.clone().unwrap_or_else(|| name.clone()));
+                    push_name(&mut output_names, alias.as_ref(), || name.clone());
+                    output_tys.push(ct);
                 }
                 Item::Expr { expr, alias } => {
                     let want = expr_ty(expr, schema)?;
                     extend.emit_output(lower_expr(expr, schema, want)?);
                     extended += 1;
                     keep.push(schema.len() + extended - 1);
-                    output_names
-                        .push(alias.clone().unwrap_or_else(|| format!("expr{}", keep.len())));
+                    let n = keep.len();
+                    push_name(&mut output_names, alias.as_ref(), || format!("expr{n}"));
+                    output_tys.push(col_type(want));
                 }
                 Item::Agg { .. } => unreachable!("checked above"),
             }
@@ -270,22 +303,70 @@ pub fn lower(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, LowerErr
         cur = plan.add(OpKind::Project { keep }, vec![cur]);
     }
 
-    // ORDER BY.
-    match &query.order_by {
-        None => {}
-        Some(OrderBy::Key) => {
-            cur = plan.add(OpKind::Sort { by: SortBy::Key }, vec![cur]);
-        }
-        Some(OrderBy::Column(name)) => {
-            let idx = output_names
-                .iter()
-                .position(|n| n == name)
-                .ok_or_else(|| LowerError::BadOrderBy(name.clone()))?;
-            cur = plan.add(OpKind::Sort { by: SortBy::I64Col(idx) }, vec![cur]);
-        }
+    // ORDER BY: resolve the target against the *output* schema and pick
+    // the sort variant matching the column's type and direction.
+    if let Some(ob) = &query.order_by {
+        let by = match &ob.target {
+            OrderTarget::Key => {
+                if ob.desc {
+                    SortBy::KeyDesc
+                } else {
+                    SortBy::Key
+                }
+            }
+            OrderTarget::Column(name) => {
+                let mut hits = output_names.iter().enumerate().filter(|(_, n)| *n == name);
+                let idx = match (hits.next(), hits.next()) {
+                    (None, _) => return Err(LowerError::BadOrderBy(name.clone())),
+                    (Some(_), Some(_)) => return Err(LowerError::AmbiguousOrderBy(name.clone())),
+                    (Some((idx, _)), None) => idx,
+                };
+                match (output_tys[idx], ob.desc) {
+                    (ColType::I64, false) => SortBy::I64Col(idx),
+                    (ColType::I64, true) => SortBy::I64ColDesc(idx),
+                    (ColType::F64, false) => SortBy::F64Col(idx),
+                    (ColType::F64, true) => SortBy::F64ColDesc(idx),
+                }
+            }
+        };
+        cur = plan.add(OpKind::Sort { by }, vec![cur]);
     }
     let _ = cur;
-    Ok(CompiledQuery { plan, output_names })
+    Ok(CompiledQuery { plan, output_names, output_tys })
+}
+
+fn col_type(t: ETy) -> ColType {
+    // Integer literals materialize as i64 columns.
+    if t == ETy::F64 {
+        ColType::F64
+    } else {
+        ColType::I64
+    }
+}
+
+/// Push an output name: explicit aliases are taken verbatim, generated
+/// names are disambiguated against earlier outputs (`count`, `count_2`, …)
+/// so ORDER BY over default names stays well-defined.
+fn push_name(names: &mut Vec<String>, alias: Option<&String>, auto: impl FnOnce() -> String) {
+    let name = match alias {
+        Some(a) => a.clone(),
+        None => {
+            let base = auto();
+            if names.contains(&base) {
+                let mut k = 2usize;
+                loop {
+                    let cand = format!("{base}_{k}");
+                    if !names.contains(&cand) {
+                        break cand;
+                    }
+                    k += 1;
+                }
+            } else {
+                base
+            }
+        }
+    };
+    names.push(name);
 }
 
 fn default_agg_name(func: &AggFunc, arg: &Option<Expr>) -> String {
@@ -403,5 +484,120 @@ mod tests {
     fn key_comparisons_lower() {
         let q = compile("SELECT * FROM lineitem WHERE KEY < 100", &catalog()).unwrap();
         assert!(kinds(&q.plan).contains(&"SELECT"));
+    }
+
+    fn last_sort(plan: &PlanGraph) -> SortBy {
+        match &plan.nodes.last().unwrap().kind {
+            OpKind::Sort { by } => *by,
+            other => panic!("expected SORT last, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_is_typed_by_output_column() {
+        // Regression: ORDER BY over an f64 output column used to lower as
+        // an integer-column sort and fail at runtime with SchemaMismatch.
+        let q = compile("SELECT price FROM lineitem ORDER BY price", &catalog()).unwrap();
+        assert_eq!(last_sort(&q.plan), SortBy::F64Col(0));
+        assert_eq!(q.output_tys, vec![ColType::F64]);
+        let q = compile("SELECT shipdate FROM lineitem ORDER BY shipdate", &catalog()).unwrap();
+        assert_eq!(last_sort(&q.plan), SortBy::I64Col(0));
+        let q = compile("SELECT shipdate, price FROM lineitem ORDER BY price", &catalog()).unwrap();
+        assert_eq!(last_sort(&q.plan), SortBy::F64Col(1));
+    }
+
+    #[test]
+    fn order_by_desc_lowers_descending_variants() {
+        let q = compile("SELECT price FROM lineitem ORDER BY price DESC", &catalog()).unwrap();
+        assert_eq!(last_sort(&q.plan), SortBy::F64ColDesc(0));
+        let q =
+            compile("SELECT shipdate FROM lineitem ORDER BY shipdate DESC", &catalog()).unwrap();
+        assert_eq!(last_sort(&q.plan), SortBy::I64ColDesc(0));
+        let q = compile("SELECT price FROM lineitem ORDER BY KEY DESC", &catalog()).unwrap();
+        assert_eq!(last_sort(&q.plan), SortBy::KeyDesc);
+    }
+
+    #[test]
+    fn duplicate_default_names_are_disambiguated() {
+        // Regression: SELECT COUNT(*), COUNT(*) used to produce two columns
+        // both named "count"; ORDER BY then silently bound the first.
+        let q = compile("SELECT COUNT(*), COUNT(*), COUNT(*) FROM lineitem", &catalog()).unwrap();
+        assert_eq!(q.output_names, vec!["count", "count_2", "count_3"]);
+        // The generated names are addressable in ORDER BY.
+        let q = compile(
+            "SELECT MIN(shipdate), MAX(shipdate) AS min_shipdate_2, MIN(shipdate) \
+             FROM lineitem GROUP BY KEY ORDER BY min_shipdate_3",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(q.output_names, vec!["min_shipdate", "min_shipdate_2", "min_shipdate_3"]);
+        assert_eq!(last_sort(&q.plan), SortBy::I64Col(2));
+    }
+
+    #[test]
+    fn ambiguous_order_by_is_rejected() {
+        // Duplicate *explicit* aliases are allowed in the output but cannot
+        // be used as a sort target.
+        let err = compile("SELECT qty AS x, price AS x FROM lineitem ORDER BY x", &catalog())
+            .unwrap_err();
+        assert!(
+            matches!(err, CompileError::Lower(LowerError::AmbiguousOrderBy(ref c)) if c == "x")
+        );
+        // Without the ORDER BY the same query compiles.
+        assert!(compile("SELECT qty AS x, price AS x FROM lineitem", &catalog()).is_ok());
+    }
+
+    #[test]
+    fn group_by_key_inserts_key_sort_before_aggregation() {
+        // Regression: grouped aggregation requires key-sorted input, but
+        // lowering emitted no sort, so any unsorted table failed at runtime.
+        let q = compile(
+            "SELECT SUM(price * (1 - discount)), COUNT(*) FROM lineitem \
+             WHERE shipdate < 1000 GROUP BY KEY",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(kinds(&q.plan), vec!["INPUT", "SELECT", "SORT", "ARITH+", "AGGREGATE"]);
+        // Ungrouped aggregation needs no sort.
+        let q = compile("SELECT SUM(price) FROM lineitem", &catalog()).unwrap();
+        assert!(!kinds(&q.plan).contains(&"SORT"));
+    }
+
+    #[test]
+    fn count_with_argument() {
+        let q = compile("SELECT COUNT(qty), COUNT(*) FROM lineitem", &catalog()).unwrap();
+        assert_eq!(q.output_names, vec!["count_qty", "count"]);
+        assert_eq!(q.output_tys, vec![ColType::I64, ColType::I64]);
+        // COUNT(expr) validates its argument even though no column is built.
+        let q = compile("SELECT COUNT(qty * 2) FROM lineitem", &catalog()).unwrap();
+        assert!(!kinds(&q.plan).contains(&"ARITH+"));
+        assert!(matches!(
+            compile("SELECT COUNT(nope) FROM lineitem", &catalog()),
+            Err(CompileError::Lower(LowerError::UnknownColumn(_)))
+        ));
+    }
+
+    #[test]
+    fn aggregate_output_types_are_inferred() {
+        let q = compile(
+            "SELECT SUM(qty), SUM(shipdate), AVG(shipdate), COUNT(*), MIN(shipdate), MAX(qty) \
+             FROM lineitem",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(
+            q.output_tys,
+            vec![
+                ColType::F64,
+                ColType::I64,
+                ColType::F64,
+                ColType::I64,
+                ColType::I64,
+                ColType::F64
+            ]
+        );
+        // A SUM over an integer-literal expression is an i64 column.
+        let q = compile("SELECT SUM(shipdate + 1) FROM lineitem", &catalog()).unwrap();
+        assert_eq!(q.output_tys, vec![ColType::I64]);
     }
 }

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the SQL subset (grammar in [`crate::ast`]).
 
-use crate::ast::{AggFunc, BinOp, CmpOp, Expr, Item, OrderBy, Predicate, Query};
+use crate::ast::{AggFunc, BinOp, CmpOp, Expr, Item, OrderBy, OrderTarget, Predicate, Query};
 use crate::token::{lex, Keyword, Token, TokenKind};
 use std::fmt;
 
@@ -127,12 +127,18 @@ impl Parser {
         let mut order_by = None;
         if self.eat_keyword(Keyword::Order) {
             self.expect_keyword(Keyword::By)?;
-            order_by = Some(if self.eat_keyword(Keyword::Key) {
-                OrderBy::Key
+            let target = if self.eat_keyword(Keyword::Key) {
+                OrderTarget::Key
             } else {
-                OrderBy::Column(self.ident()?)
-            });
-            let _ = self.eat_keyword(Keyword::Asc);
+                OrderTarget::Column(self.ident()?)
+            };
+            let desc = if self.eat_keyword(Keyword::Desc) {
+                true
+            } else {
+                let _ = self.eat_keyword(Keyword::Asc);
+                false
+            };
+            order_by = Some(OrderBy { target, desc });
         }
         Ok(Query { items, table, predicates, group_by_key, order_by })
     }
@@ -153,8 +159,8 @@ impl Parser {
         if let Some(func) = agg {
             self.bump();
             self.expect(TokenKind::LParen)?;
-            let arg = if func == AggFunc::Count {
-                self.expect(TokenKind::Star)?;
+            let arg = if func == AggFunc::Count && self.peek().kind == TokenKind::Star {
+                self.bump();
                 None
             } else {
                 Some(self.expr()?)
@@ -315,9 +321,37 @@ mod tests {
     #[test]
     fn parses_order_by() {
         let q = parse("SELECT a FROM t ORDER BY KEY").unwrap();
-        assert_eq!(q.order_by, Some(OrderBy::Key));
+        assert_eq!(q.order_by, Some(OrderBy { target: OrderTarget::Key, desc: false }));
         let q = parse("SELECT a FROM t ORDER BY a ASC").unwrap();
-        assert_eq!(q.order_by, Some(OrderBy::Column("a".into())));
+        assert_eq!(
+            q.order_by,
+            Some(OrderBy { target: OrderTarget::Column("a".into()), desc: false })
+        );
+    }
+
+    #[test]
+    fn parses_order_by_desc() {
+        let q = parse("SELECT a FROM t ORDER BY a DESC").unwrap();
+        assert_eq!(
+            q.order_by,
+            Some(OrderBy { target: OrderTarget::Column("a".into()), desc: true })
+        );
+        let q = parse("SELECT a FROM t ORDER BY KEY DESC").unwrap();
+        assert_eq!(q.order_by, Some(OrderBy { target: OrderTarget::Key, desc: true }));
+    }
+
+    #[test]
+    fn count_accepts_a_column_argument() {
+        let q = parse("SELECT COUNT(qty) FROM t").unwrap();
+        match &q.items[0] {
+            Item::Agg { func: AggFunc::Count, arg: Some(Expr::Column(c)), alias: None } => {
+                assert_eq!(c, "qty")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // COUNT(*) still parses as the arg-less form.
+        let q = parse("SELECT COUNT(*) FROM t").unwrap();
+        assert!(matches!(q.items[0], Item::Agg { func: AggFunc::Count, arg: None, .. }));
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub enum Keyword {
     Max,
     As,
     Asc,
+    Desc,
 }
 
 impl Keyword {
@@ -92,6 +93,7 @@ impl Keyword {
             "MAX" => Keyword::Max,
             "AS" => Keyword::As,
             "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
             _ => return None,
         })
     }
@@ -192,11 +194,51 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             '0'..='9' | '.' => {
                 let start = i;
                 let mut saw_dot = false;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !saw_dot))
-                {
-                    saw_dot |= bytes[i] == b'.';
+                let mut saw_digit = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    saw_digit = true;
                     i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    saw_dot = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        saw_digit = true;
+                        i += 1;
+                    }
+                }
+                if !saw_digit {
+                    return Err(LexError {
+                        pos: start,
+                        message: "expected digits in numeric literal".into(),
+                    });
+                }
+                // Optional exponent ([eE][+-]?digits) makes it a float; a
+                // bare `e` stays outside the literal (it lexes as an
+                // identifier).
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        saw_dot = true; // exponent forces float
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                // A dot immediately after the literal (`1.2.3`, `1..2`,
+                // `1e5.2`) is a malformed number, not two adjacent tokens.
+                if i < bytes.len() && bytes[i] == b'.' {
+                    return Err(LexError {
+                        pos: i,
+                        message: format!(
+                            "unexpected '.' after numeric literal {:?}",
+                            &src[start..i]
+                        ),
+                    });
                 }
                 let text = &src[start..i];
                 let kind = if saw_dot {
@@ -275,6 +317,45 @@ mod tests {
         assert_eq!(kinds("42")[0], TokenKind::Int(42));
         assert_eq!(kinds("0.25")[0], TokenKind::Float(0.25));
         assert_eq!(kinds(".5")[0], TokenKind::Float(0.5));
+    }
+
+    #[test]
+    fn exponent_float_literals() {
+        assert_eq!(kinds("1e5")[0], TokenKind::Float(1e5));
+        assert_eq!(kinds("2.5e-3")[0], TokenKind::Float(2.5e-3));
+        assert_eq!(kinds("7E+2")[0], TokenKind::Float(7e2));
+        assert_eq!(kinds(".5e1")[0], TokenKind::Float(5.0));
+        // A bare `e` after a number is an identifier, not an exponent.
+        let k = kinds("24 e");
+        assert_eq!(k[0], TokenKind::Int(24));
+        assert_eq!(k[1], TokenKind::Ident("e".into()));
+        let k = kinds("3e");
+        assert_eq!(k[0], TokenKind::Int(3));
+        assert_eq!(k[1], TokenKind::Ident("e".into()));
+    }
+
+    #[test]
+    fn second_dot_in_numeric_literal_is_rejected() {
+        // Regression: `1.2.3` used to lex silently as Float(1.2), Float(0.3).
+        let err = lex("1.2.3").unwrap_err();
+        assert_eq!(err.pos, 3, "error points at the second dot");
+        let err = lex("1..2").unwrap_err();
+        assert_eq!(err.pos, 2);
+        let err = lex("SELECT 1.2.3 FROM t").unwrap_err();
+        assert_eq!(err.pos, 10);
+    }
+
+    #[test]
+    fn bare_dot_is_rejected() {
+        let err = lex(".").unwrap_err();
+        assert_eq!(err.pos, 0);
+        assert!(lex("a < .").is_err());
+    }
+
+    #[test]
+    fn desc_keyword() {
+        assert_eq!(kinds("DESC")[0], TokenKind::Keyword(Keyword::Desc));
+        assert_eq!(kinds("desc")[0], TokenKind::Keyword(Keyword::Desc));
     }
 
     #[test]

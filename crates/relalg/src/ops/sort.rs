@@ -20,13 +20,54 @@ pub enum SortBy {
     Key,
     /// An i64 payload column (tuples reordered; keys carried along).
     I64Col(usize),
+    /// An f64 payload column, in `f64::total_cmp` order (so `-0.0 < 0.0`
+    /// and NaNs sort deterministically at the extremes).
+    F64Col(usize),
+    /// The tuple key, descending.
+    KeyDesc,
+    /// An i64 payload column, descending.
+    I64ColDesc(usize),
+    /// An f64 payload column, descending (`f64::total_cmp` order reversed).
+    F64ColDesc(usize),
 }
 
-/// Sort the relation (stable).
-pub fn sort(input: &Relation, by: SortBy) -> Result<Relation, RelError> {
-    let rank: Vec<u64> = match by {
-        SortBy::Key => input.key.clone(),
-        SortBy::I64Col(c) => {
+impl SortBy {
+    /// The payload column this sort keys on, if any.
+    pub fn col(&self) -> Option<usize> {
+        match self {
+            SortBy::Key | SortBy::KeyDesc => None,
+            SortBy::I64Col(c)
+            | SortBy::F64Col(c)
+            | SortBy::I64ColDesc(c)
+            | SortBy::F64ColDesc(c) => Some(*c),
+        }
+    }
+
+    /// Whether the order is descending.
+    pub fn descending(&self) -> bool {
+        matches!(self, SortBy::KeyDesc | SortBy::I64ColDesc(_) | SortBy::F64ColDesc(_))
+    }
+}
+
+/// Order-preserving map f64 -> u64 matching [`f64::total_cmp`]: flip all
+/// bits of negatives, flip only the sign bit of non-negatives.
+fn f64_rank(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1 << 63)
+    }
+}
+
+/// Extract the u64 rank vector a sort orders by. Ranks are ascending; a
+/// descending sort inverts the bits (stability ties still break by
+/// ascending original index, which is what a stable descending SQL sort
+/// does).
+fn rank_vec(input: &Relation, by: SortBy) -> Result<Vec<u64>, RelError> {
+    let ascending: Vec<u64> = match by {
+        SortBy::Key | SortBy::KeyDesc => input.key.clone(),
+        SortBy::I64Col(c) | SortBy::I64ColDesc(c) => {
             let col = input
                 .cols
                 .get(c)
@@ -36,7 +77,22 @@ pub fn sort(input: &Relation, by: SortBy) -> Result<Relation, RelError> {
             // Order-preserving map i64 -> u64 so one comparator serves both.
             col.iter().map(|&v| (v as u64) ^ (1 << 63)).collect()
         }
+        SortBy::F64Col(c) | SortBy::F64ColDesc(c) => {
+            let col = input
+                .cols
+                .get(c)
+                .ok_or(RelError::NoSuchColumn { col: c, available: input.n_cols() })?
+                .as_f64()
+                .ok_or(RelError::SchemaMismatch)?;
+            col.iter().map(|&v| f64_rank(v)).collect()
+        }
     };
+    Ok(if by.descending() { ascending.into_iter().map(|r| !r).collect() } else { ascending })
+}
+
+/// Sort the relation (stable).
+pub fn sort(input: &Relation, by: SortBy) -> Result<Relation, RelError> {
+    let rank = rank_vec(input, by)?;
     let idx = sort_index(&rank);
     Ok(input.gathered(&idx))
 }
@@ -151,18 +207,7 @@ pub fn bitonic_sort(input: &Relation, by: SortBy) -> Result<Relation, RelError> 
     if n <= 1 {
         return Ok(input.clone());
     }
-    let rank: Vec<u64> = match by {
-        SortBy::Key => input.key.clone(),
-        SortBy::I64Col(c) => {
-            let col = input
-                .cols
-                .get(c)
-                .ok_or(RelError::NoSuchColumn { col: c, available: input.n_cols() })?
-                .as_i64()
-                .ok_or(RelError::SchemaMismatch)?;
-            col.iter().map(|&v| (v as u64) ^ (1 << 63)).collect()
-        }
-    };
+    let rank = rank_vec(input, by)?;
     // Pad to a power of two with +inf sentinels (index n == sentinel).
     let m = n.next_power_of_two();
     let sentinel = u64::MAX;
@@ -302,9 +347,70 @@ mod tests {
     }
 
     #[test]
-    fn sort_by_f64_column_is_rejected() {
-        let r = Relation::new(vec![1], vec![Column::F64(vec![1.0])]).unwrap();
-        assert!(matches!(sort(&r, SortBy::I64Col(0)), Err(RelError::SchemaMismatch)));
+    fn typed_sort_rejects_mismatched_column() {
+        // An i64 sort over an f64 column (and vice versa) is a schema
+        // error, not a silent reinterpretation.
+        let f = Relation::new(vec![1], vec![Column::F64(vec![1.0])]).unwrap();
+        assert!(matches!(sort(&f, SortBy::I64Col(0)), Err(RelError::SchemaMismatch)));
+        let i = Relation::new(vec![1], vec![Column::I64(vec![1])]).unwrap();
+        assert!(matches!(sort(&i, SortBy::F64Col(0)), Err(RelError::SchemaMismatch)));
+    }
+
+    #[test]
+    fn sort_by_f64_column_uses_total_order() {
+        let vals = vec![1.5, f64::NAN, -0.0, 0.0, f64::NEG_INFINITY, -2.5, f64::INFINITY];
+        let r = Relation::new(vec![0, 1, 2, 3, 4, 5, 6], vec![Column::F64(vals.clone())]).unwrap();
+        let out = sort(&r, SortBy::F64Col(0)).unwrap();
+        let got = out.cols[0].as_f64().unwrap();
+        let mut expect = vals;
+        expect.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "total_cmp order incl. -0.0 < 0.0 and NaN at the top"
+        );
+    }
+
+    #[test]
+    fn sort_by_f64_column_is_stable() {
+        let r = Relation::new(
+            vec![10, 11, 12, 13],
+            vec![Column::F64(vec![2.0, 1.0, 2.0, 1.0]), Column::I64(vec![0, 1, 2, 3])],
+        )
+        .unwrap();
+        let out = sort(&r, SortBy::F64Col(0)).unwrap();
+        assert_eq!(out.key, vec![11, 13, 10, 12]);
+    }
+
+    #[test]
+    fn descending_sorts_reverse_rank_but_stay_stable() {
+        let r = Relation::new(
+            vec![1, 2, 3, 4],
+            vec![Column::I64(vec![7, 9, 7, 8]), Column::F64(vec![0.5, -1.5, 0.5, 2.5])],
+        )
+        .unwrap();
+        let by_i = sort(&r, SortBy::I64ColDesc(0)).unwrap();
+        // 9, 8, then the two 7s in original order (stable).
+        assert_eq!(by_i.cols[0].as_i64().unwrap(), &[9, 8, 7, 7]);
+        assert_eq!(by_i.key, vec![2, 4, 1, 3]);
+        let by_f = sort(&r, SortBy::F64ColDesc(1)).unwrap();
+        assert_eq!(by_f.cols[1].as_f64().unwrap(), &[2.5, 0.5, 0.5, -1.5]);
+        assert_eq!(by_f.key, vec![4, 1, 3, 2]);
+        let by_k = sort(&r, SortBy::KeyDesc).unwrap();
+        assert_eq!(by_k.key, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bitonic_matches_merge_for_new_variants() {
+        let n = 2000usize;
+        let key: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 101).collect();
+        let f: Vec<f64> = (0..n).map(|i| ((i * 2_654_435_761) % 997) as f64 - 500.0).collect();
+        let r = Relation::new(key, vec![Column::F64(f)]).unwrap();
+        for by in [SortBy::F64Col(0), SortBy::F64ColDesc(0), SortBy::KeyDesc] {
+            let merge = sort(&r, by).unwrap();
+            let bitonic = bitonic_sort(&r, by).unwrap();
+            assert_eq!(merge, bitonic, "{by:?}");
+        }
     }
 
     #[test]

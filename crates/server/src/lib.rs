@@ -38,11 +38,13 @@
 pub mod cache;
 pub mod queue;
 pub mod service;
+pub mod sql;
 pub mod stats;
 
 pub use cache::{CacheStats, PlanCache};
 pub use queue::BoundedQueue;
 pub use service::{QueryOutcome, QueryService, QueryTicket, ServerConfig, ServiceClient};
+pub use sql::{CompiledSql, RegistryError, SqlTicket, TableRegistry};
 pub use stats::{
     FlightRecorder, HostStage, QueryRecord, RecordOutcome, ServerStats, SimStage, StageSummary,
     StatsHub, HOST_STAGES, SIM_STAGES,
@@ -70,6 +72,14 @@ pub enum ServerError {
     /// A [`QueryTicket::wait_timeout`] poll elapsed before the result
     /// arrived; the ticket is still live and can be waited on again.
     WaitTimedOut,
+    /// SQL text failed to compile; carries the front end's positioned
+    /// parse or lowering diagnostic.
+    Compile(kfusion_frontend::CompileError),
+    /// A text query was submitted to a service started without a table
+    /// registry ([`QueryService::serve`] rather than
+    /// [`QueryService::serve_catalog`]), so there are no named tables to
+    /// compile against.
+    NoCatalog,
 }
 
 impl std::fmt::Display for ServerError {
@@ -81,6 +91,10 @@ impl std::fmt::Display for ServerError {
             ServerError::ShuttingDown => write!(f, "service is shutting down"),
             ServerError::Disconnected => write!(f, "reply channel disconnected"),
             ServerError::WaitTimedOut => write!(f, "wait timed out (ticket still pending)"),
+            ServerError::Compile(e) => write!(f, "SQL did not compile: {e}"),
+            ServerError::NoCatalog => {
+                write!(f, "service has no table registry (text queries need serve_catalog)")
+            }
         }
     }
 }

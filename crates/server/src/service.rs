@@ -29,6 +29,7 @@
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::sql::{SqlTicket, TableRegistry};
 use crate::stats::{QueryRecord, RecordOutcome, ServerStats, StatsHub, SIM_STAGES};
 use crate::ServerError;
 use kfusion_core::exec::{execute_prepared, ExecConfig};
@@ -168,6 +169,9 @@ pub struct ServiceClient<'a> {
     cache: &'a PlanCache,
     config: &'a ServerConfig,
     hub: &'a StatsHub,
+    /// Present only under [`QueryService::serve_catalog`]; text queries
+    /// need it to resolve table names.
+    registry: Option<&'a TableRegistry>,
 }
 
 impl ServiceClient<'_> {
@@ -212,6 +216,36 @@ impl ServiceClient<'_> {
         self.submit(plan)?.wait()
     }
 
+    /// Submit SQL text under the config's default deadline. The query
+    /// compiles against the service's table registry
+    /// ([`ServerError::NoCatalog`] if the service was started without one,
+    /// [`ServerError::Compile`] with the positioned diagnostic if the text
+    /// is bad), then rides the ordinary admission/batching/plan-cache path:
+    /// repeated text compiles to the same plan shape and hits the cache,
+    /// and a text query fuses into cross-query batches exactly like a
+    /// hand-built plan.
+    pub fn submit_sql(&self, sql: &str) -> Result<SqlTicket, ServerError> {
+        self.submit_sql_with_deadline(sql, self.config.default_deadline)
+    }
+
+    /// [`ServiceClient::submit_sql`] with an explicit deadline.
+    pub fn submit_sql_with_deadline(
+        &self,
+        sql: &str,
+        deadline: Option<Duration>,
+    ) -> Result<SqlTicket, ServerError> {
+        let registry = self.registry.ok_or(ServerError::NoCatalog)?;
+        let compiled = registry.compile(sql).map_err(ServerError::Compile)?;
+        let ticket = self.submit_with_deadline(compiled.plan, deadline)?;
+        Ok(SqlTicket { columns: compiled.columns, ticket })
+    }
+
+    /// Convenience: submit SQL text and wait; returns the output column
+    /// names alongside the outcome.
+    pub fn query_sql(&self, sql: &str) -> Result<(Vec<String>, QueryOutcome), ServerError> {
+        self.submit_sql(sql)?.wait()
+    }
+
     /// Point-in-time plan-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -241,6 +275,29 @@ impl QueryService {
         config: &ServerConfig,
         f: impl FnOnce(&ServiceClient<'_>) -> R,
     ) -> R {
+        Self::serve_inner(system, tables, None, config, f)
+    }
+
+    /// Like [`QueryService::serve`], but over a named [`TableRegistry`]:
+    /// the registry's slot array backs positional plans, and its catalog
+    /// makes [`ServiceClient::submit_sql`] /
+    /// [`ServiceClient::query_sql`] available for text queries.
+    pub fn serve_catalog<R>(
+        system: &GpuSystem,
+        registry: &TableRegistry,
+        config: &ServerConfig,
+        f: impl FnOnce(&ServiceClient<'_>) -> R,
+    ) -> R {
+        Self::serve_inner(system, registry.tables(), Some(registry), config, f)
+    }
+
+    fn serve_inner<R>(
+        system: &GpuSystem,
+        tables: &[Relation],
+        registry: Option<&TableRegistry>,
+        config: &ServerConfig,
+        f: impl FnOnce(&ServiceClient<'_>) -> R,
+    ) -> R {
         let cache = PlanCache::new();
         let hub = StatsHub::new(
             config.flight_recorder_depth,
@@ -255,8 +312,13 @@ impl QueryService {
             for _ in 0..config.workers.max(1) {
                 s.spawn(move || worker_loop(system, tables, config, cache_ref, hub_ref, disp));
             }
-            let client =
-                ServiceClient { submissions: subs, cache: cache_ref, config, hub: hub_ref };
+            let client = ServiceClient {
+                submissions: subs,
+                cache: cache_ref,
+                config,
+                hub: hub_ref,
+                registry,
+            };
             let out = f(&client);
             // Drain, don't drop: admission flushes what is queued into
             // final batches and then closes the dispatch queue itself.

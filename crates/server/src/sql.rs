@@ -1,0 +1,261 @@
+//! Text-query serving: a named-table registry that binds SQL table names
+//! to the service's positional input slots.
+//!
+//! The executor below the service is purely positional — a plan's
+//! `Input { i }` leaves read `tables[i]` — while the SQL front end compiles
+//! against *named* tables and always emits `Input { 0 }` for its single
+//! source table. [`TableRegistry`] bridges the two: it owns the slot array
+//! handed to [`crate::QueryService::serve_catalog`], the
+//! [`kfusion_frontend::Catalog`] the front end compiles against, and the
+//! name → slot map used to rewrite each compiled plan's input leaves to the
+//! right slot before submission.
+//!
+//! Because the rewrite happens *before* the plan enters the service, a text
+//! query is indistinguishable from a hand-built [`PlanGraph`] downstream:
+//! it shares the same admission window, groups into the same cross-query
+//! fused batches, and hits the same plan cache (identical SQL text compiles
+//! to a structurally identical plan, so repeated text queries are cache
+//! hits — the service tests pin this).
+
+use crate::ServerError;
+use kfusion_core::graph::{OpKind, PlanGraph};
+use kfusion_frontend::{Catalog, ColType, CompileError, TableSchema};
+use kfusion_relalg::{Column, Relation};
+use std::collections::HashMap;
+
+/// Why a relation could not be registered under a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The schema and the relation disagree on the number of payload
+    /// columns.
+    ArityMismatch {
+        /// Table being registered.
+        table: String,
+        /// Columns the schema declares.
+        schema_cols: usize,
+        /// Columns the relation actually has.
+        relation_cols: usize,
+    },
+    /// A column's declared type does not match the relation's storage.
+    TypeMismatch {
+        /// Table being registered.
+        table: String,
+        /// Offending column name.
+        column: String,
+        /// Type the schema declares for it.
+        declared: ColType,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::ArityMismatch { table, schema_cols, relation_cols } => write!(
+                f,
+                "table {table:?}: schema declares {schema_cols} columns but relation has {relation_cols}"
+            ),
+            RegistryError::TypeMismatch { table, column, declared } => {
+                write!(f, "table {table:?}: column {column:?} is declared {declared:?} but the relation stores the other type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A compiled text query, ready to submit: the plan's input leaves already
+/// point at the registry slot of its source table.
+#[derive(Debug, Clone)]
+pub struct CompiledSql {
+    /// The rewritten plan.
+    pub plan: PlanGraph,
+    /// Output column names, in relation column order.
+    pub columns: Vec<String>,
+    /// The registry slot the plan reads.
+    pub slot: usize,
+}
+
+/// Named tables for a service instance: the positional slot array, the SQL
+/// catalog over it, and the name → slot binding.
+#[derive(Debug, Clone, Default)]
+pub struct TableRegistry {
+    tables: Vec<Relation>,
+    catalog: Catalog,
+    slots: HashMap<String, usize>,
+}
+
+impl TableRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an *unnamed* relation, reserving a slot for hand-built
+    /// plans that address inputs positionally. Returns the slot index.
+    pub fn add_relation(&mut self, rel: Relation) -> usize {
+        self.tables.push(rel);
+        self.tables.len() - 1
+    }
+
+    /// Register a named table: validates that `schema` matches `rel`
+    /// column-for-column, then makes the name addressable from SQL and the
+    /// relation addressable positionally. Returns the slot index.
+    pub fn add_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: TableSchema,
+        rel: Relation,
+    ) -> Result<usize, RegistryError> {
+        let name = name.into();
+        if schema.len() != rel.n_cols() {
+            return Err(RegistryError::ArityMismatch {
+                table: name,
+                schema_cols: schema.len(),
+                relation_cols: rel.n_cols(),
+            });
+        }
+        for (i, col_name) in schema.names().enumerate() {
+            let ok = matches!(
+                (schema.col_type(i), &rel.cols[i]),
+                (ColType::I64, Column::I64(_)) | (ColType::F64, Column::F64(_))
+            );
+            if !ok {
+                return Err(RegistryError::TypeMismatch {
+                    table: name,
+                    column: col_name.to_string(),
+                    declared: schema.col_type(i),
+                });
+            }
+        }
+        let slot = self.add_relation(rel);
+        self.slots.insert(name.to_ascii_lowercase(), slot);
+        self.catalog.add_table(name, schema);
+        Ok(slot)
+    }
+
+    /// The positional slot array, in registration order — what
+    /// [`crate::QueryService::serve_catalog`] hands the executor.
+    pub fn tables(&self) -> &[Relation] {
+        &self.tables
+    }
+
+    /// The SQL catalog over the named tables.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The slot a named table occupies (case-insensitive).
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.slots.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Compile SQL text against this registry: parse, lower against the
+    /// catalog, then rewrite the plan's `Input` leaves from the front end's
+    /// slot 0 to the named table's registry slot.
+    pub fn compile(&self, sql: &str) -> Result<CompiledSql, CompileError> {
+        let query = kfusion_frontend::parse(sql)?;
+        let compiled =
+            kfusion_frontend::lower::lower(&query, &self.catalog).map_err(CompileError::Lower)?;
+        let slot = self
+            .slot(&query.table)
+            .expect("lowering succeeded, so the table is registered with a slot");
+        let mut plan = compiled.plan;
+        for node in &mut plan.nodes {
+            if let OpKind::Input { input } = &mut node.kind {
+                *input = slot;
+            }
+        }
+        Ok(CompiledSql { plan, columns: compiled.output_names, slot })
+    }
+}
+
+/// The receiving end of one text-query submission: a [`crate::QueryTicket`]
+/// plus the compiled output column names, so the caller can interpret the
+/// positional [`Relation`] it gets back.
+#[derive(Debug)]
+pub struct SqlTicket {
+    /// Output column names, in relation column order.
+    pub columns: Vec<String>,
+    /// The underlying positional ticket.
+    pub ticket: crate::QueryTicket,
+}
+
+impl SqlTicket {
+    /// Block until the service delivers the outcome; returns the column
+    /// names alongside it.
+    pub fn wait(self) -> Result<(Vec<String>, crate::QueryOutcome), ServerError> {
+        let outcome = self.ticket.wait()?;
+        Ok((self.columns, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfusion_frontend::{ColType, TableSchema};
+
+    fn rel() -> Relation {
+        Relation::new(
+            vec![0, 1, 2],
+            vec![Column::I64(vec![1, 2, 3]), Column::F64(vec![0.5, 1.5, 2.5])],
+        )
+        .unwrap()
+    }
+
+    fn schema() -> TableSchema {
+        TableSchema::new([("a", ColType::I64), ("b", ColType::F64)])
+    }
+
+    #[test]
+    fn add_table_validates_shape() {
+        let mut reg = TableRegistry::new();
+        let err = reg.add_table("t", TableSchema::new([("a", ColType::I64)]), rel()).unwrap_err();
+        assert!(matches!(
+            err,
+            RegistryError::ArityMismatch { schema_cols: 1, relation_cols: 2, .. }
+        ));
+
+        let err = reg
+            .add_table("t", TableSchema::new([("a", ColType::F64), ("b", ColType::F64)]), rel())
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::TypeMismatch { ref column, .. } if column == "a"));
+
+        assert_eq!(reg.add_table("t", schema(), rel()).unwrap(), 0);
+        assert_eq!(reg.slot("T"), Some(0), "slot lookup is case-insensitive");
+    }
+
+    #[test]
+    fn compile_rewrites_input_slots() {
+        let mut reg = TableRegistry::new();
+        // Occupy slots 0 and 1 so the named table lands on slot 2.
+        reg.add_relation(rel());
+        reg.add_relation(rel());
+        let slot = reg.add_table("t", schema(), rel()).unwrap();
+        assert_eq!(slot, 2);
+
+        let compiled = reg.compile("SELECT a, b FROM t WHERE a < 3").unwrap();
+        assert_eq!(compiled.slot, 2);
+        assert_eq!(compiled.columns, vec!["a", "b"]);
+        let inputs: Vec<usize> = compiled
+            .plan
+            .nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                OpKind::Input { input } => Some(input),
+                _ => None,
+            })
+            .collect();
+        assert!(!inputs.is_empty());
+        assert!(inputs.iter().all(|&i| i == 2), "all input leaves rewritten, got {inputs:?}");
+    }
+
+    #[test]
+    fn compile_surfaces_positioned_diagnostics() {
+        let mut reg = TableRegistry::new();
+        reg.add_table("t", schema(), rel()).unwrap();
+        let err = reg.compile("SELECT a FROM t WHERE a < 1.2.3").unwrap_err();
+        assert!(err.to_string().contains("byte"), "positioned: {err}");
+        let err = reg.compile("SELECT nope FROM t").unwrap_err();
+        assert!(matches!(err, CompileError::Lower(_)));
+    }
+}

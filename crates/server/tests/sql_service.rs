@@ -1,0 +1,153 @@
+//! Text-query serving equivalence: TPC-H Q6 and Q1 submitted as SQL
+//! strings through [`QueryService::serve_catalog`] must return outputs
+//! bit-for-bit identical to the hand-built physical plans run standalone —
+//! the full chain `text → parse → lower → slot rewrite → admission →
+//! plan cache → (batched) execute` adds nothing and loses nothing.
+
+use kfusion_core::exec::{execute, ExecConfig, Strategy};
+use kfusion_server::{QueryService, ServerConfig, ServerError, TableRegistry};
+use kfusion_tpch::gen::{generate, TpchConfig, TpchDb};
+use kfusion_tpch::sql::{
+    bit_identical, q1_packed_table, q1_schema, q1_sql, q6_schema, q6_sql, q6_wide_table,
+};
+use kfusion_tpch::{q1, q6};
+use kfusion_vgpu::GpuSystem;
+use std::time::Duration;
+
+fn db() -> TpchDb {
+    generate(TpchConfig::scale(0.005))
+}
+
+#[test]
+fn sql_q6_through_the_server_is_bit_identical_to_the_hand_plan() {
+    let system = GpuSystem::c2070();
+    let db = db();
+    let mut registry = TableRegistry::new();
+    // Occupy slot 0 with an unnamed relation so the named table lands on a
+    // non-zero slot: the served answer being right proves the input-leaf
+    // rewrite, not just the compile.
+    registry.add_relation(q6_wide_table(&db));
+    let slot = registry.add_table("lineitem", q6_schema(), q6_wide_table(&db)).unwrap();
+    assert_eq!(slot, 1);
+
+    let exec_cfg = ExecConfig::new(Strategy::Fusion, &system);
+    let hand = q6::run_q6(&system, &db, Strategy::Fusion).unwrap().output;
+
+    let cfg = ServerConfig::new(exec_cfg);
+    let (cols, outcome) =
+        QueryService::serve_catalog(&system, &registry, &cfg, |c| c.query_sql(&q6_sql()).unwrap());
+    assert_eq!(cols, vec!["revenue", "count"]);
+    assert!(bit_identical(&outcome.output, &hand), "served Q6 SQL diverges from hand-built plan");
+}
+
+#[test]
+fn sql_q1_through_the_server_is_bit_identical_to_the_hand_plan() {
+    let system = GpuSystem::c2070();
+    let db = db();
+    let mut registry = TableRegistry::new();
+    registry.add_table("lineitem", q1_schema(), q1_packed_table(&db)).unwrap();
+
+    let exec_cfg = ExecConfig::new(Strategy::Fusion, &system);
+    let hand = q1::run_q1(&system, &db, Strategy::Fusion).unwrap().output;
+
+    let cfg = ServerConfig::new(exec_cfg);
+    let (cols, outcome) =
+        QueryService::serve_catalog(&system, &registry, &cfg, |c| c.query_sql(&q1_sql()).unwrap());
+    assert_eq!(cols[2], "disc_price");
+    assert_eq!(cols[3], "charge");
+    assert!(bit_identical(&outcome.output, &hand), "served Q1 SQL diverges from hand-built plan");
+}
+
+#[test]
+fn repeated_sql_text_hits_the_plan_cache() {
+    let system = GpuSystem::c2070();
+    let db = db();
+    let mut registry = TableRegistry::new();
+    registry.add_table("lineitem", q6_schema(), q6_wide_table(&db)).unwrap();
+
+    // Standalone ground truth over the registry's own compile.
+    let exec_cfg = ExecConfig::new(Strategy::Fusion, &system);
+    let compiled = registry.compile(&q6_sql()).unwrap();
+    let alone = execute(&system, &compiled.plan, registry.tables(), &exec_cfg).unwrap().output;
+
+    // Short window so every submission dispatches alone: repeats of the
+    // same text must be cache hits.
+    let mut cfg = ServerConfig::new(exec_cfg);
+    cfg.window = Duration::from_millis(1);
+    cfg.max_batch = 1;
+    let stats = QueryService::serve_catalog(&system, &registry, &cfg, |c| {
+        for _ in 0..4 {
+            let (_, out) = c.query_sql(&q6_sql()).unwrap();
+            assert!(bit_identical(&out.output, &alone));
+        }
+        c.cache_stats()
+    });
+    assert_eq!(stats.entries, 1, "one plan shape for one SQL text: {stats:?}");
+    assert!(stats.hits >= 3, "{stats:?}");
+}
+
+#[test]
+fn concurrent_sql_queries_batch_like_hand_built_plans() {
+    let system = GpuSystem::c2070();
+    let db = db();
+    let mut registry = TableRegistry::new();
+    registry.add_table("lineitem", q6_schema(), q6_wide_table(&db)).unwrap();
+
+    let exec_cfg = ExecConfig::new(Strategy::Fusion, &system);
+    let compiled = registry.compile(&q6_sql()).unwrap();
+    let alone = execute(&system, &compiled.plan, registry.tables(), &exec_cfg).unwrap().output;
+
+    // A wide-open window and one worker force both text queries into the
+    // same admission window; they share the lineitem scan, so they must
+    // co-dispatch through merge_plans like any hand-built pair.
+    let mut cfg = ServerConfig::new(exec_cfg);
+    cfg.window = Duration::from_millis(300);
+    cfg.workers = 1;
+    let (a, b) = QueryService::serve_catalog(&system, &registry, &cfg, |c| {
+        let t1 = c.submit_sql(&q6_sql()).unwrap();
+        let t2 = c.submit_sql(&q6_sql()).unwrap();
+        (t1.wait().unwrap(), t2.wait().unwrap())
+    });
+    assert_eq!(a.1.batch_size, 2, "identical scans must co-dispatch");
+    assert_eq!(b.1.batch_size, 2);
+    assert!(bit_identical(&a.1.output, &alone));
+    assert!(bit_identical(&b.1.output, &alone));
+}
+
+#[test]
+fn bad_sql_surfaces_a_positioned_compile_error() {
+    let system = GpuSystem::c2070();
+    let db = db();
+    let mut registry = TableRegistry::new();
+    registry.add_table("lineitem", q6_schema(), q6_wide_table(&db)).unwrap();
+    let cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &system));
+
+    QueryService::serve_catalog(&system, &registry, &cfg, |c| {
+        // Lexer bug regression, end to end through the server.
+        let err = c.query_sql("SELECT shipdate FROM lineitem WHERE quantity < 1.2.3").unwrap_err();
+        match &err {
+            ServerError::Compile(e) => {
+                assert!(e.to_string().contains("byte"), "positioned diagnostic: {e}")
+            }
+            other => panic!("expected Compile, got {other:?}"),
+        }
+        // Semantic error too.
+        let err = c.query_sql("SELECT nope FROM lineitem").unwrap_err();
+        assert!(matches!(err, ServerError::Compile(_)), "{err:?}");
+        // And unknown tables.
+        let err = c.query_sql("SELECT shipdate FROM orders").unwrap_err();
+        assert!(matches!(err, ServerError::Compile(_)), "{err:?}");
+    });
+}
+
+#[test]
+fn text_queries_need_a_catalog() {
+    let system = GpuSystem::c2070();
+    let db = db();
+    let tables = [q6_wide_table(&db)];
+    let cfg = ServerConfig::new(ExecConfig::new(Strategy::Fusion, &system));
+    QueryService::serve(&system, &tables, &cfg, |c| {
+        let err = c.query_sql(&q6_sql()).unwrap_err();
+        assert_eq!(err, ServerError::NoCatalog);
+    });
+}

@@ -27,5 +27,6 @@ pub mod gen;
 pub mod q1;
 pub mod q21;
 pub mod q6;
+pub mod sql;
 
 pub use gen::{generate, TpchConfig, TpchDb};
